@@ -1,0 +1,47 @@
+// Ablation: robust-dual solver strategies. The production path eliminates
+// eta analytically and Brent-minimizes the 1-D dual in lambda; the
+// cross-check keeps lambda as an explicit Nelder-Mead dimension (the shape
+// of the paper's SLSQP formulation). Both must land on the same objective;
+// the 1-D path should be faster.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Ablation - robust dual solver strategies",
+               "analytic-eta + Brent vs joint Nelder-Mead duals");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  RobustTuner robust(model);
+
+  TablePrinter table({"workload", "rho", "1-D dual obj", "joint obj",
+                      "1-D ms", "joint ms", "agreement"});
+  for (int idx : {1, 7, 11}) {
+    const Workload w = workload::GetExpectedWorkload(idx).workload;
+    for (double rho : {0.25, 1.0, 2.0}) {
+      const TuningResult fast = robust.TunePolicy(w, rho,
+                                                  Policy::kLeveling);
+      const TuningResult joint = robust.TuneJointDual(w, rho,
+                                                      Policy::kLeveling);
+      const double rel =
+          std::fabs(fast.objective - joint.objective) /
+          std::max(1e-12, fast.objective);
+      table.AddRow({"w" + std::to_string(idx), TablePrinter::Fmt(rho, 2),
+                    TablePrinter::Fmt(fast.objective, 4),
+                    TablePrinter::Fmt(joint.objective, 4),
+                    TablePrinter::Fmt(fast.solve_seconds * 1e3, 1),
+                    TablePrinter::Fmt(joint.solve_seconds * 1e3, 1),
+                    rel < 5e-3 ? "ok" : "DIVERGED"});
+    }
+  }
+  table.Print();
+  std::printf("\nexpected: objectives agree to <0.5%%; the analytic-eta "
+              "path is faster and\nnever worse.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace endure::bench {
+
+BenchScale ReadScale() {
+  BenchScale s;
+  s.entries = static_cast<uint64_t>(GetEnvInt("ENDURE_N", 50000));
+  s.queries = static_cast<uint64_t>(GetEnvInt("ENDURE_QUERIES", 1000));
+  s.benchmark_size = static_cast<int>(GetEnvInt("ENDURE_BENCH", 2000));
+  return s;
+}
+
+void FigureHeader(const std::string& figure, const std::string& what) {
+  PrintBanner(figure);
+  const BenchScale s = ReadScale();
+  std::printf("%s\n", what.c_str());
+  std::printf(
+      "scale: N=%llu entries, %llu queries/workload, |B|=%d "
+      "(override via ENDURE_N / ENDURE_QUERIES / ENDURE_BENCH)\n\n",
+      static_cast<unsigned long long>(s.entries),
+      static_cast<unsigned long long>(s.queries), s.benchmark_size);
+}
+
+workload::BenchmarkSet MakeBenchmarkSet(int size, uint64_t seed) {
+  Rng rng(seed);
+  return workload::BenchmarkSet(size, &rng);
+}
+
+TuningPair SolvePair(const CostModel& model, const Workload& w, double rho) {
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+  TuningPair pair;
+  const TuningResult n = nominal.Tune(w);
+  const TuningResult r = robust.Tune(w, rho);
+  pair.nominal = n.tuning;
+  pair.robust = r.tuning;
+  pair.nominal_cost = n.objective;
+  pair.robust_value = r.objective;
+  return pair;
+}
+
+void RunSystemFigure(const std::string& figure, const Workload& expected,
+                     double rho, bool read_only, uint64_t seed) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  const TuningPair pair = SolvePair(model, expected, rho);
+
+  FigureHeader(figure, "System experiment: nominal vs robust tuning, "
+                       "expected workload " + expected.ToString() +
+                       ", rho=" + TablePrinter::Fmt(rho, 2));
+  std::printf("nominal: %s\nrobust : %s\n\n",
+              pair.nominal.ToString().c_str(),
+              pair.robust.ToString().c_str());
+
+  const BenchScale scale = ReadScale();
+  bridge::ExperimentOptions eopts;
+  eopts.actual_entries = scale.entries;
+  eopts.queries_per_workload = scale.queries;
+  eopts.seed = seed;
+  bridge::ExperimentRunner runner(cfg, eopts);
+
+  Rng rng(seed);
+  workload::SessionOptions sopts;
+  sopts.workloads_per_session = 3;
+  workload::SessionGenerator gen(expected, &rng, sopts);
+  const std::vector<workload::Session> sessions =
+      read_only ? gen.ReadOnlySequence() : gen.MixedSequence();
+
+  const auto rn = runner.Run(pair.nominal, sessions);
+  const auto rr = runner.Run(pair.robust, sessions);
+
+  TablePrinter table({"session", "avg workload", "nom model I/O",
+                      "nom sys I/O", "rob model I/O", "rob sys I/O",
+                      "nom us/q", "rob us/q"});
+  double kl_sum = 0.0;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    kl_sum += KlDivergence(rn[i].average, expected);
+    table.AddRow(
+        {std::to_string(i + 1) + ". " +
+             workload::SessionKindName(sessions[i].kind),
+         rn[i].average.ToString(),
+         TablePrinter::Fmt(rn[i].model_io_per_query, 2),
+         TablePrinter::Fmt(rn[i].measured_io_per_query, 2),
+         TablePrinter::Fmt(rr[i].model_io_per_query, 2),
+         TablePrinter::Fmt(rr[i].measured_io_per_query, 2),
+         TablePrinter::Fmt(rn[i].latency_us_per_query, 1),
+         TablePrinter::Fmt(rr[i].latency_us_per_query, 1)});
+  }
+  table.Print();
+  std::printf("observed mean I_KL(w_hat, w) across sessions: %.2f\n",
+              kl_sum / sessions.size());
+}
+
+}  // namespace endure::bench

@@ -1,0 +1,51 @@
+// Figure 1: the motivating example. A tuning chosen for the expected
+// workload degrades ~2x when a range-heavy mix shows up; per-session
+// "perfect" tunings stay flat. Reported both on the analytical model and
+// on the bundled LSM engine.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Figure 1 - motivating example",
+               "Expected vs perfect tuning across a workload shift "
+               "(sessions: expected, uncertain, expected)");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner tuner(model);
+
+  const Workload expected(0.20, 0.20, 0.06, 0.54);
+  const Workload uncertain(0.02, 0.02, 0.41, 0.55);
+  const Workload sequence[3] = {expected, uncertain, expected};
+  const Tuning expected_tuning = tuner.Tune(expected).tuning;
+
+  const BenchScale scale = ReadScale();
+  bridge::ExperimentOptions eopts;
+  eopts.actual_entries = scale.entries;
+  eopts.queries_per_workload = scale.queries;
+  bridge::ExperimentRunner runner(cfg, eopts);
+
+  TablePrinter table({"session", "workload", "expected-tuning model I/O",
+                      "expected-tuning sys I/O", "perfect-tuning sys I/O"});
+  for (int s = 0; s < 3; ++s) {
+    const Tuning perfect = tuner.Tune(sequence[s]).tuning;
+    workload::Session session;
+    session.kind = workload::SessionKind::kExpected;
+    session.workloads = {sequence[s]};
+    const auto run_expected = runner.Run(expected_tuning, {session});
+    const auto run_perfect = runner.Run(perfect, {session});
+    table.AddRow(
+        {std::to_string(s + 1), sequence[s].ToString(),
+         TablePrinter::Fmt(run_expected[0].model_io_per_query, 2),
+         TablePrinter::Fmt(run_expected[0].measured_io_per_query, 2),
+         TablePrinter::Fmt(run_perfect[0].measured_io_per_query, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper: the static tuning's I/Os roughly double in session 2 while\n"
+      "the per-session perfect tuning holds steady.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 4: average normalized delta throughput Delta_w(Phi_N, Phi_R) over
+// the benchmark set, per expected-workload category, as a function of rho.
+// The paper's headline model result: for non-uniform categories the robust
+// tuning delivers large average gains once rho >= ~0.5, while for the
+// uniform workload the nominal tuning keeps a small edge.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Figure 4 - avg delta throughput by category",
+               "mean Delta_w(Phi_N, Phi_R) over B vs rho, per category");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+
+  const BenchScale scale = ReadScale();
+  workload::BenchmarkSet bench = MakeBenchmarkSet(scale.benchmark_size);
+  const std::vector<Workload> samples = bench.Workloads();
+
+  const std::vector<double> rhos = {0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5};
+
+  TablePrinter table({"rho", "uniform", "unimodal", "bimodal", "trimodal"});
+  // Cache the nominal tunings (rho-independent).
+  std::vector<Tuning> nominals(15);
+  for (int i = 0; i < 15; ++i) {
+    nominals[i] =
+        nominal.Tune(workload::GetExpectedWorkload(i).workload).tuning;
+  }
+
+  for (double rho : rhos) {
+    double sum[4] = {0, 0, 0, 0};
+    int count[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 15; ++i) {
+      const auto& ew = workload::GetExpectedWorkload(i);
+      const Tuning phi_r = robust.Tune(ew.workload, rho).tuning;
+      double mean_delta = 0.0;
+      for (const Workload& w : samples) {
+        mean_delta += DeltaThroughput(model, w, nominals[i], phi_r);
+      }
+      mean_delta /= static_cast<double>(samples.size());
+      const int c = static_cast<int>(ew.category);
+      sum[c] += mean_delta;
+      ++count[c];
+    }
+    table.AddRow({TablePrinter::Fmt(rho, 2),
+                  TablePrinter::Fmt(sum[0] / count[0], 3),
+                  TablePrinter::Fmt(sum[1] / count[1], 3),
+                  TablePrinter::Fmt(sum[2] / count[2], 3),
+                  TablePrinter::Fmt(sum[3] / count[3], 3)});
+  }
+  table.Print();
+  std::printf(
+      "\npaper: unimodal/bimodal/trimodal curves sit well above zero for\n"
+      "rho >= 0.5 (95%%+ average improvement); uniform stays slightly\n"
+      "negative (~-5%%).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 5: impact of rho on Delta_w(Phi_N, Phi_R) for expected workload
+// w11 = (33, 33, 33, 1), plotted against the observed KL divergence.
+// Regenerated as binned means over B for rho in {0, 0.25, 1, 2}, with the
+// robust tuning printed per panel (the paper annotates T and h).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Figure 5 - impact of rho (w11)",
+               "Delta_w(Phi_N, Phi_R) vs I_KL(w_hat, w11), binned over B");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+  const Workload w11 = workload::GetExpectedWorkload(11).workload;
+  const Tuning phi_n = nominal.Tune(w11).tuning;
+  std::printf("nominal: %s\n\n", phi_n.ToString().c_str());
+
+  const BenchScale scale = ReadScale();
+  workload::BenchmarkSet bench = MakeBenchmarkSet(scale.benchmark_size);
+
+  constexpr int kBins = 8;
+  const double kl_max = 4.0;
+
+  for (double rho : {0.0, 0.25, 1.0, 2.0}) {
+    const Tuning phi_r = robust.Tune(w11, rho).tuning;
+    double sum[kBins] = {0};
+    int n[kBins] = {0};
+    for (size_t i = 0; i < bench.size(); ++i) {
+      const Workload& w = bench.sample(i).workload;
+      const double kl = KlDivergence(w, w11);
+      int b = static_cast<int>(kl / kl_max * kBins);
+      if (b >= kBins) b = kBins - 1;
+      sum[b] += DeltaThroughput(model, w, phi_n, phi_r);
+      ++n[b];
+    }
+    std::printf("rho=%.2f  robust: %s\n", rho, phi_r.ToString().c_str());
+    TablePrinter table({"I_KL bin", "mean delta", "samples"});
+    for (int b = 0; b < kBins; ++b) {
+      char bin[32];
+      std::snprintf(bin, sizeof(bin), "[%.1f, %.1f)", b * kl_max / kBins,
+                    (b + 1) * kl_max / kBins);
+      table.AddRow({bin, n[b] ? TablePrinter::Fmt(sum[b] / n[b], 3) : "-",
+                    std::to_string(n[b])});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: at rho=0 the curves hug zero; as rho grows, the gain at\n"
+      "high observed KL rises (to ~2-3x) while the loss near KL~0 stays\n"
+      "small. Robust T shrinks: 46.3 -> 11.9 -> 8.2 -> 5.5.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 7: contour of Delta_w(Phi_N, Phi_R) over the (rho, I_KL) plane
+// for expected workloads w7 and w11. Regenerated as a matrix of binned
+// means: rows = rho used for the robust tuning, columns = observed
+// KL-divergence bin of the benchmark workload.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Figure 7 - delta throughput contours",
+               "mean Delta over B, rho (rows) x observed I_KL (cols)");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+
+  const BenchScale scale = ReadScale();
+  workload::BenchmarkSet bench = MakeBenchmarkSet(scale.benchmark_size);
+
+  constexpr int kKlBins = 6;
+  const double kl_max = 3.0;
+  const std::vector<double> rhos = {0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+
+  for (int idx : {7, 11}) {
+    const Workload w = workload::GetExpectedWorkload(idx).workload;
+    const Tuning phi_n = nominal.Tune(w).tuning;
+    std::printf("w%d = %s   nominal: %s\n", idx, w.ToString().c_str(),
+                phi_n.ToString().c_str());
+
+    std::vector<std::string> headers{"rho \\ I_KL"};
+    for (int b = 0; b < kKlBins; ++b) {
+      char bin[32];
+      std::snprintf(bin, sizeof(bin), "[%.1f,%.1f)", b * kl_max / kKlBins,
+                    (b + 1) * kl_max / kKlBins);
+      headers.push_back(bin);
+    }
+    TablePrinter table(headers);
+
+    for (double rho : rhos) {
+      const Tuning phi_r = robust.Tune(w, rho).tuning;
+      double sum[kKlBins] = {0};
+      int n[kKlBins] = {0};
+      for (size_t i = 0; i < bench.size(); ++i) {
+        const Workload& sample = bench.sample(i).workload;
+        const double kl = KlDivergence(sample, w);
+        if (kl >= kl_max) continue;
+        const int b = static_cast<int>(kl / kl_max * kKlBins);
+        sum[b] += DeltaThroughput(model, sample, phi_n, phi_r);
+        ++n[b];
+      }
+      std::vector<std::string> row{TablePrinter::Fmt(rho, 2)};
+      for (int b = 0; b < kKlBins; ++b) {
+        row.push_back(n[b] ? TablePrinter::Fmt(sum[b] / n[b], 2) : "-");
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: nominal only wins (negative cells) near the origin - tiny\n"
+      "observed drift or rho < ~0.2; everywhere else robust dominates.\n");
+  return 0;
+}

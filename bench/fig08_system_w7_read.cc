@@ -1,0 +1,15 @@
+// Figure 8: read-only session sequence for expected workload w7 =
+// (49, 1, 1, 49) with rho = 2.31 (matching the observed divergence).
+// Paper outcome: the robust (leveling, small T) tuning dominates the
+// nominal (tiering) one across read sessions; the range session shows the
+// fence-pointer discrepancy discussed in Section 8.3.
+
+#include "bench_common.h"
+
+int main() {
+  endure::bench::RunSystemFigure(
+      "Figure 8 - system, w7 read-only (rho = 2.31)",
+      endure::workload::GetExpectedWorkload(7).workload,
+      /*rho=*/2.31, /*read_only=*/true, /*seed=*/8);
+  return 0;
+}

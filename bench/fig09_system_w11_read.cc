@@ -1,0 +1,14 @@
+// Figure 9: read-only sequence for w11 = (33, 33, 33, 1) with rho = 0.25
+// while the observed workloads stay close to the expectation
+// (I_KL ~ 0.06). Paper outcome: nominal keeps a modest edge (~20%
+// latency) - the price of robustness when no surprise arrives.
+
+#include "bench_common.h"
+
+int main() {
+  endure::bench::RunSystemFigure(
+      "Figure 9 - system, w11 read-only (rho = 0.25, low drift)",
+      endure::workload::GetExpectedWorkload(11).workload,
+      /*rho=*/0.25, /*read_only=*/true, /*seed=*/9);
+  return 0;
+}

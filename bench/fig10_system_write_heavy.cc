@@ -1,0 +1,15 @@
+// Figure 10: mixed sequence for the write-heavy expected workload
+// (10, 10, 10, 70) with rho = 0.5 ~ observed divergence. Paper outcome:
+// the robust tuning (larger T, fewer filter bits) absorbs the read-heavy
+// surprise sessions; compaction-driven fluctuation shows in the write
+// session.
+
+#include "bench_common.h"
+
+int main() {
+  endure::bench::RunSystemFigure(
+      "Figure 10 - system, write-heavy expected (rho = 0.50)",
+      endure::Workload(0.10, 0.10, 0.10, 0.70),
+      /*rho=*/0.5, /*read_only=*/false, /*seed=*/10);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 12: mixed sequence for the uniform expected workload w0 with a
+// tiny rho (the observed divergence is ~0.01). Paper outcome: nominal and
+// robust tunings nearly coincide, and so does their performance - Endure
+// costs nothing when expectations are right.
+
+#include "bench_common.h"
+
+int main() {
+  endure::bench::RunSystemFigure(
+      "Figure 12 - system, uniform w0 (rho = 0.01)",
+      endure::workload::GetExpectedWorkload(0).workload,
+      /*rho=*/0.01, /*read_only=*/false, /*seed=*/12);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figures 13-14: mixed sequences for the unimodal expected workloads
+// w1..w4, each tuned with rho equal to the paper's reported observed
+// divergence (1.49, 1.52, 1.77, 1.74). Paper outcomes: robust avoids w3's
+// pathological nominal T=100 blow-up in the write session and w1/w2's
+// overfit filter allocations.
+
+#include "bench_common.h"
+
+int main() {
+  using endure::workload::GetExpectedWorkload;
+  const double rhos[4] = {1.49, 1.52, 1.77, 1.74};
+  for (int idx = 1; idx <= 4; ++idx) {
+    endure::bench::RunSystemFigure(
+        "Figures 13-14 - system, unimodal w" + std::to_string(idx) +
+            " (rho = " + endure::TablePrinter::Fmt(rhos[idx - 1], 2) + ")",
+        GetExpectedWorkload(idx).workload, rhos[idx - 1],
+        /*read_only=*/false, /*seed=*/static_cast<uint64_t>(130 + idx));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 16: impact of database size on performance. Both w11 tunings
+// (nominal and robust rho = 0.25) are deployed at increasing N; since the
+// memory budget scales with N (H bits/entry), the level count - and hence
+// the relative nominal/robust gap - is invariant, while m_buf grows.
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Figure 16 - scaling with database size",
+               "w11 tunings deployed at growing N; gap stays constant");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  const Workload w11 = workload::GetExpectedWorkload(11).workload;
+  const TuningPair pair = SolvePair(model, w11, 0.25);
+  std::printf("nominal: %s\nrobust : %s\n\n",
+              pair.nominal.ToString().c_str(),
+              pair.robust.ToString().c_str());
+
+  const BenchScale scale = ReadScale();
+  // Sweep a factor of 25 ending at the configured scale (smaller sizes
+  // drown in compaction noise relative to the query count).
+  const uint64_t top = std::max<uint64_t>(scale.entries, 25000);
+  const uint64_t sizes[3] = {top / 25, top / 5, top};
+
+  // The paper's two observed mixes: read-only and with writes.
+  const Workload observed_read(0.32, 0.47, 0.21, 0.0);
+  const Workload observed_write(0.29, 0.29, 0.23, 0.19);
+
+  for (const auto& [label, observed] :
+       {std::pair{"read-only observed (32,47,22,0)", observed_read},
+        std::pair{"with writes observed (29,29,23,19)", observed_write}}) {
+    std::printf("%s\n", label);
+    TablePrinter table({"N", "m_buf nominal (MiB)", "m_buf robust (MiB)",
+                        "levels", "nominal I/O per q", "robust I/O per q"});
+    for (uint64_t n : sizes) {
+      bridge::ExperimentOptions eopts;
+      eopts.actual_entries = n;
+      eopts.queries_per_workload = scale.queries;
+      bridge::ExperimentRunner runner(cfg, eopts);
+      workload::Session session;
+      session.kind = workload::SessionKind::kExpected;
+      // Enough volume that write-triggered deep compactions (the nominal
+      // tuning's failure mode at T ~ 47) actually fire at every N.
+      session.workloads.assign(5, observed.Normalized());
+      const auto rn = runner.Run(pair.nominal, {session});
+      const auto rr = runner.Run(pair.robust, {session});
+
+      const SystemConfig scaled = bridge::ScaledConfig(cfg, n);
+      CostModel scaled_model(scaled);
+      const double mbuf_n =
+          pair.nominal.buffer_memory_bits(scaled) / 8.0 / (1 << 20);
+      const double mbuf_r =
+          pair.robust.buffer_memory_bits(scaled) / 8.0 / (1 << 20);
+      table.AddRow({std::to_string(n), TablePrinter::Fmt(mbuf_n, 2),
+                    TablePrinter::Fmt(mbuf_r, 2),
+                    std::to_string(scaled_model.Levels(pair.nominal)),
+                    TablePrinter::Fmt(rn[0].measured_io_per_query, 2),
+                    TablePrinter::Fmt(rr[0].measured_io_per_query, 2)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: buffer memory grows with N, the level count stays fixed, and\n"
+      "the nominal-vs-robust gap is size-independent.\n");
+  return 0;
+}

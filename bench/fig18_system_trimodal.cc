@@ -1,0 +1,20 @@
+// Figure 18: mixed sequences for the trimodal expected workloads w12-w14
+// at the paper's observed divergences (0.39, 0.57, 0.60). Paper outcomes:
+// w12's nominal tiering tuning suffers in the range session; w13/w14 trade
+// slightly worse robust range performance for far cheaper write sessions.
+
+#include "bench_common.h"
+
+int main() {
+  using endure::workload::GetExpectedWorkload;
+  const int indices[3] = {12, 13, 14};
+  const double rhos[3] = {0.39, 0.57, 0.60};
+  for (int i = 0; i < 3; ++i) {
+    endure::bench::RunSystemFigure(
+        "Figure 18 - system, trimodal w" + std::to_string(indices[i]) +
+            " (rho = " + endure::TablePrinter::Fmt(rhos[i], 2) + ")",
+        GetExpectedWorkload(indices[i]).workload, rhos[i],
+        /*read_only=*/false, /*seed=*/static_cast<uint64_t>(180 + i));
+  }
+  return 0;
+}

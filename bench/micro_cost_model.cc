@@ -1,0 +1,71 @@
+// Micro benchmarks: analytical cost model evaluation throughput. The
+// model sits in every tuner inner loop, so single-evaluation latency
+// bounds tuning time (the paper reports end-to-end tuning < 10 ms).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace endure;
+
+void BM_CostVector(benchmark::State& state) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  Tuning t(state.range(0) == 0 ? Policy::kLeveling : Policy::kTiering,
+           10.0, 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Costs(t));
+  }
+}
+BENCHMARK(BM_CostVector)->Arg(0)->Arg(1);
+
+void BM_WorkloadCost(benchmark::State& state) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  Tuning t(Policy::kLeveling, 12.0, 4.0);
+  Workload w(0.3, 0.3, 0.3, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Cost(w, t));
+  }
+}
+BENCHMARK(BM_WorkloadCost);
+
+void BM_KlDivergence(benchmark::State& state) {
+  const std::vector<double> p{0.3, 0.3, 0.3, 0.1};
+  const std::vector<double> q{0.25, 0.25, 0.25, 0.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KlDivergence(p, q));
+  }
+}
+BENCHMARK(BM_KlDivergence);
+
+void BM_RobustDualInner(benchmark::State& state) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  RobustTuner tuner(model);
+  Workload w(0.33, 0.33, 0.33, 0.01);
+  Tuning t(Policy::kLeveling, 11.9, 2.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.RobustCost(w, 1.0, t));
+  }
+}
+BENCHMARK(BM_RobustDualInner);
+
+void BM_IntegerVsFractionalLevels(benchmark::State& state) {
+  SystemConfig cfg;
+  cfg.level_policy = state.range(0) == 0 ? LevelPolicy::kFractional
+                                         : LevelPolicy::kInteger;
+  CostModel model(cfg);
+  Tuning t(Policy::kTiering, 7.0, 6.0);
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Cost(w, t));
+  }
+}
+BENCHMARK(BM_IntegerVsFractionalLevels)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Micro benchmarks: end-to-end tuning latency. Section 8.3 reports both
+// nominal and robust tuning in < 10 ms on the authors' setup; these
+// benchmarks verify our solver is in the same class.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace endure;
+
+void BM_NominalTune(benchmark::State& state) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner tuner(model);
+  const Workload w =
+      workload::GetExpectedWorkload(static_cast<int>(state.range(0)))
+          .workload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.Tune(w));
+  }
+}
+BENCHMARK(BM_NominalTune)->Arg(0)->Arg(7)->Arg(11)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RobustTune(benchmark::State& state) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  RobustTuner tuner(model);
+  const Workload w = workload::GetExpectedWorkload(11).workload;
+  const double rho = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.Tune(w, rho));
+  }
+}
+BENCHMARK(BM_RobustTune)->Arg(25)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RobustTuneJointDual(benchmark::State& state) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  RobustTuner tuner(model);
+  const Workload w = workload::GetExpectedWorkload(11).workload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.TuneJointDual(w, 1.0,
+                                                 Policy::kLeveling));
+  }
+}
+BENCHMARK(BM_RobustTuneJointDual)->Unit(benchmark::kMillisecond);
+
+void BM_RhoAdvisor(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Workload> history;
+  for (int i = 0; i < state.range(0); ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 1000);
+    history.emplace_back(p[0], p[1], p[2], p[3]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RecommendRho(history));
+  }
+}
+BENCHMARK(BM_RhoAdvisor)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

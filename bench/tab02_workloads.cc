@@ -1,0 +1,32 @@
+// Table 2: the 15 expected workloads of the uncertainty benchmark, plus
+// the nominal tuning each induces (the tunings annotated throughout the
+// paper's figures).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Table 2 - expected workloads",
+               "The uncertainty benchmark's expected workloads and their "
+               "nominal tunings");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner tuner(model);
+
+  TablePrinter table({"index", "(z0, z1, q, w)", "type", "nominal policy",
+                      "T", "h", "cost (I/O per op)"});
+  for (const auto& ew : workload::AllExpectedWorkloads()) {
+    const TuningResult r = tuner.Tune(ew.workload);
+    table.AddRow({std::to_string(ew.index), ew.workload.ToString(),
+                  workload::CategoryName(ew.category),
+                  PolicyName(r.tuning.policy),
+                  TablePrinter::Fmt(r.tuning.size_ratio, 1),
+                  TablePrinter::Fmt(r.tuning.filter_bits_per_entry, 1),
+                  TablePrinter::Fmt(r.objective, 3)});
+  }
+  table.Print();
+  return 0;
+}

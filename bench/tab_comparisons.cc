@@ -1,0 +1,66 @@
+// Section 8.4 ("Robustness is All You Need"): the paper compares 700+
+// robust tunings against their nominal counterparts over B (~8.6M
+// comparisons) and reports robust winning > 80% of them. Regenerated at a
+// configurable scale: all 15 expected workloads x a rho grid x |B|.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace endure;
+  using namespace endure::bench;
+
+  FigureHeader("Section 8.4 - robust vs nominal, bulk comparisons",
+               "fraction of (tuning, workload) comparisons won by robust");
+
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+
+  const BenchScale scale = ReadScale();
+  workload::BenchmarkSet bench = MakeBenchmarkSet(scale.benchmark_size);
+  const std::vector<Workload> samples = bench.Workloads();
+
+  const std::vector<double> rhos = {0.25, 0.5, 0.75, 1.0, 1.25, 1.5,
+                                    1.75, 2.0, 2.5, 3.0, 3.5, 4.0};
+
+  uint64_t comparisons = 0, robust_wins = 0;
+  double delta_sum = 0.0;
+  uint64_t tunings = 0;
+  WallTimer timer;
+  TablePrinter per_rho({"rho", "win rate", "mean delta"});
+  for (double rho : rhos) {
+    uint64_t rho_wins = 0;
+    double rho_delta = 0.0;
+    for (int i = 0; i < 15; ++i) {
+      const Workload w = workload::GetExpectedWorkload(i).workload;
+      const Tuning phi_n = nominal.Tune(w).tuning;
+      const Tuning phi_r = robust.Tune(w, rho).tuning;
+      ++tunings;
+      for (const Workload& sample : samples) {
+        const double d = DeltaThroughput(model, sample, phi_n, phi_r);
+        ++comparisons;
+        robust_wins += (d > 0.0);
+        rho_wins += (d > 0.0);
+        delta_sum += d;
+        rho_delta += d;
+      }
+    }
+    per_rho.AddRow(
+        {TablePrinter::Fmt(rho, 2),
+         TablePrinter::Fmt(static_cast<double>(rho_wins) /
+                               (15.0 * samples.size()), 3),
+         TablePrinter::Fmt(rho_delta / (15.0 * samples.size()), 3)});
+  }
+  per_rho.Print();
+  std::printf(
+      "\n%llu robust tunings, %llu comparisons in %.1f s\n"
+      "robust wins %.1f%% of all comparisons (paper: > 80%%), mean delta "
+      "%+.3f\n",
+      static_cast<unsigned long long>(tunings),
+      static_cast<unsigned long long>(comparisons), timer.Seconds(),
+      100.0 * static_cast<double>(robust_wins) /
+          static_cast<double>(comparisons),
+      delta_sum / static_cast<double>(comparisons));
+  return 0;
+}

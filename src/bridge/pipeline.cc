@@ -1,0 +1,34 @@
+#include "bridge/pipeline.h"
+
+#include <algorithm>
+
+namespace endure::bridge {
+
+TuningPipeline::TuningPipeline(const SystemConfig& cfg,
+                               const Workload& expected, double rho,
+                               PipelineOptions opts)
+    : model_(cfg),
+      tuner_(model_, opts.tuner),
+      opts_(opts),
+      expected_(expected),
+      rho_(rho),
+      monitor_(expected, rho, opts.monitor) {
+  tuning_ = tuner_.Tune(expected_, rho_).tuning;
+}
+
+void TuningPipeline::RecordOperation(QueryClass type) {
+  monitor_.Record(type);
+}
+
+TuningResult TuningPipeline::Retune() {
+  expected_ = monitor_.WindowMean();
+  rho_ = std::clamp(monitor_.RecommendedRho(), opts_.rho_floor,
+                    opts_.rho_ceiling);
+  TuningResult result = tuner_.Tune(expected_, rho_);
+  tuning_ = result.tuning;
+  monitor_.Retarget(expected_, rho_);
+  ++retunes_;
+  return result;
+}
+
+}  // namespace endure::bridge

@@ -1,0 +1,68 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// TuningPipeline: the Section 7.3 operational loop packaged as a library
+// component — tune robustly, watch the executed mix, recommend a retune
+// when the observed workload leaves the tuned uncertainty ball, and
+// recenter on the observed history with a freshly advised rho.
+
+#ifndef ENDURE_BRIDGE_PIPELINE_H_
+#define ENDURE_BRIDGE_PIPELINE_H_
+
+#include "core/endure.h"
+#include "workload/drift.h"
+
+namespace endure::bridge {
+
+/// Options for the pipeline.
+struct PipelineOptions {
+  workload::DriftMonitorOptions monitor;  ///< epoching and alarm policy
+  TunerOptions tuner;                     ///< robust-tuner search budget
+  double rho_floor = 0.1;   ///< never retune with less uncertainty margin
+  double rho_ceiling = 4.0; ///< cap pathological history spreads
+};
+
+/// Owns the tuner + drift monitor; callers feed executed operations and
+/// ask when (and to what) to retune.
+class TuningPipeline {
+ public:
+  /// Computes the initial robust tuning for `expected` at `rho`.
+  TuningPipeline(const SystemConfig& cfg, const Workload& expected,
+                 double rho, PipelineOptions opts = {});
+
+  /// The currently recommended tuning.
+  const Tuning& current_tuning() const { return tuning_; }
+  /// The workload the current tuning was computed for.
+  const Workload& tuned_for() const { return expected_; }
+  /// The uncertainty radius of the current tuning.
+  double rho() const { return rho_; }
+  /// Retunes performed so far.
+  int retune_count() const { return retunes_; }
+
+  /// Feeds one executed operation into the monitor.
+  void RecordOperation(QueryClass type);
+
+  /// True when the drift monitor recommends recomputing the tuning.
+  bool RetuneRecommended() const { return monitor_.DriftAlarm(); }
+
+  /// Recenters on the monitor's window mean with the advised rho, solves
+  /// the robust problem, clears the alarm, and returns the new result.
+  /// Callers redeploy the returned tuning at their convenience.
+  TuningResult Retune();
+
+  /// Read-only access to the monitor (divergences, window state).
+  const workload::DriftMonitor& monitor() const { return monitor_; }
+
+ private:
+  CostModel model_;
+  RobustTuner tuner_;
+  PipelineOptions opts_;
+  Workload expected_;
+  double rho_;
+  Tuning tuning_;
+  workload::DriftMonitor monitor_;
+  int retunes_ = 0;
+};
+
+}  // namespace endure::bridge
+
+#endif  // ENDURE_BRIDGE_PIPELINE_H_

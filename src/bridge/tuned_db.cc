@@ -1,0 +1,61 @@
+#include "bridge/tuned_db.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace endure::bridge {
+
+lsm::Options MakeOptions(const SystemConfig& cfg, const Tuning& t,
+                         uint64_t actual_entries,
+                         lsm::StorageBackend backend) {
+  lsm::Options opts;
+  opts.size_ratio =
+      std::max(2, static_cast<int>(std::ceil(t.size_ratio - 1e-9)));
+  switch (t.policy) {
+    case Policy::kLeveling:
+      opts.policy = lsm::CompactionPolicy::kLeveling;
+      break;
+    case Policy::kTiering:
+      opts.policy = lsm::CompactionPolicy::kTiering;
+      break;
+    case Policy::kLazyLeveling:
+      opts.policy = lsm::CompactionPolicy::kLazyLeveling;
+      break;
+  }
+  // Preserve the per-entry memory split: m_buf = (H - h) * N_actual bits.
+  const double buffer_bits =
+      (cfg.memory_budget_bits_per_entry - t.filter_bits_per_entry) *
+      static_cast<double>(actual_entries);
+  opts.buffer_entries = std::max<uint64_t>(
+      16, static_cast<uint64_t>(buffer_bits / cfg.entry_size_bits));
+  opts.entries_per_page = static_cast<uint64_t>(cfg.entries_per_page);
+  opts.filter_bits_per_entry = t.filter_bits_per_entry;
+  opts.filter_allocation = lsm::FilterAllocation::kMonkey;
+  opts.backend = backend;
+  return opts;
+}
+
+SystemConfig ScaledConfig(const SystemConfig& cfg, uint64_t actual_entries) {
+  SystemConfig scaled = cfg;
+  scaled.num_entries = static_cast<double>(actual_entries);
+  return scaled;
+}
+
+StatusOr<std::unique_ptr<lsm::DB>> OpenTunedDb(const SystemConfig& cfg,
+                                               const Tuning& t,
+                                               uint64_t actual_entries,
+                                               lsm::StorageBackend backend) {
+  auto db_or = lsm::DB::Open(MakeOptions(cfg, t, actual_entries, backend));
+  if (!db_or.ok()) return db_or.status();
+  std::unique_ptr<lsm::DB> db = std::move(db_or).value();
+
+  std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
+  pairs.reserve(actual_entries);
+  for (uint64_t i = 0; i < actual_entries; ++i) {
+    pairs.emplace_back(2 * i, i);  // even keys: odd keys are sure misses
+  }
+  ENDURE_RETURN_IF_ERROR(db->BulkLoad(pairs));
+  return db;
+}
+
+}  // namespace endure::bridge

@@ -1,0 +1,39 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Bridges tuner output to engine configuration: turns a (SystemConfig,
+// Tuning) pair into lsm::Options for a deployment of `actual_entries`
+// entries. Size ratios are rounded up ("classical LSM trees cannot have
+// fractional size ratios", Section 8.3) and the memory split is preserved
+// per entry, which keeps the level count invariant across deployment
+// scales (the paper's Fig. 16 observation).
+
+#ifndef ENDURE_BRIDGE_TUNED_DB_H_
+#define ENDURE_BRIDGE_TUNED_DB_H_
+
+#include <memory>
+
+#include "core/endure.h"
+#include "lsm/db.h"
+
+namespace endure::bridge {
+
+/// Engine options implementing tuning `t` for a database of
+/// `actual_entries` entries under system parameters `cfg`.
+lsm::Options MakeOptions(const SystemConfig& cfg, const Tuning& t,
+                         uint64_t actual_entries,
+                         lsm::StorageBackend backend =
+                             lsm::StorageBackend::kMemory);
+
+/// A SystemConfig rescaled to the deployed entry count (for model
+/// predictions comparable with engine measurements).
+SystemConfig ScaledConfig(const SystemConfig& cfg, uint64_t actual_entries);
+
+/// Opens a DB configured per the tuning and bulk loads `actual_entries`
+/// entries with keys 2*0, 2*1, ..., matching workload::KeyUniverse.
+StatusOr<std::unique_ptr<lsm::DB>> OpenTunedDb(
+    const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
+    lsm::StorageBackend backend = lsm::StorageBackend::kMemory);
+
+}  // namespace endure::bridge
+
+#endif  // ENDURE_BRIDGE_TUNED_DB_H_

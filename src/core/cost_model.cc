@@ -1,0 +1,208 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure {
+
+double CostVector::operator[](int i) const {
+  switch (i) {
+    case kEmptyPointQuery:
+      return z0;
+    case kNonEmptyPointQuery:
+      return z1;
+    case kRangeQuery:
+      return q;
+    case kWrite:
+      return w;
+    default:
+      ENDURE_CHECK_MSG(false, "cost index out of range");
+      return 0.0;
+  }
+}
+
+CostModel::CostModel(const SystemConfig& cfg) : cfg_(cfg) {
+  ENDURE_CHECK_MSG(cfg.Validate().ok(), "invalid SystemConfig");
+}
+
+double CostModel::LevelsReal(const Tuning& t) const {
+  const double T = t.size_ratio;
+  const double mbuf = t.buffer_memory_bits(cfg_);
+  ENDURE_CHECK_MSG(mbuf > 0.0, "tuning leaves no buffer memory");
+  // Eq. (1) before rounding: log_T( N*E/m_buf + 1 ).
+  const double arg = cfg_.num_entries * cfg_.entry_size_bits / mbuf + 1.0;
+  return std::max(1.0, std::log(arg) / std::log(T));
+}
+
+int CostModel::Levels(const Tuning& t) const {
+  return static_cast<int>(std::ceil(LevelsReal(t) - 1e-12));
+}
+
+double CostModel::EffectiveLevels(const Tuning& t) const {
+  if (cfg_.level_policy == LevelPolicy::kInteger) {
+    return static_cast<double>(Levels(t));
+  }
+  return LevelsReal(t);
+}
+
+double CostModel::FalsePositiveRateAt(const Tuning& t, double level,
+                                      double total_levels) const {
+  const double T = t.size_ratio;
+  // Eq. (11): f_i(T) = T^(T/(T-1)) / T^(L+1-i) * exp(-(m_filt/N) ln(2)^2).
+  const double ln2sq = std::log(2.0) * std::log(2.0);
+  const double log_t = std::log(T);
+  const double log_f = (T / (T - 1.0)) * log_t -
+                       (total_levels + 1.0 - level) * log_t -
+                       t.filter_bits_per_entry * ln2sq;
+  return std::clamp(std::exp(log_f), 0.0, 1.0);
+}
+
+double CostModel::FalsePositiveRate(const Tuning& t, int level) const {
+  const double L = EffectiveLevels(t);
+  ENDURE_DCHECK(level >= 1 && level <= std::ceil(L));
+  return FalsePositiveRateAt(t, level, L);
+}
+
+double CostModel::FullTreeEntries(const Tuning& t) const {
+  // Eq. (13): N_f(T) = (T^L - 1) * m_buf / E, L possibly fractional.
+  const double T = t.size_ratio;
+  const double L = EffectiveLevels(t);
+  const double buf_entries = t.buffer_memory_bits(cfg_) / cfg_.entry_size_bits;
+  return (std::pow(T, L) - 1.0) * buf_entries;
+}
+
+double CostModel::PartialLevelFill(const Tuning& t) const {
+  const double L = EffectiveLevels(t);
+  const double full = std::floor(L + 1e-12);
+  if (L - full <= 1e-12) return 0.0;  // integral level count: no partial
+  const double T = t.size_ratio;
+  // Fraction of the deepest level's capacity that is populated:
+  // (T^L - T^floor(L)) / ((T-1) T^floor(L)).
+  return (std::pow(T, L - full) - 1.0) / (T - 1.0);
+}
+
+std::vector<CostModel::LevelProfile> CostModel::Profile(
+    const Tuning& t) const {
+  const double T = t.size_ratio;
+  const double L = EffectiveLevels(t);
+  const int full = static_cast<int>(std::floor(L + 1e-12));
+  const double partial = PartialLevelFill(t);
+  const int levels = full + (partial > 0.0 ? 1 : 0);
+  const double nf_units = std::pow(T, L) - 1.0;  // N_f in buffer units
+
+  std::vector<LevelProfile> out;
+  out.reserve(levels);
+  for (int i = 1; i <= levels; ++i) {
+    LevelProfile p;
+    p.fpr = FalsePositiveRateAt(t, i, L);
+    p.weight = (i <= full) ? 1.0 : partial;
+    const double population_units =
+        (i <= full) ? (T - 1.0) * std::pow(T, i - 1)
+                    : std::pow(T, L) - std::pow(T, full);
+    p.population = population_units / nf_units;
+    // A level is "tiered" (up to T-1 runs, lazy (T-1)/T merging) or
+    // "leveled" (one run, eager (T-1)/2 merging). Lazy leveling tiers all
+    // but the deepest level.
+    const bool tiered =
+        t.policy == Policy::kTiering ||
+        (t.policy == Policy::kLazyLeveling && i < levels);
+    p.runs = tiered ? T - 1.0 : 1.0;
+    p.merge = tiered ? (T - 1.0) / T : (T - 1.0) / 2.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double CostModel::EmptyPointQueryCost(const Tuning& t) const {
+  // Eq. (12): one filter probe per run; every resident run of level i
+  // false-positives with probability f_i. Fractional deepest levels
+  // contribute in proportion to their fill.
+  double sum = 0.0;
+  for (const LevelProfile& p : Profile(t)) {
+    sum += p.weight * p.runs * p.fpr;
+  }
+  return sum;
+}
+
+double CostModel::NonEmptyPointQueryCost(const Tuning& t) const {
+  // Eq. (14): expectation over the level holding the match; the match
+  // lands on level i with probability proportional to the level's
+  // population. Shallower levels contribute runs_j * f_j false-positive
+  // I/Os; within the target level the match sits in the middle run on
+  // average, so (runs_i - 1)/2 siblings false-positive first (zero for
+  // leveled levels).
+  double cost = 0.0;
+  double prefix = 0.0;  // sum_{j<i} runs_j * f_j
+  for (const LevelProfile& p : Profile(t)) {
+    cost += p.population * (1.0 + prefix + (p.runs - 1.0) / 2.0 * p.fpr);
+    prefix += p.runs * p.fpr;
+  }
+  return cost;
+}
+
+double CostModel::RangeQueryCost(const Tuning& t) const {
+  // Eq. (15): sequential scan of S_RQ*N/B pages plus one seek per run,
+  // with the level count L entering directly (continuous under the
+  // fractional policy, exactly as the paper's implementation optimizes).
+  const double T = t.size_ratio;
+  const double L = EffectiveLevels(t);
+  const double scan =
+      cfg_.range_selectivity * cfg_.num_entries / cfg_.entries_per_page;
+  switch (t.policy) {
+    case Policy::kLeveling:
+      return scan + L;
+    case Policy::kTiering:
+      return scan + L * (T - 1.0);
+    case Policy::kLazyLeveling:
+      // L-1 tiered levels with up to T-1 runs each, one leveled bottom.
+      return scan + std::max(0.0, L - 1.0) * (T - 1.0) + std::min(L, 1.0);
+  }
+  ENDURE_CHECK_MSG(false, "unknown policy");
+  return 0.0;
+}
+
+double CostModel::WriteCost(const Tuning& t) const {
+  // Eq. (16): every entry merges ~(T-1)/2 times per leveled level and
+  // ~(T-1)/T per tiered level across L levels, amortized per page of B
+  // entries and scaled by the device write asymmetry.
+  const double T = t.size_ratio;
+  const double L = EffectiveLevels(t);
+  double merges = 0.0;
+  switch (t.policy) {
+    case Policy::kLeveling:
+      merges = L * (T - 1.0) / 2.0;
+      break;
+    case Policy::kTiering:
+      merges = L * (T - 1.0) / T;
+      break;
+    case Policy::kLazyLeveling:
+      merges = std::max(0.0, L - 1.0) * (T - 1.0) / T +
+               std::min(L, 1.0) * (T - 1.0) / 2.0;
+      break;
+  }
+  return merges / cfg_.entries_per_page *
+         (1.0 + cfg_.read_write_asymmetry);
+}
+
+CostVector CostModel::Costs(const Tuning& t) const {
+  CostVector c;
+  c.z0 = EmptyPointQueryCost(t);
+  c.z1 = NonEmptyPointQueryCost(t);
+  c.q = RangeQueryCost(t);
+  c.w = WriteCost(t);
+  return c;
+}
+
+double CostModel::Cost(const Workload& wl, const Tuning& t) const {
+  return Costs(t).Weighted(wl);
+}
+
+double CostModel::Throughput(const Workload& wl, const Tuning& t) const {
+  const double c = Cost(wl, t);
+  ENDURE_DCHECK(c > 0.0);
+  return 1.0 / c;
+}
+
+}  // namespace endure

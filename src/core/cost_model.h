@@ -1,0 +1,114 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The analytical LSM-tree cost model of Section 5: expected I/Os per query
+// for each of the four query classes, under Monkey's optimal per-level
+// Bloom-filter allocation [Dayan et al., SIGMOD'17].
+//
+//   L(T)   Eq. (1)  : number of disk-resident levels
+//   f_i(T) Eq. (11) : per-level false-positive rates (Monkey)
+//   Z0     Eq. (12) : expected empty point-query I/Os
+//   Z1     Eq. (14) : expected non-empty point-query I/Os
+//   Q      Eq. (15) : expected range-query I/Os
+//   W      Eq. (16) : amortized write I/Os
+//   C(w,Phi) Eq. (2): workload-weighted expected cost
+
+#ifndef ENDURE_CORE_COST_MODEL_H_
+#define ENDURE_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "core/system_config.h"  // IWYU pragma: keep
+#include "core/tuning.h"
+#include "core/workload.h"
+
+namespace endure {
+
+/// Cost vector c(Phi) = (Z0, Z1, Q, W) in expected I/Os per operation.
+struct CostVector {
+  double z0 = 0.0;  ///< empty point query cost Z0(Phi)
+  double z1 = 0.0;  ///< non-empty point query cost Z1(Phi)
+  double q = 0.0;   ///< range query cost Q(Phi)
+  double w = 0.0;   ///< write cost W(Phi)
+
+  double operator[](int i) const;
+  std::vector<double> AsVector() const { return {z0, z1, q, w}; }
+
+  /// Workload-weighted expected cost C(w, Phi) = w . c(Phi)  — Eq. (2).
+  double Weighted(const Workload& wl) const {
+    return wl.z0 * z0 + wl.z1 * z1 + wl.q * q + wl.w * w;
+  }
+};
+
+/// Stateless evaluator of the closed-form cost model for one SystemConfig.
+class CostModel {
+ public:
+  /// Creates a model over the given (validated) system parameters.
+  explicit CostModel(const SystemConfig& cfg);
+
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Raw (continuous) level count log_T(N*E/m_buf + 1), clamped to >= 1.
+  double LevelsReal(const Tuning& t) const;
+
+  /// Number of disk levels L(T) — Eq. (1) with the ceiling applied.
+  int Levels(const Tuning& t) const;
+
+  /// The level count the cost expressions use: Levels() under
+  /// LevelPolicy::kInteger, LevelsReal() under kFractional.
+  double EffectiveLevels(const Tuning& t) const;
+
+  /// Fill fraction of the fractional deepest level in [0, 1); zero under
+  /// integer level policy or when L is integral.
+  double PartialLevelFill(const Tuning& t) const;
+
+  /// Monkey false-positive rate of the level-`level` filter (1-based),
+  /// clamped to [0, 1] — Eq. (11).
+  double FalsePositiveRate(const Tuning& t, int level) const;
+
+  /// Entries in a tree completely full up to L(T) levels — Eq. (13).
+  double FullTreeEntries(const Tuning& t) const;
+
+  /// Expected empty point-query cost Z0(Phi) — Eq. (12).
+  double EmptyPointQueryCost(const Tuning& t) const;
+
+  /// Expected non-empty point-query cost Z1(Phi) — Eq. (14).
+  double NonEmptyPointQueryCost(const Tuning& t) const;
+
+  /// Expected range-query cost Q(Phi) — Eq. (15).
+  double RangeQueryCost(const Tuning& t) const;
+
+  /// Amortized write cost W(Phi) — Eq. (16).
+  double WriteCost(const Tuning& t) const;
+
+  /// Full cost vector c(Phi).
+  CostVector Costs(const Tuning& t) const;
+
+  /// Expected workload cost C(w, Phi) — Eq. (2).
+  double Cost(const Workload& wl, const Tuning& t) const;
+
+  /// Throughput = 1 / C(w, Phi) (the paper's Section 7.1 definition).
+  double Throughput(const Workload& wl, const Tuning& t) const;
+
+ private:
+  /// Per-level quantities shared by the cost expressions.
+  struct LevelProfile {
+    double fpr = 0.0;        ///< Monkey false-positive rate f_i
+    double weight = 1.0;     ///< fill weight (fractional deepest level)
+    double population = 0.0; ///< probability the match lives here
+    double runs = 1.0;       ///< resident runs (1 leveled, T-1 tiered)
+    double merge = 0.0;      ///< per-entry merges ((T-1)/2 or (T-1)/T)
+  };
+
+  /// Builds the per-level profile for a tuning (policy-aware).
+  std::vector<LevelProfile> Profile(const Tuning& t) const;
+
+  /// Eq. (11) evaluated at (possibly fractional) level and total levels.
+  double FalsePositiveRateAt(const Tuning& t, double level,
+                             double total_levels) const;
+
+  SystemConfig cfg_;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_COST_MODEL_H_

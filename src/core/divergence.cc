@@ -1,0 +1,104 @@
+#include "core/divergence.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure {
+
+double PhiDivergence::Divergence(const std::vector<double>& p,
+                                 const std::vector<double>& q) const {
+  ENDURE_CHECK(p.size() == q.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    ENDURE_DCHECK(p[i] >= 0.0 && q[i] >= 0.0);
+    if (q[i] == 0.0) {
+      if (p[i] == 0.0) continue;
+      // w_i phi(p_i / w_i) -> p_i * lim phi(t)/t; infinite for the
+      // super-linear generators used here, finite slope for TV.
+      return std::numeric_limits<double>::infinity();
+    }
+    sum += q[i] * Phi(p[i] / q[i]);
+  }
+  return sum;
+}
+
+double PhiDivergence::Divergence(const Workload& p, const Workload& q) const {
+  const auto pa = p.AsArray();
+  const auto qa = q.AsArray();
+  return Divergence(std::vector<double>(pa.begin(), pa.end()),
+                    std::vector<double>(qa.begin(), qa.end()));
+}
+
+// ---------------------------------------------------------------------- KL
+
+double KlGenerator::Phi(double t) const {
+  ENDURE_DCHECK(t >= 0.0);
+  if (t == 0.0) return 1.0;
+  return t * std::log(t) - t + 1.0;
+}
+
+double KlGenerator::Conjugate(double s) const { return std::expm1(s); }
+
+// -------------------------------------------------------- modified chi^2
+
+double ChiSquareGenerator::Phi(double t) const {
+  ENDURE_DCHECK(t >= 0.0);
+  return (t - 1.0) * (t - 1.0);
+}
+
+double ChiSquareGenerator::Conjugate(double s) const {
+  if (s < -2.0) return -1.0;
+  return s + s * s / 4.0;
+}
+
+// ------------------------------------------------------- total variation
+
+double TotalVariationGenerator::Phi(double t) const {
+  ENDURE_DCHECK(t >= 0.0);
+  return std::fabs(t - 1.0);
+}
+
+double TotalVariationGenerator::Conjugate(double s) const {
+  if (s > 1.0) return std::numeric_limits<double>::infinity();
+  return std::max(-1.0, s);
+}
+
+// ------------------------------------------------------------- Hellinger
+
+double HellingerGenerator::Phi(double t) const {
+  ENDURE_DCHECK(t >= 0.0);
+  const double r = std::sqrt(t) - 1.0;
+  return r * r;
+}
+
+double HellingerGenerator::Conjugate(double s) const {
+  if (s >= 1.0) return std::numeric_limits<double>::infinity();
+  return s / (1.0 - s);
+}
+
+// -------------------------------------------------------------- factory
+
+std::unique_ptr<PhiDivergence> MakeDivergence(DivergenceKind kind) {
+  switch (kind) {
+    case DivergenceKind::kKl:
+      return std::make_unique<KlGenerator>();
+    case DivergenceKind::kChiSquare:
+      return std::make_unique<ChiSquareGenerator>();
+    case DivergenceKind::kTotalVariation:
+      return std::make_unique<TotalVariationGenerator>();
+    case DivergenceKind::kHellinger:
+      return std::make_unique<HellingerGenerator>();
+  }
+  ENDURE_CHECK_MSG(false, "unknown divergence kind");
+  return nullptr;
+}
+
+const std::vector<DivergenceKind>& AllDivergenceKinds() {
+  static const std::vector<DivergenceKind> kAll = {
+      DivergenceKind::kKl, DivergenceKind::kChiSquare,
+      DivergenceKind::kTotalVariation, DivergenceKind::kHellinger};
+  return kAll;
+}
+
+}  // namespace endure

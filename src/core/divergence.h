@@ -1,0 +1,111 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// phi-divergence family for the robust tuning problem. Section 4 of the
+// paper notes that KL is one choice among many divergence functions; the
+// Ben-Tal et al. duality the paper builds on works for any phi-divergence
+//   D_phi(p, w) = sum_i w_i phi(p_i / w_i)
+// with convex phi, phi(1) = 0, via the conjugate phi*(s) = sup_t {ts -
+// phi(t)}:
+//   max_{D_phi(p,w) <= rho} p.c
+//     = min_{lambda >= 0, eta} eta + rho*lambda
+//                              + lambda sum_i w_i phi*((c_i - eta)/lambda).
+//
+// This module provides KL, modified chi-square, total variation and
+// squared Hellinger generators; core/generalized_robust_tuner.h solves the
+// two-variable dual for any of them.
+
+#ifndef ENDURE_CORE_DIVERGENCE_H_
+#define ENDURE_CORE_DIVERGENCE_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+
+namespace endure {
+
+/// A phi-divergence generator with its convex conjugate.
+class PhiDivergence {
+ public:
+  virtual ~PhiDivergence() = default;
+
+  /// Human-readable name ("kl", "chi2", ...).
+  virtual const char* name() const = 0;
+
+  /// The generator phi(t), defined for t >= 0, convex with phi(1) = 0.
+  virtual double Phi(double t) const = 0;
+
+  /// The conjugate phi*(s); returns +infinity outside its domain.
+  virtual double Conjugate(double s) const = 0;
+
+  /// Supremum of the conjugate's effective domain (the dual requires
+  /// (c_i - eta)/lambda < this); +infinity when unrestricted (e.g. KL).
+  virtual double ConjugateDomainSup() const {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// D_phi(p, w) = sum_i w_i phi(p_i / w_i). Zero-weight components with
+  /// positive p yield +infinity (KL-like) or the generator's slope bound.
+  double Divergence(const std::vector<double>& p,
+                    const std::vector<double>& q) const;
+
+  /// Divergence between workloads.
+  double Divergence(const Workload& p, const Workload& q) const;
+};
+
+/// Kullback-Leibler: phi(t) = t log t - t + 1, phi*(s) = e^s - 1.
+class KlGenerator final : public PhiDivergence {
+ public:
+  const char* name() const override { return "kl"; }
+  double Phi(double t) const override;
+  double Conjugate(double s) const override;
+};
+
+/// Modified chi-square: phi(t) = (t - 1)^2,
+/// phi*(s) = s + s^2/4 for s >= -2, else -1.
+class ChiSquareGenerator final : public PhiDivergence {
+ public:
+  const char* name() const override { return "chi2"; }
+  double Phi(double t) const override;
+  double Conjugate(double s) const override;
+};
+
+/// Total variation: phi(t) = |t - 1|,
+/// phi*(s) = max(-1, s) for s <= 1, +infinity beyond.
+class TotalVariationGenerator final : public PhiDivergence {
+ public:
+  const char* name() const override { return "tv"; }
+  double Phi(double t) const override;
+  double Conjugate(double s) const override;
+  double ConjugateDomainSup() const override { return 1.0; }
+};
+
+/// Squared Hellinger: phi(t) = (sqrt(t) - 1)^2,
+/// phi*(s) = s / (1 - s) for s < 1, +infinity beyond.
+class HellingerGenerator final : public PhiDivergence {
+ public:
+  const char* name() const override { return "hellinger"; }
+  double Phi(double t) const override;
+  double Conjugate(double s) const override;
+  double ConjugateDomainSup() const override { return 1.0; }
+};
+
+/// Supported generators, for factory lookup and sweeps.
+enum class DivergenceKind {
+  kKl = 0,
+  kChiSquare = 1,
+  kTotalVariation = 2,
+  kHellinger = 3,
+};
+
+/// Constructs a generator by kind.
+std::unique_ptr<PhiDivergence> MakeDivergence(DivergenceKind kind);
+
+/// All kinds (for parameterized tests and ablation sweeps).
+const std::vector<DivergenceKind>& AllDivergenceKinds();
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_DIVERGENCE_H_

@@ -1,0 +1,31 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Umbrella header for the Endure core library: include this to get the
+// workload/tuning types, the analytical cost model, both tuners, the
+// evaluation metrics and the rho advisor.
+//
+// Quickstart:
+//
+//   endure::SystemConfig cfg;                    // paper defaults
+//   endure::CostModel model(cfg);
+//   endure::Workload expected(0.33, 0.33, 0.33, 0.01);
+//   endure::RobustTuner tuner(model);
+//   endure::TuningResult result = tuner.Tune(expected, /*rho=*/1.0);
+//   // result.tuning -> {policy, size_ratio T, filter bits/entry h}
+
+#ifndef ENDURE_CORE_ENDURE_H_
+#define ENDURE_CORE_ENDURE_H_
+
+#include "core/cost_model.h"                // IWYU pragma: export
+#include "core/divergence.h"                // IWYU pragma: export
+#include "core/generalized_robust_tuner.h"  // IWYU pragma: export
+#include "core/kl.h"                        // IWYU pragma: export
+#include "core/metrics.h"                   // IWYU pragma: export
+#include "core/nominal_tuner.h"             // IWYU pragma: export
+#include "core/rho_advisor.h"               // IWYU pragma: export
+#include "core/robust_tuner.h"              // IWYU pragma: export
+#include "core/system_config.h"             // IWYU pragma: export
+#include "core/tuning.h"                    // IWYU pragma: export
+#include "core/workload.h"                  // IWYU pragma: export
+
+#endif  // ENDURE_CORE_ENDURE_H_

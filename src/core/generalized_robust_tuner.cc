@@ -1,0 +1,152 @@
+#include "core/generalized_robust_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/multistart.h"
+#include "util/env.h"
+#include "util/macros.h"
+
+namespace endure {
+namespace {
+
+constexpr double kRhoEpsilon = 1e-12;
+
+}  // namespace
+
+GeneralizedRobustTuner::GeneralizedRobustTuner(const CostModel& model,
+                                               DivergenceKind divergence,
+                                               TunerOptions opts)
+    : model_(model),
+      kind_(divergence),
+      divergence_(MakeDivergence(divergence)),
+      opts_(std::move(opts)) {}
+
+GeneralDualSolution GeneralizedRobustTuner::SolveInner(
+    const Workload& w, double rho, const Tuning& t) const {
+  ENDURE_CHECK_MSG(w.Validate().ok(), "invalid workload");
+  ENDURE_CHECK_MSG(rho >= 0.0, "rho must be nonnegative");
+  const auto warr = w.AsArray();
+  const std::vector<double> wv(warr.begin(), warr.end());
+  const std::vector<double> cv = model_.Costs(t).AsVector();
+  const double nominal = model_.Cost(w, t);
+
+  GeneralDualSolution sol;
+  if (rho <= kRhoEpsilon) {
+    sol.value = nominal;
+    sol.lambda = std::numeric_limits<double>::infinity();
+    sol.eta = nominal;
+    return sol;
+  }
+
+  double c_min = cv[0], c_max = cv[0];
+  for (double ci : cv) {
+    c_min = std::min(c_min, ci);
+    c_max = std::max(c_max, ci);
+  }
+  const double span = c_max - c_min;
+  if (span < 1e-15) {
+    sol.value = nominal;
+    sol.lambda = std::numeric_limits<double>::infinity();
+    sol.eta = nominal;
+    return sol;
+  }
+
+  const double s_sup = divergence_->ConjugateDomainSup();
+
+  // g(lambda, eta); +penalty outside the conjugate's domain so NM stays
+  // feasible without explicit constraints.
+  auto g = [&](const std::vector<double>& x) {
+    const double lambda = std::exp(x[0]);
+    const double eta = x[1];
+    double sum = 0.0;
+    for (size_t i = 0; i < wv.size(); ++i) {
+      if (wv[i] == 0.0) continue;
+      const double s = (cv[i] - eta) / lambda;
+      if (s >= s_sup - 1e-12) {
+        return 1e9 * (1.0 + s - s_sup) + 1e9;
+      }
+      sum += wv[i] * divergence_->Conjugate(s);
+    }
+    return eta + rho * lambda + lambda * sum;
+  };
+
+  solver::Bounds bounds;
+  bounds.lo = {std::log(1e-9 * std::max(1.0, span)),
+               c_min - 4.0 * span - 1.0};
+  bounds.hi = {std::log(1e6 * std::max(1.0, span) / std::max(rho, 1e-3)),
+               c_max + span + 1.0};
+
+  solver::MultiStartOptions ms = opts_.search;
+  ms.grid_points_per_dim = 12;
+  ms.grid_seeds = 5;
+  ms.random_starts = 5;
+  const solver::Result r = solver::MultiStartMinimize(g, bounds, ms);
+
+  sol.lambda = std::exp(r.x[0]);
+  sol.eta = r.x[1];
+  // The ball contains w and sits inside the simplex, so the true value
+  // lies in [nominal, c_max]; clamp away solver round-off.
+  sol.value = std::clamp(r.fx, nominal, c_max);
+  return sol;
+}
+
+double GeneralizedRobustTuner::RobustCost(const Workload& w, double rho,
+                                          const Tuning& t) const {
+  return SolveInner(w, rho, t).value;
+}
+
+TuningResult GeneralizedRobustTuner::TunePolicy(const Workload& w,
+                                                double rho,
+                                                Policy policy) const {
+  const SystemConfig& cfg = model_.config();
+  WallTimer timer;
+
+  solver::Bounds bounds;
+  bounds.lo = {std::log(cfg.min_size_ratio), 0.0};
+  bounds.hi = {std::log(cfg.max_size_ratio),
+               cfg.max_filter_bits_per_entry()};
+
+  auto objective = [&](const std::vector<double>& x) {
+    Tuning t(policy, std::exp(x[0]), x[1]);
+    return RobustCost(w, rho, t);
+  };
+
+  // The inner problem is itself a 2-D optimization, so trim the outer
+  // search budget relative to the KL fast path.
+  solver::MultiStartOptions ms = opts_.search;
+  ms.grid_points_per_dim = 10;
+  ms.grid_seeds = 4;
+  ms.random_starts = 2;
+  const solver::Result r = solver::MultiStartMinimize(objective, bounds, ms);
+
+  TuningResult out;
+  out.tuning = Tuning(policy,
+                      std::clamp(std::exp(r.x[0]), cfg.min_size_ratio,
+                                 cfg.max_size_ratio),
+                      r.x[1]);
+  out.objective = r.fx;
+  out.evaluations = r.evaluations;
+  out.solve_seconds = timer.Seconds();
+  return out;
+}
+
+TuningResult GeneralizedRobustTuner::Tune(const Workload& w,
+                                          double rho) const {
+  ENDURE_CHECK_MSG(!opts_.policies.empty(), "no policies to search");
+  TuningResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  int evals = 0;
+  double seconds = 0.0;
+  for (Policy policy : opts_.policies) {
+    TuningResult r = TunePolicy(w, rho, policy);
+    evals += r.evaluations;
+    seconds += r.solve_seconds;
+    if (r.objective < best.objective) best = std::move(r);
+  }
+  best.evaluations = evals;
+  best.solve_seconds = seconds;
+  return best;
+}
+
+}  // namespace endure

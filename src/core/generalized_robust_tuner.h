@@ -1,0 +1,62 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Robust tuning under any phi-divergence (the generalization Section 4 of
+// the paper alludes to). Unlike the KL case — where eta eliminates
+// analytically and the dual collapses to 1-D — the general dual
+//   g(lambda, eta) = eta + rho*lambda
+//                    + lambda * sum_i w_i phi*((c_i - eta)/lambda)
+// is minimized jointly over (lambda, eta). g is jointly convex, so a
+// multi-start Nelder-Mead over (log lambda, eta) with domain guards is
+// reliable; the KL specialization is cross-checked against RobustTuner in
+// tests.
+
+#ifndef ENDURE_CORE_GENERALIZED_ROBUST_TUNER_H_
+#define ENDURE_CORE_GENERALIZED_ROBUST_TUNER_H_
+
+#include <memory>
+
+#include "core/divergence.h"
+#include "core/nominal_tuner.h"
+
+namespace endure {
+
+/// Inner-problem solution for a general phi-divergence.
+struct GeneralDualSolution {
+  double value = 0.0;   ///< worst-case expected cost over the phi ball
+  double lambda = 0.0;  ///< optimal multiplier
+  double eta = 0.0;     ///< optimal shift
+};
+
+/// Robust tuner parameterized by the divergence generator.
+class GeneralizedRobustTuner {
+ public:
+  /// `divergence` selects the uncertainty-ball geometry.
+  GeneralizedRobustTuner(const CostModel& model, DivergenceKind divergence,
+                         TunerOptions opts = {});
+
+  /// Worst-case expected cost of `t` over {p : D_phi(p, w) <= rho}.
+  GeneralDualSolution SolveInner(const Workload& w, double rho,
+                                 const Tuning& t) const;
+
+  /// Robust objective value only.
+  double RobustCost(const Workload& w, double rho, const Tuning& t) const;
+
+  /// Full robust tuning across both classic policies.
+  TuningResult Tune(const Workload& w, double rho) const;
+
+  /// Robust tuning restricted to one policy.
+  TuningResult TunePolicy(const Workload& w, double rho, Policy policy) const;
+
+  DivergenceKind kind() const { return kind_; }
+  const PhiDivergence& divergence() const { return *divergence_; }
+
+ private:
+  const CostModel& model_;
+  DivergenceKind kind_;
+  std::unique_ptr<PhiDivergence> divergence_;
+  TunerOptions opts_;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_GENERALIZED_ROBUST_TUNER_H_

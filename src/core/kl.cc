@@ -1,0 +1,78 @@
+#include "core/kl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace endure {
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  ENDURE_CHECK(p.size() == q.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    ENDURE_DCHECK(p[i] >= 0.0 && q[i] >= 0.0);
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) return std::numeric_limits<double>::infinity();
+    sum += p[i] * std::log(p[i] / q[i]);
+  }
+  return sum;
+}
+
+double KlDivergence(const Workload& p, const Workload& q) {
+  const auto pa = p.AsArray();
+  const auto qa = q.AsArray();
+  return KlDivergence(std::vector<double>(pa.begin(), pa.end()),
+                      std::vector<double>(qa.begin(), qa.end()));
+}
+
+double PhiKl(double t) {
+  ENDURE_DCHECK(t >= 0.0);
+  if (t == 0.0) return 1.0;  // limit of t log t - t + 1 as t -> 0+
+  return t * std::log(t) - t + 1.0;
+}
+
+double PhiKlConjugate(double s) { return std::expm1(s); }
+
+double LogSumExpTilt(const std::vector<double>& w, const std::vector<double>& c,
+                     double lambda) {
+  ENDURE_CHECK(w.size() == c.size());
+  ENDURE_CHECK(lambda > 0.0);
+  double max_arg = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i] > 0.0) max_arg = std::max(max_arg, c[i] / lambda);
+  }
+  ENDURE_CHECK_MSG(std::isfinite(max_arg),
+                   "LogSumExpTilt requires some positive weight");
+  double sum = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i] > 0.0) sum += w[i] * std::exp(c[i] / lambda - max_arg);
+  }
+  return max_arg + std::log(sum);
+}
+
+std::vector<double> TiltedDistribution(const std::vector<double>& w,
+                                       const std::vector<double>& c,
+                                       double lambda) {
+  ENDURE_CHECK(w.size() == c.size());
+  ENDURE_CHECK(lambda > 0.0);
+  double max_arg = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i] > 0.0) max_arg = std::max(max_arg, c[i] / lambda);
+  }
+  std::vector<double> p(w.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i] > 0.0) {
+      p[i] = w[i] * std::exp(c[i] / lambda - max_arg);
+      total += p[i];
+    }
+  }
+  ENDURE_CHECK(total > 0.0);
+  for (double& pi : p) pi /= total;
+  return p;
+}
+
+}  // namespace endure

@@ -1,0 +1,47 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Kullback-Leibler divergence (Definition 1) and its convex-conjugate
+// machinery used by the robust dual (Section 4): for phi_KL(t) =
+// t log t - t + 1, the conjugate is phi*_KL(s) = e^s - 1, and the support
+// function of the KL ball admits the closed form
+//   max_{I_KL(p,w)<=rho} p.c = min_{lambda>0} lambda*(rho + log sum_i w_i
+//   e^{c_i/lambda}).
+
+#ifndef ENDURE_CORE_KL_H_
+#define ENDURE_CORE_KL_H_
+
+#include <vector>
+
+#include "core/workload.h"
+
+namespace endure {
+
+/// I_KL(p, q) = sum_i p_i log(p_i / q_i). Zero p_i components contribute 0;
+/// a positive p_i over a zero q_i yields +infinity. Inputs need not be
+/// normalized (the paper's definition is over nonnegative vectors).
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// KL divergence between two workloads.
+double KlDivergence(const Workload& p, const Workload& q);
+
+/// phi_KL(t) = t log t - t + 1 (the divergence generator; phi(1) = 0).
+double PhiKl(double t);
+
+/// Conjugate phi*_KL(s) = e^s - 1.
+double PhiKlConjugate(double s);
+
+/// log(sum_i w_i * exp(c_i / lambda)) computed with the log-sum-exp trick;
+/// requires lambda > 0 and at least one w_i > 0.
+double LogSumExpTilt(const std::vector<double>& w, const std::vector<double>& c,
+                     double lambda);
+
+/// The exponentially tilted distribution p_i proportional to
+/// w_i * exp(c_i / lambda) — the worst-case workload attaining the support
+/// function at a given lambda.
+std::vector<double> TiltedDistribution(const std::vector<double>& w,
+                                       const std::vector<double>& c,
+                                       double lambda);
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_KL_H_

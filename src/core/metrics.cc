@@ -1,0 +1,48 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace endure {
+
+double DeltaThroughput(const CostModel& model, const Workload& w,
+                       const Tuning& phi1, const Tuning& phi2) {
+  const double c1 = model.Cost(w, phi1);
+  const double c2 = model.Cost(w, phi2);
+  ENDURE_DCHECK(c1 > 0.0 && c2 > 0.0);
+  // (1/c2 - 1/c1) / (1/c1) == c1/c2 - 1.
+  return c1 / c2 - 1.0;
+}
+
+double ThroughputRange(const CostModel& model,
+                       const std::vector<Workload>& benchmark,
+                       const Tuning& phi) {
+  ENDURE_CHECK(!benchmark.empty());
+  double best = -1.0, worst = -1.0;
+  bool first = true;
+  for (const Workload& w : benchmark) {
+    const double tput = model.Throughput(w, phi);
+    if (first) {
+      best = worst = tput;
+      first = false;
+    } else {
+      best = std::max(best, tput);
+      worst = std::min(worst, tput);
+    }
+  }
+  return best - worst;
+}
+
+std::vector<double> Throughputs(const CostModel& model,
+                                const std::vector<Workload>& benchmark,
+                                const Tuning& phi) {
+  std::vector<double> out;
+  out.reserve(benchmark.size());
+  for (const Workload& w : benchmark) {
+    out.push_back(model.Throughput(w, phi));
+  }
+  return out;
+}
+
+}  // namespace endure

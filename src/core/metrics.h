@@ -1,0 +1,37 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Evaluation metrics of Section 7.1: normalized delta throughput (Delta)
+// comparing two tunings on one workload, and throughput range (Theta)
+// summarizing a single tuning's best/worst spread over a benchmark set.
+
+#ifndef ENDURE_CORE_METRICS_H_
+#define ENDURE_CORE_METRICS_H_
+
+#include <vector>
+
+#include "core/cost_model.h"
+
+namespace endure {
+
+/// Normalized delta throughput
+///   Delta_w(Phi1, Phi2) = (1/C(w,Phi2) - 1/C(w,Phi1)) / (1/C(w,Phi1)),
+/// positive iff Phi2 outperforms Phi1 on w.
+double DeltaThroughput(const CostModel& model, const Workload& w,
+                       const Tuning& phi1, const Tuning& phi2);
+
+/// Throughput range
+///   Theta_B(Phi) = max_{w0,w1 in B} (1/C(w0,Phi) - 1/C(w1,Phi)),
+/// i.e. best minus worst throughput over the benchmark set. Smaller means
+/// more consistent performance.
+double ThroughputRange(const CostModel& model,
+                       const std::vector<Workload>& benchmark,
+                       const Tuning& phi);
+
+/// All throughputs 1/C(w, Phi) over a benchmark set (for histograms).
+std::vector<double> Throughputs(const CostModel& model,
+                                const std::vector<Workload>& benchmark,
+                                const Tuning& phi);
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_METRICS_H_

@@ -1,0 +1,63 @@
+#include "core/nominal_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/env.h"
+#include "util/macros.h"
+
+namespace endure {
+
+NominalTuner::NominalTuner(const CostModel& model, TunerOptions opts)
+    : model_(model), opts_(std::move(opts)) {}
+
+TuningResult NominalTuner::TunePolicy(const Workload& w, Policy policy) const {
+  ENDURE_CHECK_MSG(w.Validate().ok(), "invalid workload");
+  const SystemConfig& cfg = model_.config();
+  WallTimer timer;
+
+  // Search log(T): the cost surface's structure (level-count boundaries at
+  // powers of T) is geometric, so log spacing resolves the small-T region
+  // where write-averse optima live.
+  solver::Bounds bounds;
+  bounds.lo = {std::log(cfg.min_size_ratio), 0.0};
+  bounds.hi = {std::log(cfg.max_size_ratio),
+               cfg.max_filter_bits_per_entry()};
+
+  auto objective = [&](const std::vector<double>& x) {
+    Tuning t(policy, std::exp(x[0]), x[1]);
+    return model_.Cost(w, t);
+  };
+
+  solver::Result r = solver::MultiStartMinimize(objective, bounds,
+                                                opts_.search);
+  TuningResult out;
+  // exp(log(T)) can overshoot the cap by an ulp; clamp back into range.
+  out.tuning = Tuning(policy,
+                      std::clamp(std::exp(r.x[0]), cfg.min_size_ratio,
+                                 cfg.max_size_ratio),
+                      r.x[1]);
+  out.objective = r.fx;
+  out.evaluations = r.evaluations;
+  out.solve_seconds = timer.Seconds();
+  return out;
+}
+
+TuningResult NominalTuner::Tune(const Workload& w) const {
+  ENDURE_CHECK_MSG(!opts_.policies.empty(), "no policies to search");
+  TuningResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  int evals = 0;
+  double seconds = 0.0;
+  for (Policy policy : opts_.policies) {
+    TuningResult r = TunePolicy(w, policy);
+    evals += r.evaluations;
+    seconds += r.solve_seconds;
+    if (r.objective < best.objective) best = std::move(r);
+  }
+  best.evaluations = evals;
+  best.solve_seconds = seconds;
+  return best;
+}
+
+}  // namespace endure

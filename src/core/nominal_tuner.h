@@ -1,0 +1,61 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The Nominal Tuning problem (Problem 1): Phi_N = argmin_Phi C(w, Phi) for
+// a fixed expected workload w. This is the classical tuning paradigm
+// (Monkey/Dostoevsky-style co-tuning of T, memory split, and policy) that
+// Endure's robust tuner is compared against.
+
+#ifndef ENDURE_CORE_NOMINAL_TUNER_H_
+#define ENDURE_CORE_NOMINAL_TUNER_H_
+
+#include "core/cost_model.h"
+#include "solver/multistart.h"
+
+namespace endure {
+
+/// Outcome of a tuning run (shared with the robust tuner).
+struct TuningResult {
+  Tuning tuning;           ///< the recommended configuration Phi
+  double objective = 0.0;  ///< minimized objective value
+  int evaluations = 0;     ///< total objective evaluations
+  double solve_seconds = 0.0;  ///< wall-clock solver time
+};
+
+/// Options controlling the continuous search over (T, h) per policy.
+struct TunerOptions {
+  solver::MultiStartOptions search;  ///< global search configuration
+
+  /// Policies Tune() compares. The paper's space is {leveling, tiering};
+  /// add Policy::kLazyLeveling to co-tune the Dostoevsky hybrid.
+  std::vector<Policy> policies = {Policy::kLeveling, Policy::kTiering};
+
+  TunerOptions() {
+    search.grid_points_per_dim = 16;
+    search.grid_seeds = 6;
+    search.random_starts = 4;
+    search.nm.max_iter = 600;
+    search.nm.f_tol = 1e-12;
+    search.nm.x_tol = 1e-9;
+  }
+};
+
+/// Solves Problem 1 over both compaction policies.
+class NominalTuner {
+ public:
+  /// The tuner borrows no state from the model beyond the SystemConfig.
+  explicit NominalTuner(const CostModel& model, TunerOptions opts = {});
+
+  /// Returns the cost-minimizing tuning for `w` across both policies.
+  TuningResult Tune(const Workload& w) const;
+
+  /// Returns the cost-minimizing tuning for `w` restricted to `policy`.
+  TuningResult TunePolicy(const Workload& w, Policy policy) const;
+
+ private:
+  const CostModel& model_;
+  TunerOptions opts_;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_NOMINAL_TUNER_H_

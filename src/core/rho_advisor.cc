@@ -1,0 +1,68 @@
+#include "core/rho_advisor.h"
+
+#include <algorithm>
+
+#include "core/kl.h"
+#include "util/macros.h"
+#include "util/stats.h"
+
+namespace endure {
+namespace {
+
+// Mixes a little uniform mass into a workload so KL stays finite when a
+// class has zero observed share.
+Workload Smooth(const Workload& w, double eps) {
+  Workload out;
+  for (int i = 0; i < kNumQueryClasses; ++i) {
+    out[i] = (w[i] + eps) / (1.0 + kNumQueryClasses * eps);
+  }
+  return out;
+}
+
+}  // namespace
+
+RhoEstimate EstimateRho(const std::vector<Workload>& history,
+                        const Workload& expected, double smoothing) {
+  ENDURE_CHECK_MSG(!history.empty(), "empty workload history");
+  const Workload exp_s = Smooth(expected, smoothing);
+
+  RhoEstimate est;
+  RunningStats pairwise;
+  for (size_t i = 0; i < history.size(); ++i) {
+    for (size_t j = 0; j < history.size(); ++j) {
+      if (i == j) continue;
+      pairwise.Add(KlDivergence(Smooth(history[i], smoothing),
+                                Smooth(history[j], smoothing)));
+    }
+  }
+  est.mean_pairwise = pairwise.count() > 0 ? pairwise.mean() : 0.0;
+
+  std::vector<double> to_expected;
+  to_expected.reserve(history.size());
+  for (const Workload& h : history) {
+    to_expected.push_back(KlDivergence(Smooth(h, smoothing), exp_s));
+  }
+  est.mean_to_expected = Mean(to_expected);
+  est.max_to_expected =
+      *std::max_element(to_expected.begin(), to_expected.end());
+  est.p90_to_expected = Percentile(to_expected, 90.0);
+  return est;
+}
+
+double RecommendRho(const std::vector<Workload>& history, double smoothing) {
+  return EstimateRho(history, MeanWorkload(history), smoothing).mean_pairwise;
+}
+
+Workload MeanWorkload(const std::vector<Workload>& history) {
+  ENDURE_CHECK_MSG(!history.empty(), "empty workload history");
+  Workload mean(0.0, 0.0, 0.0, 0.0);
+  for (const Workload& h : history) {
+    for (int i = 0; i < kNumQueryClasses; ++i) mean[i] += h[i];
+  }
+  for (int i = 0; i < kNumQueryClasses; ++i) {
+    mean[i] /= static_cast<double>(history.size());
+  }
+  return mean.Normalized();
+}
+
+}  // namespace endure

@@ -1,0 +1,40 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// "How to Choose rho" (Section 7.3): the paper advises using the mean
+// KL-divergence between historically observed workloads as the uncertainty
+// radius. This module implements that estimator plus variants.
+
+#ifndef ENDURE_CORE_RHO_ADVISOR_H_
+#define ENDURE_CORE_RHO_ADVISOR_H_
+
+#include <vector>
+
+#include "core/workload.h"
+
+namespace endure {
+
+/// Summary of an uncertainty-radius estimation over workload history.
+struct RhoEstimate {
+  double mean_pairwise = 0.0;   ///< mean I_KL over ordered pairs (i != j)
+  double mean_to_expected = 0.0;  ///< mean I_KL(history_i, expected)
+  double max_to_expected = 0.0;   ///< max I_KL(history_i, expected)
+  double p90_to_expected = 0.0;   ///< 90th percentile of the above
+};
+
+/// Estimates rho from observed history. `expected` is typically the mean
+/// workload or the operator's declared expectation. Workloads with zero
+/// components are smoothed with `smoothing` mass (paper workloads always
+/// keep >= 1% per class for the same reason — finite KL).
+RhoEstimate EstimateRho(const std::vector<Workload>& history,
+                        const Workload& expected, double smoothing = 1e-4);
+
+/// The paper's headline recommendation: mean pairwise KL over history.
+double RecommendRho(const std::vector<Workload>& history,
+                    double smoothing = 1e-4);
+
+/// Component-wise mean of a set of workloads (renormalized).
+Workload MeanWorkload(const std::vector<Workload>& history);
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_RHO_ADVISOR_H_

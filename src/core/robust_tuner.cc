@@ -1,0 +1,187 @@
+#include "core/robust_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/brent.h"
+#include "util/env.h"
+#include "util/macros.h"
+
+namespace endure {
+namespace {
+
+// Below this radius the ball degenerates to {w} and the robust problem is
+// the nominal one.
+constexpr double kRhoEpsilon = 1e-12;
+
+// Search window for log(lambda) in the joint-dual cross-check.
+constexpr double kLogLambdaLo = -25.0;
+constexpr double kLogLambdaHi = 25.0;
+
+// g(lambda) = lambda * (rho + log sum_i w_i e^{c_i / lambda}) — the 1-D dual
+// after analytic elimination of eta.
+double DualValue(const std::vector<double>& w, const std::vector<double>& c,
+                 double rho, double lambda) {
+  return lambda * (rho + LogSumExpTilt(w, c, lambda));
+}
+
+}  // namespace
+
+RobustTuner::RobustTuner(const CostModel& model, TunerOptions opts)
+    : model_(model), opts_(std::move(opts)) {}
+
+DualSolution RobustTuner::SolveInner(const Workload& w, double rho,
+                                     const Tuning& t) const {
+  ENDURE_CHECK_MSG(w.Validate().ok(), "invalid workload");
+  ENDURE_CHECK_MSG(rho >= 0.0, "rho must be nonnegative");
+  const auto warr = w.AsArray();
+  const std::vector<double> wv(warr.begin(), warr.end());
+  const std::vector<double> cv = model_.Costs(t).AsVector();
+
+  DualSolution sol;
+  const double nominal = model_.Cost(w, t);
+  if (rho <= kRhoEpsilon) {
+    sol.value = nominal;
+    sol.lambda = std::numeric_limits<double>::infinity();
+    sol.eta = nominal;
+    sol.worst_case = w;
+    return sol;
+  }
+
+  double c_min = cv[0], c_max = cv[0];
+  for (double ci : cv) {
+    c_min = std::min(c_min, ci);
+    c_max = std::max(c_max, ci);
+  }
+  if (c_max - c_min < 1e-15) {
+    // All query classes cost the same: every workload in the ball has the
+    // same expected cost.
+    sol.value = nominal;
+    sol.lambda = std::numeric_limits<double>::infinity();
+    sol.eta = nominal;
+    sol.worst_case = w;
+    return sol;
+  }
+
+  // Minimize g over lambda in log space. g is convex in lambda, hence
+  // unimodal in u = log(lambda); bracket generously: the large-lambda
+  // expansion g ~ lambda*rho + mean + var/(2*lambda) puts the minimizer
+  // near sqrt(var / (2 rho)).
+  double mean = 0.0;
+  for (size_t i = 0; i < wv.size(); ++i) mean += wv[i] * cv[i];
+  double var = 0.0;
+  for (size_t i = 0; i < wv.size(); ++i) {
+    var += wv[i] * (cv[i] - mean) * (cv[i] - mean);
+  }
+  const double lambda_guess = std::sqrt(std::max(var, 1e-12) / (2.0 * rho));
+  const double u_lo = std::log(std::max(1e-12, lambda_guess * 1e-6));
+  const double u_hi = std::log(std::max({1.0, lambda_guess * 1e6,
+                                         (c_max - c_min) * 1e3 / rho}));
+
+  auto g_of_u = [&](double u) { return DualValue(wv, cv, rho, std::exp(u)); };
+  solver::BrentOptions bopts;
+  bopts.tol = 1e-12;
+  bopts.max_iter = 300;
+  solver::Result1D r = solver::BrentMinimize(g_of_u, u_lo, u_hi, bopts);
+
+  const double lambda = std::exp(r.x);
+  sol.lambda = lambda;
+  // The dual never undercuts the nominal cost (w itself is in the ball);
+  // guard against round-off at the lambda -> infinity end.
+  sol.value = std::max(r.fx, nominal);
+  sol.eta = lambda * LogSumExpTilt(wv, cv, lambda);
+  const std::vector<double> tilt = TiltedDistribution(wv, cv, lambda);
+  sol.worst_case = Workload(tilt[0], tilt[1], tilt[2], tilt[3]);
+  return sol;
+}
+
+double RobustTuner::RobustCost(const Workload& w, double rho,
+                               const Tuning& t) const {
+  return SolveInner(w, rho, t).value;
+}
+
+TuningResult RobustTuner::TunePolicy(const Workload& w, double rho,
+                                     Policy policy) const {
+  const SystemConfig& cfg = model_.config();
+  WallTimer timer;
+
+  // Log-scale T search, as in the nominal tuner.
+  solver::Bounds bounds;
+  bounds.lo = {std::log(cfg.min_size_ratio), 0.0};
+  bounds.hi = {std::log(cfg.max_size_ratio),
+               cfg.max_filter_bits_per_entry()};
+
+  auto objective = [&](const std::vector<double>& x) {
+    Tuning t(policy, std::exp(x[0]), x[1]);
+    return RobustCost(w, rho, t);
+  };
+
+  solver::Result r =
+      solver::MultiStartMinimize(objective, bounds, opts_.search);
+  TuningResult out;
+  out.tuning = Tuning(policy,
+                      std::clamp(std::exp(r.x[0]), cfg.min_size_ratio,
+                                 cfg.max_size_ratio),
+                      r.x[1]);
+  out.objective = r.fx;
+  out.evaluations = r.evaluations;
+  out.solve_seconds = timer.Seconds();
+  return out;
+}
+
+TuningResult RobustTuner::Tune(const Workload& w, double rho) const {
+  ENDURE_CHECK_MSG(!opts_.policies.empty(), "no policies to search");
+  TuningResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+  int evals = 0;
+  double seconds = 0.0;
+  for (Policy policy : opts_.policies) {
+    TuningResult r = TunePolicy(w, rho, policy);
+    evals += r.evaluations;
+    seconds += r.solve_seconds;
+    if (r.objective < best.objective) best = std::move(r);
+  }
+  best.evaluations = evals;
+  best.solve_seconds = seconds;
+  return best;
+}
+
+TuningResult RobustTuner::TuneJointDual(const Workload& w, double rho,
+                                        Policy policy) const {
+  const SystemConfig& cfg = model_.config();
+  WallTimer timer;
+  const auto warr = w.AsArray();
+  const std::vector<double> wv(warr.begin(), warr.end());
+
+  solver::Bounds bounds;
+  bounds.lo = {std::log(cfg.min_size_ratio), 0.0, kLogLambdaLo};
+  bounds.hi = {std::log(cfg.max_size_ratio),
+               cfg.max_filter_bits_per_entry(), kLogLambdaHi};
+
+  auto objective = [&](const std::vector<double>& x) {
+    Tuning t(policy, std::exp(x[0]), x[1]);
+    const std::vector<double> cv = model_.Costs(t).AsVector();
+    if (rho <= kRhoEpsilon) {
+      // Degenerate ball: the dual value approaches the nominal cost as
+      // lambda -> infinity; evaluate directly to keep the surface smooth.
+      double dot = 0.0;
+      for (size_t i = 0; i < wv.size(); ++i) dot += wv[i] * cv[i];
+      return dot;
+    }
+    return DualValue(wv, cv, rho, std::exp(x[2]));
+  };
+
+  solver::Result r =
+      solver::MultiStartMinimize(objective, bounds, opts_.search);
+  TuningResult out;
+  out.tuning = Tuning(policy,
+                      std::clamp(std::exp(r.x[0]), cfg.min_size_ratio,
+                                 cfg.max_size_ratio),
+                      r.x[1]);
+  out.objective = r.fx;
+  out.evaluations = r.evaluations;
+  out.solve_seconds = timer.Seconds();
+  return out;
+}
+
+}  // namespace endure

@@ -1,0 +1,67 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The Robust Tuning problem (Problem 2, Section 4): find
+//   Phi_R = argmin_Phi max_{I_KL(w_hat, w) <= rho} w_hat . c(Phi).
+//
+// Following Ben-Tal et al. (2013), the inner maximum equals the value of a
+// convex dual. With the KL conjugate phi*(s) = e^s - 1 the dual is
+//   g(lambda, eta) = eta + rho*lambda
+//                  + lambda * sum_i w_i * phi*((c_i - eta) / lambda),
+// and eta minimizes analytically at eta* = lambda * log sum_i w_i
+// e^{c_i/lambda}, collapsing the problem to the 1-D convex
+//   g(lambda) = lambda * (rho + log sum_i w_i e^{c_i / lambda}),
+// which we solve with Brent per candidate Phi inside a global search over
+// (T, h, pi). A joint 3-D dual search (lambda kept explicit) is provided as
+// an independent cross-check, mirroring the paper's SLSQP formulation of
+// Eq. (10).
+
+#ifndef ENDURE_CORE_ROBUST_TUNER_H_
+#define ENDURE_CORE_ROBUST_TUNER_H_
+
+#include "core/kl.h"
+#include "core/nominal_tuner.h"
+
+namespace endure {
+
+/// Diagnostics of the inner (dual) problem at a fixed tuning.
+struct DualSolution {
+  double value = 0.0;    ///< worst-case expected cost over the KL ball
+  double lambda = 0.0;   ///< optimal Lagrange multiplier (inf when rho = 0)
+  double eta = 0.0;      ///< optimal eta = lambda * log sum w_i e^{c_i/lambda}
+  Workload worst_case;   ///< the maximizing workload w_hat
+};
+
+/// Solves Problem 2.
+class RobustTuner {
+ public:
+  explicit RobustTuner(const CostModel& model, TunerOptions opts = {});
+
+  /// Worst-case expected cost of tuning `t` against the KL ball of radius
+  /// `rho` around `w` — the robust objective, via the 1-D dual.
+  DualSolution SolveInner(const Workload& w, double rho,
+                          const Tuning& t) const;
+
+  /// Robust objective value only (cheaper; used by the outer search).
+  double RobustCost(const Workload& w, double rho, const Tuning& t) const;
+
+  /// Returns the robust tuning for `w` with uncertainty radius `rho`,
+  /// searching both policies.
+  TuningResult Tune(const Workload& w, double rho) const;
+
+  /// Robust tuning restricted to one policy.
+  TuningResult TunePolicy(const Workload& w, double rho, Policy policy) const;
+
+  /// Cross-check path: solves the dual with lambda kept as an explicit
+  /// search dimension (joint Nelder-Mead over (T, h, lambda)); tests verify
+  /// it agrees with Tune().
+  TuningResult TuneJointDual(const Workload& w, double rho,
+                             Policy policy) const;
+
+ private:
+  const CostModel& model_;
+  TunerOptions opts_;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_ROBUST_TUNER_H_

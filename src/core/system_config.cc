@@ -1,0 +1,45 @@
+#include "core/system_config.h"
+
+#include <cstdio>
+
+namespace endure {
+
+Status SystemConfig::Validate() const {
+  if (num_entries < 1.0) {
+    return Status::InvalidArgument("num_entries must be >= 1");
+  }
+  if (entry_size_bits <= 0.0) {
+    return Status::InvalidArgument("entry_size_bits must be positive");
+  }
+  if (entries_per_page < 1.0) {
+    return Status::InvalidArgument("entries_per_page must be >= 1");
+  }
+  if (memory_budget_bits_per_entry <= min_buffer_bits_per_entry) {
+    return Status::InvalidArgument(
+        "memory budget must exceed the reserved buffer minimum");
+  }
+  if (range_selectivity < 0.0 || range_selectivity > 1.0) {
+    return Status::InvalidArgument("range_selectivity must be in [0, 1]");
+  }
+  if (read_write_asymmetry <= 0.0) {
+    return Status::InvalidArgument("read_write_asymmetry must be positive");
+  }
+  if (min_size_ratio < 2.0 || max_size_ratio < min_size_ratio) {
+    return Status::InvalidArgument("size-ratio bounds invalid (need 2 <= "
+                                   "min_size_ratio <= max_size_ratio)");
+  }
+  return Status::OK();
+}
+
+std::string SystemConfig::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "SystemConfig{N=%.3g, E=%.0f bits, B=%.0f, H=%.2f b/e, "
+                "S_RQ=%.3g, A_rw=%.2f, T in [%.0f,%.0f]}",
+                num_entries, entry_size_bits, entries_per_page,
+                memory_budget_bits_per_entry, range_selectivity,
+                read_write_asymmetry, min_size_ratio, max_size_ratio);
+  return buf;
+}
+
+}  // namespace endure

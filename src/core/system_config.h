@@ -1,0 +1,90 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// System (non-tunable) parameters of the LSM tree (Table 1 of the paper):
+// data size N, entry size E, page capacity B, total memory budget, range
+// selectivity and read/write asymmetry. Defaults reproduce the paper's
+// experimental configuration (10 M x 1 KB entries, 4 KB pages, 10
+// bits-per-entry memory budget, short range queries, A_rw = 1).
+
+#ifndef ENDURE_CORE_SYSTEM_CONFIG_H_
+#define ENDURE_CORE_SYSTEM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace endure {
+
+/// How the cost model treats the level count L(T) of Eq. (1).
+///
+/// kFractional keeps L continuous (no ceiling), which is what the paper's
+/// reference implementation optimizes over — the ceil creates plateaus in T
+/// whose left edges would otherwise always win (e.g. the paper's w3 nominal
+/// tuning saturates at T = 100, which is only optimal on the smooth
+/// surface). kInteger applies the ceiling, matching a deployed tree with
+/// discrete levels; system-prediction benches use this mode.
+enum class LevelPolicy {
+  kFractional = 0,
+  kInteger = 1,
+};
+
+/// Non-tunable environment parameters shared by the cost model, the tuners
+/// and the LSM engine bridge.
+struct SystemConfig {
+  /// Total number of entries in the database (N).
+  double num_entries = 1e7;
+
+  /// Entry size in bits (E). Default 8192 bits = 1 KB.
+  double entry_size_bits = 8192.0;
+
+  /// Entries per disk page (B). Default 4 (4 KB page / 1 KB entry).
+  double entries_per_page = 4.0;
+
+  /// Total memory budget in bits per entry (filters + buffer): m = N * H.
+  double memory_budget_bits_per_entry = 10.0;
+
+  /// Expected range-query selectivity S_RQ (fraction of all entries
+  /// returned). Default 2e-7: S_RQ * N / B = 0.5 pages, i.e. the paper's
+  /// "short range queries reading zero to two pages per level".
+  double range_selectivity = 2e-7;
+
+  /// Storage read/write asymmetry A_rw (write cost / read cost).
+  double read_write_asymmetry = 1.0;
+
+  /// Upper bound for the size ratio during tuning (the paper's searches cap
+  /// at 100; e.g. the w3 nominal tuning saturates at T = 100).
+  double max_size_ratio = 100.0;
+
+  /// Lower bound for the size ratio (T = 2 is the classical minimum, where
+  /// leveling and tiering coincide).
+  double min_size_ratio = 2.0;
+
+  /// Minimum bits-per-entry left for the write buffer, i.e. the tuner
+  /// searches h in [0, H - min_buffer_bits_per_entry]. Keeps m_buf > 0.
+  double min_buffer_bits_per_entry = 0.1;
+
+  /// Level-count treatment (see LevelPolicy). Fractional by default — the
+  /// paper's optimization surface.
+  LevelPolicy level_policy = LevelPolicy::kFractional;
+
+  /// Total memory in bits (m = N * H).
+  double total_memory_bits() const {
+    return num_entries * memory_budget_bits_per_entry;
+  }
+
+  /// Largest admissible h (bits per entry for Bloom filters).
+  double max_filter_bits_per_entry() const {
+    return memory_budget_bits_per_entry - min_buffer_bits_per_entry;
+  }
+
+  /// OK iff all parameters are in their legal ranges.
+  Status Validate() const;
+
+  /// One-line summary for logs.
+  std::string ToString() const;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_SYSTEM_CONFIG_H_

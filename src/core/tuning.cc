@@ -1,0 +1,38 @@
+#include "core/tuning.h"
+
+#include <cstdio>
+
+namespace endure {
+
+const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kLeveling:
+      return "leveling";
+    case Policy::kTiering:
+      return "tiering";
+    case Policy::kLazyLeveling:
+      return "lazy-leveling";
+  }
+  return "?";
+}
+
+Status Tuning::Validate(const SystemConfig& cfg) const {
+  if (size_ratio < cfg.min_size_ratio || size_ratio > cfg.max_size_ratio) {
+    return Status::InvalidArgument("size_ratio outside configured bounds");
+  }
+  if (filter_bits_per_entry < 0.0 ||
+      filter_bits_per_entry > cfg.max_filter_bits_per_entry()) {
+    return Status::InvalidArgument(
+        "filter_bits_per_entry outside [0, H - reserve]");
+  }
+  return Status::OK();
+}
+
+std::string Tuning::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Tuning{%s, T=%.1f, h=%.1f}",
+                PolicyName(policy), size_ratio, filter_bits_per_entry);
+  return buf;
+}
+
+}  // namespace endure

@@ -1,0 +1,66 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// LSM tuning configuration Phi = (T, m_filt, pi) from Section 3.1. We
+// parameterize filter memory as h = m_filt / N bits per entry (the paper's
+// figures report h); buffer memory follows as m_buf = N * (H - h).
+
+#ifndef ENDURE_CORE_TUNING_H_
+#define ENDURE_CORE_TUNING_H_
+
+#include <string>
+
+#include "core/system_config.h"
+#include "util/status.h"
+
+namespace endure {
+
+/// Compaction policy pi: leveling (eager merge, one run per level),
+/// tiering (lazy merge, up to T-1 runs per level), or lazy leveling
+/// (Dostoevsky: largest level leveled, the rest tiered — the hybrid the
+/// paper's Section 2 cites as the natural extension of the design space).
+enum class Policy {
+  kLeveling = 0,
+  kTiering = 1,
+  kLazyLeveling = 2,
+};
+
+/// "leveling" / "tiering" / "lazy-leveling".
+const char* PolicyName(Policy p);
+
+/// A tuning configuration Phi.
+struct Tuning {
+  Policy policy = Policy::kLeveling;  ///< compaction policy pi
+  double size_ratio = 10.0;           ///< size ratio T between levels
+  double filter_bits_per_entry = 5.0; ///< h = m_filt / N
+
+  Tuning() = default;
+  Tuning(Policy p, double t, double h)
+      : policy(p), size_ratio(t), filter_bits_per_entry(h) {}
+
+  /// Filter memory m_filt in bits under `cfg`.
+  double filter_memory_bits(const SystemConfig& cfg) const {
+    return filter_bits_per_entry * cfg.num_entries;
+  }
+
+  /// Buffer memory m_buf in bits under `cfg` (total minus filters).
+  double buffer_memory_bits(const SystemConfig& cfg) const {
+    return cfg.total_memory_bits() - filter_memory_bits(cfg);
+  }
+
+  /// Buffer capacity in entries under `cfg`.
+  double buffer_entries(const SystemConfig& cfg) const {
+    return buffer_memory_bits(cfg) / cfg.entry_size_bits;
+  }
+
+  /// OK iff T and h are inside the bounds allowed by `cfg`.
+  Status Validate(const SystemConfig& cfg) const;
+
+  /// e.g. "Tuning{leveling, T=11.9, h=2.3}".
+  std::string ToString() const;
+
+  bool operator==(const Tuning& other) const = default;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_TUNING_H_

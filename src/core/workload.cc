@@ -1,0 +1,93 @@
+#include "core/workload.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace endure {
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case kEmptyPointQuery:
+      return "z0";
+    case kNonEmptyPointQuery:
+      return "z1";
+    case kRangeQuery:
+      return "q";
+    case kWrite:
+      return "w";
+  }
+  return "?";
+}
+
+double Workload::operator[](int i) const {
+  switch (i) {
+    case kEmptyPointQuery:
+      return z0;
+    case kNonEmptyPointQuery:
+      return z1;
+    case kRangeQuery:
+      return q;
+    case kWrite:
+      return w;
+    default:
+      ENDURE_CHECK_MSG(false, "workload index out of range");
+      return 0.0;
+  }
+}
+
+double& Workload::operator[](int i) {
+  switch (i) {
+    case kEmptyPointQuery:
+      return z0;
+    case kNonEmptyPointQuery:
+      return z1;
+    case kRangeQuery:
+      return q;
+    default:
+      ENDURE_CHECK_MSG(i == kWrite, "workload index out of range");
+      return w;
+  }
+}
+
+Status Workload::Validate(double tol) const {
+  for (int i = 0; i < kNumQueryClasses; ++i) {
+    if ((*this)[i] < 0.0) {
+      return Status::InvalidArgument("negative workload component");
+    }
+  }
+  if (std::fabs(Sum() - 1.0) > tol) {
+    return Status::InvalidArgument("workload components must sum to 1");
+  }
+  return Status::OK();
+}
+
+Workload Workload::Normalized() const {
+  const double s = Sum();
+  ENDURE_CHECK_MSG(s > 0.0, "cannot normalize a zero workload");
+  return Workload(z0 / s, z1 / s, q / s, w / s);
+}
+
+QueryClass Workload::Dominant() const {
+  QueryClass best = kEmptyPointQuery;
+  for (int i = 1; i < kNumQueryClasses; ++i) {
+    if ((*this)[i] > (*this)[best]) best = static_cast<QueryClass>(i);
+  }
+  return best;
+}
+
+std::string Workload::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.0f%%, %.0f%%, %.0f%%, %.0f%%)",
+                z0 * 100.0, z1 * 100.0, q * 100.0, w * 100.0);
+  return buf;
+}
+
+Workload WorkloadFromCounts(
+    const std::array<double, kNumQueryClasses>& counts) {
+  Workload out(counts[0], counts[1], counts[2], counts[3]);
+  return out.Normalized();
+}
+
+}  // namespace endure

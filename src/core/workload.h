@@ -1,0 +1,74 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Workload representation (Section 3.1 of the paper): a point on the
+// 4-simplex giving the proportions of empty point lookups (z0), non-empty
+// point lookups (z1), range queries (q) and writes (w).
+
+#ifndef ENDURE_CORE_WORKLOAD_H_
+#define ENDURE_CORE_WORKLOAD_H_
+
+#include <array>
+#include <string>
+
+#include "util/status.h"
+
+namespace endure {
+
+/// Number of query classes in the workload vector.
+inline constexpr int kNumQueryClasses = 4;
+
+/// Indices into the workload/cost vectors.
+enum QueryClass : int {
+  kEmptyPointQuery = 0,     ///< z0: point lookup returning no result
+  kNonEmptyPointQuery = 1,  ///< z1: point lookup returning a result
+  kRangeQuery = 2,          ///< q : range lookup
+  kWrite = 3,               ///< w : insert/update/delete
+};
+
+/// Human-readable name of a query class ("z0", "z1", "q", "w").
+const char* QueryClassName(QueryClass c);
+
+/// A workload w = (z0, z1, q, w) with nonnegative entries summing to 1.
+struct Workload {
+  double z0 = 0.25;  ///< empty point lookup fraction
+  double z1 = 0.25;  ///< non-empty point lookup fraction
+  double q = 0.25;   ///< range query fraction
+  double w = 0.25;   ///< write fraction
+
+  Workload() = default;
+  Workload(double z0_in, double z1_in, double q_in, double w_in)
+      : z0(z0_in), z1(z1_in), q(q_in), w(w_in) {}
+
+  /// Component access by query-class index.
+  double operator[](int i) const;
+  double& operator[](int i);
+
+  /// As a std::array (for generic code over the 4 classes).
+  std::array<double, kNumQueryClasses> AsArray() const {
+    return {z0, z1, q, w};
+  }
+
+  /// Sum of the components (1 for a valid workload).
+  double Sum() const { return z0 + z1 + q + w; }
+
+  /// OK iff all components are >= 0 and the sum is 1 within tolerance.
+  Status Validate(double tol = 1e-9) const;
+
+  /// Returns a copy scaled so the components sum to 1. Requires Sum() > 0.
+  Workload Normalized() const;
+
+  /// Dominant query class (argmax component).
+  QueryClass Dominant() const;
+
+  /// "(z0%, z1%, q%, w%)" rendering used in the paper's figures.
+  std::string ToString() const;
+
+  bool operator==(const Workload& other) const = default;
+};
+
+/// Builds a workload from an arbitrary nonnegative 4-vector by normalizing.
+Workload WorkloadFromCounts(const std::array<double, kNumQueryClasses>& counts);
+
+}  // namespace endure
+
+#endif  // ENDURE_CORE_WORKLOAD_H_

@@ -1,0 +1,52 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Standard Bloom filter over 64-bit keys with double hashing, one per
+// sorted run (Section 2 "Optimizing Lookups"). The number of hash
+// functions is chosen optimally, k = round(bits/n * ln 2), so the false
+// positive rate follows e^{-(m/n) ln(2)^2} — the expression the cost model
+// builds on.
+
+#ifndef ENDURE_LSM_BLOOM_FILTER_H_
+#define ENDURE_LSM_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lsm/entry.h"
+
+namespace endure::lsm {
+
+/// Immutable-after-build Bloom filter.
+class BloomFilter {
+ public:
+  /// Builds a filter sized for `expected_entries` at `bits_per_entry`.
+  /// A budget of zero bits produces a degenerate always-positive filter
+  /// (h = 0 means "no filters" in the tuning space).
+  BloomFilter(uint64_t expected_entries, double bits_per_entry);
+
+  /// Inserts a key.
+  void Add(Key key);
+
+  /// Returns false only when the key was definitely never added.
+  bool MayContain(Key key) const;
+
+  /// Total bits allocated.
+  uint64_t bits() const { return num_bits_; }
+
+  /// Number of hash functions in use.
+  int num_hashes() const { return num_hashes_; }
+
+  /// Theoretical false-positive rate e^{-(m/n) ln(2)^2} for the build-time
+  /// sizing (diagnostics and tests).
+  double TheoreticalFpr() const;
+
+ private:
+  uint64_t num_bits_;
+  double bits_per_entry_;
+  int num_hashes_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_BLOOM_FILTER_H_

@@ -1,0 +1,32 @@
+#include "lsm/compaction.h"
+
+#include "lsm/merge_iterator.h"
+#include "lsm/run_builder.h"
+
+namespace endure::lsm {
+
+std::shared_ptr<Run> MergeRuns(
+    PageStore* store, const std::vector<std::shared_ptr<Run>>& inputs,
+    double bits_per_entry, bool drop_tombstones) {
+  ENDURE_CHECK(store != nullptr);
+  ENDURE_CHECK(!inputs.empty());
+
+  std::vector<std::unique_ptr<EntryStream>> streams;
+  streams.reserve(inputs.size());
+  for (const auto& run : inputs) {
+    streams.push_back(std::make_unique<StreamAdapter<Run::Iterator>>(
+        run->NewIterator(IoContext::kCompaction)));
+  }
+  MergeIterator merge(std::move(streams));
+
+  RunBuilder builder(store, bits_per_entry, IoContext::kCompaction);
+  while (merge.Valid()) {
+    const Entry& e = merge.entry();
+    if (!(drop_tombstones && e.is_tombstone())) builder.Add(e);
+    merge.Next();
+  }
+  if (builder.empty()) return nullptr;
+  return builder.Finish();
+}
+
+}  // namespace endure::lsm

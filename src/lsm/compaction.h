@@ -1,0 +1,29 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Sort-merge compaction over whole runs (the classic policies of Section
+// 2): reads every input page, consolidates matching keys keeping the most
+// recent entry, optionally drops tombstones (bottom level), and writes the
+// consolidated output run.
+
+#ifndef ENDURE_LSM_COMPACTION_H_
+#define ENDURE_LSM_COMPACTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/run.h"
+
+namespace endure::lsm {
+
+/// Merges `inputs` (ordered newest source first) into a single run whose
+/// Bloom filter is sized at `bits_per_entry`. All input pages are read and
+/// all output pages written under IoContext::kCompaction. Returns nullptr
+/// when every entry was consolidated away (all-tombstone merge at the
+/// bottom level).
+std::shared_ptr<Run> MergeRuns(
+    PageStore* store, const std::vector<std::shared_ptr<Run>>& inputs,
+    double bits_per_entry, bool drop_tombstones);
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_COMPACTION_H_

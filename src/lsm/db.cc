@@ -1,0 +1,34 @@
+#include "lsm/db.h"
+
+namespace endure::lsm {
+
+DB::DB(const Options& options) : options_(options) {
+  store_ = MakePageStore(options_.entries_per_page, &stats_,
+                         static_cast<int>(options_.backend),
+                         options_.storage_dir);
+  tree_ = std::make_unique<LsmTree>(options_, store_.get(), &stats_);
+}
+
+StatusOr<std::unique_ptr<DB>> DB::Open(const Options& options) {
+  ENDURE_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<DB>(new DB(options));
+}
+
+Status DB::BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs) {
+  if (tree_->TotalEntries() != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty database");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(sorted_pairs.size());
+  for (const auto& [key, value] : sorted_pairs) {
+    if (!entries.empty() && entries.back().key >= key) {
+      return Status::InvalidArgument(
+          "BulkLoad input must be strictly ascending by key");
+    }
+    entries.push_back(Entry{key, /*seq=*/0, value, EntryType::kValue});
+  }
+  tree_->BulkLoad(entries);
+  return Status::OK();
+}
+
+}  // namespace endure::lsm

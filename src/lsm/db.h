@@ -1,0 +1,66 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Public facade of the storage engine: owns the page store, statistics and
+// tree, and exposes the key-value API used by the examples and the
+// experiment harness.
+
+#ifndef ENDURE_LSM_DB_H_
+#define ENDURE_LSM_DB_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lsm/lsm_tree.h"
+#include "util/status.h"
+
+namespace endure::lsm {
+
+/// An open database instance.
+class DB {
+ public:
+  /// Opens a fresh database with the given options; fails on invalid
+  /// options (never aborts).
+  static StatusOr<std::unique_ptr<DB>> Open(const Options& options);
+
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(DB);
+
+  /// Inserts or updates a key.
+  void Put(Key key, Value value) { tree_->Put(key, value); }
+
+  /// Deletes a key.
+  void Delete(Key key) { tree_->Delete(key); }
+
+  /// Point lookup.
+  std::optional<Value> Get(Key key) { return tree_->Get(key); }
+
+  /// Range query over [lo, hi): live entries in key order.
+  std::vector<Entry> Scan(Key lo, Key hi) { return tree_->Scan(lo, hi); }
+
+  /// Forces a memtable flush.
+  void Flush() { tree_->Flush(); }
+
+  /// Bulk loads strictly-ascending (key, value) pairs into an empty tree.
+  Status BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs);
+
+  /// Cumulative statistics since open.
+  const Statistics& stats() const { return stats_; }
+
+  /// Structural access for experiments and tests.
+  const LsmTree& tree() const { return *tree_; }
+  LsmTree* mutable_tree() { return tree_.get(); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  explicit DB(const Options& options);
+
+  Options options_;
+  Statistics stats_;
+  std::unique_ptr<PageStore> store_;
+  std::unique_ptr<LsmTree> tree_;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_DB_H_

@@ -1,0 +1,47 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The engine's record type. Keys are 64-bit integers; values are
+// fixed-size payload tokens (the experiments only exercise key lookups —
+// page geometry comes from Options::entries_per_page, mirroring the cost
+// model's B). Sequence numbers establish recency: among entries with equal
+// keys the highest sequence number wins.
+
+#ifndef ENDURE_LSM_ENTRY_H_
+#define ENDURE_LSM_ENTRY_H_
+
+#include <cstdint>
+
+namespace endure::lsm {
+
+using Key = uint64_t;
+using SeqNum = uint64_t;
+using Value = uint64_t;
+
+/// Entry kind: a live value or a delete marker.
+enum class EntryType : uint8_t {
+  kValue = 0,
+  kTombstone = 1,
+};
+
+/// One key-value record.
+struct Entry {
+  Key key = 0;
+  SeqNum seq = 0;
+  Value value = 0;
+  EntryType type = EntryType::kValue;
+
+  bool is_tombstone() const { return type == EntryType::kTombstone; }
+};
+
+/// Orders by key ascending, then by sequence number descending (newest
+/// first) — the canonical merge order.
+struct EntryOrder {
+  bool operator()(const Entry& a, const Entry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_ENTRY_H_

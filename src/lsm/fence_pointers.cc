@@ -1,0 +1,39 @@
+#include "lsm/fence_pointers.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace endure::lsm {
+
+FencePointers::FencePointers(std::vector<Key> first_keys, Key last_key)
+    : first_keys_(std::move(first_keys)), last_key_(last_key) {
+  ENDURE_CHECK_MSG(!first_keys_.empty(), "run must have at least one page");
+  ENDURE_DCHECK(std::is_sorted(first_keys_.begin(), first_keys_.end()));
+  ENDURE_DCHECK(first_keys_.back() <= last_key_);
+}
+
+std::optional<size_t> FencePointers::PageFor(Key key) const {
+  if (key < min_key() || key > max_key()) return std::nullopt;
+  // Last page whose first key is <= key.
+  auto it = std::upper_bound(first_keys_.begin(), first_keys_.end(), key);
+  return static_cast<size_t>(it - first_keys_.begin()) - 1;
+}
+
+std::optional<std::pair<size_t, size_t>> FencePointers::PageRange(
+    Key lo, Key hi) const {
+  if (hi <= lo) return std::nullopt;
+  if (hi <= min_key() || lo > max_key()) return std::nullopt;
+  size_t first = 0;
+  if (lo > min_key()) {
+    auto it = std::upper_bound(first_keys_.begin(), first_keys_.end(), lo);
+    first = static_cast<size_t>(it - first_keys_.begin()) - 1;
+  }
+  // Last page whose first key is < hi (hi exclusive).
+  auto it = std::lower_bound(first_keys_.begin(), first_keys_.end(), hi);
+  const size_t last = static_cast<size_t>(it - first_keys_.begin()) - 1;
+  ENDURE_DCHECK(first <= last);
+  return std::make_pair(first, last);
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,51 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Fence pointers: the in-memory array of first-keys per page that lets a
+// lookup touch at most one page per run (Section 2 "Optimizing Lookups").
+
+#ifndef ENDURE_LSM_FENCE_POINTERS_H_
+#define ENDURE_LSM_FENCE_POINTERS_H_
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "lsm/entry.h"
+
+namespace endure::lsm {
+
+/// Immutable page index for one sorted run.
+class FencePointers {
+ public:
+  /// `first_keys[i]` is the smallest key stored on page i; `last_key` is
+  /// the largest key in the run. Pages must be non-empty and sorted.
+  FencePointers(std::vector<Key> first_keys, Key last_key);
+
+  /// Number of pages.
+  size_t num_pages() const { return first_keys_.size(); }
+
+  Key min_key() const { return first_keys_.front(); }
+  Key max_key() const { return last_key_; }
+
+  /// The page that could contain `key`, or nullopt when the key falls
+  /// outside [min_key, max_key].
+  std::optional<size_t> PageFor(Key key) const;
+
+  /// The inclusive page range overlapping [lo, hi); nullopt when the range
+  /// misses the run entirely. `hi` is exclusive.
+  std::optional<std::pair<size_t, size_t>> PageRange(Key lo, Key hi) const;
+
+  /// In-memory footprint in bits (for memory accounting).
+  uint64_t SizeBits() const {
+    return (first_keys_.size() + 1) * sizeof(Key) * 8;
+  }
+
+ private:
+  std::vector<Key> first_keys_;
+  Key last_key_;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_FENCE_POINTERS_H_

@@ -1,0 +1,291 @@
+#include "lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lsm/merge_iterator.h"
+#include "lsm/run_builder.h"
+
+namespace endure::lsm {
+
+LsmTree::LsmTree(const Options& options, PageStore* store, Statistics* stats)
+    : opts_(options),
+      store_(store),
+      stats_(stats),
+      memtable_(options.buffer_entries) {
+  ENDURE_CHECK_MSG(opts_.Validate().ok(), "invalid Options");
+  ENDURE_CHECK(store != nullptr && stats != nullptr);
+  ENDURE_CHECK(store->entries_per_page() == opts_.entries_per_page);
+}
+
+uint64_t LsmTree::LevelCapacity(int level) const {
+  ENDURE_CHECK(level >= 1);
+  const double cap = static_cast<double>(opts_.buffer_entries) *
+                     (opts_.size_ratio - 1) *
+                     std::pow(opts_.size_ratio, level - 1);
+  return static_cast<uint64_t>(cap);
+}
+
+int LsmTree::ProjectedDepth(uint64_t entries) const {
+  // Smallest L with sum of level capacities >= entries.
+  int level = 1;
+  uint64_t cumulative = 0;
+  while (true) {
+    cumulative += LevelCapacity(level);
+    if (cumulative >= entries || level >= 64) return level;
+    ++level;
+  }
+}
+
+double LsmTree::FilterBitsForLevel(int level, int projected_depth) const {
+  const int depth = std::max(level, projected_depth);
+  MonkeyAllocator alloc(opts_.filter_bits_per_entry, opts_.size_ratio, depth,
+                        opts_.filter_allocation);
+  return alloc.BitsPerEntry(level);
+}
+
+bool LsmTree::NothingBelow(int level) const {
+  for (size_t i = static_cast<size_t>(level); i < levels_.size(); ++i) {
+    if (!levels_[i].empty()) return false;
+  }
+  return true;
+}
+
+void LsmTree::EnsureLevel(int level) {
+  if (static_cast<int>(levels_.size()) < level) levels_.resize(level);
+}
+
+void LsmTree::Write(const Entry& e) {
+  ++stats_->writes;
+  memtable_.Upsert(e);
+  if (memtable_.IsFull()) Flush();
+}
+
+void LsmTree::Put(Key key, Value value) {
+  Write(Entry{key, next_seq_++, value, EntryType::kValue});
+}
+
+void LsmTree::Delete(Key key) {
+  Write(Entry{key, next_seq_++, 0, EntryType::kTombstone});
+}
+
+void LsmTree::Flush() {
+  if (memtable_.empty()) return;
+  ++stats_->flushes;
+  const std::vector<Entry> entries = memtable_.Dump();
+  const int depth = std::max(DeepestLevel(), 1);
+  RunBuilder builder(store_, FilterBitsForLevel(1, depth), IoContext::kFlush);
+  for (const Entry& e : entries) builder.Add(e);
+  std::shared_ptr<Run> run = builder.Finish();
+  memtable_.Clear();
+  AddRunToLevel(std::move(run), 1);
+}
+
+void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
+  EnsureLevel(level);
+  auto& runs = levels_[level - 1];
+
+  // Lazy leveling: the current bottom level behaves like leveling (one
+  // eagerly-merged run); all levels above it tier. The rule is
+  // self-organizing — when data is pushed deeper, the old bottom starts
+  // tiering automatically.
+  const bool act_as_leveling =
+      opts_.policy == CompactionPolicy::kLeveling ||
+      (opts_.policy == CompactionPolicy::kLazyLeveling &&
+       NothingBelow(level));
+
+  if (act_as_leveling) {
+    // Greedy sort-merge with the resident run(s). Pure leveling keeps one
+    // run per level; under lazy leveling a level that just became the
+    // bottom may still hold several tiered runs — fold them all in.
+    if (!runs.empty()) {
+      ++stats_->compactions;
+      const bool drop = NothingBelow(level);
+      const int depth = std::max(DeepestLevel(),
+                                 ProjectedDepth(TotalEntries()));
+      std::vector<std::shared_ptr<Run>> inputs;
+      inputs.reserve(runs.size() + 1);
+      inputs.push_back(run);
+      for (auto& r : runs) inputs.push_back(r);  // newest first already
+      std::shared_ptr<Run> merged = MergeRuns(
+          store_, inputs, FilterBitsForLevel(level, depth), drop);
+      runs.clear();
+      if (merged == nullptr) return;  // everything consolidated away
+      run = std::move(merged);
+    }
+    // Overflow: the level's run moves down and merges there.
+    if (run->num_entries() > LevelCapacity(level)) {
+      AddRunToLevel(std::move(run), level + 1);
+      return;
+    }
+    runs.push_back(std::move(run));
+    return;
+  }
+
+  // Tiering: accumulate runs; the T-th arrival merges the whole level into
+  // one run on the next level down.
+  runs.insert(runs.begin(), std::move(run));  // newest first
+  if (static_cast<int>(runs.size()) >= opts_.size_ratio) {
+    ++stats_->compactions;
+    const bool drop = NothingBelow(level);
+    const int depth =
+        std::max(DeepestLevel(), ProjectedDepth(TotalEntries()));
+    std::shared_ptr<Run> merged = MergeRuns(
+        store_, runs, FilterBitsForLevel(level + 1, depth), drop);
+    runs.clear();
+    if (merged != nullptr) AddRunToLevel(std::move(merged), level + 1);
+  }
+}
+
+std::optional<Value> LsmTree::Get(Key key) {
+  ++stats_->gets;
+  if (const Entry* e = memtable_.Find(key); e != nullptr) {
+    if (e->is_tombstone()) return std::nullopt;
+    return e->value;
+  }
+  for (const auto& runs : levels_) {
+    for (const auto& run : runs) {  // newest first
+      const std::optional<Entry> e = run->Get(key, opts_.fence_pointer_skip);
+      if (e.has_value()) {
+        if (e->is_tombstone()) return std::nullopt;
+        return e->value;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
+  ++stats_->range_queries;
+  std::vector<std::unique_ptr<EntryStream>> streams;
+
+  // Memtable first (rank 0 = most recent source); no I/O.
+  {
+    std::vector<Entry> buffered;
+    SkipList::Iterator it = memtable_.NewIterator();
+    for (it.Seek(lo); it.Valid() && it.entry().key < hi; it.Next()) {
+      buffered.push_back(it.entry());
+    }
+    if (!buffered.empty()) {
+      streams.push_back(std::make_unique<VectorStream>(std::move(buffered)));
+    }
+  }
+
+  for (const auto& runs : levels_) {
+    for (const auto& run : runs) {
+      std::optional<Run::Iterator> it = run->NewRangeIterator(lo, hi);
+      if (it.has_value()) {
+        streams.push_back(
+            std::make_unique<StreamAdapter<Run::Iterator>>(std::move(*it)));
+      } else if (!opts_.fence_pointer_skip) {
+        // Model-faithful mode: the analytical cost model charges one seek
+        // per run regardless of overlap; emulate the blind seek by reading
+        // the run's first page.
+        run->BlindSeek();
+      }
+    }
+  }
+
+  MergeIterator merge(std::move(streams));
+  std::vector<Entry> merged = DrainMerge(&merge, /*drop_tombstones=*/true);
+  // Page-aligned iterators may cover keys outside [lo, hi); trim.
+  std::vector<Entry> out;
+  out.reserve(merged.size());
+  for (const Entry& e : merged) {
+    if (e.key >= lo && e.key < hi) out.push_back(e);
+  }
+  return out;
+}
+
+void LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
+  ENDURE_CHECK_MSG(levels_.empty() && memtable_.empty(),
+                   "BulkLoad requires an empty tree");
+  if (sorted_entries.empty()) return;
+  for (size_t i = 1; i < sorted_entries.size(); ++i) {
+    ENDURE_CHECK_MSG(sorted_entries[i - 1].key < sorted_entries[i].key,
+                     "bulk-load keys must be strictly ascending");
+  }
+
+  const uint64_t n = sorted_entries.size();
+  const int depth = ProjectedDepth(n);
+  EnsureLevel(depth);
+
+  // Fill bottom-up (a settled tree keeps its mass deep).
+  std::vector<uint64_t> quota(depth + 1, 0);  // 1-based
+  uint64_t remaining = n;
+  for (int level = depth; level >= 1 && remaining > 0; --level) {
+    quota[level] = std::min<uint64_t>(LevelCapacity(level), remaining);
+    remaining -= quota[level];
+  }
+  ENDURE_CHECK(remaining == 0);
+
+  // Smooth weighted round-robin so each level's run spans the key domain.
+  std::vector<std::vector<Entry>> per_level(depth + 1);
+  for (int level = 1; level <= depth; ++level) {
+    per_level[level].reserve(quota[level]);
+  }
+  std::vector<int64_t> credit(depth + 1, 0);
+  std::vector<uint64_t> assigned(depth + 1, 0);
+  for (const Entry& e : sorted_entries) {
+    int pick = 0;
+    int64_t best = INT64_MIN;
+    for (int level = 1; level <= depth; ++level) {
+      if (assigned[level] >= quota[level]) continue;
+      credit[level] += static_cast<int64_t>(quota[level]);
+      if (credit[level] > best) {
+        best = credit[level];
+        pick = level;
+      }
+    }
+    ENDURE_CHECK(pick >= 1);
+    credit[pick] -= static_cast<int64_t>(n);
+    ++assigned[pick];
+    per_level[pick].push_back(e);
+  }
+
+  for (int level = 1; level <= depth; ++level) {
+    if (per_level[level].empty()) continue;
+    RunBuilder builder(store_, FilterBitsForLevel(level, depth),
+                       IoContext::kBulkLoad);
+    for (const Entry& e : per_level[level]) builder.Add(e);
+    levels_[level - 1].push_back(builder.Finish());
+  }
+}
+
+int LsmTree::DeepestLevel() const {
+  for (int i = static_cast<int>(levels_.size()); i >= 1; --i) {
+    if (!levels_[i - 1].empty()) return i;
+  }
+  return 0;
+}
+
+std::vector<LevelInfo> LsmTree::GetLevelInfos() const {
+  std::vector<LevelInfo> out;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    LevelInfo info;
+    info.level = static_cast<int>(i) + 1;
+    info.num_runs = levels_[i].size();
+    bool first = true;
+    for (const auto& run : levels_[i]) {
+      info.num_entries += run->num_entries();
+      info.min_key = first ? run->min_key()
+                           : std::min(info.min_key, run->min_key());
+      info.max_key = first ? run->max_key()
+                           : std::max(info.max_key, run->max_key());
+      first = false;
+    }
+    info.capacity = LevelCapacity(info.level);
+    out.push_back(info);
+  }
+  return out;
+}
+
+uint64_t LsmTree::TotalEntries() const {
+  uint64_t total = memtable_.size();
+  for (const auto& runs : levels_) {
+    for (const auto& run : runs) total += run->num_entries();
+  }
+  return total;
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,108 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The LSM tree proper: memtable + exponentially-capacitated levels of
+// sorted runs, with classic leveling or tiering compaction, per-level
+// Monkey Bloom filters and full I/O accounting. This is the engine the
+// system experiments (Section 8) run against, standing in for the paper's
+// hook-instrumented RocksDB.
+
+#ifndef ENDURE_LSM_LSM_TREE_H_
+#define ENDURE_LSM_LSM_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lsm/compaction.h"
+#include "lsm/memtable.h"
+#include "lsm/monkey_allocator.h"
+#include "lsm/options.h"
+#include "lsm/page_store.h"
+#include "lsm/run.h"
+
+namespace endure::lsm {
+
+/// Per-level summary for diagnostics and tests.
+struct LevelInfo {
+  int level = 0;           ///< 1-based level number
+  size_t num_runs = 0;     ///< runs currently resident
+  uint64_t num_entries = 0;///< total entries across the level's runs
+  uint64_t capacity = 0;   ///< entry capacity (T-1) * T^(i-1) * buffer
+  Key min_key = 0;         ///< smallest key on the level (0 when empty)
+  Key max_key = 0;         ///< largest key on the level (0 when empty)
+};
+
+/// The storage engine core. Not thread-safe (as with the experiments in
+/// the paper, workloads are executed single-threaded).
+class LsmTree {
+ public:
+  /// `store` and `stats` must outlive the tree.
+  LsmTree(const Options& options, PageStore* store, Statistics* stats);
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(LsmTree);
+
+  /// Inserts or updates a key.
+  void Put(Key key, Value value);
+
+  /// Deletes a key (tombstone write).
+  void Delete(Key key);
+
+  /// Point lookup: memtable, then levels shallow-to-deep, runs
+  /// newest-to-oldest; first match wins.
+  std::optional<Value> Get(Key key);
+
+  /// Range query over [lo, hi): merges all qualifying sources, returns
+  /// live entries in key order.
+  std::vector<Entry> Scan(Key lo, Key hi);
+
+  /// Flushes the memtable if non-empty (also triggered automatically when
+  /// the buffer fills).
+  void Flush();
+
+  /// Builds a settled tree from `sorted_entries` (strictly ascending keys),
+  /// filling levels bottom-up to capacity and stride-partitioning keys so
+  /// every run spans the key domain (steady-state shape). Must be called on
+  /// an empty tree.
+  void BulkLoad(const std::vector<Entry>& sorted_entries);
+
+  /// Deepest level with any run (0 when the tree is empty).
+  int DeepestLevel() const;
+
+  /// Per-level summaries.
+  std::vector<LevelInfo> GetLevelInfos() const;
+
+  /// Entries across memtable and all runs (shadowed duplicates included).
+  uint64_t TotalEntries() const;
+
+  /// Entry capacity of `level` (1-based): (T-1) * T^(level-1) * buffer.
+  uint64_t LevelCapacity(int level) const;
+
+  const Options& options() const { return opts_; }
+  const MemTable& memtable() const { return memtable_; }
+  Statistics* stats() const { return stats_; }
+
+ private:
+  void Write(const Entry& e);
+  /// Flush + policy cascade entry point.
+  void AddRunToLevel(std::shared_ptr<Run> run, int level);
+  /// Bloom budget for a run landing on `level`, given the current tree
+  /// depth (re-derived from the Monkey allocation each time).
+  double FilterBitsForLevel(int level, int projected_depth) const;
+  /// True when no level deeper than `level` holds a run.
+  bool NothingBelow(int level) const;
+  /// Ensures levels_ has slots up to `level` (1-based).
+  void EnsureLevel(int level);
+  /// Projected total depth if the tree must hold `entries` entries.
+  int ProjectedDepth(uint64_t entries) const;
+
+  Options opts_;
+  PageStore* store_;
+  Statistics* stats_;
+  MemTable memtable_;
+  SeqNum next_seq_ = 1;
+  /// levels_[i] holds level i+1; runs ordered newest first.
+  std::vector<std::vector<std::shared_ptr<Run>>> levels_;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_LSM_TREE_H_

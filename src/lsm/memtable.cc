@@ -1,0 +1,124 @@
+#include "lsm/memtable.h"
+
+#include <algorithm>
+
+namespace endure::lsm {
+
+struct SkipList::Node {
+  Entry entry;
+  int height;
+  Node* next[1];  // over-allocated to `height` pointers
+
+  static Node* Create(const Entry& e, int height) {
+    const size_t bytes = sizeof(Node) + sizeof(Node*) * (height - 1);
+    Node* n = static_cast<Node*>(::operator new(bytes));
+    n->entry = e;
+    n->height = height;
+    for (int i = 0; i < height; ++i) n->next[i] = nullptr;
+    return n;
+  }
+  static void Destroy(Node* n) { ::operator delete(n); }
+};
+
+SkipList::SkipList() : rng_(0x5eed5eedULL) {
+  Entry sentinel;
+  sentinel.key = 0;
+  head_ = Node::Create(sentinel, kMaxHeight);
+}
+
+SkipList::~SkipList() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    Node::Destroy(n);
+    n = next;
+  }
+}
+
+int SkipList::RandomHeight() {
+  // Geometric with p = 1/2.
+  int h = 1;
+  while (h < kMaxHeight && (rng_.Next() & 1) != 0) ++h;
+  return h;
+}
+
+SkipList::Node* SkipList::FindGreaterOrEqual(Key key, Node** prev) const {
+  Node* x = head_;
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (x->next[level] != nullptr && x->next[level]->entry.key < key) {
+      x = x->next[level];
+    }
+    if (prev != nullptr) prev[level] = x;
+  }
+  return x->next[0];
+}
+
+bool SkipList::Upsert(const Entry& e) {
+  Node* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; ++i) prev[i] = head_;
+  Node* found = FindGreaterOrEqual(e.key, prev);
+  if (found != nullptr && found->entry.key == e.key) {
+    found->entry = e;  // Level 0 is updated in place
+    return false;
+  }
+  const int h = RandomHeight();
+  if (h > height_) height_ = h;
+  Node* n = Node::Create(e, h);
+  for (int i = 0; i < h; ++i) {
+    n->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = n;
+  }
+  ++size_;
+  return true;
+}
+
+const Entry* SkipList::Find(Key key) const {
+  Node* n = FindGreaterOrEqual(key, nullptr);
+  if (n != nullptr && n->entry.key == key) return &n->entry;
+  return nullptr;
+}
+
+std::vector<Entry> SkipList::Dump() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    out.push_back(n->entry);
+  }
+  return out;
+}
+
+void SkipList::Clear() {
+  Node* n = head_->next[0];
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    Node::Destroy(n);
+    n = next;
+  }
+  for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+  height_ = 1;
+  size_ = 0;
+}
+
+SkipList::Iterator::Iterator(const SkipList* list)
+    : list_(list), node_(list->head_->next[0]) {}
+
+const Entry& SkipList::Iterator::entry() const {
+  ENDURE_DCHECK(Valid());
+  return static_cast<const Node*>(node_)->entry;
+}
+
+void SkipList::Iterator::Next() {
+  ENDURE_DCHECK(Valid());
+  node_ = static_cast<const Node*>(node_)->next[0];
+}
+
+void SkipList::Iterator::Seek(Key target) {
+  node_ = list_->FindGreaterOrEqual(target, nullptr);
+}
+
+void SkipList::Iterator::SeekToFirst() { node_ = list_->head_->next[0]; }
+
+MemTable::MemTable(uint64_t capacity) : capacity_(std::max<uint64_t>(1,
+                                                                     capacity)) {}
+
+}  // namespace endure::lsm

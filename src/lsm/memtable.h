@@ -1,0 +1,113 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The write buffer (Level 0): a skiplist-backed memtable with a fixed
+// entry capacity (m_buf / E). In-place updatable — the paper notes Level 0
+// is the only mutable level — so a rewritten key replaces its older entry
+// rather than stacking versions.
+
+#ifndef ENDURE_LSM_MEMTABLE_H_
+#define ENDURE_LSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lsm/entry.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace endure::lsm {
+
+/// Sorted in-memory container with O(log n) insert/lookup.
+class SkipList {
+ public:
+  SkipList();
+  ~SkipList();
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(SkipList);
+
+  /// Inserts or replaces (by key). Returns true when a new key was added,
+  /// false when an existing key was overwritten.
+  bool Upsert(const Entry& e);
+
+  /// Finds the entry for `key`, or nullptr.
+  const Entry* Find(Key key) const;
+
+  /// Number of distinct keys stored.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forward iteration in ascending key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list);
+    bool Valid() const { return node_ != nullptr; }
+    const Entry& entry() const;
+    void Next();
+    /// Positions at the first entry with key >= target.
+    void Seek(Key target);
+    /// Positions at the first entry.
+    void SeekToFirst();
+
+   private:
+    const SkipList* list_;
+    const void* node_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+  /// Copies out all entries in ascending key order.
+  std::vector<Entry> Dump() const;
+
+  /// Removes everything.
+  void Clear();
+
+ private:
+  struct Node;
+  static constexpr int kMaxHeight = 16;
+
+  int RandomHeight();
+  /// Finds the node with the largest key < key, per level, into prev[].
+  Node* FindGreaterOrEqual(Key key, Node** prev) const;
+
+  Node* head_;
+  int height_ = 1;
+  size_t size_ = 0;
+  Rng rng_;
+};
+
+/// The memtable: a capacity-bounded skiplist.
+class MemTable {
+ public:
+  /// `capacity` in entries (m_buf / E).
+  explicit MemTable(uint64_t capacity);
+
+  /// True when another insert of a *new* key would exceed capacity.
+  bool IsFull() const { return list_.size() >= capacity_; }
+
+  /// Inserts a value or tombstone. Callers flush on IsFull() before
+  /// inserting more; Upsert on an existing key never grows the table.
+  void Upsert(const Entry& e) { list_.Upsert(e); }
+
+  /// Point lookup.
+  const Entry* Find(Key key) const { return list_.Find(key); }
+
+  size_t size() const { return list_.size(); }
+  uint64_t capacity() const { return capacity_; }
+  bool empty() const { return list_.empty(); }
+
+  SkipList::Iterator NewIterator() const { return list_.NewIterator(); }
+
+  /// All entries sorted by key (for flushing).
+  std::vector<Entry> Dump() const { return list_.Dump(); }
+
+  /// Empties the table after a flush.
+  void Clear() { list_.Clear(); }
+
+ private:
+  uint64_t capacity_;
+  SkipList list_;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_MEMTABLE_H_

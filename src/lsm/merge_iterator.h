@@ -1,0 +1,83 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// K-way merging over entry streams with recency-based conflict resolution:
+// among entries with the same key, the stream with the lower rank (newer
+// source: memtable < shallow run < deep run) wins, matching how compaction
+// "consolidates entries with a matching key, retaining only the most
+// recent valid entry" (Section 2).
+
+#ifndef ENDURE_LSM_MERGE_ITERATOR_H_
+#define ENDURE_LSM_MERGE_ITERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lsm/entry.h"
+
+namespace endure::lsm {
+
+/// Type-erased forward entry stream (adapts run iterators, memtable
+/// iterators and vectors).
+class EntryStream {
+ public:
+  virtual ~EntryStream() = default;
+  virtual bool Valid() const = 0;
+  virtual const Entry& entry() const = 0;
+  virtual void Next() = 0;
+};
+
+/// Adapts any iterator with Valid()/entry()/Next().
+template <typename Iter>
+class StreamAdapter final : public EntryStream {
+ public:
+  explicit StreamAdapter(Iter iter) : iter_(std::move(iter)) {}
+  bool Valid() const override { return iter_.Valid(); }
+  const Entry& entry() const override { return iter_.entry(); }
+  void Next() override { iter_.Next(); }
+
+ private:
+  Iter iter_;
+};
+
+/// Stream over an in-memory vector of entries.
+class VectorStream final : public EntryStream {
+ public:
+  explicit VectorStream(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+  bool Valid() const override { return pos_ < entries_.size(); }
+  const Entry& entry() const override { return entries_[pos_]; }
+  void Next() override { ++pos_; }
+
+ private:
+  std::vector<Entry> entries_;
+  size_t pos_ = 0;
+};
+
+/// Merging iterator: emits one entry per distinct key, newest-source wins.
+/// Tombstones are emitted (callers decide whether to drop them).
+class MergeIterator {
+ public:
+  /// `inputs[i]` has rank i: lower rank = more recent source.
+  explicit MergeIterator(std::vector<std::unique_ptr<EntryStream>> inputs);
+
+  bool Valid() const;
+  const Entry& entry() const;
+  void Next();
+
+ private:
+  /// Advances to the next distinct key, resolving conflicts by rank.
+  void FindNext();
+
+  std::vector<std::unique_ptr<EntryStream>> inputs_;
+  Entry current_;
+  bool valid_ = false;
+};
+
+/// Drains a merge iterator into a vector, optionally dropping tombstones
+/// (used by compactions into the bottom level and by range queries).
+std::vector<Entry> DrainMerge(MergeIterator* merge, bool drop_tombstones);
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_MERGE_ITERATOR_H_

@@ -1,0 +1,52 @@
+#include "lsm/monkey_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure::lsm {
+
+MonkeyAllocator::MonkeyAllocator(double bits_per_entry, int size_ratio,
+                                 int levels, FilterAllocation allocation)
+    : levels_(levels) {
+  ENDURE_CHECK(levels >= 1);
+  ENDURE_CHECK(size_ratio >= 2);
+  ENDURE_CHECK(bits_per_entry >= 0.0);
+  fpr_.resize(levels);
+  bits_.resize(levels);
+
+  const double ln2sq = std::log(2.0) * std::log(2.0);
+  if (allocation == FilterAllocation::kUniform) {
+    for (int i = 0; i < levels; ++i) {
+      bits_[i] = bits_per_entry;
+      fpr_[i] = bits_per_entry > 0.0 ? std::exp(-bits_per_entry * ln2sq)
+                                     : 1.0;
+    }
+    return;
+  }
+
+  // Monkey (Eq. 11): deeper levels get exponentially larger FPRs.
+  const double T = static_cast<double>(size_ratio);
+  const double log_t = std::log(T);
+  for (int i = 1; i <= levels; ++i) {
+    const double log_f = (T / (T - 1.0)) * log_t -
+                         static_cast<double>(levels + 1 - i) * log_t -
+                         bits_per_entry * ln2sq;
+    const double f = std::min(1.0, std::exp(log_f));
+    fpr_[i - 1] = f;
+    bits_[i - 1] = f >= 1.0 ? 0.0 : -std::log(f) / ln2sq;
+  }
+}
+
+double MonkeyAllocator::BitsPerEntry(int level) const {
+  ENDURE_CHECK(level >= 1 && level <= levels_);
+  return bits_[level - 1];
+}
+
+double MonkeyAllocator::FalsePositiveRate(int level) const {
+  ENDURE_CHECK(level >= 1 && level <= levels_);
+  return fpr_[level - 1];
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,43 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Per-level Bloom-filter memory allocation following Monkey (Dayan et al.,
+// SIGMOD'17), the scheme both the paper's cost model (Eq. 11) and its
+// RocksDB deployment use: deeper (larger) levels get fewer bits per entry,
+// with false-positive rates f_i(T) = T^{T/(T-1)} / T^{L+1-i} * e^{-h ln^2 2}
+// clamped to [0, 1]. Bits per entry at level i follow as
+// -ln(f_i) / ln(2)^2.
+
+#ifndef ENDURE_LSM_MONKEY_ALLOCATOR_H_
+#define ENDURE_LSM_MONKEY_ALLOCATOR_H_
+
+#include <vector>
+
+#include "lsm/options.h"
+
+namespace endure::lsm {
+
+/// Computes per-level filter sizing for a tree of `levels` levels.
+class MonkeyAllocator {
+ public:
+  /// `bits_per_entry` is the tree-wide average budget h; `size_ratio` is T.
+  MonkeyAllocator(double bits_per_entry, int size_ratio, int levels,
+                  FilterAllocation allocation);
+
+  /// Budgeted bits per entry for a run on `level` (1-based). Zero when the
+  /// optimal false-positive rate saturates at 1 (no filter is worth it).
+  double BitsPerEntry(int level) const;
+
+  /// The design false-positive rate for `level` (1-based), in [0, 1].
+  double FalsePositiveRate(int level) const;
+
+  int levels() const { return levels_; }
+
+ private:
+  int levels_;
+  std::vector<double> fpr_;   // per level, index 0 = level 1
+  std::vector<double> bits_;  // per level, index 0 = level 1
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_MONKEY_ALLOCATOR_H_

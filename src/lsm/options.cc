@@ -1,0 +1,25 @@
+#include "lsm/options.h"
+
+namespace endure::lsm {
+
+Status Options::Validate() const {
+  if (size_ratio < 2) {
+    return Status::InvalidArgument("size_ratio must be >= 2");
+  }
+  if (buffer_entries < 1) {
+    return Status::InvalidArgument("buffer_entries must be >= 1");
+  }
+  if (entries_per_page < 1) {
+    return Status::InvalidArgument("entries_per_page must be >= 1");
+  }
+  if (filter_bits_per_entry < 0.0 || filter_bits_per_entry > 64.0) {
+    return Status::InvalidArgument(
+        "filter_bits_per_entry must be in [0, 64]");
+  }
+  if (backend == StorageBackend::kFile && storage_dir.empty()) {
+    return Status::InvalidArgument("file backend requires storage_dir");
+  }
+  return Status::OK();
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,77 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Configuration of the endure::lsm storage engine — the from-scratch LSM
+// tree used as the system-evaluation substrate (the paper uses RocksDB with
+// event hooks that force exactly this textbook behaviour: classic
+// leveling/tiering, per-level Monkey filters, direct I/O, no block cache).
+
+#ifndef ENDURE_LSM_OPTIONS_H_
+#define ENDURE_LSM_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace endure::lsm {
+
+/// Compaction policy of the engine (mirrors endure::Policy; duplicated so
+/// the engine has no dependency on the tuner library).
+enum class CompactionPolicy {
+  kLeveling = 0,      ///< at most one run per level, eager merging
+  kTiering = 1,       ///< up to T-1 runs per level, lazy merging
+  kLazyLeveling = 2,  ///< Dostoevsky hybrid: bottom leveled, rest tiered
+};
+
+/// Bloom-filter memory allocation across levels.
+enum class FilterAllocation {
+  kMonkey = 0,   ///< optimal per-level false-positive rates (Eq. 11)
+  kUniform = 1,  ///< equal bits-per-entry everywhere (classical baseline)
+};
+
+/// Storage backend for sorted runs.
+enum class StorageBackend {
+  kMemory = 0,  ///< in-memory pages with full I/O accounting (default)
+  kFile = 1,    ///< file-backed pages via POSIX pread/pwrite
+};
+
+/// Engine configuration.
+struct Options {
+  /// Size ratio T between adjacent levels (>= 2). Fractional tunings are
+  /// rounded up before deployment, as in the paper's Section 8.3.
+  int size_ratio = 10;
+
+  /// Compaction policy pi.
+  CompactionPolicy policy = CompactionPolicy::kLeveling;
+
+  /// Write buffer (memtable) capacity in entries (m_buf / E).
+  uint64_t buffer_entries = 1024;
+
+  /// Entries per page (B). Page reads/writes are the engine's I/O unit.
+  uint64_t entries_per_page = 4;
+
+  /// Bloom filter budget in bits per entry (h = m_filt / N).
+  double filter_bits_per_entry = 5.0;
+
+  /// How the filter budget is split across levels.
+  FilterAllocation filter_allocation = FilterAllocation::kMonkey;
+
+  /// When true (RocksDB behaviour), point and range lookups skip runs whose
+  /// [min,max] key range cannot contain the target — the fence-pointer
+  /// short-circuit the paper cites to explain its Fig. 8 range-session
+  /// discrepancy. Disable to match the analytical model exactly.
+  bool fence_pointer_skip = true;
+
+  /// Storage backend for runs.
+  StorageBackend backend = StorageBackend::kMemory;
+
+  /// Directory for the file backend (ignored by the memory backend).
+  std::string storage_dir = "/tmp/endure_lsm";
+
+  /// OK iff every knob is in range.
+  Status Validate() const;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_OPTIONS_H_

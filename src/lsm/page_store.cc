@@ -1,0 +1,187 @@
+#include "lsm/page_store.h"
+
+#include "lsm/options.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace endure::lsm {
+
+// ---------------------------------------------------------------- memory --
+
+SegmentId MemPageStore::WriteSegment(const std::vector<Entry>& entries,
+                                     IoContext ctx) {
+  ENDURE_CHECK_MSG(!entries.empty(), "cannot write an empty segment");
+  const SegmentId id = next_id_++;
+  const uint64_t pages =
+      (entries.size() + entries_per_page_ - 1) / entries_per_page_;
+  stats_->OnPageWrite(ctx, pages);
+  segments_.emplace(id, entries);
+  return id;
+}
+
+void MemPageStore::ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
+                            std::vector<Entry>* out) const {
+  auto it = segments_.find(segment);
+  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
+  const std::vector<Entry>& data = it->second;
+  const size_t begin = page_idx * entries_per_page_;
+  ENDURE_CHECK_MSG(begin < data.size(), "page index out of range");
+  const size_t end = std::min(data.size(), begin + entries_per_page_);
+  out->assign(data.begin() + begin, data.begin() + end);
+  stats_->OnPageRead(ctx, 1);
+}
+
+void MemPageStore::FreeSegment(SegmentId segment) {
+  segments_.erase(segment);
+}
+
+size_t MemPageStore::NumPages(SegmentId segment) const {
+  auto it = segments_.find(segment);
+  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
+  return (it->second.size() + entries_per_page_ - 1) / entries_per_page_;
+}
+
+size_t MemPageStore::NumEntries(SegmentId segment) const {
+  auto it = segments_.find(segment);
+  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
+  return it->second.size();
+}
+
+// ------------------------------------------------------------------ file --
+
+namespace {
+
+void EncodeEntry(const Entry& e, char* buf) {
+  std::memcpy(buf, &e.key, 8);
+  std::memcpy(buf + 8, &e.seq, 8);
+  std::memcpy(buf + 16, &e.value, 8);
+  buf[24] = static_cast<char>(e.type);
+}
+
+Entry DecodeEntry(const char* buf) {
+  Entry e;
+  std::memcpy(&e.key, buf, 8);
+  std::memcpy(&e.seq, buf + 8, 8);
+  std::memcpy(&e.value, buf + 16, 8);
+  e.type = static_cast<EntryType>(buf[24]);
+  return e;
+}
+
+}  // namespace
+
+FilePageStore::FilePageStore(uint64_t entries_per_page, Statistics* stats,
+                             std::string dir)
+    : PageStore(entries_per_page, stats), dir_(std::move(dir)) {
+  ENDURE_CHECK_MSG(!dir_.empty(), "empty storage dir");
+  ::mkdir(dir_.c_str(), 0755);  // best effort; open() below will verify
+  // Segment files get a per-process, per-instance prefix so several stores
+  // (or test shards) can share a directory without clobbering each other.
+  static std::atomic<uint64_t> instance_counter{0};
+  instance_tag_ = std::to_string(::getpid()) + "_" +
+                  std::to_string(instance_counter.fetch_add(1));
+}
+
+FilePageStore::~FilePageStore() {
+  for (auto& [id, meta] : segments_) {
+    if (meta.fd >= 0) ::close(meta.fd);
+    ::unlink(PathFor(id).c_str());
+  }
+}
+
+std::string FilePageStore::PathFor(SegmentId id) const {
+  return dir_ + "/seg_" + instance_tag_ + "_" + std::to_string(id) + ".run";
+}
+
+SegmentId FilePageStore::WriteSegment(const std::vector<Entry>& entries,
+                                      IoContext ctx) {
+  ENDURE_CHECK_MSG(!entries.empty(), "cannot write an empty segment");
+  const SegmentId id = next_id_++;
+  const std::string path = PathFor(id);
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  ENDURE_CHECK_MSG(fd >= 0, "failed to create segment file");
+
+  const size_t page_bytes = kEntryBytes * entries_per_page_;
+  std::vector<char> page(page_bytes, 0);
+  const uint64_t pages =
+      (entries.size() + entries_per_page_ - 1) / entries_per_page_;
+  for (uint64_t p = 0; p < pages; ++p) {
+    std::fill(page.begin(), page.end(), 0);
+    const size_t begin = p * entries_per_page_;
+    const size_t end =
+        std::min(entries.size(), begin + entries_per_page_);
+    for (size_t i = begin; i < end; ++i) {
+      EncodeEntry(entries[i], page.data() + (i - begin) * kEntryBytes);
+    }
+    const ssize_t written = ::pwrite(fd, page.data(), page_bytes,
+                                     static_cast<off_t>(p * page_bytes));
+    ENDURE_CHECK_MSG(written == static_cast<ssize_t>(page_bytes),
+                     "short segment write");
+  }
+  stats_->OnPageWrite(ctx, pages);
+  segments_.emplace(id, SegmentMeta{fd, entries.size()});
+  return id;
+}
+
+void FilePageStore::ReadPage(SegmentId segment, size_t page_idx,
+                             IoContext ctx, std::vector<Entry>* out) const {
+  auto it = segments_.find(segment);
+  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
+  const SegmentMeta& meta = it->second;
+  const size_t begin = page_idx * entries_per_page_;
+  ENDURE_CHECK_MSG(begin < meta.num_entries, "page index out of range");
+  const size_t count = std::min<size_t>(entries_per_page_,
+                                        meta.num_entries - begin);
+
+  const size_t page_bytes = kEntryBytes * entries_per_page_;
+  std::vector<char> page(page_bytes);
+  const ssize_t got = ::pread(meta.fd, page.data(), page_bytes,
+                              static_cast<off_t>(page_idx * page_bytes));
+  ENDURE_CHECK_MSG(got == static_cast<ssize_t>(page_bytes),
+                   "short segment read");
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(DecodeEntry(page.data() + i * kEntryBytes));
+  }
+  stats_->OnPageRead(ctx, 1);
+}
+
+void FilePageStore::FreeSegment(SegmentId segment) {
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  ::unlink(PathFor(segment).c_str());
+  segments_.erase(it);
+}
+
+size_t FilePageStore::NumPages(SegmentId segment) const {
+  auto it = segments_.find(segment);
+  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
+  return (it->second.num_entries + entries_per_page_ - 1) /
+         entries_per_page_;
+}
+
+size_t FilePageStore::NumEntries(SegmentId segment) const {
+  auto it = segments_.find(segment);
+  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
+  return it->second.num_entries;
+}
+
+// --------------------------------------------------------------- factory --
+
+std::unique_ptr<PageStore> MakePageStore(uint64_t entries_per_page,
+                                         Statistics* stats, int backend,
+                                         const std::string& dir) {
+  if (backend == static_cast<int>(StorageBackend::kFile)) {
+    return std::make_unique<FilePageStore>(entries_per_page, stats, dir);
+  }
+  return std::make_unique<MemPageStore>(entries_per_page, stats);
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,98 @@
+#include "lsm/run.h"
+
+#include <algorithm>
+
+namespace endure::lsm {
+
+Run::Run(PageStore* store, SegmentId segment,
+         std::unique_ptr<BloomFilter> bloom,
+         std::unique_ptr<FencePointers> fences, uint64_t num_entries)
+    : store_(store),
+      segment_(segment),
+      bloom_(std::move(bloom)),
+      fences_(std::move(fences)),
+      num_entries_(num_entries) {
+  ENDURE_CHECK(store_ != nullptr);
+  ENDURE_CHECK(bloom_ != nullptr && fences_ != nullptr);
+  ENDURE_CHECK(num_entries_ > 0);
+}
+
+Run::~Run() { store_->FreeSegment(segment_); }
+
+std::optional<Entry> Run::Get(Key key, bool use_fence_skip) const {
+  Statistics* stats = store_->stats();
+  if (use_fence_skip && (key < min_key() || key > max_key())) {
+    ++stats->fence_skips;
+    return std::nullopt;
+  }
+  ++stats->bloom_probes;
+  if (!bloom_->MayContain(key)) {
+    ++stats->bloom_negatives;
+    return std::nullopt;
+  }
+  const std::optional<size_t> page = fences_->PageFor(key);
+  if (!page.has_value()) {
+    // Inside the filter but outside the fences (possible when fence skip is
+    // disabled): a false positive that fence pointers resolve without I/O.
+    ++stats->bloom_false_positives;
+    return std::nullopt;
+  }
+  std::vector<Entry> entries;
+  store_->ReadPage(segment_, *page, IoContext::kPointQuery, &entries);
+  // Binary search within the page.
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const Entry& e, Key k) { return e.key < k; });
+  if (it != entries.end() && it->key == key) return *it;
+  ++stats->bloom_false_positives;
+  return std::nullopt;
+}
+
+Run::Iterator::Iterator(const Run* run, size_t start_page, size_t end_page,
+                        IoContext ctx)
+    : run_(run), end_page_(end_page), current_page_(start_page), ctx_(ctx) {
+  ENDURE_DCHECK(end_page < run->num_pages());
+  ENDURE_DCHECK(start_page <= end_page);
+  LoadPage(current_page_);
+}
+
+void Run::Iterator::LoadPage(size_t page) {
+  run_->store_->ReadPage(run_->segment_, page, ctx_, &buffer_);
+  index_in_page_ = 0;
+}
+
+bool Run::Iterator::Valid() const { return !exhausted_; }
+
+const Entry& Run::Iterator::entry() const {
+  ENDURE_DCHECK(Valid());
+  return buffer_[index_in_page_];
+}
+
+void Run::Iterator::Next() {
+  ENDURE_DCHECK(Valid());
+  if (++index_in_page_ < buffer_.size()) return;
+  if (current_page_ == end_page_) {
+    exhausted_ = true;
+    return;
+  }
+  LoadPage(++current_page_);
+}
+
+Run::Iterator Run::NewIterator(IoContext ctx) const {
+  return Iterator(this, 0, num_pages() - 1, ctx);
+}
+
+void Run::BlindSeek() const {
+  ++store_->stats()->range_seeks;
+  std::vector<Entry> discard;
+  store_->ReadPage(segment_, 0, IoContext::kRangeQuery, &discard);
+}
+
+std::optional<Run::Iterator> Run::NewRangeIterator(Key lo, Key hi) const {
+  const auto pages = fences_->PageRange(lo, hi);
+  if (!pages.has_value()) return std::nullopt;
+  ++store_->stats()->range_seeks;
+  return Iterator(this, pages->first, pages->second, IoContext::kRangeQuery);
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,86 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// An immutable sorted run: page-resident entries plus in-memory Bloom
+// filter and fence pointers. Point lookups probe the filter first (no
+// I/O), then read at most one page through the fence pointers; scans read
+// pages sequentially.
+
+#ifndef ENDURE_LSM_RUN_H_
+#define ENDURE_LSM_RUN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lsm/bloom_filter.h"
+#include "lsm/fence_pointers.h"
+#include "lsm/page_store.h"
+
+namespace endure::lsm {
+
+/// Immutable sorted run (the on-disk unit of the LSM tree).
+class Run {
+ public:
+  /// Takes ownership of the segment (freed on destruction).
+  Run(PageStore* store, SegmentId segment, std::unique_ptr<BloomFilter> bloom,
+      std::unique_ptr<FencePointers> fences, uint64_t num_entries);
+  ~Run();
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(Run);
+
+  uint64_t num_entries() const { return num_entries_; }
+  size_t num_pages() const { return fences_->num_pages(); }
+  Key min_key() const { return fences_->min_key(); }
+  Key max_key() const { return fences_->max_key(); }
+  const BloomFilter& bloom() const { return *bloom_; }
+
+  /// Point lookup. Counts bloom/fence activity and at most one page read
+  /// (IoContext::kPointQuery). `use_fence_skip` short-circuits keys outside
+  /// [min,max] without touching the filter.
+  std::optional<Entry> Get(Key key, bool use_fence_skip) const;
+
+  /// Sequential reader over [start_page, end_page] (inclusive); reads one
+  /// page at a time through the store, attributing I/O to `ctx`.
+  class Iterator {
+   public:
+    Iterator(const Run* run, size_t start_page, size_t end_page,
+             IoContext ctx);
+
+    bool Valid() const;
+    const Entry& entry() const;
+    void Next();
+
+   private:
+    void LoadPage(size_t page);
+
+    const Run* run_;
+    size_t end_page_;
+    size_t current_page_;
+    size_t index_in_page_ = 0;
+    IoContext ctx_;
+    std::vector<Entry> buffer_;
+    bool exhausted_ = false;
+  };
+
+  /// Full-run scan (compactions).
+  Iterator NewIterator(IoContext ctx) const;
+
+  /// Range scan over keys in [lo, hi); returns nullopt (no I/O) when the
+  /// run cannot overlap. Counts one range seek when it does.
+  std::optional<Iterator> NewRangeIterator(Key lo, Key hi) const;
+
+  /// Reads the run's first page under the range-query context, counting a
+  /// seek — used to emulate the cost model's one-seek-per-run assumption
+  /// when fence-pointer skipping is disabled.
+  void BlindSeek() const;
+
+ private:
+  PageStore* store_;
+  SegmentId segment_;
+  std::unique_ptr<BloomFilter> bloom_;
+  std::unique_ptr<FencePointers> fences_;
+  uint64_t num_entries_;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_RUN_H_

@@ -1,0 +1,51 @@
+#include "lsm/run_builder.h"
+
+namespace endure::lsm {
+
+RunBuilder::RunBuilder(PageStore* store, double bits_per_entry, IoContext ctx)
+    : store_(store), bits_per_entry_(bits_per_entry), ctx_(ctx) {
+  ENDURE_CHECK(store != nullptr);
+}
+
+void RunBuilder::Add(const Entry& e) {
+  ENDURE_CHECK_MSG(!finished_, "builder already finished");
+  if (!entries_.empty()) {
+    ENDURE_CHECK_MSG(e.key > entries_.back().key,
+                     "run keys must be strictly ascending");
+  }
+  entries_.push_back(e);
+}
+
+std::shared_ptr<Run> RunBuilder::Finish() {
+  ENDURE_CHECK_MSG(!finished_, "builder already finished");
+  ENDURE_CHECK_MSG(!entries_.empty(), "cannot build an empty run");
+  finished_ = true;
+
+  const uint64_t per_page = store_->entries_per_page();
+  auto bloom = std::make_unique<BloomFilter>(entries_.size(),
+                                             bits_per_entry_);
+  std::vector<Key> first_keys;
+  first_keys.reserve(entries_.size() / per_page + 1);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    bloom->Add(entries_[i].key);
+    if (i % per_page == 0) first_keys.push_back(entries_[i].key);
+  }
+  auto fences = std::make_unique<FencePointers>(std::move(first_keys),
+                                                entries_.back().key);
+  const SegmentId segment = store_->WriteSegment(entries_, ctx_);
+  auto run = std::make_shared<Run>(store_, segment, std::move(bloom),
+                                   std::move(fences), entries_.size());
+  entries_.clear();
+  entries_.shrink_to_fit();
+  return run;
+}
+
+std::shared_ptr<Run> BuildRun(PageStore* store,
+                              const std::vector<Entry>& sorted_entries,
+                              double bits_per_entry, IoContext ctx) {
+  RunBuilder builder(store, bits_per_entry, ctx);
+  for (const Entry& e : sorted_entries) builder.Add(e);
+  return builder.Finish();
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,49 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Builds immutable runs: accumulates key-ascending entries, lays them out
+// in pages, and constructs the per-run Bloom filter and fence pointers.
+
+#ifndef ENDURE_LSM_RUN_BUILDER_H_
+#define ENDURE_LSM_RUN_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/run.h"
+
+namespace endure::lsm {
+
+/// One-shot builder; Finish() may be called once.
+class RunBuilder {
+ public:
+  /// `bits_per_entry` sizes the run's Bloom filter (Monkey gives different
+  /// budgets per level); `ctx` attributes the segment write (flush,
+  /// compaction or bulk load).
+  RunBuilder(PageStore* store, double bits_per_entry, IoContext ctx);
+
+  /// Appends an entry; keys must be strictly ascending.
+  void Add(const Entry& e);
+
+  /// Number of entries added so far.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Builds the run. Requires at least one entry.
+  std::shared_ptr<Run> Finish();
+
+ private:
+  PageStore* store_;
+  double bits_per_entry_;
+  IoContext ctx_;
+  std::vector<Entry> entries_;
+  bool finished_ = false;
+};
+
+/// Convenience: builds a run directly from sorted entries.
+std::shared_ptr<Run> BuildRun(PageStore* store,
+                              const std::vector<Entry>& sorted_entries,
+                              double bits_per_entry, IoContext ctx);
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_RUN_BUILDER_H_

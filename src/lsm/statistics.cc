@@ -1,0 +1,101 @@
+#include "lsm/statistics.h"
+
+#include <cstdio>
+
+namespace endure::lsm {
+
+void Statistics::OnPageRead(IoContext ctx, uint64_t pages) {
+  pages_read += pages;
+  switch (ctx) {
+    case IoContext::kPointQuery:
+      point_pages_read += pages;
+      break;
+    case IoContext::kRangeQuery:
+      range_pages_read += pages;
+      break;
+    case IoContext::kCompaction:
+      compaction_pages_read += pages;
+      break;
+    case IoContext::kFlush:
+    case IoContext::kBulkLoad:
+      break;
+  }
+}
+
+void Statistics::OnPageWrite(IoContext ctx, uint64_t pages) {
+  pages_written += pages;
+  switch (ctx) {
+    case IoContext::kFlush:
+      flush_pages_written += pages;
+      break;
+    case IoContext::kCompaction:
+      compaction_pages_written += pages;
+      break;
+    case IoContext::kBulkLoad:
+      bulk_load_pages_written += pages;
+      break;
+    case IoContext::kPointQuery:
+    case IoContext::kRangeQuery:
+      break;
+  }
+}
+
+Statistics Statistics::Delta(const Statistics& b) const {
+  Statistics d;
+  d.pages_read = pages_read - b.pages_read;
+  d.pages_written = pages_written - b.pages_written;
+  d.point_pages_read = point_pages_read - b.point_pages_read;
+  d.range_pages_read = range_pages_read - b.range_pages_read;
+  d.range_seeks = range_seeks - b.range_seeks;
+  d.flush_pages_written = flush_pages_written - b.flush_pages_written;
+  d.compaction_pages_read = compaction_pages_read - b.compaction_pages_read;
+  d.compaction_pages_written =
+      compaction_pages_written - b.compaction_pages_written;
+  d.bulk_load_pages_written =
+      bulk_load_pages_written - b.bulk_load_pages_written;
+  d.bloom_probes = bloom_probes - b.bloom_probes;
+  d.bloom_negatives = bloom_negatives - b.bloom_negatives;
+  d.bloom_false_positives = bloom_false_positives - b.bloom_false_positives;
+  d.fence_skips = fence_skips - b.fence_skips;
+  d.gets = gets - b.gets;
+  d.range_queries = range_queries - b.range_queries;
+  d.writes = writes - b.writes;
+  d.flushes = flushes - b.flushes;
+  d.compactions = compactions - b.compactions;
+  return d;
+}
+
+std::string Statistics::ToString() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "Statistics{\n"
+      "  pages_read=%llu (point=%llu range=%llu compaction=%llu)\n"
+      "  pages_written=%llu (flush=%llu compaction=%llu bulk=%llu)\n"
+      "  range_seeks=%llu\n"
+      "  bloom: probes=%llu negatives=%llu false_positives=%llu\n"
+      "  fence_skips=%llu\n"
+      "  ops: gets=%llu ranges=%llu writes=%llu flushes=%llu "
+      "compactions=%llu\n}",
+      static_cast<unsigned long long>(pages_read),
+      static_cast<unsigned long long>(point_pages_read),
+      static_cast<unsigned long long>(range_pages_read),
+      static_cast<unsigned long long>(compaction_pages_read),
+      static_cast<unsigned long long>(pages_written),
+      static_cast<unsigned long long>(flush_pages_written),
+      static_cast<unsigned long long>(compaction_pages_written),
+      static_cast<unsigned long long>(bulk_load_pages_written),
+      static_cast<unsigned long long>(range_seeks),
+      static_cast<unsigned long long>(bloom_probes),
+      static_cast<unsigned long long>(bloom_negatives),
+      static_cast<unsigned long long>(bloom_false_positives),
+      static_cast<unsigned long long>(fence_skips),
+      static_cast<unsigned long long>(gets),
+      static_cast<unsigned long long>(range_queries),
+      static_cast<unsigned long long>(writes),
+      static_cast<unsigned long long>(flushes),
+      static_cast<unsigned long long>(compactions));
+  return buf;
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,68 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// I/O and operation statistics — the engine-side equivalent of the RocksDB
+// statistics module the paper reads its measurements from (Section 8.1):
+// logical page accesses for reads, pages flushed on writes, and pages read
+// and written by compactions, kept per cause so experiments can attribute
+// I/O to query classes.
+
+#ifndef ENDURE_LSM_STATISTICS_H_
+#define ENDURE_LSM_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace endure::lsm {
+
+/// Why a page access happened (controls which counters are bumped).
+enum class IoContext {
+  kPointQuery = 0,
+  kRangeQuery = 1,
+  kFlush = 2,
+  kCompaction = 3,
+  kBulkLoad = 4,
+};
+
+/// Aggregate counters. Plain struct: cheap to snapshot and diff.
+struct Statistics {
+  // --- page-level I/O ---
+  uint64_t pages_read = 0;              ///< all page reads
+  uint64_t pages_written = 0;           ///< all page writes
+  uint64_t point_pages_read = 0;        ///< page reads serving point queries
+  uint64_t range_pages_read = 0;        ///< page reads serving range queries
+  uint64_t range_seeks = 0;             ///< runs touched by range queries
+  uint64_t flush_pages_written = 0;     ///< pages written by memtable flushes
+  uint64_t compaction_pages_read = 0;   ///< pages read by compactions
+  uint64_t compaction_pages_written = 0;///< pages written by compactions
+  uint64_t bulk_load_pages_written = 0; ///< pages written during bulk load
+
+  // --- filter / fence behaviour ---
+  uint64_t bloom_probes = 0;           ///< bloom filter membership tests
+  uint64_t bloom_negatives = 0;        ///< probes that skipped a run
+  uint64_t bloom_false_positives = 0;  ///< page reads that found nothing
+  uint64_t fence_skips = 0;            ///< runs skipped via min/max range
+
+  // --- operations ---
+  uint64_t gets = 0;
+  uint64_t range_queries = 0;
+  uint64_t writes = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+
+  /// Records one page read attributed to `ctx`.
+  void OnPageRead(IoContext ctx, uint64_t pages = 1);
+
+  /// Records one page write attributed to `ctx`.
+  void OnPageWrite(IoContext ctx, uint64_t pages = 1);
+
+  /// Component-wise difference (this - baseline); used to measure a single
+  /// workload session.
+  Statistics Delta(const Statistics& baseline) const;
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_STATISTICS_H_

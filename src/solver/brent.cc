@@ -1,0 +1,93 @@
+#include "solver/brent.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure::solver {
+
+Result1D BrentMinimize(const Objective1D& f, double a, double b,
+                       const BrentOptions& opts) {
+  ENDURE_CHECK(a < b);
+  constexpr double kGolden = 0.3819660112501051;  // (3 - sqrt(5)) / 2
+  const double eps = 1e-14;
+
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+
+  Result1D result;
+  for (int iter = 0; iter < opts.max_iter; ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol1 = opts.tol * std::fabs(x) + eps;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - m) <= tol2 - 0.5 * (b - a)) {
+      result.converged = true;
+      result.iterations = iter;
+      break;
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Attempt parabolic interpolation through (v, w, x).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = (m > x) ? tol1 : -tol1;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < m) ? b - x : a - x;
+      d = kGolden * e;
+    }
+    const double u =
+        (std::fabs(d) >= tol1) ? x + d : x + ((d > 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    result.iterations = iter + 1;
+    if (fu <= fx) {
+      if (u < x) {
+        b = x;
+      } else {
+        a = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.fx = fx;
+  return result;
+}
+
+}  // namespace endure::solver

@@ -1,0 +1,29 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Brent's method for 1-D minimization over a bracket [a, b]: combines
+// parabolic interpolation with golden-section fallback. Used to minimize the
+// robust dual g(lambda) (convex in lambda after the analytic eta
+// elimination) in the Endure robust tuner.
+
+#ifndef ENDURE_SOLVER_BRENT_H_
+#define ENDURE_SOLVER_BRENT_H_
+
+#include "solver/objective.h"
+
+namespace endure::solver {
+
+/// Options for BrentMinimize.
+struct BrentOptions {
+  double tol = 1e-10;     ///< relative x tolerance
+  int max_iter = 200;     ///< iteration cap
+};
+
+/// Minimizes f over [a, b]. Requires a < b. The function need not be
+/// unimodal — the method still returns a local minimum inside the bracket —
+/// but for convex f (the robust dual) the result is the global minimum.
+Result1D BrentMinimize(const Objective1D& f, double a, double b,
+                       const BrentOptions& opts = {});
+
+}  // namespace endure::solver
+
+#endif  // ENDURE_SOLVER_BRENT_H_

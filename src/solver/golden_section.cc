@@ -1,0 +1,48 @@
+#include "solver/golden_section.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure::solver {
+
+Result1D GoldenSectionMinimize(const Objective1D& f, double a, double b,
+                               const GoldenSectionOptions& opts) {
+  ENDURE_CHECK(a < b);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+
+  Result1D result;
+  int iter = 0;
+  while (iter < opts.max_iter && (b - a) > opts.tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+    ++iter;
+  }
+  result.converged = (b - a) <= opts.tol;
+  result.iterations = iter;
+  if (fc < fd) {
+    result.x = c;
+    result.fx = fc;
+  } else {
+    result.x = d;
+    result.fx = fd;
+  }
+  return result;
+}
+
+}  // namespace endure::solver

@@ -1,0 +1,27 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Golden-section search: a derivative-free 1-D minimizer with guaranteed
+// linear convergence on unimodal functions. Kept alongside Brent both as a
+// fallback and as a cross-check in tests (the two must agree on convex
+// duals).
+
+#ifndef ENDURE_SOLVER_GOLDEN_SECTION_H_
+#define ENDURE_SOLVER_GOLDEN_SECTION_H_
+
+#include "solver/objective.h"
+
+namespace endure::solver {
+
+/// Options for GoldenSectionMinimize.
+struct GoldenSectionOptions {
+  double tol = 1e-10;   ///< absolute bracket-width tolerance
+  int max_iter = 400;   ///< iteration cap
+};
+
+/// Minimizes f over [a, b] by golden-section search. Requires a < b.
+Result1D GoldenSectionMinimize(const Objective1D& f, double a, double b,
+                               const GoldenSectionOptions& opts = {});
+
+}  // namespace endure::solver
+
+#endif  // ENDURE_SOLVER_GOLDEN_SECTION_H_

@@ -1,0 +1,81 @@
+#include "solver/gradient.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure::solver {
+
+std::vector<double> NumericalGradient(const Objective& f,
+                                      const std::vector<double>& x,
+                                      double h) {
+  std::vector<double> g(x.size());
+  std::vector<double> xp = x, xm = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double step = h * std::max(1.0, std::fabs(x[i]));
+    xp[i] = x[i] + step;
+    xm[i] = x[i] - step;
+    g[i] = (f(xp) - f(xm)) / (2.0 * step);
+    xp[i] = x[i];
+    xm[i] = x[i];
+  }
+  return g;
+}
+
+Result ProjectedGradientDescent(const Objective& f, std::vector<double> x0,
+                                const Bounds& bounds,
+                                const GradientDescentOptions& opts) {
+  ENDURE_CHECK(x0.size() == bounds.dim());
+  Result result;
+  std::vector<double> x = bounds.Clamp(std::move(x0));
+  double fx = f(x);
+  result.evaluations = 1;
+
+  for (int iter = 0; iter < opts.max_iter; ++iter) {
+    result.iterations = iter;
+    std::vector<double> g = NumericalGradient(f, x, opts.fd_step);
+    result.evaluations += 2 * static_cast<int>(x.size());
+
+    double gnorm = 0.0;
+    for (double gi : g) gnorm += gi * gi;
+    gnorm = std::sqrt(gnorm);
+    if (gnorm < opts.g_tol) {
+      result.converged = true;
+      break;
+    }
+
+    // Backtracking line search on the projected step.
+    double step = opts.step;
+    bool improved = false;
+    for (int bt = 0; bt < 40; ++bt) {
+      std::vector<double> xn(x.size());
+      for (size_t i = 0; i < x.size(); ++i) xn[i] = x[i] - step * g[i];
+      xn = bounds.Clamp(std::move(xn));
+      const double fn = f(xn);
+      ++result.evaluations;
+      if (fn < fx - 1e-18) {
+        if (fx - fn < opts.f_tol) {
+          x = std::move(xn);
+          fx = fn;
+          result.converged = true;
+          improved = true;
+          break;
+        }
+        x = std::move(xn);
+        fx = fn;
+        improved = true;
+        break;
+      }
+      step *= opts.backtrack;
+    }
+    if (!improved || result.converged) {
+      if (!improved) result.converged = true;  // no descent direction left
+      break;
+    }
+  }
+  result.x = std::move(x);
+  result.fx = fx;
+  return result;
+}
+
+}  // namespace endure::solver

@@ -1,0 +1,37 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Central-difference gradients and a projected gradient-descent minimizer.
+// Used (a) in tests to validate the convexity/KKT structure of the robust
+// dual, and (b) as an independent cross-check optimizer for the tuners.
+
+#ifndef ENDURE_SOLVER_GRADIENT_H_
+#define ENDURE_SOLVER_GRADIENT_H_
+
+#include "solver/objective.h"
+
+namespace endure::solver {
+
+/// Central-difference gradient of f at x with relative step h.
+std::vector<double> NumericalGradient(const Objective& f,
+                                      const std::vector<double>& x,
+                                      double h = 1e-6);
+
+/// Options for ProjectedGradientDescent.
+struct GradientDescentOptions {
+  double step = 0.1;          ///< initial step size
+  double backtrack = 0.5;     ///< step shrink factor on non-improvement
+  double g_tol = 1e-8;        ///< gradient-norm convergence tolerance
+  double f_tol = 1e-12;       ///< objective-improvement tolerance
+  int max_iter = 1000;        ///< iteration cap
+  double fd_step = 1e-6;      ///< finite-difference step
+};
+
+/// Minimizes f over the box via gradient descent with backtracking line
+/// search; iterates are projected (clamped) into the box.
+Result ProjectedGradientDescent(const Objective& f, std::vector<double> x0,
+                                const Bounds& bounds,
+                                const GradientDescentOptions& opts = {});
+
+}  // namespace endure::solver
+
+#endif  // ENDURE_SOLVER_GRADIENT_H_

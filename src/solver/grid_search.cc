@@ -1,0 +1,58 @@
+#include "solver/grid_search.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace endure::solver {
+
+std::vector<GridPoint> GridSearch(const Objective& f, const Bounds& bounds,
+                                  const GridOptions& opts) {
+  const size_t n = bounds.dim();
+  ENDURE_CHECK(opts.points_per_dim.size() == n);
+  ENDURE_CHECK(opts.top_k >= 1);
+  for (int p : opts.points_per_dim) ENDURE_CHECK(p >= 2);
+
+  std::vector<GridPoint> best;
+  auto consider = [&](std::vector<double> x, double fx) {
+    if (static_cast<int>(best.size()) < opts.top_k) {
+      best.push_back({std::move(x), fx});
+      std::sort(best.begin(), best.end(),
+                [](const GridPoint& a, const GridPoint& b) {
+                  return a.fx < b.fx;
+                });
+      return;
+    }
+    if (fx < best.back().fx) {
+      best.back() = {std::move(x), fx};
+      std::sort(best.begin(), best.end(),
+                [](const GridPoint& a, const GridPoint& b) {
+                  return a.fx < b.fx;
+                });
+    }
+  };
+
+  // Odometer-style iteration over the grid.
+  std::vector<int> idx(n, 0);
+  std::vector<double> x(n);
+  while (true) {
+    for (size_t i = 0; i < n; ++i) {
+      const int steps = opts.points_per_dim[i] - 1;
+      x[i] = bounds.lo[i] +
+             (bounds.hi[i] - bounds.lo[i]) * static_cast<double>(idx[i]) /
+                 static_cast<double>(steps);
+    }
+    consider(x, f(x));
+    // Advance odometer.
+    size_t d = 0;
+    while (d < n) {
+      if (++idx[d] < opts.points_per_dim[d]) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == n) break;
+  }
+  return best;
+}
+
+}  // namespace endure::solver

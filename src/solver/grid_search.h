@@ -1,0 +1,35 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Exhaustive grid search over a box. The tuners run a coarse grid scan
+// first to seed Nelder-Mead restarts: the LSM cost surface has plateaus and
+// ridges at level-count boundaries where purely local methods can park.
+
+#ifndef ENDURE_SOLVER_GRID_SEARCH_H_
+#define ENDURE_SOLVER_GRID_SEARCH_H_
+
+#include "solver/objective.h"
+
+namespace endure::solver {
+
+/// Options for GridSearch.
+struct GridOptions {
+  /// Points per dimension (>= 2). Total evaluations = prod(points_per_dim).
+  std::vector<int> points_per_dim;
+  /// Keep the best `top_k` grid points (for seeding local refinement).
+  int top_k = 1;
+};
+
+/// One retained grid point.
+struct GridPoint {
+  std::vector<double> x;
+  double fx;
+};
+
+/// Evaluates f on a regular grid over `bounds` and returns the best
+/// `opts.top_k` points ordered best-first.
+std::vector<GridPoint> GridSearch(const Objective& f, const Bounds& bounds,
+                                  const GridOptions& opts);
+
+}  // namespace endure::solver
+
+#endif  // ENDURE_SOLVER_GRID_SEARCH_H_

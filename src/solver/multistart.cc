@@ -1,0 +1,39 @@
+#include "solver/multistart.h"
+
+#include "solver/grid_search.h"
+
+namespace endure::solver {
+
+Result MultiStartMinimize(const Objective& f, const Bounds& bounds,
+                          const MultiStartOptions& opts) {
+  const size_t n = bounds.dim();
+
+  GridOptions grid_opts;
+  grid_opts.points_per_dim.assign(n, opts.grid_points_per_dim);
+  grid_opts.top_k = opts.grid_seeds;
+  std::vector<GridPoint> seeds = GridSearch(f, bounds, grid_opts);
+
+  Rng rng(opts.seed);
+  for (int s = 0; s < opts.random_starts; ++s) {
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.Uniform(bounds.lo[i], bounds.hi[i]);
+    }
+    seeds.push_back({std::move(x), 0.0});
+  }
+
+  Result best;
+  int total_evals = 0;
+  int total_iters = 0;
+  for (const auto& seed : seeds) {
+    Result r = NelderMeadMinimize(f, seed.x, bounds, opts.nm);
+    total_evals += r.evaluations;
+    total_iters += r.iterations;
+    if (r.fx < best.fx) best = std::move(r);
+  }
+  best.evaluations = total_evals;
+  best.iterations = total_iters;
+  return best;
+}
+
+}  // namespace endure::solver

@@ -1,0 +1,32 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Multi-start Nelder-Mead: grid-seeded plus random restarts. This is the
+// global strategy used by both tuners (the paper reports using an
+// "off-the-shelf global minimizer from SciPy" for the same reason).
+
+#ifndef ENDURE_SOLVER_MULTISTART_H_
+#define ENDURE_SOLVER_MULTISTART_H_
+
+#include "solver/nelder_mead.h"
+#include "solver/objective.h"
+#include "util/random.h"
+
+namespace endure::solver {
+
+/// Options for MultiStartMinimize.
+struct MultiStartOptions {
+  int grid_points_per_dim = 8;   ///< coarse seeding grid resolution
+  int grid_seeds = 4;            ///< best grid points promoted to NM starts
+  int random_starts = 4;         ///< extra uniform-random NM starts
+  uint64_t seed = 1234;          ///< RNG seed for the random starts
+  NelderMeadOptions nm;          ///< per-start local options
+};
+
+/// Globally minimizes f over `bounds` via grid-seeded + random-restart
+/// Nelder-Mead; returns the best local result.
+Result MultiStartMinimize(const Objective& f, const Bounds& bounds,
+                          const MultiStartOptions& opts = {});
+
+}  // namespace endure::solver
+
+#endif  // ENDURE_SOLVER_MULTISTART_H_

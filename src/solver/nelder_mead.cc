@@ -1,0 +1,148 @@
+#include "solver/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/macros.h"
+
+namespace endure::solver {
+
+std::vector<double> Bounds::Clamp(std::vector<double> x) const {
+  ENDURE_DCHECK(x.size() == lo.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+  }
+  return x;
+}
+
+bool Bounds::Contains(const std::vector<double>& x) const {
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < lo[i] || x[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double fx;
+};
+
+}  // namespace
+
+Result NelderMeadMinimize(const Objective& f, std::vector<double> x0,
+                          const Bounds& bounds,
+                          const NelderMeadOptions& opts) {
+  const size_t n = bounds.dim();
+  ENDURE_CHECK(n >= 1);
+  ENDURE_CHECK(x0.size() == n);
+  x0 = bounds.Clamp(std::move(x0));
+
+  Result result;
+  auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return f(bounds.Clamp(x));
+  };
+
+  // Initial simplex: x0 plus a step along each axis (flipped if it would
+  // leave the box).
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({x0, eval(x0)});
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> xi = x0;
+    double step = opts.initial_step * (bounds.hi[i] - bounds.lo[i]);
+    if (step == 0.0) step = opts.initial_step;
+    if (xi[i] + step > bounds.hi[i]) step = -step;
+    xi[i] += step;
+    simplex.push_back({xi, eval(xi)});
+  }
+
+  auto by_f = [](const Vertex& a, const Vertex& b) { return a.fx < b.fx; };
+
+  for (int iter = 0; iter < opts.max_iter; ++iter) {
+    std::sort(simplex.begin(), simplex.end(), by_f);
+    result.iterations = iter;
+
+    // Convergence: spread in f and in x.
+    const double f_spread = std::fabs(simplex.back().fx - simplex.front().fx);
+    double x_spread = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double mx = simplex[0].x[i], mn = simplex[0].x[i];
+      for (const auto& v : simplex) {
+        mx = std::max(mx, v.x[i]);
+        mn = std::min(mn, v.x[i]);
+      }
+      x_spread = std::max(x_spread, mx - mn);
+    }
+    if (f_spread < opts.f_tol && x_spread < opts.x_tol) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t v = 0; v < n; ++v) {
+      for (size_t i = 0; i < n; ++i) centroid[i] += simplex[v].x[i];
+    }
+    for (size_t i = 0; i < n; ++i) centroid[i] /= static_cast<double>(n);
+
+    Vertex& worst = simplex.back();
+    const Vertex& best = simplex.front();
+    const Vertex& second_worst = simplex[n - 1];
+
+    auto affine = [&](double t) {
+      std::vector<double> x(n);
+      for (size_t i = 0; i < n; ++i) {
+        x[i] = centroid[i] + t * (worst.x[i] - centroid[i]);
+      }
+      return bounds.Clamp(std::move(x));
+    };
+
+    // Reflection.
+    std::vector<double> xr = affine(-opts.alpha);
+    const double fr = eval(xr);
+    if (fr < best.fx) {
+      // Expansion.
+      std::vector<double> xe = affine(-opts.alpha * opts.gamma);
+      const double fe = eval(xe);
+      if (fe < fr) {
+        worst = {std::move(xe), fe};
+      } else {
+        worst = {std::move(xr), fr};
+      }
+      continue;
+    }
+    if (fr < second_worst.fx) {
+      worst = {std::move(xr), fr};
+      continue;
+    }
+    // Contraction (outside if the reflected point improved on the worst,
+    // inside otherwise).
+    const bool outside = fr < worst.fx;
+    std::vector<double> xc = affine(outside ? -opts.alpha * opts.rho : opts.rho);
+    const double fc = eval(xc);
+    if (fc < std::min(fr, worst.fx)) {
+      worst = {std::move(xc), fc};
+      continue;
+    }
+    // Shrink towards the best vertex.
+    for (size_t v = 1; v <= n; ++v) {
+      for (size_t i = 0; i < n; ++i) {
+        simplex[v].x[i] =
+            best.x[i] + opts.sigma * (simplex[v].x[i] - best.x[i]);
+      }
+      simplex[v].x = bounds.Clamp(std::move(simplex[v].x));
+      simplex[v].fx = eval(simplex[v].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_f);
+  result.x = simplex.front().x;
+  result.fx = simplex.front().fx;
+  return result;
+}
+
+}  // namespace endure::solver

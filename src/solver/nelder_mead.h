@@ -1,0 +1,38 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Nelder-Mead downhill simplex with box bounds. This is the workhorse of
+// the tuners: the LSM cost surface is only piecewise-smooth in T (the
+// number of levels L(T) is a ceil), so a derivative-free method with
+// restarts is the right tool — the paper's SLSQP plays the same role on the
+// Python side.
+
+#ifndef ENDURE_SOLVER_NELDER_MEAD_H_
+#define ENDURE_SOLVER_NELDER_MEAD_H_
+
+#include "solver/objective.h"
+
+namespace endure::solver {
+
+/// Options for NelderMeadMinimize.
+struct NelderMeadOptions {
+  double f_tol = 1e-10;        ///< simplex f-spread convergence tolerance
+  double x_tol = 1e-10;        ///< simplex x-spread convergence tolerance
+  int max_iter = 2000;         ///< iteration cap
+  double initial_step = 0.1;   ///< initial simplex edge, relative to box size
+  // Standard NM coefficients.
+  double alpha = 1.0;          ///< reflection
+  double gamma = 2.0;          ///< expansion
+  double rho = 0.5;            ///< contraction
+  double sigma = 0.5;          ///< shrink
+};
+
+/// Minimizes f within `bounds` starting from x0 (clamped into the box).
+/// Points outside the box are clamped before evaluation, which keeps the
+/// method feasible without penalty tuning.
+Result NelderMeadMinimize(const Objective& f, std::vector<double> x0,
+                          const Bounds& bounds,
+                          const NelderMeadOptions& opts = {});
+
+}  // namespace endure::solver
+
+#endif  // ENDURE_SOLVER_NELDER_MEAD_H_

@@ -1,0 +1,56 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Common types for the numerical-optimization substrate. The Endure tuners
+// (src/core) express nominal and robust tuning as minimizations of these
+// objective types, mirroring how the paper delegates Eq. (10) to SciPy's
+// SLSQP.
+
+#ifndef ENDURE_SOLVER_OBJECTIVE_H_
+#define ENDURE_SOLVER_OBJECTIVE_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace endure::solver {
+
+/// Scalar objective over an n-dimensional point.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Scalar objective over a single variable.
+using Objective1D = std::function<double(double)>;
+
+/// Box constraints: per-dimension [lo, hi].
+struct Bounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  size_t dim() const { return lo.size(); }
+
+  /// Clamps x into the box, component-wise.
+  std::vector<double> Clamp(std::vector<double> x) const;
+
+  /// True when x lies inside the box (inclusive).
+  bool Contains(const std::vector<double>& x) const;
+};
+
+/// Result of a minimization.
+struct Result {
+  std::vector<double> x;       ///< best point found
+  double fx = std::numeric_limits<double>::infinity();  ///< objective there
+  int iterations = 0;          ///< iterations performed
+  int evaluations = 0;         ///< objective evaluations
+  bool converged = false;      ///< tolerance met before iteration cap
+};
+
+/// Result of a 1-D minimization.
+struct Result1D {
+  double x = 0.0;
+  double fx = std::numeric_limits<double>::infinity();
+  int iterations = 0;
+  bool converged = false;
+};
+
+}  // namespace endure::solver
+
+#endif  // ENDURE_SOLVER_OBJECTIVE_H_

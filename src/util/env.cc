@@ -1,0 +1,36 @@
+#include "util/env.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace endure {
+
+int64_t GetEnvInt(const std::string& name, int64_t def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return def;
+  return parsed;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double WallTimer::Seconds() const {
+  return static_cast<double>(NowNanos() - start_) * 1e-9;
+}
+
+}  // namespace endure

@@ -1,0 +1,43 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Small environment helpers: reading scale knobs for the experiment
+// drivers (so CI can run the suite quickly while a full paper-scale run is
+// one env var away) and monotonic timing.
+
+#ifndef ENDURE_UTIL_ENV_H_
+#define ENDURE_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace endure {
+
+/// Reads an integer environment variable, returning `def` when unset or
+/// unparsable.
+int64_t GetEnvInt(const std::string& name, int64_t def);
+
+/// Reads a double environment variable, returning `def` when unset or
+/// unparsable.
+double GetEnvDouble(const std::string& name, double def);
+
+/// Monotonic wall-clock time in nanoseconds.
+int64_t NowNanos();
+
+/// Simple scope timer: returns elapsed seconds since construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(NowNanos()) {}
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const;
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+  /// Restarts the timer.
+  void Reset() { start_ = NowNanos(); }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_ENV_H_

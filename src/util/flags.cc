@@ -1,0 +1,192 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/macros.h"
+
+namespace endure {
+
+void FlagParser::AddString(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.str_value = def;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t def,
+                        const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = def;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddDouble(const std::string& name, double def,
+                           const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.dbl_value = def;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::AddBool(const std::string& name, bool def,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = def;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    bool have_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag& flag = it->second;
+    if (!have_value && flag.type != Type::kBool) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a value");
+      }
+      value = argv[++i];
+      have_value = true;
+    }
+    char* end = nullptr;
+    switch (flag.type) {
+      case Type::kString:
+        flag.str_value = value;
+        break;
+      case Type::kInt:
+        flag.int_value = std::strtoll(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0') {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects an integer");
+        }
+        break;
+      case Type::kDouble:
+        flag.dbl_value = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects a number");
+        }
+        break;
+      case Type::kBool:
+        if (!have_value || value == "true" || value == "1") {
+          flag.bool_value = true;
+        } else if (value == "false" || value == "0") {
+          flag.bool_value = false;
+        } else {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects true/false");
+        }
+        break;
+    }
+    flag.set = true;
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::Lookup(const std::string& name,
+                                           Type type) const {
+  auto it = flags_.find(name);
+  ENDURE_CHECK_MSG(it != flags_.end(), "unregistered flag");
+  ENDURE_CHECK_MSG(it->second.type == type, "flag type mismatch");
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).str_value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return Lookup(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return Lookup(name, Type::kDouble).dbl_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return Lookup(name, Type::kBool).bool_value;
+}
+
+bool FlagParser::IsSet(const std::string& name) const {
+  auto it = flags_.find(name);
+  ENDURE_CHECK_MSG(it != flags_.end(), "unregistered flag");
+  return it->second.set;
+}
+
+std::string FlagParser::Usage() const {
+  std::string out;
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    switch (flag.type) {
+      case Type::kString:
+        out += " (string, default: \"" + flag.str_value + "\")";
+        break;
+      case Type::kInt:
+        out += " (int, default: " + std::to_string(flag.int_value) + ")";
+        break;
+      case Type::kDouble:
+        out += " (double, default: " + std::to_string(flag.dbl_value) + ")";
+        break;
+      case Type::kBool:
+        out += std::string(" (bool, default: ") +
+               (flag.bool_value ? "true" : "false") + ")";
+        break;
+    }
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> ParseCsvDoubles(const std::string& csv,
+                                              size_t expected_count) {
+  std::vector<double> out;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = csv.find(',', pos);
+    const std::string part =
+        csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    if (part.empty()) {
+      return Status::InvalidArgument("empty component in '" + csv + "'");
+    }
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad number '" + part + "'");
+    }
+    out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.size() != expected_count) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(expected_count) +
+                                   " comma-separated values");
+  }
+  return out;
+}
+
+}  // namespace endure

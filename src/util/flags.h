@@ -1,0 +1,75 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Minimal command-line flag parser for the endure CLI and tools:
+// `--name value` / `--name=value` / bare boolean `--name`, with typed
+// accessors, defaults and generated usage text. No global state.
+
+#ifndef ENDURE_UTIL_FLAGS_H_
+#define ENDURE_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace endure {
+
+/// A declarative flag set bound to one command invocation.
+class FlagParser {
+ public:
+  /// Registers a string flag.
+  void AddString(const std::string& name, const std::string& def,
+                 const std::string& help);
+  /// Registers an integer flag.
+  void AddInt(const std::string& name, int64_t def, const std::string& help);
+  /// Registers a double flag.
+  void AddDouble(const std::string& name, double def,
+                 const std::string& help);
+  /// Registers a boolean flag (bare `--name` sets it true).
+  void AddBool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv[start..); unknown flags and type errors are reported via
+  /// Status. Non-flag tokens are collected as positional arguments.
+  Status Parse(int argc, const char* const* argv, int start = 1);
+
+  /// Typed access (aborts on unknown name — programming error).
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// True when the user supplied the flag explicitly.
+  bool IsSet(const std::string& name) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// "  --name (default: ...)  help" lines for all registered flags.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string str_value;
+    int64_t int_value = 0;
+    double dbl_value = 0.0;
+    bool bool_value = false;
+    bool set = false;
+  };
+
+  const Flag& Lookup(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Parses "a,b,c,d" into exactly four doubles (a workload spec).
+StatusOr<std::vector<double>> ParseCsvDoubles(const std::string& csv,
+                                              size_t expected_count);
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_FLAGS_H_

@@ -1,0 +1,57 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace endure {
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets) {
+  ENDURE_CHECK(lo < hi);
+  ENDURE_CHECK(buckets >= 1);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::Add(double x) {
+  int b = static_cast<int>((x - lo_) / width_);
+  b = std::clamp(b, 0, num_buckets() - 1);
+  ++counts_[b];
+  ++count_;
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double Histogram::bucket_left(int b) const { return lo_ + b * width_; }
+
+double Histogram::bucket_fraction(int b) const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(b)) / static_cast<double>(count_);
+}
+
+double Histogram::bucket_density(int b) const {
+  return bucket_fraction(b) / width_;
+}
+
+std::string Histogram::ToAscii(int width) const {
+  int64_t max_count = 1;
+  for (int64_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[160];
+  for (int b = 0; b < num_buckets(); ++b) {
+    int bar = static_cast<int>(static_cast<double>(counts_[b]) /
+                               static_cast<double>(max_count) * width);
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %8lld | ",
+                  bucket_left(b), bucket_left(b) + width_,
+                  static_cast<long long>(counts_[b]));
+    out += line;
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace endure

@@ -1,0 +1,56 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Fixed-width histogram used by the experiment drivers to reproduce the
+// paper's distribution plots (e.g. Fig. 3 KL-divergence histograms and
+// Fig. 6a throughput histograms) as ASCII output.
+
+#ifndef ENDURE_UTIL_HISTOGRAM_H_
+#define ENDURE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace endure {
+
+/// Equal-width bucket histogram over [lo, hi); out-of-range samples clamp to
+/// the first/last bucket.
+class Histogram {
+ public:
+  /// Creates `buckets` equal-width buckets spanning [lo, hi). Requires
+  /// lo < hi and buckets >= 1.
+  Histogram(double lo, double hi, int buckets);
+
+  /// Records one sample.
+  void Add(double x);
+
+  /// Records many samples.
+  void AddAll(const std::vector<double>& xs);
+
+  int64_t count() const { return count_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t bucket_count(int b) const { return counts_.at(b); }
+
+  /// Left edge of bucket b.
+  double bucket_left(int b) const;
+
+  /// Fraction of all samples falling in bucket b (0 when empty).
+  double bucket_fraction(int b) const;
+
+  /// Probability density estimate for bucket b (fraction / width).
+  double bucket_density(int b) const;
+
+  /// Renders an ASCII bar chart, `width` columns at the widest bar.
+  std::string ToAscii(int width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,43 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Internal assertion and utility macros. CHECK-style macros abort on
+// violated invariants (release and debug); DCHECK compiles out in NDEBUG.
+
+#ifndef ENDURE_UTIL_MACROS_H_
+#define ENDURE_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ENDURE_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define ENDURE_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define ENDURE_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define ENDURE_DCHECK(cond) ENDURE_CHECK(cond)
+#endif
+
+// Marks a class non-copyable and non-movable.
+#define ENDURE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // ENDURE_UTIL_MACROS_H_

@@ -1,0 +1,91 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure {
+namespace {
+
+// splitmix64: used to expand a single seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  ENDURE_DCHECK(lo <= hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + r % span;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<double> Rng::SimplexByCounts(int dim, uint64_t max_count,
+                                         std::vector<uint64_t>* counts) {
+  ENDURE_CHECK(dim > 0);
+  std::vector<uint64_t> c(dim);
+  uint64_t total = 0;
+  do {
+    total = 0;
+    for (int i = 0; i < dim; ++i) {
+      c[i] = UniformInt(0, max_count);
+      total += c[i];
+    }
+  } while (total == 0);  // resample the degenerate all-zero draw
+  std::vector<double> p(dim);
+  for (int i = 0; i < dim; ++i) {
+    p[i] = static_cast<double>(c[i]) / static_cast<double>(total);
+  }
+  if (counts != nullptr) *counts = std::move(c);
+  return p;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace endure

@@ -1,0 +1,52 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Streaming summary statistics (Welford) plus small vector-stat helpers
+// used by the evaluation harness.
+
+#ifndef ENDURE_UTIL_STATS_H_
+#define ENDURE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace endure {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of v (0 for empty).
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation of v (0 for size < 2).
+double Stddev(const std::vector<double>& v);
+
+/// p-th percentile (0..100) using linear interpolation; v need not be
+/// sorted. Returns 0 for empty input.
+double Percentile(std::vector<double> v, double p);
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_STATS_H_

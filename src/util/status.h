@@ -1,0 +1,140 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Lightweight Status / StatusOr error-handling primitives in the style used
+// across database codebases (RocksDB, LevelDB, Arrow). The library does not
+// throw exceptions across public API boundaries; fallible operations return
+// Status or StatusOr<T>.
+
+#ifndef ENDURE_UTIL_STATUS_H_
+#define ENDURE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace endure {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kNotSupported,
+};
+
+/// Human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    ENDURE_CHECK_MSG(!std::get<Status>(rep_).ok(),
+                     "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Underlying status; OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    ENDURE_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    ENDURE_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    ENDURE_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ENDURE_RETURN_IF_ERROR(expr)        \
+  do {                                      \
+    ::endure::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_STATUS_H_

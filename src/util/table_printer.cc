@@ -1,0 +1,77 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace endure {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(std::initializer_list<double> cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double c : cells) row.push_back(Fmt(c, precision));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> w(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) w[c] = std::max(w[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      line += ' ' + cell + std::string(w[c] - cell.size(), ' ') + " |";
+    }
+    return line + '\n';
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(w[c] + 2, '-') + '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) line += ',';
+      line += cells[i];
+    }
+    return line + '\n';
+  };
+  std::string out = join(headers_);
+  for (const auto& row : rows_) out += join(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void PrintBanner(const std::string& title) {
+  std::string bar(title.size() + 10, '=');
+  std::printf("\n%s\n==== %s ====\n%s\n", bar.c_str(), title.c_str(),
+              bar.c_str());
+}
+
+}  // namespace endure

@@ -1,0 +1,53 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Console table formatting for the experiment drivers: every bench binary
+// prints the rows/series of the paper table or figure it reproduces through
+// this printer, plus optional CSV export for plotting.
+
+#ifndef ENDURE_UTIL_TABLE_PRINTER_H_
+#define ENDURE_UTIL_TABLE_PRINTER_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace endure {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits.
+  void AddRow(std::initializer_list<double> cells, int precision = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the aligned table.
+  std::string ToString() const;
+
+  /// Renders as CSV (comma-separated, header first).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Formats a double with the given precision (helper for cell building).
+  static std::string Fmt(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("==== title ====") to stdout — used by bench
+/// drivers to delimit figure panels.
+void PrintBanner(const std::string& title);
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_TABLE_PRINTER_H_

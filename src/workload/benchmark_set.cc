@@ -1,0 +1,73 @@
+#include "workload/benchmark_set.h"
+
+#include "core/kl.h"
+#include "util/macros.h"
+
+namespace endure::workload {
+
+BenchmarkSet::BenchmarkSet(int size, Rng* rng, uint64_t max_count) {
+  ENDURE_CHECK(size > 0);
+  ENDURE_CHECK(rng != nullptr);
+  samples_.reserve(size);
+  for (int i = 0; i < size; ++i) {
+    std::vector<uint64_t> counts;
+    std::vector<double> p =
+        rng->SimplexByCounts(kNumQueryClasses, max_count, &counts);
+    SampledWorkload s;
+    s.workload = Workload(p[0], p[1], p[2], p[3]);
+    for (int k = 0; k < kNumQueryClasses; ++k) s.counts[k] = counts[k];
+    samples_.push_back(s);
+  }
+}
+
+std::vector<Workload> BenchmarkSet::Workloads() const {
+  std::vector<Workload> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.workload);
+  return out;
+}
+
+std::vector<double> BenchmarkSet::KlDivergencesTo(
+    const Workload& expected) const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    out.push_back(KlDivergence(s.workload, expected));
+  }
+  return out;
+}
+
+std::vector<SampledWorkload> BenchmarkSet::FilterByKl(const Workload& expected,
+                                                      double lo,
+                                                      double hi) const {
+  std::vector<SampledWorkload> out;
+  for (const auto& s : samples_) {
+    const double kl = KlDivergence(s.workload, expected);
+    if (kl >= lo && kl < hi) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<SampledWorkload> BenchmarkSet::FilterByDominant(
+    QueryClass c, double min_fraction) const {
+  std::vector<SampledWorkload> out;
+  for (const auto& s : samples_) {
+    if (s.workload[c] >= min_fraction) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<SampledWorkload> BenchmarkSet::FilterByCombinedReads(
+    double min_fraction) const {
+  std::vector<SampledWorkload> out;
+  for (const auto& s : samples_) {
+    if (s.workload.z0 + s.workload.z1 >= min_fraction &&
+        s.workload[kEmptyPointQuery] < min_fraction &&
+        s.workload[kNonEmptyPointQuery] < min_fraction) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace endure::workload

@@ -1,0 +1,63 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The uncertainty benchmark's "benchmark set of sampled workloads" B
+// (Section 6): 10 K random workloads obtained by sampling a query count per
+// class uniformly from (0, 10000) and normalizing. The raw counts are kept
+// because the system experiments execute the actual query counts.
+
+#ifndef ENDURE_WORKLOAD_BENCHMARK_SET_H_
+#define ENDURE_WORKLOAD_BENCHMARK_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.h"
+#include "util/random.h"
+
+namespace endure::workload {
+
+/// One sampled workload with its raw query counts.
+struct SampledWorkload {
+  Workload workload;                    ///< normalized mix
+  std::array<uint64_t, kNumQueryClasses> counts;  ///< raw query counts
+};
+
+/// The benchmark set B.
+class BenchmarkSet {
+ public:
+  /// Samples `size` workloads with counts uniform in [0, max_count]
+  /// (paper: size = 10000, max_count = 10000).
+  BenchmarkSet(int size, Rng* rng, uint64_t max_count = 10000);
+
+  /// Number of sampled workloads.
+  size_t size() const { return samples_.size(); }
+
+  const SampledWorkload& sample(size_t i) const { return samples_.at(i); }
+
+  /// All normalized workloads (copy, for metric sweeps).
+  std::vector<Workload> Workloads() const;
+
+  /// KL divergences I_KL(w_hat, expected) for every w_hat in B — the
+  /// distributions plotted in Fig. 3.
+  std::vector<double> KlDivergencesTo(const Workload& expected) const;
+
+  /// Subset of B whose KL divergence to `expected` lies in [lo, hi).
+  std::vector<SampledWorkload> FilterByKl(const Workload& expected, double lo,
+                                          double hi) const;
+
+  /// Subset of B where query class `c` holds at least `min_fraction` of the
+  /// mix (the paper's session construction: dominant class >= 80%).
+  std::vector<SampledWorkload> FilterByDominant(QueryClass c,
+                                                double min_fraction) const;
+
+  /// Subset where combined point reads (z0 + z1) hold >= `min_fraction`
+  /// (the paper's "read" sessions).
+  std::vector<SampledWorkload> FilterByCombinedReads(double min_fraction) const;
+
+ private:
+  std::vector<SampledWorkload> samples_;
+};
+
+}  // namespace endure::workload
+
+#endif  // ENDURE_WORKLOAD_BENCHMARK_SET_H_

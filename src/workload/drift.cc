@@ -1,0 +1,83 @@
+#include "workload/drift.h"
+
+#include <algorithm>
+
+#include "core/kl.h"
+#include "util/macros.h"
+
+namespace endure::workload {
+
+void WorkloadEstimator::Record(QueryClass type, uint64_t count) {
+  counts_[type] += count;
+  total_ += count;
+}
+
+Workload WorkloadEstimator::Estimate(double smoothing) const {
+  ENDURE_CHECK_MSG(total_ > 0, "no operations recorded");
+  Workload w;
+  double sum = 0.0;
+  for (int i = 0; i < kNumQueryClasses; ++i) {
+    w[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_) +
+           smoothing;
+    sum += w[i];
+  }
+  for (int i = 0; i < kNumQueryClasses; ++i) w[i] /= sum;
+  return w;
+}
+
+void WorkloadEstimator::Reset() {
+  for (auto& c : counts_) c = 0;
+  total_ = 0;
+}
+
+DriftMonitor::DriftMonitor(const Workload& tuned_for, double tuned_rho,
+                           DriftMonitorOptions opts)
+    : tuned_for_(tuned_for), tuned_rho_(tuned_rho), opts_(opts) {
+  ENDURE_CHECK_MSG(tuned_for.Validate(1e-6).ok(),
+                   "invalid tuned-for workload");
+  ENDURE_CHECK(tuned_rho >= 0.0);
+  ENDURE_CHECK(opts_.ops_per_epoch > 0);
+  ENDURE_CHECK(opts_.window_epochs > 0);
+}
+
+void DriftMonitor::Record(QueryClass type) {
+  current_.Record(type);
+  if (current_.total() >= opts_.ops_per_epoch) CloseEpoch();
+}
+
+void DriftMonitor::CloseEpoch() {
+  const Workload observed = current_.Estimate();
+  current_.Reset();
+  history_.push_back(observed);
+  while (history_.size() > opts_.window_epochs) history_.pop_front();
+
+  last_divergence_ = KlDivergence(observed, tuned_for_);
+  // rho = 0 tunings are nominal: any measurable drift is a breach.
+  const double threshold =
+      std::max(1e-3, opts_.alarm_factor * tuned_rho_);
+  if (last_divergence_ > threshold) {
+    ++consecutive_breaches_;
+  } else {
+    consecutive_breaches_ = 0;
+  }
+}
+
+Workload DriftMonitor::WindowMean() const {
+  if (history_.empty()) return tuned_for_;
+  return MeanWorkload({history_.begin(), history_.end()});
+}
+
+double DriftMonitor::RecommendedRho() const {
+  if (history_.size() < 2) return tuned_rho_;
+  return RecommendRho({history_.begin(), history_.end()});
+}
+
+void DriftMonitor::Retarget(const Workload& new_expected, double new_rho) {
+  ENDURE_CHECK_MSG(new_expected.Validate(1e-6).ok(),
+                   "invalid retarget workload");
+  tuned_for_ = new_expected;
+  tuned_rho_ = new_rho;
+  consecutive_breaches_ = 0;
+}
+
+}  // namespace endure::workload

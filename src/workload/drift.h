@@ -1,0 +1,101 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Streaming workload estimation and drift monitoring — the operational
+// side of Section 7.3. A WorkloadEstimator folds executed operations into
+// a running (z0, z1, q, w) mix; a DriftMonitor maintains a sliding window
+// of per-epoch workloads, from which it (a) recommends the uncertainty
+// radius rho (mean pairwise KL, the paper's guidance) and (b) raises a
+// drift alarm when the live mix leaves the rho-ball the current tuning
+// was computed for — the signal that a retune is worthwhile.
+
+#ifndef ENDURE_WORKLOAD_DRIFT_H_
+#define ENDURE_WORKLOAD_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "core/rho_advisor.h"
+#include "core/workload.h"
+
+namespace endure::workload {
+
+/// Folds observed operations into a workload mix.
+class WorkloadEstimator {
+ public:
+  /// Records one executed operation of the given class.
+  void Record(QueryClass type, uint64_t count = 1);
+
+  /// Total operations folded in.
+  uint64_t total() const { return total_; }
+
+  /// The observed mix; requires at least one operation. `smoothing` mixes
+  /// in uniform mass so downstream KL stays finite.
+  Workload Estimate(double smoothing = 1e-4) const;
+
+  /// Resets all counters (epoch boundary).
+  void Reset();
+
+ private:
+  uint64_t counts_[kNumQueryClasses] = {0, 0, 0, 0};
+  uint64_t total_ = 0;
+};
+
+/// Options for the drift monitor.
+struct DriftMonitorOptions {
+  uint64_t ops_per_epoch = 10000;  ///< epoch length in operations
+  size_t window_epochs = 16;       ///< history window size
+  /// Alarm when I_KL(observed epoch, tuned-for workload) exceeds
+  /// alarm_factor * tuned rho for `alarm_patience` consecutive epochs.
+  double alarm_factor = 1.0;
+  int alarm_patience = 2;
+};
+
+/// Sliding-window drift monitor.
+class DriftMonitor {
+ public:
+  /// `tuned_for` is the expected workload of the deployed tuning and
+  /// `tuned_rho` its uncertainty radius.
+  DriftMonitor(const Workload& tuned_for, double tuned_rho,
+               DriftMonitorOptions opts = {});
+
+  /// Records one executed operation; may close an epoch internally.
+  void Record(QueryClass type);
+
+  /// Epochs currently in the window.
+  size_t window_size() const { return history_.size(); }
+
+  /// Mean workload over the window (falls back to the tuned-for mix when
+  /// the window is empty).
+  Workload WindowMean() const;
+
+  /// Recommended rho from the window history (mean pairwise KL); falls
+  /// back to the tuned rho with fewer than two epochs.
+  double RecommendedRho() const;
+
+  /// KL divergence of the most recent closed epoch w.r.t. the tuned-for
+  /// workload (0 before the first epoch closes).
+  double LastEpochDivergence() const { return last_divergence_; }
+
+  /// True when the observed mix has left the tuned ball for
+  /// `alarm_patience` consecutive epochs — time to retune.
+  bool DriftAlarm() const { return consecutive_breaches_ >= opts_.alarm_patience; }
+
+  /// Declares a retune: re-centers on `new_expected` with `new_rho` and
+  /// clears the alarm (history is kept).
+  void Retarget(const Workload& new_expected, double new_rho);
+
+ private:
+  void CloseEpoch();
+
+  Workload tuned_for_;
+  double tuned_rho_;
+  DriftMonitorOptions opts_;
+  WorkloadEstimator current_;
+  std::deque<Workload> history_;
+  double last_divergence_ = 0.0;
+  int consecutive_breaches_ = 0;
+};
+
+}  // namespace endure::workload
+
+#endif  // ENDURE_WORKLOAD_DRIFT_H_

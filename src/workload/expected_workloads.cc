@@ -1,0 +1,58 @@
+#include "workload/expected_workloads.h"
+
+#include "util/macros.h"
+
+namespace endure::workload {
+
+const char* CategoryName(Category c) {
+  switch (c) {
+    case Category::kUniform:
+      return "uniform";
+    case Category::kUnimodal:
+      return "unimodal";
+    case Category::kBimodal:
+      return "bimodal";
+    case Category::kTrimodal:
+      return "trimodal";
+  }
+  return "?";
+}
+
+const std::vector<ExpectedWorkload>& AllExpectedWorkloads() {
+  // Table 2 of the paper, verbatim.
+  static const std::vector<ExpectedWorkload> kTable = {
+      {0, {0.25, 0.25, 0.25, 0.25}, Category::kUniform},
+      {1, {0.97, 0.01, 0.01, 0.01}, Category::kUnimodal},
+      {2, {0.01, 0.97, 0.01, 0.01}, Category::kUnimodal},
+      {3, {0.01, 0.01, 0.97, 0.01}, Category::kUnimodal},
+      {4, {0.01, 0.01, 0.01, 0.97}, Category::kUnimodal},
+      {5, {0.49, 0.49, 0.01, 0.01}, Category::kBimodal},
+      {6, {0.49, 0.01, 0.49, 0.01}, Category::kBimodal},
+      {7, {0.49, 0.01, 0.01, 0.49}, Category::kBimodal},
+      {8, {0.01, 0.49, 0.49, 0.01}, Category::kBimodal},
+      {9, {0.01, 0.49, 0.01, 0.49}, Category::kBimodal},
+      {10, {0.01, 0.01, 0.49, 0.49}, Category::kBimodal},
+      {11, {0.33, 0.33, 0.33, 0.01}, Category::kTrimodal},
+      {12, {0.33, 0.33, 0.01, 0.33}, Category::kTrimodal},
+      {13, {0.33, 0.01, 0.33, 0.33}, Category::kTrimodal},
+      {14, {0.01, 0.33, 0.33, 0.33}, Category::kTrimodal},
+  };
+  return kTable;
+}
+
+const ExpectedWorkload& GetExpectedWorkload(int index) {
+  const auto& all = AllExpectedWorkloads();
+  ENDURE_CHECK_MSG(index >= 0 && index < static_cast<int>(all.size()),
+                   "expected-workload index out of range");
+  return all[index];
+}
+
+std::vector<ExpectedWorkload> WorkloadsByCategory(Category c) {
+  std::vector<ExpectedWorkload> out;
+  for (const auto& ew : AllExpectedWorkloads()) {
+    if (ew.category == c) out.push_back(ew);
+  }
+  return out;
+}
+
+}  // namespace endure::workload

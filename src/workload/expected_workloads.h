@@ -1,0 +1,46 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The paper's 15 expected workloads (Table 2), catalogued as uniform,
+// unimodal, bimodal and trimodal by their dominant query types. Every
+// workload keeps >= 1% of each query class so KL divergence stays finite.
+
+#ifndef ENDURE_WORKLOAD_EXPECTED_WORKLOADS_H_
+#define ENDURE_WORKLOAD_EXPECTED_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+
+namespace endure::workload {
+
+/// Workload category from Table 2.
+enum class Category {
+  kUniform = 0,
+  kUnimodal = 1,
+  kBimodal = 2,
+  kTrimodal = 3,
+};
+
+/// "uniform" / "unimodal" / "bimodal" / "trimodal".
+const char* CategoryName(Category c);
+
+/// One Table 2 row.
+struct ExpectedWorkload {
+  int index;           ///< 0..14 as in Table 2
+  Workload workload;   ///< the (z0, z1, q, w) mix
+  Category category;   ///< dominant-query-type class
+};
+
+/// All 15 rows of Table 2, in order.
+const std::vector<ExpectedWorkload>& AllExpectedWorkloads();
+
+/// Table 2 row `index` (0..14).
+const ExpectedWorkload& GetExpectedWorkload(int index);
+
+/// All rows of one category.
+std::vector<ExpectedWorkload> WorkloadsByCategory(Category c);
+
+}  // namespace endure::workload
+
+#endif  // ENDURE_WORKLOAD_EXPECTED_WORKLOADS_H_

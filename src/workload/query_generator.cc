@@ -1,0 +1,85 @@
+#include "workload/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace endure::workload {
+
+uint64_t KeyUniverse::SampleExisting(Rng* rng) const {
+  ENDURE_CHECK_MSG(count_ > 0, "no existing keys to sample");
+  return KeyAt(rng->UniformInt(0, count_ - 1));
+}
+
+uint64_t KeyUniverse::SampleMissing(Rng* rng) const {
+  // Odd keys inside the populated domain never exist.
+  const uint64_t hi = count_ > 0 ? 2 * count_ : 2;
+  return rng->UniformInt(0, hi / 2 - 1) * 2 + 1;
+}
+
+std::vector<uint64_t> KeyUniverse::InitialKeys(Rng* rng, bool shuffle) const {
+  std::vector<uint64_t> keys;
+  keys.reserve(count_);
+  for (uint64_t i = 0; i < count_; ++i) keys.push_back(KeyAt(i));
+  if (shuffle) {
+    ENDURE_CHECK(rng != nullptr);
+    rng->Shuffle(&keys);
+  }
+  return keys;
+}
+
+QueryTrace GenerateTrace(const Workload& w, uint64_t total_ops,
+                         KeyUniverse* universe, Rng* rng,
+                         const TraceOptions& opts) {
+  ENDURE_CHECK(universe != nullptr && rng != nullptr);
+  ENDURE_CHECK_MSG(w.Validate(1e-6).ok(), "invalid workload mix");
+
+  QueryTrace trace;
+  trace.ops.reserve(total_ops);
+
+  // Apportion ops to classes by largest remainder so counts sum exactly.
+  std::array<uint64_t, kNumQueryClasses> counts = {0, 0, 0, 0};
+  std::array<double, kNumQueryClasses> remainders{};
+  uint64_t assigned = 0;
+  for (int i = 0; i < kNumQueryClasses; ++i) {
+    const double exact = w[i] * static_cast<double>(total_ops);
+    counts[i] = static_cast<uint64_t>(std::floor(exact));
+    remainders[i] = exact - std::floor(exact);
+    assigned += counts[i];
+  }
+  while (assigned < total_ops) {
+    int best = 0;
+    for (int i = 1; i < kNumQueryClasses; ++i) {
+      if (remainders[i] > remainders[best]) best = i;
+    }
+    ++counts[best];
+    remainders[best] = -1.0;
+    ++assigned;
+  }
+  trace.counts = counts;
+
+  for (uint64_t n = 0; n < counts[kEmptyPointQuery]; ++n) {
+    trace.ops.push_back(
+        {kEmptyPointQuery, universe->SampleMissing(rng), 0});
+  }
+  for (uint64_t n = 0; n < counts[kNonEmptyPointQuery]; ++n) {
+    trace.ops.push_back(
+        {kNonEmptyPointQuery, universe->SampleExisting(rng), 0});
+  }
+  for (uint64_t n = 0; n < counts[kRangeQuery]; ++n) {
+    const uint64_t start = universe->SampleExisting(rng);
+    // Span `range_span_entries` consecutive (even) keys.
+    const uint64_t end = start + 2 * std::max<uint64_t>(1,
+                                      opts.range_span_entries);
+    trace.ops.push_back({kRangeQuery, start, end});
+  }
+  for (uint64_t n = 0; n < counts[kWrite]; ++n) {
+    trace.ops.push_back({kWrite, universe->NextWriteKey(), 0});
+  }
+
+  if (opts.interleave) rng->Shuffle(&trace.ops);
+  return trace;
+}
+
+}  // namespace endure::workload

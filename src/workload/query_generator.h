@@ -1,0 +1,82 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Turns a workload mix into a concrete operation trace against a key
+// universe, with the guarantees of Section 8.2: non-empty point reads hit
+// existing keys, empty point reads sample the same domain but miss, range
+// queries use minimal selectivity, and writes insert fresh unique keys.
+//
+// Key scheme: existing keys occupy the even numbers 2*i (i < current count)
+// so odd keys are guaranteed misses from the same domain, and writes extend
+// the even sequence.
+
+#ifndef ENDURE_WORKLOAD_QUERY_GENERATOR_H_
+#define ENDURE_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.h"
+#include "util/random.h"
+
+namespace endure::workload {
+
+/// One operation in a trace.
+struct Operation {
+  QueryClass type;       ///< which query class this op belongs to
+  uint64_t key = 0;      ///< point key, range start, or write key
+  uint64_t limit = 0;    ///< range end (exclusive upper key bound)
+};
+
+/// A materialized operation trace.
+struct QueryTrace {
+  std::vector<Operation> ops;
+  std::array<uint64_t, kNumQueryClasses> counts = {0, 0, 0, 0};
+};
+
+/// Tracks which keys exist so traces can target hits/misses precisely.
+class KeyUniverse {
+ public:
+  /// Starts with `initial_count` keys: 2*0, 2*1, ..., 2*(n-1).
+  explicit KeyUniverse(uint64_t initial_count)
+      : count_(initial_count) {}
+
+  uint64_t count() const { return count_; }
+
+  /// The i-th existing key.
+  uint64_t KeyAt(uint64_t i) const { return 2 * i; }
+
+  /// A uniformly random existing key.
+  uint64_t SampleExisting(Rng* rng) const;
+
+  /// A key from the same domain guaranteed absent (odd).
+  uint64_t SampleMissing(Rng* rng) const;
+
+  /// The next fresh write key (extends the even sequence).
+  uint64_t NextWriteKey() { return 2 * count_++; }
+
+  /// All initial keys in insertion (shuffled) order, for bulk loading.
+  std::vector<uint64_t> InitialKeys(Rng* rng, bool shuffle = true) const;
+
+ private:
+  uint64_t count_;
+};
+
+/// Options for trace generation.
+struct TraceOptions {
+  /// Number of entries a range query should span (selectivity * N); the
+  /// paper uses minimal selectivity (short ranges).
+  uint64_t range_span_entries = 2;
+  /// Shuffle the per-class operations together (paper workloads interleave
+  /// query types).
+  bool interleave = true;
+};
+
+/// Generates a trace of `total_ops` operations following mix `w` against
+/// `universe`. Write keys are consumed from the universe (count grows).
+QueryTrace GenerateTrace(const Workload& w, uint64_t total_ops,
+                         KeyUniverse* universe, Rng* rng,
+                         const TraceOptions& opts = {});
+
+}  // namespace endure::workload
+
+#endif  // ENDURE_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,129 @@
+#include "workload/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/flags.h"
+
+namespace endure::workload {
+namespace {
+
+bool IsBlankOrComment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out << content;
+  out.close();
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::string WorkloadsToString(const std::vector<Workload>& workloads) {
+  std::string out = "# endure workload history: z0,z1,q,w per line\n";
+  char buf[128];
+  for (const Workload& w : workloads) {
+    std::snprintf(buf, sizeof(buf), "%.9f,%.9f,%.9f,%.9f\n", w.z0, w.z1,
+                  w.q, w.w);
+    out += buf;
+  }
+  return out;
+}
+
+StatusOr<std::vector<Workload>> WorkloadsFromString(
+    const std::string& text) {
+  std::vector<Workload> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (IsBlankOrComment(line)) continue;
+    auto parts = ParseCsvDoubles(line, 4);
+    if (!parts.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": " + parts.status().message());
+    }
+    Workload w((*parts)[0], (*parts)[1], (*parts)[2], (*parts)[3]);
+    const Status st = w.Validate(1e-6);
+    if (!st.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": " + st.message());
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
+Status SaveWorkloads(const std::string& path,
+                     const std::vector<Workload>& workloads) {
+  return WriteFile(path, WorkloadsToString(workloads));
+}
+
+StatusOr<std::vector<Workload>> LoadWorkloads(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return WorkloadsFromString(*text);
+}
+
+Status SaveTrace(const std::string& path, const QueryTrace& trace) {
+  std::string out = "# endure trace: class,key,limit per line\n";
+  char buf[96];
+  for (const Operation& op : trace.ops) {
+    std::snprintf(buf, sizeof(buf), "%d,%llu,%llu\n",
+                  static_cast<int>(op.type),
+                  static_cast<unsigned long long>(op.key),
+                  static_cast<unsigned long long>(op.limit));
+    out += buf;
+  }
+  return WriteFile(path, out);
+}
+
+StatusOr<QueryTrace> LoadTrace(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  QueryTrace trace;
+  std::istringstream in(*text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (IsBlankOrComment(line)) continue;
+    auto parts = ParseCsvDoubles(line, 3);
+    if (!parts.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": " + parts.status().message());
+    }
+    const int type = static_cast<int>((*parts)[0]);
+    if (type < 0 || type >= kNumQueryClasses) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": bad query class");
+    }
+    Operation op;
+    op.type = static_cast<QueryClass>(type);
+    op.key = static_cast<uint64_t>((*parts)[1]);
+    op.limit = static_cast<uint64_t>((*parts)[2]);
+    ++trace.counts[type];
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace endure::workload

@@ -1,0 +1,44 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Plain-text persistence for workload histories and operation traces, so
+// operators can feed recorded production mixes into the rho advisor and
+// tuners (CLI `endure advise --file ...`), and experiments can be
+// replayed byte-for-byte.
+//
+// Workload files: one "z0,z1,q,w" line per workload; '#' comments and
+// blank lines ignored. Trace files: one "class,key,limit" line per op.
+
+#ifndef ENDURE_WORKLOAD_SERIALIZATION_H_
+#define ENDURE_WORKLOAD_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "util/status.h"
+#include "workload/query_generator.h"
+
+namespace endure::workload {
+
+/// Writes workloads, one CSV line each, with a header comment.
+Status SaveWorkloads(const std::string& path,
+                     const std::vector<Workload>& workloads);
+
+/// Reads a workload file; validates every line (components >= 0, sum ~ 1).
+StatusOr<std::vector<Workload>> LoadWorkloads(const std::string& path);
+
+/// Serializes workloads to the same format in memory.
+std::string WorkloadsToString(const std::vector<Workload>& workloads);
+
+/// Parses the in-memory format.
+StatusOr<std::vector<Workload>> WorkloadsFromString(const std::string& text);
+
+/// Writes an operation trace, one "class,key,limit" line per op.
+Status SaveTrace(const std::string& path, const QueryTrace& trace);
+
+/// Reads an operation trace (counts are recomputed).
+StatusOr<QueryTrace> LoadTrace(const std::string& path);
+
+}  // namespace endure::workload
+
+#endif  // ENDURE_WORKLOAD_SERIALIZATION_H_

@@ -1,0 +1,120 @@
+#include "workload/session.h"
+
+#include <cmath>
+
+#include "core/kl.h"
+#include "util/macros.h"
+
+namespace endure::workload {
+
+const char* SessionKindName(SessionKind k) {
+  switch (k) {
+    case SessionKind::kReads:
+      return "Reads";
+    case SessionKind::kRange:
+      return "Range";
+    case SessionKind::kEmptyReads:
+      return "Empty Reads";
+    case SessionKind::kNonEmptyReads:
+      return "Non-Empty Reads";
+    case SessionKind::kWrites:
+      return "Writes";
+    case SessionKind::kExpected:
+      return "Expected";
+  }
+  return "?";
+}
+
+Workload Session::Average() const {
+  ENDURE_CHECK(!workloads.empty());
+  Workload avg(0.0, 0.0, 0.0, 0.0);
+  for (const Workload& w : workloads) {
+    for (int i = 0; i < kNumQueryClasses; ++i) avg[i] += w[i];
+  }
+  for (int i = 0; i < kNumQueryClasses; ++i) {
+    avg[i] /= static_cast<double>(workloads.size());
+  }
+  return avg;
+}
+
+SessionGenerator::SessionGenerator(const Workload& expected, Rng* rng,
+                                   SessionOptions opts)
+    : expected_(expected), rng_(rng), opts_(opts) {
+  ENDURE_CHECK(rng != nullptr);
+  ENDURE_CHECK_MSG(expected.Validate().ok(), "invalid expected workload");
+}
+
+Workload SessionGenerator::Draw(SessionKind kind) const {
+  if (kind == SessionKind::kExpected) {
+    // Uniform simplex sampling essentially never lands inside a small KL
+    // ball around a skewed expected workload, so the "expected" session is
+    // drawn as a logistic-normal perturbation of the expected mix instead
+    // (noise magnitude resampled per draw to spread KL over [0, cap)).
+    for (int attempt = 0; attempt < opts_.max_rejection_draws; ++attempt) {
+      const double sigma = rng_->Uniform(0.05, 0.6);
+      Workload w;
+      double sum = 0.0;
+      for (int i = 0; i < kNumQueryClasses; ++i) {
+        w[i] = expected_[i] * std::exp(sigma * rng_->Gaussian());
+        sum += w[i];
+      }
+      for (int i = 0; i < kNumQueryClasses; ++i) w[i] /= sum;
+      if (KlDivergence(w, expected_) < opts_.expected_kl_cap) return w;
+    }
+    return expected_;
+  }
+
+  auto matches = [&](const Workload& w) {
+    switch (kind) {
+      case SessionKind::kReads:
+        // Combined point reads dominate, without either class alone
+        // reaching the cap (those are the dedicated sessions).
+        return w.z0 + w.z1 >= opts_.dominance && w.z0 < opts_.dominance &&
+               w.z1 < opts_.dominance;
+      case SessionKind::kRange:
+        return w.q >= opts_.dominance;
+      case SessionKind::kEmptyReads:
+        return w.z0 >= opts_.dominance;
+      case SessionKind::kNonEmptyReads:
+        return w.z1 >= opts_.dominance;
+      case SessionKind::kWrites:
+        return w.w >= opts_.dominance;
+      case SessionKind::kExpected:
+        return KlDivergence(w, expected_) < opts_.expected_kl_cap;
+    }
+    return false;
+  };
+
+  for (int attempt = 0; attempt < opts_.max_rejection_draws; ++attempt) {
+    const std::vector<double> p =
+        rng_->SimplexByCounts(kNumQueryClasses, 10000);
+    const Workload w(p[0], p[1], p[2], p[3]);
+    if (matches(w)) return w;
+  }
+  ENDURE_CHECK_MSG(false, "session sampler failed to match predicate");
+  return expected_;
+}
+
+Session SessionGenerator::Make(SessionKind kind) const {
+  Session s;
+  s.kind = kind;
+  s.workloads.reserve(opts_.workloads_per_session);
+  for (int i = 0; i < opts_.workloads_per_session; ++i) {
+    s.workloads.push_back(Draw(kind));
+  }
+  return s;
+}
+
+std::vector<Session> SessionGenerator::ReadOnlySequence() const {
+  return {Make(SessionKind::kReads),         Make(SessionKind::kRange),
+          Make(SessionKind::kEmptyReads),    Make(SessionKind::kNonEmptyReads),
+          Make(SessionKind::kReads),         Make(SessionKind::kReads)};
+}
+
+std::vector<Session> SessionGenerator::MixedSequence() const {
+  return {Make(SessionKind::kReads),      Make(SessionKind::kRange),
+          Make(SessionKind::kEmptyReads), Make(SessionKind::kNonEmptyReads),
+          Make(SessionKind::kWrites),     Make(SessionKind::kExpected)};
+}
+
+}  // namespace endure::workload

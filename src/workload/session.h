@@ -1,0 +1,80 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Session construction for the system experiments (Section 8.2): a session
+// is a short sequence of workloads drawn from the benchmark set, catalogued
+// by dominant query type (expected / reads / range / empty reads /
+// non-empty reads / writes). The "expected" session keeps KL < 0.2 to the
+// tuning workload; all other sessions give >= 80% of queries to the
+// dominant class.
+
+#ifndef ENDURE_WORKLOAD_SESSION_H_
+#define ENDURE_WORKLOAD_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "util/random.h"
+
+namespace endure::workload {
+
+/// Session categories used in Figs. 8-18.
+enum class SessionKind {
+  kReads = 0,          ///< z0 + z1 dominant
+  kRange = 1,          ///< q dominant
+  kEmptyReads = 2,     ///< z0 dominant
+  kNonEmptyReads = 3,  ///< z1 dominant
+  kWrites = 4,         ///< w dominant
+  kExpected = 5,       ///< KL(w, expected) < 0.2
+};
+
+/// "Reads", "Range", "Empty Reads", ...
+const char* SessionKindName(SessionKind k);
+
+/// One experiment session: its kind and constituent workloads.
+struct Session {
+  SessionKind kind;
+  std::vector<Workload> workloads;
+
+  /// Component-wise average of the session's workloads (the label printed
+  /// above each session in the paper's figures).
+  Workload Average() const;
+};
+
+/// Options for the session generator.
+struct SessionOptions {
+  int workloads_per_session = 5;   ///< sequence length per session
+  double dominance = 0.8;          ///< dominant-class minimum fraction
+  double expected_kl_cap = 0.2;    ///< KL cap for the "expected" session
+  int max_rejection_draws = 2000000;  ///< sampler give-up bound
+};
+
+/// Rejection-samples session workloads with the paper's predicates.
+class SessionGenerator {
+ public:
+  SessionGenerator(const Workload& expected, Rng* rng,
+                   SessionOptions opts = {});
+
+  /// Builds one session of the given kind.
+  Session Make(SessionKind kind) const;
+
+  /// The paper's read-only sequence (Figs. 8-9):
+  /// Reads, Range, Empty Reads, Non-Empty Reads, Reads, Reads.
+  std::vector<Session> ReadOnlySequence() const;
+
+  /// The paper's mixed sequence (Figs. 10-18):
+  /// Reads, Range, Empty Reads, Non-Empty Reads, Writes, Expected.
+  std::vector<Session> MixedSequence() const;
+
+ private:
+  /// Draws a single workload satisfying the predicate of `kind`.
+  Workload Draw(SessionKind kind) const;
+
+  Workload expected_;
+  Rng* rng_;
+  SessionOptions opts_;
+};
+
+}  // namespace endure::workload
+
+#endif  // ENDURE_WORKLOAD_SESSION_H_

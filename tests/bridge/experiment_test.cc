@@ -1,0 +1,102 @@
+#include "bridge/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace endure::bridge {
+namespace {
+
+ExperimentOptions SmallExperiment() {
+  ExperimentOptions opts;
+  opts.actual_entries = 5000;
+  opts.queries_per_workload = 200;
+  return opts;
+}
+
+TEST(ExperimentTest, ProducesOneMeasurementPerSession) {
+  SystemConfig cfg;
+  ExperimentRunner runner(cfg, SmallExperiment());
+  Rng rng(3);
+  workload::SessionOptions sopts;
+  sopts.workloads_per_session = 2;
+  workload::SessionGenerator gen(Workload(0.33, 0.33, 0.33, 0.01), &rng,
+                                 sopts);
+  const std::vector<workload::Session> sessions = gen.MixedSequence();
+  const auto results =
+      runner.Run(Tuning(Policy::kLeveling, 10.0, 4.0), sessions);
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& m : results) {
+    EXPECT_GT(m.total_queries, 0u);
+    EXPECT_GT(m.model_io_per_query, 0.0);
+    EXPECT_GE(m.measured_io_per_query, 0.0);
+    EXPECT_GE(m.latency_us_per_query, 0.0);
+  }
+}
+
+TEST(ExperimentTest, EmptyReadSessionsAreCheapWithGoodFilters) {
+  // A tuning with strong filters should serve empty-read sessions with far
+  // fewer I/Os than one without filters.
+  SystemConfig cfg;
+  ExperimentRunner runner(cfg, SmallExperiment());
+  Rng rng(4);
+  workload::SessionOptions sopts;
+  sopts.workloads_per_session = 2;
+  workload::SessionGenerator gen(Workload(0.97, 0.01, 0.01, 0.01), &rng,
+                                 sopts);
+  std::vector<workload::Session> sessions{
+      gen.Make(workload::SessionKind::kEmptyReads)};
+
+  const auto strong =
+      runner.Run(Tuning(Policy::kLeveling, 6.0, 9.0), sessions);
+  const auto weak = runner.Run(Tuning(Policy::kLeveling, 6.0, 0.0), sessions);
+  EXPECT_LT(strong[0].point_io, weak[0].point_io);
+}
+
+TEST(ExperimentTest, ModelAndSystemAgreeOnReadCostOrdering) {
+  // If the model says tuning A beats tuning B on a read session, the
+  // engine should agree (relative performance is the paper's claim).
+  SystemConfig cfg;
+  ExperimentOptions eopts = SmallExperiment();
+  eopts.queries_per_workload = 400;
+  ExperimentRunner runner(cfg, eopts);
+  Rng rng(5);
+  workload::SessionOptions sopts;
+  sopts.workloads_per_session = 2;
+  workload::SessionGenerator gen(Workload(0.49, 0.49, 0.01, 0.01), &rng,
+                                 sopts);
+  std::vector<workload::Session> sessions{
+      gen.Make(workload::SessionKind::kReads)};
+
+  const Tuning good(Policy::kLeveling, 8.0, 8.0);
+  const Tuning bad(Policy::kTiering, 20.0, 0.5);
+  const auto rg = runner.Run(good, sessions);
+  const auto rb = runner.Run(bad, sessions);
+  EXPECT_LT(rg[0].measured_io_per_query, rb[0].measured_io_per_query);
+  EXPECT_LT(rg[0].model_io_per_query, rb[0].model_io_per_query);
+}
+
+TEST(ExperimentTest, WriteSessionsProduceCompactionTraffic) {
+  SystemConfig cfg;
+  ExperimentRunner runner(cfg, SmallExperiment());
+  Rng rng(6);
+  workload::SessionOptions sopts;
+  sopts.workloads_per_session = 3;
+  workload::SessionGenerator gen(Workload(0.1, 0.1, 0.1, 0.7), &rng, sopts);
+  std::vector<workload::Session> sessions{
+      gen.Make(workload::SessionKind::kWrites)};
+  const auto r = runner.Run(Tuning(Policy::kLeveling, 4.0, 2.0), sessions);
+  EXPECT_GT(r[0].write_io, 0.0);
+}
+
+TEST(ExperimentTest, FormatMeasurementContainsFields) {
+  SessionMeasurement m;
+  m.kind = workload::SessionKind::kRange;
+  m.average = Workload(0.1, 0.1, 0.7, 0.1);
+  m.model_io_per_query = 3.25;
+  m.measured_io_per_query = 3.5;
+  const std::string s = FormatMeasurement(m);
+  EXPECT_NE(s.find("Range"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace endure::bridge

@@ -1,0 +1,110 @@
+#include "bridge/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace endure::bridge {
+namespace {
+
+PipelineOptions FastOptions() {
+  PipelineOptions o;
+  o.monitor.ops_per_epoch = 200;
+  o.monitor.window_epochs = 4;
+  o.monitor.alarm_patience = 2;
+  return o;
+}
+
+// Feeds epochs of `mix` into the pipeline.
+void Feed(TuningPipeline* p, const Workload& mix, int epochs,
+          uint64_t ops = 200, uint64_t seed = 5) {
+  Rng rng(seed);
+  for (int e = 0; e < epochs; ++e) {
+    for (uint64_t i = 0; i < ops; ++i) {
+      const double u = rng.NextDouble();
+      QueryClass c = kWrite;
+      if (u < mix.z0) {
+        c = kEmptyPointQuery;
+      } else if (u < mix.z0 + mix.z1) {
+        c = kNonEmptyPointQuery;
+      } else if (u < mix.z0 + mix.z1 + mix.q) {
+        c = kRangeQuery;
+      }
+      p->RecordOperation(c);
+    }
+  }
+}
+
+TEST(TuningPipelineTest, InitialTuningMatchesDirectSolve) {
+  SystemConfig cfg;
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  TuningPipeline pipeline(cfg, expected, 0.5, FastOptions());
+  CostModel model(cfg);
+  RobustTuner tuner(model);
+  const Tuning direct = tuner.Tune(expected, 0.5).tuning;
+  EXPECT_EQ(pipeline.current_tuning().policy, direct.policy);
+  EXPECT_NEAR(pipeline.current_tuning().size_ratio, direct.size_ratio,
+              1e-9);
+  EXPECT_EQ(pipeline.retune_count(), 0);
+}
+
+TEST(TuningPipelineTest, StableWorkloadNeverRecommendsRetune) {
+  SystemConfig cfg;
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  TuningPipeline pipeline(cfg, expected, 0.5, FastOptions());
+  Feed(&pipeline, expected, 8);
+  EXPECT_FALSE(pipeline.RetuneRecommended());
+}
+
+TEST(TuningPipelineTest, DriftTriggersRetuneAndRecenters) {
+  SystemConfig cfg;
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  const Workload shifted(0.05, 0.05, 0.05, 0.85);
+  TuningPipeline pipeline(cfg, expected, 0.25, FastOptions());
+  const Tuning before = pipeline.current_tuning();
+
+  Feed(&pipeline, shifted, 4);
+  ASSERT_TRUE(pipeline.RetuneRecommended());
+  const TuningResult r = pipeline.Retune();
+  EXPECT_EQ(pipeline.retune_count(), 1);
+  EXPECT_FALSE(pipeline.RetuneRecommended());
+  // Recentred near the observed write-heavy mix.
+  EXPECT_GT(pipeline.tuned_for().w, 0.5);
+  // The new tuning reflects a write-heavy expectation: smaller T under
+  // leveling or a switch of policy; in any case a different tuning.
+  EXPECT_FALSE(r.tuning == before);
+  EXPECT_TRUE(r.tuning.Validate(cfg).ok());
+}
+
+TEST(TuningPipelineTest, RhoClampedToConfiguredRange) {
+  SystemConfig cfg;
+  PipelineOptions opts = FastOptions();
+  opts.rho_floor = 0.3;
+  opts.rho_ceiling = 0.6;
+  const Workload expected(0.25, 0.25, 0.25, 0.25);
+  TuningPipeline pipeline(cfg, expected, 0.25, opts);
+  // Nearly identical epochs -> tiny advised rho -> floor applies.
+  Feed(&pipeline, Workload(0.05, 0.05, 0.05, 0.85), 4);
+  ASSERT_TRUE(pipeline.RetuneRecommended());
+  pipeline.Retune();
+  EXPECT_GE(pipeline.rho(), 0.3);
+  EXPECT_LE(pipeline.rho(), 0.6);
+}
+
+TEST(TuningPipelineTest, SecondDriftCycleWorks) {
+  SystemConfig cfg;
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  TuningPipeline pipeline(cfg, expected, 0.25, FastOptions());
+  Feed(&pipeline, Workload(0.05, 0.05, 0.05, 0.85), 4, 200, 7);
+  ASSERT_TRUE(pipeline.RetuneRecommended());
+  pipeline.Retune();
+  // Shift again, to a range-heavy mix.
+  Feed(&pipeline, Workload(0.05, 0.05, 0.85, 0.05), 4, 200, 8);
+  EXPECT_TRUE(pipeline.RetuneRecommended());
+  pipeline.Retune();
+  EXPECT_EQ(pipeline.retune_count(), 2);
+  EXPECT_GT(pipeline.tuned_for().q, 0.5);
+}
+
+}  // namespace
+}  // namespace endure::bridge

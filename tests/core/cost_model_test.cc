@@ -1,0 +1,264 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace endure {
+namespace {
+
+SystemConfig IntegerCfg() {
+  SystemConfig cfg;
+  cfg.level_policy = LevelPolicy::kInteger;
+  return cfg;
+}
+
+TEST(CostModelTest, LevelsFormulaMatchesEq1) {
+  CostModel m(IntegerCfg());
+  Tuning t(Policy::kLeveling, 10.0, 0.0);
+  // m_buf = 10 bits/entry * 1e7 = 1e8 bits; N*E/m_buf = 819.2.
+  const double expected = std::ceil(std::log(820.2) / std::log(10.0));
+  EXPECT_EQ(m.Levels(t), static_cast<int>(expected));
+}
+
+TEST(CostModelTest, LevelsShrinkWithLargerT) {
+  CostModel m(IntegerCfg());
+  int prev = 1000;
+  for (double T : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    Tuning t(Policy::kLeveling, T, 2.0);
+    EXPECT_LE(m.Levels(t), prev);
+    prev = m.Levels(t);
+  }
+}
+
+TEST(CostModelTest, LevelsGrowWhenBufferShrinks) {
+  CostModel m(IntegerCfg());
+  // More filter memory -> less buffer -> more levels (weakly).
+  Tuning small_h(Policy::kLeveling, 8.0, 0.5);
+  Tuning big_h(Policy::kLeveling, 8.0, 9.5);
+  EXPECT_LE(m.Levels(small_h), m.Levels(big_h));
+}
+
+TEST(CostModelTest, FractionalLevelsBracketInteger) {
+  SystemConfig frac_cfg;  // default fractional
+  CostModel frac(frac_cfg);
+  CostModel integer(IntegerCfg());
+  for (double T : {3.0, 7.5, 21.0, 64.0}) {
+    Tuning t(Policy::kLeveling, T, 3.0);
+    EXPECT_LE(frac.EffectiveLevels(t), integer.EffectiveLevels(t));
+    EXPECT_GT(frac.EffectiveLevels(t), integer.EffectiveLevels(t) - 1.0);
+  }
+}
+
+TEST(CostModelTest, FalsePositiveRatesAreValidProbabilities) {
+  CostModel m(IntegerCfg());
+  for (double T : {2.0, 5.0, 20.0, 90.0}) {
+    for (double h : {0.0, 1.0, 5.0, 9.5}) {
+      Tuning t(Policy::kLeveling, T, h);
+      for (int i = 1; i <= m.Levels(t); ++i) {
+        const double f = m.FalsePositiveRate(t, i);
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+      }
+    }
+  }
+}
+
+TEST(CostModelTest, MonkeyGivesDeeperLevelsHigherFpr) {
+  CostModel m(IntegerCfg());
+  Tuning t(Policy::kLeveling, 6.0, 6.0);
+  for (int i = 1; i < m.Levels(t); ++i) {
+    EXPECT_LE(m.FalsePositiveRate(t, i), m.FalsePositiveRate(t, i + 1));
+  }
+}
+
+TEST(CostModelTest, MoreFilterMemoryLowersZ0) {
+  CostModel m(IntegerCfg());
+  double prev = 1e18;
+  for (double h : {0.0, 2.0, 4.0, 6.0, 8.0}) {
+    Tuning t(Policy::kLeveling, 8.0, h);
+    const double z0 = m.EmptyPointQueryCost(t);
+    EXPECT_LE(z0, prev + 1e-12);
+    prev = z0;
+  }
+}
+
+TEST(CostModelTest, TieringReadsCostMoreThanLeveling) {
+  CostModel m(IntegerCfg());
+  for (double T : {3.0, 8.0, 20.0}) {
+    Tuning lvl(Policy::kLeveling, T, 5.0);
+    Tuning tier(Policy::kTiering, T, 5.0);
+    EXPECT_LE(m.EmptyPointQueryCost(lvl), m.EmptyPointQueryCost(tier));
+    EXPECT_LE(m.NonEmptyPointQueryCost(lvl),
+              m.NonEmptyPointQueryCost(tier) + 1e-12);
+    EXPECT_LE(m.RangeQueryCost(lvl), m.RangeQueryCost(tier));
+  }
+}
+
+TEST(CostModelTest, LevelingWritesCostMoreThanTiering) {
+  CostModel m(IntegerCfg());
+  for (double T : {3.0, 8.0, 20.0}) {
+    Tuning lvl(Policy::kLeveling, T, 5.0);
+    Tuning tier(Policy::kTiering, T, 5.0);
+    EXPECT_GE(m.WriteCost(lvl), m.WriteCost(tier));
+  }
+}
+
+TEST(CostModelTest, PoliciesCoincideAtT2) {
+  // Eq. (16) note: at T = 2 tiering and leveling behave identically.
+  CostModel m(IntegerCfg());
+  Tuning lvl(Policy::kLeveling, 2.0, 5.0);
+  Tuning tier(Policy::kTiering, 2.0, 5.0);
+  EXPECT_NEAR(m.WriteCost(lvl), m.WriteCost(tier), 1e-12);
+  EXPECT_NEAR(m.EmptyPointQueryCost(lvl), m.EmptyPointQueryCost(tier),
+              1e-12);
+  EXPECT_NEAR(m.RangeQueryCost(lvl), m.RangeQueryCost(tier), 1e-12);
+}
+
+TEST(CostModelTest, NonEmptyPointQueryCostAtLeastOne) {
+  // The hit itself always costs one I/O.
+  CostModel m(IntegerCfg());
+  for (double T : {2.0, 10.0, 50.0}) {
+    for (double h : {0.0, 5.0, 9.0}) {
+      Tuning t(Policy::kTiering, T, h);
+      EXPECT_GE(m.NonEmptyPointQueryCost(t), 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(CostModelTest, RangeCostMatchesClosedForm) {
+  CostModel m(IntegerCfg());
+  Tuning lvl(Policy::kLeveling, 10.0, 2.0);
+  const double scan = 2e-7 * 1e7 / 4.0;  // 0.5 pages
+  EXPECT_NEAR(m.RangeQueryCost(lvl), scan + m.Levels(lvl), 1e-12);
+  Tuning tier(Policy::kTiering, 10.0, 2.0);
+  EXPECT_NEAR(m.RangeQueryCost(tier), scan + m.Levels(tier) * 9.0, 1e-12);
+}
+
+TEST(CostModelTest, WriteCostMatchesClosedForm) {
+  CostModel m(IntegerCfg());
+  Tuning lvl(Policy::kLeveling, 10.0, 2.0);
+  const double L = m.Levels(lvl);
+  EXPECT_NEAR(m.WriteCost(lvl), L / 4.0 * (9.0 / 2.0) * 2.0, 1e-12);
+  Tuning tier(Policy::kTiering, 10.0, 2.0);
+  const double Lt = m.Levels(tier);
+  EXPECT_NEAR(m.WriteCost(tier), Lt / 4.0 * (9.0 / 10.0) * 2.0, 1e-12);
+}
+
+TEST(CostModelTest, WriteCostScalesWithAsymmetry) {
+  SystemConfig cfg = IntegerCfg();
+  cfg.read_write_asymmetry = 3.0;
+  CostModel m3(cfg);
+  CostModel m1(IntegerCfg());
+  Tuning t(Policy::kLeveling, 10.0, 2.0);
+  EXPECT_NEAR(m3.WriteCost(t), m1.WriteCost(t) * (1.0 + 3.0) / 2.0, 1e-12);
+}
+
+TEST(CostModelTest, CostIsWorkloadWeightedSum) {
+  CostModel m(IntegerCfg());
+  Tuning t(Policy::kLeveling, 10.0, 5.0);
+  Workload w(0.1, 0.2, 0.3, 0.4);
+  const CostVector c = m.Costs(t);
+  EXPECT_NEAR(m.Cost(w, t),
+              0.1 * c.z0 + 0.2 * c.z1 + 0.3 * c.q + 0.4 * c.w, 1e-12);
+  EXPECT_NEAR(m.Throughput(w, t), 1.0 / m.Cost(w, t), 1e-15);
+}
+
+TEST(CostModelTest, CostVectorIndexing) {
+  CostModel m(IntegerCfg());
+  const CostVector c = m.Costs(Tuning(Policy::kTiering, 5.0, 3.0));
+  EXPECT_DOUBLE_EQ(c[kEmptyPointQuery], c.z0);
+  EXPECT_DOUBLE_EQ(c[kNonEmptyPointQuery], c.z1);
+  EXPECT_DOUBLE_EQ(c[kRangeQuery], c.q);
+  EXPECT_DOUBLE_EQ(c[kWrite], c.w);
+  const std::vector<double> v = c.AsVector();
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(CostModelTest, FullTreeEntriesClosedForm) {
+  CostModel m(IntegerCfg());
+  Tuning t(Policy::kLeveling, 10.0, 0.0);
+  const double buf_entries = t.buffer_memory_bits(m.config()) / 8192.0;
+  const double L = m.Levels(t);
+  EXPECT_NEAR(m.FullTreeEntries(t), (std::pow(10.0, L) - 1.0) * buf_entries,
+              1e-6);
+}
+
+TEST(CostModelTest, FractionalModelContinuousAcrossLevelBoundary) {
+  CostModel m{SystemConfig{}};  // fractional default
+  // Find a T where integer L jumps; fractional cost must not jump.
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  Tuning a(Policy::kLeveling, 28.64, 0.0);
+  Tuning b(Policy::kLeveling, 28.66, 0.0);
+  EXPECT_NEAR(m.Cost(w, a), m.Cost(w, b), 0.02);
+}
+
+TEST(CostModelTest, IntegerModelJumpsAcrossLevelBoundary) {
+  // At h = 0, L flips from 3 to 2 at T = sqrt(820.2) ~ 28.639.
+  CostModel m(IntegerCfg());
+  Workload w(0.0, 0.0, 1.0, 0.0);  // pure range: Q = scan + L
+  Tuning a(Policy::kLeveling, 28.60, 0.0);
+  Tuning b(Policy::kLeveling, 28.67, 0.0);
+  EXPECT_EQ(m.Levels(a), 3);
+  EXPECT_EQ(m.Levels(b), 2);
+  EXPECT_NEAR(m.Cost(w, a) - m.Cost(w, b), 1.0, 1e-9);
+}
+
+TEST(CostModelTest, FractionalAndIntegerAgreeAtIntegralL) {
+  // Construct a config where L is exactly integral: N*E/m_buf + 1 = T^k.
+  SystemConfig cfg;
+  cfg.num_entries = 1e6;
+  cfg.entry_size_bits = 1000.0;
+  // m_buf fixed via h = 0: m_buf = 10 * 1e6 = 1e7 bits.
+  // N*E/m_buf + 1 = 101 -> pick T so that T^2 = 101 -> T = sqrt(101).
+  const double T = std::sqrt(101.0);
+  SystemConfig frac = cfg;
+  SystemConfig integer = cfg;
+  integer.level_policy = LevelPolicy::kInteger;
+  CostModel mf(frac), mi(integer);
+  Tuning t(Policy::kLeveling, T, 0.0);
+  EXPECT_NEAR(mf.EffectiveLevels(t), 2.0, 1e-9);
+  EXPECT_EQ(mi.Levels(t), 2);
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  EXPECT_NEAR(mf.Cost(w, t), mi.Cost(w, t), 1e-6);
+}
+
+// Parameterized invariant sweep over the tuning grid.
+struct GridCase {
+  double T;
+  double h;
+  Policy policy;
+};
+
+class CostModelGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(CostModelGrid, AllCostsFiniteNonNegativeBothPolicies) {
+  const GridCase& c = GetParam();
+  for (LevelPolicy lp : {LevelPolicy::kFractional, LevelPolicy::kInteger}) {
+    SystemConfig cfg;
+    cfg.level_policy = lp;
+    CostModel m(cfg);
+    Tuning t(c.policy, c.T, c.h);
+    const CostVector cv = m.Costs(t);
+    for (int i = 0; i < kNumQueryClasses; ++i) {
+      EXPECT_TRUE(std::isfinite(cv[i])) << "i=" << i;
+      EXPECT_GE(cv[i], 0.0) << "i=" << i;
+    }
+    EXPECT_GE(cv.z1, 0.999);  // the hit costs at least ~1 I/O
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TuningGrid, CostModelGrid,
+    ::testing::Values(GridCase{2.0, 0.0, Policy::kLeveling},
+                      GridCase{2.0, 9.8, Policy::kTiering},
+                      GridCase{5.0, 1.0, Policy::kLeveling},
+                      GridCase{5.0, 5.0, Policy::kTiering},
+                      GridCase{10.0, 9.0, Policy::kLeveling},
+                      GridCase{25.0, 0.5, Policy::kTiering},
+                      GridCase{50.0, 3.0, Policy::kLeveling},
+                      GridCase{100.0, 7.0, Policy::kTiering},
+                      GridCase{100.0, 0.0, Policy::kLeveling}));
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,141 @@
+#include "core/divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kl.h"
+#include "util/random.h"
+
+namespace endure {
+namespace {
+
+class DivergenceSweep : public ::testing::TestWithParam<DivergenceKind> {
+ protected:
+  std::unique_ptr<PhiDivergence> div_ = MakeDivergence(GetParam());
+};
+
+TEST_P(DivergenceSweep, GeneratorVanishesAtOne) {
+  EXPECT_NEAR(div_->Phi(1.0), 0.0, 1e-12);
+}
+
+TEST_P(DivergenceSweep, GeneratorNonNegative) {
+  for (double t = 0.0; t <= 6.0; t += 0.05) {
+    EXPECT_GE(div_->Phi(t), -1e-12) << div_->name() << " t=" << t;
+  }
+}
+
+TEST_P(DivergenceSweep, GeneratorConvexOnSamples) {
+  for (double a = 0.1; a <= 4.0; a += 0.3) {
+    for (double b = a + 0.2; b <= 4.5; b += 0.3) {
+      const double mid = div_->Phi((a + b) / 2.0);
+      const double chord = (div_->Phi(a) + div_->Phi(b)) / 2.0;
+      EXPECT_LE(mid, chord + 1e-10) << div_->name();
+    }
+  }
+}
+
+TEST_P(DivergenceSweep, FenchelYoungInequality) {
+  // phi(t) + phi*(s) >= t*s on the conjugate's domain.
+  Rng rng(11);
+  const double s_cap = std::min(div_->ConjugateDomainSup(), 3.0);
+  for (int i = 0; i < 3000; ++i) {
+    const double t = rng.Uniform(0.0, 5.0);
+    const double s = rng.Uniform(-4.0, s_cap - 1e-6);
+    const double lhs = div_->Phi(t) + div_->Conjugate(s);
+    EXPECT_GE(lhs, t * s - 1e-8) << div_->name();
+  }
+}
+
+TEST_P(DivergenceSweep, ConjugateTightOnSampledSuprema) {
+  // phi*(s) ~ max_t {ts - phi(t)} over a dense t grid (lower bound check).
+  const double s_cap = std::min(div_->ConjugateDomainSup(), 2.0);
+  for (double s = -2.0; s < s_cap - 1e-6; s += 0.25) {
+    double sup = -1e18;
+    for (double t = 0.0; t <= 50.0; t += 0.01) {
+      sup = std::max(sup, t * s - div_->Phi(t));
+    }
+    EXPECT_GE(div_->Conjugate(s) + 1e-6, sup) << div_->name() << " s=" << s;
+    EXPECT_NEAR(div_->Conjugate(s), sup, 0.05) << div_->name() << " s=" << s;
+  }
+}
+
+TEST_P(DivergenceSweep, DivergenceZeroIffEqual) {
+  const std::vector<double> p{0.4, 0.3, 0.2, 0.1};
+  EXPECT_NEAR(div_->Divergence(p, p), 0.0, 1e-12);
+  const std::vector<double> q{0.1, 0.2, 0.3, 0.4};
+  EXPECT_GT(div_->Divergence(p, q), 1e-3);
+}
+
+TEST_P(DivergenceSweep, DivergenceNonNegativeOnRandomPairs) {
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 1000);
+    const std::vector<double> q = rng.SimplexByCounts(4, 1000);
+    EXPECT_GE(div_->Divergence(p, q), -1e-12) << div_->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DivergenceSweep,
+    ::testing::Values(DivergenceKind::kKl, DivergenceKind::kChiSquare,
+                      DivergenceKind::kTotalVariation,
+                      DivergenceKind::kHellinger));
+
+TEST(DivergenceTest, KlGeneratorMatchesKlModule) {
+  KlGenerator kl;
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 1000);
+    const std::vector<double> q = rng.SimplexByCounts(4, 1000);
+    const double a = kl.Divergence(p, q);
+    const double b = KlDivergence(p, q);
+    if (std::isfinite(a) && std::isfinite(b)) {
+      EXPECT_NEAR(a, b, 1e-9);
+    } else {
+      EXPECT_EQ(std::isfinite(a), std::isfinite(b));
+    }
+  }
+}
+
+TEST(DivergenceTest, TotalVariationMatchesHalfL1TimesTwo) {
+  // sum_i q_i |p_i/q_i - 1| = sum_i |p_i - q_i| (i.e. 2 * TV distance).
+  TotalVariationGenerator tv;
+  const std::vector<double> p{0.5, 0.5, 0.0, 0.0};
+  const std::vector<double> q{0.25, 0.25, 0.25, 0.25};
+  double l1 = 0.0;
+  for (int i = 0; i < 4; ++i) l1 += std::fabs(p[i] - q[i]);
+  EXPECT_NEAR(tv.Divergence(p, q), l1, 1e-12);
+}
+
+TEST(DivergenceTest, ChiSquareKnownValue) {
+  ChiSquareGenerator chi;
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.25, 0.75};
+  // sum q (p/q - 1)^2 = 0.25*(1)^2 + 0.75*(1/3)^2 = 0.25 + 0.0833...
+  EXPECT_NEAR(chi.Divergence(p, q), 0.25 + 0.75 / 9.0, 1e-12);
+}
+
+TEST(DivergenceTest, HellingerBoundedByTwo) {
+  HellingerGenerator h;
+  Rng rng(19);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 1000);
+    const std::vector<double> q = rng.SimplexByCounts(4, 1000);
+    const double d = h.Divergence(p, q);
+    if (std::isfinite(d)) EXPECT_LE(d, 2.0 + 1e-9);
+  }
+}
+
+TEST(DivergenceTest, FactoryNamesAndKinds) {
+  EXPECT_STREQ(MakeDivergence(DivergenceKind::kKl)->name(), "kl");
+  EXPECT_STREQ(MakeDivergence(DivergenceKind::kChiSquare)->name(), "chi2");
+  EXPECT_STREQ(MakeDivergence(DivergenceKind::kTotalVariation)->name(),
+               "tv");
+  EXPECT_STREQ(MakeDivergence(DivergenceKind::kHellinger)->name(),
+               "hellinger");
+  EXPECT_EQ(AllDivergenceKinds().size(), 4u);
+}
+
+}  // namespace
+}  // namespace endure

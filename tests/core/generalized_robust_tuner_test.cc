@@ -1,0 +1,145 @@
+#include "core/generalized_robust_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/robust_tuner.h"
+#include "workload/expected_workloads.h"
+
+namespace endure {
+namespace {
+
+class GeneralizedTunerTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg_;
+  CostModel model_{SystemConfig{}};
+};
+
+TEST_F(GeneralizedTunerTest, KlSpecializationMatchesFastPath) {
+  // The generalized (lambda, eta) dual under KL must agree with the
+  // analytic-eta 1-D path.
+  GeneralizedRobustTuner general(model_, DivergenceKind::kKl);
+  RobustTuner fast(model_);
+  const Workload w = workload::GetExpectedWorkload(11).workload;
+  for (double rho : {0.25, 1.0, 2.0}) {
+    for (const Tuning t : {Tuning(Policy::kLeveling, 10.0, 4.0),
+                           Tuning(Policy::kTiering, 6.0, 2.0)}) {
+      const double a = general.RobustCost(w, rho, t);
+      const double b = fast.RobustCost(w, rho, t);
+      EXPECT_NEAR(a, b, 0.01 * b) << "rho=" << rho << " " << t.ToString();
+    }
+  }
+}
+
+TEST_F(GeneralizedTunerTest, ZeroRadiusIsNominalForAllDivergences) {
+  const Workload w(0.3, 0.3, 0.3, 0.1);
+  const Tuning t(Policy::kLeveling, 8.0, 5.0);
+  for (DivergenceKind kind : AllDivergenceKinds()) {
+    GeneralizedRobustTuner tuner(model_, kind);
+    EXPECT_NEAR(tuner.RobustCost(w, 0.0, t), model_.Cost(w, t), 1e-9)
+        << tuner.divergence().name();
+  }
+}
+
+TEST_F(GeneralizedTunerTest, ValueBetweenNominalAndWorstComponent) {
+  const Workload w(0.25, 0.25, 0.25, 0.25);
+  const Tuning t(Policy::kTiering, 10.0, 3.0);
+  const CostVector c = model_.Costs(t);
+  double cmax = 0.0;
+  for (int i = 0; i < kNumQueryClasses; ++i) cmax = std::max(cmax, c[i]);
+  const double nominal = model_.Cost(w, t);
+  for (DivergenceKind kind : AllDivergenceKinds()) {
+    GeneralizedRobustTuner tuner(model_, kind);
+    for (double rho : {0.1, 0.5, 1.5}) {
+      const double v = tuner.RobustCost(w, rho, t);
+      EXPECT_GE(v, nominal - 1e-9) << tuner.divergence().name();
+      EXPECT_LE(v, cmax + 1e-6) << tuner.divergence().name();
+    }
+  }
+}
+
+TEST_F(GeneralizedTunerTest, MonotoneInRadius) {
+  const Workload w(0.33, 0.33, 0.33, 0.01);
+  const Tuning t(Policy::kLeveling, 12.0, 3.0);
+  for (DivergenceKind kind : AllDivergenceKinds()) {
+    GeneralizedRobustTuner tuner(model_, kind);
+    double prev = 0.0;
+    for (double rho : {0.05, 0.2, 0.5, 1.0}) {
+      const double v = tuner.RobustCost(w, rho, t);
+      EXPECT_GE(v, prev - 1e-6)
+          << tuner.divergence().name() << " rho=" << rho;
+      prev = v;
+    }
+  }
+}
+
+TEST_F(GeneralizedTunerTest, DualUpperBoundsSampledPrimal) {
+  // Weak duality check: no sampled workload inside the phi-ball may cost
+  // more than the dual value.
+  Rng rng(23);
+  const Workload w(0.3, 0.2, 0.3, 0.2);
+  const Tuning t(Policy::kLeveling, 9.0, 4.0);
+  for (DivergenceKind kind : AllDivergenceKinds()) {
+    GeneralizedRobustTuner tuner(model_, kind);
+    const double rho = 0.4;
+    const double dual = tuner.RobustCost(w, rho, t);
+    int inside = 0;
+    for (int i = 0; i < 4000; ++i) {
+      const std::vector<double> p = rng.SimplexByCounts(4, 10000);
+      const Workload cand(p[0], p[1], p[2], p[3]);
+      if (tuner.divergence().Divergence(cand, w) <= rho) {
+        ++inside;
+        EXPECT_LE(model_.Cost(cand, t), dual + 1e-4)
+            << tuner.divergence().name();
+      }
+    }
+    EXPECT_GT(inside, 20) << tuner.divergence().name();
+  }
+}
+
+TEST_F(GeneralizedTunerTest, TuneProducesValidTunings) {
+  const Workload w = workload::GetExpectedWorkload(7).workload;
+  for (DivergenceKind kind : AllDivergenceKinds()) {
+    GeneralizedRobustTuner tuner(model_, kind);
+    const TuningResult r = tuner.Tune(w, 0.3);
+    EXPECT_TRUE(r.tuning.Validate(cfg_).ok()) << tuner.divergence().name();
+    EXPECT_GT(r.objective, 0.0);
+  }
+}
+
+TEST_F(GeneralizedTunerTest, TotalVariationSaturatesAtDiameter) {
+  // TV divergence between distributions is at most 2; beyond that radius
+  // the ball is the whole simplex and the value is the worst component.
+  GeneralizedRobustTuner tuner(model_, DivergenceKind::kTotalVariation);
+  const Workload w(0.25, 0.25, 0.25, 0.25);
+  const Tuning t(Policy::kTiering, 8.0, 2.0);
+  const CostVector c = model_.Costs(t);
+  double cmax = 0.0;
+  for (int i = 0; i < kNumQueryClasses; ++i) cmax = std::max(cmax, c[i]);
+  EXPECT_NEAR(tuner.RobustCost(w, 2.5, t), cmax, 0.02 * cmax);
+}
+
+TEST_F(GeneralizedTunerTest, DifferentGeometriesDifferentConservatism) {
+  // At equal radius the ball shapes differ, so the worst-case values
+  // should not all coincide (sanity that the generator actually matters).
+  const Workload w(0.33, 0.33, 0.33, 0.01);
+  const Tuning t(Policy::kLeveling, 20.0, 4.0);
+  const double rho = 0.5;
+  double values[4];
+  int i = 0;
+  for (DivergenceKind kind : AllDivergenceKinds()) {
+    GeneralizedRobustTuner tuner(model_, kind);
+    values[i++] = tuner.RobustCost(w, rho, t);
+  }
+  double spread = 0.0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      spread = std::max(spread, std::fabs(values[a] - values[b]));
+    }
+  }
+  EXPECT_GT(spread, 0.05);
+}
+
+}  // namespace
+}  // namespace endure

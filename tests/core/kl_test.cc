@@ -1,0 +1,128 @@
+#include "core/kl.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace endure {
+namespace {
+
+TEST(KlTest, ZeroForIdenticalDistributions) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p), 0.0);
+}
+
+TEST(KlTest, KnownValueTwoPoint) {
+  // KL((1,0), (0.5,0.5)) = log 2.
+  EXPECT_NEAR(KlDivergence({1.0, 0.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(KlTest, ZeroNumeratorContributesNothing) {
+  EXPECT_NEAR(KlDivergence({0.0, 1.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(KlTest, InfiniteWhenSupportMismatch) {
+  EXPECT_TRUE(std::isinf(KlDivergence({0.5, 0.5}, {1.0, 0.0})));
+}
+
+TEST(KlTest, NonNegativeOnRandomDistributions) {
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 1000);
+    const std::vector<double> q = rng.SimplexByCounts(4, 1000);
+    const double kl = KlDivergence(p, q);
+    if (std::isfinite(kl)) EXPECT_GE(kl, -1e-12);
+  }
+}
+
+TEST(KlTest, AsymmetricInGeneral) {
+  const std::vector<double> p{0.7, 0.1, 0.1, 0.1};
+  const std::vector<double> q{0.25, 0.25, 0.25, 0.25};
+  EXPECT_GT(std::fabs(KlDivergence(p, q) - KlDivergence(q, p)), 1e-6);
+}
+
+TEST(KlTest, WorkloadOverload) {
+  Workload p(0.97, 0.01, 0.01, 0.01);
+  Workload u(0.25, 0.25, 0.25, 0.25);
+  const double expected = 0.97 * std::log(0.97 / 0.25) +
+                          3 * 0.01 * std::log(0.01 / 0.25);
+  EXPECT_NEAR(KlDivergence(p, u), expected, 1e-12);
+}
+
+TEST(PhiKlTest, GeneratorProperties) {
+  EXPECT_DOUBLE_EQ(PhiKl(1.0), 0.0);   // phi(1) = 0
+  EXPECT_DOUBLE_EQ(PhiKl(0.0), 1.0);   // limit at 0
+  EXPECT_GT(PhiKl(2.0), 0.0);          // strictly convex, min at 1
+  EXPECT_GT(PhiKl(0.5), 0.0);
+}
+
+TEST(PhiKlTest, ConjugateIsExpm1) {
+  EXPECT_DOUBLE_EQ(PhiKlConjugate(0.0), 0.0);
+  EXPECT_NEAR(PhiKlConjugate(1.0), std::exp(1.0) - 1.0, 1e-12);
+  EXPECT_NEAR(PhiKlConjugate(-30.0), -1.0, 1e-10);
+}
+
+TEST(PhiKlTest, FenchelYoungInequality) {
+  // phi(t) + phi*(s) >= t*s for all t >= 0, s.
+  Rng rng(33);
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.Uniform(0.0, 5.0);
+    const double s = rng.Uniform(-3.0, 3.0);
+    EXPECT_GE(PhiKl(t) + PhiKlConjugate(s) - t * s, -1e-9);
+  }
+}
+
+TEST(LogSumExpTest, MatchesDirectComputationWhenSafe) {
+  const std::vector<double> w{0.2, 0.3, 0.4, 0.1};
+  const std::vector<double> c{1.0, 2.0, 0.5, 3.0};
+  const double lambda = 2.0;
+  double direct = 0.0;
+  for (int i = 0; i < 4; ++i) direct += w[i] * std::exp(c[i] / lambda);
+  EXPECT_NEAR(LogSumExpTilt(w, c, lambda), std::log(direct), 1e-12);
+}
+
+TEST(LogSumExpTest, StableForTinyLambda) {
+  const std::vector<double> w{0.5, 0.5};
+  const std::vector<double> c{1.0, 2.0};
+  // lambda -> 0: lambda * LSE -> max c_i over the support.
+  const double lambda = 1e-9;
+  EXPECT_NEAR(lambda * LogSumExpTilt(w, c, lambda), 2.0, 1e-6);
+}
+
+TEST(LogSumExpTest, IgnoresZeroWeightComponents) {
+  const std::vector<double> w{0.0, 1.0};
+  const std::vector<double> c{1e9, 1.0};  // huge cost has zero weight
+  EXPECT_NEAR(LogSumExpTilt(w, c, 1.0), 1.0, 1e-12);
+}
+
+TEST(TiltedDistributionTest, NormalizedAndTiltedTowardCost) {
+  const std::vector<double> w{0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> c{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> p = TiltedDistribution(w, c, 1.0);
+  double sum = 0.0;
+  for (double pi : p) sum += pi;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Higher-cost components get more mass.
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+  EXPECT_LT(p[2], p[3]);
+}
+
+TEST(TiltedDistributionTest, LargeLambdaRecoversBase) {
+  const std::vector<double> w{0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> c{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> p = TiltedDistribution(w, c, 1e9);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(p[i], w[i], 1e-6);
+}
+
+TEST(TiltedDistributionTest, TinyLambdaConcentratesOnArgmax) {
+  const std::vector<double> w{0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> c{1.0, 5.0, 2.0, 3.0};
+  const std::vector<double> p = TiltedDistribution(w, c, 1e-3);
+  EXPECT_NEAR(p[1], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,131 @@
+// Lazy leveling (Dostoevsky hybrid) in the cost model and tuners: the
+// bottom level behaves like leveling, all others like tiering, so every
+// cost sits between the two classic policies — and the write cost beats
+// leveling while the point-read costs beat tiering.
+
+#include <gtest/gtest.h>
+
+#include "core/endure.h"
+#include "workload/expected_workloads.h"
+
+namespace endure {
+namespace {
+
+class LazyLevelingModelTest : public ::testing::Test {
+ protected:
+  SystemConfig IntegerCfg() {
+    SystemConfig cfg;
+    cfg.level_policy = LevelPolicy::kInteger;
+    return cfg;
+  }
+};
+
+TEST_F(LazyLevelingModelTest, CostsBracketedByClassicPolicies) {
+  CostModel m(IntegerCfg());
+  for (double T : {3.0, 6.0, 12.0}) {
+    for (double h : {1.0, 5.0}) {
+      Tuning lvl(Policy::kLeveling, T, h);
+      Tuning lazy(Policy::kLazyLeveling, T, h);
+      Tuning tier(Policy::kTiering, T, h);
+      // Reads: leveling <= lazy <= tiering.
+      EXPECT_LE(m.EmptyPointQueryCost(lvl),
+                m.EmptyPointQueryCost(lazy) + 1e-12);
+      EXPECT_LE(m.EmptyPointQueryCost(lazy),
+                m.EmptyPointQueryCost(tier) + 1e-12);
+      EXPECT_LE(m.RangeQueryCost(lvl), m.RangeQueryCost(lazy) + 1e-12);
+      EXPECT_LE(m.RangeQueryCost(lazy), m.RangeQueryCost(tier) + 1e-12);
+      // Writes: tiering <= lazy <= leveling.
+      EXPECT_LE(m.WriteCost(tier), m.WriteCost(lazy) + 1e-12);
+      EXPECT_LE(m.WriteCost(lazy), m.WriteCost(lvl) + 1e-12);
+    }
+  }
+}
+
+TEST_F(LazyLevelingModelTest, AllPoliciesCoincideAtT2) {
+  CostModel m(IntegerCfg());
+  Tuning lvl(Policy::kLeveling, 2.0, 5.0);
+  Tuning lazy(Policy::kLazyLeveling, 2.0, 5.0);
+  Tuning tier(Policy::kTiering, 2.0, 5.0);
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  EXPECT_NEAR(m.Cost(w, lvl), m.Cost(w, lazy), 1e-12);
+  EXPECT_NEAR(m.Cost(w, lazy), m.Cost(w, tier), 1e-12);
+}
+
+TEST_F(LazyLevelingModelTest, SingleLevelTreeEqualsLeveling) {
+  // With one level, lazy leveling's bottom *is* the whole tree.
+  SystemConfig cfg = IntegerCfg();
+  cfg.num_entries = 1000.0;  // tiny: single level for moderate T
+  cfg.entry_size_bits = 64.0;
+  CostModel m(cfg);
+  Tuning lvl(Policy::kLeveling, 50.0, 2.0);
+  Tuning lazy(Policy::kLazyLeveling, 50.0, 2.0);
+  ASSERT_EQ(m.Levels(lvl), 1);
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  EXPECT_NEAR(m.Cost(w, lvl), m.Cost(w, lazy), 1e-12);
+}
+
+TEST_F(LazyLevelingModelTest, RangeCostClosedForm) {
+  CostModel m(IntegerCfg());
+  Tuning lazy(Policy::kLazyLeveling, 10.0, 2.0);
+  const int L = m.Levels(lazy);
+  const double scan = 2e-7 * 1e7 / 4.0;
+  // (L-1) tiered levels with T-1 runs each + 1 leveled run.
+  EXPECT_NEAR(m.RangeQueryCost(lazy), scan + (L - 1) * 9.0 + 1.0, 1e-9);
+}
+
+TEST_F(LazyLevelingModelTest, WriteCostClosedForm) {
+  CostModel m(IntegerCfg());
+  Tuning lazy(Policy::kLazyLeveling, 10.0, 2.0);
+  const int L = m.Levels(lazy);
+  const double expected =
+      ((L - 1) * (9.0 / 10.0) + 9.0 / 2.0) / 4.0 * 2.0;
+  EXPECT_NEAR(m.WriteCost(lazy), expected, 1e-9);
+}
+
+TEST(LazyLevelingTunerTest, HybridWinsOnMixedReadWriteWorkloads) {
+  // Dostoevsky's motivation: lazy leveling dominates for workloads mixing
+  // point reads and writes. Under the paper's generous default memory
+  // budget (H = 10 bits/entry) Monkey filters erase tiering's read
+  // penalty, so the hybrid's niche appears at tighter budgets.
+  SystemConfig cfg;
+  cfg.memory_budget_bits_per_entry = 3.0;
+  CostModel model(cfg);
+  TunerOptions classic;
+  TunerOptions extended;
+  extended.policies = {Policy::kLeveling, Policy::kTiering,
+                       Policy::kLazyLeveling};
+  NominalTuner classic_tuner(model, classic);
+  NominalTuner extended_tuner(model, extended);
+  int hybrid_wins = 0;
+  for (const Workload w : {Workload(0.49, 0.25, 0.01, 0.25),
+                           Workload(0.40, 0.10, 0.05, 0.45),
+                           Workload(0.25, 0.25, 0.05, 0.45)}) {
+    const TuningResult c = classic_tuner.Tune(w);
+    const TuningResult e = extended_tuner.Tune(w);
+    EXPECT_LE(e.objective, c.objective + 1e-9);
+    hybrid_wins += (e.tuning.policy == Policy::kLazyLeveling &&
+                    e.objective < c.objective - 1e-6);
+  }
+  EXPECT_GE(hybrid_wins, 1);  // at least one workload picks the hybrid
+}
+
+TEST(LazyLevelingTunerTest, RobustTunerSupportsHybrid) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  TunerOptions opts;
+  opts.policies = {Policy::kLeveling, Policy::kTiering,
+                   Policy::kLazyLeveling};
+  RobustTuner tuner(model, opts);
+  const TuningResult r =
+      tuner.Tune(workload::GetExpectedWorkload(12).workload, 0.5);
+  EXPECT_TRUE(r.tuning.Validate(cfg).ok());
+  // Robust objective still dominates the classic-policy robust objective.
+  TunerOptions classic;
+  RobustTuner classic_tuner(model, classic);
+  const TuningResult c =
+      classic_tuner.Tune(workload::GetExpectedWorkload(12).workload, 0.5);
+  EXPECT_LE(r.objective, c.objective + 1e-9);
+}
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,83 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace endure {
+namespace {
+
+TEST(MetricsTest, DeltaZeroForSameTuning) {
+  CostModel m{SystemConfig{}};
+  Tuning t(Policy::kLeveling, 10.0, 5.0);
+  Workload w;
+  EXPECT_NEAR(DeltaThroughput(m, w, t, t), 0.0, 1e-15);
+}
+
+TEST(MetricsTest, DeltaPositiveWhenSecondIsBetter) {
+  CostModel m{SystemConfig{}};
+  Workload reads(0.49, 0.49, 0.01, 0.01);
+  Tuning bad(Policy::kTiering, 50.0, 0.0);   // awful for point reads
+  Tuning good(Policy::kLeveling, 6.0, 9.0);  // read-optimized
+  EXPECT_GT(DeltaThroughput(m, reads, bad, good), 0.0);
+  EXPECT_LT(DeltaThroughput(m, reads, good, bad), 0.0);
+}
+
+TEST(MetricsTest, DeltaMatchesCostRatioIdentity) {
+  // Delta(w, p1, p2) == C(w,p1)/C(w,p2) - 1.
+  CostModel m{SystemConfig{}};
+  Workload w(0.3, 0.3, 0.2, 0.2);
+  Tuning p1(Policy::kLeveling, 8.0, 4.0);
+  Tuning p2(Policy::kTiering, 12.0, 2.0);
+  EXPECT_NEAR(DeltaThroughput(m, w, p1, p2),
+              m.Cost(w, p1) / m.Cost(w, p2) - 1.0, 1e-12);
+}
+
+TEST(MetricsTest, DeltaAntisymmetryRelation) {
+  // (1 + Delta12) * (1 + Delta21) == 1.
+  CostModel m{SystemConfig{}};
+  Workload w(0.1, 0.4, 0.2, 0.3);
+  Tuning p1(Policy::kLeveling, 5.0, 3.0);
+  Tuning p2(Policy::kLeveling, 30.0, 6.0);
+  const double d12 = DeltaThroughput(m, w, p1, p2);
+  const double d21 = DeltaThroughput(m, w, p2, p1);
+  EXPECT_NEAR((1.0 + d12) * (1.0 + d21), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, ThroughputRangeNonNegative) {
+  CostModel m{SystemConfig{}};
+  std::vector<Workload> bench{
+      Workload(0.97, 0.01, 0.01, 0.01), Workload(0.01, 0.97, 0.01, 0.01),
+      Workload(0.01, 0.01, 0.97, 0.01), Workload(0.01, 0.01, 0.01, 0.97)};
+  Tuning t(Policy::kLeveling, 10.0, 5.0);
+  EXPECT_GE(ThroughputRange(m, bench, t), 0.0);
+}
+
+TEST(MetricsTest, ThroughputRangeZeroForSingleton) {
+  CostModel m{SystemConfig{}};
+  std::vector<Workload> bench{Workload(0.25, 0.25, 0.25, 0.25)};
+  Tuning t(Policy::kLeveling, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(ThroughputRange(m, bench, t), 0.0);
+}
+
+TEST(MetricsTest, ThroughputRangeIsMaxMinusMin) {
+  CostModel m{SystemConfig{}};
+  std::vector<Workload> bench{
+      Workload(0.97, 0.01, 0.01, 0.01), Workload(0.01, 0.01, 0.01, 0.97),
+      Workload(0.25, 0.25, 0.25, 0.25)};
+  Tuning t(Policy::kTiering, 8.0, 4.0);
+  const std::vector<double> tp = Throughputs(m, bench, t);
+  const double mx = *std::max_element(tp.begin(), tp.end());
+  const double mn = *std::min_element(tp.begin(), tp.end());
+  EXPECT_NEAR(ThroughputRange(m, bench, t), mx - mn, 1e-15);
+}
+
+TEST(MetricsTest, ThroughputsMatchModel) {
+  CostModel m{SystemConfig{}};
+  std::vector<Workload> bench{Workload(0.4, 0.3, 0.2, 0.1)};
+  Tuning t(Policy::kLeveling, 12.0, 3.0);
+  const std::vector<double> tp = Throughputs(m, bench, t);
+  ASSERT_EQ(tp.size(), 1u);
+  EXPECT_NEAR(tp[0], m.Throughput(bench[0], t), 1e-15);
+}
+
+}  // namespace
+}  // namespace endure

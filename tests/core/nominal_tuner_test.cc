@@ -1,0 +1,132 @@
+#include "core/nominal_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "workload/expected_workloads.h"
+
+namespace endure {
+namespace {
+
+TEST(NominalTunerTest, ResultRespectsBounds) {
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  TuningResult r = tuner.Tune(Workload(0.3, 0.3, 0.3, 0.1));
+  EXPECT_TRUE(r.tuning.Validate(cfg).ok());
+  EXPECT_GT(r.objective, 0.0);
+  EXPECT_GT(r.evaluations, 0);
+}
+
+TEST(NominalTunerTest, BeatsOrMatchesPolicyRestrictedSearch) {
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  Workload w(0.2, 0.3, 0.3, 0.2);
+  TuningResult all = tuner.Tune(w);
+  TuningResult lvl = tuner.TunePolicy(w, Policy::kLeveling);
+  TuningResult tier = tuner.TunePolicy(w, Policy::kTiering);
+  EXPECT_LE(all.objective, lvl.objective + 1e-9);
+  EXPECT_LE(all.objective, tier.objective + 1e-9);
+}
+
+TEST(NominalTunerTest, ObjectiveMatchesModelCost) {
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  Workload w(0.4, 0.2, 0.2, 0.2);
+  TuningResult r = tuner.Tune(w);
+  EXPECT_NEAR(r.objective, m.Cost(w, r.tuning), 1e-9);
+}
+
+TEST(NominalTunerTest, WriteHeavyWorkloadAvoidsLargeT) {
+  // Write cost grows with T under leveling; a 97%-write workload must not
+  // pick a huge size ratio.
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  TuningResult r = tuner.Tune(Workload(0.01, 0.01, 0.01, 0.97));
+  EXPECT_LT(r.tuning.size_ratio, 30.0);
+}
+
+TEST(NominalTunerTest, RangeHeavyWorkloadPrefersLargeTLeveling) {
+  // Matches the paper's w3 tuning (T saturates at the cap, leveling).
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  TuningResult r = tuner.Tune(Workload(0.01, 0.01, 0.97, 0.01));
+  EXPECT_EQ(r.tuning.policy, Policy::kLeveling);
+  EXPECT_GT(r.tuning.size_ratio, 95.0);
+}
+
+TEST(NominalTunerTest, EmptyReadHeavyWorkloadBuysBloomFilters) {
+  // The paper's w1 nominal: h ~ 9.4 bits/entry.
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  TuningResult r = tuner.Tune(Workload(0.97, 0.01, 0.01, 0.01));
+  EXPECT_GT(r.tuning.filter_bits_per_entry, 7.0);
+}
+
+TEST(NominalTunerTest, ReproducesPaperW11Tuning) {
+  // Paper Fig. 9/11: w11 nominal = leveling, T ~ 47, h ~ 4.7.
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  TuningResult r = tuner.Tune(workload::GetExpectedWorkload(11).workload);
+  EXPECT_EQ(r.tuning.policy, Policy::kLeveling);
+  EXPECT_NEAR(r.tuning.size_ratio, 47.0, 8.0);
+  EXPECT_NEAR(r.tuning.filter_bits_per_entry, 4.7, 1.0);
+}
+
+TEST(NominalTunerTest, ReproducesPaperW7PolicyChoice) {
+  // Paper Fig. 8: w7 nominal is tiering (write-heavy bimodal).
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  TuningResult r = tuner.Tune(workload::GetExpectedWorkload(7).workload);
+  EXPECT_EQ(r.tuning.policy, Policy::kTiering);
+}
+
+TEST(NominalTunerTest, TuningIsNoWorseThanRandomProbes) {
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  TuningResult r = tuner.Tune(w);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    Tuning probe(rng.NextDouble() < 0.5 ? Policy::kLeveling
+                                        : Policy::kTiering,
+                 rng.Uniform(2.0, 100.0), rng.Uniform(0.0, 9.9));
+    EXPECT_LE(r.objective, m.Cost(w, probe) + 1e-9);
+  }
+}
+
+TEST(NominalTunerTest, SolveIsFast) {
+  // The paper reports tuning in < 10 ms; allow a generous margin for CI.
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  TuningResult r = tuner.Tune(Workload(0.3, 0.3, 0.3, 0.1));
+  EXPECT_LT(r.solve_seconds, 0.5);
+}
+
+// All 15 expected workloads produce valid tunings (Table 2 sweep).
+class NominalAllWorkloads : public ::testing::TestWithParam<int> {};
+
+TEST_P(NominalAllWorkloads, ValidTuningAndConsistentObjective) {
+  SystemConfig cfg;
+  CostModel m(cfg);
+  NominalTuner tuner(m);
+  const Workload w = workload::GetExpectedWorkload(GetParam()).workload;
+  TuningResult r = tuner.Tune(w);
+  EXPECT_TRUE(r.tuning.Validate(cfg).ok());
+  EXPECT_NEAR(r.objective, m.Cost(w, r.tuning), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, NominalAllWorkloads,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace endure

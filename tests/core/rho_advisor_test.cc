@@ -1,0 +1,80 @@
+#include "core/rho_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kl.h"
+#include "util/random.h"
+
+namespace endure {
+namespace {
+
+TEST(RhoAdvisorTest, IdenticalHistoryGivesNearZeroRho) {
+  std::vector<Workload> history(5, Workload(0.4, 0.3, 0.2, 0.1));
+  EXPECT_NEAR(RecommendRho(history), 0.0, 1e-6);
+}
+
+TEST(RhoAdvisorTest, DispersedHistoryGivesPositiveRho) {
+  std::vector<Workload> history{
+      Workload(0.97, 0.01, 0.01, 0.01), Workload(0.01, 0.97, 0.01, 0.01),
+      Workload(0.01, 0.01, 0.97, 0.01)};
+  EXPECT_GT(RecommendRho(history), 1.0);
+}
+
+TEST(RhoAdvisorTest, MeanWorkloadIsComponentMean) {
+  std::vector<Workload> history{Workload(1.0, 0.0, 0.0, 0.0),
+                                Workload(0.0, 1.0, 0.0, 0.0)};
+  Workload mean = MeanWorkload(history);
+  EXPECT_NEAR(mean.z0, 0.5, 1e-12);
+  EXPECT_NEAR(mean.z1, 0.5, 1e-12);
+  EXPECT_NEAR(mean.q, 0.0, 1e-12);
+}
+
+TEST(RhoAdvisorTest, EstimateFieldsConsistent) {
+  Rng rng(8);
+  std::vector<Workload> history;
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 1000);
+    history.emplace_back(p[0], p[1], p[2], p[3]);
+  }
+  const Workload expected = MeanWorkload(history);
+  const RhoEstimate est = EstimateRho(history, expected);
+  EXPECT_GE(est.max_to_expected, est.p90_to_expected - 1e-12);
+  EXPECT_GE(est.p90_to_expected, 0.0);
+  EXPECT_GE(est.max_to_expected, est.mean_to_expected - 1e-12);
+  EXPECT_GT(est.mean_pairwise, 0.0);
+}
+
+TEST(RhoAdvisorTest, SmoothingKeepsKlFinite) {
+  // Workloads with zero components would give infinite raw KL.
+  std::vector<Workload> history{Workload(1.0, 0.0, 0.0, 0.0),
+                                Workload(0.0, 0.0, 0.0, 1.0)};
+  const double rho = RecommendRho(history);
+  EXPECT_TRUE(std::isfinite(rho));
+  EXPECT_GT(rho, 0.0);
+}
+
+TEST(RhoAdvisorTest, TighterHistoryGivesSmallerRho) {
+  Rng rng(9);
+  auto make_history = [&](double spread) {
+    std::vector<Workload> h;
+    for (int i = 0; i < 10; ++i) {
+      Workload w(0.25, 0.25, 0.25, 0.25);
+      double sum = 0.0;
+      for (int k = 0; k < kNumQueryClasses; ++k) {
+        w[k] *= std::exp(spread * rng.Gaussian());
+        sum += w[k];
+      }
+      for (int k = 0; k < kNumQueryClasses; ++k) w[k] /= sum;
+      h.push_back(w);
+    }
+    return h;
+  };
+  const double rho_tight = RecommendRho(make_history(0.05));
+  const double rho_loose = RecommendRho(make_history(0.8));
+  EXPECT_LT(rho_tight, rho_loose);
+}
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,200 @@
+#include "core/robust_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kl.h"
+#include "core/metrics.h"
+#include "util/random.h"
+#include "workload/expected_workloads.h"
+
+namespace endure {
+namespace {
+
+class RobustTunerTest : public ::testing::Test {
+ protected:
+  SystemConfig cfg_;
+  CostModel model_{SystemConfig{}};
+  RobustTuner tuner_{model_};
+  NominalTuner nominal_{model_};
+};
+
+TEST_F(RobustTunerTest, ZeroRhoEqualsNominalCost) {
+  Workload w(0.33, 0.33, 0.33, 0.01);
+  Tuning t(Policy::kLeveling, 10.0, 4.0);
+  EXPECT_NEAR(tuner_.RobustCost(w, 0.0, t), model_.Cost(w, t), 1e-12);
+}
+
+TEST_F(RobustTunerTest, RobustCostIncreasesWithRho) {
+  Workload w(0.33, 0.33, 0.33, 0.01);
+  Tuning t(Policy::kLeveling, 10.0, 4.0);
+  double prev = model_.Cost(w, t);
+  for (double rho : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const double rc = tuner_.RobustCost(w, rho, t);
+    EXPECT_GE(rc, prev - 1e-9) << "rho=" << rho;
+    prev = rc;
+  }
+}
+
+TEST_F(RobustTunerTest, RobustCostBoundedByWorstComponent) {
+  // The KL ball is inside the simplex, so the worst case never exceeds
+  // max_i c_i.
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  Tuning t(Policy::kTiering, 15.0, 3.0);
+  const CostVector c = model_.Costs(t);
+  double cmax = 0.0;
+  for (int i = 0; i < kNumQueryClasses; ++i) cmax = std::max(cmax, c[i]);
+  for (double rho : {0.5, 2.0, 10.0, 100.0}) {
+    EXPECT_LE(tuner_.RobustCost(w, rho, t), cmax * (1.0 + 1e-4));
+  }
+}
+
+TEST_F(RobustTunerTest, HugeRhoApproachesWorstComponent) {
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  Tuning t(Policy::kLeveling, 10.0, 5.0);
+  const CostVector c = model_.Costs(t);
+  double cmax = 0.0;
+  for (int i = 0; i < kNumQueryClasses; ++i) cmax = std::max(cmax, c[i]);
+  EXPECT_NEAR(tuner_.RobustCost(w, 50.0, t), cmax, cmax * 0.02);
+}
+
+TEST_F(RobustTunerTest, WorstCaseWorkloadInsideBall) {
+  Workload w(0.33, 0.33, 0.33, 0.01);
+  for (double rho : {0.25, 1.0, 2.0}) {
+    DualSolution sol = tuner_.SolveInner(w, rho, Tuning(Policy::kLeveling,
+                                                        10.0, 4.0));
+    EXPECT_TRUE(sol.worst_case.Validate(1e-6).ok());
+    // The maximizer sits on the ball boundary (KL = rho) unless degenerate.
+    EXPECT_LE(KlDivergence(sol.worst_case, w), rho + 1e-6);
+    EXPECT_NEAR(KlDivergence(sol.worst_case, w), rho, 0.05);
+  }
+}
+
+TEST_F(RobustTunerTest, InnerValueMatchesPrimalEvaluation) {
+  // g(lambda*) must equal the expected cost under the worst-case workload.
+  Workload w(0.2, 0.3, 0.4, 0.1);
+  Tuning t(Policy::kTiering, 8.0, 2.0);
+  DualSolution sol = tuner_.SolveInner(w, 1.0, t);
+  EXPECT_NEAR(sol.value, model_.Cost(sol.worst_case, t), 1e-6);
+}
+
+TEST_F(RobustTunerTest, InnerSolutionDominatesRandomBallMembers) {
+  // No workload inside the KL ball may cost more than the dual value.
+  Workload w(0.33, 0.33, 0.33, 0.01);
+  Tuning t(Policy::kLeveling, 12.0, 3.0);
+  const double rho = 0.8;
+  const double worst = tuner_.RobustCost(w, rho, t);
+  Rng rng(17);
+  int inside = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 10000);
+    const Workload cand(p[0], p[1], p[2], p[3]);
+    if (KlDivergence(cand, w) <= rho) {
+      ++inside;
+      EXPECT_LE(model_.Cost(cand, t), worst + 1e-6);
+    }
+  }
+  EXPECT_GT(inside, 10);  // the check must actually exercise the ball
+}
+
+TEST_F(RobustTunerTest, TuneZeroRhoMatchesNominal) {
+  Workload w = workload::GetExpectedWorkload(11).workload;
+  TuningResult robust = tuner_.Tune(w, 0.0);
+  TuningResult nominal = nominal_.Tune(w);
+  EXPECT_NEAR(robust.objective, nominal.objective, 1e-5);
+  EXPECT_EQ(robust.tuning.policy, nominal.tuning.policy);
+}
+
+TEST_F(RobustTunerTest, RobustTuningIsMinimaxOptimalVsNominal) {
+  // The nominal tuning can never have a lower worst-case cost than the
+  // robust tuning (the robust tuner minimizes exactly that).
+  Workload w = workload::GetExpectedWorkload(7).workload;
+  const double rho = 1.0;
+  TuningResult robust = tuner_.Tune(w, rho);
+  TuningResult nominal = nominal_.Tune(w);
+  EXPECT_LE(robust.objective,
+            tuner_.RobustCost(w, rho, nominal.tuning) + 1e-6);
+}
+
+TEST_F(RobustTunerTest, RhoShrinksSizeRatioForReadHeavyWorkloads) {
+  // Paper Fig. 5: w11 robust tunings move from T~47 to T~5.5 as rho grows.
+  Workload w = workload::GetExpectedWorkload(11).workload;
+  TuningResult r0 = tuner_.Tune(w, 0.0);
+  TuningResult r2 = tuner_.Tune(w, 2.0);
+  EXPECT_GT(r0.tuning.size_ratio, 35.0);
+  EXPECT_LT(r2.tuning.size_ratio, 12.0);
+}
+
+TEST_F(RobustTunerTest, JointDualAgreesWithAnalyticEta) {
+  Workload w = workload::GetExpectedWorkload(11).workload;
+  const double rho = 0.5;
+  TuningResult fast = tuner_.TunePolicy(w, rho, Policy::kLeveling);
+  TuningResult joint = tuner_.TuneJointDual(w, rho, Policy::kLeveling);
+  EXPECT_NEAR(fast.objective, joint.objective,
+              1e-3 * std::max(1.0, fast.objective));
+}
+
+TEST_F(RobustTunerTest, LevelingChosenOverTieringUnderUncertainty) {
+  // Section 8.4: "leveling is more robust than tiering".
+  for (int idx : {5, 7, 9, 11, 12}) {
+    Workload w = workload::GetExpectedWorkload(idx).workload;
+    TuningResult r = tuner_.Tune(w, 1.0);
+    EXPECT_EQ(r.tuning.policy, Policy::kLeveling) << "workload " << idx;
+  }
+}
+
+TEST_F(RobustTunerTest, DualValueConvexInLambdaSamples) {
+  // Sample g(lambda) on a log grid and check discrete convexity.
+  Workload w(0.3, 0.3, 0.3, 0.1);
+  Tuning t(Policy::kLeveling, 10.0, 4.0);
+  const auto warr = w.AsArray();
+  const std::vector<double> wv(warr.begin(), warr.end());
+  const std::vector<double> cv = model_.Costs(t).AsVector();
+  const double rho = 0.7;
+  std::vector<double> lambdas, g;
+  for (double l = 0.05; l < 40.0; l *= 1.4) {
+    lambdas.push_back(l);
+    g.push_back(l * (rho + LogSumExpTilt(wv, cv, l)));
+  }
+  for (size_t i = 1; i + 1 < g.size(); ++i) {
+    const double t_mid = (lambdas[i] - lambdas[i - 1]) /
+                         (lambdas[i + 1] - lambdas[i - 1]);
+    const double chord = g[i - 1] * (1.0 - t_mid) + g[i + 1] * t_mid;
+    EXPECT_LE(g[i], chord + 1e-9);
+  }
+}
+
+TEST_F(RobustTunerTest, DegenerateEqualCostVectorReturnsNominal) {
+  // If all query classes cost the same, uncertainty is irrelevant. Build
+  // such a scenario synthetically through the dual internals by using a
+  // tuning where costs are nearly equal is hard; instead verify the robust
+  // cost never drops below nominal.
+  Workload w(0.4, 0.1, 0.1, 0.4);
+  Tuning t(Policy::kLeveling, 4.0, 2.0);
+  EXPECT_GE(tuner_.RobustCost(w, 0.3, t), model_.Cost(w, t) - 1e-9);
+}
+
+// Sweep: for every Table 2 workload and several rho, the robust tuning is
+// valid and its objective is monotone in rho.
+class RobustAllWorkloads : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobustAllWorkloads, ValidAndMonotoneInRho) {
+  SystemConfig cfg;
+  CostModel model{cfg};
+  RobustTuner tuner{model};
+  const Workload w = workload::GetExpectedWorkload(GetParam()).workload;
+  double prev = -1.0;
+  for (double rho : {0.0, 0.5, 1.5}) {
+    TuningResult r = tuner.Tune(w, rho);
+    EXPECT_TRUE(r.tuning.Validate(cfg).ok());
+    EXPECT_GE(r.objective, prev - 1e-9);
+    prev = r.objective;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, RobustAllWorkloads,
+                         ::testing::Values(0, 1, 3, 4, 6, 8, 10, 11, 13, 14));
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,69 @@
+#include "core/system_config.h"
+
+#include <gtest/gtest.h>
+
+namespace endure {
+namespace {
+
+TEST(SystemConfigTest, DefaultsMatchPaperSetup) {
+  SystemConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  EXPECT_DOUBLE_EQ(cfg.num_entries, 1e7);             // 10 M entries
+  EXPECT_DOUBLE_EQ(cfg.entry_size_bits, 8192.0);      // 1 KB entries
+  EXPECT_DOUBLE_EQ(cfg.entries_per_page, 4.0);        // 4 KB pages
+  EXPECT_DOUBLE_EQ(cfg.memory_budget_bits_per_entry, 10.0);
+  // Short range queries: S_RQ * N / B = 0.5 pages.
+  EXPECT_NEAR(cfg.range_selectivity * cfg.num_entries / cfg.entries_per_page,
+              0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(cfg.read_write_asymmetry, 1.0);
+}
+
+TEST(SystemConfigTest, TotalMemoryBits) {
+  SystemConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.total_memory_bits(), 1e8);
+  EXPECT_DOUBLE_EQ(cfg.max_filter_bits_per_entry(), 9.9);
+}
+
+TEST(SystemConfigTest, ValidateRejectsBadValues) {
+  SystemConfig cfg;
+  cfg.num_entries = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SystemConfig();
+  cfg.entry_size_bits = -1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SystemConfig();
+  cfg.entries_per_page = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SystemConfig();
+  cfg.memory_budget_bits_per_entry = 0.05;  // below buffer reserve
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SystemConfig();
+  cfg.range_selectivity = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SystemConfig();
+  cfg.read_write_asymmetry = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SystemConfig();
+  cfg.min_size_ratio = 1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = SystemConfig();
+  cfg.max_size_ratio = 1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(SystemConfigTest, ToStringMentionsKeyParameters) {
+  SystemConfig cfg;
+  const std::string s = cfg.ToString();
+  EXPECT_NE(s.find("N="), std::string::npos);
+  EXPECT_NE(s.find("B="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace endure

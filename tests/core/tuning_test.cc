@@ -1,0 +1,49 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+namespace endure {
+namespace {
+
+TEST(TuningTest, MemorySplitDerivation) {
+  SystemConfig cfg;  // N = 1e7, H = 10 bits/entry, E = 8192 bits
+  Tuning t(Policy::kLeveling, 10.0, 4.0);
+  EXPECT_DOUBLE_EQ(t.filter_memory_bits(cfg), 4.0 * 1e7);
+  EXPECT_DOUBLE_EQ(t.buffer_memory_bits(cfg), (10.0 - 4.0) * 1e7);
+  EXPECT_DOUBLE_EQ(t.buffer_entries(cfg), 6.0 * 1e7 / 8192.0);
+}
+
+TEST(TuningTest, ValidateAcceptsInRange) {
+  SystemConfig cfg;
+  EXPECT_TRUE(Tuning(Policy::kLeveling, 2.0, 0.0).Validate(cfg).ok());
+  EXPECT_TRUE(Tuning(Policy::kTiering, 100.0, 9.9).Validate(cfg).ok());
+}
+
+TEST(TuningTest, ValidateRejectsOutOfRange) {
+  SystemConfig cfg;
+  EXPECT_FALSE(Tuning(Policy::kLeveling, 1.5, 2.0).Validate(cfg).ok());
+  EXPECT_FALSE(Tuning(Policy::kLeveling, 101.0, 2.0).Validate(cfg).ok());
+  EXPECT_FALSE(Tuning(Policy::kLeveling, 10.0, -0.1).Validate(cfg).ok());
+  EXPECT_FALSE(Tuning(Policy::kLeveling, 10.0, 9.95).Validate(cfg).ok());
+}
+
+TEST(TuningTest, PolicyNames) {
+  EXPECT_STREQ(PolicyName(Policy::kLeveling), "leveling");
+  EXPECT_STREQ(PolicyName(Policy::kTiering), "tiering");
+}
+
+TEST(TuningTest, ToStringFormat) {
+  Tuning t(Policy::kTiering, 11.94, 2.31);
+  EXPECT_EQ(t.ToString(), "Tuning{tiering, T=11.9, h=2.3}");
+}
+
+TEST(TuningTest, Equality) {
+  Tuning a(Policy::kLeveling, 5.0, 1.0);
+  Tuning b(Policy::kLeveling, 5.0, 1.0);
+  Tuning c(Policy::kTiering, 5.0, 1.0);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace endure

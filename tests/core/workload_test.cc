@@ -1,0 +1,83 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace endure {
+namespace {
+
+TEST(WorkloadTest, DefaultIsUniform) {
+  Workload w;
+  EXPECT_TRUE(w.Validate().ok());
+  EXPECT_DOUBLE_EQ(w.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(w.z0, 0.25);
+}
+
+TEST(WorkloadTest, IndexAccessMatchesFields) {
+  Workload w(0.1, 0.2, 0.3, 0.4);
+  EXPECT_DOUBLE_EQ(w[kEmptyPointQuery], 0.1);
+  EXPECT_DOUBLE_EQ(w[kNonEmptyPointQuery], 0.2);
+  EXPECT_DOUBLE_EQ(w[kRangeQuery], 0.3);
+  EXPECT_DOUBLE_EQ(w[kWrite], 0.4);
+}
+
+TEST(WorkloadTest, MutableIndexAccess) {
+  Workload w(0.1, 0.2, 0.3, 0.4);
+  w[kRangeQuery] = 0.5;
+  EXPECT_DOUBLE_EQ(w.q, 0.5);
+}
+
+TEST(WorkloadTest, ValidateRejectsNegative) {
+  Workload w(-0.1, 0.5, 0.3, 0.3);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(WorkloadTest, ValidateRejectsBadSum) {
+  Workload w(0.5, 0.5, 0.5, 0.5);
+  EXPECT_FALSE(w.Validate().ok());
+}
+
+TEST(WorkloadTest, ValidateToleranceAccepted) {
+  Workload w(0.25, 0.25, 0.25, 0.25 + 5e-10);
+  EXPECT_TRUE(w.Validate(1e-9).ok());
+}
+
+TEST(WorkloadTest, NormalizedScalesToOne) {
+  Workload w(2.0, 2.0, 4.0, 8.0);
+  Workload n = w.Normalized();
+  EXPECT_TRUE(n.Validate().ok());
+  EXPECT_DOUBLE_EQ(n.z0, 0.125);
+  EXPECT_DOUBLE_EQ(n.w, 0.5);
+}
+
+TEST(WorkloadTest, DominantClass) {
+  EXPECT_EQ(Workload(0.7, 0.1, 0.1, 0.1).Dominant(), kEmptyPointQuery);
+  EXPECT_EQ(Workload(0.1, 0.1, 0.1, 0.7).Dominant(), kWrite);
+  EXPECT_EQ(Workload(0.1, 0.6, 0.2, 0.1).Dominant(), kNonEmptyPointQuery);
+}
+
+TEST(WorkloadTest, AsArrayRoundTrips) {
+  Workload w(0.4, 0.3, 0.2, 0.1);
+  const auto a = w.AsArray();
+  for (int i = 0; i < kNumQueryClasses; ++i) EXPECT_DOUBLE_EQ(a[i], w[i]);
+}
+
+TEST(WorkloadTest, ToStringPercent) {
+  Workload w(0.97, 0.01, 0.01, 0.01);
+  EXPECT_EQ(w.ToString(), "(97%, 1%, 1%, 1%)");
+}
+
+TEST(WorkloadTest, FromCountsNormalizes) {
+  Workload w = WorkloadFromCounts({10.0, 30.0, 40.0, 20.0});
+  EXPECT_TRUE(w.Validate().ok());
+  EXPECT_DOUBLE_EQ(w.z1, 0.3);
+}
+
+TEST(QueryClassTest, Names) {
+  EXPECT_STREQ(QueryClassName(kEmptyPointQuery), "z0");
+  EXPECT_STREQ(QueryClassName(kNonEmptyPointQuery), "z1");
+  EXPECT_STREQ(QueryClassName(kRangeQuery), "q");
+  EXPECT_STREQ(QueryClassName(kWrite), "w");
+}
+
+}  // namespace
+}  // namespace endure

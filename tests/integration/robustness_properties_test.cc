@@ -1,0 +1,153 @@
+// Property sweeps over the full (workload x rho x policy) grid: the
+// structural invariants the paper's theory guarantees, checked broadly
+// rather than pointwise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/endure.h"
+#include "util/random.h"
+#include "workload/expected_workloads.h"
+
+namespace endure {
+namespace {
+
+struct SweepCase {
+  int workload_index;
+  double rho;
+};
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> out;
+  for (int idx : {0, 1, 4, 7, 11, 14}) {
+    for (double rho : {0.1, 0.5, 1.5, 3.0}) {
+      out.push_back({idx, rho});
+    }
+  }
+  return out;
+}
+
+class RobustnessSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  SystemConfig cfg_;
+  CostModel model_{SystemConfig{}};
+  RobustTuner tuner_{model_};
+};
+
+TEST_P(RobustnessSweep, WorstCaseOnBoundaryOrSaturatedAtVertex) {
+  const auto [idx, rho] = GetParam();
+  const Workload w = workload::GetExpectedWorkload(idx).workload;
+  for (const Tuning t : {Tuning(Policy::kLeveling, 9.0, 3.0),
+                         Tuning(Policy::kTiering, 5.0, 6.0)}) {
+    const DualSolution sol = tuner_.SolveInner(w, rho, t);
+    const double kl = KlDivergence(sol.worst_case, w);
+    // Feasibility: the maximizer stays inside the ball.
+    EXPECT_LE(kl, rho + 1e-4) << "w" << idx << " rho=" << rho;
+    // Either the maximizer sits on the boundary (linear objective over a
+    // convex set), or the ball is large enough that the maximizer is the
+    // argmax-cost vertex, which lies strictly inside (lambda -> 0
+    // saturation). KL(delta_argmax, w) = -log(w_argmax).
+    const CostVector c = model_.Costs(t);
+    int argmax = 0;
+    for (int i = 1; i < kNumQueryClasses; ++i) {
+      if (c[i] > c[argmax]) argmax = i;
+    }
+    const double vertex_kl = -std::log(w[argmax]);
+    if (rho < vertex_kl - 0.05) {
+      EXPECT_NEAR(kl, rho, 0.05 * (1.0 + rho))
+          << "w" << idx << " rho=" << rho << " " << t.ToString();
+    } else {
+      EXPECT_GT(sol.worst_case[argmax], 0.95)
+          << "w" << idx << " rho=" << rho << " " << t.ToString();
+    }
+    // Strong duality: primal value at the maximizer equals the dual value.
+    EXPECT_NEAR(model_.Cost(sol.worst_case, t), sol.value,
+                1e-5 * (1.0 + sol.value));
+  }
+}
+
+TEST_P(RobustnessSweep, RobustTuningMinimizesWorstCaseOverProbes) {
+  const auto [idx, rho] = GetParam();
+  const Workload w = workload::GetExpectedWorkload(idx).workload;
+  const TuningResult best = tuner_.Tune(w, rho);
+  Rng rng(1000 + idx);
+  for (int i = 0; i < 60; ++i) {
+    Tuning probe(rng.NextDouble() < 0.5 ? Policy::kLeveling
+                                        : Policy::kTiering,
+                 std::exp(rng.Uniform(std::log(2.0), std::log(100.0))),
+                 rng.Uniform(0.0, 9.9));
+    EXPECT_LE(best.objective, tuner_.RobustCost(w, rho, probe) + 1e-6)
+        << "w" << idx << " rho=" << rho << " probe " << probe.ToString();
+  }
+}
+
+TEST_P(RobustnessSweep, RobustObjectiveAtMostPessimisticBound) {
+  // The robust optimum is never worse than fully pessimistic play: the
+  // minimax over the whole simplex (min over Phi of max_i c_i(Phi)).
+  const auto [idx, rho] = GetParam();
+  const Workload w = workload::GetExpectedWorkload(idx).workload;
+  const TuningResult best = tuner_.Tune(w, rho);
+
+  // Grid-scan an upper bound of min_Phi max_i c_i.
+  double minimax = 1e18;
+  for (double t_ratio : {2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 47.0, 100.0}) {
+    for (double h : {0.0, 2.0, 5.0, 8.0}) {
+      for (Policy p : {Policy::kLeveling, Policy::kTiering}) {
+        const CostVector c = model_.Costs(Tuning(p, t_ratio, h));
+        double cmax = 0.0;
+        for (int i = 0; i < kNumQueryClasses; ++i) {
+          cmax = std::max(cmax, c[i]);
+        }
+        minimax = std::min(minimax, cmax);
+      }
+    }
+  }
+  EXPECT_LE(best.objective, minimax + 1e-6)
+      << "w" << idx << " rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RobustnessSweep,
+                         ::testing::ValuesIn(MakeSweep()));
+
+// Monotonicity sweeps over the whole Table 2.
+class MonotoneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotoneSweep, RobustCostNondecreasingInRhoEverywhere) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  RobustTuner tuner(model);
+  const Workload w = workload::GetExpectedWorkload(GetParam()).workload;
+  for (const Tuning t : {Tuning(Policy::kLeveling, 4.0, 1.0),
+                         Tuning(Policy::kLeveling, 30.0, 7.0),
+                         Tuning(Policy::kTiering, 10.0, 4.0),
+                         Tuning(Policy::kLazyLeveling, 6.0, 3.0)}) {
+    double prev = model.Cost(w, t);
+    for (double rho = 0.25; rho <= 4.0; rho += 0.75) {
+      const double v = tuner.RobustCost(w, rho, t);
+      EXPECT_GE(v, prev - 1e-9) << t.ToString() << " rho=" << rho;
+      prev = v;
+    }
+  }
+}
+
+TEST_P(MonotoneSweep, NominalObjectiveDominatedByAnyFeasibleTuning) {
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner tuner(model);
+  const Workload w = workload::GetExpectedWorkload(GetParam()).workload;
+  const TuningResult best = tuner.Tune(w);
+  Rng rng(77 + GetParam());
+  for (int i = 0; i < 80; ++i) {
+    Tuning probe(rng.NextDouble() < 0.5 ? Policy::kLeveling
+                                        : Policy::kTiering,
+                 std::exp(rng.Uniform(std::log(2.0), std::log(100.0))),
+                 rng.Uniform(0.0, 9.9));
+    EXPECT_LE(best.objective, model.Cost(w, probe) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, MonotoneSweep, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,124 @@
+// Integration: the paper's headline claim, end to end — under workload
+// uncertainty the robust tuning beats the nominal tuning, both on the
+// analytical model and on the running engine.
+
+#include <gtest/gtest.h>
+
+#include "bridge/experiment.h"
+#include "core/endure.h"
+#include "workload/benchmark_set.h"
+#include "workload/expected_workloads.h"
+
+namespace endure {
+namespace {
+
+TEST(TuningEndToEndTest, RobustBeatsNominalOnAverageUnderUncertainty) {
+  // Model-based replication of Fig. 4's direction for a trimodal workload.
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+  const Workload w11 = workload::GetExpectedWorkload(11).workload;
+  const Tuning phi_n = nominal.Tune(w11).tuning;
+  const Tuning phi_r = robust.Tune(w11, 1.0).tuning;
+
+  Rng rng(123);
+  workload::BenchmarkSet bench(2000, &rng);
+  double mean_delta = 0.0;
+  int wins = 0;
+  for (const Workload& w : bench.Workloads()) {
+    const double d = DeltaThroughput(model, w, phi_n, phi_r);
+    mean_delta += d;
+    wins += (d > 0.0);
+  }
+  mean_delta /= static_cast<double>(bench.size());
+  EXPECT_GT(mean_delta, 0.5);               // paper: ~95%+ improvement
+  EXPECT_GT(wins, static_cast<int>(bench.size()) / 2);
+}
+
+TEST(TuningEndToEndTest, NominalWinsWhenWorkloadMatchesExpectation) {
+  // "When the observed workload exactly matches the expected one, Endure
+  // tunings have negligible performance loss."
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+  const Workload w11 = workload::GetExpectedWorkload(11).workload;
+  const Tuning phi_n = nominal.Tune(w11).tuning;
+  const Tuning phi_r0 = robust.Tune(w11, 0.0).tuning;
+  // With rho = 0 the robust tuning is the nominal tuning (tiny slack for
+  // numerics).
+  EXPECT_NEAR(model.Cost(w11, phi_r0), model.Cost(w11, phi_n),
+              0.01 * model.Cost(w11, phi_n));
+}
+
+TEST(TuningEndToEndTest, ThroughputRangeShrinksWithRho) {
+  // Fig. 6b: larger rho -> more consistent performance (smaller Theta).
+  SystemConfig cfg;
+  CostModel model(cfg);
+  RobustTuner robust(model);
+  const Workload w11 = workload::GetExpectedWorkload(11).workload;
+  Rng rng(321);
+  workload::BenchmarkSet bench(1500, &rng);
+  const std::vector<Workload> ws = bench.Workloads();
+
+  const double theta_0 =
+      ThroughputRange(model, ws, robust.Tune(w11, 0.0).tuning);
+  const double theta_2 =
+      ThroughputRange(model, ws, robust.Tune(w11, 2.0).tuning);
+  EXPECT_LT(theta_2, theta_0);
+}
+
+TEST(TuningEndToEndTest, SystemLevelRobustBeatsNominalOnShiftedWorkload) {
+  // Engine-level replication of the Figs. 8/11 direction: tune for w11,
+  // observe a range/write-shifted mix, compare measured I/Os per query.
+  SystemConfig cfg;
+  CostModel model(cfg);
+  NominalTuner nominal(model);
+  RobustTuner robust(model);
+  const Workload w11 = workload::GetExpectedWorkload(11).workload;
+  const Tuning phi_n = nominal.Tune(w11).tuning;
+  const Tuning phi_r = robust.Tune(w11, 1.0).tuning;
+
+  bridge::ExperimentOptions eopts;
+  eopts.actual_entries = 20000;
+  eopts.queries_per_workload = 500;
+  bridge::ExperimentRunner runner(cfg, eopts);
+
+  Rng rng(11);
+  workload::SessionOptions sopts;
+  sopts.workloads_per_session = 2;
+  workload::SessionGenerator gen(w11, &rng, sopts);
+  std::vector<workload::Session> sessions{
+      gen.Make(workload::SessionKind::kRange),
+      gen.Make(workload::SessionKind::kWrites)};
+
+  const auto rn = runner.Run(phi_n, sessions);
+  const auto rr = runner.Run(phi_r, sessions);
+  double nominal_total = 0.0, robust_total = 0.0;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    nominal_total += rn[i].measured_io_per_query;
+    robust_total += rr[i].measured_io_per_query;
+  }
+  EXPECT_LT(robust_total, nominal_total);
+}
+
+TEST(TuningEndToEndTest, RhoAdvisorFeedsRobustTuner) {
+  // The full workflow of Section 7.3: estimate rho from history, tune.
+  SystemConfig cfg;
+  CostModel model(cfg);
+  RobustTuner robust(model);
+  Rng rng(55);
+  std::vector<Workload> history;
+  for (int i = 0; i < 12; ++i) {
+    const std::vector<double> p = rng.SimplexByCounts(4, 1000);
+    history.emplace_back(p[0], p[1], p[2], p[3]);
+  }
+  const double rho = RecommendRho(history);
+  EXPECT_GT(rho, 0.0);
+  const TuningResult r = robust.Tune(MeanWorkload(history), rho);
+  EXPECT_TRUE(r.tuning.Validate(cfg).ok());
+}
+
+}  // namespace
+}  // namespace endure

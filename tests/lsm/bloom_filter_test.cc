@@ -1,0 +1,103 @@
+#include "lsm/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace endure::lsm {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter f(1000, 8.0);
+  for (Key k = 0; k < 1000; ++k) f.Add(k * 3);
+  for (Key k = 0; k < 1000; ++k) EXPECT_TRUE(f.MayContain(k * 3));
+}
+
+TEST(BloomFilterTest, ZeroBitsAlwaysPositive) {
+  BloomFilter f(1000, 0.0);
+  EXPECT_EQ(f.num_hashes(), 0);
+  EXPECT_DOUBLE_EQ(f.TheoreticalFpr(), 1.0);
+  for (Key k = 0; k < 100; ++k) EXPECT_TRUE(f.MayContain(k));
+}
+
+TEST(BloomFilterTest, EmpiricalFprNearTheory) {
+  // 10 bits/entry -> theoretical FPR ~ e^{-10 ln^2 2} ~ 0.0082.
+  const int n = 20000;
+  BloomFilter f(n, 10.0);
+  for (Key k = 0; k < n; ++k) f.Add(2 * k);
+  int fp = 0;
+  const int probes = 100000;
+  for (int i = 0; i < probes; ++i) fp += f.MayContain(2 * (n + i) + 1);
+  const double fpr = static_cast<double>(fp) / probes;
+  EXPECT_NEAR(fpr, f.TheoreticalFpr(), 0.004);
+}
+
+TEST(BloomFilterTest, FprDecreasesWithMoreBits) {
+  const int n = 10000;
+  double prev = 1.1;
+  for (double bits : {2.0, 4.0, 8.0, 12.0}) {
+    BloomFilter f(n, bits);
+    for (Key k = 0; k < n; ++k) f.Add(2 * k);
+    int fp = 0;
+    for (int i = 0; i < 20000; ++i) fp += f.MayContain(2 * (n + i) + 1);
+    const double fpr = static_cast<double>(fp) / 20000.0;
+    EXPECT_LT(fpr, prev);
+    prev = fpr;
+  }
+}
+
+TEST(BloomFilterTest, OptimalHashCount) {
+  // k* = bits_per_entry * ln 2, rounded.
+  BloomFilter f(100, 10.0);
+  EXPECT_EQ(f.num_hashes(), static_cast<int>(std::lround(10.0 *
+                                                         std::log(2.0))));
+  BloomFilter g(100, 1.0);
+  EXPECT_GE(g.num_hashes(), 1);
+}
+
+TEST(BloomFilterTest, BitsAllocatedProportionalToEntries) {
+  BloomFilter f(1000, 8.0);
+  EXPECT_NEAR(static_cast<double>(f.bits()), 8000.0, 64.0);
+}
+
+TEST(BloomFilterTest, TinyBudgetStillWorks) {
+  BloomFilter f(10, 0.5);
+  for (Key k = 0; k < 10; ++k) f.Add(k);
+  for (Key k = 0; k < 10; ++k) EXPECT_TRUE(f.MayContain(k));
+}
+
+TEST(BloomFilterTest, DistinctKeysHashDifferently) {
+  BloomFilter f(2, 16.0);
+  f.Add(42);
+  // With 16 bits/entry on 2 entries a specific other key is very unlikely
+  // to collide on all hash positions.
+  int positives = 0;
+  for (Key k = 1000; k < 1100; ++k) positives += f.MayContain(k);
+  EXPECT_LT(positives, 5);
+}
+
+// Property sweep: no false negatives across budgets and sizes.
+class BloomSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BloomSweep, NeverForgetsInsertedKeys) {
+  const int n = std::get<0>(GetParam());
+  const double bits = std::get<1>(GetParam());
+  BloomFilter f(n, bits);
+  Rng rng(99);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back(rng.Next());
+  for (Key k : keys) f.Add(k);
+  for (Key k : keys) EXPECT_TRUE(f.MayContain(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBudgets, BloomSweep,
+    ::testing::Combine(::testing::Values(1, 16, 1000, 50000),
+                       ::testing::Values(0.5, 2.0, 10.0)));
+
+}  // namespace
+}  // namespace endure::lsm

@@ -1,0 +1,107 @@
+#include "lsm/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/run_builder.h"
+
+namespace endure::lsm {
+namespace {
+
+class CompactionTest : public ::testing::Test {
+ protected:
+  CompactionTest() : store_(4, &stats_) {}
+
+  std::shared_ptr<endure::lsm::Run> RunOf(std::vector<Entry> entries) {
+    return BuildRun(&store_, entries, 8.0, IoContext::kFlush);
+  }
+
+  Entry Val(Key k, SeqNum s, Value v) {
+    return Entry{k, s, v, EntryType::kValue};
+  }
+  Entry Tomb(Key k, SeqNum s) {
+    return Entry{k, s, 0, EntryType::kTombstone};
+  }
+
+  Statistics stats_;
+  MemPageStore store_;
+};
+
+TEST_F(CompactionTest, MergesDisjointRuns) {
+  auto a = RunOf({Val(1, 2, 10), Val(3, 2, 30)});
+  auto b = RunOf({Val(2, 1, 20), Val(4, 1, 40)});
+  auto merged = MergeRuns(&store_, {a, b}, 8.0, false);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->num_entries(), 4u);
+  EXPECT_EQ(merged->min_key(), 1u);
+  EXPECT_EQ(merged->max_key(), 4u);
+}
+
+TEST_F(CompactionTest, NewestInputWinsConflicts) {
+  auto newer = RunOf({Val(5, 10, 500)});
+  auto older = RunOf({Val(5, 1, 100), Val(6, 1, 600)});
+  auto merged = MergeRuns(&store_, {newer, older}, 8.0, false);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->num_entries(), 2u);
+  const auto e = merged->Get(5, true);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->value, 500u);
+}
+
+TEST_F(CompactionTest, DropTombstonesAtBottom) {
+  auto newer = RunOf({Tomb(1, 10), Val(2, 10, 20)});
+  auto older = RunOf({Val(1, 1, 10), Val(3, 1, 30)});
+  auto merged = MergeRuns(&store_, {newer, older}, 8.0,
+                          /*drop_tombstones=*/true);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->num_entries(), 2u);  // keys 2, 3; key 1 annihilated
+  EXPECT_FALSE(merged->Get(1, true).has_value());
+}
+
+TEST_F(CompactionTest, KeepTombstonesAboveBottom) {
+  auto newer = RunOf({Tomb(1, 10)});
+  auto older = RunOf({Val(1, 1, 10)});
+  auto merged = MergeRuns(&store_, {newer, older}, 8.0,
+                          /*drop_tombstones=*/false);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->num_entries(), 1u);
+  const auto e = merged->Get(1, true);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->is_tombstone());
+}
+
+TEST_F(CompactionTest, AllTombstoneMergeReturnsNull) {
+  auto a = RunOf({Tomb(1, 2), Tomb(2, 2)});
+  auto merged = MergeRuns(&store_, {a}, 8.0, /*drop_tombstones=*/true);
+  EXPECT_EQ(merged, nullptr);
+}
+
+TEST_F(CompactionTest, CompactionIoAccounted) {
+  auto a = RunOf({Val(1, 2, 1), Val(2, 2, 2), Val(3, 2, 3), Val(4, 2, 4),
+                  Val(5, 2, 5)});  // 2 pages
+  auto b = RunOf({Val(6, 1, 6), Val(7, 1, 7)});  // 1 page
+  const uint64_t read_before = stats_.compaction_pages_read;
+  const uint64_t write_before = stats_.compaction_pages_written;
+  auto merged = MergeRuns(&store_, {a, b}, 8.0, false);
+  EXPECT_EQ(stats_.compaction_pages_read - read_before, 3u);
+  EXPECT_EQ(stats_.compaction_pages_written - write_before, 2u);  // 7 keys
+  EXPECT_EQ(merged->num_entries(), 7u);
+}
+
+TEST_F(CompactionTest, ManyRunsMerge) {
+  std::vector<std::shared_ptr<endure::lsm::Run>> runs;
+  for (int r = 0; r < 8; ++r) {
+    std::vector<Entry> entries;
+    for (int i = 0; i < 10; ++i) {
+      entries.push_back(Val(static_cast<Key>(i * 8 + r),
+                            static_cast<SeqNum>(100 - r),
+                            static_cast<Value>(r)));
+    }
+    runs.push_back(RunOf(entries));
+  }
+  auto merged = MergeRuns(&store_, runs, 8.0, false);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->num_entries(), 80u);
+}
+
+}  // namespace
+}  // namespace endure::lsm

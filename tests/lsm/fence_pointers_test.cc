@@ -1,0 +1,94 @@
+#include "lsm/fence_pointers.h"
+
+#include <gtest/gtest.h>
+
+namespace endure::lsm {
+namespace {
+
+// Pages: [10..), [20..), [30..); last key 35.
+FencePointers MakeFences() { return FencePointers({10, 20, 30}, 35); }
+
+TEST(FencePointersTest, MinMaxKeys) {
+  FencePointers f = MakeFences();
+  EXPECT_EQ(f.min_key(), 10u);
+  EXPECT_EQ(f.max_key(), 35u);
+  EXPECT_EQ(f.num_pages(), 3u);
+}
+
+TEST(FencePointersTest, PageForKeyInsideRun) {
+  FencePointers f = MakeFences();
+  EXPECT_EQ(f.PageFor(10).value(), 0u);
+  EXPECT_EQ(f.PageFor(15).value(), 0u);
+  EXPECT_EQ(f.PageFor(19).value(), 0u);
+  EXPECT_EQ(f.PageFor(20).value(), 1u);
+  EXPECT_EQ(f.PageFor(29).value(), 1u);
+  EXPECT_EQ(f.PageFor(30).value(), 2u);
+  EXPECT_EQ(f.PageFor(35).value(), 2u);
+}
+
+TEST(FencePointersTest, PageForKeyOutsideRun) {
+  FencePointers f = MakeFences();
+  EXPECT_FALSE(f.PageFor(9).has_value());
+  EXPECT_FALSE(f.PageFor(36).has_value());
+  EXPECT_FALSE(f.PageFor(0).has_value());
+}
+
+TEST(FencePointersTest, PageRangeFullOverlap) {
+  FencePointers f = MakeFences();
+  const auto r = f.PageRange(0, 100);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0u);
+  EXPECT_EQ(r->second, 2u);
+}
+
+TEST(FencePointersTest, PageRangePartialOverlap) {
+  FencePointers f = MakeFences();
+  const auto r = f.PageRange(15, 25);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0u);
+  EXPECT_EQ(r->second, 1u);
+}
+
+TEST(FencePointersTest, PageRangeSinglePage) {
+  FencePointers f = MakeFences();
+  const auto r = f.PageRange(21, 24);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 1u);
+  EXPECT_EQ(r->second, 1u);
+}
+
+TEST(FencePointersTest, PageRangeMiss) {
+  FencePointers f = MakeFences();
+  EXPECT_FALSE(f.PageRange(0, 10).has_value());  // hi exclusive
+  EXPECT_FALSE(f.PageRange(36, 50).has_value());
+  EXPECT_FALSE(f.PageRange(5, 5).has_value());   // empty interval
+  EXPECT_FALSE(f.PageRange(20, 15).has_value()); // inverted
+}
+
+TEST(FencePointersTest, PageRangeBoundaryAtPageStart) {
+  FencePointers f = MakeFences();
+  // [20, 21) touches only page 1.
+  const auto r = f.PageRange(20, 21);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 1u);
+  EXPECT_EQ(r->second, 1u);
+}
+
+TEST(FencePointersTest, SinglePageRun) {
+  FencePointers f({100}, 120);
+  EXPECT_EQ(f.PageFor(100).value(), 0u);
+  EXPECT_EQ(f.PageFor(120).value(), 0u);
+  EXPECT_FALSE(f.PageFor(121).has_value());
+  const auto r = f.PageRange(90, 200);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 0u);
+  EXPECT_EQ(r->second, 0u);
+}
+
+TEST(FencePointersTest, SizeBitsAccountsKeys) {
+  FencePointers f = MakeFences();
+  EXPECT_EQ(f.SizeBits(), (3 + 1) * 64u);
+}
+
+}  // namespace
+}  // namespace endure::lsm

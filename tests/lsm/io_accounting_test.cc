@@ -1,0 +1,165 @@
+// I/O-accounting invariants: every experiment in this reproduction rests
+// on the engine's page counters, so pin down exactly what each operation
+// charges and where it is attributed.
+
+#include <gtest/gtest.h>
+
+#include "bridge/tuned_db.h"
+#include "lsm/db.h"
+#include "util/random.h"
+#include "workload/query_generator.h"
+
+namespace endure::lsm {
+namespace {
+
+Options Opts(CompactionPolicy policy = CompactionPolicy::kLeveling) {
+  Options o;
+  o.policy = policy;
+  o.size_ratio = 4;
+  o.buffer_entries = 64;
+  o.entries_per_page = 4;
+  o.filter_bits_per_entry = 10.0;
+  return o;
+}
+
+std::unique_ptr<DB> Loaded(const Options& o, uint64_t n) {
+  auto db = DB::Open(o);
+  std::vector<std::pair<Key, Value>> pairs;
+  for (uint64_t i = 0; i < n; ++i) pairs.emplace_back(2 * i, i);
+  EXPECT_TRUE((*db)->BulkLoad(pairs).ok());
+  return std::move(db).value();
+}
+
+TEST(IoAccountingTest, CategoriesPartitionTotalReads) {
+  auto db = Loaded(Opts(), 5000);
+  Rng rng(1);
+  workload::KeyUniverse universe(5000);
+  for (int i = 0; i < 500; ++i) {
+    db->Get(universe.SampleExisting(&rng));
+    db->Get(universe.SampleMissing(&rng));
+    const Key lo = universe.SampleExisting(&rng);
+    db->Scan(lo, lo + 8);
+    db->Put(universe.NextWriteKey(), 1);
+  }
+  const Statistics& s = db->stats();
+  EXPECT_EQ(s.pages_read, s.point_pages_read + s.range_pages_read +
+                              s.compaction_pages_read);
+  EXPECT_EQ(s.pages_written, s.flush_pages_written +
+                                 s.compaction_pages_written +
+                                 s.bulk_load_pages_written);
+}
+
+TEST(IoAccountingTest, PointHitCostsExactlyOnePageWhenSingleRun) {
+  // One run, fence pointers: a hit reads exactly one page.
+  Options o = Opts();
+  o.buffer_entries = 10000;  // everything fits one flush
+  auto db = DB::Open(o);
+  for (Key k = 0; k < 1000; ++k) (*db)->Put(2 * k, k);
+  (*db)->Flush();
+  const Statistics before = (*db)->stats();
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE((*db)->Get(2 * k * 7 % 2000).has_value());
+  }
+  const Statistics d = (*db)->stats().Delta(before);
+  EXPECT_EQ(d.point_pages_read, 100u);
+}
+
+TEST(IoAccountingTest, BloomNegativesAndFenceSkipsCostNoIo) {
+  Options o = Opts();
+  o.filter_bits_per_entry = 16.0;  // near-zero FPR
+  auto db = Loaded(o, 4000);
+  Rng rng(2);
+  workload::KeyUniverse universe(4000);
+  const Statistics before = db->stats();
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) db->Get(universe.SampleMissing(&rng));
+  const Statistics d = db->stats().Delta(before);
+  // Essentially every miss is answered by filters alone.
+  EXPECT_LT(d.point_pages_read, 30u);
+  EXPECT_GT(d.bloom_negatives, static_cast<uint64_t>(n / 2));
+  EXPECT_EQ(d.pages_written, 0u);
+}
+
+TEST(IoAccountingTest, GetsOutsideKeyDomainChargeNothingWithFences) {
+  auto db = Loaded(Opts(), 1000);
+  const Statistics before = db->stats();
+  for (int i = 0; i < 100; ++i) db->Get(10'000'000 + i);
+  const Statistics d = db->stats().Delta(before);
+  EXPECT_EQ(d.pages_read, 0u);
+  EXPECT_GT(d.fence_skips, 0u);
+}
+
+TEST(IoAccountingTest, LongScanPagesMatchSelectivity) {
+  // A scan over fraction S of the keyspace should read ~ S*N/B pages
+  // (plus <= 1 boundary page and one seek per qualifying run).
+  auto db = Loaded(Opts(), 20000);  // keys 0..39998, 5000 pages of 4
+  const Statistics before = db->stats();
+  // Scan 10% of the key domain: 2000 entries ~ 500 pages.
+  const auto out = db->Scan(0, 4000);
+  EXPECT_EQ(out.size(), 2000u);
+  const Statistics d = db->stats().Delta(before);
+  const double expected_pages = 2000.0 / 4.0;
+  EXPECT_GE(static_cast<double>(d.range_pages_read), expected_pages * 0.9);
+  // Multiple runs overlap the range, each contributing boundary pages.
+  EXPECT_LE(static_cast<double>(d.range_pages_read),
+            expected_pages + 3.0 * static_cast<double>(d.range_seeks) + 3);
+  EXPECT_GT(d.range_seeks, 0u);
+}
+
+TEST(IoAccountingTest, WritesChargeFlushAndCompactionOnly) {
+  Options o = Opts();
+  auto db = DB::Open(o);
+  const int n = 3000;
+  for (Key k = 0; k < static_cast<Key>(n); ++k) (*db)->Put(2 * k, k);
+  const Statistics& s = (*db)->stats();
+  EXPECT_EQ(s.point_pages_read, 0u);
+  EXPECT_EQ(s.range_pages_read, 0u);
+  EXPECT_GT(s.flush_pages_written, 0u);
+  EXPECT_GT(s.compaction_pages_written, 0u);
+  // Conservation: every flushed page carries buffer_entries-worth of data.
+  EXPECT_GE(s.flush_pages_written * o.entries_per_page,
+            static_cast<uint64_t>(n) - o.buffer_entries);
+}
+
+TEST(IoAccountingTest, OperationCountersTrackCalls) {
+  auto db = Loaded(Opts(), 1000);
+  Rng rng(3);
+  workload::KeyUniverse universe(1000);
+  for (int i = 0; i < 50; ++i) db->Get(universe.SampleExisting(&rng));
+  for (int i = 0; i < 30; ++i) {
+    const Key lo = universe.SampleExisting(&rng);
+    db->Scan(lo, lo + 4);
+  }
+  for (int i = 0; i < 20; ++i) db->Put(universe.NextWriteKey(), 1);
+  for (int i = 0; i < 10; ++i) db->Delete(2 * i);
+  const Statistics& s = db->stats();
+  EXPECT_EQ(s.gets, 50u);
+  EXPECT_EQ(s.range_queries, 30u);
+  EXPECT_EQ(s.writes, 30u);  // puts + deletes
+}
+
+TEST(IoAccountingTest, TieringChargesMoreFilterProbesPerMiss) {
+  // More runs -> more bloom probes per empty lookup.
+  auto probes_per_miss = [](CompactionPolicy policy) {
+    Options o = Opts(policy);
+    o.filter_bits_per_entry = 2.0;
+    auto db = DB::Open(o);
+    Rng churn(4);
+    for (int i = 0; i < 4000; ++i) {
+      (*db)->Put(2 * churn.UniformInt(0, 100000), i);
+    }
+    Rng rng(5);
+    const Statistics before = (*db)->stats();
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+      (*db)->Get(2 * rng.UniformInt(0, 100000) + 1);
+    }
+    const Statistics d = (*db)->stats().Delta(before);
+    return static_cast<double>(d.bloom_probes) / n;
+  };
+  EXPECT_GT(probes_per_miss(CompactionPolicy::kTiering),
+            probes_per_miss(CompactionPolicy::kLeveling));
+}
+
+}  // namespace
+}  // namespace endure::lsm

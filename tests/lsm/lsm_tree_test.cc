@@ -1,0 +1,285 @@
+#include "lsm/lsm_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace endure::lsm {
+namespace {
+
+Options SmallOptions(CompactionPolicy policy, int T = 3,
+                     uint64_t buffer = 8) {
+  Options o;
+  o.policy = policy;
+  o.size_ratio = T;
+  o.buffer_entries = buffer;
+  o.entries_per_page = 4;
+  o.filter_bits_per_entry = 8.0;
+  return o;
+}
+
+class LsmTreeTest : public ::testing::TestWithParam<CompactionPolicy> {
+ protected:
+  LsmTreeTest()
+      : opts_(SmallOptions(GetParam())),
+        store_(opts_.entries_per_page, &stats_),
+        tree_(opts_, &store_, &stats_) {}
+
+  Options opts_;
+  Statistics stats_;
+  MemPageStore store_;
+  LsmTree tree_;
+};
+
+TEST_P(LsmTreeTest, PutGetRoundTrip) {
+  tree_.Put(1, 100);
+  tree_.Put(2, 200);
+  EXPECT_EQ(tree_.Get(1).value(), 100u);
+  EXPECT_EQ(tree_.Get(2).value(), 200u);
+  EXPECT_FALSE(tree_.Get(3).has_value());
+}
+
+TEST_P(LsmTreeTest, UpdateOverwrites) {
+  tree_.Put(7, 1);
+  tree_.Put(7, 2);
+  EXPECT_EQ(tree_.Get(7).value(), 2u);
+}
+
+TEST_P(LsmTreeTest, UpdateSurvivesFlushes) {
+  for (Key k = 0; k < 100; ++k) tree_.Put(k, k);
+  tree_.Put(5, 999);
+  for (Key k = 100; k < 200; ++k) tree_.Put(k, k);  // force more flushes
+  EXPECT_EQ(tree_.Get(5).value(), 999u);
+}
+
+TEST_P(LsmTreeTest, DeleteHidesKey) {
+  tree_.Put(11, 1);
+  tree_.Delete(11);
+  EXPECT_FALSE(tree_.Get(11).has_value());
+}
+
+TEST_P(LsmTreeTest, DeleteSurvivesCompactions) {
+  for (Key k = 0; k < 64; ++k) tree_.Put(k, k);
+  tree_.Delete(13);
+  for (Key k = 64; k < 256; ++k) tree_.Put(k, k);
+  EXPECT_FALSE(tree_.Get(13).has_value());
+  EXPECT_EQ(tree_.Get(14).value(), 14u);
+}
+
+TEST_P(LsmTreeTest, FlushMovesMemtableToLevelOne) {
+  for (Key k = 0; k < 5; ++k) tree_.Put(k, k);
+  tree_.Flush();
+  EXPECT_TRUE(tree_.memtable().empty());
+  EXPECT_GE(tree_.DeepestLevel(), 1);
+  EXPECT_EQ(tree_.Get(3).value(), 3u);
+}
+
+TEST_P(LsmTreeTest, AutomaticFlushWhenBufferFills) {
+  for (Key k = 0; k < 9; ++k) tree_.Put(k, k);  // buffer = 8
+  EXPECT_GT(stats_.flushes, 0u);
+}
+
+TEST_P(LsmTreeTest, ScanReturnsSortedLiveEntries) {
+  for (Key k = 0; k < 50; ++k) tree_.Put(k * 2, k);
+  tree_.Delete(10);
+  const std::vector<Entry> out = tree_.Scan(5, 21);
+  // Keys 6, 8, 12, 14, 16, 18, 20 (10 deleted).
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out.front().key, 6u);
+  EXPECT_EQ(out.back().key, 20u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].key, out[i].key);
+    EXPECT_NE(out[i].key, 10u);
+  }
+}
+
+TEST_P(LsmTreeTest, ScanEmptyRange) {
+  for (Key k = 0; k < 20; ++k) tree_.Put(k, k);
+  EXPECT_TRUE(tree_.Scan(100, 200).empty());
+  EXPECT_TRUE(tree_.Scan(5, 5).empty());
+}
+
+TEST_P(LsmTreeTest, MatchesReferenceModelUnderRandomOps) {
+  std::map<Key, Value> ref;
+  Rng rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    const double dice = rng.NextDouble();
+    const Key k = rng.UniformInt(0, 400);
+    if (dice < 0.55) {
+      const Value v = rng.Next();
+      tree_.Put(k, v);
+      ref[k] = v;
+    } else if (dice < 0.7) {
+      tree_.Delete(k);
+      ref.erase(k);
+    } else if (dice < 0.9) {
+      const auto got = tree_.Get(k);
+      const auto it = ref.find(k);
+      if (it == ref.end()) {
+        EXPECT_FALSE(got.has_value()) << "key " << k;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "key " << k;
+        EXPECT_EQ(*got, it->second) << "key " << k;
+      }
+    } else {
+      const Key lo = k, hi = k + rng.UniformInt(1, 40);
+      const std::vector<Entry> got = tree_.Scan(lo, hi);
+      std::vector<std::pair<Key, Value>> expect;
+      for (auto it = ref.lower_bound(lo);
+           it != ref.end() && it->first < hi; ++it) {
+        expect.push_back(*it);
+      }
+      ASSERT_EQ(got.size(), expect.size()) << "range " << lo << ".." << hi;
+      for (size_t j = 0; j < got.size(); ++j) {
+        EXPECT_EQ(got[j].key, expect[j].first);
+        EXPECT_EQ(got[j].value, expect[j].second);
+      }
+    }
+  }
+}
+
+TEST_P(LsmTreeTest, LevelCapacitiesExponential) {
+  EXPECT_EQ(tree_.LevelCapacity(1),
+            opts_.buffer_entries * (opts_.size_ratio - 1));
+  EXPECT_EQ(tree_.LevelCapacity(3), tree_.LevelCapacity(2) *
+                                        static_cast<uint64_t>(
+                                            opts_.size_ratio));
+}
+
+TEST_P(LsmTreeTest, TotalEntriesTracksInserts) {
+  for (Key k = 0; k < 100; ++k) tree_.Put(k, k);
+  EXPECT_GE(tree_.TotalEntries(), 100u);  // shadowed copies may inflate
+}
+
+TEST_P(LsmTreeTest, BulkLoadPopulatesSteadyState) {
+  Options opts = SmallOptions(GetParam(), 4, 16);
+  Statistics stats;
+  MemPageStore store(opts.entries_per_page, &stats);
+  LsmTree tree(opts, &store, &stats);
+
+  std::vector<Entry> entries;
+  for (Key k = 0; k < 1000; ++k) {
+    entries.push_back(Entry{2 * k, 0, k, EntryType::kValue});
+  }
+  tree.BulkLoad(entries);
+  EXPECT_EQ(tree.TotalEntries(), 1000u);
+  EXPECT_GE(tree.DeepestLevel(), 2);
+  // Every key readable; misses stay misses.
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = rng.UniformInt(0, 999);
+    ASSERT_TRUE(tree.Get(2 * k).has_value()) << k;
+    EXPECT_EQ(tree.Get(2 * k).value(), k);
+    EXPECT_FALSE(tree.Get(2 * k + 1).has_value());
+  }
+  // Level populations respect capacities.
+  for (const LevelInfo& info : tree.GetLevelInfos()) {
+    EXPECT_LE(info.num_entries, info.capacity) << "level " << info.level;
+  }
+}
+
+TEST_P(LsmTreeTest, BulkLoadRunsSpanKeyDomain) {
+  // N = 1000 with caps 48/192/768 fills three levels (40/192/768).
+  Options opts = SmallOptions(GetParam(), 4, 16);
+  Statistics stats;
+  MemPageStore store(opts.entries_per_page, &stats);
+  LsmTree tree(opts, &store, &stats);
+  std::vector<Entry> entries;
+  for (Key k = 0; k < 1000; ++k) {
+    entries.push_back(Entry{k, 0, k, EntryType::kValue});
+  }
+  tree.BulkLoad(entries);
+  // Stride partitioning: each populated level's run spans (almost) the
+  // whole key domain rather than a contiguous slice.
+  int checked = 0;
+  for (const auto& info : tree.GetLevelInfos()) {
+    if (info.num_entries < 10) continue;
+    ++checked;
+    EXPECT_LT(info.min_key, 100u) << "level " << info.level;
+    EXPECT_GT(info.max_key, 900u) << "level " << info.level;
+  }
+  EXPECT_GE(checked, 2);
+}
+
+TEST_P(LsmTreeTest, WritesAfterBulkLoadIntegrate) {
+  Options opts = SmallOptions(GetParam(), 3, 8);
+  Statistics stats;
+  MemPageStore store(opts.entries_per_page, &stats);
+  LsmTree tree(opts, &store, &stats);
+  std::vector<Entry> entries;
+  for (Key k = 0; k < 200; ++k) {
+    entries.push_back(Entry{2 * k, 0, k, EntryType::kValue});
+  }
+  tree.BulkLoad(entries);
+  for (Key k = 0; k < 100; ++k) tree.Put(2 * (200 + k), 7);
+  EXPECT_EQ(tree.Get(2 * 250).value(), 7u);
+  EXPECT_EQ(tree.Get(2 * 100).value(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, LsmTreeTest,
+                         ::testing::Values(CompactionPolicy::kLeveling,
+                                           CompactionPolicy::kTiering));
+
+TEST(LsmTreeLevelingTest, OneRunPerLevelInvariant) {
+  Options opts = SmallOptions(CompactionPolicy::kLeveling, 3, 8);
+  Statistics stats;
+  MemPageStore store(opts.entries_per_page, &stats);
+  LsmTree tree(opts, &store, &stats);
+  Rng rng(12);
+  for (int i = 0; i < 2000; ++i) tree.Put(rng.UniformInt(0, 100000), i);
+  for (const LevelInfo& info : tree.GetLevelInfos()) {
+    EXPECT_LE(info.num_runs, 1u) << "level " << info.level;
+  }
+  EXPECT_GT(stats.compactions, 0u);
+}
+
+TEST(LsmTreeTieringTest, RunsPerLevelBelowT) {
+  Options opts = SmallOptions(CompactionPolicy::kTiering, 4, 8);
+  Statistics stats;
+  MemPageStore store(opts.entries_per_page, &stats);
+  LsmTree tree(opts, &store, &stats);
+  Rng rng(13);
+  for (int i = 0; i < 4000; ++i) tree.Put(rng.UniformInt(0, 100000), i);
+  for (const LevelInfo& info : tree.GetLevelInfos()) {
+    EXPECT_LT(info.num_runs, static_cast<size_t>(opts.size_ratio))
+        << "level " << info.level;
+  }
+}
+
+TEST(LsmTreeTieringTest, TieringCompactsLessThanLeveling) {
+  // The core LSM trade-off the paper tunes: lazy merging writes less.
+  auto run_workload = [](CompactionPolicy policy) {
+    Options opts = SmallOptions(policy, 4, 8);
+    Statistics stats;
+    MemPageStore store(opts.entries_per_page, &stats);
+    LsmTree tree(opts, &store, &stats);
+    for (Key k = 0; k < 5000; ++k) tree.Put(k, k);
+    return stats.compaction_pages_read + stats.compaction_pages_written;
+  };
+  EXPECT_LT(run_workload(CompactionPolicy::kTiering),
+            run_workload(CompactionPolicy::kLeveling));
+}
+
+TEST(LsmTreeFenceSkipTest, DisablingFenceSkipCostsMoreRangeIo) {
+  auto range_io = [](bool skip) {
+    Options opts = SmallOptions(CompactionPolicy::kLeveling, 3, 8);
+    opts.fence_pointer_skip = skip;
+    Statistics stats;
+    MemPageStore store(opts.entries_per_page, &stats);
+    LsmTree tree(opts, &store, &stats);
+    std::vector<Entry> entries;
+    for (Key k = 0; k < 500; ++k) {
+      entries.push_back(Entry{2 * k, 0, k, EntryType::kValue});
+    }
+    tree.BulkLoad(entries);
+    const uint64_t before = stats.range_pages_read;
+    for (Key k = 0; k < 100; ++k) tree.Scan(2 * k, 2 * k + 8);
+    return stats.range_pages_read - before;
+  };
+  EXPECT_LE(range_io(true), range_io(false));
+}
+
+}  // namespace
+}  // namespace endure::lsm

@@ -1,0 +1,93 @@
+#include "lsm/monkey_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+
+namespace endure::lsm {
+namespace {
+
+TEST(MonkeyAllocatorTest, DeeperLevelsGetFewerBits) {
+  MonkeyAllocator a(8.0, 10, 4, FilterAllocation::kMonkey);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(a.BitsPerEntry(i), a.BitsPerEntry(i + 1));
+  }
+}
+
+TEST(MonkeyAllocatorTest, FprIncreasesWithDepth) {
+  MonkeyAllocator a(8.0, 10, 4, FilterAllocation::kMonkey);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_LE(a.FalsePositiveRate(i), a.FalsePositiveRate(i + 1));
+  }
+}
+
+TEST(MonkeyAllocatorTest, FprsAreValidProbabilities) {
+  for (int T : {2, 5, 20, 100}) {
+    for (double h : {0.0, 1.0, 5.0, 10.0}) {
+      MonkeyAllocator a(h, T, 5, FilterAllocation::kMonkey);
+      for (int i = 1; i <= 5; ++i) {
+        EXPECT_GE(a.FalsePositiveRate(i), 0.0);
+        EXPECT_LE(a.FalsePositiveRate(i), 1.0);
+        EXPECT_GE(a.BitsPerEntry(i), 0.0);
+      }
+    }
+  }
+}
+
+TEST(MonkeyAllocatorTest, UniformModeGivesEqualBits) {
+  MonkeyAllocator a(6.0, 10, 4, FilterAllocation::kUniform);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.BitsPerEntry(i), 6.0);
+    EXPECT_NEAR(a.FalsePositiveRate(i),
+                std::exp(-6.0 * std::log(2.0) * std::log(2.0)), 1e-12);
+  }
+}
+
+TEST(MonkeyAllocatorTest, ZeroBudgetSaturatesDeepestLevel) {
+  // At h = 0 the deepest level's optimal FPR clamps at 1 (T^{1/(T-1)} > 1)
+  // and it gets no filter memory; shallower levels keep small FPRs because
+  // they hold exponentially fewer entries.
+  MonkeyAllocator a(0.0, 10, 3, FilterAllocation::kMonkey);
+  EXPECT_DOUBLE_EQ(a.FalsePositiveRate(3), 1.0);
+  EXPECT_DOUBLE_EQ(a.BitsPerEntry(3), 0.0);
+  EXPECT_LT(a.FalsePositiveRate(1), a.FalsePositiveRate(3));
+  EXPECT_GT(a.BitsPerEntry(1), 0.0);
+}
+
+TEST(MonkeyAllocatorTest, MatchesCostModelEq11) {
+  // The engine-side allocator and the model-side Eq. (11) must agree.
+  SystemConfig cfg;
+  cfg.level_policy = LevelPolicy::kInteger;
+  CostModel model(cfg);
+  Tuning t(Policy::kLeveling, 10.0, 5.0);
+  const int L = model.Levels(t);
+  MonkeyAllocator a(5.0, 10, L, FilterAllocation::kMonkey);
+  for (int i = 1; i <= L; ++i) {
+    EXPECT_NEAR(a.FalsePositiveRate(i), model.FalsePositiveRate(t, i),
+                1e-9);
+  }
+}
+
+TEST(MonkeyAllocatorTest, BitsAndFprConsistent) {
+  MonkeyAllocator a(7.0, 8, 4, FilterAllocation::kMonkey);
+  const double ln2sq = std::log(2.0) * std::log(2.0);
+  for (int i = 1; i <= 4; ++i) {
+    const double f = a.FalsePositiveRate(i);
+    if (f < 1.0) {
+      EXPECT_NEAR(a.BitsPerEntry(i), -std::log(f) / ln2sq, 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(a.BitsPerEntry(i), 0.0);
+    }
+  }
+}
+
+TEST(MonkeyAllocatorTest, SingleLevelTree) {
+  MonkeyAllocator a(5.0, 4, 1, FilterAllocation::kMonkey);
+  EXPECT_GT(a.BitsPerEntry(1), 0.0);
+  EXPECT_LT(a.FalsePositiveRate(1), 1.0);
+}
+
+}  // namespace
+}  // namespace endure::lsm

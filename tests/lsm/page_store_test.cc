@@ -1,0 +1,129 @@
+#include "lsm/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/options.h"
+
+namespace endure::lsm {
+namespace {
+
+std::vector<Entry> MakeEntries(int n) {
+  std::vector<Entry> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Entry{static_cast<Key>(i * 2), static_cast<SeqNum>(i),
+                        static_cast<Value>(i * 100),
+                        i % 7 == 0 ? EntryType::kTombstone
+                                   : EntryType::kValue});
+  }
+  return out;
+}
+
+template <typename StoreFactory>
+void RunStoreContractTests(StoreFactory make_store) {
+  Statistics stats;
+  auto store = make_store(&stats);
+
+  const std::vector<Entry> entries = MakeEntries(10);  // B=4 -> 3 pages
+  const SegmentId seg = store->WriteSegment(entries, IoContext::kFlush);
+  EXPECT_EQ(store->NumPages(seg), 3u);
+  EXPECT_EQ(store->NumEntries(seg), 10u);
+  EXPECT_EQ(stats.pages_written, 3u);
+  EXPECT_EQ(stats.flush_pages_written, 3u);
+
+  std::vector<Entry> page;
+  store->ReadPage(seg, 0, IoContext::kPointQuery, &page);
+  ASSERT_EQ(page.size(), 4u);
+  EXPECT_EQ(page[0].key, 0u);
+  EXPECT_EQ(page[3].key, 6u);
+  EXPECT_EQ(page[0].type, EntryType::kTombstone);
+  EXPECT_EQ(page[1].type, EntryType::kValue);
+  EXPECT_EQ(stats.pages_read, 1u);
+  EXPECT_EQ(stats.point_pages_read, 1u);
+
+  // Last (partial) page has 2 entries.
+  store->ReadPage(seg, 2, IoContext::kRangeQuery, &page);
+  ASSERT_EQ(page.size(), 2u);
+  EXPECT_EQ(page[1].key, 18u);
+  EXPECT_EQ(page[1].value, 900u);
+  EXPECT_EQ(stats.range_pages_read, 1u);
+
+  // A second segment coexists.
+  const SegmentId seg2 =
+      store->WriteSegment(MakeEntries(4), IoContext::kCompaction);
+  EXPECT_NE(seg, seg2);
+  EXPECT_EQ(store->NumPages(seg2), 1u);
+  EXPECT_EQ(stats.compaction_pages_written, 1u);
+
+  store->FreeSegment(seg);
+  store->ReadPage(seg2, 0, IoContext::kCompaction, &page);
+  EXPECT_EQ(page.size(), 4u);
+  EXPECT_EQ(stats.compaction_pages_read, 1u);
+}
+
+TEST(MemPageStoreTest, Contract) {
+  RunStoreContractTests([](Statistics* stats) {
+    return std::make_unique<MemPageStore>(4, stats);
+  });
+}
+
+TEST(FilePageStoreTest, Contract) {
+  RunStoreContractTests([](Statistics* stats) {
+    return std::make_unique<FilePageStore>(4, stats,
+                                           "/tmp/endure_test_store");
+  });
+}
+
+TEST(FilePageStoreTest, RoundTripsEntryEncoding) {
+  Statistics stats;
+  FilePageStore store(2, &stats, "/tmp/endure_test_store2");
+  std::vector<Entry> in{
+      Entry{0xDEADBEEFCAFEBABEull, 42, 0x0123456789ABCDEFull,
+            EntryType::kValue},
+      Entry{1, 2, 3, EntryType::kTombstone}};
+  const SegmentId seg = store.WriteSegment(in, IoContext::kBulkLoad);
+  std::vector<Entry> out;
+  store.ReadPage(seg, 0, IoContext::kPointQuery, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].key, in[0].key);
+  EXPECT_EQ(out[0].seq, in[0].seq);
+  EXPECT_EQ(out[0].value, in[0].value);
+  EXPECT_EQ(out[0].type, in[0].type);
+  EXPECT_EQ(out[1].type, EntryType::kTombstone);
+}
+
+TEST(MakePageStoreTest, FactorySelectsBackend) {
+  Statistics stats;
+  auto mem = MakePageStore(4, &stats,
+                           static_cast<int>(StorageBackend::kMemory), "");
+  EXPECT_NE(dynamic_cast<MemPageStore*>(mem.get()), nullptr);
+  auto file = MakePageStore(4, &stats,
+                            static_cast<int>(StorageBackend::kFile),
+                            "/tmp/endure_test_store3");
+  EXPECT_NE(dynamic_cast<FilePageStore*>(file.get()), nullptr);
+}
+
+TEST(StatisticsTest, DeltaSubtractsAllCounters) {
+  Statistics a;
+  a.pages_read = 10;
+  a.gets = 5;
+  a.compaction_pages_written = 7;
+  Statistics b = a;
+  b.pages_read = 25;
+  b.gets = 9;
+  b.compaction_pages_written = 11;
+  const Statistics d = b.Delta(a);
+  EXPECT_EQ(d.pages_read, 15u);
+  EXPECT_EQ(d.gets, 4u);
+  EXPECT_EQ(d.compaction_pages_written, 4u);
+  EXPECT_EQ(d.writes, 0u);
+}
+
+TEST(StatisticsTest, ToStringContainsCounters) {
+  Statistics s;
+  s.pages_read = 123;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("pages_read=123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace endure::lsm

@@ -1,0 +1,160 @@
+#include "lsm/run.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/run_builder.h"
+
+namespace endure::lsm {
+namespace {
+
+class RunTest : public ::testing::Test {
+ protected:
+  RunTest() : store_(4, &stats_) {}
+
+  std::shared_ptr<endure::lsm::Run> MakeRun(int n, double bits = 10.0) {
+    std::vector<Entry> entries;
+    for (int i = 0; i < n; ++i) {
+      entries.push_back(Entry{static_cast<Key>(10 * i), 1,
+                              static_cast<Value>(i), EntryType::kValue});
+    }
+    return BuildRun(&store_, entries, bits, IoContext::kBulkLoad);
+  }
+
+  Statistics stats_;
+  MemPageStore store_;
+};
+
+TEST_F(RunTest, MetadataCorrect) {
+  auto run = MakeRun(10);
+  EXPECT_EQ(run->num_entries(), 10u);
+  EXPECT_EQ(run->num_pages(), 3u);
+  EXPECT_EQ(run->min_key(), 0u);
+  EXPECT_EQ(run->max_key(), 90u);
+}
+
+TEST_F(RunTest, GetFindsExistingKeyWithOnePageRead) {
+  auto run = MakeRun(100);
+  const uint64_t before = stats_.point_pages_read;
+  const std::optional<Entry> e = run->Get(500, /*use_fence_skip=*/true);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->value, 50u);
+  EXPECT_EQ(stats_.point_pages_read, before + 1);
+}
+
+TEST_F(RunTest, GetMissViaBloomCostsNoIo) {
+  auto run = MakeRun(100, 14.0);  // strong filter
+  const uint64_t before = stats_.point_pages_read;
+  int ios = 0;
+  for (Key k = 1; k < 500; k += 10) {  // keys not in the run
+    if (run->Get(k, true).has_value()) ADD_FAILURE();
+    ios += static_cast<int>(stats_.point_pages_read - before);
+  }
+  // With 14 bits/entry nearly all misses are filtered without I/O.
+  EXPECT_LE(stats_.point_pages_read - before, 3u);
+  EXPECT_GT(stats_.bloom_negatives, 40u);
+}
+
+TEST_F(RunTest, FenceSkipShortCircuitsOutOfRangeKeys) {
+  auto run = MakeRun(10);  // keys 0..90
+  const uint64_t probes_before = stats_.bloom_probes;
+  EXPECT_FALSE(run->Get(1000, true).has_value());
+  EXPECT_EQ(stats_.bloom_probes, probes_before);  // no filter touch
+  EXPECT_GT(stats_.fence_skips, 0u);
+}
+
+TEST_F(RunTest, WithoutFenceSkipBloomIsProbed) {
+  auto run = MakeRun(10);
+  const uint64_t probes_before = stats_.bloom_probes;
+  EXPECT_FALSE(run->Get(1000, false).has_value());
+  EXPECT_EQ(stats_.bloom_probes, probes_before + 1);
+}
+
+TEST_F(RunTest, GetMissInsidePageCountsFalsePositive) {
+  auto run = MakeRun(100, 0.0);  // no filter: always "maybe"
+  const uint64_t fp_before = stats_.bloom_false_positives;
+  EXPECT_FALSE(run->Get(5, true).has_value());  // between keys 0 and 10
+  EXPECT_EQ(stats_.bloom_false_positives, fp_before + 1);
+}
+
+TEST_F(RunTest, FullIteratorScansAllEntriesAndPages) {
+  auto run = MakeRun(10);
+  const uint64_t before = stats_.compaction_pages_read;
+  Run::Iterator it = run->NewIterator(IoContext::kCompaction);
+  int count = 0;
+  Key prev = 0;
+  for (; it.Valid(); it.Next()) {
+    if (count > 0) EXPECT_GT(it.entry().key, prev);
+    prev = it.entry().key;
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(stats_.compaction_pages_read - before, 3u);
+}
+
+TEST_F(RunTest, RangeIteratorTouchesOnlyOverlappingPages) {
+  auto run = MakeRun(100);  // 25 pages of 4 entries, keys 0..990
+  const uint64_t before = stats_.range_pages_read;
+  auto it = run->NewRangeIterator(200, 240);  // keys 200..230: pages 5-6
+  ASSERT_TRUE(it.has_value());
+  std::vector<Key> keys;
+  for (; it->Valid(); it->Next()) keys.push_back(it->entry().key);
+  EXPECT_GE(keys.size(), 4u);  // at least the 4 in-range keys
+  EXPECT_LE(stats_.range_pages_read - before, 2u);
+  EXPECT_EQ(stats_.range_seeks, 1u);
+}
+
+TEST_F(RunTest, RangeIteratorMissReturnsNulloptWithoutIo) {
+  auto run = MakeRun(10);  // keys 0..90
+  const uint64_t before = stats_.pages_read;
+  EXPECT_FALSE(run->NewRangeIterator(100, 200).has_value());
+  EXPECT_EQ(stats_.pages_read, before);
+  EXPECT_EQ(stats_.range_seeks, 0u);
+}
+
+TEST_F(RunTest, BlindSeekReadsOnePage) {
+  auto run = MakeRun(10);
+  const uint64_t before = stats_.range_pages_read;
+  run->BlindSeek();
+  EXPECT_EQ(stats_.range_pages_read, before + 1);
+  EXPECT_EQ(stats_.range_seeks, 1u);
+}
+
+TEST(RunBuilderTest, RejectsOutOfOrderKeys) {
+  Statistics stats;
+  MemPageStore store(4, &stats);
+  RunBuilder b(&store, 5.0, IoContext::kFlush);
+  b.Add(Entry{10, 1, 0, EntryType::kValue});
+  EXPECT_DEATH(b.Add(Entry{10, 2, 0, EntryType::kValue}), "ascending");
+  RunBuilder c(&store, 5.0, IoContext::kFlush);
+  c.Add(Entry{10, 1, 0, EntryType::kValue});
+  EXPECT_DEATH(c.Add(Entry{5, 1, 0, EntryType::kValue}), "ascending");
+}
+
+TEST(RunBuilderTest, TracksSize) {
+  Statistics stats;
+  MemPageStore store(4, &stats);
+  RunBuilder b(&store, 5.0, IoContext::kFlush);
+  EXPECT_TRUE(b.empty());
+  b.Add(Entry{1, 1, 0, EntryType::kValue});
+  b.Add(Entry{2, 1, 0, EntryType::kValue});
+  EXPECT_EQ(b.size(), 2u);
+  auto run = b.Finish();
+  EXPECT_EQ(run->num_entries(), 2u);
+}
+
+TEST(RunLifetimeTest, DestructionFreesSegment) {
+  Statistics stats;
+  MemPageStore store(4, &stats);
+  {
+    std::vector<Entry> entries{{1, 1, 1, EntryType::kValue}};
+    auto run = BuildRun(&store, entries, 5.0, IoContext::kFlush);
+  }
+  // Segment freed: store no longer knows it (reading would abort, so we
+  // only verify indirectly by building another run with a fresh id).
+  std::vector<Entry> entries{{2, 1, 2, EntryType::kValue}};
+  auto run2 = BuildRun(&store, entries, 5.0, IoContext::kFlush);
+  EXPECT_EQ(run2->num_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace endure::lsm

@@ -1,0 +1,56 @@
+#include "solver/golden_section.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/brent.h"
+
+namespace endure::solver {
+namespace {
+
+TEST(GoldenSectionTest, QuadraticMinimum) {
+  auto f = [](double x) { return (x + 1.0) * (x + 1.0); };
+  Result1D r = GoldenSectionMinimize(f, -10.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, -1.0, 1e-6);
+}
+
+TEST(GoldenSectionTest, AgreesWithBrentOnConvexFunctions) {
+  // The robust dual is convex; both 1-D minimizers must agree on it.
+  for (double a : {0.5, 1.0, 2.0, 5.0}) {
+    auto f = [a](double x) { return std::exp(a * x) + std::exp(-x); };
+    Result1D g = GoldenSectionMinimize(f, -10.0, 10.0);
+    Result1D b = BrentMinimize(f, -10.0, 10.0);
+    EXPECT_NEAR(g.x, b.x, 1e-5) << "a=" << a;
+    EXPECT_NEAR(g.fx, b.fx, 1e-9) << "a=" << a;
+  }
+}
+
+TEST(GoldenSectionTest, EdgeMinimum) {
+  auto f = [](double x) { return x * 3.0; };
+  Result1D r = GoldenSectionMinimize(f, 1.0, 4.0);
+  EXPECT_NEAR(r.x, 1.0, 1e-5);
+}
+
+TEST(GoldenSectionTest, IterationCapRespected) {
+  GoldenSectionOptions opts;
+  opts.max_iter = 5;
+  auto f = [](double x) { return x * x; };
+  Result1D r = GoldenSectionMinimize(f, -100.0, 100.0, opts);
+  EXPECT_LE(r.iterations, 5);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(GoldenSectionTest, TightToleranceConverges) {
+  GoldenSectionOptions opts;
+  opts.tol = 1e-12;
+  auto f = [](double x) { return std::cosh(x - 0.25); };
+  Result1D r = GoldenSectionMinimize(f, -4.0, 4.0, opts);
+  // x-precision near a quadratic minimum is limited to ~sqrt(machine eps)
+  // because the function is flat there.
+  EXPECT_NEAR(r.x, 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace endure::solver

@@ -1,0 +1,60 @@
+#include "solver/gradient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace endure::solver {
+namespace {
+
+Bounds Box(std::vector<double> lo, std::vector<double> hi) {
+  Bounds b;
+  b.lo = std::move(lo);
+  b.hi = std::move(hi);
+  return b;
+}
+
+TEST(NumericalGradientTest, MatchesAnalyticQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return 3.0 * x[0] * x[0] + 2.0 * x[0] * x[1] + x[1] * x[1];
+  };
+  const std::vector<double> x{1.0, -2.0};
+  const std::vector<double> g = NumericalGradient(f, x);
+  EXPECT_NEAR(g[0], 6.0 * x[0] + 2.0 * x[1], 1e-5);
+  EXPECT_NEAR(g[1], 2.0 * x[0] + 2.0 * x[1], 1e-5);
+}
+
+TEST(NumericalGradientTest, MatchesAnalyticExp) {
+  auto f = [](const std::vector<double>& x) { return std::exp(0.5 * x[0]); };
+  const std::vector<double> g = NumericalGradient(f, {2.0});
+  EXPECT_NEAR(g[0], 0.5 * std::exp(1.0), 1e-5);
+}
+
+TEST(ProjectedGradientTest, ConvexQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  Result r = ProjectedGradientDescent(f, {0.0, 0.0}, Box({-5, -5}, {5, 5}));
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-3);
+}
+
+TEST(ProjectedGradientTest, ActiveBoxConstraint) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 10.0) * (x[0] - 10.0);
+  };
+  Result r = ProjectedGradientDescent(f, {0.0}, Box({0}, {2}));
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(ProjectedGradientTest, AgreesWithNelderMeadOnSmoothConvex) {
+  auto f = [](const std::vector<double>& x) {
+    return std::log(1.0 + std::exp(x[0])) + 0.5 * x[0] * x[0] -
+           0.3 * x[0];
+  };
+  Result g = ProjectedGradientDescent(f, {2.0}, Box({-4}, {4}));
+  EXPECT_LT(std::fabs(NumericalGradient(f, g.x)[0]), 1e-3);
+}
+
+}  // namespace
+}  // namespace endure::solver

@@ -1,0 +1,74 @@
+#include "solver/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace endure::solver {
+namespace {
+
+Bounds Box(std::vector<double> lo, std::vector<double> hi) {
+  Bounds b;
+  b.lo = std::move(lo);
+  b.hi = std::move(hi);
+  return b;
+}
+
+TEST(GridSearchTest, FindsGridOptimum) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 0.5) * (x[0] - 0.5);
+  };
+  GridOptions opts;
+  opts.points_per_dim = {11};  // grid points at 0, 0.1, ..., 1.0
+  std::vector<GridPoint> best = GridSearch(f, Box({0}, {1}), opts);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_NEAR(best[0].x[0], 0.5, 1e-12);
+}
+
+TEST(GridSearchTest, TopKOrderedBestFirst) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  GridOptions opts;
+  opts.points_per_dim = {5};
+  opts.top_k = 3;
+  std::vector<GridPoint> best = GridSearch(f, Box({0}, {4}), opts);
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_DOUBLE_EQ(best[0].fx, 0.0);
+  EXPECT_DOUBLE_EQ(best[1].fx, 1.0);
+  EXPECT_DOUBLE_EQ(best[2].fx, 2.0);
+}
+
+TEST(GridSearchTest, TwoDimensionalCoverage) {
+  int evals = 0;
+  auto f = [&evals](const std::vector<double>& x) {
+    ++evals;
+    return std::fabs(x[0] - 1.0) + std::fabs(x[1] - 2.0);
+  };
+  GridOptions opts;
+  opts.points_per_dim = {3, 5};
+  std::vector<GridPoint> best = GridSearch(f, Box({0, 0}, {2, 4}), opts);
+  EXPECT_EQ(evals, 15);
+  EXPECT_NEAR(best[0].x[0], 1.0, 1e-12);
+  EXPECT_NEAR(best[0].x[1], 2.0, 1e-12);
+}
+
+TEST(GridSearchTest, IncludesBoxCorners) {
+  // f minimized exactly at the upper corner.
+  auto f = [](const std::vector<double>& x) { return -(x[0] + x[1]); };
+  GridOptions opts;
+  opts.points_per_dim = {4, 4};
+  std::vector<GridPoint> best = GridSearch(f, Box({0, 0}, {3, 7}), opts);
+  EXPECT_DOUBLE_EQ(best[0].x[0], 3.0);
+  EXPECT_DOUBLE_EQ(best[0].x[1], 7.0);
+}
+
+TEST(GridSearchTest, TopKLargerThanGridIsTruncated) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  GridOptions opts;
+  opts.points_per_dim = {3};
+  opts.top_k = 10;
+  std::vector<GridPoint> best = GridSearch(f, Box({0}, {1}), opts);
+  EXPECT_EQ(best.size(), 3u);
+}
+
+}  // namespace
+}  // namespace endure::solver

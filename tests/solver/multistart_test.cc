@@ -1,0 +1,72 @@
+#include "solver/multistart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace endure::solver {
+namespace {
+
+Bounds Box(std::vector<double> lo, std::vector<double> hi) {
+  Bounds b;
+  b.lo = std::move(lo);
+  b.hi = std::move(hi);
+  return b;
+}
+
+TEST(MultiStartTest, EscapesLocalMinima) {
+  // Rastrigin-like in 1-D: many local minima, global at x = 0.
+  auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + 10.0 * (1.0 - std::cos(2.0 * M_PI * x[0]));
+  };
+  MultiStartOptions opts;
+  opts.grid_points_per_dim = 16;
+  opts.random_starts = 8;
+  Result r = MultiStartMinimize(f, Box({-5.12}, {5.12}), opts);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-3);
+  EXPECT_LT(r.fx, 1e-4);
+}
+
+TEST(MultiStartTest, TwoDimensionalMultiModal) {
+  // Himmelblau: four global minima with f = 0.
+  auto f = [](const std::vector<double>& x) {
+    const double a = x[0] * x[0] + x[1] - 11.0;
+    const double b = x[0] + x[1] * x[1] - 7.0;
+    return a * a + b * b;
+  };
+  Result r = MultiStartMinimize(f, Box({-6, -6}, {6, 6}));
+  EXPECT_LT(r.fx, 1e-6);
+}
+
+TEST(MultiStartTest, DeterministicForFixedSeed) {
+  auto f = [](const std::vector<double>& x) {
+    return std::sin(3.0 * x[0]) + x[0] * x[0] / 4.0;
+  };
+  MultiStartOptions opts;
+  opts.seed = 99;
+  Result a = MultiStartMinimize(f, Box({-4}, {4}), opts);
+  Result b = MultiStartMinimize(f, Box({-4}, {4}), opts);
+  EXPECT_DOUBLE_EQ(a.fx, b.fx);
+  EXPECT_DOUBLE_EQ(a.x[0], b.x[0]);
+}
+
+TEST(MultiStartTest, AggregatesEvaluationCounts) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  MultiStartOptions opts;
+  opts.grid_seeds = 2;
+  opts.random_starts = 2;
+  Result r = MultiStartMinimize(f, Box({-1}, {1}), opts);
+  // At least the seeding grid evaluations plus four NM runs.
+  EXPECT_GT(r.evaluations, opts.grid_points_per_dim);
+}
+
+TEST(MultiStartTest, ResultInsideBounds) {
+  auto f = [](const std::vector<double>& x) { return -x[0] - 2.0 * x[1]; };
+  const Bounds box = Box({0, 0}, {1, 1});
+  Result r = MultiStartMinimize(f, box);
+  EXPECT_TRUE(box.Contains(r.x));
+  EXPECT_NEAR(r.fx, -3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace endure::solver

@@ -1,0 +1,55 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace endure {
+namespace {
+
+TEST(EnvTest, IntDefaultWhenUnset) {
+  ::unsetenv("ENDURE_TEST_UNSET_VAR");
+  EXPECT_EQ(GetEnvInt("ENDURE_TEST_UNSET_VAR", 17), 17);
+}
+
+TEST(EnvTest, IntParsesValue) {
+  ::setenv("ENDURE_TEST_INT", "12345", 1);
+  EXPECT_EQ(GetEnvInt("ENDURE_TEST_INT", 0), 12345);
+  ::unsetenv("ENDURE_TEST_INT");
+}
+
+TEST(EnvTest, IntGarbageFallsBack) {
+  ::setenv("ENDURE_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt("ENDURE_TEST_INT", 5), 5);
+  ::unsetenv("ENDURE_TEST_INT");
+}
+
+TEST(EnvTest, DoubleParsesValue) {
+  ::setenv("ENDURE_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("ENDURE_TEST_DBL", 0.0), 2.5);
+  ::unsetenv("ENDURE_TEST_DBL");
+}
+
+TEST(EnvTest, DoubleDefaultWhenUnset) {
+  ::unsetenv("ENDURE_TEST_DBL");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("ENDURE_TEST_DBL", 1.25), 1.25);
+}
+
+TEST(EnvTest, NowNanosMonotonic) {
+  const int64_t a = NowNanos();
+  const int64_t b = NowNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(EnvTest, WallTimerMeasuresNonNegative) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000; ++i) sink += i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), 0.0);
+  t.Reset();
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,123 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace endure {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser p;
+  p.AddString("name", "default", "a string");
+  p.AddInt("count", 7, "an int");
+  p.AddDouble("rho", 0.5, "a double");
+  p.AddBool("verbose", false, "a bool");
+  return p;
+}
+
+TEST(FlagParserTest, DefaultsWhenUnset) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.Parse(1, argv).ok());
+  EXPECT_EQ(p.GetString("name"), "default");
+  EXPECT_EQ(p.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rho"), 0.5);
+  EXPECT_FALSE(p.GetBool("verbose"));
+  EXPECT_FALSE(p.IsSet("count"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedValues) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--name", "endure", "--count", "42",
+                        "--rho", "1.25"};
+  ASSERT_TRUE(p.Parse(7, argv).ok());
+  EXPECT_EQ(p.GetString("name"), "endure");
+  EXPECT_EQ(p.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rho"), 1.25);
+  EXPECT_TRUE(p.IsSet("rho"));
+}
+
+TEST(FlagParserTest, EqualsSeparatedValues) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--name=x", "--count=-3", "--rho=2e-1"};
+  ASSERT_TRUE(p.Parse(4, argv).ok());
+  EXPECT_EQ(p.GetString("name"), "x");
+  EXPECT_EQ(p.GetInt("count"), -3);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rho"), 0.2);
+}
+
+TEST(FlagParserTest, BareBooleanSetsTrue) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.Parse(2, argv).ok());
+  EXPECT_TRUE(p.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BooleanExplicitValues) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(p.Parse(2, argv).ok());
+  EXPECT_FALSE(p.GetBool("verbose"));
+  const char* argv2[] = {"prog", "--verbose=1"};
+  FlagParser q = MakeParser();
+  ASSERT_TRUE(q.Parse(2, argv2).ok());
+  EXPECT_TRUE(q.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "cmd", "--count", "1", "path/to/file"};
+  ASSERT_TRUE(p.Parse(5, argv).ok());
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "cmd");
+  EXPECT_EQ(p.positional()[1], "path/to/file");
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--nope", "1"};
+  const Status st = p.Parse(3, argv);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, TypeErrorsRejected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--count", "abc"};
+  EXPECT_FALSE(p.Parse(3, argv).ok());
+  FlagParser q = MakeParser();
+  const char* argv2[] = {"prog", "--rho", "zzz"};
+  EXPECT_FALSE(q.Parse(3, argv2).ok());
+  FlagParser r = MakeParser();
+  const char* argv3[] = {"prog", "--verbose=maybe"};
+  EXPECT_FALSE(r.Parse(2, argv3).ok());
+}
+
+TEST(FlagParserTest, MissingValueRejected) {
+  FlagParser p = MakeParser();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(p.Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, UsageMentionsAllFlags) {
+  FlagParser p = MakeParser();
+  const std::string usage = p.Usage();
+  for (const char* name : {"--name", "--count", "--rho", "--verbose"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ParseCsvDoublesTest, ParsesExactCount) {
+  auto v = ParseCsvDoubles("0.1,0.2,0.3,0.4", 4);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ((*v)[0], 0.1);
+  EXPECT_DOUBLE_EQ((*v)[3], 0.4);
+}
+
+TEST(ParseCsvDoublesTest, RejectsWrongCountOrGarbage) {
+  EXPECT_FALSE(ParseCsvDoubles("1,2,3", 4).ok());
+  EXPECT_FALSE(ParseCsvDoubles("1,2,x,4", 4).ok());
+  EXPECT_FALSE(ParseCsvDoubles("1,,3,4", 4).ok());
+  EXPECT_FALSE(ParseCsvDoubles("", 4).ok());
+}
+
+}  // namespace
+}  // namespace endure

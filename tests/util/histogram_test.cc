@@ -1,0 +1,77 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace endure {
+namespace {
+
+TEST(HistogramTest, BucketsSamplesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);   // bucket 0
+  h.Add(5.5);   // bucket 5
+  h.Add(9.99);  // bucket 9
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(5), 1);
+  EXPECT_EQ(h.bucket_count(9), 1);
+  EXPECT_EQ(h.bucket_count(3), 0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_left(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_left(2), 3.0);
+  EXPECT_EQ(h.num_buckets(), 4);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 8);
+  for (int i = 0; i < 100; ++i) h.Add(i / 100.0);
+  double total = 0.0;
+  for (int b = 0; b < h.num_buckets(); ++b) total += h.bucket_fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Histogram h(0.0, 2.0, 10);
+  for (int i = 0; i < 1000; ++i) h.Add(2.0 * i / 1000.0);
+  double integral = 0.0;
+  const double width = 2.0 / 10;
+  for (int b = 0; b < h.num_buckets(); ++b) {
+    integral += h.bucket_density(b) * width;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, AddAll) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddAll({0.1, 0.2, 0.8});
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+}
+
+TEST(HistogramTest, EmptyHistogramFractionsAreZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_fraction(0), 0.0);
+}
+
+TEST(HistogramTest, AsciiRenderingHasOneLinePerBucket) {
+  Histogram h(0.0, 1.0, 5);
+  h.AddAll({0.1, 0.5, 0.9});
+  const std::string ascii = h.ToAscii(20);
+  int lines = 0;
+  for (char c : ascii) lines += (c == '\n');
+  EXPECT_EQ(lines, 5);
+}
+
+}  // namespace
+}  // namespace endure

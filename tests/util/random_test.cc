@@ -1,0 +1,138 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace endure {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBoundsInclusive) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42u);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SimplexByCountsSumsToOne) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<uint64_t> counts;
+    const std::vector<double> p = rng.SimplexByCounts(4, 10000, &counts);
+    ASSERT_EQ(p.size(), 4u);
+    ASSERT_EQ(counts.size(), 4u);
+    double sum = 0.0;
+    uint64_t total = 0;
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_GE(p[k], 0.0);
+      EXPECT_LE(counts[k], 10000u);
+      sum += p[k];
+      total += counts[k];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_GT(total, 0u);
+  }
+}
+
+TEST(RngTest, SimplexComponentsMatchCounts) {
+  Rng rng(5);
+  std::vector<uint64_t> counts;
+  const std::vector<double> p = rng.SimplexByCounts(4, 1000, &counts);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(p[k], static_cast<double>(counts[k]) / total);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.Shuffle(&v);
+  int fixed = 0;
+  for (int i = 0; i < 100; ++i) fixed += (v[i] == i);
+  EXPECT_LT(fixed, 20);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(77);
+  Rng child = a.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == child.Next());
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace endure {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(4);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian() * 3.0 + 1.0;
+    all.Add(x);
+    (i < 500 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean_before = a.mean();
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  EXPECT_EQ(a.count(), 2);
+
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(VectorStatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VectorStatsTest, Stddev) {
+  EXPECT_NEAR(Stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Stddev({1.0}), 0.0);
+}
+
+TEST(VectorStatsTest, PercentileInterpolates) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+}
+
+TEST(VectorStatsTest, PercentileUnsortedInput) {
+  std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+}
+
+TEST(VectorStatsTest, PercentileEmpty) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace endure

@@ -1,0 +1,62 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace endure {
+namespace {
+
+TEST(TablePrinterTest, RendersHeadersAndRows) {
+  TablePrinter t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"x", "y", "z"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowsFormatted) {
+  TablePrinter t({"v"});
+  t.AddRow({3.14159}, 2);
+  EXPECT_NE(t.ToString().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.ToString().find("3.1415"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, FmtHelper) {
+  EXPECT_EQ(TablePrinter::Fmt(1.5, 1), "1.5");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, ColumnsAlignAcrossRows) {
+  TablePrinter t({"col"});
+  t.AddRow({"short"});
+  t.AddRow({"a much longer cell"});
+  const std::string out = t.ToString();
+  // All table lines must share the same width.
+  size_t first_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t eol = out.find('\n', pos);
+    const size_t len = eol - pos;
+    if (first_len == std::string::npos) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = eol + 1;
+  }
+}
+
+}  // namespace
+}  // namespace endure

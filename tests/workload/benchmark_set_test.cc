@@ -1,0 +1,139 @@
+#include "workload/benchmark_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kl.h"
+#include "workload/expected_workloads.h"
+
+namespace endure::workload {
+namespace {
+
+TEST(BenchmarkSetTest, GeneratesRequestedSize) {
+  Rng rng(1);
+  BenchmarkSet b(500, &rng);
+  EXPECT_EQ(b.size(), 500u);
+  EXPECT_EQ(b.Workloads().size(), 500u);
+}
+
+TEST(BenchmarkSetTest, AllWorkloadsValid) {
+  Rng rng(2);
+  BenchmarkSet b(2000, &rng);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_TRUE(b.sample(i).workload.Validate(1e-9).ok()) << i;
+  }
+}
+
+TEST(BenchmarkSetTest, CountsMatchWorkload) {
+  Rng rng(3);
+  BenchmarkSet b(200, &rng);
+  for (size_t i = 0; i < b.size(); ++i) {
+    const SampledWorkload& s = b.sample(i);
+    uint64_t total = 0;
+    for (int k = 0; k < kNumQueryClasses; ++k) total += s.counts[k];
+    ASSERT_GT(total, 0u);
+    for (int k = 0; k < kNumQueryClasses; ++k) {
+      EXPECT_NEAR(s.workload[k],
+                  static_cast<double>(s.counts[k]) / total, 1e-12);
+    }
+  }
+}
+
+TEST(BenchmarkSetTest, CountsBoundedByMax) {
+  Rng rng(4);
+  BenchmarkSet b(300, &rng, /*max_count=*/100);
+  for (size_t i = 0; i < b.size(); ++i) {
+    for (int k = 0; k < kNumQueryClasses; ++k) {
+      EXPECT_LE(b.sample(i).counts[k], 100u);
+    }
+  }
+}
+
+TEST(BenchmarkSetTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  BenchmarkSet s1(100, &a), s2(100, &b);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(s1.sample(i).workload, s2.sample(i).workload);
+  }
+}
+
+TEST(BenchmarkSetTest, KlDivergencesMatchDirectComputation) {
+  Rng rng(5);
+  BenchmarkSet b(50, &rng);
+  const Workload w0 = GetExpectedWorkload(0).workload;
+  const std::vector<double> kl = b.KlDivergencesTo(w0);
+  ASSERT_EQ(kl.size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(kl[i], KlDivergence(b.sample(i).workload, w0));
+  }
+}
+
+TEST(BenchmarkSetTest, KlToUniformIsMostlySmall) {
+  // Fig. 3: divergences w.r.t. w0 concentrate near zero; w.r.t. w1 they
+  // spread out to 1.5 - 3.5.
+  Rng rng(6);
+  BenchmarkSet b(5000, &rng);
+  const std::vector<double> kl0 =
+      b.KlDivergencesTo(GetExpectedWorkload(0).workload);
+  const std::vector<double> kl1 =
+      b.KlDivergencesTo(GetExpectedWorkload(1).workload);
+  double mean0 = 0.0, mean1 = 0.0;
+  for (double v : kl0) mean0 += v;
+  for (double v : kl1) mean1 += v;
+  mean0 /= kl0.size();
+  mean1 /= kl1.size();
+  EXPECT_LT(mean0, 0.8);
+  EXPECT_GT(mean1, 1.5);
+}
+
+TEST(BenchmarkSetTest, FilterByKlRespectsBand) {
+  Rng rng(7);
+  BenchmarkSet b(3000, &rng);
+  const Workload w0 = GetExpectedWorkload(0).workload;
+  const auto band = b.FilterByKl(w0, 0.1, 0.3);
+  for (const auto& s : band) {
+    const double kl = KlDivergence(s.workload, w0);
+    EXPECT_GE(kl, 0.1);
+    EXPECT_LT(kl, 0.3);
+  }
+  EXPECT_GT(band.size(), 0u);
+}
+
+TEST(BenchmarkSetTest, FilterByDominant) {
+  Rng rng(8);
+  BenchmarkSet b(20000, &rng);
+  const auto writes = b.FilterByDominant(kWrite, 0.8);
+  for (const auto& s : writes) EXPECT_GE(s.workload.w, 0.8);
+  // ~0.065% of uniform samples are 80%-dominant per class; with 20 K
+  // samples we expect on the order of a dozen.
+  EXPECT_GT(writes.size(), 0u);
+}
+
+TEST(BenchmarkSetTest, FilterByCombinedReads) {
+  Rng rng(9);
+  BenchmarkSet b(20000, &rng);
+  const auto reads = b.FilterByCombinedReads(0.8);
+  for (const auto& s : reads) {
+    EXPECT_GE(s.workload.z0 + s.workload.z1, 0.8);
+    EXPECT_LT(s.workload.z0, 0.8);
+    EXPECT_LT(s.workload.z1, 0.8);
+  }
+  EXPECT_GT(reads.size(), 0u);
+}
+
+TEST(BenchmarkSetTest, ContainsZippyDbLikeWorkload) {
+  // Section 6: ZippyDB's 78/19/3 get/write/range mix should be covered by
+  // the 10 K benchmark (nearby sample within a small KL distance).
+  Rng rng(10);
+  BenchmarkSet b(10000, &rng);
+  const Workload zippy(0.39, 0.39, 0.03, 0.19);  // gets split z0/z1
+  double best = 1e9;
+  for (const Workload& w : b.Workloads()) {
+    best = std::min(best, KlDivergence(w, zippy));
+  }
+  EXPECT_LT(best, 0.05);
+}
+
+}  // namespace
+}  // namespace endure::workload

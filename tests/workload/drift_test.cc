@@ -1,0 +1,144 @@
+#include "workload/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kl.h"
+#include "util/random.h"
+
+namespace endure::workload {
+namespace {
+
+TEST(WorkloadEstimatorTest, EstimateTracksCounts) {
+  WorkloadEstimator est;
+  est.Record(kEmptyPointQuery, 50);
+  est.Record(kNonEmptyPointQuery, 25);
+  est.Record(kRangeQuery, 15);
+  est.Record(kWrite, 10);
+  const Workload w = est.Estimate(0.0);
+  EXPECT_NEAR(w.z0, 0.50, 1e-12);
+  EXPECT_NEAR(w.z1, 0.25, 1e-12);
+  EXPECT_NEAR(w.q, 0.15, 1e-12);
+  EXPECT_NEAR(w.w, 0.10, 1e-12);
+  EXPECT_EQ(est.total(), 100u);
+}
+
+TEST(WorkloadEstimatorTest, SmoothingKeepsAllClassesPositive) {
+  WorkloadEstimator est;
+  est.Record(kWrite, 100);
+  const Workload w = est.Estimate(1e-3);
+  for (int i = 0; i < kNumQueryClasses; ++i) EXPECT_GT(w[i], 0.0);
+  EXPECT_TRUE(w.Validate(1e-9).ok());
+}
+
+TEST(WorkloadEstimatorTest, ResetClears) {
+  WorkloadEstimator est;
+  est.Record(kWrite, 10);
+  est.Reset();
+  EXPECT_EQ(est.total(), 0u);
+}
+
+class DriftMonitorTest : public ::testing::Test {
+ protected:
+  DriftMonitorOptions SmallEpochs() {
+    DriftMonitorOptions o;
+    o.ops_per_epoch = 100;
+    o.window_epochs = 4;
+    o.alarm_patience = 2;
+    return o;
+  }
+
+  // Feeds `epochs` epochs of the given mix.
+  void Feed(DriftMonitor* mon, const Workload& mix, int epochs,
+            uint64_t ops_per_epoch = 100) {
+    Rng rng(99);
+    for (int e = 0; e < epochs; ++e) {
+      for (uint64_t i = 0; i < ops_per_epoch; ++i) {
+        const double u = rng.NextDouble();
+        QueryClass c = kWrite;
+        if (u < mix.z0) {
+          c = kEmptyPointQuery;
+        } else if (u < mix.z0 + mix.z1) {
+          c = kNonEmptyPointQuery;
+        } else if (u < mix.z0 + mix.z1 + mix.q) {
+          c = kRangeQuery;
+        }
+        mon->Record(c);
+      }
+    }
+  }
+};
+
+TEST_F(DriftMonitorTest, NoAlarmWhileOnTarget) {
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  DriftMonitor mon(expected, 0.5, SmallEpochs());
+  Feed(&mon, expected, 6);
+  EXPECT_FALSE(mon.DriftAlarm());
+  EXPECT_LT(mon.LastEpochDivergence(), 0.5);
+  EXPECT_EQ(mon.window_size(), 4u);  // window capped
+}
+
+TEST_F(DriftMonitorTest, AlarmsOnSustainedDrift) {
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  DriftMonitor mon(expected, 0.25, SmallEpochs());
+  Feed(&mon, expected, 2);
+  EXPECT_FALSE(mon.DriftAlarm());
+  // Shift hard toward writes: far outside the 0.25-ball.
+  Feed(&mon, Workload(0.05, 0.05, 0.05, 0.85), 3);
+  EXPECT_TRUE(mon.DriftAlarm());
+  EXPECT_GT(mon.LastEpochDivergence(), 0.25);
+}
+
+TEST_F(DriftMonitorTest, SingleBlipDoesNotAlarm) {
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  DriftMonitor mon(expected, 0.25, SmallEpochs());
+  Feed(&mon, expected, 2);
+  Feed(&mon, Workload(0.05, 0.05, 0.05, 0.85), 1);  // one bad epoch
+  Feed(&mon, expected, 1);                           // back on target
+  EXPECT_FALSE(mon.DriftAlarm());  // patience = 2 consecutive
+}
+
+TEST_F(DriftMonitorTest, RetargetClearsAlarm) {
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  const Workload shifted(0.05, 0.05, 0.05, 0.85);
+  DriftMonitor mon(expected, 0.25, SmallEpochs());
+  Feed(&mon, shifted, 3);
+  ASSERT_TRUE(mon.DriftAlarm());
+  mon.Retarget(mon.WindowMean(), mon.RecommendedRho());
+  EXPECT_FALSE(mon.DriftAlarm());
+  // Staying on the new mix keeps the alarm clear.
+  Feed(&mon, shifted, 2);
+  EXPECT_FALSE(mon.DriftAlarm());
+}
+
+TEST_F(DriftMonitorTest, RecommendedRhoReflectsWindowSpread) {
+  const Workload expected(0.25, 0.25, 0.25, 0.25);
+  DriftMonitor stable(expected, 0.3, SmallEpochs());
+  Feed(&stable, expected, 4);
+  DriftMonitor churny(expected, 0.3, SmallEpochs());
+  Feed(&churny, Workload(0.8, 0.1, 0.05, 0.05), 1);
+  Feed(&churny, Workload(0.05, 0.8, 0.1, 0.05), 1);
+  Feed(&churny, Workload(0.05, 0.1, 0.8, 0.05), 1);
+  Feed(&churny, Workload(0.1, 0.05, 0.05, 0.8), 1);
+  EXPECT_LT(stable.RecommendedRho(), churny.RecommendedRho());
+}
+
+TEST_F(DriftMonitorTest, WindowMeanTracksObservedMix) {
+  const Workload expected(0.25, 0.25, 0.25, 0.25);
+  const Workload actual(0.6, 0.2, 0.1, 0.1);
+  DriftMonitor mon(expected, 0.3, SmallEpochs());
+  Feed(&mon, actual, 4, 2000);
+  const Workload mean = mon.WindowMean();
+  EXPECT_NEAR(mean.z0, actual.z0, 0.05);
+  EXPECT_NEAR(mean.w, actual.w, 0.05);
+}
+
+TEST_F(DriftMonitorTest, EmptyWindowFallsBackToTunedValues) {
+  const Workload expected(0.25, 0.25, 0.25, 0.25);
+  DriftMonitor mon(expected, 0.7, SmallEpochs());
+  EXPECT_EQ(mon.WindowMean(), expected);
+  EXPECT_DOUBLE_EQ(mon.RecommendedRho(), 0.7);
+  EXPECT_FALSE(mon.DriftAlarm());
+}
+
+}  // namespace
+}  // namespace endure::workload

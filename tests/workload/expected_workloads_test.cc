@@ -1,0 +1,63 @@
+#include "workload/expected_workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace endure::workload {
+namespace {
+
+TEST(ExpectedWorkloadsTest, HasFifteenEntries) {
+  EXPECT_EQ(AllExpectedWorkloads().size(), 15u);
+}
+
+TEST(ExpectedWorkloadsTest, AllValidWithMinimumOnePercent) {
+  // Section 6: a minimum 1% of each query type keeps KL finite.
+  for (const auto& ew : AllExpectedWorkloads()) {
+    EXPECT_TRUE(ew.workload.Validate(1e-9).ok()) << ew.index;
+    for (int i = 0; i < kNumQueryClasses; ++i) {
+      EXPECT_GE(ew.workload[i], 0.01 - 1e-12) << ew.index;
+    }
+  }
+}
+
+TEST(ExpectedWorkloadsTest, IndicesAreSequential) {
+  const auto& all = AllExpectedWorkloads();
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(all[i].index, i);
+}
+
+TEST(ExpectedWorkloadsTest, Table2SpotChecks) {
+  EXPECT_EQ(GetExpectedWorkload(0).workload, Workload(0.25, 0.25, 0.25, 0.25));
+  EXPECT_EQ(GetExpectedWorkload(1).workload, Workload(0.97, 0.01, 0.01, 0.01));
+  EXPECT_EQ(GetExpectedWorkload(7).workload, Workload(0.49, 0.01, 0.01, 0.49));
+  EXPECT_EQ(GetExpectedWorkload(11).workload,
+            Workload(0.33, 0.33, 0.33, 0.01));
+  EXPECT_EQ(GetExpectedWorkload(14).workload,
+            Workload(0.01, 0.33, 0.33, 0.33));
+}
+
+TEST(ExpectedWorkloadsTest, CategoriesMatchTable2) {
+  EXPECT_EQ(GetExpectedWorkload(0).category, Category::kUniform);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(GetExpectedWorkload(i).category, Category::kUnimodal) << i;
+  }
+  for (int i = 5; i <= 10; ++i) {
+    EXPECT_EQ(GetExpectedWorkload(i).category, Category::kBimodal) << i;
+  }
+  for (int i = 11; i <= 14; ++i) {
+    EXPECT_EQ(GetExpectedWorkload(i).category, Category::kTrimodal) << i;
+  }
+}
+
+TEST(ExpectedWorkloadsTest, ByCategoryCounts) {
+  EXPECT_EQ(WorkloadsByCategory(Category::kUniform).size(), 1u);
+  EXPECT_EQ(WorkloadsByCategory(Category::kUnimodal).size(), 4u);
+  EXPECT_EQ(WorkloadsByCategory(Category::kBimodal).size(), 6u);
+  EXPECT_EQ(WorkloadsByCategory(Category::kTrimodal).size(), 4u);
+}
+
+TEST(ExpectedWorkloadsTest, CategoryNames) {
+  EXPECT_STREQ(CategoryName(Category::kUniform), "uniform");
+  EXPECT_STREQ(CategoryName(Category::kTrimodal), "trimodal");
+}
+
+}  // namespace
+}  // namespace endure::workload

@@ -1,0 +1,146 @@
+#include "workload/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace endure::workload {
+namespace {
+
+TEST(KeyUniverseTest, ExistingKeysAreEven) {
+  KeyUniverse u(100);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(u.SampleExisting(&rng) % 2, 0u);
+    EXPECT_LT(u.SampleExisting(&rng), 200u);
+  }
+}
+
+TEST(KeyUniverseTest, MissingKeysAreOddAndInDomain) {
+  KeyUniverse u(100);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t k = u.SampleMissing(&rng);
+    EXPECT_EQ(k % 2, 1u);
+    EXPECT_LT(k, 200u);
+  }
+}
+
+TEST(KeyUniverseTest, WriteKeysExtendAndStayUnique) {
+  KeyUniverse u(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t k = u.NextWriteKey();
+    EXPECT_GE(k, 20u);
+    EXPECT_TRUE(seen.insert(k).second);
+  }
+  EXPECT_EQ(u.count(), 60u);
+}
+
+TEST(KeyUniverseTest, InitialKeysShuffledPreservesSet) {
+  KeyUniverse u(50);
+  Rng rng(3);
+  std::vector<uint64_t> keys = u.InitialKeys(&rng);
+  EXPECT_EQ(keys.size(), 50u);
+  std::set<uint64_t> s(keys.begin(), keys.end());
+  EXPECT_EQ(s.size(), 50u);
+  for (uint64_t k : s) EXPECT_EQ(k % 2, 0u);
+}
+
+TEST(GenerateTraceTest, CountsSumToTotal) {
+  KeyUniverse u(1000);
+  Rng rng(4);
+  Workload w(0.3, 0.3, 0.2, 0.2);
+  QueryTrace t = GenerateTrace(w, 997, &u, &rng);
+  EXPECT_EQ(t.ops.size(), 997u);
+  uint64_t sum = 0;
+  for (int c = 0; c < kNumQueryClasses; ++c) sum += t.counts[c];
+  EXPECT_EQ(sum, 997u);
+}
+
+TEST(GenerateTraceTest, CountsTrackProportions) {
+  KeyUniverse u(1000);
+  Rng rng(5);
+  Workload w(0.5, 0.25, 0.125, 0.125);
+  QueryTrace t = GenerateTrace(w, 10000, &u, &rng);
+  EXPECT_NEAR(t.counts[kEmptyPointQuery], 5000.0, 1.0);
+  EXPECT_NEAR(t.counts[kNonEmptyPointQuery], 2500.0, 1.0);
+  EXPECT_NEAR(t.counts[kRangeQuery], 1250.0, 1.0);
+  EXPECT_NEAR(t.counts[kWrite], 1250.0, 1.0);
+}
+
+TEST(GenerateTraceTest, EmptyReadsTargetMissingKeys) {
+  KeyUniverse u(500);
+  Rng rng(6);
+  Workload w(1.0, 0.0, 0.0, 0.0);
+  QueryTrace t = GenerateTrace(w, 100, &u, &rng);
+  for (const Operation& op : t.ops) {
+    EXPECT_EQ(op.type, kEmptyPointQuery);
+    EXPECT_EQ(op.key % 2, 1u);
+  }
+}
+
+TEST(GenerateTraceTest, NonEmptyReadsTargetExistingKeys) {
+  KeyUniverse u(500);
+  Rng rng(7);
+  Workload w(0.0, 1.0, 0.0, 0.0);
+  QueryTrace t = GenerateTrace(w, 100, &u, &rng);
+  for (const Operation& op : t.ops) {
+    EXPECT_EQ(op.key % 2, 0u);
+    EXPECT_LT(op.key, 1000u);
+  }
+}
+
+TEST(GenerateTraceTest, RangeSpanMatchesOption) {
+  KeyUniverse u(500);
+  Rng rng(8);
+  Workload w(0.0, 0.0, 1.0, 0.0);
+  TraceOptions opts;
+  opts.range_span_entries = 8;
+  QueryTrace t = GenerateTrace(w, 50, &u, &rng, opts);
+  for (const Operation& op : t.ops) {
+    EXPECT_EQ(op.limit - op.key, 16u);  // 8 entries * key stride 2
+  }
+}
+
+TEST(GenerateTraceTest, WritesUseFreshKeys) {
+  KeyUniverse u(100);
+  Rng rng(9);
+  Workload w(0.0, 0.0, 0.0, 1.0);
+  QueryTrace t = GenerateTrace(w, 60, &u, &rng);
+  std::set<uint64_t> keys;
+  for (const Operation& op : t.ops) {
+    EXPECT_GE(op.key, 200u);
+    EXPECT_TRUE(keys.insert(op.key).second);
+  }
+  EXPECT_EQ(u.count(), 160u);
+}
+
+TEST(GenerateTraceTest, InterleaveOffKeepsClassOrder) {
+  KeyUniverse u(100);
+  Rng rng(10);
+  Workload w(0.5, 0.5, 0.0, 0.0);
+  TraceOptions opts;
+  opts.interleave = false;
+  QueryTrace t = GenerateTrace(w, 10, &u, &rng, opts);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(t.ops[i].type, kEmptyPointQuery);
+  for (size_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(t.ops[i].type, kNonEmptyPointQuery);
+  }
+}
+
+TEST(GenerateTraceTest, DeterministicForSeed) {
+  KeyUniverse u1(100), u2(100);
+  Rng r1(11), r2(11);
+  Workload w(0.25, 0.25, 0.25, 0.25);
+  QueryTrace a = GenerateTrace(w, 64, &u1, &r1);
+  QueryTrace b = GenerateTrace(w, 64, &u2, &r2);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].key, b.ops[i].key);
+    EXPECT_EQ(a.ops[i].type, b.ops[i].type);
+  }
+}
+
+}  // namespace
+}  // namespace endure::workload

@@ -1,0 +1,84 @@
+#include "workload/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/random.h"
+
+namespace endure::workload {
+namespace {
+
+TEST(WorkloadSerializationTest, RoundTripInMemory) {
+  std::vector<Workload> in{Workload(0.25, 0.25, 0.25, 0.25),
+                           Workload(0.97, 0.01, 0.01, 0.01),
+                           Workload(0.1, 0.2, 0.3, 0.4)};
+  auto out = WorkloadsFromString(WorkloadsToString(in));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    for (int c = 0; c < kNumQueryClasses; ++c) {
+      EXPECT_NEAR((*out)[i][c], in[i][c], 1e-8);
+    }
+  }
+}
+
+TEST(WorkloadSerializationTest, RoundTripThroughFile) {
+  const std::string path = "/tmp/endure_workloads_test.csv";
+  std::vector<Workload> in{Workload(0.33, 0.33, 0.33, 0.01)};
+  ASSERT_TRUE(SaveWorkloads(path, in).ok());
+  auto out = LoadWorkloads(path);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_NEAR((*out)[0].q, 0.33, 1e-8);
+}
+
+TEST(WorkloadSerializationTest, CommentsAndBlanksIgnored) {
+  auto out = WorkloadsFromString(
+      "# header\n\n0.25,0.25,0.25,0.25\n  \n# trailing\n");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST(WorkloadSerializationTest, RejectsMalformedLines) {
+  EXPECT_FALSE(WorkloadsFromString("1,2,3\n").ok());       // 3 fields
+  EXPECT_FALSE(WorkloadsFromString("a,b,c,d\n").ok());     // garbage
+  EXPECT_FALSE(WorkloadsFromString("0.5,0.5,0.5,0.5\n").ok());  // sum != 1
+  EXPECT_FALSE(WorkloadsFromString("-0.1,0.6,0.25,0.25\n").ok());
+}
+
+TEST(WorkloadSerializationTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadWorkloads("/nonexistent/nope.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(TraceSerializationTest, RoundTrip) {
+  KeyUniverse universe(100);
+  Rng rng(3);
+  QueryTrace in = GenerateTrace(Workload(0.3, 0.3, 0.2, 0.2), 64,
+                                &universe, &rng);
+  const std::string path = "/tmp/endure_trace_test.csv";
+  ASSERT_TRUE(SaveTrace(path, in).ok());
+  auto out = LoadTrace(path);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->ops.size(), in.ops.size());
+  for (size_t i = 0; i < in.ops.size(); ++i) {
+    EXPECT_EQ(out->ops[i].type, in.ops[i].type) << i;
+    EXPECT_EQ(out->ops[i].key, in.ops[i].key) << i;
+    EXPECT_EQ(out->ops[i].limit, in.ops[i].limit) << i;
+  }
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    EXPECT_EQ(out->counts[c], in.counts[c]);
+  }
+}
+
+TEST(TraceSerializationTest, RejectsBadClass) {
+  const std::string path = "/tmp/endure_trace_bad.csv";
+  std::ofstream f(path);
+  f << "9,1,0\n";
+  f.close();
+  EXPECT_FALSE(LoadTrace(path).ok());
+}
+
+}  // namespace
+}  // namespace endure::workload

@@ -1,0 +1,114 @@
+#include "workload/session.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kl.h"
+#include "workload/expected_workloads.h"
+
+namespace endure::workload {
+namespace {
+
+TEST(SessionTest, KindNames) {
+  EXPECT_STREQ(SessionKindName(SessionKind::kReads), "Reads");
+  EXPECT_STREQ(SessionKindName(SessionKind::kEmptyReads), "Empty Reads");
+  EXPECT_STREQ(SessionKindName(SessionKind::kExpected), "Expected");
+}
+
+TEST(SessionTest, AverageIsComponentMean) {
+  Session s;
+  s.kind = SessionKind::kReads;
+  s.workloads = {Workload(1.0, 0.0, 0.0, 0.0), Workload(0.0, 1.0, 0.0, 0.0)};
+  const Workload avg = s.Average();
+  EXPECT_NEAR(avg.z0, 0.5, 1e-12);
+  EXPECT_NEAR(avg.z1, 0.5, 1e-12);
+}
+
+class SessionGeneratorTest : public ::testing::Test {
+ protected:
+  Workload expected_{0.33, 0.33, 0.33, 0.01};
+  Rng rng_{11};
+  SessionGenerator gen_{expected_, &rng_};
+};
+
+TEST_F(SessionGeneratorTest, ReadsSessionDominatedByCombinedReads) {
+  Session s = gen_.Make(SessionKind::kReads);
+  EXPECT_EQ(s.workloads.size(), 5u);
+  for (const Workload& w : s.workloads) {
+    EXPECT_GE(w.z0 + w.z1, 0.8);
+    EXPECT_LT(w.z0, 0.8);
+    EXPECT_LT(w.z1, 0.8);
+  }
+}
+
+TEST_F(SessionGeneratorTest, SingleClassSessionsDominated) {
+  for (auto [kind, cls] :
+       {std::pair{SessionKind::kRange, kRangeQuery},
+        std::pair{SessionKind::kEmptyReads, kEmptyPointQuery},
+        std::pair{SessionKind::kNonEmptyReads, kNonEmptyPointQuery},
+        std::pair{SessionKind::kWrites, kWrite}}) {
+    Session s = gen_.Make(kind);
+    for (const Workload& w : s.workloads) {
+      EXPECT_GE(w[cls], 0.8) << SessionKindName(kind);
+    }
+  }
+}
+
+TEST_F(SessionGeneratorTest, ExpectedSessionInsideKlCap) {
+  Session s = gen_.Make(SessionKind::kExpected);
+  for (const Workload& w : s.workloads) {
+    EXPECT_LT(KlDivergence(w, expected_), 0.2);
+    EXPECT_TRUE(w.Validate(1e-9).ok());
+  }
+}
+
+TEST_F(SessionGeneratorTest, ExpectedSessionWorksForSkewedWorkloads) {
+  // w1 = (97,1,1,1): a uniform sampler would essentially never land within
+  // KL < 0.2; the generator must still produce valid draws.
+  Rng rng(13);
+  SessionGenerator gen(GetExpectedWorkload(1).workload, &rng);
+  Session s = gen.Make(SessionKind::kExpected);
+  for (const Workload& w : s.workloads) {
+    EXPECT_LT(KlDivergence(w, GetExpectedWorkload(1).workload), 0.2);
+  }
+}
+
+TEST_F(SessionGeneratorTest, ReadOnlySequenceShape) {
+  // Figs. 8-9: Reads, Range, Empty, Non-Empty, Reads, Reads.
+  const std::vector<Session> seq = gen_.ReadOnlySequence();
+  ASSERT_EQ(seq.size(), 6u);
+  EXPECT_EQ(seq[0].kind, SessionKind::kReads);
+  EXPECT_EQ(seq[1].kind, SessionKind::kRange);
+  EXPECT_EQ(seq[2].kind, SessionKind::kEmptyReads);
+  EXPECT_EQ(seq[3].kind, SessionKind::kNonEmptyReads);
+  EXPECT_EQ(seq[4].kind, SessionKind::kReads);
+  EXPECT_EQ(seq[5].kind, SessionKind::kReads);
+}
+
+TEST_F(SessionGeneratorTest, MixedSequenceShape) {
+  // Figs. 10-18: Reads, Range, Empty, Non-Empty, Writes, Expected.
+  const std::vector<Session> seq = gen_.MixedSequence();
+  ASSERT_EQ(seq.size(), 6u);
+  EXPECT_EQ(seq[4].kind, SessionKind::kWrites);
+  EXPECT_EQ(seq[5].kind, SessionKind::kExpected);
+}
+
+TEST_F(SessionGeneratorTest, CustomSessionLength) {
+  SessionOptions opts;
+  opts.workloads_per_session = 3;
+  Rng rng(14);
+  SessionGenerator gen(expected_, &rng, opts);
+  EXPECT_EQ(gen.Make(SessionKind::kWrites).workloads.size(), 3u);
+}
+
+TEST_F(SessionGeneratorTest, DeterministicForSeed) {
+  Rng a(15), b(15);
+  SessionGenerator ga(expected_, &a), gb(expected_, &b);
+  Session sa = ga.Make(SessionKind::kRange);
+  Session sb = gb.Make(SessionKind::kRange);
+  for (size_t i = 0; i < sa.workloads.size(); ++i) {
+    EXPECT_EQ(sa.workloads[i], sb.workloads[i]);
+  }
+}
+
+}  // namespace
+}  // namespace endure::workload
