@@ -6,65 +6,86 @@
 namespace endure::lsm {
 namespace {
 
-// 64-bit finalizer (splitmix64) — well-distributed hash for integer keys.
-uint64_t Hash1(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kWordsPerBlock = BloomFilter::kBlockBits / 64;
+
+// Second-level hash: murmur3 finalizer over the first hash. Forced odd so
+// the double-hashing stride cycles through all in-block positions.
+uint64_t ProbeStride(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h | 1;
+}
+
+// Maps a 64-bit hash onto [0, n) without a modulo (Lemire's fastrange).
+uint64_t FastRange(uint64_t hash, uint64_t n) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace
+
+uint64_t BloomFilter::KeyHash(Key key) {
+  // splitmix64 finalizer — well-distributed hash for integer keys.
+  uint64_t x = key + 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
-
-// Independent second hash (murmur3 finalizer with a different stream).
-uint64_t Hash2(uint64_t x) {
-  x ^= 0xc2b2ae3d27d4eb4fULL;
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
-}  // namespace
 
 BloomFilter::BloomFilter(uint64_t expected_entries, double bits_per_entry)
     : bits_per_entry_(std::max(0.0, bits_per_entry)) {
   const double raw_bits =
       bits_per_entry_ * static_cast<double>(std::max<uint64_t>(1,
                                             expected_entries));
-  num_bits_ = static_cast<uint64_t>(std::llround(raw_bits));
-  if (num_bits_ == 0) {
+  const uint64_t requested = static_cast<uint64_t>(std::llround(raw_bits));
+  if (requested == 0) {
     // Degenerate: no memory -> always answer "maybe".
+    num_bits_ = 0;
+    num_blocks_ = 0;
     num_hashes_ = 0;
     return;
   }
-  num_bits_ = std::max<uint64_t>(64, num_bits_);
+  num_blocks_ = std::max<uint64_t>(1, (requested + kBlockBits - 1) /
+                                          kBlockBits);
+  num_bits_ = num_blocks_ * kBlockBits;
   num_hashes_ = std::max(
       1, static_cast<int>(std::lround(bits_per_entry_ * std::log(2.0))));
-  words_.assign((num_bits_ + 63) / 64, 0);
+  words_.assign(num_blocks_ * kWordsPerBlock, 0);
 }
 
-void BloomFilter::Add(Key key) {
+void BloomFilter::AddHash(uint64_t hash) {
   if (num_hashes_ == 0) return;
-  const uint64_t h1 = Hash1(key);
-  const uint64_t h2 = Hash2(key) | 1;  // odd stride
-  uint64_t h = h1;
+  uint64_t* block = words_.data() + FastRange(hash, num_blocks_) *
+                                        kWordsPerBlock;
+  const uint64_t stride = ProbeStride(hash);
+  uint64_t h = hash;
   for (int i = 0; i < num_hashes_; ++i) {
-    const uint64_t bit = h % num_bits_;
-    words_[bit >> 6] |= (1ULL << (bit & 63));
-    h += h2;
+    const uint64_t bit = h & (kBlockBits - 1);
+    block[bit >> 6] |= (1ULL << (bit & 63));
+    h += stride;
   }
+}
+
+void BloomFilter::Prefetch(Key key) const {
+  if (num_hashes_ == 0) return;
+  __builtin_prefetch(words_.data() +
+                     FastRange(KeyHash(key), num_blocks_) * kWordsPerBlock);
 }
 
 bool BloomFilter::MayContain(Key key) const {
   if (num_hashes_ == 0) return true;
-  const uint64_t h1 = Hash1(key);
-  const uint64_t h2 = Hash2(key) | 1;
-  uint64_t h = h1;
+  const uint64_t hash = KeyHash(key);
+  const uint64_t* block = words_.data() + FastRange(hash, num_blocks_) *
+                                              kWordsPerBlock;
+  const uint64_t stride = ProbeStride(hash);
+  uint64_t h = hash;
   for (int i = 0; i < num_hashes_; ++i) {
-    const uint64_t bit = h % num_bits_;
-    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
-    h += h2;
+    const uint64_t bit = h & (kBlockBits - 1);
+    if ((block[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+    h += stride;
   }
   return true;
 }

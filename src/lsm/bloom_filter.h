@@ -1,10 +1,17 @@
 // Copyright (c) endure-cpp authors. Licensed under the MIT license.
 //
-// Standard Bloom filter over 64-bit keys with double hashing, one per
-// sorted run (Section 2 "Optimizing Lookups"). The number of hash
+// Cache-line-blocked Bloom filter over 64-bit keys, one per sorted run
+// (Section 2 "Optimizing Lookups"). A first hash selects one 512-bit
+// (64-byte) block via fastrange reduction — a multiply-shift instead of a
+// modulo — and all k probe bits land inside that block, so a membership
+// test touches exactly one cache line regardless of k. The number of hash
 // functions is chosen optimally, k = round(bits/n * ln 2), so the false
-// positive rate follows e^{-(m/n) ln(2)^2} — the expression the cost model
-// builds on.
+// positive rate tracks e^{-(m/n) ln(2)^2} (the expression the cost model
+// builds on) up to the small, well-known inflation blocking introduces.
+//
+// Keys can be added directly (Add) or in two phases: buffer KeyHash values
+// while streaming a run out, then insert them once the exact entry count
+// is known (AddHash) — see RunBuilder.
 
 #ifndef ENDURE_LSM_BLOOM_FILTER_H_
 #define ENDURE_LSM_BLOOM_FILTER_H_
@@ -16,16 +23,32 @@
 
 namespace endure::lsm {
 
-/// Immutable-after-build Bloom filter.
+/// Immutable-after-build blocked Bloom filter.
 class BloomFilter {
  public:
-  /// Builds a filter sized for `expected_entries` at `bits_per_entry`.
-  /// A budget of zero bits produces a degenerate always-positive filter
-  /// (h = 0 means "no filters" in the tuning space).
+  /// Bits per block: one cache line.
+  static constexpr uint64_t kBlockBits = 512;
+
+  /// Builds a filter sized for `expected_entries` at `bits_per_entry`
+  /// (rounded up to whole blocks). A budget of zero bits produces a
+  /// degenerate always-positive filter (h = 0 means "no filters" in the
+  /// tuning space).
   BloomFilter(uint64_t expected_entries, double bits_per_entry);
 
+  /// First-level hash of a key. Stable across the filter's lifetime;
+  /// callers that stream entries may buffer these and insert them later
+  /// via AddHash with identical results to Add(key).
+  static uint64_t KeyHash(Key key);
+
   /// Inserts a key.
-  void Add(Key key);
+  void Add(Key key) { AddHash(KeyHash(key)); }
+
+  /// Inserts a previously computed KeyHash.
+  void AddHash(uint64_t hash);
+
+  /// Starts pulling the (single) cache line a MayContain(key) will probe,
+  /// so the fetch overlaps whatever the caller does in between.
+  void Prefetch(Key key) const;
 
   /// Returns false only when the key was definitely never added.
   bool MayContain(Key key) const;
@@ -37,11 +60,13 @@ class BloomFilter {
   int num_hashes() const { return num_hashes_; }
 
   /// Theoretical false-positive rate e^{-(m/n) ln(2)^2} for the build-time
-  /// sizing (diagnostics and tests).
+  /// sizing (diagnostics and tests; the blocked layout's empirical FPR
+  /// runs slightly above this).
   double TheoreticalFpr() const;
 
  private:
   uint64_t num_bits_;
+  uint64_t num_blocks_;
   double bits_per_entry_;
   int num_hashes_;
   std::vector<uint64_t> words_;

@@ -11,21 +11,26 @@ std::shared_ptr<Run> MergeRuns(
   ENDURE_CHECK(store != nullptr);
   ENDURE_CHECK(!inputs.empty());
 
-  std::vector<std::unique_ptr<EntryStream>> streams;
-  streams.reserve(inputs.size());
+  // Stack-owned adapters (reserve keeps the EntryStream pointers stable):
+  // the merge consumes input pages one at a time while the builder streams
+  // merged pages out, so working memory stays O(entries_per_page) per
+  // input plus the output staging page — never the whole run.
+  std::vector<StreamAdapter<Run::Iterator>> adapters;
+  adapters.reserve(inputs.size());
   for (const auto& run : inputs) {
-    streams.push_back(std::make_unique<StreamAdapter<Run::Iterator>>(
-        run->NewIterator(IoContext::kCompaction)));
+    adapters.emplace_back(run->NewIterator(IoContext::kCompaction));
   }
-  MergeIterator merge(std::move(streams));
+  std::vector<EntryStream*> heads;
+  heads.reserve(adapters.size());
+  for (auto& adapter : adapters) heads.push_back(&adapter);
+  MergeIterator merge(std::move(heads));
 
   RunBuilder builder(store, bits_per_entry, IoContext::kCompaction);
-  while (merge.Valid()) {
+  for (; merge.Valid(); merge.Next()) {
     const Entry& e = merge.entry();
     if (!(drop_tombstones && e.is_tombstone())) builder.Add(e);
-    merge.Next();
   }
-  if (builder.empty()) return nullptr;
+  if (builder.empty()) return nullptr;  // everything consolidated away
   return builder.Finish();
 }
 

@@ -5,33 +5,86 @@
 #include "util/macros.h"
 
 namespace endure::lsm {
+namespace {
+
+// Branchless lower-bound variants with midpoint prefetching: the
+// data-dependent loads of a textbook binary search serialize on memory
+// latency, so the compare compiles to a conditional move and both
+// possible next probes are prefetched a step ahead.
+
+/// Index of the last element <= key. Requires base[0] <= key.
+size_t LastLessOrEqual(const Key* base, size_t n, Key key) {
+  size_t lo = 0;
+  while (n > 1) {
+    const size_t half = n / 2;
+    if (half > 16) {  // spans under ~2 cache lines are already in flight
+      __builtin_prefetch(base + lo + half / 2);
+      __builtin_prefetch(base + lo + half + (n - half) / 2);
+    }
+    lo = base[lo + half] <= key ? lo + half : lo;
+    n -= half;
+  }
+  return lo;
+}
+
+/// Index of the last element < key. Requires base[0] < key.
+size_t LastLess(const Key* base, size_t n, Key key) {
+  size_t lo = 0;
+  while (n > 1) {
+    const size_t half = n / 2;
+    if (half > 16) {  // spans under ~2 cache lines are already in flight
+      __builtin_prefetch(base + lo + half / 2);
+      __builtin_prefetch(base + lo + half + (n - half) / 2);
+    }
+    lo = base[lo + half] < key ? lo + half : lo;
+    n -= half;
+  }
+  return lo;
+}
+
+}  // namespace
 
 FencePointers::FencePointers(std::vector<Key> first_keys, Key last_key)
     : first_keys_(std::move(first_keys)), last_key_(last_key) {
   ENDURE_CHECK_MSG(!first_keys_.empty(), "run must have at least one page");
   ENDURE_DCHECK(std::is_sorted(first_keys_.begin(), first_keys_.end()));
   ENDURE_DCHECK(first_keys_.back() <= last_key_);
+  top_keys_.reserve((first_keys_.size() >> kSampleShift) + 1);
+  for (size_t i = 0; i < first_keys_.size(); i += size_t{1} << kSampleShift) {
+    top_keys_.push_back(first_keys_[i]);
+  }
+}
+
+size_t FencePointers::LastFenceLessOrEqual(Key key) const {
+  const size_t top =
+      LastLessOrEqual(top_keys_.data(), top_keys_.size(), key);
+  const size_t lo = top << kSampleShift;
+  const size_t n = std::min(size_t{1} << kSampleShift,
+                            first_keys_.size() - lo);
+  return lo + LastLessOrEqual(first_keys_.data() + lo, n, key);
+}
+
+size_t FencePointers::LastFenceLess(Key key) const {
+  const size_t top = LastLess(top_keys_.data(), top_keys_.size(), key);
+  const size_t lo = top << kSampleShift;
+  const size_t n = std::min(size_t{1} << kSampleShift,
+                            first_keys_.size() - lo);
+  return lo + LastLess(first_keys_.data() + lo, n, key);
 }
 
 std::optional<size_t> FencePointers::PageFor(Key key) const {
   if (key < min_key() || key > max_key()) return std::nullopt;
   // Last page whose first key is <= key.
-  auto it = std::upper_bound(first_keys_.begin(), first_keys_.end(), key);
-  return static_cast<size_t>(it - first_keys_.begin()) - 1;
+  return LastFenceLessOrEqual(key);
 }
 
 std::optional<std::pair<size_t, size_t>> FencePointers::PageRange(
     Key lo, Key hi) const {
   if (hi <= lo) return std::nullopt;
   if (hi <= min_key() || lo > max_key()) return std::nullopt;
-  size_t first = 0;
-  if (lo > min_key()) {
-    auto it = std::upper_bound(first_keys_.begin(), first_keys_.end(), lo);
-    first = static_cast<size_t>(it - first_keys_.begin()) - 1;
-  }
+  const size_t first = lo > min_key() ? LastFenceLessOrEqual(lo) : 0;
   // Last page whose first key is < hi (hi exclusive).
-  auto it = std::lower_bound(first_keys_.begin(), first_keys_.end(), hi);
-  const size_t last = static_cast<size_t>(it - first_keys_.begin()) - 1;
+  const size_t last = LastFenceLess(hi);
   ENDURE_DCHECK(first <= last);
   return std::make_pair(first, last);
 }

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 
 #include "lsm/merge_iterator.h"
 #include "lsm/run_builder.h"
 
 namespace endure::lsm {
+namespace {
+
+/// Streams the memtable's entries in [lo, hi) without copying them out.
+class MemtableRangeStream final : public EntryStream {
+ public:
+  MemtableRangeStream(const MemTable& memtable, Key lo, Key hi)
+      : it_(memtable.NewIterator()), hi_(hi) {
+    it_.Seek(lo);
+  }
+  bool Valid() const override { return it_.Valid() && it_.entry().key < hi_; }
+  const Entry& entry() const override { return it_.entry(); }
+  void Next() override { it_.Next(); }
+
+ private:
+  SkipList::Iterator it_;
+  Key hi_;
+};
+
+}  // namespace
 
 LsmTree::LsmTree(const Options& options, PageStore* store, Statistics* stats)
     : opts_(options),
@@ -72,10 +92,13 @@ void LsmTree::Delete(Key key) {
 void LsmTree::Flush() {
   if (memtable_.empty()) return;
   ++stats_->flushes;
-  const std::vector<Entry> entries = memtable_.Dump();
   const int depth = std::max(DeepestLevel(), 1);
+  // Stream straight out of the skiplist; no intermediate dump vector.
   RunBuilder builder(store_, FilterBitsForLevel(1, depth), IoContext::kFlush);
-  for (const Entry& e : entries) builder.Add(e);
+  for (SkipList::Iterator it = memtable_.NewIterator(); it.Valid();
+       it.Next()) {
+    builder.Add(it.entry());
+  }
   std::shared_ptr<Run> run = builder.Finish();
   memtable_.Clear();
   AddRunToLevel(std::move(run), 1);
@@ -139,14 +162,16 @@ void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
 
 std::optional<Value> LsmTree::Get(Key key) {
   ++stats_->gets;
-  if (const Entry* e = memtable_.Find(key); e != nullptr) {
-    if (e->is_tombstone()) return std::nullopt;
-    return e->value;
+  if (!memtable_.empty()) {
+    if (const Entry* e = memtable_.Find(key); e != nullptr) {
+      if (e->is_tombstone()) return std::nullopt;
+      return e->value;
+    }
   }
   for (const auto& runs : levels_) {
     for (const auto& run : runs) {  // newest first
-      const std::optional<Entry> e = run->Get(key, opts_.fence_pointer_skip);
-      if (e.has_value()) {
+      const Entry* e = run->Get(key, opts_.fence_pointer_skip);
+      if (e != nullptr) {
         if (e->is_tombstone()) return std::nullopt;
         return e->value;
       }
@@ -157,26 +182,25 @@ std::optional<Value> LsmTree::Get(Key key) {
 
 std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
   ++stats_->range_queries;
-  std::vector<std::unique_ptr<EntryStream>> streams;
 
+  // Gather qualifying run iterators (adapters live on this frame; reserve
+  // keeps their addresses stable for the non-owning merge).
+  size_t total_runs = 0;
+  for (const auto& runs : levels_) total_runs += runs.size();
+  std::vector<StreamAdapter<Run::Iterator>> run_streams;
+  run_streams.reserve(total_runs);
+  MemtableRangeStream memtable_stream(memtable_, lo, hi);
+  std::vector<EntryStream*> heads;
+  heads.reserve(total_runs + 1);
   // Memtable first (rank 0 = most recent source); no I/O.
-  {
-    std::vector<Entry> buffered;
-    SkipList::Iterator it = memtable_.NewIterator();
-    for (it.Seek(lo); it.Valid() && it.entry().key < hi; it.Next()) {
-      buffered.push_back(it.entry());
-    }
-    if (!buffered.empty()) {
-      streams.push_back(std::make_unique<VectorStream>(std::move(buffered)));
-    }
-  }
+  if (memtable_stream.Valid()) heads.push_back(&memtable_stream);
 
   for (const auto& runs : levels_) {
     for (const auto& run : runs) {
       std::optional<Run::Iterator> it = run->NewRangeIterator(lo, hi);
       if (it.has_value()) {
-        streams.push_back(
-            std::make_unique<StreamAdapter<Run::Iterator>>(std::move(*it)));
+        run_streams.emplace_back(std::move(*it));
+        heads.push_back(&run_streams.back());
       } else if (!opts_.fence_pointer_skip) {
         // Model-faithful mode: the analytical cost model charges one seek
         // per run regardless of overlap; emulate the blind seek by reading
@@ -186,13 +210,30 @@ std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
     }
   }
 
-  MergeIterator merge(std::move(streams));
-  std::vector<Entry> merged = DrainMerge(&merge, /*drop_tombstones=*/true);
-  // Page-aligned iterators may cover keys outside [lo, hi); trim.
+  // Drain, trimming to [lo, hi) on the fly: run iterators are page-aligned
+  // and may cover keys outside the range. The merged stream is sorted, so
+  // the first key >= hi ends the scan — every page whose first key is
+  // inside the range has been read by then, leaving the page-read count
+  // identical to a full drain.
   std::vector<Entry> out;
-  out.reserve(merged.size());
-  for (const Entry& e : merged) {
-    if (e.key >= lo && e.key < hi) out.push_back(e);
+  if (heads.size() == 1) {
+    // Fast path: one qualifying source (the common case under leveling) —
+    // no need to pay the k-way merge's per-key scans.
+    EntryStream* s = heads.front();
+    for (; s->Valid(); s->Next()) {
+      const Entry& e = s->entry();
+      if (e.key < lo) continue;
+      if (e.key >= hi) break;
+      if (!e.is_tombstone()) out.push_back(e);
+    }
+    return out;
+  }
+  MergeIterator merge(std::move(heads));
+  for (; merge.Valid(); merge.Next()) {
+    const Entry& e = merge.entry();
+    if (e.key < lo) continue;
+    if (e.key >= hi) break;
+    if (!e.is_tombstone()) out.push_back(e);
   }
   return out;
 }
@@ -219,36 +260,44 @@ void LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
   }
   ENDURE_CHECK(remaining == 0);
 
-  // Smooth weighted round-robin so each level's run spans the key domain.
-  std::vector<std::vector<Entry>> per_level(depth + 1);
-  for (int level = 1; level <= depth; ++level) {
-    per_level[level].reserve(quota[level]);
-  }
-  std::vector<int64_t> credit(depth + 1, 0);
-  std::vector<uint64_t> assigned(depth + 1, 0);
-  for (const Entry& e : sorted_entries) {
-    int pick = 0;
-    int64_t best = INT64_MIN;
-    for (int level = 1; level <= depth; ++level) {
-      if (assigned[level] >= quota[level]) continue;
-      credit[level] += static_cast<int64_t>(quota[level]);
-      if (credit[level] > best) {
-        best = credit[level];
-        pick = level;
-      }
+  // Stride scheduling: level ℓ's j-th entry has ideal position
+  // (2j+1)/(2·quota[ℓ]) of the input, so each level's run samples the key
+  // domain evenly. A small heap orders the next pick of every level by
+  // ideal position — O(n log depth) overall instead of the O(n·depth)
+  // per-entry credit scan, and each entry streams directly into its
+  // level's RunBuilder (no per-level staging vectors).
+  struct Cursor {
+    uint64_t taken;
+    uint64_t quota;
+    int level;
+  };
+  struct PicksLater {
+    bool operator()(const Cursor& a, const Cursor& b) const {
+      // position(c) = (2·taken + 1) / (2·quota); compare cross-multiplied.
+      return static_cast<unsigned __int128>(2 * a.taken + 1) * b.quota >
+             static_cast<unsigned __int128>(2 * b.taken + 1) * a.quota;
     }
-    ENDURE_CHECK(pick >= 1);
-    credit[pick] -= static_cast<int64_t>(n);
-    ++assigned[pick];
-    per_level[pick].push_back(e);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, PicksLater> next_pick;
+  std::vector<std::unique_ptr<RunBuilder>> builders(depth + 1);
+  for (int level = 1; level <= depth; ++level) {
+    if (quota[level] == 0) continue;
+    builders[level] = std::make_unique<RunBuilder>(
+        store_, FilterBitsForLevel(level, depth), IoContext::kBulkLoad);
+    next_pick.push(Cursor{0, quota[level], level});
+  }
+
+  for (const Entry& e : sorted_entries) {
+    ENDURE_CHECK(!next_pick.empty());
+    Cursor c = next_pick.top();
+    next_pick.pop();
+    builders[c.level]->Add(e);
+    if (++c.taken < c.quota) next_pick.push(c);
   }
 
   for (int level = 1; level <= depth; ++level) {
-    if (per_level[level].empty()) continue;
-    RunBuilder builder(store_, FilterBitsForLevel(level, depth),
-                       IoContext::kBulkLoad);
-    for (const Entry& e : per_level[level]) builder.Add(e);
-    levels_[level - 1].push_back(builder.Finish());
+    if (builders[level] == nullptr) continue;
+    levels_[level - 1].push_back(builders[level]->Finish());
   }
 }
 

@@ -6,6 +6,13 @@ namespace endure::lsm {
 
 MergeIterator::MergeIterator(
     std::vector<std::unique_ptr<EntryStream>> inputs)
+    : owned_(std::move(inputs)) {
+  inputs_.reserve(owned_.size());
+  for (const auto& s : owned_) inputs_.push_back(s.get());
+  FindNext();
+}
+
+MergeIterator::MergeIterator(std::vector<EntryStream*> inputs)
     : inputs_(std::move(inputs)) {
   FindNext();
 }
@@ -31,7 +38,7 @@ void MergeIterator::FindNext() {
   Key min_key = 0;
   size_t winner = 0;
   for (size_t i = 0; i < inputs_.size(); ++i) {
-    if (!inputs_[i] || !inputs_[i]->Valid()) continue;
+    if (inputs_[i] == nullptr || !inputs_[i]->Valid()) continue;
     const Key k = inputs_[i]->entry().key;
     if (!have_min || k < min_key) {
       have_min = true;
@@ -43,8 +50,8 @@ void MergeIterator::FindNext() {
   current_ = inputs_[winner]->entry();
   valid_ = true;
   // Consume every head carrying min_key.
-  for (auto& input : inputs_) {
-    if (!input) continue;
+  for (EntryStream* input : inputs_) {
+    if (input == nullptr) continue;
     while (input->Valid() && input->entry().key == min_key) input->Next();
   }
 }

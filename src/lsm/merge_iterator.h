@@ -58,8 +58,13 @@ class VectorStream final : public EntryStream {
 /// Tombstones are emitted (callers decide whether to drop them).
 class MergeIterator {
  public:
-  /// `inputs[i]` has rank i: lower rank = more recent source.
+  /// Owning variant: takes the streams. `inputs[i]` has rank i: lower
+  /// rank = more recent source.
   explicit MergeIterator(std::vector<std::unique_ptr<EntryStream>> inputs);
+
+  /// Non-owning variant for allocation-lean callers: the streams must
+  /// outlive the iterator. Rank semantics as above; null entries allowed.
+  explicit MergeIterator(std::vector<EntryStream*> inputs);
 
   bool Valid() const;
   const Entry& entry() const;
@@ -69,7 +74,8 @@ class MergeIterator {
   /// Advances to the next distinct key, resolving conflicts by rank.
   void FindNext();
 
-  std::vector<std::unique_ptr<EntryStream>> inputs_;
+  std::vector<std::unique_ptr<EntryStream>> owned_;
+  std::vector<EntryStream*> inputs_;
   Entry current_;
   bool valid_ = false;
 };

@@ -8,54 +8,143 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <type_traits>
 
 namespace endure::lsm {
 
-// ---------------------------------------------------------------- memory --
+static_assert(std::is_trivially_copyable_v<Entry>,
+              "page reads memcpy entries into caller buffers");
 
-SegmentId MemPageStore::WriteSegment(const std::vector<Entry>& entries,
-                                     IoContext ctx) {
-  ENDURE_CHECK_MSG(!entries.empty(), "cannot write an empty segment");
-  const SegmentId id = next_id_++;
-  const uint64_t pages =
-      (entries.size() + entries_per_page_ - 1) / entries_per_page_;
-  stats_->OnPageWrite(ctx, pages);
-  segments_.emplace(id, entries);
-  return id;
+// ----------------------------------------------------------- base helpers --
+
+void PageStore::ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
+                         PageBuffer* out) const {
+  const PageView view = ReadPageView(segment, page_idx, ctx, out);
+  if (view.data != out->data()) {  // zero-copy backend: materialize
+    out->Reserve(entries_per_page_);
+    std::memcpy(out->data(), view.data, view.size * sizeof(Entry));
+  }
+  out->set_size(view.size);
 }
 
-void MemPageStore::ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
-                            std::vector<Entry>* out) const {
-  auto it = segments_.find(segment);
-  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
-  const std::vector<Entry>& data = it->second;
+SegmentId PageStore::WriteSegment(const std::vector<Entry>& entries,
+                                  IoContext ctx) {
+  ENDURE_CHECK_MSG(!entries.empty(), "cannot write an empty segment");
+  std::unique_ptr<SegmentWriter> writer = NewSegmentWriter(ctx);
+  for (size_t begin = 0; begin < entries.size();
+       begin += entries_per_page_) {
+    const size_t count =
+        std::min<size_t>(entries_per_page_, entries.size() - begin);
+    writer->AppendPage(entries.data() + begin, count);
+  }
+  return writer->Seal();
+}
+
+// ---------------------------------------------------------------- memory --
+
+class MemPageStore::Writer final : public PageStore::SegmentWriter {
+ public:
+  Writer(MemPageStore* store, SegmentId id, IoContext ctx)
+      : store_(store), id_(id), ctx_(ctx) {}
+
+  ~Writer() override {
+    if (!sealed_) store_->FreeSegment(id_);  // abandon
+  }
+
+  void AppendPage(const Entry* entries, size_t count) override {
+    ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
+    ENDURE_CHECK_MSG(count >= 1 && count <= store_->entries_per_page_,
+                     "bad page entry count");
+    ENDURE_CHECK_MSG(!partial_appended_,
+                     "only the final page may be partial");
+    partial_appended_ = count < store_->entries_per_page_;
+    std::vector<Entry>& data = *store_->slots_[SlotIndex(id_)].data;
+    data.insert(data.end(), entries, entries + count);
+    store_->stats_->OnPageWrite(ctx_, 1);
+  }
+
+  SegmentId Seal() override {
+    ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
+    ENDURE_CHECK_MSG(!store_->slots_[SlotIndex(id_)].data->empty(),
+                     "cannot seal an empty segment");
+    sealed_ = true;
+    return id_;
+  }
+
+ private:
+  MemPageStore* store_;
+  SegmentId id_;
+  IoContext ctx_;
+  bool partial_appended_ = false;
+  bool sealed_ = false;
+};
+
+std::unique_ptr<PageStore::SegmentWriter> MemPageStore::NewSegmentWriter(
+    IoContext ctx) {
+  uint32_t slot;
+  if (free_slots_.empty()) {
+    ENDURE_CHECK_MSG(slots_.size() < 0xffffffffu, "too many live segments");
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  slots_[slot].generation = next_generation_++;
+  slots_[slot].data = std::make_unique<std::vector<Entry>>();
+  const SegmentId id = (slots_[slot].generation << 32) | slot;
+  return std::make_unique<Writer>(this, id, ctx);
+}
+
+const std::vector<Entry>* MemPageStore::SlotData(SegmentId segment) const {
+  const size_t index = SlotIndex(segment);
+  ENDURE_CHECK_MSG(index < slots_.size(), "unknown segment");
+  const Slot& slot = slots_[index];
+  ENDURE_CHECK_MSG(slot.data != nullptr &&
+                       slot.generation == Generation(segment),
+                   "unknown segment");
+  return slot.data.get();
+}
+
+PageView MemPageStore::ReadPageView(SegmentId segment, size_t page_idx,
+                                    IoContext ctx,
+                                    PageBuffer* /*scratch*/) const {
+  const std::vector<Entry>& data = *SlotData(segment);
   const size_t begin = page_idx * entries_per_page_;
   ENDURE_CHECK_MSG(begin < data.size(), "page index out of range");
-  const size_t end = std::min(data.size(), begin + entries_per_page_);
-  out->assign(data.begin() + begin, data.begin() + end);
+  const size_t count = std::min<size_t>(entries_per_page_,
+                                        data.size() - begin);
   stats_->OnPageRead(ctx, 1);
+  // Resident pages are directly usable: hand out a borrowed view (stable
+  // until FreeSegment) instead of copying.
+  return PageView{data.data() + begin, count};
 }
 
 void MemPageStore::FreeSegment(SegmentId segment) {
-  segments_.erase(segment);
+  const size_t index = SlotIndex(segment);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (slot.data == nullptr || slot.generation != Generation(segment)) return;
+  slot.data.reset();
+  free_slots_.push_back(static_cast<uint32_t>(index));
 }
 
 size_t MemPageStore::NumPages(SegmentId segment) const {
-  auto it = segments_.find(segment);
-  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
-  return (it->second.size() + entries_per_page_ - 1) / entries_per_page_;
+  return (SlotData(segment)->size() + entries_per_page_ - 1) /
+         entries_per_page_;
 }
 
 size_t MemPageStore::NumEntries(SegmentId segment) const {
-  auto it = segments_.find(segment);
-  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
-  return it->second.size();
+  return SlotData(segment)->size();
 }
 
 // ------------------------------------------------------------------ file --
 
 namespace {
+
+constexpr size_t kPageAlign = 4096;
 
 void EncodeEntry(const Entry& e, char* buf) {
   std::memcpy(buf, &e.key, 8);
@@ -73,11 +162,80 @@ Entry DecodeEntry(const char* buf) {
   return e;
 }
 
+/// Page-aligned allocation (pread/pwrite buffers; alignment also keeps the
+/// door open for O_DIRECT).
+std::unique_ptr<char, void (*)(void*)> AlignedPage(size_t bytes) {
+  const size_t rounded = (bytes + kPageAlign - 1) / kPageAlign * kPageAlign;
+  void* p = std::aligned_alloc(kPageAlign, rounded);
+  ENDURE_CHECK_MSG(p != nullptr, "aligned_alloc failed");
+  return {static_cast<char*>(p), &std::free};
+}
+
 }  // namespace
+
+class FilePageStore::Writer final : public PageStore::SegmentWriter {
+ public:
+  Writer(FilePageStore* store, SegmentId id, int fd, IoContext ctx)
+      : store_(store),
+        id_(id),
+        fd_(fd),
+        ctx_(ctx),
+        scratch_(AlignedPage(store->PageBytes())) {}
+
+  ~Writer() override {
+    if (!sealed_) {  // abandon: release the half-written file
+      ::close(fd_);
+      ::unlink(store_->PathFor(id_).c_str());
+    }
+  }
+
+  void AppendPage(const Entry* entries, size_t count) override {
+    ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
+    ENDURE_CHECK_MSG(count >= 1 && count <= store_->entries_per_page_,
+                     "bad page entry count");
+    ENDURE_CHECK_MSG(!partial_appended_,
+                     "only the final page may be partial");
+    partial_appended_ = count < store_->entries_per_page_;
+    const size_t page_bytes = store_->PageBytes();
+    std::memset(scratch_.get(), 0, page_bytes);
+    for (size_t i = 0; i < count; ++i) {
+      EncodeEntry(entries[i], scratch_.get() + i * kEntryBytes);
+    }
+    const ssize_t written =
+        ::pwrite(fd_, scratch_.get(), page_bytes,
+                 static_cast<off_t>(num_pages_ * page_bytes));
+    ENDURE_CHECK_MSG(written == static_cast<ssize_t>(page_bytes),
+                     "short segment write");
+    ++num_pages_;
+    num_entries_ += count;
+    store_->stats_->OnPageWrite(ctx_, 1);
+  }
+
+  SegmentId Seal() override {
+    ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
+    ENDURE_CHECK_MSG(num_pages_ > 0, "cannot seal an empty segment");
+    sealed_ = true;
+    store_->segments_.emplace(id_, SegmentMeta{fd_, num_entries_});
+    return id_;
+  }
+
+ private:
+  FilePageStore* store_;
+  SegmentId id_;
+  int fd_;
+  IoContext ctx_;
+  std::unique_ptr<char, void (*)(void*)> scratch_;
+  size_t num_pages_ = 0;
+  size_t num_entries_ = 0;
+  bool partial_appended_ = false;
+  bool sealed_ = false;
+};
 
 FilePageStore::FilePageStore(uint64_t entries_per_page, Statistics* stats,
                              std::string dir)
-    : PageStore(entries_per_page, stats), dir_(std::move(dir)) {
+    : PageStore(entries_per_page, stats),
+      dir_(std::move(dir)),
+      read_scratch_(AlignedPage(PageBytes())) {
   ENDURE_CHECK_MSG(!dir_.empty(), "empty storage dir");
   ::mkdir(dir_.c_str(), 0755);  // best effort; open() below will verify
   // Segment files get a per-process, per-instance prefix so several stores
@@ -98,38 +256,18 @@ std::string FilePageStore::PathFor(SegmentId id) const {
   return dir_ + "/seg_" + instance_tag_ + "_" + std::to_string(id) + ".run";
 }
 
-SegmentId FilePageStore::WriteSegment(const std::vector<Entry>& entries,
-                                      IoContext ctx) {
-  ENDURE_CHECK_MSG(!entries.empty(), "cannot write an empty segment");
+std::unique_ptr<PageStore::SegmentWriter> FilePageStore::NewSegmentWriter(
+    IoContext ctx) {
   const SegmentId id = next_id_++;
   const std::string path = PathFor(id);
   const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
   ENDURE_CHECK_MSG(fd >= 0, "failed to create segment file");
-
-  const size_t page_bytes = kEntryBytes * entries_per_page_;
-  std::vector<char> page(page_bytes, 0);
-  const uint64_t pages =
-      (entries.size() + entries_per_page_ - 1) / entries_per_page_;
-  for (uint64_t p = 0; p < pages; ++p) {
-    std::fill(page.begin(), page.end(), 0);
-    const size_t begin = p * entries_per_page_;
-    const size_t end =
-        std::min(entries.size(), begin + entries_per_page_);
-    for (size_t i = begin; i < end; ++i) {
-      EncodeEntry(entries[i], page.data() + (i - begin) * kEntryBytes);
-    }
-    const ssize_t written = ::pwrite(fd, page.data(), page_bytes,
-                                     static_cast<off_t>(p * page_bytes));
-    ENDURE_CHECK_MSG(written == static_cast<ssize_t>(page_bytes),
-                     "short segment write");
-  }
-  stats_->OnPageWrite(ctx, pages);
-  segments_.emplace(id, SegmentMeta{fd, entries.size()});
-  return id;
+  return std::make_unique<Writer>(this, id, fd, ctx);
 }
 
-void FilePageStore::ReadPage(SegmentId segment, size_t page_idx,
-                             IoContext ctx, std::vector<Entry>* out) const {
+PageView FilePageStore::ReadPageView(SegmentId segment, size_t page_idx,
+                                     IoContext ctx,
+                                     PageBuffer* scratch) const {
   auto it = segments_.find(segment);
   ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
   const SegmentMeta& meta = it->second;
@@ -138,18 +276,19 @@ void FilePageStore::ReadPage(SegmentId segment, size_t page_idx,
   const size_t count = std::min<size_t>(entries_per_page_,
                                         meta.num_entries - begin);
 
-  const size_t page_bytes = kEntryBytes * entries_per_page_;
-  std::vector<char> page(page_bytes);
-  const ssize_t got = ::pread(meta.fd, page.data(), page_bytes,
+  const size_t page_bytes = PageBytes();
+  const ssize_t got = ::pread(meta.fd, read_scratch_.get(), page_bytes,
                               static_cast<off_t>(page_idx * page_bytes));
   ENDURE_CHECK_MSG(got == static_cast<ssize_t>(page_bytes),
                    "short segment read");
-  out->clear();
-  out->reserve(count);
+  scratch->Reserve(entries_per_page_);
+  Entry* dst = scratch->data();
   for (size_t i = 0; i < count; ++i) {
-    out->push_back(DecodeEntry(page.data() + i * kEntryBytes));
+    dst[i] = DecodeEntry(read_scratch_.get() + i * kEntryBytes);
   }
+  scratch->set_size(count);
   stats_->OnPageRead(ctx, 1);
+  return PageView{dst, count};
 }
 
 void FilePageStore::FreeSegment(SegmentId segment) {

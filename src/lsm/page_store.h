@@ -5,9 +5,15 @@
 // equivalent of the paper's setup (direct I/O enabled, block cache
 // disabled, so every logical access is a device access).
 //
+// The hot path is allocation-free: reads fill a caller-owned PageBuffer
+// that is reused across calls, and writers stream pages out one at a time
+// (open segment -> AppendPage -> Seal) so flushes and compactions never
+// materialize a whole run in memory.
+//
 // Two backends: MemPageStore (default; pages live in RAM but are accounted
 // as device pages) and FilePageStore (pages serialized to files via POSIX
-// pread/pwrite for end-to-end realism).
+// pread/pwrite for end-to-end realism). Stores are single-threaded, like
+// the engine that owns them.
 
 #ifndef ENDURE_LSM_PAGE_STORE_H_
 #define ENDURE_LSM_PAGE_STORE_H_
@@ -16,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lsm/entry.h"
@@ -28,9 +35,101 @@ namespace endure::lsm {
 /// Handle to an immutable on-"disk" segment of pages.
 using SegmentId = uint64_t;
 
+/// A reusable, caller-owned buffer holding one page worth of entries.
+/// Allocates once (on Reserve or construction) and is then filled in place
+/// by PageStore::ReadPage, so steady-state reads perform no heap
+/// allocations.
+class PageBuffer {
+ public:
+  PageBuffer() = default;
+  explicit PageBuffer(size_t capacity) { Reserve(capacity); }
+
+  // Moves leave the source empty (capacity 0), so a moved-from buffer can
+  // be safely re-Reserved.
+  PageBuffer(PageBuffer&& other) noexcept
+      : entries_(std::move(other.entries_)),
+        capacity_(std::exchange(other.capacity_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+  PageBuffer& operator=(PageBuffer&& other) noexcept {
+    entries_ = std::move(other.entries_);
+    capacity_ = std::exchange(other.capacity_, 0);
+    size_ = std::exchange(other.size_, 0);
+    return *this;
+  }
+
+  /// Ensures room for `capacity` entries. Growing discards contents.
+  void Reserve(size_t capacity) {
+    if (capacity <= capacity_) return;
+    entries_ = std::make_unique<Entry[]>(capacity);
+    capacity_ = capacity;
+    size_ = 0;
+  }
+
+  Entry* data() { return entries_.get(); }
+  const Entry* data() const { return entries_.get(); }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Sets the number of valid entries (filled externally via data()).
+  void set_size(size_t n) {
+    ENDURE_DCHECK(n <= capacity_);
+    size_ = n;
+  }
+
+  Entry& operator[](size_t i) {
+    ENDURE_DCHECK(i < size_);
+    return entries_[i];
+  }
+  const Entry& operator[](size_t i) const {
+    ENDURE_DCHECK(i < size_);
+    return entries_[i];
+  }
+
+  const Entry* begin() const { return entries_.get(); }
+  const Entry* end() const { return entries_.get() + size_; }
+
+ private:
+  std::unique_ptr<Entry[]> entries_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+/// A borrowed, read-only view of one page of entries. Views returned by
+/// ReadPageView stay valid until the segment is freed (memory backend) or
+/// until the scratch buffer passed in is reused (file backend).
+struct PageView {
+  const Entry* data = nullptr;
+  size_t size = 0;
+
+  const Entry* begin() const { return data; }
+  const Entry* end() const { return data + size; }
+  const Entry& operator[](size_t i) const { return data[i]; }
+};
+
 /// Abstract page-granular segment store.
 class PageStore {
  public:
+  /// Streams one segment to the store page-at-a-time. Obtain from
+  /// PageStore::NewSegmentWriter, append pages in order, then Seal.
+  /// Destroying an unsealed writer abandons the segment (its storage is
+  /// released; pages already appended stay counted — the device I/O
+  /// happened).
+  class SegmentWriter {
+   public:
+    virtual ~SegmentWriter() = default;
+
+    /// Appends one page of `count` entries (1 <= count <=
+    /// entries_per_page). Every page except the final one must be full.
+    /// Counts one page write against the writer's IoContext.
+    virtual void AppendPage(const Entry* entries, size_t count) = 0;
+
+    /// Finalizes the segment (at least one page appended) and returns its
+    /// id. May be called once; no appends afterwards.
+    virtual SegmentId Seal() = 0;
+  };
+
   /// `entries_per_page` is the page capacity B; `stats` receives all I/O.
   PageStore(uint64_t entries_per_page, Statistics* stats)
       : entries_per_page_(entries_per_page), stats_(stats) {
@@ -40,15 +139,30 @@ class PageStore {
   virtual ~PageStore() = default;
   ENDURE_DISALLOW_COPY_AND_ASSIGN(PageStore);
 
-  /// Persists `entries` (already sorted) as a new segment, counting one
-  /// page write per page against `ctx`. Returns the new segment's id.
-  virtual SegmentId WriteSegment(const std::vector<Entry>& entries,
-                                 IoContext ctx) = 0;
+  /// Opens a streaming writer for a new segment. Creating the writer
+  /// performs (and counts) no I/O; each AppendPage counts one page write
+  /// against `ctx`.
+  virtual std::unique_ptr<SegmentWriter> NewSegmentWriter(IoContext ctx) = 0;
 
-  /// Reads page `page_idx` of `segment` into `out` (cleared first),
-  /// counting one page read against `ctx`.
-  virtual void ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
-                        std::vector<Entry>* out) const = 0;
+  /// Convenience: persists `entries` (already sorted, non-empty) as a new
+  /// segment through a SegmentWriter. Accounting is identical to streaming
+  /// the pages by hand.
+  SegmentId WriteSegment(const std::vector<Entry>& entries, IoContext ctx);
+
+  /// Reads page `page_idx` of `segment`, counting one page read against
+  /// `ctx`, and returns a borrowed view of its entries. Backends that hold
+  /// pages in directly usable form (MemPageStore) return a pointer into
+  /// the segment without copying; backends that must materialize
+  /// (FilePageStore) decode into `scratch` — reserved and reused in place,
+  /// no allocation once warm — and return a view of it.
+  virtual PageView ReadPageView(SegmentId segment, size_t page_idx,
+                                IoContext ctx,
+                                PageBuffer* scratch) const = 0;
+
+  /// Convenience over ReadPageView: reads page `page_idx` into `out`
+  /// (always materialized there), counting one page read against `ctx`.
+  void ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
+                PageBuffer* out) const;
 
   /// Releases a segment's storage.
   virtual void FreeSegment(SegmentId segment) = 0;
@@ -67,27 +181,45 @@ class PageStore {
   Statistics* stats_;
 };
 
-/// RAM-backed store (default experimental substrate).
+/// RAM-backed store (default experimental substrate). Segment ids encode
+/// a dense slot index plus a generation tag: lookups are one indexed load
+/// (no hashing), freed slots are recycled through a free list (the store
+/// does not grow with the number of segments ever created), and a stale
+/// id — a reader outliving FreeSegment — still aborts loudly because its
+/// generation no longer matches.
 class MemPageStore final : public PageStore {
  public:
   MemPageStore(uint64_t entries_per_page, Statistics* stats)
       : PageStore(entries_per_page, stats) {}
 
-  SegmentId WriteSegment(const std::vector<Entry>& entries,
-                         IoContext ctx) override;
-  void ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
-                std::vector<Entry>* out) const override;
+  std::unique_ptr<SegmentWriter> NewSegmentWriter(IoContext ctx) override;
+  PageView ReadPageView(SegmentId segment, size_t page_idx, IoContext ctx,
+                        PageBuffer* scratch) const override;
   void FreeSegment(SegmentId segment) override;
   size_t NumPages(SegmentId segment) const override;
   size_t NumEntries(SegmentId segment) const override;
 
  private:
-  SegmentId next_id_ = 1;
-  std::unordered_map<SegmentId, std::vector<Entry>> segments_;
+  class Writer;
+
+  struct Slot {
+    uint64_t generation = 0;           ///< matches the id's upper bits
+    std::unique_ptr<std::vector<Entry>> data;  ///< null when free
+  };
+
+  static size_t SlotIndex(SegmentId id) { return id & 0xffffffffu; }
+  static uint64_t Generation(SegmentId id) { return id >> 32; }
+
+  const std::vector<Entry>* SlotData(SegmentId segment) const;
+
+  uint64_t next_generation_ = 1;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 /// File-backed store: one file per segment under `dir`, fixed-width binary
-/// entry encoding, page-aligned pread/pwrite.
+/// entry encoding, page-aligned pread/pwrite through a per-store aligned
+/// scratch buffer (reads decode in place; no per-read allocation).
 class FilePageStore final : public PageStore {
  public:
   /// Creates `dir` if needed; aborts on unusable directories.
@@ -95,10 +227,9 @@ class FilePageStore final : public PageStore {
                 std::string dir);
   ~FilePageStore() override;
 
-  SegmentId WriteSegment(const std::vector<Entry>& entries,
-                         IoContext ctx) override;
-  void ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
-                std::vector<Entry>* out) const override;
+  std::unique_ptr<SegmentWriter> NewSegmentWriter(IoContext ctx) override;
+  PageView ReadPageView(SegmentId segment, size_t page_idx, IoContext ctx,
+                        PageBuffer* scratch) const override;
   void FreeSegment(SegmentId segment) override;
   size_t NumPages(SegmentId segment) const override;
   size_t NumEntries(SegmentId segment) const override;
@@ -107,16 +238,23 @@ class FilePageStore final : public PageStore {
   static constexpr size_t kEntryBytes = 8 + 8 + 8 + 1;
 
  private:
+  class Writer;
+  friend class Writer;
+
   struct SegmentMeta {
     int fd = -1;
     size_t num_entries = 0;
   };
   std::string PathFor(SegmentId id) const;
+  size_t PageBytes() const { return kEntryBytes * entries_per_page_; }
 
   std::string dir_;
   std::string instance_tag_;  ///< unique per process+instance (see .cc)
   SegmentId next_id_ = 1;
   std::unordered_map<SegmentId, SegmentMeta> segments_;
+  /// Page-aligned scratch for ReadPage, sized PageBytes(); reused across
+  /// reads (the store is single-threaded like the engine above it).
+  std::unique_ptr<char, void (*)(void*)> read_scratch_;
 };
 
 /// Factory over Options::backend.

@@ -3,6 +3,59 @@
 #include <algorithm>
 
 namespace endure::lsm {
+namespace {
+
+/// Branchless lower bound over one page of entries, structured so cache
+/// misses overlap: small pages are pulled whole up front, large pages
+/// prefetch both candidate probes of the next search level while the
+/// current one is in flight (a cold 4KB page would otherwise serialize
+/// log2(B) DRAM misses).
+const Entry* PageLowerBound(const Entry* base, size_t n, Key key) {
+  if (n * sizeof(Entry) <= 512) {
+    const char* raw = reinterpret_cast<const char*>(base);
+    for (size_t off = 0; off < n * sizeof(Entry); off += 64) {
+      __builtin_prefetch(raw + off);
+    }
+    while (n > 1) {
+      const size_t half = n / 2;
+      base += base[half - 1].key < key ? half : 0;
+      n -= half;
+    }
+    return base;
+  }
+  // The probe positions of the first three search levels are known up
+  // front — pull all seven so their misses overlap in one memory round
+  // trip instead of serializing.
+  {
+    const size_t h1 = n / 2;
+    const size_t h2 = (n - h1) / 2;
+    const size_t h3 = (n - h1 - h2) / 2;
+    __builtin_prefetch(base + h1 - 1);
+    if (h2 >= 1) {
+      __builtin_prefetch(base + h2 - 1);
+      __builtin_prefetch(base + h1 + h2 - 1);
+    }
+    if (h3 >= 1) {
+      __builtin_prefetch(base + h3 - 1);
+      __builtin_prefetch(base + h2 + h3 - 1);
+      __builtin_prefetch(base + h1 + h3 - 1);
+      __builtin_prefetch(base + h1 + h2 + h3 - 1);
+    }
+  }
+  while (n > 1) {
+    const size_t half = n / 2;
+    const size_t next = (n - half) / 2;
+    if (next > 2) {  // smaller strides fall on lines already in flight
+      __builtin_prefetch(base + next - 1);
+      __builtin_prefetch(base + half + next - 1);
+    }
+    base += base[half - 1].key < key ? half : 0;
+    n -= half;
+  }
+  return base;
+}
+
+}  // namespace
 
 Run::Run(PageStore* store, SegmentId segment,
          std::unique_ptr<BloomFilter> bloom,
@@ -19,45 +72,50 @@ Run::Run(PageStore* store, SegmentId segment,
 
 Run::~Run() { store_->FreeSegment(segment_); }
 
-std::optional<Entry> Run::Get(Key key, bool use_fence_skip) const {
+const Entry* Run::Get(Key key, bool use_fence_skip) const {
+  // Start pulling the filter block's cache line immediately — its address
+  // depends only on the key, and the fetch overlaps the fence range check
+  // and counter updates below.
+  bloom_->Prefetch(key);
   Statistics* stats = store_->stats();
   if (use_fence_skip && (key < min_key() || key > max_key())) {
     ++stats->fence_skips;
-    return std::nullopt;
+    return nullptr;
   }
   ++stats->bloom_probes;
   if (!bloom_->MayContain(key)) {
     ++stats->bloom_negatives;
-    return std::nullopt;
+    return nullptr;
   }
   const std::optional<size_t> page = fences_->PageFor(key);
   if (!page.has_value()) {
     // Inside the filter but outside the fences (possible when fence skip is
     // disabled): a false positive that fence pointers resolve without I/O.
     ++stats->bloom_false_positives;
-    return std::nullopt;
+    return nullptr;
   }
-  std::vector<Entry> entries;
-  store_->ReadPage(segment_, *page, IoContext::kPointQuery, &entries);
-  // Binary search within the page.
-  auto it = std::lower_bound(
-      entries.begin(), entries.end(), key,
-      [](const Entry& e, Key k) { return e.key < k; });
-  if (it != entries.end() && it->key == key) return *it;
+  const PageView view =
+      store_->ReadPageView(segment_, *page, IoContext::kPointQuery,
+                           &scratch_);
+  const Entry* it = PageLowerBound(view.data, view.size, key);
+  if (it->key == key) return it;
   ++stats->bloom_false_positives;
-  return std::nullopt;
+  return nullptr;
 }
 
 Run::Iterator::Iterator(const Run* run, size_t start_page, size_t end_page,
                         IoContext ctx)
-    : run_(run), end_page_(end_page), current_page_(start_page), ctx_(ctx) {
+    : run_(run),
+      end_page_(end_page),
+      current_page_(start_page),
+      ctx_(ctx) {
   ENDURE_DCHECK(end_page < run->num_pages());
   ENDURE_DCHECK(start_page <= end_page);
   LoadPage(current_page_);
 }
 
 void Run::Iterator::LoadPage(size_t page) {
-  run_->store_->ReadPage(run_->segment_, page, ctx_, &buffer_);
+  view_ = run_->store_->ReadPageView(run_->segment_, page, ctx_, &buffer_);
   index_in_page_ = 0;
 }
 
@@ -65,12 +123,12 @@ bool Run::Iterator::Valid() const { return !exhausted_; }
 
 const Entry& Run::Iterator::entry() const {
   ENDURE_DCHECK(Valid());
-  return buffer_[index_in_page_];
+  return view_[index_in_page_];
 }
 
 void Run::Iterator::Next() {
   ENDURE_DCHECK(Valid());
-  if (++index_in_page_ < buffer_.size()) return;
+  if (++index_in_page_ < view_.size) return;
   if (current_page_ == end_page_) {
     exhausted_ = true;
     return;
@@ -84,8 +142,7 @@ Run::Iterator Run::NewIterator(IoContext ctx) const {
 
 void Run::BlindSeek() const {
   ++store_->stats()->range_seeks;
-  std::vector<Entry> discard;
-  store_->ReadPage(segment_, 0, IoContext::kRangeQuery, &discard);
+  store_->ReadPageView(segment_, 0, IoContext::kRangeQuery, &scratch_);
 }
 
 std::optional<Run::Iterator> Run::NewRangeIterator(Key lo, Key hi) const {

@@ -4,6 +4,11 @@
 // filter and fence pointers. Point lookups probe the filter first (no
 // I/O), then read at most one page through the fence pointers; scans read
 // pages sequentially.
+//
+// All reads go through reusable PageBuffers: the run owns one scratch
+// buffer for point lookups (allocated at construction, reused for every
+// Get) and each iterator owns one for its sequential pages — the steady
+// state performs no heap allocations.
 
 #ifndef ENDURE_LSM_RUN_H_
 #define ENDURE_LSM_RUN_H_
@@ -35,15 +40,21 @@ class Run {
 
   /// Point lookup. Counts bloom/fence activity and at most one page read
   /// (IoContext::kPointQuery). `use_fence_skip` short-circuits keys outside
-  /// [min,max] without touching the filter.
-  std::optional<Entry> Get(Key key, bool use_fence_skip) const;
+  /// [min,max] without touching the filter. Reads go through the run's
+  /// reusable scratch buffer — no allocation, no copy. Returns nullptr on
+  /// a miss; a hit stays valid until the next Get/BlindSeek on this run or
+  /// until the run is destroyed.
+  const Entry* Get(Key key, bool use_fence_skip) const;
 
   /// Sequential reader over [start_page, end_page] (inclusive); reads one
-  /// page at a time through the store, attributing I/O to `ctx`.
+  /// page at a time into its own reusable buffer, attributing I/O to
+  /// `ctx`. Move-only (it owns the page buffer).
   class Iterator {
    public:
     Iterator(const Run* run, size_t start_page, size_t end_page,
              IoContext ctx);
+    Iterator(Iterator&&) = default;
+    Iterator& operator=(Iterator&&) = default;
 
     bool Valid() const;
     const Entry& entry() const;
@@ -57,7 +68,8 @@ class Run {
     size_t current_page_;
     size_t index_in_page_ = 0;
     IoContext ctx_;
-    std::vector<Entry> buffer_;
+    PageView view_;      ///< current page (borrowed or into buffer_)
+    PageBuffer buffer_;  ///< scratch for backends that materialize
     bool exhausted_ = false;
   };
 
@@ -79,6 +91,9 @@ class Run {
   std::unique_ptr<BloomFilter> bloom_;
   std::unique_ptr<FencePointers> fences_;
   uint64_t num_entries_;
+  /// Point-lookup scratch, reused across Gets (single-threaded engine);
+  /// only materializing backends ever allocate it.
+  mutable PageBuffer scratch_;
 };
 
 }  // namespace endure::lsm

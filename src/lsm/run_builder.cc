@@ -3,41 +3,53 @@
 namespace endure::lsm {
 
 RunBuilder::RunBuilder(PageStore* store, double bits_per_entry, IoContext ctx)
-    : store_(store), bits_per_entry_(bits_per_entry), ctx_(ctx) {
+    : store_(store),
+      bits_per_entry_(bits_per_entry),
+      ctx_(ctx),
+      page_(store != nullptr ? store->entries_per_page() : 0) {
   ENDURE_CHECK(store != nullptr);
 }
 
 void RunBuilder::Add(const Entry& e) {
   ENDURE_CHECK_MSG(!finished_, "builder already finished");
-  if (!entries_.empty()) {
-    ENDURE_CHECK_MSG(e.key > entries_.back().key,
-                     "run keys must be strictly ascending");
-  }
-  entries_.push_back(e);
+  ENDURE_CHECK_MSG(num_entries_ == 0 || e.key > last_key_,
+                   "run keys must be strictly ascending");
+  if (page_.empty()) first_keys_.push_back(e.key);
+  page_.data()[page_.size()] = e;
+  page_.set_size(page_.size() + 1);
+  last_key_ = e.key;
+  ++num_entries_;
+  key_hashes_.push_back(BloomFilter::KeyHash(e.key));
+  if (page_.size() == page_.capacity()) FlushPage();
+}
+
+void RunBuilder::FlushPage() {
+  if (page_.empty()) return;
+  if (writer_ == nullptr) writer_ = store_->NewSegmentWriter(ctx_);
+  writer_->AppendPage(page_.data(), page_.size());
+  page_.set_size(0);
 }
 
 std::shared_ptr<Run> RunBuilder::Finish() {
   ENDURE_CHECK_MSG(!finished_, "builder already finished");
-  ENDURE_CHECK_MSG(!entries_.empty(), "cannot build an empty run");
+  ENDURE_CHECK_MSG(num_entries_ > 0, "cannot build an empty run");
   finished_ = true;
 
-  const uint64_t per_page = store_->entries_per_page();
-  auto bloom = std::make_unique<BloomFilter>(entries_.size(),
-                                             bits_per_entry_);
-  std::vector<Key> first_keys;
-  first_keys.reserve(entries_.size() / per_page + 1);
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    bloom->Add(entries_[i].key);
-    if (i % per_page == 0) first_keys.push_back(entries_[i].key);
-  }
-  auto fences = std::make_unique<FencePointers>(std::move(first_keys),
-                                                entries_.back().key);
-  const SegmentId segment = store_->WriteSegment(entries_, ctx_);
-  auto run = std::make_shared<Run>(store_, segment, std::move(bloom),
-                                   std::move(fences), entries_.size());
-  entries_.clear();
-  entries_.shrink_to_fit();
-  return run;
+  FlushPage();
+  const SegmentId segment = writer_->Seal();
+  writer_.reset();
+
+  // The filter is sized on the exact entry count, only known now; insert
+  // the hashes buffered while the pages streamed out.
+  auto bloom = std::make_unique<BloomFilter>(num_entries_, bits_per_entry_);
+  for (const uint64_t h : key_hashes_) bloom->AddHash(h);
+  key_hashes_.clear();
+  key_hashes_.shrink_to_fit();
+
+  auto fences = std::make_unique<FencePointers>(std::move(first_keys_),
+                                                last_key_);
+  return std::make_shared<Run>(store_, segment, std::move(bloom),
+                               std::move(fences), num_entries_);
 }
 
 std::shared_ptr<Run> BuildRun(PageStore* store,

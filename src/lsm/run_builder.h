@@ -1,7 +1,12 @@
 // Copyright (c) endure-cpp authors. Licensed under the MIT license.
 //
-// Builds immutable runs: accumulates key-ascending entries, lays them out
-// in pages, and constructs the per-run Bloom filter and fence pointers.
+// Builds immutable runs by streaming: entries are staged one page at a
+// time and appended to a PageStore::SegmentWriter as soon as the page
+// fills, so building a run of any size takes O(entries_per_page) working
+// memory plus one buffered key-hash (8 bytes) per entry for the Bloom
+// filter, which can only be sized once the exact entry count is known —
+// the same trick RocksDB's full-filter builder uses. Fence pointers are
+// collected incrementally (one key per page).
 
 #ifndef ENDURE_LSM_RUN_BUILDER_H_
 #define ENDURE_LSM_RUN_BUILDER_H_
@@ -13,7 +18,7 @@
 
 namespace endure::lsm {
 
-/// One-shot builder; Finish() may be called once.
+/// One-shot streaming builder; Finish() may be called once.
 class RunBuilder {
  public:
   /// `bits_per_entry` sizes the run's Bloom filter (Monkey gives different
@@ -21,21 +26,29 @@ class RunBuilder {
   /// compaction or bulk load).
   RunBuilder(PageStore* store, double bits_per_entry, IoContext ctx);
 
-  /// Appends an entry; keys must be strictly ascending.
+  /// Appends an entry; keys must be strictly ascending. Full pages are
+  /// written out immediately.
   void Add(const Entry& e);
 
   /// Number of entries added so far.
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
 
   /// Builds the run. Requires at least one entry.
   std::shared_ptr<Run> Finish();
 
  private:
+  void FlushPage();
+
   PageStore* store_;
   double bits_per_entry_;
   IoContext ctx_;
-  std::vector<Entry> entries_;
+  std::unique_ptr<PageStore::SegmentWriter> writer_;  ///< opened lazily
+  PageBuffer page_;                     ///< current partially-filled page
+  std::vector<uint64_t> key_hashes_;    ///< deferred Bloom insertions
+  std::vector<Key> first_keys_;         ///< fence pointer per page
+  Key last_key_ = 0;
+  uint64_t num_entries_ = 0;
   bool finished_ = false;
 };
 

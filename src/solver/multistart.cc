@@ -1,8 +1,20 @@
 #include "solver/multistart.h"
 
+#include <algorithm>
+
 #include "solver/grid_search.h"
+#include "util/thread_pool.h"
 
 namespace endure::solver {
+namespace {
+
+/// True while this thread is executing a MultiStartMinimize start. Nested
+/// calls (the generalized tuner's outer solve evaluates an objective that
+/// itself runs MultiStartMinimize) then fall back to serial instead of
+/// spawning a thread pool per objective evaluation.
+thread_local bool t_inside_start = false;
+
+}  // namespace
 
 Result MultiStartMinimize(const Objective& f, const Bounds& bounds,
                           const MultiStartOptions& opts) {
@@ -22,11 +34,41 @@ Result MultiStartMinimize(const Objective& f, const Bounds& bounds,
     seeds.push_back({std::move(x), 0.0});
   }
 
+  // Run every start, serially or fanned out. Each start writes its own
+  // slot, so the reduction below can run in seed-index order and the
+  // result is independent of scheduling.
+  std::vector<Result> results(seeds.size());
+  const size_t workers =
+      t_inside_start ? 1
+                     : std::min<size_t>(
+                           seeds.size(),
+                           opts.parallelism > 0
+                               ? static_cast<size_t>(opts.parallelism)
+                               : DefaultParallelism());
+  if (workers <= 1 || seeds.size() <= 1) {
+    const bool was_inside = t_inside_start;
+    t_inside_start = true;  // keep nested calls serial too
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      results[i] = NelderMeadMinimize(f, seeds[i].x, bounds, opts.nm);
+    }
+    t_inside_start = was_inside;
+  } else {
+    ThreadPool pool(workers);
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      pool.Submit([&, i] {
+        t_inside_start = true;  // worker threads run starts exclusively
+        results[i] = NelderMeadMinimize(f, seeds[i].x, bounds, opts.nm);
+      });
+    }
+    pool.Wait();
+  }
+
+  // Deterministic reduction: strict improvement in seed-index order, as a
+  // serial loop would produce.
   Result best;
   int total_evals = 0;
   int total_iters = 0;
-  for (const auto& seed : seeds) {
-    Result r = NelderMeadMinimize(f, seed.x, bounds, opts.nm);
+  for (Result& r : results) {
     total_evals += r.evaluations;
     total_iters += r.iterations;
     if (r.fx < best.fx) best = std::move(r);

@@ -1,7 +1,9 @@
 // Copyright (c) endure-cpp authors. Licensed under the MIT license.
 //
-// Multi-start Nelder-Mead: grid-seeded plus random restarts. This is the
-// global strategy used by both tuners (the paper reports using an
+// Multi-start Nelder-Mead: grid-seeded plus random restarts, with the
+// per-start local searches fanned out across a thread pool (objective
+// evaluations are pure cost-model math, so starts are independent). This
+// is the global strategy used by both tuners (the paper reports using an
 // "off-the-shelf global minimizer from SciPy" for the same reason).
 
 #ifndef ENDURE_SOLVER_MULTISTART_H_
@@ -19,6 +21,12 @@ struct MultiStartOptions {
   int grid_seeds = 4;            ///< best grid points promoted to NM starts
   int random_starts = 4;         ///< extra uniform-random NM starts
   uint64_t seed = 1234;          ///< RNG seed for the random starts
+  /// Worker threads for the per-start searches: 0 = hardware concurrency,
+  /// 1 = serial. The objective must be safe to evaluate concurrently when
+  /// this is not 1 (the tuners' cost-model objectives are). Results are
+  /// bitwise identical at any parallelism: each start is deterministic in
+  /// isolation and the reduction runs in start-index order.
+  int parallelism = 0;
   NelderMeadOptions nm;          ///< per-start local options
 };
 

@@ -1,0 +1,56 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// A small fixed-size thread pool for embarrassingly parallel work (the
+// solver's multi-start restarts, benchmark sweeps). Tasks are plain
+// std::function<void()>; callers coordinate results themselves (e.g. by
+// writing into pre-sized slots) and call Wait() for a barrier.
+
+#ifndef ENDURE_UTIL_THREAD_POOL_H_
+#define ENDURE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace endure {
+
+/// Fixed-size worker pool. Destruction waits for all submitted tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of workers to use by default: hardware concurrency, at least 1.
+size_t DefaultParallelism();
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_THREAD_POOL_H_

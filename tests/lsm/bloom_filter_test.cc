@@ -23,7 +23,10 @@ TEST(BloomFilterTest, ZeroBitsAlwaysPositive) {
 }
 
 TEST(BloomFilterTest, EmpiricalFprNearTheory) {
-  // 10 bits/entry -> theoretical FPR ~ e^{-10 ln^2 2} ~ 0.0082.
+  // 10 bits/entry -> theoretical FPR ~ e^{-10 ln^2 2} ~ 0.0082. The
+  // cache-line-blocked layout trades a small, bounded FPR inflation
+  // (uneven block loads) for single-cache-line probes; at 10 bits/entry
+  // with 512-bit blocks the inflation stays well under 2x.
   const int n = 20000;
   BloomFilter f(n, 10.0);
   for (Key k = 0; k < n; ++k) f.Add(2 * k);
@@ -31,7 +34,8 @@ TEST(BloomFilterTest, EmpiricalFprNearTheory) {
   const int probes = 100000;
   for (int i = 0; i < probes; ++i) fp += f.MayContain(2 * (n + i) + 1);
   const double fpr = static_cast<double>(fp) / probes;
-  EXPECT_NEAR(fpr, f.TheoreticalFpr(), 0.004);
+  EXPECT_GT(fpr, 0.5 * f.TheoreticalFpr());
+  EXPECT_LT(fpr, 2.0 * f.TheoreticalFpr());
 }
 
 TEST(BloomFilterTest, FprDecreasesWithMoreBits) {
@@ -58,8 +62,29 @@ TEST(BloomFilterTest, OptimalHashCount) {
 }
 
 TEST(BloomFilterTest, BitsAllocatedProportionalToEntries) {
+  // Rounded up to whole 512-bit blocks.
   BloomFilter f(1000, 8.0);
-  EXPECT_NEAR(static_cast<double>(f.bits()), 8000.0, 64.0);
+  EXPECT_NEAR(static_cast<double>(f.bits()), 8000.0,
+              static_cast<double>(BloomFilter::kBlockBits));
+  EXPECT_EQ(f.bits() % BloomFilter::kBlockBits, 0u);
+}
+
+TEST(BloomFilterTest, BufferedHashInsertionMatchesDirectAdd) {
+  // RunBuilder defers filter construction: it buffers KeyHash values and
+  // inserts them once the entry count is exact. Both paths must build the
+  // same filter.
+  const int n = 5000;
+  BloomFilter direct(n, 10.0);
+  BloomFilter deferred(n, 10.0);
+  std::vector<uint64_t> hashes;
+  for (Key k = 0; k < n; ++k) {
+    direct.Add(3 * k);
+    hashes.push_back(BloomFilter::KeyHash(3 * k));
+  }
+  for (uint64_t h : hashes) deferred.AddHash(h);
+  for (Key k = 0; k < 3 * n; ++k) {
+    EXPECT_EQ(direct.MayContain(k), deferred.MayContain(k)) << k;
+  }
 }
 
 TEST(BloomFilterTest, TinyBudgetStillWorks) {

@@ -42,8 +42,8 @@ TEST_F(CompactionTest, NewestInputWinsConflicts) {
   auto merged = MergeRuns(&store_, {newer, older}, 8.0, false);
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 2u);
-  const auto e = merged->Get(5, true);
-  ASSERT_TRUE(e.has_value());
+  const Entry* e = merged->Get(5, true);
+  ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->value, 500u);
 }
 
@@ -54,7 +54,7 @@ TEST_F(CompactionTest, DropTombstonesAtBottom) {
                           /*drop_tombstones=*/true);
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 2u);  // keys 2, 3; key 1 annihilated
-  EXPECT_FALSE(merged->Get(1, true).has_value());
+  EXPECT_EQ(merged->Get(1, true), nullptr);
 }
 
 TEST_F(CompactionTest, KeepTombstonesAboveBottom) {
@@ -64,8 +64,8 @@ TEST_F(CompactionTest, KeepTombstonesAboveBottom) {
                           /*drop_tombstones=*/false);
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 1u);
-  const auto e = merged->Get(1, true);
-  ASSERT_TRUE(e.has_value());
+  const Entry* e = merged->Get(1, true);
+  ASSERT_NE(e, nullptr);
   EXPECT_TRUE(e->is_tombstone());
 }
 

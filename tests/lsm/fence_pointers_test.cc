@@ -86,8 +86,36 @@ TEST(FencePointersTest, SinglePageRun) {
 }
 
 TEST(FencePointersTest, SizeBitsAccountsKeys) {
+  // 3 dense fences + 1 sparse top-index sample + the last key.
   FencePointers f = MakeFences();
-  EXPECT_EQ(f.SizeBits(), (3 + 1) * 64u);
+  EXPECT_EQ(f.SizeBits(), (3 + 1 + 1) * 64u);
+}
+
+TEST(FencePointersTest, TwoLevelSearchMatchesDenseScanOnLargeRuns) {
+  // Cross the 64-page top-index sampling boundary and verify every lookup
+  // against a straightforward dense scan.
+  std::vector<Key> first_keys;
+  for (Key k = 0; k < 1000; ++k) first_keys.push_back(10 * k + 5);
+  const Key last = 10 * 1000 + 5;
+  FencePointers f(first_keys, last);
+  for (Key key = 0; key <= last + 10; key += 3) {
+    const auto got = f.PageFor(key);
+    if (key < first_keys.front() || key > last) {
+      EXPECT_FALSE(got.has_value()) << key;
+      continue;
+    }
+    size_t want = 0;
+    for (size_t i = 0; i < first_keys.size(); ++i) {
+      if (first_keys[i] <= key) want = i;
+    }
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(*got, want) << key;
+  }
+  // Page ranges across the sampling boundary.
+  const auto r = f.PageRange(630, 1282);  // pages 62..127
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 62u);
+  EXPECT_EQ(r->second, 127u);
 }
 
 }  // namespace

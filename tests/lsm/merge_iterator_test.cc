@@ -75,8 +75,18 @@ TEST(MergeIteratorTest, EmptyInputs) {
 }
 
 TEST(MergeIteratorTest, NoInputs) {
-  MergeIterator m({});
+  MergeIterator m(std::vector<std::unique_ptr<EntryStream>>{});
   EXPECT_FALSE(m.Valid());
+}
+
+TEST(MergeIteratorTest, NonOwningStreamsMergeIdentically) {
+  VectorStream a({Val(1, 9, 1), Val(3, 9, 3)});
+  VectorStream b({Val(2, 1, 2), Val(3, 1, 33)});
+  MergeIterator m(std::vector<EntryStream*>{&a, &b});
+  std::vector<std::pair<Key, Value>> got;
+  for (; m.Valid(); m.Next()) got.push_back({m.entry().key, m.entry().value});
+  EXPECT_EQ(got, (std::vector<std::pair<Key, Value>>{{1, 1}, {2, 2},
+                                                     {3, 3}}));
 }
 
 TEST(DrainMergeTest, DropTombstonesFilters) {

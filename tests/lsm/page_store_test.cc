@@ -30,7 +30,7 @@ void RunStoreContractTests(StoreFactory make_store) {
   EXPECT_EQ(stats.pages_written, 3u);
   EXPECT_EQ(stats.flush_pages_written, 3u);
 
-  std::vector<Entry> page;
+  PageBuffer page;
   store->ReadPage(seg, 0, IoContext::kPointQuery, &page);
   ASSERT_EQ(page.size(), 4u);
   EXPECT_EQ(page[0].key, 0u);
@@ -60,14 +60,63 @@ void RunStoreContractTests(StoreFactory make_store) {
   EXPECT_EQ(stats.compaction_pages_read, 1u);
 }
 
+template <typename StoreFactory>
+void RunSegmentWriterContractTests(StoreFactory make_store) {
+  Statistics stats;
+  auto store = make_store(&stats);
+  const std::vector<Entry> entries = MakeEntries(10);  // B=4 -> 3 pages
+
+  // Streaming write: pages are counted as they are appended, before Seal.
+  auto writer = store->NewSegmentWriter(IoContext::kCompaction);
+  EXPECT_EQ(stats.pages_written, 0u);
+  writer->AppendPage(entries.data(), 4);
+  writer->AppendPage(entries.data() + 4, 4);
+  EXPECT_EQ(stats.compaction_pages_written, 2u);
+  writer->AppendPage(entries.data() + 8, 2);  // final partial page
+  const SegmentId seg = writer->Seal();
+  EXPECT_EQ(stats.compaction_pages_written, 3u);
+  EXPECT_EQ(store->NumPages(seg), 3u);
+  EXPECT_EQ(store->NumEntries(seg), 10u);
+
+  // Round trip, including the partial page.
+  PageBuffer page;
+  store->ReadPage(seg, 2, IoContext::kPointQuery, &page);
+  ASSERT_EQ(page.size(), 2u);
+  EXPECT_EQ(page[0].key, 16u);
+  EXPECT_EQ(page[1].key, 18u);
+
+  // An abandoned writer (destroyed unsealed) leaves no readable segment
+  // but keeps its page writes counted: the device I/O happened.
+  {
+    auto abandoned = store->NewSegmentWriter(IoContext::kFlush);
+    abandoned->AppendPage(entries.data(), 4);
+  }
+  EXPECT_EQ(stats.flush_pages_written, 1u);
+  // The sealed segment is still intact.
+  EXPECT_EQ(store->NumEntries(seg), 10u);
+}
+
 TEST(MemPageStoreTest, Contract) {
   RunStoreContractTests([](Statistics* stats) {
     return std::make_unique<MemPageStore>(4, stats);
   });
 }
 
+TEST(MemPageStoreTest, SegmentWriterContract) {
+  RunSegmentWriterContractTests([](Statistics* stats) {
+    return std::make_unique<MemPageStore>(4, stats);
+  });
+}
+
 TEST(FilePageStoreTest, Contract) {
   RunStoreContractTests([](Statistics* stats) {
+    return std::make_unique<FilePageStore>(4, stats,
+                                           "/tmp/endure_test_store");
+  });
+}
+
+TEST(FilePageStoreTest, SegmentWriterContract) {
+  RunSegmentWriterContractTests([](Statistics* stats) {
     return std::make_unique<FilePageStore>(4, stats,
                                            "/tmp/endure_test_store");
   });
@@ -81,7 +130,7 @@ TEST(FilePageStoreTest, RoundTripsEntryEncoding) {
             EntryType::kValue},
       Entry{1, 2, 3, EntryType::kTombstone}};
   const SegmentId seg = store.WriteSegment(in, IoContext::kBulkLoad);
-  std::vector<Entry> out;
+  PageBuffer out;
   store.ReadPage(seg, 0, IoContext::kPointQuery, &out);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].key, in[0].key);
@@ -89,6 +138,18 @@ TEST(FilePageStoreTest, RoundTripsEntryEncoding) {
   EXPECT_EQ(out[0].value, in[0].value);
   EXPECT_EQ(out[0].type, in[0].type);
   EXPECT_EQ(out[1].type, EntryType::kTombstone);
+}
+
+TEST(PageBufferTest, ReserveIsIdempotentAndKeepsCapacity) {
+  PageBuffer buf(8);
+  EXPECT_EQ(buf.capacity(), 8u);
+  EXPECT_EQ(buf.size(), 0u);
+  buf.data()[0] = Entry{7, 1, 70, EntryType::kValue};
+  buf.set_size(1);
+  buf.Reserve(4);  // smaller: no-op, contents kept
+  EXPECT_EQ(buf.capacity(), 8u);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0].key, 7u);
 }
 
 TEST(MakePageStoreTest, FactorySelectsBackend) {

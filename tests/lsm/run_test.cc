@@ -35,8 +35,8 @@ TEST_F(RunTest, MetadataCorrect) {
 TEST_F(RunTest, GetFindsExistingKeyWithOnePageRead) {
   auto run = MakeRun(100);
   const uint64_t before = stats_.point_pages_read;
-  const std::optional<Entry> e = run->Get(500, /*use_fence_skip=*/true);
-  ASSERT_TRUE(e.has_value());
+  const Entry* e = run->Get(500, /*use_fence_skip=*/true);
+  ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->value, 50u);
   EXPECT_EQ(stats_.point_pages_read, before + 1);
 }
@@ -46,7 +46,7 @@ TEST_F(RunTest, GetMissViaBloomCostsNoIo) {
   const uint64_t before = stats_.point_pages_read;
   int ios = 0;
   for (Key k = 1; k < 500; k += 10) {  // keys not in the run
-    if (run->Get(k, true).has_value()) ADD_FAILURE();
+    if (run->Get(k, true) != nullptr) ADD_FAILURE();
     ios += static_cast<int>(stats_.point_pages_read - before);
   }
   // With 14 bits/entry nearly all misses are filtered without I/O.
@@ -57,7 +57,7 @@ TEST_F(RunTest, GetMissViaBloomCostsNoIo) {
 TEST_F(RunTest, FenceSkipShortCircuitsOutOfRangeKeys) {
   auto run = MakeRun(10);  // keys 0..90
   const uint64_t probes_before = stats_.bloom_probes;
-  EXPECT_FALSE(run->Get(1000, true).has_value());
+  EXPECT_EQ(run->Get(1000, true), nullptr);
   EXPECT_EQ(stats_.bloom_probes, probes_before);  // no filter touch
   EXPECT_GT(stats_.fence_skips, 0u);
 }
@@ -65,14 +65,14 @@ TEST_F(RunTest, FenceSkipShortCircuitsOutOfRangeKeys) {
 TEST_F(RunTest, WithoutFenceSkipBloomIsProbed) {
   auto run = MakeRun(10);
   const uint64_t probes_before = stats_.bloom_probes;
-  EXPECT_FALSE(run->Get(1000, false).has_value());
+  EXPECT_EQ(run->Get(1000, false), nullptr);
   EXPECT_EQ(stats_.bloom_probes, probes_before + 1);
 }
 
 TEST_F(RunTest, GetMissInsidePageCountsFalsePositive) {
   auto run = MakeRun(100, 0.0);  // no filter: always "maybe"
   const uint64_t fp_before = stats_.bloom_false_positives;
-  EXPECT_FALSE(run->Get(5, true).has_value());  // between keys 0 and 10
+  EXPECT_EQ(run->Get(5, true), nullptr);  // between keys 0 and 10
   EXPECT_EQ(stats_.bloom_false_positives, fp_before + 1);
 }
 

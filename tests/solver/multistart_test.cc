@@ -60,6 +60,28 @@ TEST(MultiStartTest, AggregatesEvaluationCounts) {
   EXPECT_GT(r.evaluations, opts.grid_points_per_dim);
 }
 
+TEST(MultiStartTest, ParallelMatchesSerialBitwise) {
+  // The per-start searches fan out across the thread pool, but reduction
+  // runs in seed-index order, so any parallelism level must reproduce the
+  // serial result exactly.
+  auto f = [](const std::vector<double>& x) {
+    return std::sin(3.0 * x[0]) * std::cos(2.0 * x[1]) +
+           0.1 * (x[0] * x[0] + x[1] * x[1]);
+  };
+  const Bounds box = Box({-4, -4}, {4, 4});
+  MultiStartOptions serial;
+  serial.parallelism = 1;
+  MultiStartOptions parallel;
+  parallel.parallelism = 4;
+  const Result a = MultiStartMinimize(f, box, serial);
+  const Result b = MultiStartMinimize(f, box, parallel);
+  EXPECT_DOUBLE_EQ(a.fx, b.fx);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (size_t i = 0; i < a.x.size(); ++i) EXPECT_DOUBLE_EQ(a.x[i], b.x[i]);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
 TEST(MultiStartTest, ResultInsideBounds) {
   auto f = [](const std::vector<double>& x) { return -x[0] - 2.0 * x[1]; };
   const Bounds box = Box({0, 0}, {1, 1});
