@@ -1,0 +1,131 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Shared setup/report helpers for the storage micro-benchmarks
+// (micro_io, micro_shard): allocation accounting, phase metering and the
+// JSON emission CI's bench smoke parses — one code path for every
+// micro-bench. Each benchmark binary must expand
+// ENDURE_BENCH_DEFINE_ALLOC_COUNTING() exactly once at namespace scope to
+// define the counters and the global operator new/delete replacements
+// (they are per-binary by nature, so they cannot live in a library).
+
+#ifndef ENDURE_BENCH_BENCH_UTIL_H_
+#define ENDURE_BENCH_BENCH_UTIL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+namespace endure::bench_util {
+
+/// Allocation counters, defined by ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
+/// in the benchmark binary. Atomic: benchmarks may allocate from several
+/// threads.
+extern std::atomic<uint64_t> g_allocs;
+extern std::atomic<uint64_t> g_alloc_bytes;
+
+/// Throughput and per-op allocation/IO footprint of one measured phase.
+struct PhaseResult {
+  double ops_per_sec = 0;
+  double allocs_per_op = 0;
+  double alloc_bytes_per_op = 0;
+  double pages_per_op = 0;
+};
+
+/// Snapshots time and allocation counters at construction; Finish()
+/// produces the phase result.
+class Meter {
+ public:
+  Meter() {
+    allocs_ = g_allocs.load(std::memory_order_relaxed);
+    bytes_ = g_alloc_bytes.load(std::memory_order_relaxed);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  PhaseResult Finish(uint64_t ops, uint64_t pages) const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+            .count();
+    PhaseResult r;
+    const double n = static_cast<double>(ops);
+    r.ops_per_sec = n / secs;
+    r.allocs_per_op =
+        static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
+                            allocs_) / n;
+    r.alloc_bytes_per_op =
+        static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) -
+                            bytes_) / n;
+    r.pages_per_op = static_cast<double>(pages) / n;
+    return r;
+  }
+
+ private:
+  uint64_t allocs_ = 0;
+  uint64_t bytes_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Appends one phase object ("name": {...}) to `json`, with the shared
+/// key set every micro-bench reports.
+inline void AppendPhaseJson(std::string* json, const char* name,
+                            const PhaseResult& r, bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"ops_per_sec\": %.0f, "
+                "\"allocs_per_op\": %.4f, \"alloc_bytes_per_op\": %.1f, "
+                "\"pages_per_op\": %.3f}%s\n",
+                name, r.ops_per_sec, r.allocs_per_op, r.alloc_bytes_per_op,
+                r.pages_per_op, last ? "" : ",");
+  *json += buf;
+}
+
+/// Prints `json` to stdout and, when argv[1] names a file, writes it
+/// there too. Returns the process exit code.
+inline int EmitJson(const std::string& json, int argc, char** argv) {
+  std::fputs(json.c_str(), stdout);
+  if (argc > 1) {
+    if (FILE* f = std::fopen(argv[1], "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace endure::bench_util
+
+/// Defines the allocation counters and replaces global operator
+/// new/delete with counting versions. Expand exactly once per benchmark
+/// binary, at global namespace scope.
+#define ENDURE_BENCH_DEFINE_ALLOC_COUNTING()                              \
+  namespace endure::bench_util {                                          \
+  std::atomic<uint64_t> g_allocs{0};                                      \
+  std::atomic<uint64_t> g_alloc_bytes{0};                                 \
+  }                                                                       \
+  void* operator new(std::size_t size) {                                  \
+    ::endure::bench_util::g_allocs.fetch_add(1, std::memory_order_relaxed); \
+    ::endure::bench_util::g_alloc_bytes.fetch_add(                        \
+        size, std::memory_order_relaxed);                                 \
+    if (void* p = std::malloc(size)) return p;                            \
+    throw std::bad_alloc();                                               \
+  }                                                                       \
+  void* operator new[](std::size_t size) {                                \
+    ::endure::bench_util::g_allocs.fetch_add(1, std::memory_order_relaxed); \
+    ::endure::bench_util::g_alloc_bytes.fetch_add(                        \
+        size, std::memory_order_relaxed);                                 \
+    if (void* p = std::malloc(size)) return p;                            \
+    throw std::bad_alloc();                                               \
+  }                                                                       \
+  void operator delete(void* p) noexcept { std::free(p); }                \
+  void operator delete[](void* p) noexcept { std::free(p); }              \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }   \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // ENDURE_BENCH_BENCH_UTIL_H_

@@ -9,87 +9,22 @@
 //
 // Usage: micro_io [output.json]   (always prints the JSON to stdout too)
 
-#include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <new>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "lsm/db.h"
 #include "util/env.h"
 #include "util/random.h"
 
-// ------------------------------------------------- allocation accounting --
-
-namespace {
-
-std::atomic<uint64_t> g_allocs{0};
-std::atomic<uint64_t> g_alloc_bytes{0};
-
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) {
-  g_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
 
 namespace endure::lsm {
 namespace {
 
-struct PhaseResult {
-  double ops_per_sec = 0;
-  double allocs_per_op = 0;
-  double alloc_bytes_per_op = 0;
-  double pages_per_op = 0;
-};
-
-class Meter {
- public:
-  Meter() {
-    allocs_ = g_allocs.load(std::memory_order_relaxed);
-    bytes_ = g_alloc_bytes.load(std::memory_order_relaxed);
-    start_ = std::chrono::steady_clock::now();
-  }
-
-  PhaseResult Finish(uint64_t ops, uint64_t pages) const {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    const double secs =
-        std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
-            .count();
-    PhaseResult r;
-    const double n = static_cast<double>(ops);
-    r.ops_per_sec = n / secs;
-    r.allocs_per_op =
-        static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
-                            allocs_) / n;
-    r.alloc_bytes_per_op =
-        static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) -
-                            bytes_) / n;
-    r.pages_per_op = static_cast<double>(pages) / n;
-    return r;
-  }
-
- private:
-  uint64_t allocs_ = 0;
-  uint64_t bytes_ = 0;
-  std::chrono::steady_clock::time_point start_;
-};
+using bench_util::Meter;
+using bench_util::PhaseResult;
 
 Options BenchOptions(StorageBackend backend) {
   Options o;
@@ -176,18 +111,6 @@ BackendResults RunBackend(StorageBackend backend, uint64_t n, uint64_t ops) {
   return out;
 }
 
-void PrintPhase(std::string* json, const char* name, const PhaseResult& r,
-                bool last) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "      \"%s\": {\"ops_per_sec\": %.0f, "
-                "\"allocs_per_op\": %.4f, \"alloc_bytes_per_op\": %.1f, "
-                "\"pages_per_op\": %.3f}%s\n",
-                name, r.ops_per_sec, r.allocs_per_op, r.alloc_bytes_per_op,
-                r.pages_per_op, last ? "" : ",");
-  *json += buf;
-}
-
 }  // namespace
 }  // namespace endure::lsm
 
@@ -219,23 +142,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "running backend %s...\n", kBackends[b].name);
     const BackendResults r = RunBackend(kBackends[b].backend, n, ops);
     json += std::string("    \"") + kBackends[b].name + "\": {\n";
-    PrintPhase(&json, "fill", r.fill, false);
-    PrintPhase(&json, "get_hit", r.get_hit, false);
-    PrintPhase(&json, "get_miss", r.get_miss, false);
-    PrintPhase(&json, "scan", r.scan, true);
+    endure::bench_util::AppendPhaseJson(&json, "fill", r.fill, false);
+    endure::bench_util::AppendPhaseJson(&json, "get_hit", r.get_hit, false);
+    endure::bench_util::AppendPhaseJson(&json, "get_miss", r.get_miss, false);
+    endure::bench_util::AppendPhaseJson(&json, "scan", r.scan, true);
     json += b + 1 < 2 ? "    },\n" : "    }\n";
   }
   json += "  }\n}\n";
 
-  std::fputs(json.c_str(), stdout);
-  if (argc > 1) {
-    if (FILE* f = std::fopen(argv[1], "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", argv[1]);
-      return 1;
-    }
-  }
-  return 0;
+  return endure::bench_util::EmitJson(json, argc, argv);
 }

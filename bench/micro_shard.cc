@@ -1,0 +1,144 @@
+// micro_shard: aggregate put/get throughput of the ShardedDB front-end at
+// 1/2/4/8 shards with a matching number of client threads, background
+// maintenance on, memory backend. The scaling headline (speedup of S
+// shards x S threads over 1x1) depends on the host's core count, recorded
+// alongside the numbers: on a single-core container only the write-amp
+// reduction from shallower per-shard trees shows; on a multicore CI
+// runner the shard parallelism dominates.
+//
+// Scale knobs (environment):
+//   MICRO_SHARD_OPS  puts (and gets) per configuration (default 200k)
+//
+// Usage: micro_shard [output.json]  (always prints the JSON to stdout too)
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsm/sharded_db.h"
+#include "util/env.h"
+#include "util/random.h"
+
+ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
+
+namespace endure::lsm {
+namespace {
+
+using bench_util::Meter;
+using bench_util::PhaseResult;
+
+Options BenchOptions(int num_shards) {
+  Options o;
+  o.size_ratio = 6;
+  o.buffer_entries = 4096;  // per shard, as a sharded deployment would
+  o.entries_per_page = 256;
+  o.filter_bits_per_entry = 8.0;
+  o.num_shards = num_shards;
+  o.background_maintenance = true;
+  return o;
+}
+
+struct ConfigResult {
+  PhaseResult put, get;
+};
+
+/// Runs `fn(thread_index)` on `threads` client threads and joins.
+template <typename Fn>
+void RunClients(int threads, Fn fn) {
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) clients.emplace_back(fn, t);
+  for (auto& c : clients) c.join();
+}
+
+ConfigResult RunConfig(int num_shards, uint64_t ops) {
+  ConfigResult out;
+  auto db = std::move(ShardedDB::Open(BenchOptions(num_shards))).value();
+  const int threads = num_shards;  // one client thread per shard
+  const uint64_t per_thread = ops / threads;
+  const uint64_t key_space = ops;  // ~63% distinct keys under uniform picks
+
+  // --- put: concurrent random upserts through seal/background-flush ---
+  {
+    Meter meter;
+    RunClients(threads, [&](int t) {
+      Rng rng(42 + t);
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        db->Put(2 * rng.UniformInt(0, key_space - 1), i);
+      }
+    });
+    db->WaitForMaintenance();
+    out.put = meter.Finish(per_thread * threads,
+                           db->TotalStats().pages_written);
+  }
+
+  // --- get: concurrent point lookups over the written keys ---
+  {
+    const Statistics before = db->TotalStats();
+    Meter meter;
+    RunClients(threads, [&](int t) {
+      Rng rng(142 + t);
+      uint64_t found = 0;
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        found += db->Get(2 * rng.UniformInt(0, key_space - 1)).has_value();
+      }
+      if (found == 0) std::abort();  // uniform overwrites: most keys exist
+    });
+    out.get = meter.Finish(per_thread * threads,
+                           db->TotalStats().Delta(before).pages_read);
+  }
+
+  return out;
+}
+
+}  // namespace
+}  // namespace endure::lsm
+
+int main(int argc, char** argv) {
+  using namespace endure::lsm;
+  const uint64_t ops =
+      static_cast<uint64_t>(endure::GetEnvInt("MICRO_SHARD_OPS", 200000));
+
+  const int kShardCounts[] = {1, 2, 4, 8};
+  double put_1x1 = 0, put_4x4 = 0;
+
+  std::string json = "{\n  \"bench\": \"micro_shard\",\n";
+  {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"config\": {\"ops\": %llu, \"entries_per_page\": 256, "
+                  "\"buffer_entries_per_shard\": 4096, "
+                  "\"hardware_threads\": %u},\n",
+                  static_cast<unsigned long long>(ops),
+                  std::thread::hardware_concurrency());
+    json += buf;
+  }
+  json += "  \"configs\": {\n";
+  for (size_t i = 0; i < 4; ++i) {
+    const int shards = kShardCounts[i];
+    std::fprintf(stderr, "running %d shards x %d threads...\n", shards,
+                 shards);
+    const ConfigResult r = RunConfig(shards, ops);
+    if (shards == 1) put_1x1 = r.put.ops_per_sec;
+    if (shards == 4) put_4x4 = r.put.ops_per_sec;
+    char name[32];
+    std::snprintf(name, sizeof(name), "%dx%d", shards, shards);
+    json += std::string("    \"") + name + "\": {\n";
+    endure::bench_util::AppendPhaseJson(&json, "put", r.put, false);
+    endure::bench_util::AppendPhaseJson(&json, "get", r.get, true);
+    json += i + 1 < 4 ? "    },\n" : "    }\n";
+  }
+  json += "  },\n";
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"put_speedup_4x4_vs_1x1\": %.2f\n",
+                  put_1x1 > 0 ? put_4x4 / put_1x1 : 0.0);
+    json += buf;
+  }
+  json += "}\n";
+
+  return endure::bench_util::EmitJson(json, argc, argv);
+}

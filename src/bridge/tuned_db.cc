@@ -7,7 +7,8 @@ namespace endure::bridge {
 
 lsm::Options MakeOptions(const SystemConfig& cfg, const Tuning& t,
                          uint64_t actual_entries,
-                         lsm::StorageBackend backend) {
+                         lsm::StorageBackend backend, int num_shards,
+                         bool background_maintenance) {
   lsm::Options opts;
   opts.size_ratio =
       std::max(2, static_cast<int>(std::ceil(t.size_ratio - 1e-9)));
@@ -22,16 +23,21 @@ lsm::Options MakeOptions(const SystemConfig& cfg, const Tuning& t,
       opts.policy = lsm::CompactionPolicy::kLazyLeveling;
       break;
   }
-  // Preserve the per-entry memory split: m_buf = (H - h) * N_actual bits.
+  // Preserve the per-entry memory split: m_buf = (H - h) * N_actual bits,
+  // divided evenly across shards so a sharded deployment spends the same
+  // total buffer memory as the single-tree one the model was tuned for.
   const double buffer_bits =
       (cfg.memory_budget_bits_per_entry - t.filter_bits_per_entry) *
       static_cast<double>(actual_entries);
   opts.buffer_entries = std::max<uint64_t>(
-      16, static_cast<uint64_t>(buffer_bits / cfg.entry_size_bits));
+      16, static_cast<uint64_t>(buffer_bits / cfg.entry_size_bits /
+                                std::max(1, num_shards)));
   opts.entries_per_page = static_cast<uint64_t>(cfg.entries_per_page);
   opts.filter_bits_per_entry = t.filter_bits_per_entry;
   opts.filter_allocation = lsm::FilterAllocation::kMonkey;
   opts.backend = backend;
+  opts.num_shards = std::max(1, num_shards);
+  opts.background_maintenance = background_maintenance;
   return opts;
 }
 
@@ -48,6 +54,24 @@ StatusOr<std::unique_ptr<lsm::DB>> OpenTunedDb(const SystemConfig& cfg,
   auto db_or = lsm::DB::Open(MakeOptions(cfg, t, actual_entries, backend));
   if (!db_or.ok()) return db_or.status();
   std::unique_ptr<lsm::DB> db = std::move(db_or).value();
+
+  std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
+  pairs.reserve(actual_entries);
+  for (uint64_t i = 0; i < actual_entries; ++i) {
+    pairs.emplace_back(2 * i, i);  // even keys: odd keys are sure misses
+  }
+  ENDURE_RETURN_IF_ERROR(db->BulkLoad(pairs));
+  return db;
+}
+
+StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
+    const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
+    int num_shards, bool background_maintenance,
+    lsm::StorageBackend backend) {
+  auto db_or = lsm::ShardedDB::Open(MakeOptions(
+      cfg, t, actual_entries, backend, num_shards, background_maintenance));
+  if (!db_or.ok()) return db_or.status();
+  std::unique_ptr<lsm::ShardedDB> db = std::move(db_or).value();
 
   std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
   pairs.reserve(actual_entries);

@@ -14,15 +14,22 @@
 
 #include "core/endure.h"
 #include "lsm/db.h"
+#include "lsm/sharded_db.h"
 
 namespace endure::bridge {
 
 /// Engine options implementing tuning `t` for a database of
-/// `actual_entries` entries under system parameters `cfg`.
+/// `actual_entries` entries under system parameters `cfg`. With
+/// `num_shards > 1` the write-buffer budget m_buf is split evenly across
+/// shards (total buffer memory stays on the tuning's budget) and the
+/// options describe one shard of a ShardedDB deployment;
+/// `background_maintenance` moves flush/compaction work off the writers.
 lsm::Options MakeOptions(const SystemConfig& cfg, const Tuning& t,
                          uint64_t actual_entries,
                          lsm::StorageBackend backend =
-                             lsm::StorageBackend::kMemory);
+                             lsm::StorageBackend::kMemory,
+                         int num_shards = 1,
+                         bool background_maintenance = false);
 
 /// A SystemConfig rescaled to the deployed entry count (for model
 /// predictions comparable with engine measurements).
@@ -32,6 +39,14 @@ SystemConfig ScaledConfig(const SystemConfig& cfg, uint64_t actual_entries);
 /// entries with keys 2*0, 2*1, ..., matching workload::KeyUniverse.
 StatusOr<std::unique_ptr<lsm::DB>> OpenTunedDb(
     const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
+    lsm::StorageBackend backend = lsm::StorageBackend::kMemory);
+
+/// Sharded variant of OpenTunedDb: opens a ShardedDB deployment of
+/// `num_shards` hash-partitioned shards implementing the tuning and bulk
+/// loads the same even-key universe, ready to serve concurrent traffic.
+StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
+    const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
+    int num_shards, bool background_maintenance = true,
     lsm::StorageBackend backend = lsm::StorageBackend::kMemory);
 
 }  // namespace endure::bridge

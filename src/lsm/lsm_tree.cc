@@ -32,7 +32,7 @@ LsmTree::LsmTree(const Options& options, PageStore* store, Statistics* stats)
     : opts_(options),
       store_(store),
       stats_(stats),
-      memtable_(options.buffer_entries) {
+      active_(std::make_unique<MemTable>(options.buffer_entries)) {
   ENDURE_CHECK_MSG(opts_.Validate().ok(), "invalid Options");
   ENDURE_CHECK(store != nullptr && stats != nullptr);
   ENDURE_CHECK(store->entries_per_page() == opts_.entries_per_page);
@@ -77,8 +77,18 @@ void LsmTree::EnsureLevel(int level) {
 
 void LsmTree::Write(const Entry& e) {
   ++stats_->writes;
-  memtable_.Upsert(e);
-  if (memtable_.IsFull()) Flush();
+  active_->Upsert(e);
+  if (!active_->IsFull()) return;
+  if (opts_.background_maintenance) {
+    // Hand the full buffer to maintenance instead of flushing inline. If
+    // maintenance has fallen behind (the previous sealed buffer is still
+    // pending), flush it here — backpressure that keeps at most one
+    // sealed buffer alive.
+    if (sealed_ != nullptr) FlushSealedMemtable();
+    SealMemtable();
+  } else {
+    Flush();
+  }
 }
 
 void LsmTree::Put(Key key, Value value) {
@@ -89,19 +99,38 @@ void LsmTree::Delete(Key key) {
   Write(Entry{key, next_seq_++, 0, EntryType::kTombstone});
 }
 
-void LsmTree::Flush() {
-  if (memtable_.empty()) return;
+void LsmTree::SealMemtable() {
+  ENDURE_CHECK(sealed_ == nullptr);
+  sealed_ = std::move(active_);
+  active_ = std::make_unique<MemTable>(opts_.buffer_entries);
+}
+
+void LsmTree::FlushBuffer(const MemTable& buffer) {
   ++stats_->flushes;
   const int depth = std::max(DeepestLevel(), 1);
   // Stream straight out of the skiplist; no intermediate dump vector.
   RunBuilder builder(store_, FilterBitsForLevel(1, depth), IoContext::kFlush);
-  for (SkipList::Iterator it = memtable_.NewIterator(); it.Valid();
-       it.Next()) {
+  for (SkipList::Iterator it = buffer.NewIterator(); it.Valid(); it.Next()) {
     builder.Add(it.entry());
   }
-  std::shared_ptr<Run> run = builder.Finish();
-  memtable_.Clear();
-  AddRunToLevel(std::move(run), 1);
+  AddRunToLevel(builder.Finish(), 1);
+}
+
+void LsmTree::FlushSealedMemtable() {
+  if (sealed_ == nullptr) return;
+  // Detach before flushing so the invariant "sealed_ is full" never sees
+  // a half-flushed buffer; entries stay reachable via the new run.
+  std::unique_ptr<MemTable> buffer = std::move(sealed_);
+  FlushBuffer(*buffer);
+}
+
+void LsmTree::Flush() {
+  // Age order: the sealed buffer predates the active one, so its run must
+  // land on level 1 first (runs within a level are newest-first).
+  FlushSealedMemtable();
+  if (active_->empty()) return;
+  FlushBuffer(*active_);
+  active_->Clear();
 }
 
 void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
@@ -162,8 +191,15 @@ void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
 
 std::optional<Value> LsmTree::Get(Key key) {
   ++stats_->gets;
-  if (!memtable_.empty()) {
-    if (const Entry* e = memtable_.Find(key); e != nullptr) {
+  if (!active_->empty()) {
+    if (const Entry* e = active_->Find(key); e != nullptr) {
+      if (e->is_tombstone()) return std::nullopt;
+      return e->value;
+    }
+  }
+  // The sealed buffer is older than the active one but newer than any run.
+  if (sealed_ != nullptr) {
+    if (const Entry* e = sealed_->Find(key); e != nullptr) {
       if (e->is_tombstone()) return std::nullopt;
       return e->value;
     }
@@ -189,11 +225,17 @@ std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
   for (const auto& runs : levels_) total_runs += runs.size();
   std::vector<StreamAdapter<Run::Iterator>> run_streams;
   run_streams.reserve(total_runs);
-  MemtableRangeStream memtable_stream(memtable_, lo, hi);
+  MemtableRangeStream memtable_stream(*active_, lo, hi);
   std::vector<EntryStream*> heads;
-  heads.reserve(total_runs + 1);
-  // Memtable first (rank 0 = most recent source); no I/O.
+  heads.reserve(total_runs + 2);
+  // Active buffer first (rank 0 = most recent source), then the sealed
+  // buffer (rank 1, older than active but newer than any run); no I/O.
   if (memtable_stream.Valid()) heads.push_back(&memtable_stream);
+  std::optional<MemtableRangeStream> sealed_stream;
+  if (sealed_ != nullptr) {
+    sealed_stream.emplace(*sealed_, lo, hi);
+    if (sealed_stream->Valid()) heads.push_back(&*sealed_stream);
+  }
 
   for (const auto& runs : levels_) {
     for (const auto& run : runs) {
@@ -239,7 +281,7 @@ std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
 }
 
 void LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
-  ENDURE_CHECK_MSG(levels_.empty() && memtable_.empty(),
+  ENDURE_CHECK_MSG(levels_.empty() && active_->empty() && sealed_ == nullptr,
                    "BulkLoad requires an empty tree");
   if (sorted_entries.empty()) return;
   for (size_t i = 1; i < sorted_entries.size(); ++i) {
@@ -330,7 +372,8 @@ std::vector<LevelInfo> LsmTree::GetLevelInfos() const {
 }
 
 uint64_t LsmTree::TotalEntries() const {
-  uint64_t total = memtable_.size();
+  uint64_t total = active_->size();
+  if (sealed_ != nullptr) total += sealed_->size();
   for (const auto& runs : levels_) {
     for (const auto& run : runs) total += run->num_entries();
   }

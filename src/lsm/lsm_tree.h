@@ -32,8 +32,15 @@ struct LevelInfo {
   Key max_key = 0;         ///< largest key on the level (0 when empty)
 };
 
-/// The storage engine core. Not thread-safe (as with the experiments in
-/// the paper, workloads are executed single-threaded).
+/// The storage engine core. A single LsmTree performs no internal
+/// locking: callers serialize access to it (the experiment harness runs
+/// one thread, as in the paper; ShardedDB guards each shard's tree with
+/// the shard mutex and runs maintenance jobs under it). With
+/// `Options::background_maintenance` the tree never flushes inline —
+/// filling the write buffer seals it into an immutable slot that stays
+/// readable (and is consulted by Get/Scan between the active buffer and
+/// the runs) until FlushSealedMemtable() pushes it into level 1; see
+/// docs/architecture.md ("Concurrency model").
 class LsmTree {
  public:
   /// `store` and `stats` must outlive the tree.
@@ -54,9 +61,18 @@ class LsmTree {
   /// live entries in key order.
   std::vector<Entry> Scan(Key lo, Key hi);
 
-  /// Flushes the memtable if non-empty (also triggered automatically when
-  /// the buffer fills).
+  /// Flushes the sealed buffer (if any) and then the active memtable, in
+  /// age order. Also triggered automatically when the buffer fills and
+  /// background maintenance is off.
   void Flush();
+
+  /// True when a sealed (full, immutable, not yet flushed) buffer is
+  /// pending maintenance.
+  bool HasSealedMemtable() const { return sealed_ != nullptr; }
+
+  /// Flushes the sealed buffer into level 1 (no-op when none is pending).
+  /// ShardedDB's background jobs call this under the shard lock.
+  void FlushSealedMemtable();
 
   /// Builds a settled tree from `sorted_entries` (strictly ascending keys),
   /// filling levels bottom-up to capacity and stride-partitioning keys so
@@ -77,11 +93,16 @@ class LsmTree {
   uint64_t LevelCapacity(int level) const;
 
   const Options& options() const { return opts_; }
-  const MemTable& memtable() const { return memtable_; }
+  const MemTable& memtable() const { return *active_; }
   Statistics* stats() const { return stats_; }
 
  private:
   void Write(const Entry& e);
+  /// Moves the full active buffer into the sealed slot (which must be
+  /// empty) and installs a fresh active buffer.
+  void SealMemtable();
+  /// Streams `buffer` out as a level-1 run and cascades compactions.
+  void FlushBuffer(const MemTable& buffer);
   /// Flush + policy cascade entry point.
   void AddRunToLevel(std::shared_ptr<Run> run, int level);
   /// Bloom budget for a run landing on `level`, given the current tree
@@ -97,7 +118,8 @@ class LsmTree {
   Options opts_;
   PageStore* store_;
   Statistics* stats_;
-  MemTable memtable_;
+  std::unique_ptr<MemTable> active_;  ///< the mutable write buffer
+  std::unique_ptr<MemTable> sealed_;  ///< full buffer awaiting flush (or null)
   SeqNum next_seq_ = 1;
   /// levels_[i] holds level i+1; runs ordered newest first.
   std::vector<std::vector<std::shared_ptr<Run>>> levels_;

@@ -19,6 +19,9 @@ Status Options::Validate() const {
   if (backend == StorageBackend::kFile && storage_dir.empty()) {
     return Status::InvalidArgument("file backend requires storage_dir");
   }
+  if (num_shards < 1 || num_shards > 4096) {
+    return Status::InvalidArgument("num_shards must be in [1, 4096]");
+  }
   return Status::OK();
 }
 

@@ -66,7 +66,22 @@ struct Options {
   StorageBackend backend = StorageBackend::kMemory;
 
   /// Directory for the file backend (ignored by the memory backend).
+  /// ShardedDB gives each shard its own subdirectory underneath.
   std::string storage_dir = "/tmp/endure_lsm";
+
+  /// Number of hash-partitioned shards a ShardedDB front-end opens
+  /// (>= 1). Each shard is an independent LsmTree with its own page
+  /// store, statistics and memtable of `buffer_entries` entries; a plain
+  /// DB ignores the knob.
+  int num_shards = 1;
+
+  /// When true the engine never flushes inline on a full memtable:
+  /// Put/Delete seal the full buffer into an immutable slot that stays
+  /// readable until a maintenance job (ShardedDB's background worker, or
+  /// the next seal as inline fallback) flushes it. When false (default)
+  /// a full memtable flushes inline, preserving the single-threaded
+  /// behaviour the experiments measure.
+  bool background_maintenance = false;
 
   /// OK iff every knob is in range.
   Status Validate() const;

@@ -12,8 +12,9 @@
 //
 // Two backends: MemPageStore (default; pages live in RAM but are accounted
 // as device pages) and FilePageStore (pages serialized to files via POSIX
-// pread/pwrite for end-to-end realism). Stores are single-threaded, like
-// the engine that owns them.
+// pread/pwrite for end-to-end realism). Stores do no internal locking:
+// each store belongs to one tree and access is serialized by whoever owns
+// that tree (the single experiment thread, or a ShardedDB shard mutex).
 
 #ifndef ENDURE_LSM_PAGE_STORE_H_
 #define ENDURE_LSM_PAGE_STORE_H_
@@ -253,7 +254,7 @@ class FilePageStore final : public PageStore {
   SegmentId next_id_ = 1;
   std::unordered_map<SegmentId, SegmentMeta> segments_;
   /// Page-aligned scratch for ReadPage, sized PageBytes(); reused across
-  /// reads (the store is single-threaded like the engine above it).
+  /// reads (safe: access to a store is serialized by the tree's owner).
   std::unique_ptr<char, void (*)(void*)> read_scratch_;
 };
 

@@ -91,8 +91,9 @@ class Run {
   std::unique_ptr<BloomFilter> bloom_;
   std::unique_ptr<FencePointers> fences_;
   uint64_t num_entries_;
-  /// Point-lookup scratch, reused across Gets (single-threaded engine);
-  /// only materializing backends ever allocate it.
+  /// Point-lookup scratch, reused across Gets (access to a run is
+  /// serialized by its tree's owner); only materializing backends ever
+  /// allocate it.
   mutable PageBuffer scratch_;
 };
 

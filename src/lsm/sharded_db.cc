@@ -1,0 +1,170 @@
+#include "lsm/sharded_db.h"
+
+#include <algorithm>
+
+#include "lsm/merge_iterator.h"
+
+namespace endure::lsm {
+
+ShardedDB::ShardedDB(const Options& options) : options_(options) {
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Shards share storage_dir: FilePageStore segment names carry a
+    // per-instance tag, so no subdirectories are needed.
+    shard->store = MakePageStore(options_.entries_per_page, &shard->stats,
+                                 static_cast<int>(options_.backend),
+                                 options_.storage_dir);
+    shard->tree = std::make_unique<LsmTree>(options_, shard->store.get(),
+                                            &shard->stats);
+    shards_.push_back(std::move(shard));
+  }
+  if (options_.background_maintenance) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min(shards_.size(), DefaultParallelism()));
+  }
+}
+
+ShardedDB::~ShardedDB() {
+  // pool_ (declared last) is destroyed first, draining queued jobs while
+  // the shards they reference are still alive; nothing else to do here.
+}
+
+StatusOr<std::unique_ptr<ShardedDB>> ShardedDB::Open(const Options& options) {
+  ENDURE_RETURN_IF_ERROR(options.Validate());
+  return std::unique_ptr<ShardedDB>(new ShardedDB(options));
+}
+
+size_t ShardedDB::ShardForKey(Key key) const {
+  // Fibonacci hashing: spreads sequential keys (the workload generators
+  // use dense even keys) evenly across shards.
+  uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  return static_cast<size_t>(h % shards_.size());
+}
+
+void ShardedDB::MaybeScheduleMaintenance(Shard* shard) {
+  if (pool_ == nullptr || !shard->tree->HasSealedMemtable() ||
+      shard->maintenance_scheduled) {
+    return;
+  }
+  shard->maintenance_scheduled = true;
+  pool_->Submit([shard] {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->maintenance_scheduled = false;
+    // The flush and any compactions it cascades into run under the shard
+    // lock: writers and readers of this shard wait, other shards proceed.
+    shard->tree->FlushSealedMemtable();
+  });
+}
+
+void ShardedDB::Put(Key key, Value value) {
+  Shard* shard = shards_[ShardForKey(key)].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->tree->Put(key, value);
+  MaybeScheduleMaintenance(shard);
+}
+
+void ShardedDB::Delete(Key key) {
+  Shard* shard = shards_[ShardForKey(key)].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  shard->tree->Delete(key);
+  MaybeScheduleMaintenance(shard);
+}
+
+std::optional<Value> ShardedDB::Get(Key key) {
+  Shard* shard = shards_[ShardForKey(key)].get();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->tree->Get(key);
+}
+
+std::vector<Entry> ShardedDB::Scan(Key lo, Key hi) {
+  if (shards_.size() == 1) {
+    Shard* shard = shards_.front().get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    return shard->tree->Scan(lo, hi);
+  }
+  // Snapshot each shard under its lock, then merge outside any lock.
+  // Shards hold disjoint key sets, so the merge is a sorted union (ranks
+  // never break ties) and per-shard results carry no tombstones.
+  std::vector<std::unique_ptr<EntryStream>> streams;
+  streams.reserve(shards_.size());
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::vector<Entry> part;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      part = shard->tree->Scan(lo, hi);
+    }
+    if (!part.empty()) {
+      streams.push_back(std::make_unique<VectorStream>(std::move(part)));
+    }
+  }
+  MergeIterator merge(std::move(streams));
+  return DrainMerge(&merge, /*drop_tombstones=*/true);
+}
+
+void ShardedDB::Flush() {
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->tree->Flush();
+  }
+}
+
+void ShardedDB::WaitForMaintenance() {
+  if (pool_ != nullptr) pool_->Wait();
+}
+
+Status ShardedDB::BulkLoad(
+    const std::vector<std::pair<Key, Value>>& sorted_pairs) {
+  if (TotalEntries() != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty database");
+  }
+  std::vector<std::vector<Entry>> parts(shards_.size());
+  for (size_t i = 0; i < sorted_pairs.size(); ++i) {
+    const auto& [key, value] = sorted_pairs[i];
+    if (i > 0 && sorted_pairs[i - 1].first >= key) {
+      return Status::InvalidArgument(
+          "BulkLoad input must be strictly ascending by key");
+    }
+    parts[ShardForKey(key)].push_back(
+        Entry{key, /*seq=*/0, value, EntryType::kValue});
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (parts[s].empty()) continue;
+    Shard* shard = shards_[s].get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Re-check emptiness under the shard lock: a Put racing BulkLoad must
+    // surface as this error (possibly after other shards loaded), never
+    // as the tree's empty-precondition abort.
+    if (shard->tree->TotalEntries() != 0) {
+      return Status::FailedPrecondition(
+          "BulkLoad raced a concurrent write; shard no longer empty");
+    }
+    shard->tree->BulkLoad(parts[s]);
+  }
+  return Status::OK();
+}
+
+Statistics ShardedDB::TotalStats() const {
+  Statistics total;
+  for (const auto& shard : shards_) total.Accumulate(shard->stats);
+  return total;
+}
+
+Statistics ShardedDB::ShardStats(size_t shard) const {
+  return shards_[shard]->stats;
+}
+
+uint64_t ShardedDB::TotalEntries() const {
+  uint64_t total = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->tree->TotalEntries();
+  }
+  return total;
+}
+
+}  // namespace endure::lsm

@@ -1,0 +1,123 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Concurrent front-end of the storage engine: hash-partitions the key
+// space across Options::num_shards independent LsmTree shards, each
+// guarded by its own mutex, with memtable flushes (and the compactions
+// they cascade into) scheduled on a util::ThreadPool when
+// Options::background_maintenance is set. Writers that fill a shard's
+// buffer seal it and return immediately; Get/Scan consult the
+// sealed-but-unflushed buffer so an acknowledged write is always visible.
+// See docs/architecture.md ("Concurrency model") for the locking
+// discipline and the maintenance-job lifecycle.
+
+#ifndef ENDURE_LSM_SHARDED_DB_H_
+#define ENDURE_LSM_SHARDED_DB_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "lsm/lsm_tree.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace endure::lsm {
+
+/// A sharded, thread-safe database instance. All public operations may be
+/// called concurrently from any number of threads; destruction must be
+/// externally ordered after the last operation (as with any C++ object).
+class ShardedDB {
+ public:
+  /// Opens a fresh sharded database; fails on invalid options. With
+  /// `options.background_maintenance`, a maintenance pool of
+  /// min(num_shards, hardware threads) workers is started.
+  static StatusOr<std::unique_ptr<ShardedDB>> Open(const Options& options);
+
+  /// Drains in-flight maintenance jobs, then tears down the shards.
+  ~ShardedDB();
+
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(ShardedDB);
+
+  /// Inserts or updates a key. Acknowledged writes are immediately
+  /// visible to Get/Scan (linearized by the shard mutex).
+  void Put(Key key, Value value);
+
+  /// Deletes a key.
+  void Delete(Key key);
+
+  /// Point lookup.
+  std::optional<Value> Get(Key key);
+
+  /// Range query over [lo, hi): merges the per-shard results (shards hold
+  /// disjoint key sets, so this is a sorted union) in key order. Shards
+  /// are snapshotted one at a time — the scan is atomic per shard, not
+  /// across shards, like an iterator over a sharded RocksDB deployment.
+  std::vector<Entry> Scan(Key lo, Key hi);
+
+  /// Synchronously flushes every shard (sealed buffer first, then the
+  /// active one). Does not wait for previously scheduled background jobs;
+  /// call WaitForMaintenance() first for a full barrier.
+  void Flush();
+
+  /// Blocks until every scheduled maintenance job has run. A quiescent
+  /// point: afterwards (absent concurrent writers) no sealed buffers
+  /// remain scheduled and statistics are stable.
+  void WaitForMaintenance();
+
+  /// Bulk loads strictly-ascending (key, value) pairs into empty shards,
+  /// routing each pair to its shard (each shard's subsequence stays
+  /// strictly ascending).
+  Status BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs);
+
+  /// Aggregated statistics across all shards: a lock-free relaxed
+  /// snapshot (counters may be mid-update under concurrent load; at
+  /// quiescent points the sums are exact).
+  Statistics TotalStats() const;
+
+  /// Snapshot of one shard's statistics.
+  Statistics ShardStats(size_t shard) const;
+
+  /// Entries across all shards (memtables, sealed buffers and runs).
+  uint64_t TotalEntries() const;
+
+  /// Which shard serves `key` (exposed for tests and routing layers).
+  size_t ShardForKey(Key key) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const Options& options() const { return options_; }
+
+  /// Structural access to one shard's tree for tests/experiments. Only
+  /// safe at quiescent points (no concurrent operations or maintenance).
+  const LsmTree& shard_tree(size_t shard) const {
+    return *shards_[shard]->tree;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;  ///< guards tree, store contents and scheduling state
+    Statistics stats;
+    std::unique_ptr<PageStore> store;
+    std::unique_ptr<LsmTree> tree;
+    /// True while a maintenance job is queued or running for this shard
+    /// (at most one in flight per shard; the job re-checks for sealed
+    /// work under the lock, so a foreground Flush racing it is benign).
+    bool maintenance_scheduled = false;
+  };
+
+  explicit ShardedDB(const Options& options);
+
+  /// Called with `shard->mu` held: schedules a maintenance job if the
+  /// shard has sealed work and none is in flight.
+  void MaybeScheduleMaintenance(Shard* shard);
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Declared after shards_ so it is destroyed first: the destructor
+  /// drains queued jobs while the shards they reference are still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace endure::lsm
+
+#endif  // ENDURE_LSM_SHARDED_DB_H_

@@ -40,6 +40,27 @@ void Statistics::OnPageWrite(IoContext ctx, uint64_t pages) {
   }
 }
 
+void Statistics::Accumulate(const Statistics& shard) {
+  pages_read += shard.pages_read;
+  pages_written += shard.pages_written;
+  point_pages_read += shard.point_pages_read;
+  range_pages_read += shard.range_pages_read;
+  range_seeks += shard.range_seeks;
+  flush_pages_written += shard.flush_pages_written;
+  compaction_pages_read += shard.compaction_pages_read;
+  compaction_pages_written += shard.compaction_pages_written;
+  bulk_load_pages_written += shard.bulk_load_pages_written;
+  bloom_probes += shard.bloom_probes;
+  bloom_negatives += shard.bloom_negatives;
+  bloom_false_positives += shard.bloom_false_positives;
+  fence_skips += shard.fence_skips;
+  gets += shard.gets;
+  range_queries += shard.range_queries;
+  writes += shard.writes;
+  flushes += shard.flushes;
+  compactions += shard.compactions;
+}
+
 Statistics Statistics::Delta(const Statistics& b) const {
   Statistics d;
   d.pages_read = pages_read - b.pages_read;

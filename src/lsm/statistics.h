@@ -5,14 +5,52 @@
 // logical page accesses for reads, pages flushed on writes, and pages read
 // and written by compactions, kept per cause so experiments can attribute
 // I/O to query classes.
+//
+// Counters are lock-free (relaxed atomics behind a uint64_t-shaped
+// wrapper) so a ShardedDB can aggregate per-shard statistics while
+// background maintenance jobs are still bumping them. Relaxed ordering is
+// enough: counters never gate control flow, and cross-counter invariants
+// are only asserted at quiescent points (after Wait/Flush barriers).
 
 #ifndef ENDURE_LSM_STATISTICS_H_
 #define ENDURE_LSM_STATISTICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace endure::lsm {
+
+/// A uint64_t counter that tolerates concurrent increments and reads.
+/// Behaves like a plain integer in expressions (implicit conversion,
+/// ++/+=/=), and is copyable — a copy snapshots the current value — so
+/// `Statistics before = db->stats()` keeps working unchanged.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t v = 0) : v_(v) {}  // NOLINT(runtime/explicit)
+  RelaxedCounter(const RelaxedCounter& other) : v_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    v_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  operator uint64_t() const { return load(); }
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t load() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
 
 /// Why a page access happened (controls which counters are bumped).
 enum class IoContext {
@@ -23,31 +61,32 @@ enum class IoContext {
   kBulkLoad = 4,
 };
 
-/// Aggregate counters. Plain struct: cheap to snapshot and diff.
+/// Aggregate counters. Still a value type: cheap to snapshot and diff
+/// (copies take relaxed snapshots of each counter).
 struct Statistics {
   // --- page-level I/O ---
-  uint64_t pages_read = 0;              ///< all page reads
-  uint64_t pages_written = 0;           ///< all page writes
-  uint64_t point_pages_read = 0;        ///< page reads serving point queries
-  uint64_t range_pages_read = 0;        ///< page reads serving range queries
-  uint64_t range_seeks = 0;             ///< runs touched by range queries
-  uint64_t flush_pages_written = 0;     ///< pages written by memtable flushes
-  uint64_t compaction_pages_read = 0;   ///< pages read by compactions
-  uint64_t compaction_pages_written = 0;///< pages written by compactions
-  uint64_t bulk_load_pages_written = 0; ///< pages written during bulk load
+  RelaxedCounter pages_read = 0;              ///< all page reads
+  RelaxedCounter pages_written = 0;           ///< all page writes
+  RelaxedCounter point_pages_read = 0;        ///< page reads serving point queries
+  RelaxedCounter range_pages_read = 0;        ///< page reads serving range queries
+  RelaxedCounter range_seeks = 0;             ///< runs touched by range queries
+  RelaxedCounter flush_pages_written = 0;     ///< pages written by memtable flushes
+  RelaxedCounter compaction_pages_read = 0;   ///< pages read by compactions
+  RelaxedCounter compaction_pages_written = 0;///< pages written by compactions
+  RelaxedCounter bulk_load_pages_written = 0; ///< pages written during bulk load
 
   // --- filter / fence behaviour ---
-  uint64_t bloom_probes = 0;           ///< bloom filter membership tests
-  uint64_t bloom_negatives = 0;        ///< probes that skipped a run
-  uint64_t bloom_false_positives = 0;  ///< page reads that found nothing
-  uint64_t fence_skips = 0;            ///< runs skipped via min/max range
+  RelaxedCounter bloom_probes = 0;           ///< bloom filter membership tests
+  RelaxedCounter bloom_negatives = 0;        ///< probes that skipped a run
+  RelaxedCounter bloom_false_positives = 0;  ///< page reads that found nothing
+  RelaxedCounter fence_skips = 0;            ///< runs skipped via min/max range
 
   // --- operations ---
-  uint64_t gets = 0;
-  uint64_t range_queries = 0;
-  uint64_t writes = 0;
-  uint64_t flushes = 0;
-  uint64_t compactions = 0;
+  RelaxedCounter gets = 0;
+  RelaxedCounter range_queries = 0;
+  RelaxedCounter writes = 0;
+  RelaxedCounter flushes = 0;
+  RelaxedCounter compactions = 0;
 
   /// Records one page read attributed to `ctx`.
   void OnPageRead(IoContext ctx, uint64_t pages = 1);
@@ -58,6 +97,10 @@ struct Statistics {
   /// Component-wise difference (this - baseline); used to measure a single
   /// workload session.
   Statistics Delta(const Statistics& baseline) const;
+
+  /// Component-wise sum: folds `shard` into this. Used by ShardedDB to
+  /// aggregate per-shard statistics.
+  void Accumulate(const Statistics& shard);
 
   /// Multi-line human-readable dump.
   std::string ToString() const;

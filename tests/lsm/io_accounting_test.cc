@@ -6,6 +6,7 @@
 
 #include "bridge/tuned_db.h"
 #include "lsm/db.h"
+#include "lsm/sharded_db.h"
 #include "util/random.h"
 #include "workload/query_generator.h"
 
@@ -248,6 +249,120 @@ TEST(IoAccountingTest, FileBackendCountsMatchMemoryBackendExactly) {
   EXPECT_EQ(mem.compactions, file.compactions);
   EXPECT_EQ(mem.flushes, file.flushes);
 }
+
+// --- sharded statistics accounting -----------------------------------------
+
+namespace sharded {
+
+Options ShardOpts(StorageBackend backend, bool background) {
+  Options o = Opts();
+  o.num_shards = 4;
+  o.background_maintenance = background;
+  o.backend = backend;
+  o.storage_dir = "/tmp/endure_io_accounting_sharded";
+  return o;
+}
+
+/// A deterministic single-threaded mixed workload (determinism is what
+/// lets the memory-vs-file comparison demand bit-identical counters).
+void RunWorkload(ShardedDB* db, uint64_t seed) {
+  std::vector<std::pair<Key, Value>> pairs;
+  for (uint64_t i = 0; i < 2000; ++i) pairs.emplace_back(2 * i, i);
+  ASSERT_TRUE(db->BulkLoad(pairs).ok());
+  Rng rng(seed);
+  workload::KeyUniverse universe(2000);
+  for (int i = 0; i < 400; ++i) {
+    db->Get(universe.SampleExisting(&rng));
+    db->Get(universe.SampleMissing(&rng));
+    const Key lo = universe.SampleExisting(&rng);
+    db->Scan(lo, lo + 12);
+    db->Put(universe.NextWriteKey(), 1);
+    if (i % 40 == 0) db->Delete(2 * static_cast<Key>(i));
+  }
+  db->WaitForMaintenance();
+  db->Flush();
+}
+
+#define EXPECT_ALL_COUNTERS_EQ(a, b)                                        \
+  do {                                                                      \
+    EXPECT_EQ((a).pages_read, (b).pages_read);                              \
+    EXPECT_EQ((a).pages_written, (b).pages_written);                        \
+    EXPECT_EQ((a).point_pages_read, (b).point_pages_read);                  \
+    EXPECT_EQ((a).range_pages_read, (b).range_pages_read);                  \
+    EXPECT_EQ((a).range_seeks, (b).range_seeks);                            \
+    EXPECT_EQ((a).flush_pages_written, (b).flush_pages_written);            \
+    EXPECT_EQ((a).compaction_pages_read, (b).compaction_pages_read);        \
+    EXPECT_EQ((a).compaction_pages_written, (b).compaction_pages_written);  \
+    EXPECT_EQ((a).bulk_load_pages_written, (b).bulk_load_pages_written);    \
+    EXPECT_EQ((a).bloom_probes, (b).bloom_probes);                          \
+    EXPECT_EQ((a).bloom_negatives, (b).bloom_negatives);                    \
+    EXPECT_EQ((a).bloom_false_positives, (b).bloom_false_positives);        \
+    EXPECT_EQ((a).fence_skips, (b).fence_skips);                            \
+    EXPECT_EQ((a).gets, (b).gets);                                          \
+    EXPECT_EQ((a).range_queries, (b).range_queries);                        \
+    EXPECT_EQ((a).writes, (b).writes);                                      \
+    EXPECT_EQ((a).flushes, (b).flushes);                                    \
+    EXPECT_EQ((a).compactions, (b).compactions);                            \
+  } while (0)
+
+// The aggregate is the component-wise sum of the shard-local counters —
+// even with background maintenance in the mix (summed at a quiescent
+// point, after the Wait/Flush barrier).
+TEST(ShardedIoAccountingTest, AggregateEqualsSumOfShardCounters) {
+  for (const bool background : {false, true}) {
+    auto db = std::move(
+        ShardedDB::Open(ShardOpts(StorageBackend::kMemory, background)))
+        .value();
+    RunWorkload(db.get(), 31);
+    Statistics sum;
+    for (size_t s = 0; s < db->num_shards(); ++s) {
+      sum.Accumulate(db->ShardStats(s));
+    }
+    const Statistics total = db->TotalStats();
+    EXPECT_ALL_COUNTERS_EQ(total, sum);
+    EXPECT_GT(total.pages_read, 0u);
+    EXPECT_GT(total.pages_written, 0u);
+    EXPECT_GT(total.bloom_probes, 0u);
+  }
+}
+
+// Sharded counters stay bit-identical across storage backends, like the
+// single-tree ones: the shard hash and the per-shard access pattern are
+// purely logical. (Foreground maintenance: background-job timing is the
+// one legitimate source of nondeterminism in when — not how much — I/O
+// happens, so the bit-identical comparison pins the deterministic mode.)
+TEST(ShardedIoAccountingTest, FileBackendMatchesMemoryBackendExactly) {
+  auto run = [](StorageBackend backend) {
+    auto db = std::move(ShardedDB::Open(ShardOpts(backend, false))).value();
+    RunWorkload(db.get(), 32);
+    return db->TotalStats();
+  };
+  const Statistics mem = run(StorageBackend::kMemory);
+  const Statistics file = run(StorageBackend::kFile);
+  EXPECT_ALL_COUNTERS_EQ(mem, file);
+}
+
+// A sharded deployment charges the same flush/bulk-load page totals as
+// the work it does is conserved: every buffered entry still costs
+// ceil(m / B)-page flushes within its own shard.
+TEST(ShardedIoAccountingTest, WritePathConservation) {
+  auto db = std::move(
+      ShardedDB::Open(ShardOpts(StorageBackend::kMemory, true))).value();
+  const Options& o = db->options();
+  const uint64_t n = 5000;
+  for (Key k = 0; k < n; ++k) db->Put(2 * k, k);
+  db->WaitForMaintenance();
+  db->Flush();
+  const Statistics s = db->TotalStats();
+  EXPECT_EQ(s.writes, n);
+  EXPECT_EQ(s.pages_written, s.flush_pages_written +
+                                 s.compaction_pages_written +
+                                 s.bulk_load_pages_written);
+  // Every entry was flushed exactly once from some shard's buffer.
+  EXPECT_GE(s.flush_pages_written * o.entries_per_page, n);
+}
+
+}  // namespace sharded
 
 TEST(IoAccountingTest, TieringChargesMoreFilterProbesPerMiss) {
   // More runs -> more bloom probes per empty lookup.
