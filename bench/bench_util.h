@@ -21,6 +21,12 @@
 
 namespace endure::bench_util {
 
+/// Version of the BENCH_*.json layout the micro-benchmarks emit (see
+/// docs/benchmarks.md for the schema). Every benchmark stamps it into
+/// its JSON via BeginJson so downstream tooling can detect drift; bump
+/// it when a shared key changes name or meaning.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
 /// Allocation counters, defined by ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
 /// in the benchmark binary. Atomic: benchmarks may allocate from several
 /// threads.
@@ -68,6 +74,16 @@ class Meter {
   uint64_t bytes_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Opens a benchmark's JSON object: the bench name plus the schema
+/// version, so every emitted file is self-describing.
+inline std::string BeginJson(const char* bench) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,\n",
+                bench, kBenchJsonSchemaVersion);
+  return buf;
+}
 
 /// Appends one phase object ("name": {...}) to `json`, with the shared
 /// key set every micro-bench reports.

@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
   const uint64_t ops =
       static_cast<uint64_t>(endure::GetEnvInt("MICRO_IO_OPS", 200000));
 
-  std::string json = "{\n  \"bench\": \"micro_io\",\n";
+  std::string json = endure::bench_util::BeginJson("micro_io");
   {
     char buf[160];
     std::snprintf(buf, sizeof(buf),

@@ -1,0 +1,194 @@
+// micro_retune: cost of a live reconfiguration on a serving ShardedDB.
+//
+// Loads a 4-shard deployment under tuning A (tiering, T=6, 8 bits of
+// filter), serves a mixed get/put workload from 4 client threads, then
+// applies tuning B (leveling, T=4, halved buffer, 4 bits) IN PLACE and
+// keeps serving. Reported: the ApplyTuning call latency (the foreground
+// cost of a retune — should be microseconds, it only retargets buffers
+// and bumps epochs), throughput before / during / after the structural
+// migration, the migration's own I/O bill, and how far the Bloom-filter
+// epoch migration progressed (resident runs only rebuild their filters
+// when compaction touches them, so the fraction climbs lazily).
+//
+// Scale knobs (environment):
+//   MICRO_RETUNE_N    entries bulk-loaded (default 200k)
+//   MICRO_RETUNE_OPS  ops per measured phase (default 200k)
+//
+// Usage: micro_retune [output.json]  (always prints the JSON to stdout)
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsm/sharded_db.h"
+#include "util/env.h"
+#include "util/random.h"
+
+ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
+
+namespace endure::lsm {
+namespace {
+
+using bench_util::Meter;
+using bench_util::PhaseResult;
+
+constexpr int kShards = 4;
+constexpr int kThreads = 4;
+
+// A -> B goes tiering -> leveling with a smaller size ratio: the
+// direction that actually costs something structurally (multi-run levels
+// must fold into single runs and over-capacity runs cascade deeper).
+// The reverse direction is structurally free - single runs already
+// satisfy tiering - which is itself worth knowing.
+Options TuningA() {
+  Options o;
+  o.size_ratio = 6;
+  o.policy = CompactionPolicy::kTiering;
+  o.buffer_entries = 1024;  // per shard (small: deep trees at bench scale)
+  o.entries_per_page = 256;
+  o.filter_bits_per_entry = 8.0;
+  o.num_shards = kShards;
+  o.background_maintenance = true;
+  return o;
+}
+
+Options TuningB() {
+  Options o = TuningA();
+  o.policy = CompactionPolicy::kLeveling;
+  o.size_ratio = 4;
+  o.buffer_entries = 512;
+  o.filter_bits_per_entry = 4.0;
+  return o;
+}
+
+/// One measured phase: kThreads clients, 80% point lookups / 20%
+/// overwrites over the loaded key space.
+PhaseResult ServePhase(ShardedDB* db, uint64_t ops, uint64_t key_space,
+                       uint64_t seed) {
+  const uint64_t per_thread = ops / kThreads;
+  const Statistics before = db->TotalStats();
+  Meter meter;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(seed + static_cast<uint64_t>(t));
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const Key k = 2 * rng.UniformInt(0, key_space - 1);
+        if (rng.NextDouble() < 0.8) {
+          db->Get(k);
+        } else {
+          db->Put(k, i);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const Statistics d = db->TotalStats().Delta(before);
+  return meter.Finish(per_thread * kThreads, d.pages_read + d.pages_written);
+}
+
+}  // namespace
+}  // namespace endure::lsm
+
+int main(int argc, char** argv) {
+  using namespace endure::lsm;
+  using Clock = std::chrono::steady_clock;
+  const uint64_t n =
+      static_cast<uint64_t>(endure::GetEnvInt("MICRO_RETUNE_N", 200000));
+  const uint64_t ops =
+      static_cast<uint64_t>(endure::GetEnvInt("MICRO_RETUNE_OPS", 200000));
+
+  auto db = std::move(ShardedDB::Open(TuningA())).value();
+  {
+    std::vector<std::pair<Key, Value>> pairs;
+    pairs.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) pairs.emplace_back(2 * i, i);
+    if (!db->BulkLoad(pairs).ok()) return 1;
+  }
+
+  std::fprintf(stderr, "phase: before (tuning A)...\n");
+  const PhaseResult before = ServePhase(db.get(), ops, n, 42);
+
+  // The retune itself: foreground cost of ApplyTuning (per-shard buffer
+  // retarget + epoch bump; the heavy lifting is backgrounded). Drain the
+  // before-phase's maintenance backlog first so the latency measures the
+  // call, not lock-waits behind queued flush jobs; and snapshot the
+  // counters first: on an idle pool the migration starts (and at small
+  // scales finishes) the moment the apply returns.
+  db->WaitForMaintenance();
+  const Statistics migration_base = db->TotalStats();
+  const auto apply_start = Clock::now();
+  if (!db->ApplyTuning(TuningB()).ok()) return 1;
+  const double apply_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          Clock::now() - apply_start)
+          .count();
+
+  std::fprintf(stderr, "phase: during migration...\n");
+  const PhaseResult during = ServePhase(db.get(), ops, n, 142);
+
+  // Let the structural migration finish and bill the window from apply
+  // to convergence (it includes the during-phase's normal flush/compact
+  // work — the price of measuring a serving system).
+  db->WaitForMaintenance();
+  const double migration_wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          Clock::now() - apply_start)
+          .count();
+  const Statistics migration = db->TotalStats().Delta(migration_base);
+  const MigrationProgress progress = db->Progress();
+
+  std::fprintf(stderr, "phase: after (tuning B)...\n");
+  const PhaseResult after = ServePhase(db.get(), ops, n, 242);
+
+  std::string json = endure::bench_util::BeginJson("micro_retune");
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"config\": {\"n\": %llu, \"ops\": %llu, "
+                  "\"shards\": %d, \"threads\": %d, "
+                  "\"hardware_threads\": %u},\n",
+                  static_cast<unsigned long long>(n),
+                  static_cast<unsigned long long>(ops), kShards, kThreads,
+                  std::thread::hardware_concurrency());
+    json += buf;
+  }
+  json += "  \"phases\": {\n";
+  endure::bench_util::AppendPhaseJson(&json, "before", before, false);
+  endure::bench_util::AppendPhaseJson(&json, "during_migration", during,
+                                      false);
+  endure::bench_util::AppendPhaseJson(&json, "after", after, true);
+  json += "  },\n";
+  {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"apply_latency_us\": %.1f,\n"
+        "  \"migration\": {\"steps\": %llu, \"compactions\": %llu, "
+        "\"compaction_pages_read\": %llu, "
+        "\"compaction_pages_written\": %llu, "
+        "\"flush_pages_written\": %llu, \"wall_ms\": %.1f},\n"
+        "  \"progress\": {\"structure_conforming\": %s, "
+        "\"entries_current_fraction\": %.3f},\n"
+        "  \"during_vs_before_throughput\": %.3f,\n"
+        "  \"after_vs_before_throughput\": %.3f\n",
+        apply_us, static_cast<unsigned long long>(migration.migration_steps),
+        static_cast<unsigned long long>(migration.compactions),
+        static_cast<unsigned long long>(migration.compaction_pages_read),
+        static_cast<unsigned long long>(migration.compaction_pages_written),
+        static_cast<unsigned long long>(migration.flush_pages_written),
+        migration_wall_ms,
+        progress.structure_conforming() ? "true" : "false",
+        progress.entries_current_fraction(),
+        before.ops_per_sec > 0 ? during.ops_per_sec / before.ops_per_sec : 0,
+        before.ops_per_sec > 0 ? after.ops_per_sec / before.ops_per_sec : 0);
+    json += buf;
+  }
+  json += "}\n";
+
+  return endure::bench_util::EmitJson(json, argc, argv);
+}

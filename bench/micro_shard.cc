@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
   const int kShardCounts[] = {1, 2, 4, 8};
   double put_1x1 = 0, put_4x4 = 0;
 
-  std::string json = "{\n  \"bench\": \"micro_shard\",\n";
+  std::string json = endure::bench_util::BeginJson("micro_shard");
   {
     char buf[200];
     std::snprintf(buf, sizeof(buf),

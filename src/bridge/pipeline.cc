@@ -31,4 +31,13 @@ TuningResult TuningPipeline::Retune() {
   return result;
 }
 
+StatusOr<TuningResult> TuningPipeline::RetuneAndApply(
+    lsm::ShardedDB* db, uint64_t actual_entries) {
+  const TuningResult result = Retune();
+  if (actual_entries == 0) actual_entries = db->TotalEntries();
+  ENDURE_RETURN_IF_ERROR(
+      ApplyTuning(db, model_.config(), result.tuning, actual_entries));
+  return result;
+}
+
 }  // namespace endure::bridge

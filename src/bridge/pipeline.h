@@ -8,6 +8,7 @@
 #ifndef ENDURE_BRIDGE_PIPELINE_H_
 #define ENDURE_BRIDGE_PIPELINE_H_
 
+#include "bridge/tuned_db.h"
 #include "core/endure.h"
 #include "workload/drift.h"
 
@@ -48,6 +49,16 @@ class TuningPipeline {
   /// the robust problem, clears the alarm, and returns the new result.
   /// Callers redeploy the returned tuning at their convenience.
   TuningResult Retune();
+
+  /// Retune() plus live deployment: applies the new recommendation to the
+  /// serving ShardedDB in place via bridge::ApplyTuning (no rebuild; the
+  /// structural migration proceeds on the DB's maintenance pool). The
+  /// engine options are derived for `actual_entries` entries — pass the
+  /// deployed entry count, or 0 to use db->TotalEntries(). On an apply
+  /// error the pipeline state (tuning, monitor recentering) still
+  /// reflects the retune; the DB keeps its previous tuning.
+  StatusOr<TuningResult> RetuneAndApply(lsm::ShardedDB* db,
+                                        uint64_t actual_entries = 0);
 
   /// Read-only access to the monitor (divergences, window state).
   const workload::DriftMonitor& monitor() const { return monitor_; }

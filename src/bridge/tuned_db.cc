@@ -82,4 +82,23 @@ StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
   return db;
 }
 
+Status ApplyTuning(lsm::ShardedDB* db, const SystemConfig& cfg,
+                   const Tuning& t, uint64_t actual_entries) {
+  const lsm::Options& current = db->options();
+  lsm::Options next =
+      MakeOptions(cfg, t, actual_entries, current.backend,
+                  current.num_shards, current.background_maintenance);
+  next.storage_dir = current.storage_dir;  // placement is immutable
+  return db->ApplyTuning(next);
+}
+
+Status ApplyTuning(lsm::DB* db, const SystemConfig& cfg, const Tuning& t,
+                   uint64_t actual_entries) {
+  const lsm::Options& current = db->options();
+  lsm::Options next = MakeOptions(cfg, t, actual_entries, current.backend);
+  next.background_maintenance = current.background_maintenance;
+  next.storage_dir = current.storage_dir;
+  return db->ApplyTuning(next);
+}
+
 }  // namespace endure::bridge

@@ -49,6 +49,23 @@ StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
     int num_shards, bool background_maintenance = true,
     lsm::StorageBackend backend = lsm::StorageBackend::kMemory);
 
+/// Applies tuner output to a *running* deployment: maps `t` onto engine
+/// options for `actual_entries` entries (per-shard buffer split, rounded
+/// size ratio — the same mapping MakeOptions used at open, with the
+/// deployment's immutable knobs carried over) and calls
+/// `db->ApplyTuning`, which transitions the serving system live: no
+/// rebuild, no lost acked writes, reads served throughout. The
+/// structural migration proceeds on the maintenance pool; poll
+/// `db->Progress()` or call `db->WaitForMaintenance()` to observe it
+/// converge. This is the deploy half of the Section 7.3 loop
+/// (TuningPipeline::RetuneAndApply packages both halves).
+Status ApplyTuning(lsm::ShardedDB* db, const SystemConfig& cfg,
+                   const Tuning& t, uint64_t actual_entries);
+
+/// Single-tree variant (experiments): migration converges synchronously.
+Status ApplyTuning(lsm::DB* db, const SystemConfig& cfg, const Tuning& t,
+                   uint64_t actual_entries);
+
 }  // namespace endure::bridge
 
 #endif  // ENDURE_BRIDGE_TUNED_DB_H_

@@ -31,4 +31,12 @@ Status DB::BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs) {
   return Status::OK();
 }
 
+Status DB::ApplyTuning(const Options& new_options) {
+  ENDURE_RETURN_IF_ERROR(tree_->Reconfigure(new_options));
+  while (tree_->AdvanceMigration()) {
+  }
+  options_ = new_options;
+  return Status::OK();
+}
+
 }  // namespace endure::lsm

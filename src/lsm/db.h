@@ -43,6 +43,18 @@ class DB {
   /// Bulk loads strictly-ascending (key, value) pairs into an empty tree.
   Status BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs);
 
+  /// Applies a new tuning to the open database in place (no rebuild):
+  /// reconfigures the tree and — since a plain DB has no background
+  /// maintenance — converges the structural migration synchronously
+  /// before returning. Bloom filters of resident runs still migrate
+  /// lazily, at their next compaction. See ShardedDB::ApplyTuning for
+  /// the serving-system variant and the list of immutable knobs.
+  Status ApplyTuning(const Options& new_options);
+
+  /// Epoch/shape progress of the latest ApplyTuning (see
+  /// MigrationProgress).
+  MigrationProgress Progress() const { return tree_->Progress(); }
+
   /// Cumulative statistics since open.
   const Statistics& stats() const { return stats_; }
 

@@ -113,7 +113,9 @@ void LsmTree::FlushBuffer(const MemTable& buffer) {
   for (SkipList::Iterator it = buffer.NewIterator(); it.Valid(); it.Next()) {
     builder.Add(it.entry());
   }
-  AddRunToLevel(builder.Finish(), 1);
+  std::shared_ptr<Run> run = builder.Finish();
+  Stamp(run);
+  AddRunToLevel(std::move(run), 1);
 }
 
 void LsmTree::FlushSealedMemtable() {
@@ -164,6 +166,7 @@ void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
       runs.clear();
       if (merged == nullptr) return;  // everything consolidated away
       run = std::move(merged);
+      Stamp(run);
     }
     // Overflow: the level's run moves down and merges there.
     if (run->num_entries() > LevelCapacity(level)) {
@@ -185,7 +188,10 @@ void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
     std::shared_ptr<Run> merged = MergeRuns(
         store_, runs, FilterBitsForLevel(level + 1, depth), drop);
     runs.clear();
-    if (merged != nullptr) AddRunToLevel(std::move(merged), level + 1);
+    if (merged != nullptr) {
+      Stamp(merged);
+      AddRunToLevel(std::move(merged), level + 1);
+    }
   }
 }
 
@@ -339,8 +345,130 @@ void LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
 
   for (int level = 1; level <= depth; ++level) {
     if (builders[level] == nullptr) continue;
-    levels_[level - 1].push_back(builders[level]->Finish());
+    std::shared_ptr<Run> run = builders[level]->Finish();
+    Stamp(run);
+    levels_[level - 1].push_back(std::move(run));
   }
+}
+
+Status LsmTree::Reconfigure(const Options& new_options) {
+  ENDURE_RETURN_IF_ERROR(new_options.Validate());
+  if (new_options.entries_per_page != opts_.entries_per_page) {
+    return Status::InvalidArgument(
+        "entries_per_page is fixed at open (page geometry is shared with "
+        "the page store)");
+  }
+  if (new_options.backend != opts_.backend ||
+      new_options.storage_dir != opts_.storage_dir) {
+    return Status::InvalidArgument(
+        "storage backend and directory cannot change on a live tree");
+  }
+  if (new_options.background_maintenance != opts_.background_maintenance) {
+    return Status::InvalidArgument(
+        "background_maintenance cannot change on a live tree");
+  }
+
+  opts_ = new_options;
+  ++tuning_epoch_;
+  ++stats_->reconfigurations;
+  // Conservatively assume the structure must be revisited; the first
+  // AdvanceMigration call that finds every level conforming clears it.
+  migration_pending_ = true;
+
+  // Retarget the seal threshold; an over-full buffer is handled like a
+  // filling write, except that Reconfigure itself never flushes in
+  // background mode — it stays a cheap foreground call. If a sealed
+  // buffer is already pending, the active one keeps serving over
+  // threshold until the next write's backpressure reseals it (capacity
+  // is a seal threshold, not a hard bound).
+  active_->set_capacity(opts_.buffer_entries);
+  if (active_->IsFull()) {
+    if (!opts_.background_maintenance) {
+      Flush();
+    } else if (sealed_ == nullptr) {
+      SealMemtable();
+    }
+  }
+  return Status::OK();
+}
+
+bool LsmTree::LevelConforms(int level) const {
+  const auto& runs = levels_[level - 1];
+  if (runs.empty()) return true;
+  const bool act_as_leveling =
+      opts_.policy == CompactionPolicy::kLeveling ||
+      (opts_.policy == CompactionPolicy::kLazyLeveling &&
+       NothingBelow(level));
+  if (act_as_leveling) {
+    if (runs.size() > 1) return false;
+    return runs.front()->num_entries() <= LevelCapacity(level);
+  }
+  // Tiering-like levels trigger a merge on the T-th run's arrival, so a
+  // conforming level holds at most T-1 runs (entry mass moves down by run
+  // count, not capacity).
+  return static_cast<int>(runs.size()) < opts_.size_ratio;
+}
+
+bool LsmTree::MigrationPending() const { return migration_pending_; }
+
+bool LsmTree::AdvanceMigration() {
+  if (!migration_pending_) return false;
+  for (int level = 1; level <= static_cast<int>(levels_.size()); ++level) {
+    if (LevelConforms(level)) continue;
+    std::vector<std::shared_ptr<Run>> inputs =
+        std::move(levels_[level - 1]);
+    levels_[level - 1].clear();
+    ++stats_->migration_steps;
+    if (inputs.size() == 1) {
+      // A single over-capacity run: push it down without rewriting here
+      // (it keeps its build epoch); AddRunToLevel merges it into the
+      // destination (and cascades) if that level is occupied.
+      AddRunToLevel(std::move(inputs.front()), level + 1);
+      return true;
+    }
+    // Fold the level into one run under the new tuning. AddRunToLevel
+    // re-applies the policy rules at this level: the run stays if it now
+    // conforms, or descends and merges deeper if it overflows.
+    ++stats_->compactions;
+    const bool drop = NothingBelow(level);
+    const int depth =
+        std::max(DeepestLevel(), ProjectedDepth(TotalEntries()));
+    std::shared_ptr<Run> merged =
+        MergeRuns(store_, inputs, FilterBitsForLevel(level, depth), drop);
+    if (merged != nullptr) {
+      Stamp(merged);
+      AddRunToLevel(std::move(merged), level);
+    }
+    return true;
+  }
+  migration_pending_ = false;
+  return false;
+}
+
+MigrationProgress LsmTree::Progress() const {
+  MigrationProgress p;
+  p.epoch = tuning_epoch_;
+  for (int level = 1; level <= static_cast<int>(levels_.size()); ++level) {
+    if (!LevelConforms(level)) ++p.nonconforming_levels;
+    for (const auto& run : levels_[level - 1]) {
+      ++p.runs_total;
+      p.entries_total += run->num_entries();
+      if (run->tuning_epoch() == tuning_epoch_) {
+        ++p.runs_current;
+        p.entries_current += run->num_entries();
+      }
+    }
+  }
+  return p;
+}
+
+void MigrationProgress::Accumulate(const MigrationProgress& other) {
+  epoch = std::max(epoch, other.epoch);
+  runs_total += other.runs_total;
+  runs_current += other.runs_current;
+  entries_total += other.entries_total;
+  entries_current += other.entries_current;
+  nonconforming_levels += other.nonconforming_levels;
 }
 
 int LsmTree::DeepestLevel() const {
@@ -363,7 +491,16 @@ std::vector<LevelInfo> LsmTree::GetLevelInfos() const {
                            : std::min(info.min_key, run->min_key());
       info.max_key = first ? run->max_key()
                            : std::max(info.max_key, run->max_key());
+      if (run->tuning_epoch() == tuning_epoch_) ++info.current_epoch_runs;
+      if (run->num_entries() > 0) {
+        info.filter_bits_per_entry +=
+            static_cast<double>(run->bloom().bits()) /
+            static_cast<double>(run->num_entries());
+      }
       first = false;
+    }
+    if (!levels_[i].empty()) {
+      info.filter_bits_per_entry /= static_cast<double>(levels_[i].size());
     }
     info.capacity = LevelCapacity(info.level);
     out.push_back(info);

@@ -30,6 +30,39 @@ struct LevelInfo {
   uint64_t capacity = 0;   ///< entry capacity (T-1) * T^(i-1) * buffer
   Key min_key = 0;         ///< smallest key on the level (0 when empty)
   Key max_key = 0;         ///< largest key on the level (0 when empty)
+  size_t current_epoch_runs = 0;  ///< runs built under the current tuning
+  double filter_bits_per_entry = 0;  ///< mean Bloom bits/entry across runs
+};
+
+/// How far a live reconfiguration has propagated through the tree. Runs
+/// are stamped with the tuning epoch they were built under; a Reconfigure
+/// bumps the epoch, so entries in current-epoch runs carry the new Bloom
+/// budget while older runs keep their filters until a compaction rewrites
+/// them. Structure (run counts and level capacities under the new policy
+/// and size ratio) converges separately, one AdvanceMigration step at a
+/// time.
+struct MigrationProgress {
+  uint64_t epoch = 0;             ///< current tuning epoch
+  uint64_t runs_total = 0;        ///< resident runs
+  uint64_t runs_current = 0;      ///< runs built under the current epoch
+  uint64_t entries_total = 0;     ///< entries resident in runs
+  uint64_t entries_current = 0;   ///< entries in current-epoch runs
+  int nonconforming_levels = 0;   ///< levels still violating target shape
+
+  /// True when every level satisfies the current policy/size-ratio shape
+  /// (old-epoch filters may still be live; they migrate lazily).
+  bool structure_conforming() const { return nonconforming_levels == 0; }
+
+  /// Fraction of resident entries already under the current epoch.
+  double entries_current_fraction() const {
+    return entries_total == 0
+               ? 1.0
+               : static_cast<double>(entries_current) /
+                     static_cast<double>(entries_total);
+  }
+
+  /// Folds another shard's progress into this one (epoch = max).
+  void Accumulate(const MigrationProgress& other);
 };
 
 /// The storage engine core. A single LsmTree performs no internal
@@ -74,6 +107,43 @@ class LsmTree {
   /// ShardedDB's background jobs call this under the shard lock.
   void FlushSealedMemtable();
 
+  /// Transitions the live tree to `new_options` without rebuilding it:
+  /// - Bloom bits-per-entry and filter allocation take effect on runs
+  ///   built from now on (flushes, compactions); resident runs keep their
+  ///   filters until a compaction rewrites them (tracked by tuning epoch).
+  /// - A buffer_entries change retargets the active memtable's seal
+  ///   threshold immediately; an over-full buffer is sealed (background
+  ///   mode) or flushed inline, exactly like a filling write.
+  /// - size_ratio / policy changes are realized incrementally: the next
+  ///   flush into any level applies the new merge rules there, and
+  ///   AdvanceMigration() reshapes one non-conforming level per call so a
+  ///   maintenance loop can migrate the tree without a stop-the-world
+  ///   rebuild.
+  /// Page geometry and storage placement (entries_per_page, backend,
+  /// storage_dir, background_maintenance) are immutable; changing them
+  /// returns InvalidArgument and leaves the tree untouched.
+  Status Reconfigure(const Options& new_options);
+
+  /// True while the latest Reconfigure may have left some level
+  /// violating the current policy/size-ratio shape. A cached flag (O(1),
+  /// checked on every write's maintenance hook): set by Reconfigure,
+  /// cleared by the first AdvanceMigration that finds every level
+  /// conforming.
+  bool MigrationPending() const;
+
+  /// Performs one bounded migration step: finds the shallowest
+  /// non-conforming level and merges/pushes its runs into the current
+  /// geometry via the normal compaction machinery. Returns true when work
+  /// was done, false when the tree already conforms. Callers (ShardedDB
+  /// maintenance jobs, DB::ApplyTuning) loop or reschedule until false.
+  bool AdvanceMigration();
+
+  /// Epoch/shape progress of the latest reconfiguration.
+  MigrationProgress Progress() const;
+
+  /// Tuning epoch of runs built now (bumped by each Reconfigure).
+  uint64_t tuning_epoch() const { return tuning_epoch_; }
+
   /// Builds a settled tree from `sorted_entries` (strictly ascending keys),
   /// filling levels bottom-up to capacity and stride-partitioning keys so
   /// every run spans the key domain (steady-state shape). Must be called on
@@ -110,6 +180,14 @@ class LsmTree {
   double FilterBitsForLevel(int level, int projected_depth) const;
   /// True when no level deeper than `level` holds a run.
   bool NothingBelow(int level) const;
+  /// True when `level` (1-based) satisfies the current policy/size-ratio
+  /// shape: leveling-like levels hold one run within capacity, tiering
+  /// levels fewer than T runs.
+  bool LevelConforms(int level) const;
+  /// Stamps a freshly built run with the current tuning epoch.
+  void Stamp(const std::shared_ptr<Run>& run) {
+    run->set_tuning_epoch(tuning_epoch_);
+  }
   /// Ensures levels_ has slots up to `level` (1-based).
   void EnsureLevel(int level);
   /// Projected total depth if the tree must hold `entries` entries.
@@ -121,6 +199,9 @@ class LsmTree {
   std::unique_ptr<MemTable> active_;  ///< the mutable write buffer
   std::unique_ptr<MemTable> sealed_;  ///< full buffer awaiting flush (or null)
   SeqNum next_seq_ = 1;
+  uint64_t tuning_epoch_ = 0;  ///< bumped by Reconfigure; stamps new runs
+  /// Maybe-work flag for MigrationPending() (see its contract).
+  bool migration_pending_ = false;
   /// levels_[i] holds level i+1; runs ordered newest first.
   std::vector<std::vector<std::shared_ptr<Run>>> levels_;
 };

@@ -95,6 +95,11 @@ class MemTable {
   uint64_t capacity() const { return capacity_; }
   bool empty() const { return list_.empty(); }
 
+  /// Retargets the seal threshold (live buffer resize). Entries are kept;
+  /// if the table now holds >= capacity entries the caller seals or
+  /// flushes it, exactly as if a write had just filled it.
+  void set_capacity(uint64_t capacity) { capacity_ = capacity; }
+
   SkipList::Iterator NewIterator() const { return list_.NewIterator(); }
 
   /// All entries sorted by key (for flushing).

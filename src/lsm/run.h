@@ -38,6 +38,14 @@ class Run {
   Key max_key() const { return fences_->max_key(); }
   const BloomFilter& bloom() const { return *bloom_; }
 
+  /// Tuning epoch the run was built under: runs keep the Bloom/fence
+  /// settings of their build time until the next compaction rewrites
+  /// them, so after a live Reconfigure the tree stamps every newly built
+  /// run with the new epoch and migration progress is the fraction of
+  /// entries living in current-epoch runs.
+  uint64_t tuning_epoch() const { return tuning_epoch_; }
+  void set_tuning_epoch(uint64_t epoch) { tuning_epoch_ = epoch; }
+
   /// Point lookup. Counts bloom/fence activity and at most one page read
   /// (IoContext::kPointQuery). `use_fence_skip` short-circuits keys outside
   /// [min,max] without touching the filter. Reads go through the run's
@@ -91,6 +99,7 @@ class Run {
   std::unique_ptr<BloomFilter> bloom_;
   std::unique_ptr<FencePointers> fences_;
   uint64_t num_entries_;
+  uint64_t tuning_epoch_ = 0;
   /// Point-lookup scratch, reused across Gets (access to a run is
   /// serialized by its tree's owner); only materializing backends ever
   /// allocate it.

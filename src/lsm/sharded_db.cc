@@ -44,18 +44,31 @@ size_t ShardedDB::ShardForKey(Key key) const {
 }
 
 void ShardedDB::MaybeScheduleMaintenance(Shard* shard) {
-  if (pool_ == nullptr || !shard->tree->HasSealedMemtable() ||
-      shard->maintenance_scheduled) {
+  if (pool_ == nullptr || shard->maintenance_scheduled ||
+      (!shard->tree->HasSealedMemtable() &&
+       !shard->tree->MigrationPending())) {
     return;
   }
   shard->maintenance_scheduled = true;
-  pool_->Submit([shard] {
+  // TrySubmit: a job that outlives the last foreground op can race pool
+  // shutdown; dropping it is fine (the whole DB is being torn down).
+  const bool queued = pool_->TrySubmit([this, shard] {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->maintenance_scheduled = false;
-    // The flush and any compactions it cascades into run under the shard
-    // lock: writers and readers of this shard wait, other shards proceed.
-    shard->tree->FlushSealedMemtable();
+    // One unit of work per job, then yield and reschedule: either a
+    // single migration step (reshape one level toward the current
+    // tuning) or the sealed-buffer flush. Migration goes first — while
+    // the tree is mid-migration a flush would cascade through every
+    // non-conforming level in one unbounded lock hold, whereas step +
+    // flush keeps each hold bounded and lets foreground ops interleave.
+    // The sealed buffer stays readable (and Write's backpressure still
+    // bounds it to one) until its turn comes.
+    if (!shard->tree->AdvanceMigration()) {
+      shard->tree->FlushSealedMemtable();
+    }
+    MaybeScheduleMaintenance(shard);
   });
+  if (!queued) shard->maintenance_scheduled = false;
 }
 
 void ShardedDB::Put(Key key, Value value) {
@@ -145,6 +158,66 @@ Status ShardedDB::BulkLoad(
     shard->tree->BulkLoad(parts[s]);
   }
   return Status::OK();
+}
+
+Status ShardedDB::ApplyTuning(const Options& new_options) {
+  ENDURE_RETURN_IF_ERROR(new_options.Validate());
+  // Serialize concurrent retunes (and the options_ publication below):
+  // interleaved per-shard Reconfigures from two applies would leave the
+  // deployment at mixed tunings.
+  std::lock_guard<std::mutex> apply_lock(options_mu_);
+  // Validate the immutable knobs up front so the per-shard loop below can
+  // never fail half-applied (LsmTree::Reconfigure re-checks the same
+  // set plus page geometry).
+  if (new_options.num_shards != options_.num_shards) {
+    return Status::InvalidArgument(
+        "num_shards cannot change on a live database");
+  }
+  if (new_options.entries_per_page != options_.entries_per_page) {
+    return Status::InvalidArgument(
+        "entries_per_page is fixed at open (page geometry is shared with "
+        "the page stores)");
+  }
+  if (new_options.backend != options_.backend ||
+      new_options.storage_dir != options_.storage_dir) {
+    return Status::InvalidArgument(
+        "storage backend and directory cannot change on a live database");
+  }
+  if (new_options.background_maintenance !=
+      options_.background_maintenance) {
+    return Status::InvalidArgument(
+        "background_maintenance cannot change on a live database");
+  }
+
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Cheap under the lock: Reconfigure retargets the buffer and bumps
+    // the epoch; the structural migration runs in background steps.
+    const Status s = shard->tree->Reconfigure(new_options);
+    ENDURE_CHECK_MSG(s.ok(), "per-shard Reconfigure failed after "
+                             "ApplyTuning validated the options");
+    if (pool_ != nullptr) {
+      MaybeScheduleMaintenance(shard);
+    } else {
+      // Foreground mode: converge this shard's structure inline (the
+      // caller opted out of background work entirely).
+      while (shard->tree->AdvanceMigration()) {
+      }
+    }
+  }
+  options_ = new_options;
+  return Status::OK();
+}
+
+MigrationProgress ShardedDB::Progress() const {
+  MigrationProgress total;
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.Accumulate(shard->tree->Progress());
+  }
+  return total;
 }
 
 Statistics ShardedDB::TotalStats() const {

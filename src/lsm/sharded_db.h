@@ -62,8 +62,32 @@ class ShardedDB {
 
   /// Blocks until every scheduled maintenance job has run. A quiescent
   /// point: afterwards (absent concurrent writers) no sealed buffers
-  /// remain scheduled and statistics are stable.
+  /// remain scheduled, any pending tuning migration has fully converged
+  /// (maintenance jobs reschedule themselves until it has), and
+  /// statistics are stable.
   void WaitForMaintenance();
+
+  /// Applies a new engine tuning to the running database without stopping
+  /// reads or losing acknowledged writes. `new_options` describes one
+  /// shard, exactly like the options passed to Open (bridge::MakeOptions
+  /// with the same shard count produces it from a tuner Tuning):
+  /// - Bloom bits-per-entry / filter allocation / fence_pointer_skip
+  ///   apply to runs built from now on; resident runs keep their filters
+  ///   until compacted (per-run tuning epochs track the migration —
+  ///   see Progress()).
+  /// - buffer_entries retargets every shard's seal threshold immediately.
+  /// - size_ratio / policy changes migrate incrementally: each shard's
+  ///   maintenance job reshapes one level per step between serving
+  ///   foreground traffic (with background_maintenance off, the
+  ///   migration runs inline here, shard by shard).
+  /// num_shards, entries_per_page, backend, storage_dir and
+  /// background_maintenance are immutable; changing them returns
+  /// InvalidArgument and leaves every shard untouched.
+  Status ApplyTuning(const Options& new_options);
+
+  /// Aggregated migration progress across shards (see MigrationProgress).
+  /// Lock-step epochs: every ApplyTuning bumps all shards once.
+  MigrationProgress Progress() const;
 
   /// Bulk loads strictly-ascending (key, value) pairs into empty shards,
   /// routing each pair to its shard (each shard's subsequence stays
@@ -85,7 +109,13 @@ class ShardedDB {
   size_t ShardForKey(Key key) const;
 
   size_t num_shards() const { return shards_.size(); }
-  const Options& options() const { return options_; }
+
+  /// Snapshot of the current engine options (replaced by ApplyTuning, so
+  /// a copy is returned rather than a reference into racing state).
+  Options options() const {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    return options_;
+  }
 
   /// Structural access to one shard's tree for tests/experiments. Only
   /// safe at quiescent points (no concurrent operations or maintenance).
@@ -108,9 +138,16 @@ class ShardedDB {
   explicit ShardedDB(const Options& options);
 
   /// Called with `shard->mu` held: schedules a maintenance job if the
-  /// shard has sealed work and none is in flight.
+  /// shard has sealed work or a pending tuning migration and none is in
+  /// flight. Each job flushes sealed work, advances the migration by at
+  /// most one level, and reschedules itself while work remains — so a
+  /// reconfiguration converges in bounded steps without ever holding a
+  /// shard lock for a whole-tree rebuild.
   void MaybeScheduleMaintenance(Shard* shard);
 
+  /// Serializes ApplyTuning calls and guards options_ (shard locks nest
+  /// inside it; options() readers take only this).
+  mutable std::mutex options_mu_;
   Options options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Declared after shards_ so it is destroyed first: the destructor

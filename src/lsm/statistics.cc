@@ -59,6 +59,8 @@ void Statistics::Accumulate(const Statistics& shard) {
   writes += shard.writes;
   flushes += shard.flushes;
   compactions += shard.compactions;
+  reconfigurations += shard.reconfigurations;
+  migration_steps += shard.migration_steps;
 }
 
 Statistics Statistics::Delta(const Statistics& b) const {
@@ -83,6 +85,8 @@ Statistics Statistics::Delta(const Statistics& b) const {
   d.writes = writes - b.writes;
   d.flushes = flushes - b.flushes;
   d.compactions = compactions - b.compactions;
+  d.reconfigurations = reconfigurations - b.reconfigurations;
+  d.migration_steps = migration_steps - b.migration_steps;
   return d;
 }
 
@@ -97,7 +101,8 @@ std::string Statistics::ToString() const {
       "  bloom: probes=%llu negatives=%llu false_positives=%llu\n"
       "  fence_skips=%llu\n"
       "  ops: gets=%llu ranges=%llu writes=%llu flushes=%llu "
-      "compactions=%llu\n}",
+      "compactions=%llu\n"
+      "  reconfig: applies=%llu migration_steps=%llu\n}",
       static_cast<unsigned long long>(pages_read),
       static_cast<unsigned long long>(point_pages_read),
       static_cast<unsigned long long>(range_pages_read),
@@ -115,7 +120,9 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(range_queries),
       static_cast<unsigned long long>(writes),
       static_cast<unsigned long long>(flushes),
-      static_cast<unsigned long long>(compactions));
+      static_cast<unsigned long long>(compactions),
+      static_cast<unsigned long long>(reconfigurations),
+      static_cast<unsigned long long>(migration_steps));
   return buf;
 }
 

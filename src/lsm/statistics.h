@@ -88,6 +88,10 @@ struct Statistics {
   RelaxedCounter flushes = 0;
   RelaxedCounter compactions = 0;
 
+  // --- live reconfiguration ---
+  RelaxedCounter reconfigurations = 0;  ///< Reconfigure/ApplyTuning calls
+  RelaxedCounter migration_steps = 0;   ///< AdvanceMigration steps that did work
+
   /// Records one page read attributed to `ctx`.
   void OnPageRead(IoContext ctx, uint64_t pages = 1);
 

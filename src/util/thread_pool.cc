@@ -22,13 +22,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  ENDURE_CHECK_MSG(TrySubmit(std::move(task)), "Submit after shutdown");
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    ENDURE_CHECK_MSG(!shutting_down_, "Submit after shutdown");
+    if (shutting_down_) return false;
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

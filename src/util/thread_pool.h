@@ -28,8 +28,15 @@ class ThreadPool {
   ~ThreadPool();
   ENDURE_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
 
-  /// Enqueues a task. Tasks must not throw.
+  /// Enqueues a task. Tasks must not throw. Aborts if the pool is
+  /// shutting down — use TrySubmit from code that may race destruction.
   void Submit(std::function<void()> task);
+
+  /// Like Submit, but returns false (dropping the task) when the pool is
+  /// shutting down. Lets self-rescheduling maintenance jobs race pool
+  /// destruction safely: the drop is fine because the owner is being torn
+  /// down anyway.
+  bool TrySubmit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void Wait();

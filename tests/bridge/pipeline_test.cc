@@ -91,6 +91,47 @@ TEST(TuningPipelineTest, RhoClampedToConfiguredRange) {
   EXPECT_LE(pipeline.rho(), 0.6);
 }
 
+TEST(TuningPipelineTest, RetuneAndApplyRetunesTheServingShardedDb) {
+  SystemConfig cfg;
+  const Workload expected(0.33, 0.33, 0.33, 0.01);
+  const Workload shifted(0.05, 0.05, 0.05, 0.85);
+  TuningPipeline pipeline(cfg, expected, 0.25, FastOptions());
+
+  const uint64_t n = 20000;
+  auto db = std::move(OpenTunedShardedDb(cfg, pipeline.current_tuning(), n,
+                                         /*num_shards=*/4))
+                .value();
+  const lsm::Options at_open = db->options();
+
+  Feed(&pipeline, shifted, 4);
+  ASSERT_TRUE(pipeline.RetuneRecommended());
+  auto applied = pipeline.RetuneAndApply(db.get(), n);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(pipeline.retune_count(), 1);
+
+  // The DB now runs the recommended tuning, mapped exactly like at open:
+  // ceil'd size ratio, per-shard buffer split, immutable knobs intact.
+  const lsm::Options now = db->options();
+  const lsm::Options want = MakeOptions(
+      cfg, applied.value().tuning, n, at_open.backend, at_open.num_shards,
+      at_open.background_maintenance);
+  EXPECT_EQ(now.size_ratio, want.size_ratio);
+  EXPECT_EQ(static_cast<int>(now.policy), static_cast<int>(want.policy));
+  EXPECT_EQ(now.buffer_entries, want.buffer_entries);
+  EXPECT_EQ(now.filter_bits_per_entry, want.filter_bits_per_entry);
+  EXPECT_EQ(now.num_shards, at_open.num_shards);
+
+  // Live apply: the data survives and the migration converges.
+  db->WaitForMaintenance();
+  EXPECT_TRUE(db->Progress().structure_conforming());
+  EXPECT_EQ(db->Progress().epoch, 1u);
+  for (uint64_t i = 0; i < n; i += 997) {
+    const auto got = db->Get(2 * i);
+    ASSERT_TRUE(got.has_value()) << "key " << 2 * i;
+    EXPECT_EQ(*got, i);
+  }
+}
+
 TEST(TuningPipelineTest, SecondDriftCycleWorks) {
   SystemConfig cfg;
   const Workload expected(0.33, 0.33, 0.33, 0.01);

@@ -35,8 +35,11 @@ Options SmallOpts(StorageBackend backend) {
 
 /// Runs `ops` against `db` and the oracle; fails (with seed and op index)
 /// at the first divergence. Works for any front-end with the DB surface.
+/// kReconfigure ops apply `tunings[op.value]` live (ApplyTuning); the
+/// oracle is untouched — a reconfiguration must never change contents.
 template <typename DbT>
-void RunDifferential(DbT* db, const std::vector<Op>& ops, uint64_t seed) {
+void RunDifferential(DbT* db, const std::vector<Op>& ops, uint64_t seed,
+                     const std::vector<Options>* tunings = nullptr) {
   ReferenceModel oracle;
   for (size_t i = 0; i < ops.size(); ++i) {
     const Op& op = ops[i];
@@ -72,6 +75,12 @@ void RunDifferential(DbT* db, const std::vector<Op>& ops, uint64_t seed) {
       case Op::kFlush:
         db->Flush();
         break;
+      case Op::kReconfigure: {
+        ASSERT_NE(tunings, nullptr);
+        ASSERT_TRUE(
+            db->ApplyTuning((*tunings)[op.value % tunings->size()]).ok());
+        break;
+      }
     }
   }
   // Final full-state check: the whole key domain in one scan.
@@ -133,6 +142,69 @@ TEST(DifferentialTest, ShardedDbForegroundMatchesOracle) {
     ASSERT_TRUE(db.ok());
     RunDifferential(db->get(), GenerateTrace(21, c.ops, c.dist), 21);
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Tuning presets a live reconfiguration cycles through mid-trace: every
+/// mutable knob moves (policy, size ratio, Bloom budget, buffer size,
+/// filter allocation, fence skipping), immutable ones stay.
+std::vector<Options> ReconfigPresets(const Options& base) {
+  std::vector<Options> presets;
+  Options a = base;  // shrink T, switch to tiering, fatter filters
+  a.size_ratio = 2;
+  a.policy = CompactionPolicy::kTiering;
+  a.filter_bits_per_entry = 10.0;
+  a.buffer_entries = base.buffer_entries / 2;
+  presets.push_back(a);
+  Options b = base;  // lazy leveling, larger buffer, uniform filters
+  b.policy = CompactionPolicy::kLazyLeveling;
+  b.size_ratio = 6;
+  b.buffer_entries = base.buffer_entries * 2;
+  b.filter_allocation = FilterAllocation::kUniform;
+  presets.push_back(b);
+  Options c = base;  // back to leveling with model-faithful scans
+  c.fence_pointer_skip = false;
+  c.filter_bits_per_entry = 2.0;
+  presets.push_back(c);
+  return presets;
+}
+
+TEST(DifferentialTest, DbMatchesOracleAcrossLiveReconfigs) {
+  for (const Config& c : Configs()) {
+    for (uint64_t seed = 31; seed <= 32; ++seed) {
+      Options base = SmallOpts(c.backend);
+      auto db = DB::Open(base);
+      ASSERT_TRUE(db.ok());
+      const std::vector<Options> presets = ReconfigPresets(base);
+      const auto ops = endure::testing::InjectReconfigures(
+          GenerateTrace(seed, c.ops, c.dist), /*every=*/c.ops / 7,
+          presets.size());
+      RunDifferential(db->get(), ops, seed, &presets);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(DifferentialTest, ShardedDbMatchesOracleAcrossLiveReconfigs) {
+  // Background maintenance on: reconfigure while flush/migration jobs are
+  // in flight on the pool, across both backends and key skews.
+  for (const Config& c : Configs()) {
+    for (uint64_t seed = 41; seed <= 42; ++seed) {
+      Options base = SmallOpts(c.backend);
+      base.num_shards = 4;
+      base.background_maintenance = true;
+      auto db = ShardedDB::Open(base);
+      ASSERT_TRUE(db.ok());
+      const std::vector<Options> presets = ReconfigPresets(base);
+      const auto ops = endure::testing::InjectReconfigures(
+          GenerateTrace(seed, c.ops, c.dist), /*every=*/c.ops / 7,
+          presets.size());
+      RunDifferential(db->get(), ops, seed, &presets);
+      if (::testing::Test::HasFatalFailure()) return;
+      // The trace left migrations pending; converge and re-check state.
+      (*db)->WaitForMaintenance();
+      EXPECT_TRUE((*db)->Progress().structure_conforming());
+    }
   }
 }
 

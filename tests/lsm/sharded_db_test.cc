@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -210,6 +211,101 @@ TEST(ShardedDbStressTest, ConcurrentScansSeeConsistentPrefixes) {
   scanner.join();
   const std::vector<Entry> all = db->Scan(0, 20000);
   EXPECT_EQ(all.size(), 20000u);
+}
+
+/// Live reconfiguration under fire: writers publish acked-write
+/// watermarks and readers verify them while the main thread applies a
+/// sequence of tunings (policy flips, size-ratio and buffer changes) to
+/// the serving database. No acked write may ever disappear, scans stay
+/// sorted, and after quiescing the structure must conform to the last
+/// tuning with every entry intact.
+TEST(ShardedDbStressTest, ApplyTuningUnderConcurrentTraffic) {
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 2;
+  constexpr uint64_t kPerWriter = 6000;
+  const Options base = ShardOpts(4);
+  auto db = std::move(ShardedDB::Open(base)).value();
+
+  std::vector<Options> presets;
+  {
+    Options a = base;
+    a.policy = CompactionPolicy::kTiering;
+    a.size_ratio = 2;
+    a.buffer_entries = 128;
+    presets.push_back(a);
+    Options b = base;
+    b.policy = CompactionPolicy::kLazyLeveling;
+    b.size_ratio = 8;
+    b.filter_bits_per_entry = 4.0;
+    presets.push_back(b);
+    Options c = base;
+    c.size_ratio = 3;
+    c.buffer_entries = 512;
+    presets.push_back(c);
+  }
+
+  std::atomic<int64_t> watermark[kWriters];
+  for (auto& w : watermark) w.store(-1);
+  auto key_of = [](int writer, uint64_t i) {
+    return static_cast<Key>(i) * kWriters + writer;
+  };
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        db->Put(key_of(w, i), i);
+        watermark[w].store(static_cast<int64_t>(i),
+                           std::memory_order_release);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(300 + r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int w = static_cast<int>(rng.UniformInt(0, kWriters - 1));
+        const int64_t high = watermark[w].load(std::memory_order_acquire);
+        if (high < 0) continue;
+        const uint64_t i = rng.UniformInt(0, static_cast<uint64_t>(high));
+        const auto got = db->Get(key_of(w, i));
+        ASSERT_TRUE(got.has_value())
+            << "acked key lost across retuning: writer " << w << " index "
+            << i;
+        ASSERT_EQ(*got, i);
+      }
+    });
+  }
+
+  // Retune the serving system while the traffic runs: one apply per
+  // preset, spread across the writers' lifetime.
+  for (const Options& preset : presets) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(db->ApplyTuning(preset).ok());
+  }
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Quiesce: the migration chain must converge to the last tuning.
+  db->WaitForMaintenance();
+  const MigrationProgress progress = db->Progress();
+  EXPECT_TRUE(progress.structure_conforming());
+  EXPECT_EQ(progress.epoch, presets.size());
+  EXPECT_EQ(db->TotalStats().reconfigurations,
+            presets.size() * db->num_shards());
+
+  // Full-history check under the final tuning.
+  for (int w = 0; w < kWriters; ++w) {
+    for (uint64_t i = 0; i < kPerWriter; ++i) {
+      const auto got = db->Get(key_of(w, i));
+      ASSERT_TRUE(got.has_value()) << "writer " << w << " index " << i;
+      ASSERT_EQ(*got, i);
+    }
+  }
+  EXPECT_EQ(db->TotalEntries(), kWriters * kPerWriter);
 }
 
 TEST(ShardedDbStressTest, CleanShutdownWithJobsInFlight) {

@@ -51,16 +51,21 @@ class ReferenceModel {
   std::map<lsm::Key, lsm::Value> map_;
 };
 
-/// One operation of a random trace.
+/// One operation of a random trace. kReconfigure models a live
+/// ApplyTuning call injected mid-trace: `value` indexes the caller's list
+/// of tuning presets; the oracle ignores it (a reconfiguration must never
+/// change visible contents — that is exactly what the differential
+/// harness asserts).
 struct Op {
-  enum Kind { kPut, kDelete, kGet, kScan, kFlush } kind = kPut;
+  enum Kind { kPut, kDelete, kGet, kScan, kFlush, kReconfigure } kind = kPut;
   lsm::Key key = 0;
   lsm::Value value = 0;
   lsm::Key hi = 0;  ///< scan upper bound
 
   std::string ToString() const {
     char buf[96];
-    const char* names[] = {"Put", "Delete", "Get", "Scan", "Flush"};
+    const char* names[] = {"Put", "Delete", "Get",
+                           "Scan", "Flush", "Reconfigure"};
     std::snprintf(buf, sizeof(buf), "%s(key=%llu, value=%llu, hi=%llu)",
                   names[kind], static_cast<unsigned long long>(key),
                   static_cast<unsigned long long>(value),
@@ -113,6 +118,27 @@ inline std::vector<Op> GenerateTrace(uint64_t seed, size_t n,
     ops.push_back(op);
   }
   return ops;
+}
+
+/// Deterministically injects one kReconfigure op every `every` ops,
+/// cycling through `num_presets` preset indices (stored in Op::value).
+/// Applied on top of a GenerateTrace result, so existing traces (same
+/// seed) keep their exact op sequence between the injected points.
+inline std::vector<Op> InjectReconfigures(std::vector<Op> ops, size_t every,
+                                          size_t num_presets) {
+  std::vector<Op> out;
+  out.reserve(ops.size() + ops.size() / every + 1);
+  size_t preset = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0 && i % every == 0) {
+      Op r;
+      r.kind = Op::kReconfigure;
+      r.value = preset++ % num_presets;
+      out.push_back(r);
+    }
+    out.push_back(ops[i]);
+  }
+  return out;
 }
 
 }  // namespace endure::testing

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links resolve.
+
+Scans every tracked *.md file for [text](target) links and verifies that
+relative targets (optionally with a #anchor) point at an existing file
+or directory. External links (with a URL scheme) and pure-anchor links
+are skipped; anchors within existing files are not validated. Exits
+non-zero listing every broken link, so CI fails when docs rot.
+
+Usage: tools/check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target must not start with a scheme or '#'. Images
+# (![alt](...)) match the same pattern via their trailing part.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+SKIP_DIRS = {".git", "build", "build-tsan", "third_party"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if SCHEME_RE.match(target) or target.startswith("#"):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path),
+                                 target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"BROKEN {rel}:{lineno}: ({target})")
+            failures += 1
+    print(f"checked {checked} markdown files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
