@@ -56,7 +56,10 @@ class TuningPipeline {
   /// engine options are derived for `actual_entries` entries — pass the
   /// deployed entry count, or 0 to use db->TotalEntries(). On an apply
   /// error the pipeline state (tuning, monitor recentering) still
-  /// reflects the retune; the DB keeps its previous tuning.
+  /// reflects the retune; the DB keeps its previous tuning. On a durable
+  /// deployment (Options::durability) the applied tuning is persisted
+  /// with the apply, so a restarted server reopens into the retuned
+  /// configuration and resumes any unfinished migration.
   StatusOr<TuningResult> RetuneAndApply(lsm::ShardedDB* db,
                                         uint64_t actual_entries = 0);
 

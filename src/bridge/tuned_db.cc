@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lsm/manifest.h"
+#include "util/env.h"
+
 namespace endure::bridge {
 
 lsm::Options MakeOptions(const SystemConfig& cfg, const Tuning& t,
@@ -67,11 +70,35 @@ StatusOr<std::unique_ptr<lsm::DB>> OpenTunedDb(const SystemConfig& cfg,
 StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
     const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
     int num_shards, bool background_maintenance,
-    lsm::StorageBackend backend) {
-  auto db_or = lsm::ShardedDB::Open(MakeOptions(
-      cfg, t, actual_entries, backend, num_shards, background_maintenance));
+    lsm::StorageBackend backend, const std::string& durable_dir,
+    WalSyncMode wal_sync_mode) {
+  lsm::Options opts = MakeOptions(cfg, t, actual_entries, backend,
+                                  num_shards, background_maintenance);
+  bool recovering = false;
+  // The initial bulk load is only "done" once this marker exists; a
+  // manifest without it means the first load was interrupted mid-way,
+  // which must not masquerade as a healthy recovered deployment.
+  const std::string loaded_marker = durable_dir + "/bulk_loaded";
+  if (!durable_dir.empty()) {
+    opts.backend = lsm::StorageBackend::kFile;
+    opts.storage_dir = durable_dir;
+    opts.durability = true;
+    opts.wal_sync_mode = wal_sync_mode;
+    // An existing deployment is recovered by Open below — data, tuning
+    // and migration state come from the manifest + WAL, not a rebuild.
+    if (FileExists(durable_dir + "/" + lsm::kManifestFileName)) {
+      if (!FileExists(loaded_marker)) {
+        return Status::FailedPrecondition(
+            durable_dir + ": the initial bulk load of this deployment "
+            "was interrupted; clear the directory and reload");
+      }
+      recovering = true;
+    }
+  }
+  auto db_or = lsm::ShardedDB::Open(opts);
   if (!db_or.ok()) return db_or.status();
   std::unique_ptr<lsm::ShardedDB> db = std::move(db_or).value();
+  if (recovering) return db;
 
   std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
   pairs.reserve(actual_entries);
@@ -79,25 +106,44 @@ StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
     pairs.emplace_back(2 * i, i);  // even keys: odd keys are sure misses
   }
   ENDURE_RETURN_IF_ERROR(db->BulkLoad(pairs));
+  if (!durable_dir.empty()) {
+    ENDURE_RETURN_IF_ERROR(WriteFileAtomic(loaded_marker, "done\n"));
+  }
   return db;
 }
 
+namespace {
+
+/// Copies the immutable placement/durability knobs of a live deployment
+/// onto freshly derived options (only the tuning itself may change).
+void CarryImmutableKnobs(const lsm::Options& current, lsm::Options* next) {
+  next->storage_dir = current.storage_dir;
+  next->durability = current.durability;
+  next->wal_sync_mode = current.wal_sync_mode;
+  next->wal_sync_interval_ms = current.wal_sync_interval_ms;
+}
+
+}  // namespace
+
 Status ApplyTuning(lsm::ShardedDB* db, const SystemConfig& cfg,
                    const Tuning& t, uint64_t actual_entries) {
-  const lsm::Options& current = db->options();
+  const lsm::Options current = db->options();
   lsm::Options next =
       MakeOptions(cfg, t, actual_entries, current.backend,
                   current.num_shards, current.background_maintenance);
-  next.storage_dir = current.storage_dir;  // placement is immutable
+  CarryImmutableKnobs(current, &next);
+  // On a durable deployment ShardedDB::ApplyTuning republishes every
+  // shard manifest and the root manifest, so the retune survives a
+  // restart (TuningPipeline::RetuneAndApply inherits this).
   return db->ApplyTuning(next);
 }
 
 Status ApplyTuning(lsm::DB* db, const SystemConfig& cfg, const Tuning& t,
                    uint64_t actual_entries) {
-  const lsm::Options& current = db->options();
+  const lsm::Options current = db->options();
   lsm::Options next = MakeOptions(cfg, t, actual_entries, current.backend);
   next.background_maintenance = current.background_maintenance;
-  next.storage_dir = current.storage_dir;
+  CarryImmutableKnobs(current, &next);
   return db->ApplyTuning(next);
 }
 

@@ -44,10 +44,19 @@ StatusOr<std::unique_ptr<lsm::DB>> OpenTunedDb(
 /// Sharded variant of OpenTunedDb: opens a ShardedDB deployment of
 /// `num_shards` hash-partitioned shards implementing the tuning and bulk
 /// loads the same even-key universe, ready to serve concurrent traffic.
+///
+/// With a non-empty `durable_dir` the deployment is durable (file
+/// backend, WAL + manifest rooted there): a fresh directory is bulk
+/// loaded once, while an existing deployment is *recovered* — data,
+/// tuning and any in-flight migration — instead of being rebuilt, so a
+/// restarted server resumes where it left off (`wal_sync_mode` selects
+/// the commit durability; see docs/durability.md).
 StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
     const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
     int num_shards, bool background_maintenance = true,
-    lsm::StorageBackend backend = lsm::StorageBackend::kMemory);
+    lsm::StorageBackend backend = lsm::StorageBackend::kMemory,
+    const std::string& durable_dir = "",
+    WalSyncMode wal_sync_mode = WalSyncMode::kBackground);
 
 /// Applies tuner output to a *running* deployment: maps `t` onto engine
 /// options for `actual_entries` entries (per-shard buffer split, rounded

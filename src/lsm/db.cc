@@ -1,17 +1,44 @@
 #include "lsm/db.h"
 
+#include "lsm/manifest.h"
+#include "util/env.h"
+
 namespace endure::lsm {
 
 DB::DB(const Options& options) : options_(options) {
   store_ = MakePageStore(options_.entries_per_page, &stats_,
                          static_cast<int>(options_.backend),
-                         options_.storage_dir);
+                         options_.storage_dir,
+                         /*persistent=*/options_.durability);
   tree_ = std::make_unique<LsmTree>(options_, store_.get(), &stats_);
 }
 
 StatusOr<std::unique_ptr<DB>> DB::Open(const Options& options) {
   ENDURE_RETURN_IF_ERROR(options.Validate());
-  return std::unique_ptr<DB>(new DB(options));
+  if (!options.durability) return std::unique_ptr<DB>(new DB(options));
+
+  // Durable open: recover an existing deployment or start a fresh one.
+  // The persisted tuning overrides the caller's mutable knobs — an
+  // ApplyTuning outlives the process that applied it.
+  Options opts = options;
+  ENDURE_RETURN_IF_ERROR(EnsureDir(opts.storage_dir));
+  auto lock_or =
+      FileLock::Acquire(opts.storage_dir + "/" + kLockFileName);
+  if (!lock_or.ok()) return lock_or.status();
+  ManifestData m;
+  auto existing_or = LoadDurableState(opts.storage_dir, &opts, &m);
+  if (!existing_or.ok()) return existing_or.status();
+  const bool existing = *existing_or;
+  if (existing && m.kind != kManifestKindTree) {
+    return Status::InvalidArgument(
+        "storage_dir holds a ShardedDB deployment; open it with "
+        "ShardedDB::Open");
+  }
+  auto db = std::unique_ptr<DB>(new DB(opts));
+  db->lock_ = std::move(lock_or).value();
+  ENDURE_RETURN_IF_ERROR(
+      RecoverAndAttach(db->tree_.get(), m, existing, opts.storage_dir));
+  return db;
 }
 
 Status DB::BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs) {

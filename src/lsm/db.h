@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "lsm/lsm_tree.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace endure::lsm {
@@ -19,14 +20,26 @@ namespace endure::lsm {
 /// An open database instance.
 class DB {
  public:
-  /// Opens a fresh database with the given options; fails on invalid
-  /// options (never aborts).
+  /// Opens a database; fails on invalid options (never aborts). Without
+  /// Options::durability this is always a fresh, volatile instance. With
+  /// it (file backend), storage_dir is a durable deployment root: an
+  /// empty directory opens fresh and starts logging, while a directory
+  /// holding a manifest is *recovered* — segments are adopted, runs
+  /// rebuilt, the WAL replayed, and the persisted tuning (including a
+  /// mid-flight migration) resumed. See docs/durability.md.
   static StatusOr<std::unique_ptr<DB>> Open(const Options& options);
 
   ENDURE_DISALLOW_COPY_AND_ASSIGN(DB);
 
   /// Inserts or updates a key.
   void Put(Key key, Value value) { tree_->Put(key, value); }
+
+  /// Inserts or updates several keys with one WAL group commit (a single
+  /// write + at most one fsync for the whole batch). Equivalent to
+  /// individual Puts when durability is off.
+  void PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
+    tree_->PutBatch(pairs);
+  }
 
   /// Deletes a key.
   void Delete(Key key) { tree_->Delete(key); }
@@ -64,11 +77,22 @@ class DB {
 
   const Options& options() const { return options_; }
 
+  /// Simulates a *process* kill: the WAL writer is dropped without the
+  /// final flush/sync and no shutdown checkpoint runs. Committed-but-
+  /// unsynced write()s survive in the OS page cache (as they would a
+  /// real process death) — this does not simulate losing unsynced page
+  /// cache to a machine crash. The instance must only be destroyed
+  /// afterwards. Test hook for the kill-point recovery suites.
+  void CrashForTesting() { tree_->CrashForTesting(); }
+
  private:
   explicit DB(const Options& options);
 
   Options options_;
   Statistics stats_;
+  /// Durable mode: exclusive LOCK-file guard on storage_dir, held for
+  /// the instance's lifetime (one process per deployment).
+  std::unique_ptr<FileLock> lock_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<LsmTree> tree_;
 };

@@ -10,6 +10,7 @@
 #define ENDURE_LSM_ENTRY_H_
 
 #include <cstdint>
+#include <cstring>
 
 namespace endure::lsm {
 
@@ -32,6 +33,27 @@ struct Entry {
 
   bool is_tombstone() const { return type == EntryType::kTombstone; }
 };
+
+/// Fixed-width on-disk encoding of one entry, shared by segment pages,
+/// WAL records and recovery (docs/durability.md documents the layout):
+/// key u64 | seq u64 | value u64 | type u8, native (little-endian) order.
+inline constexpr size_t kEncodedEntryBytes = 8 + 8 + 8 + 1;
+
+inline void EncodeEntry(const Entry& e, char* buf) {
+  std::memcpy(buf, &e.key, 8);
+  std::memcpy(buf + 8, &e.seq, 8);
+  std::memcpy(buf + 16, &e.value, 8);
+  buf[24] = static_cast<char>(e.type);
+}
+
+inline Entry DecodeEntry(const char* buf) {
+  Entry e;
+  std::memcpy(&e.key, buf, 8);
+  std::memcpy(&e.seq, buf + 8, 8);
+  std::memcpy(&e.value, buf + 16, 8);
+  e.type = static_cast<EntryType>(buf[24]);
+  return e;
+}
 
 /// Orders by key ascending, then by sequence number descending (newest
 /// first) — the canonical merge order.

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <queue>
 
 #include "lsm/merge_iterator.h"
 #include "lsm/run_builder.h"
+#include "util/env.h"
 
 namespace endure::lsm {
 namespace {
@@ -36,6 +38,11 @@ LsmTree::LsmTree(const Options& options, PageStore* store, Statistics* stats)
   ENDURE_CHECK_MSG(opts_.Validate().ok(), "invalid Options");
   ENDURE_CHECK(store != nullptr && stats != nullptr);
   ENDURE_CHECK(store->entries_per_page() == opts_.entries_per_page);
+  if (opts_.durability) {
+    file_store_ = dynamic_cast<FilePageStore*>(store);
+    ENDURE_CHECK_MSG(file_store_ != nullptr && file_store_->persistent(),
+                     "durability requires a persistent FilePageStore");
+  }
 }
 
 uint64_t LsmTree::LevelCapacity(int level) const {
@@ -75,9 +82,7 @@ void LsmTree::EnsureLevel(int level) {
   if (static_cast<int>(levels_.size()) < level) levels_.resize(level);
 }
 
-void LsmTree::Write(const Entry& e) {
-  ++stats_->writes;
-  active_->Upsert(e);
+void LsmTree::MaintainAfterWrite() {
   if (!active_->IsFull()) return;
   if (opts_.background_maintenance) {
     // Hand the full buffer to maintenance instead of flushing inline. If
@@ -91,8 +96,37 @@ void LsmTree::Write(const Entry& e) {
   }
 }
 
+void LsmTree::Write(const Entry& e) {
+  ++stats_->writes;
+  active_->Upsert(e);
+  MaintainAfterWrite();
+  // Log after applying: if the write just triggered a flush, the entry is
+  // already covered by the manifest the checkpoint published, and the
+  // extra WAL record is a benign duplicate at replay (same seq, same
+  // value). The invariant an acknowledged write relies on is that by the
+  // time this returns it is in memtable ∪ runs and in WAL ∪ manifest.
+  if (wal_ != nullptr) {
+    StageWalRecord(e);
+    CommitWal();
+  }
+}
+
 void LsmTree::Put(Key key, Value value) {
   Write(Entry{key, next_seq_++, value, EntryType::kValue});
+}
+
+void LsmTree::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
+  for (const auto& [key, value] : pairs) {
+    const Entry e{key, next_seq_++, value, EntryType::kValue};
+    ++stats_->writes;
+    active_->Upsert(e);
+    MaintainAfterWrite();
+    // Records staged before a mid-batch flush are absorbed into that
+    // checkpoint's WAL snapshot (they are already applied); the rest
+    // commit in one group below.
+    if (wal_ != nullptr) StageWalRecord(e);
+  }
+  CommitWal();
 }
 
 void LsmTree::Delete(Key key) {
@@ -118,21 +152,29 @@ void LsmTree::FlushBuffer(const MemTable& buffer) {
   AddRunToLevel(std::move(run), 1);
 }
 
-void LsmTree::FlushSealedMemtable() {
-  if (sealed_ == nullptr) return;
+void LsmTree::FlushSealedInternal() {
   // Detach before flushing so the invariant "sealed_ is full" never sees
   // a half-flushed buffer; entries stay reachable via the new run.
   std::unique_ptr<MemTable> buffer = std::move(sealed_);
   FlushBuffer(*buffer);
 }
 
+void LsmTree::FlushSealedMemtable() {
+  if (sealed_ == nullptr) return;
+  FlushSealedInternal();
+  CheckpointIfDurable();
+}
+
 void LsmTree::Flush() {
   // Age order: the sealed buffer predates the active one, so its run must
   // land on level 1 first (runs within a level are newest-first).
-  FlushSealedMemtable();
-  if (active_->empty()) return;
-  FlushBuffer(*active_);
-  active_->Clear();
+  const bool had_work = sealed_ != nullptr || !active_->empty();
+  if (sealed_ != nullptr) FlushSealedInternal();
+  if (!active_->empty()) {
+    FlushBuffer(*active_);
+    active_->Clear();
+  }
+  if (had_work) CheckpointIfDurable();
 }
 
 void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
@@ -349,6 +391,7 @@ void LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
     Stamp(run);
     levels_[level - 1].push_back(std::move(run));
   }
+  CheckpointIfDurable();
 }
 
 Status LsmTree::Reconfigure(const Options& new_options) {
@@ -366,6 +409,12 @@ Status LsmTree::Reconfigure(const Options& new_options) {
   if (new_options.background_maintenance != opts_.background_maintenance) {
     return Status::InvalidArgument(
         "background_maintenance cannot change on a live tree");
+  }
+  if (new_options.durability != opts_.durability ||
+      new_options.wal_sync_mode != opts_.wal_sync_mode ||
+      new_options.wal_sync_interval_ms != opts_.wal_sync_interval_ms) {
+    return Status::InvalidArgument(
+        "durability and WAL sync settings cannot change on a live tree");
   }
 
   opts_ = new_options;
@@ -389,6 +438,11 @@ Status LsmTree::Reconfigure(const Options& new_options) {
       SealMemtable();
     }
   }
+  // Persist the new tuning immediately: a retune must survive a crash
+  // that lands before the first post-retune flush. The memtables'
+  // contents are unchanged (a seal only moves the buffer aside, and an
+  // inline flush checkpointed already), so the WAL needs no rewrite.
+  PublishManifestIfDurable();
   return Status::OK();
 }
 
@@ -424,6 +478,7 @@ bool LsmTree::AdvanceMigration() {
       // (it keeps its build epoch); AddRunToLevel merges it into the
       // destination (and cascades) if that level is occupied.
       AddRunToLevel(std::move(inputs.front()), level + 1);
+      PublishManifestIfDurable();
       return true;
     }
     // Fold the level into one run under the new tuning. AddRunToLevel
@@ -439,9 +494,13 @@ bool LsmTree::AdvanceMigration() {
       Stamp(merged);
       AddRunToLevel(std::move(merged), level);
     }
+    PublishManifestIfDurable();
     return true;
   }
   migration_pending_ = false;
+  // Persist the cleared flag so a reopen does not re-scan a conforming
+  // tree (reached once per migration, not per maintenance poll).
+  PublishManifestIfDurable();
   return false;
 }
 
@@ -515,6 +574,242 @@ uint64_t LsmTree::TotalEntries() const {
     for (const auto& run : runs) total += run->num_entries();
   }
   return total;
+}
+
+// ------------------------------------------------------------ durability --
+
+void LsmTree::StageWalRecord(const Entry& e) {
+  char buf[kEncodedEntryBytes];
+  EncodeEntry(e, buf);
+  wal_->Append(kWalEntryRecord, buf, kEncodedEntryBytes);
+  ++stats_->wal_records;
+}
+
+void LsmTree::CommitWal() {
+  if (wal_ == nullptr) return;
+  const uint64_t before = wal_->bytes_committed();
+  const Status s = wal_->Commit();
+  ENDURE_CHECK_MSG(s.ok(), "WAL commit failed");
+  stats_->wal_bytes += wal_->bytes_committed() - before;
+}
+
+void LsmTree::CheckpointIfDurable() {
+  if (durable_dir_.empty()) return;
+  const Status s = Checkpoint();
+  ENDURE_CHECK_MSG(s.ok(), s.ToString().c_str());
+}
+
+void LsmTree::PublishManifestIfDurable() {
+  if (durable_dir_.empty()) return;
+  const Status s = PublishManifest();
+  ENDURE_CHECK_MSG(s.ok(), s.ToString().c_str());
+}
+
+Status LsmTree::PublishManifest() {
+  if (durable_dir_.empty()) {
+    return Status::FailedPrecondition("durability is not attached");
+  }
+  ENDURE_RETURN_IF_ERROR(WriteManifest(
+      durable_dir_ + "/" + kManifestFileName, ToManifest()));
+  ++stats_->manifest_writes;
+  // The new manifest no longer references compacted-away segments;
+  // their deferred unlinks are now safe.
+  file_store_->PurgePendingDeletes();
+  return Status::OK();
+}
+
+ManifestData LsmTree::ToManifest() const {
+  ManifestData m;
+  m.RecordTuningFrom(opts_);
+  m.tuning_epoch = tuning_epoch_;
+  m.migration_pending = migration_pending_;
+  m.next_seq = next_seq_;
+  m.next_file_id = file_store_ != nullptr ? file_store_->next_id() : 1;
+  m.levels.resize(levels_.size());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    for (const auto& run : levels_[i]) {
+      ManifestRun meta;
+      meta.segment = run->segment();
+      meta.num_entries = run->num_entries();
+      meta.tuning_epoch = run->tuning_epoch();
+      // The *requested* (pre-block-rounding) budget: rebuilding with it
+      // reproduces the exact filter geometry, hash count included.
+      meta.bloom_bits_per_entry = run->bloom_bits_per_entry();
+      m.levels[i].push_back(meta);
+    }
+  }
+  return m;
+}
+
+Status LsmTree::RecoverFrom(const ManifestData& m) {
+  ENDURE_CHECK_MSG(file_store_ != nullptr,
+                   "recovery requires durability Options");
+  ENDURE_CHECK_MSG(
+      levels_.empty() && active_->empty() && sealed_ == nullptr,
+      "RecoverFrom requires an empty tree");
+  if (m.entries_per_page != opts_.entries_per_page) {
+    return Status::InvalidArgument(
+        "manifest page geometry does not match the opening Options");
+  }
+  tuning_epoch_ = m.tuning_epoch;
+  migration_pending_ = m.migration_pending;
+  if (m.next_seq > next_seq_) next_seq_ = m.next_seq;
+  file_store_->set_next_id(m.next_file_id);
+  EnsureLevel(static_cast<int>(m.levels.size()));
+  for (size_t i = 0; i < m.levels.size(); ++i) {
+    for (const ManifestRun& meta : m.levels[i]) {
+      ENDURE_RETURN_IF_ERROR(
+          file_store_->AdoptSegment(meta.segment, meta.num_entries));
+      levels_[i].push_back(
+          RebuildRun(store_, meta, opts_.entries_per_page));
+    }
+  }
+  // Segment files the manifest does not reference are leftovers of a
+  // crash between a segment write and the manifest publication (or of
+  // deferred deletes that never got purged) — reap them.
+  return file_store_->RemoveUnreferencedSegments();
+}
+
+void LsmTree::ReplayEntry(const Entry& e) {
+  // The write path minus operation counting and logging: replayed
+  // entries are not new operations, and the WAL is not attached yet.
+  active_->Upsert(e);
+  MaintainAfterWrite();
+}
+
+StatusOr<uint64_t> LsmTree::ReplayWal(const std::string& wal_path) {
+  auto reader_or = WalReader::Open(wal_path);
+  if (!reader_or.ok()) return reader_or.status();
+  std::unique_ptr<WalReader> reader = std::move(reader_or).value();
+  uint64_t replayed = 0;
+  SeqNum max_seq = 0;
+  uint8_t type;
+  std::string payload;
+  while (reader->Next(&type, &payload)) {
+    // Unknown record types and malformed payloads are skipped, not
+    // fatal: the prefix property only depends on the framing CRC.
+    if (type != kWalEntryRecord || payload.size() != kEncodedEntryBytes) {
+      continue;
+    }
+    const Entry e = DecodeEntry(payload.data());
+    ReplayEntry(e);
+    max_seq = std::max(max_seq, e.seq);
+    ++replayed;
+  }
+  if (max_seq >= next_seq_) next_seq_ = max_seq + 1;
+  stats_->wal_replayed_entries += replayed;
+  return replayed;
+}
+
+Status LsmTree::AttachDurability(const std::string& dir) {
+  ENDURE_CHECK_MSG(opts_.durability && file_store_ != nullptr,
+                   "AttachDurability requires Options::durability");
+  durable_dir_ = dir;
+  // Checkpoint opens the WAL appender; the directory is consistent (and
+  // a replayed WAL compacted) the moment durable operation begins.
+  const Status s = Checkpoint();
+  if (!s.ok()) durable_dir_.clear();
+  return s;
+}
+
+Status LsmTree::Checkpoint() {
+  if (durable_dir_.empty()) {
+    return Status::FailedPrecondition("durability is not attached");
+  }
+  // 1. Publish the manifest (and purge deferred deletes). From here on
+  //    the flushed runs are owned by the manifest; memtable contents
+  //    are owned by the WAL below. A crash between the two steps leaves
+  //    the new manifest with the old WAL — replay then re-applies
+  //    entries the manifest already covers, which is a benign duplicate
+  //    (same seq, same value).
+  ENDURE_RETURN_IF_ERROR(PublishManifest());
+
+  // 2. Rewrite the WAL to exactly the resident memtable contents, via
+  //    temp + rename so a crash mid-rewrite keeps the old log. Records
+  //    staged on the old writer are already applied to the memtable, so
+  //    the snapshot below covers them — abandon rather than flush. A
+  //    background-fsync failure latched on the old writer still
+  //    surfaces first: retiring the writer must not be the hole a dying
+  //    device escapes through.
+  if (wal_ != nullptr) {
+    ENDURE_RETURN_IF_ERROR(wal_->deferred_error());
+    wal_->Abandon();
+    wal_.reset();
+  }
+  const std::string wal_path = durable_dir_ + "/" + kWalFileName;
+  const std::string tmp = wal_path + ".rewrite";
+  ENDURE_RETURN_IF_ERROR(RemoveFile(tmp));
+  {
+    auto snap_or = WalWriter::Open(tmp, WalSyncMode::kNone);
+    if (!snap_or.ok()) return snap_or.status();
+    std::unique_ptr<WalWriter> snap = std::move(snap_or).value();
+    char buf[kEncodedEntryBytes];
+    const MemTable* buffers[] = {sealed_.get(), active_.get()};
+    for (const MemTable* mt : buffers) {  // older (sealed) first
+      if (mt == nullptr) continue;
+      for (SkipList::Iterator it = mt->NewIterator(); it.Valid();
+           it.Next()) {
+        EncodeEntry(it.entry(), buf);
+        snap->Append(kWalEntryRecord, buf, kEncodedEntryBytes);
+      }
+    }
+    ENDURE_RETURN_IF_ERROR(snap->Commit());
+    // Always synced, whatever the running mode: the rename below must
+    // never replace a durable log with a less-durable one. Explicit so
+    // the error surfaces; Abandon() then stops the destructor from
+    // repeating the (already clean) flush+fsync.
+    ENDURE_RETURN_IF_ERROR(snap->Sync());
+    snap->Abandon();
+  }
+  if (std::rename(tmp.c_str(), wal_path.c_str()) != 0) {
+    return Status::IOError("rename " + tmp + " -> " + wal_path);
+  }
+  ENDURE_RETURN_IF_ERROR(SyncDir(durable_dir_));
+
+  // 3. Reopen the appender on the rewritten log.
+  Statistics* stats = stats_;
+  auto wal_or =
+      WalWriter::Open(wal_path, opts_.wal_sync_mode,
+                      opts_.wal_sync_interval_ms,
+                      [stats] { ++stats->wal_syncs; });
+  if (!wal_or.ok()) return wal_or.status();
+  wal_ = std::move(wal_or).value();
+  return Status::OK();
+}
+
+void LsmTree::CrashForTesting() {
+  if (wal_ != nullptr) {
+    wal_->Abandon();
+    wal_.reset();
+  }
+  durable_dir_.clear();  // no further checkpoints; files stay as-is
+}
+
+StatusOr<bool> LoadDurableState(const std::string& dir, Options* opts,
+                                ManifestData* m) {
+  const std::string path = dir + "/" + kManifestFileName;
+  if (!FileExists(path)) return false;
+  auto m_or = ReadManifest(path);
+  if (!m_or.ok()) return m_or.status();
+  *m = std::move(m_or).value();
+  if (m->entries_per_page != opts->entries_per_page) {
+    return Status::InvalidArgument(
+        "entries_per_page does not match the persisted deployment");
+  }
+  m->ApplyTuningTo(opts);
+  ENDURE_RETURN_IF_ERROR(opts->Validate());
+  return true;
+}
+
+Status RecoverAndAttach(LsmTree* tree, const ManifestData& m,
+                        bool existing, const std::string& dir) {
+  if (existing) {
+    ENDURE_RETURN_IF_ERROR(tree->RecoverFrom(m));
+    auto replayed = tree->ReplayWal(dir + "/" + kWalFileName);
+    if (!replayed.ok()) return replayed.status();
+    ++tree->stats()->recoveries;
+  }
+  return tree->AttachDurability(dir);
 }
 
 }  // namespace endure::lsm

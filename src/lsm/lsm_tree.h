@@ -11,14 +11,17 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "lsm/compaction.h"
+#include "lsm/manifest.h"
 #include "lsm/memtable.h"
 #include "lsm/monkey_allocator.h"
 #include "lsm/options.h"
 #include "lsm/page_store.h"
 #include "lsm/run.h"
+#include "util/wal.h"
 
 namespace endure::lsm {
 
@@ -82,6 +85,12 @@ class LsmTree {
 
   /// Inserts or updates a key.
   void Put(Key key, Value value);
+
+  /// Inserts or updates several keys with one WAL group commit: all
+  /// records are staged and hit the log in a single write (and, under
+  /// WalSyncMode::kPerBatch, a single fsync) — the amortization
+  /// bench/micro_wal measures. Without durability it is plain Puts.
+  void PutBatch(const std::vector<std::pair<Key, Value>>& pairs);
 
   /// Deletes a key (tombstone write).
   void Delete(Key key);
@@ -166,8 +175,70 @@ class LsmTree {
   const MemTable& memtable() const { return *active_; }
   Statistics* stats() const { return stats_; }
 
+  // --- durability (docs/durability.md) ---
+  // A durable tree (Options::durability, file backend) logs every write
+  // to a WAL before acknowledging it and publishes a manifest after every
+  // structural change. The open-recover sequence is:
+  //   LsmTree tree(recovered_options, store, stats);   // empty tree
+  //   tree.RecoverFrom(manifest);   // adopt segments, rebuild runs
+  //   tree.ReplayWal(wal_path);     // restore the memtable
+  //   tree.AttachDurability(dir);   // open the WAL, checkpoint once
+  // DB::Open and ShardedDB::Open drive this; tests may too.
+
+  /// Restores levels, tuning epoch, migration flag and cursors from a
+  /// manifest. Requires an empty tree on a persistent FilePageStore;
+  /// adopts every referenced segment (error if one is missing/short) and
+  /// reaps unreferenced segment files afterwards.
+  Status RecoverFrom(const ManifestData& m);
+
+  /// Replays every intact WAL record into the memtable through the
+  /// normal write path (flushing/sealing when it fills), without
+  /// re-logging. Returns the number of entries replayed and advances the
+  /// sequence counter past the highest replayed seq.
+  StatusOr<uint64_t> ReplayWal(const std::string& wal_path);
+
+  /// Starts durable operation rooted at `dir`: opens the WAL for
+  /// appending and checkpoints once, leaving `dir` consistent.
+  Status AttachDurability(const std::string& dir);
+
+  /// Publishes the manifest (atomic replace) and rewrites the WAL down
+  /// to exactly the resident memtable contents, then reaps segment files
+  /// the new manifest no longer references. Called automatically after
+  /// flushes, migrations, reconfigurations and bulk loads.
+  Status Checkpoint();
+
+  /// Snapshot of the durable state (run layout, tuning, cursors).
+  ManifestData ToManifest() const;
+
+  /// Drops the WAL writer exactly as a crash would: staged-but-unsynced
+  /// records are lost, no final checkpoint happens. Kill-point test hook.
+  void CrashForTesting();
+
  private:
   void Write(const Entry& e);
+  /// Post-insert maintenance: seals (background mode) or flushes a full
+  /// buffer — shared by the write path and WAL replay.
+  void MaintainAfterWrite();
+  /// Detaches and flushes the sealed buffer (which must exist), without
+  /// checkpointing — shared by FlushSealedMemtable and Flush so the
+  /// detach-before-flush protocol lives in one place.
+  void FlushSealedInternal();
+  /// Appends one entry record to the WAL (no commit — callers group).
+  void StageWalRecord(const Entry& e);
+  /// Commits staged WAL records (one write; fsync under kPerBatch).
+  void CommitWal();
+  /// Replays one WAL entry through the write path, without logging.
+  void ReplayEntry(const Entry& e);
+  /// Publishes the manifest and purges deferred segment deletes — the
+  /// cheap half of Checkpoint(), sufficient when the memtables did not
+  /// change (migration steps, tuning-only reconfigures): the resident
+  /// WAL stays exactly right, so no rewrite and no extra fsyncs.
+  Status PublishManifest();
+  /// Checkpoint()/PublishManifest() when durable, no-op otherwise
+  /// (aborts on I/O errors: a durability failure must not be silently
+  /// swallowed mid-write).
+  void CheckpointIfDurable();
+  void PublishManifestIfDurable();
   /// Moves the full active buffer into the sealed slot (which must be
   /// empty) and installs a fresh active buffer.
   void SealMemtable();
@@ -196,6 +267,11 @@ class LsmTree {
   Options opts_;
   PageStore* store_;
   Statistics* stats_;
+  /// Durable mode only: `store_` downcast, for segment adoption and
+  /// deferred-delete purging (null when durability is off).
+  FilePageStore* file_store_ = nullptr;
+  std::string durable_dir_;  ///< empty until AttachDurability
+  std::unique_ptr<WalWriter> wal_;  ///< null until AttachDurability
   std::unique_ptr<MemTable> active_;  ///< the mutable write buffer
   std::unique_ptr<MemTable> sealed_;  ///< full buffer awaiting flush (or null)
   SeqNum next_seq_ = 1;
@@ -205,6 +281,24 @@ class LsmTree {
   /// levels_[i] holds level i+1; runs ordered newest first.
   std::vector<std::vector<std::shared_ptr<Run>>> levels_;
 };
+
+// Shared open-recover plumbing (DB::Open and ShardedDB::Open drive the
+// same sequence per tree; keeping it here prevents the two recovery
+// paths from drifting).
+
+/// If `dir` holds a manifest, reads it into `m`, folds its persisted
+/// tuning into `opts` (validating the merged options — a CRC-valid
+/// manifest can still carry knobs this build rejects, which must
+/// surface as a Status, never an abort downstream), checks the page
+/// geometry, and returns true. Returns false on a fresh directory.
+StatusOr<bool> LoadDurableState(const std::string& dir, Options* opts,
+                                ManifestData* m);
+
+/// The per-tree recovery tail: when `existing`, recovers from `m`,
+/// replays `dir`'s WAL and counts the recovery; always attaches
+/// durability (opens the WAL appender and checkpoints once).
+Status RecoverAndAttach(LsmTree* tree, const ManifestData& m,
+                        bool existing, const std::string& dir);
 
 }  // namespace endure::lsm
 

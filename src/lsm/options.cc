@@ -22,6 +22,14 @@ Status Options::Validate() const {
   if (num_shards < 1 || num_shards > 4096) {
     return Status::InvalidArgument("num_shards must be in [1, 4096]");
   }
+  if (durability && backend != StorageBackend::kFile) {
+    return Status::InvalidArgument(
+        "durability requires the file backend (the WAL and manifest live "
+        "in storage_dir)");
+  }
+  if (wal_sync_interval_ms < 1) {
+    return Status::InvalidArgument("wal_sync_interval_ms must be >= 1");
+  }
   return Status::OK();
 }
 

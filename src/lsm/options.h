@@ -12,6 +12,7 @@
 #include <string>
 
 #include "util/status.h"
+#include "util/wal_sync_mode.h"
 
 namespace endure::lsm {
 
@@ -82,6 +83,26 @@ struct Options {
   /// a full memtable flushes inline, preserving the single-threaded
   /// behaviour the experiments measure.
   bool background_maintenance = false;
+
+  /// Crash-safe persistence (docs/durability.md): every write is logged
+  /// to a per-tree write-ahead log before it is acknowledged, and every
+  /// structural change (flush, compaction, migration step, retune)
+  /// publishes a versioned manifest, so DB::Open / ShardedDB::Open on an
+  /// existing storage_dir replays the WAL, rebuilds the levels and
+  /// resumes the persisted tuning — including a mid-flight migration —
+  /// instead of starting empty. Requires the file backend. Off by
+  /// default: the experiments measure a volatile engine.
+  bool durability = false;
+
+  /// When an acknowledged write is guaranteed on the device (ignored
+  /// unless `durability`). kNone trusts the page cache (fastest; clean
+  /// close still syncs), kBackground bounds the loss window to
+  /// wal_sync_interval_ms, kPerBatch fsyncs inside every commit — the
+  /// mode the kill-point tests assert zero acked-write loss under.
+  WalSyncMode wal_sync_mode = WalSyncMode::kBackground;
+
+  /// Cadence of the background WAL flusher (kBackground only), >= 1.
+  int wal_sync_interval_ms = 10;
 
   /// OK iff every knob is in range.
   Status Validate() const;

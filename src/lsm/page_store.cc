@@ -1,6 +1,7 @@
 #include "lsm/page_store.h"
 
 #include "lsm/options.h"
+#include "util/env.h"
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -146,21 +147,8 @@ namespace {
 
 constexpr size_t kPageAlign = 4096;
 
-void EncodeEntry(const Entry& e, char* buf) {
-  std::memcpy(buf, &e.key, 8);
-  std::memcpy(buf + 8, &e.seq, 8);
-  std::memcpy(buf + 16, &e.value, 8);
-  buf[24] = static_cast<char>(e.type);
-}
-
-Entry DecodeEntry(const char* buf) {
-  Entry e;
-  std::memcpy(&e.key, buf, 8);
-  std::memcpy(&e.seq, buf + 8, 8);
-  std::memcpy(&e.value, buf + 16, 8);
-  e.type = static_cast<EntryType>(buf[24]);
-  return e;
-}
+// Entries are serialized with the shared EncodeEntry/DecodeEntry from
+// entry.h — the same layout WAL records and recovery use.
 
 /// Page-aligned allocation (pread/pwrite buffers; alignment also keeps the
 /// door open for O_DIRECT).
@@ -215,6 +203,12 @@ class FilePageStore::Writer final : public PageStore::SegmentWriter {
     ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
     ENDURE_CHECK_MSG(num_pages_ > 0, "cannot seal an empty segment");
     sealed_ = true;
+    // Persistent segments must be on the device before the manifest may
+    // reference them; ephemeral stores skip the fsync (the experiments'
+    // hot path).
+    if (store_->persistent_) {
+      ENDURE_CHECK_MSG(::fsync(fd_) == 0, "segment fsync failed");
+    }
     store_->segments_.emplace(id_, SegmentMeta{fd_, num_entries_});
     return id_;
   }
@@ -232,14 +226,17 @@ class FilePageStore::Writer final : public PageStore::SegmentWriter {
 };
 
 FilePageStore::FilePageStore(uint64_t entries_per_page, Statistics* stats,
-                             std::string dir)
+                             std::string dir, bool persistent)
     : PageStore(entries_per_page, stats),
       dir_(std::move(dir)),
+      persistent_(persistent),
       read_scratch_(AlignedPage(PageBytes())) {
   ENDURE_CHECK_MSG(!dir_.empty(), "empty storage dir");
   ::mkdir(dir_.c_str(), 0755);  // best effort; open() below will verify
-  // Segment files get a per-process, per-instance prefix so several stores
-  // (or test shards) can share a directory without clobbering each other.
+  if (persistent_) return;  // stable names; the store owns the directory
+  // Ephemeral segment files get a per-process, per-instance prefix so
+  // several stores (or test shards) can share a directory without
+  // clobbering each other.
   static std::atomic<uint64_t> instance_counter{0};
   instance_tag_ = std::to_string(::getpid()) + "_" +
                   std::to_string(instance_counter.fetch_add(1));
@@ -248,11 +245,14 @@ FilePageStore::FilePageStore(uint64_t entries_per_page, Statistics* stats,
 FilePageStore::~FilePageStore() {
   for (auto& [id, meta] : segments_) {
     if (meta.fd >= 0) ::close(meta.fd);
-    ::unlink(PathFor(id).c_str());
+    if (!persistent_) ::unlink(PathFor(id).c_str());
   }
+  // Deferred deletes whose manifest never got published stay on disk as
+  // orphans; the next recovery's RemoveUnreferencedSegments reaps them.
 }
 
 std::string FilePageStore::PathFor(SegmentId id) const {
+  if (persistent_) return dir_ + "/seg_" + std::to_string(id) + ".run";
   return dir_ + "/seg_" + instance_tag_ + "_" + std::to_string(id) + ".run";
 }
 
@@ -295,8 +295,73 @@ void FilePageStore::FreeSegment(SegmentId segment) {
   auto it = segments_.find(segment);
   if (it == segments_.end()) return;
   if (it->second.fd >= 0) ::close(it->second.fd);
-  ::unlink(PathFor(segment).c_str());
+  if (persistent_) {
+    // Defer the unlink: the current manifest may still reference this
+    // segment, and recovery must be able to reopen it if we crash before
+    // the next manifest lands. PurgePendingDeletes() reaps it afterwards.
+    pending_deletes_.push_back(PathFor(segment));
+  } else {
+    ::unlink(PathFor(segment).c_str());
+  }
   segments_.erase(it);
+}
+
+Status FilePageStore::AdoptSegment(SegmentId id, size_t num_entries) {
+  ENDURE_CHECK_MSG(persistent_, "AdoptSegment requires a persistent store");
+  if (num_entries == 0) {
+    return Status::InvalidArgument("cannot adopt an empty segment");
+  }
+  if (segments_.count(id) != 0) {
+    return Status::InvalidArgument("segment adopted twice: " +
+                                   std::to_string(id));
+  }
+  const std::string path = PathFor(id);
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError("missing segment file " + path);
+  }
+  struct stat st;
+  const size_t pages =
+      (num_entries + entries_per_page_ - 1) / entries_per_page_;
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<size_t>(st.st_size) < pages * PageBytes()) {
+    ::close(fd);
+    return Status::IOError("segment file " + path +
+                           " is shorter than the manifest records");
+  }
+  segments_.emplace(id, SegmentMeta{fd, num_entries});
+  set_next_id(id + 1);
+  return Status::OK();
+}
+
+void FilePageStore::PurgePendingDeletes() {
+  for (const std::string& path : pending_deletes_) {
+    ::unlink(path.c_str());
+  }
+  pending_deletes_.clear();
+}
+
+Status FilePageStore::RemoveUnreferencedSegments() {
+  ENDURE_CHECK_MSG(persistent_,
+                   "orphan cleanup requires a persistent store");
+  auto names = ListDir(dir_);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    // Persistent segment names are seg_<id>.run; everything else in the
+    // directory (MANIFEST, wal.log, tmp files) is not ours to touch.
+    if (name.rfind("seg_", 0) != 0 || name.size() <= 8 ||
+        name.substr(name.size() - 4) != ".run") {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long id =
+        std::strtoull(name.c_str() + 4, &end, 10);
+    if (end == nullptr || std::string(end) != ".run") continue;
+    if (segments_.count(static_cast<SegmentId>(id)) == 0) {
+      ::unlink((dir_ + "/" + name).c_str());
+    }
+  }
+  return Status::OK();
 }
 
 size_t FilePageStore::NumPages(SegmentId segment) const {
@@ -316,9 +381,11 @@ size_t FilePageStore::NumEntries(SegmentId segment) const {
 
 std::unique_ptr<PageStore> MakePageStore(uint64_t entries_per_page,
                                          Statistics* stats, int backend,
-                                         const std::string& dir) {
+                                         const std::string& dir,
+                                         bool persistent) {
   if (backend == static_cast<int>(StorageBackend::kFile)) {
-    return std::make_unique<FilePageStore>(entries_per_page, stats, dir);
+    return std::make_unique<FilePageStore>(entries_per_page, stats, dir,
+                                           persistent);
   }
   return std::make_unique<MemPageStore>(entries_per_page, stats);
 }

@@ -221,11 +221,24 @@ class MemPageStore final : public PageStore {
 /// File-backed store: one file per segment under `dir`, fixed-width binary
 /// entry encoding, page-aligned pread/pwrite through a per-store aligned
 /// scratch buffer (reads decode in place; no per-read allocation).
+///
+/// Two lifetimes:
+/// - Ephemeral (default): segment names carry a per-process instance tag
+///   (several stores can share a directory) and every file is unlinked
+///   when freed or when the store is destroyed — the pre-durability
+///   behaviour the experiments use.
+/// - Persistent (`persistent = true`): segment names are stable
+///   (`seg_<id>.run`), Seal() fsyncs the file before the segment becomes
+///   referenceable, destruction keeps all files, FreeSegment defers the
+///   unlink until PurgePendingDeletes() (called after the next manifest
+///   publication, so a crash never leaves the manifest pointing at a
+///   deleted file), and AdoptSegment() re-registers a file from a
+///   previous process at recovery. See docs/durability.md.
 class FilePageStore final : public PageStore {
  public:
   /// Creates `dir` if needed; aborts on unusable directories.
   FilePageStore(uint64_t entries_per_page, Statistics* stats,
-                std::string dir);
+                std::string dir, bool persistent = false);
   ~FilePageStore() override;
 
   std::unique_ptr<SegmentWriter> NewSegmentWriter(IoContext ctx) override;
@@ -235,8 +248,31 @@ class FilePageStore final : public PageStore {
   size_t NumPages(SegmentId segment) const override;
   size_t NumEntries(SegmentId segment) const override;
 
-  /// Bytes of one serialized entry on disk.
-  static constexpr size_t kEntryBytes = 8 + 8 + 8 + 1;
+  /// Bytes of one serialized entry on disk (the shared Entry encoding).
+  static constexpr size_t kEntryBytes = kEncodedEntryBytes;
+
+  bool persistent() const { return persistent_; }
+
+  /// Re-registers segment `id` (written by an earlier process) from its
+  /// file, verifying the file covers `num_entries` entries. Persistent
+  /// stores only; bumps next_id() past `id`.
+  Status AdoptSegment(SegmentId id, size_t num_entries);
+
+  /// Unlinks every file whose FreeSegment was deferred (persistent mode).
+  /// Call after the manifest that stopped referencing them is on disk.
+  void PurgePendingDeletes();
+
+  /// Unlinks `seg_*.run` files not currently registered — the leftovers
+  /// of a crash between a segment write and the manifest publication.
+  /// Call at recovery, after adopting every manifest-referenced segment.
+  Status RemoveUnreferencedSegments();
+
+  /// First id NewSegmentWriter will hand out; persisted in the manifest
+  /// so ids are never reused across restarts.
+  SegmentId next_id() const { return next_id_; }
+  void set_next_id(SegmentId id) {
+    if (id > next_id_) next_id_ = id;
+  }
 
  private:
   class Writer;
@@ -250,19 +286,23 @@ class FilePageStore final : public PageStore {
   size_t PageBytes() const { return kEntryBytes * entries_per_page_; }
 
   std::string dir_;
+  bool persistent_;
   std::string instance_tag_;  ///< unique per process+instance (see .cc)
   SegmentId next_id_ = 1;
   std::unordered_map<SegmentId, SegmentMeta> segments_;
+  std::vector<std::string> pending_deletes_;  ///< persistent mode only
   /// Page-aligned scratch for ReadPage, sized PageBytes(); reused across
   /// reads (safe: access to a store is serialized by the tree's owner).
   std::unique_ptr<char, void (*)(void*)> read_scratch_;
 };
 
-/// Factory over Options::backend.
+/// Factory over Options::backend. `persistent` selects FilePageStore's
+/// durable lifetime (ignored by the memory backend).
 std::unique_ptr<PageStore> MakePageStore(uint64_t entries_per_page,
                                          Statistics* stats,
                                          int backend /* StorageBackend */,
-                                         const std::string& dir);
+                                         const std::string& dir,
+                                         bool persistent = false);
 
 }  // namespace endure::lsm
 

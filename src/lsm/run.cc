@@ -59,12 +59,14 @@ const Entry* PageLowerBound(const Entry* base, size_t n, Key key) {
 
 Run::Run(PageStore* store, SegmentId segment,
          std::unique_ptr<BloomFilter> bloom,
-         std::unique_ptr<FencePointers> fences, uint64_t num_entries)
+         std::unique_ptr<FencePointers> fences, uint64_t num_entries,
+         double bloom_bits_per_entry)
     : store_(store),
       segment_(segment),
       bloom_(std::move(bloom)),
       fences_(std::move(fences)),
-      num_entries_(num_entries) {
+      num_entries_(num_entries),
+      bloom_bits_per_entry_(bloom_bits_per_entry) {
   ENDURE_CHECK(store_ != nullptr);
   ENDURE_CHECK(bloom_ != nullptr && fences_ != nullptr);
   ENDURE_CHECK(num_entries_ > 0);

@@ -27,8 +27,12 @@ namespace endure::lsm {
 class Run {
  public:
   /// Takes ownership of the segment (freed on destruction).
+  /// `bloom_bits_per_entry` is the *requested* filter budget the run was
+  /// built at (before block rounding) — recorded in the manifest so a
+  /// recovery rebuilds a filter with the identical geometry.
   Run(PageStore* store, SegmentId segment, std::unique_ptr<BloomFilter> bloom,
-      std::unique_ptr<FencePointers> fences, uint64_t num_entries);
+      std::unique_ptr<FencePointers> fences, uint64_t num_entries,
+      double bloom_bits_per_entry);
   ~Run();
   ENDURE_DISALLOW_COPY_AND_ASSIGN(Run);
 
@@ -37,6 +41,15 @@ class Run {
   Key min_key() const { return fences_->min_key(); }
   Key max_key() const { return fences_->max_key(); }
   const BloomFilter& bloom() const { return *bloom_; }
+
+  /// The backing segment (recorded in the manifest so recovery can adopt
+  /// the same file and rebuild this run from its pages).
+  SegmentId segment() const { return segment_; }
+
+  /// The requested (pre-rounding) Bloom budget this run was built at.
+  /// BloomFilter(num_entries, this) reproduces the exact filter geometry
+  /// (block count and hash count), which is what recovery relies on.
+  double bloom_bits_per_entry() const { return bloom_bits_per_entry_; }
 
   /// Tuning epoch the run was built under: runs keep the Bloom/fence
   /// settings of their build time until the next compaction rewrites
@@ -99,6 +112,7 @@ class Run {
   std::unique_ptr<BloomFilter> bloom_;
   std::unique_ptr<FencePointers> fences_;
   uint64_t num_entries_;
+  double bloom_bits_per_entry_;
   uint64_t tuning_epoch_ = 0;
   /// Point-lookup scratch, reused across Gets (access to a run is
   /// serialized by its tree's owner); only materializing backends ever

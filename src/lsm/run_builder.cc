@@ -49,7 +49,8 @@ std::shared_ptr<Run> RunBuilder::Finish() {
   auto fences = std::make_unique<FencePointers>(std::move(first_keys_),
                                                 last_key_);
   return std::make_shared<Run>(store_, segment, std::move(bloom),
-                               std::move(fences), num_entries_);
+                               std::move(fences), num_entries_,
+                               bits_per_entry_);
 }
 
 std::shared_ptr<Run> BuildRun(PageStore* store,

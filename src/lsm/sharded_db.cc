@@ -2,37 +2,142 @@
 
 #include <algorithm>
 
+#include "lsm/manifest.h"
 #include "lsm/merge_iterator.h"
+#include "util/env.h"
 
 namespace endure::lsm {
 
-ShardedDB::ShardedDB(const Options& options) : options_(options) {
+namespace {
+
+std::string ShardDir(const std::string& root, int shard) {
+  return root + "/shard_" + std::to_string(shard);
+}
+
+/// Publishes the deployment root manifest: shard count + the tuning the
+/// deployment currently runs (shared by Open's fresh path and
+/// ApplyTuning so the two sites can never drift).
+Status WriteRootManifest(const std::string& root_dir, const Options& opts,
+                         int num_shards) {
+  ManifestData root;
+  root.RecordTuningFrom(opts);
+  root.kind = kManifestKindShardedRoot;
+  root.num_shards = num_shards;
+  return WriteManifest(root_dir + "/" + kManifestFileName, root);
+}
+
+}  // namespace
+
+ShardedDB::ShardedDB(const Options& options, bool defer_shards)
+    : options_(options) {
   shards_.reserve(static_cast<size_t>(options_.num_shards));
-  for (int i = 0; i < options_.num_shards; ++i) {
-    auto shard = std::make_unique<Shard>();
-    // Shards share storage_dir: FilePageStore segment names carry a
-    // per-instance tag, so no subdirectories are needed.
-    shard->store = MakePageStore(options_.entries_per_page, &shard->stats,
-                                 static_cast<int>(options_.backend),
-                                 options_.storage_dir);
-    shard->tree = std::make_unique<LsmTree>(options_, shard->store.get(),
-                                            &shard->stats);
-    shards_.push_back(std::move(shard));
+  if (!defer_shards) {
+    for (int i = 0; i < options_.num_shards; ++i) {
+      auto shard = std::make_unique<Shard>();
+      // Ephemeral shards share storage_dir: FilePageStore segment names
+      // carry a per-instance tag, so no subdirectories are needed.
+      shard->store = MakePageStore(options_.entries_per_page, &shard->stats,
+                                   static_cast<int>(options_.backend),
+                                   options_.storage_dir);
+      shard->tree = std::make_unique<LsmTree>(options_, shard->store.get(),
+                                              &shard->stats);
+      shards_.push_back(std::move(shard));
+    }
   }
   if (options_.background_maintenance) {
     pool_ = std::make_unique<ThreadPool>(
-        std::min(shards_.size(), DefaultParallelism()));
+        std::min(static_cast<size_t>(options_.num_shards),
+                 DefaultParallelism()));
   }
 }
 
 ShardedDB::~ShardedDB() {
   // pool_ (declared last) is destroyed first, draining queued jobs while
   // the shards they reference are still alive; nothing else to do here.
+  // Durable shards sync their WALs in the tree teardown (clean close
+  // loses nothing, whatever the sync mode).
 }
 
 StatusOr<std::unique_ptr<ShardedDB>> ShardedDB::Open(const Options& options) {
   ENDURE_RETURN_IF_ERROR(options.Validate());
-  return std::unique_ptr<ShardedDB>(new ShardedDB(options));
+  if (!options.durability) {
+    return std::unique_ptr<ShardedDB>(new ShardedDB(options));
+  }
+
+  // Durable open: the deployment root holds a root manifest (shard count
+  // + last applied tuning) and one subdirectory per shard.
+  Options opts = options;
+  ENDURE_RETURN_IF_ERROR(EnsureDir(opts.storage_dir));
+  auto lock_or =
+      FileLock::Acquire(opts.storage_dir + "/" + kLockFileName);
+  if (!lock_or.ok()) return lock_or.status();
+  ManifestData root;
+  auto root_existing_or = LoadDurableState(opts.storage_dir, &opts, &root);
+  if (!root_existing_or.ok()) return root_existing_or.status();
+  if (*root_existing_or) {
+    // Without the kind check a plain-DB directory opened with
+    // num_shards=1 would recover a fresh empty shard_0 and ignore the
+    // DB's data sitting at the root.
+    if (root.kind != kManifestKindShardedRoot) {
+      return Status::InvalidArgument(
+          "storage_dir holds a plain DB deployment; open it with "
+          "DB::Open");
+    }
+    if (root.num_shards != opts.num_shards) {
+      return Status::InvalidArgument(
+          "deployment was created with " + std::to_string(root.num_shards) +
+          " shards; num_shards is immutable across reopens");
+    }
+  } else {
+    // Publish the root manifest BEFORE any shard directory exists: a
+    // crash mid-first-open must never leave recovered shard state
+    // without the num_shards record that guards reopens.
+    ENDURE_RETURN_IF_ERROR(
+        WriteRootManifest(opts.storage_dir, opts, opts.num_shards));
+  }
+
+  auto db =
+      std::unique_ptr<ShardedDB>(new ShardedDB(opts, /*defer_shards=*/true));
+  db->lock_ = std::move(lock_or).value();
+  for (int i = 0; i < opts.num_shards; ++i) {
+    Options shard_opts = opts;
+    shard_opts.storage_dir = ShardDir(opts.storage_dir, i);
+    ENDURE_RETURN_IF_ERROR(EnsureDir(shard_opts.storage_dir));
+    // A crash mid-ApplyTuning can leave shards at mixed tunings; each
+    // shard resumes its own persisted state (a later ApplyTuning
+    // re-levels the deployment).
+    ManifestData m;
+    auto existing_or = LoadDurableState(shard_opts.storage_dir, &shard_opts,
+                                        &m);
+    if (!existing_or.ok()) return existing_or.status();
+    auto shard = std::make_unique<Shard>();
+    shard->store = MakePageStore(shard_opts.entries_per_page, &shard->stats,
+                                 static_cast<int>(shard_opts.backend),
+                                 shard_opts.storage_dir,
+                                 /*persistent=*/true);
+    shard->tree = std::make_unique<LsmTree>(shard_opts, shard->store.get(),
+                                            &shard->stats);
+    ENDURE_RETURN_IF_ERROR(RecoverAndAttach(shard->tree.get(), m,
+                                            *existing_or,
+                                            shard_opts.storage_dir));
+    db->shards_.push_back(std::move(shard));
+  }
+
+  // Resume interrupted work: shards that recovered mid-migration (or
+  // with a sealed buffer rebuilt by replay) reschedule immediately on
+  // the pool; without one (foreground mode) the migration converges
+  // inline here, mirroring ApplyTuning's foreground behaviour.
+  for (auto& shard_ptr : db->shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (db->pool_ != nullptr) {
+      db->MaybeScheduleMaintenance(shard);
+    } else {
+      while (shard->tree->AdvanceMigration()) {
+      }
+    }
+  }
+  return db;
 }
 
 size_t ShardedDB::ShardForKey(Key key) const {
@@ -76,6 +181,21 @@ void ShardedDB::Put(Key key, Value value) {
   std::lock_guard<std::mutex> lock(shard->mu);
   shard->tree->Put(key, value);
   MaybeScheduleMaintenance(shard);
+}
+
+void ShardedDB::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
+  // Partition once, then one group commit per touched shard.
+  std::vector<std::vector<std::pair<Key, Value>>> parts(shards_.size());
+  for (const auto& pair : pairs) {
+    parts[ShardForKey(pair.first)].push_back(pair);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (parts[s].empty()) continue;
+    Shard* shard = shards_[s].get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->tree->PutBatch(parts[s]);
+    MaybeScheduleMaintenance(shard);
+  }
 }
 
 void ShardedDB::Delete(Key key) {
@@ -188,13 +308,37 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
     return Status::InvalidArgument(
         "background_maintenance cannot change on a live database");
   }
+  if (new_options.durability != options_.durability ||
+      new_options.wal_sync_mode != options_.wal_sync_mode ||
+      new_options.wal_sync_interval_ms != options_.wal_sync_interval_ms) {
+    return Status::InvalidArgument(
+        "durability and WAL sync settings cannot change on a live "
+        "database");
+  }
+  if (options_.durability) {
+    // Republish the root manifest BEFORE touching any shard: the only
+    // fallible durable step happens while the old tuning is still fully
+    // in force, so an error here honors the "on apply error the DB
+    // keeps its previous tuning" contract. (A crash after this write
+    // but mid-loop is the documented mixed-tuning state: each shard
+    // resumes its own manifest and the next ApplyTuning re-levels.)
+    ENDURE_RETURN_IF_ERROR(WriteRootManifest(
+        options_.storage_dir, new_options, options_.num_shards));
+  }
 
-  for (auto& shard_ptr : shards_) {
-    Shard* shard = shard_ptr.get();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    // Durable shards live in per-shard subdirectories; address each
+    // tree's Reconfigure at its own placement (immutable per tree).
+    Options shard_next = new_options;
+    if (options_.durability) {
+      shard_next.storage_dir =
+          ShardDir(options_.storage_dir, static_cast<int>(i));
+    }
     std::lock_guard<std::mutex> lock(shard->mu);
     // Cheap under the lock: Reconfigure retargets the buffer and bumps
     // the epoch; the structural migration runs in background steps.
-    const Status s = shard->tree->Reconfigure(new_options);
+    const Status s = shard->tree->Reconfigure(shard_next);
     ENDURE_CHECK_MSG(s.ok(), "per-shard Reconfigure failed after "
                              "ApplyTuning validated the options");
     if (pool_ != nullptr) {
@@ -208,6 +352,15 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
   }
   options_ = new_options;
   return Status::OK();
+}
+
+void ShardedDB::CrashForTesting() {
+  pool_.reset();  // in-flight jobs finish; the crash point is after them
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->tree->CrashForTesting();
+  }
 }
 
 MigrationProgress ShardedDB::Progress() const {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lsm/lsm_tree.h"
+#include "util/env.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -29,9 +30,18 @@ namespace endure::lsm {
 /// externally ordered after the last operation (as with any C++ object).
 class ShardedDB {
  public:
-  /// Opens a fresh sharded database; fails on invalid options. With
+  /// Opens a sharded database; fails on invalid options. With
   /// `options.background_maintenance`, a maintenance pool of
   /// min(num_shards, hardware threads) workers is started.
+  ///
+  /// With Options::durability, storage_dir is a deployment root holding
+  /// one subdirectory per shard (`shard_<i>`, each with its own WAL and
+  /// manifest) plus a root manifest recording the shard count and the
+  /// last applied tuning. An existing deployment is recovered shard by
+  /// shard — acknowledged writes replayed from the WALs, the persisted
+  /// tuning resumed, and any in-flight migration rescheduled on the
+  /// maintenance pool exactly where AdvanceMigration left off. The shard
+  /// count is immutable across reopens. See docs/durability.md.
   static StatusOr<std::unique_ptr<ShardedDB>> Open(const Options& options);
 
   /// Drains in-flight maintenance jobs, then tears down the shards.
@@ -42,6 +52,11 @@ class ShardedDB {
   /// Inserts or updates a key. Acknowledged writes are immediately
   /// visible to Get/Scan (linearized by the shard mutex).
   void Put(Key key, Value value);
+
+  /// Inserts or updates several keys, group-committing each shard's
+  /// subset to its WAL in one write (+ at most one fsync). Not atomic
+  /// across shards: a reader may observe a partially applied batch.
+  void PutBatch(const std::vector<std::pair<Key, Value>>& pairs);
 
   /// Deletes a key.
   void Delete(Key key);
@@ -123,6 +138,13 @@ class ShardedDB {
     return *shards_[shard]->tree;
   }
 
+  /// Simulates a crash for the kill-point recovery tests: stops the
+  /// maintenance pool (in-flight jobs finish — a thread cannot be killed
+  /// mid-step; the crash point is after them), then drops every shard's
+  /// WAL writer without the final flush/sync or shutdown checkpoint.
+  /// The instance must only be destroyed afterwards.
+  void CrashForTesting();
+
  private:
   struct Shard {
     std::mutex mu;  ///< guards tree, store contents and scheduling state
@@ -135,7 +157,9 @@ class ShardedDB {
     bool maintenance_scheduled = false;
   };
 
-  explicit ShardedDB(const Options& options);
+  /// `defer_shards` leaves shards_ empty for Open's durable path, which
+  /// builds each shard with its own (possibly recovered) options.
+  explicit ShardedDB(const Options& options, bool defer_shards = false);
 
   /// Called with `shard->mu` held: schedules a maintenance job if the
   /// shard has sealed work or a pending tuning migration and none is in
@@ -149,6 +173,9 @@ class ShardedDB {
   /// inside it; options() readers take only this).
   mutable std::mutex options_mu_;
   Options options_;
+  /// Durable mode: exclusive LOCK-file guard on the deployment root,
+  /// held for the instance's lifetime (one process per deployment).
+  std::unique_ptr<FileLock> lock_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Declared after shards_ so it is destroyed first: the destructor
   /// drains queued jobs while the shards they reference are still alive.

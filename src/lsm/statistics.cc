@@ -16,6 +16,9 @@ void Statistics::OnPageRead(IoContext ctx, uint64_t pages) {
     case IoContext::kCompaction:
       compaction_pages_read += pages;
       break;
+    case IoContext::kRecovery:
+      recovery_pages_read += pages;
+      break;
     case IoContext::kFlush:
     case IoContext::kBulkLoad:
       break;
@@ -36,6 +39,7 @@ void Statistics::OnPageWrite(IoContext ctx, uint64_t pages) {
       break;
     case IoContext::kPointQuery:
     case IoContext::kRangeQuery:
+    case IoContext::kRecovery:
       break;
   }
 }
@@ -61,6 +65,13 @@ void Statistics::Accumulate(const Statistics& shard) {
   compactions += shard.compactions;
   reconfigurations += shard.reconfigurations;
   migration_steps += shard.migration_steps;
+  wal_records += shard.wal_records;
+  wal_bytes += shard.wal_bytes;
+  wal_syncs += shard.wal_syncs;
+  manifest_writes += shard.manifest_writes;
+  recoveries += shard.recoveries;
+  wal_replayed_entries += shard.wal_replayed_entries;
+  recovery_pages_read += shard.recovery_pages_read;
 }
 
 Statistics Statistics::Delta(const Statistics& b) const {
@@ -87,11 +98,18 @@ Statistics Statistics::Delta(const Statistics& b) const {
   d.compactions = compactions - b.compactions;
   d.reconfigurations = reconfigurations - b.reconfigurations;
   d.migration_steps = migration_steps - b.migration_steps;
+  d.wal_records = wal_records - b.wal_records;
+  d.wal_bytes = wal_bytes - b.wal_bytes;
+  d.wal_syncs = wal_syncs - b.wal_syncs;
+  d.manifest_writes = manifest_writes - b.manifest_writes;
+  d.recoveries = recoveries - b.recoveries;
+  d.wal_replayed_entries = wal_replayed_entries - b.wal_replayed_entries;
+  d.recovery_pages_read = recovery_pages_read - b.recovery_pages_read;
   return d;
 }
 
 std::string Statistics::ToString() const {
-  char buf[640];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "Statistics{\n"
@@ -102,7 +120,10 @@ std::string Statistics::ToString() const {
       "  fence_skips=%llu\n"
       "  ops: gets=%llu ranges=%llu writes=%llu flushes=%llu "
       "compactions=%llu\n"
-      "  reconfig: applies=%llu migration_steps=%llu\n}",
+      "  reconfig: applies=%llu migration_steps=%llu\n"
+      "  wal: records=%llu bytes=%llu syncs=%llu\n"
+      "  durability: manifest_writes=%llu recoveries=%llu "
+      "replayed=%llu recovery_pages=%llu\n}",
       static_cast<unsigned long long>(pages_read),
       static_cast<unsigned long long>(point_pages_read),
       static_cast<unsigned long long>(range_pages_read),
@@ -122,7 +143,14 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(flushes),
       static_cast<unsigned long long>(compactions),
       static_cast<unsigned long long>(reconfigurations),
-      static_cast<unsigned long long>(migration_steps));
+      static_cast<unsigned long long>(migration_steps),
+      static_cast<unsigned long long>(wal_records),
+      static_cast<unsigned long long>(wal_bytes),
+      static_cast<unsigned long long>(wal_syncs),
+      static_cast<unsigned long long>(manifest_writes),
+      static_cast<unsigned long long>(recoveries),
+      static_cast<unsigned long long>(wal_replayed_entries),
+      static_cast<unsigned long long>(recovery_pages_read));
   return buf;
 }
 

@@ -59,6 +59,7 @@ enum class IoContext {
   kFlush = 2,
   kCompaction = 3,
   kBulkLoad = 4,
+  kRecovery = 5,  ///< segment reads while rebuilding runs at DB::Open
 };
 
 /// Aggregate counters. Still a value type: cheap to snapshot and diff
@@ -91,6 +92,15 @@ struct Statistics {
   // --- live reconfiguration ---
   RelaxedCounter reconfigurations = 0;  ///< Reconfigure/ApplyTuning calls
   RelaxedCounter migration_steps = 0;   ///< AdvanceMigration steps that did work
+
+  // --- durability (WAL + manifest; see docs/durability.md) ---
+  RelaxedCounter wal_records = 0;         ///< records appended to the WAL
+  RelaxedCounter wal_bytes = 0;           ///< bytes committed to the WAL
+  RelaxedCounter wal_syncs = 0;           ///< fsyncs issued on the WAL
+  RelaxedCounter manifest_writes = 0;     ///< manifest versions published
+  RelaxedCounter recoveries = 0;          ///< opens that recovered state
+  RelaxedCounter wal_replayed_entries = 0;///< entries replayed at recovery
+  RelaxedCounter recovery_pages_read = 0; ///< pages read rebuilding runs
 
   /// Records one page read attributed to `ctx`.
   void OnPageRead(IoContext ctx, uint64_t pages = 1);

@@ -1,7 +1,16 @@
 #include "util/env.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace endure {
 
@@ -31,6 +40,130 @@ int64_t NowNanos() {
 
 double WallTimer::Seconds() const {
   return static_cast<double>(NowNanos() - start_) * 1e-9;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IOError(path + " exists and is not a directory");
+  }
+  return Status::IOError("mkdir " + path + ": " + std::strerror(errno));
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return Status::IOError("opendir " + path + ": " + std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  return names;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  ssize_t got;
+  while ((got = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<size_t>(got));
+  }
+  const int err = got < 0 ? errno : 0;
+  ::close(fd);
+  if (err != 0) {
+    return Status::IOError("read " + path + ": " + std::strerror(err));
+  }
+  return out;
+}
+
+Status SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + path + ": " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync dir " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("create " + tmp + ": " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t put = ::write(fd, data.data() + off, data.size() - off);
+    if (put < 0) {
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("write " + tmp + ": " + std::strerror(err));
+    }
+    off += static_cast<size_t>(put);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("fsync " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Status::IOError("unlink " + path + ": " + std::strerror(errno));
+}
+
+StatusOr<std::unique_ptr<FileLock>> FileLock::Acquire(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      return Status::FailedPrecondition(
+          path + " is locked: the deployment is already open in another "
+                 "process");
+    }
+    return Status::IOError("flock " + path + ": " + std::strerror(err));
+  }
+  return std::unique_ptr<FileLock>(new FileLock(fd));
+}
+
+FileLock::~FileLock() {
+  // close() releases the flock; the LOCK file itself stays (its
+  // existence carries no meaning — only the advisory lock does).
+  ::close(fd_);
 }
 
 }  // namespace endure

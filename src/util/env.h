@@ -2,13 +2,19 @@
 //
 // Small environment helpers: reading scale knobs for the experiment
 // drivers (so CI can run the suite quickly while a full paper-scale run is
-// one env var away) and monotonic timing.
+// one env var away), monotonic timing, and the handful of filesystem
+// primitives the durability subsystem builds on (atomic file replacement,
+// directory listing/creation/sync).
 
 #ifndef ENDURE_UTIL_ENV_H_
 #define ENDURE_UTIL_ENV_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "util/status.h"
 
 namespace endure {
 
@@ -36,6 +42,51 @@ class WallTimer {
 
  private:
   int64_t start_;
+};
+
+// --- filesystem primitives (durability subsystem) ---
+
+/// True when `path` names an existing file or directory.
+bool FileExists(const std::string& path);
+
+/// Creates `path` (one level) if absent; OK when it already exists as a
+/// directory.
+Status EnsureDir(const std::string& path);
+
+/// Names (not paths) of the entries in `path`, excluding "." and "..".
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+
+/// Reads a whole file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `data`: writes `path`.tmp, fsyncs it,
+/// renames over `path`, and fsyncs the parent directory — the standard
+/// crash-safe publication sequence (a crash leaves either the old or the
+/// new content, never a mix).
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Removes a file; OK when it does not exist.
+Status RemoveFile(const std::string& path);
+
+/// fsyncs a directory (publishes renames/creates within it).
+Status SyncDir(const std::string& path);
+
+/// An exclusive advisory lock on `path` (created if absent), held for
+/// the object's lifetime — the LevelDB-style LOCK-file guard a durable
+/// deployment takes so two processes cannot open (and corrupt) the same
+/// directory. Acquisition is non-blocking: a held lock fails with
+/// FailedPrecondition.
+class FileLock {
+ public:
+  static StatusOr<std::unique_ptr<FileLock>> Acquire(
+      const std::string& path);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  explicit FileLock(int fd) : fd_(fd) {}
+  int fd_;
 };
 
 }  // namespace endure

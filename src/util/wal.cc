@@ -1,0 +1,214 @@
+#include "util/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/env.h"
+
+namespace endure {
+
+namespace {
+
+/// Byte-at-a-time table for the ISO-HDLC (zlib) CRC-32.
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr size_t kHeaderBytes = 4 + 4 + 1;  // crc32 + len + type
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- writer --
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path, WalSyncMode mode, int sync_interval_ms,
+    std::function<void()> on_sync) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open wal " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(fd, mode, sync_interval_ms, std::move(on_sync)));
+}
+
+WalWriter::WalWriter(int fd, WalSyncMode mode, int sync_interval_ms,
+                     std::function<void()> on_sync)
+    : mode_(mode), on_sync_(std::move(on_sync)), fd_(fd) {
+  if (mode_ == WalSyncMode::kBackground) {
+    flusher_ = std::thread([this, sync_interval_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!stop_) {
+        cv_.wait_for(lock, std::chrono::milliseconds(sync_interval_ms));
+        if (stop_) break;
+        SyncWithLock(lock);  // error latches in deferred_error_
+      }
+    });
+  }
+}
+
+WalWriter::~WalWriter() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    flusher_.join();
+  }
+  if (!abandoned_) {
+    // A destructor cannot return a Status; a clean-close durability
+    // failure must still not pass silently (every other durability
+    // failure path in the engine is loud).
+    const Status commit = Commit();
+    std::unique_lock<std::mutex> lock(mu_);
+    const Status sync = commit.ok() ? SyncWithLock(lock) : commit;
+    if (!sync.ok()) {
+      std::fprintf(stderr, "wal: final flush failed: %s\n",
+                   sync.ToString().c_str());
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void WalWriter::Append(uint8_t type, const void* payload, uint32_t len) {
+  // Frame straight into the commit buffer (no temporary — this is the
+  // durable write hot path): crc|len placeholder, then type + payload,
+  // then the crc over [type, payload] patched in place. A record whose
+  // header or body is torn fails the crc at replay.
+  const size_t frame_at = pending_.size();
+  char crc_len[8];
+  std::memcpy(crc_len + 4, &len, 4);  // crc patched below
+  pending_.append(crc_len, 8);
+  pending_.push_back(static_cast<char>(type));
+  pending_.append(static_cast<const char*>(payload), len);
+  const uint32_t crc = Crc32(pending_.data() + frame_at + 8, 1 + len);
+  std::memcpy(&pending_[frame_at], &crc, 4);
+}
+
+Status WalWriter::Commit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A background fsync failure latched since the last call surfaces
+  // here — even on an empty commit: durability degradation must not
+  // stay silent.
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (pending_.empty()) return Status::OK();
+  size_t off = 0;
+  while (off < pending_.size()) {
+    const ssize_t put =
+        ::write(fd_, pending_.data() + off, pending_.size() - off);
+    if (put < 0) {
+      // Trim what did reach the file so a retry (or the destructor's
+      // final Commit) continues where the kernel stopped instead of
+      // duplicating the prefix and misframing the log.
+      bytes_committed_ += off;
+      pending_.erase(0, off);
+      return Status::IOError(std::string("wal write: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(put);
+  }
+  bytes_committed_ += pending_.size();
+  pending_.clear();
+  if (mode_ == WalSyncMode::kPerBatch) return SyncWithLock(lock);
+  return Status::OK();
+}
+
+Status WalWriter::SyncWithLock(std::unique_lock<std::mutex>& lock) {
+  if (fd_ < 0) return Status::OK();
+  // Nothing committed since the last fsync: skip the syscall (an idle
+  // background flusher would otherwise fsync every interval forever,
+  // and wal_syncs would count elapsed time instead of sync work).
+  if (bytes_committed_ == synced_bytes_) return Status::OK();
+  const uint64_t target = bytes_committed_;
+  const int fd = fd_;
+  lock.unlock();  // never hold appenders hostage to device latency
+  const int rc = ::fsync(fd);
+  lock.lock();
+  if (rc != 0) {
+    deferred_error_ = Status::IOError("wal fsync");
+    return deferred_error_;
+  }
+  if (target > synced_bytes_) {
+    synced_bytes_ = target;
+    if (on_sync_) on_sync_();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return SyncWithLock(lock);
+}
+
+Status WalWriter::deferred_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deferred_error_;
+}
+
+void WalWriter::Abandon() {
+  pending_.clear();
+  abandoned_ = true;
+}
+
+// ---------------------------------------------------------------- reader --
+
+StatusOr<std::unique_ptr<WalReader>> WalReader::Open(
+    const std::string& path) {
+  if (!FileExists(path)) {
+    return std::unique_ptr<WalReader>(new WalReader(""));
+  }
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  return std::unique_ptr<WalReader>(new WalReader(std::move(data).value()));
+}
+
+bool WalReader::Next(uint8_t* type, std::string* payload) {
+  if (pos_ == data_.size()) return false;  // clean end
+  if (data_.size() - pos_ < kHeaderBytes) {
+    tail_torn_ = true;
+    return false;
+  }
+  uint32_t crc, len;
+  std::memcpy(&crc, data_.data() + pos_, 4);
+  std::memcpy(&len, data_.data() + pos_ + 4, 4);
+  if (data_.size() - pos_ - 8 < static_cast<size_t>(len) + 1) {
+    tail_torn_ = true;  // length runs past the file: torn append
+    return false;
+  }
+  const char* body = data_.data() + pos_ + 8;
+  if (Crc32(body, len + 1) != crc) {
+    tail_torn_ = true;
+    return false;
+  }
+  *type = static_cast<uint8_t>(body[0]);
+  payload->assign(body + 1, len);
+  pos_ += kHeaderBytes + len;
+  return true;
+}
+
+}  // namespace endure

@@ -1,0 +1,141 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// A minimal write-ahead log: CRC-framed, typed, variable-length records
+// appended to a single file, with group commit (records buffer in memory
+// until Commit() writes them in one syscall) and three durability levels
+// (WalSyncMode). The reader tolerates a torn tail — a crash mid-append
+// leaves a record whose CRC or length does not check out, and replay stops
+// cleanly at the last intact record, exactly the contract recovery needs.
+//
+// Record framing (little-endian on all supported targets):
+//
+//   offset  size  field
+//   0       4     crc32 of bytes [8, 9+len)   (type byte + payload)
+//   4       4     len: payload length in bytes
+//   8       1     type: caller-defined record type
+//   9       len   payload
+//
+// The module is storage-engine agnostic: payloads are opaque bytes. The
+// LSM layer defines its record types and entry encoding on top (see
+// lsm/manifest.h and docs/durability.md).
+
+#ifndef ENDURE_UTIL_WAL_H_
+#define ENDURE_UTIL_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/macros.h"
+#include "util/status.h"
+#include "util/wal_sync_mode.h"
+
+namespace endure {
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib/gzip one) over `len` bytes.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Appends framed records to a log file. Not internally thread-safe for
+/// Append/Commit — callers serialize them (the engine holds the shard
+/// lock) — but the background flusher thread synchronizes internally, so
+/// it may run concurrently with appends.
+class WalWriter {
+ public:
+  /// Opens `path` for appending (created if absent). `on_sync` (optional)
+  /// is invoked after every fsync, including those issued by the
+  /// background thread — bump a relaxed counter there, nothing heavier.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(
+      const std::string& path, WalSyncMode mode, int sync_interval_ms = 10,
+      std::function<void()> on_sync = nullptr);
+
+  /// Flushes and (unless abandoned) syncs outstanding records, then
+  /// closes the file and stops the flusher thread.
+  ~WalWriter();
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(WalWriter);
+
+  /// Stages one record in the commit buffer. No I/O until Commit().
+  void Append(uint8_t type, const void* payload, uint32_t len);
+
+  /// Writes every staged record in one write() — the group commit — and,
+  /// under kPerBatch, fsyncs before returning. No-op when nothing staged.
+  Status Commit();
+
+  /// Forces an fsync of everything committed so far.
+  Status Sync();
+
+  /// Bytes handed to write() so far (framing included).
+  uint64_t bytes_committed() const { return bytes_committed_; }
+
+  /// First fsync failure latched by the background flusher (OK when
+  /// none). Commit() also surfaces it; this is for owners about to
+  /// retire the writer without another commit (e.g. checkpointing).
+  Status deferred_error() const;
+
+  /// Drops staged-but-uncommitted records and suppresses the final
+  /// flush/sync in the destructor. Checkpointing uses this when the
+  /// records are covered by the snapshot replacing the log; kill-point
+  /// tests use it to simulate the process dying with the page cache
+  /// unsynced.
+  void Abandon();
+
+ private:
+  WalWriter(int fd, WalSyncMode mode, int sync_interval_ms,
+            std::function<void()> on_sync);
+
+  /// fsyncs everything committed so far. Requires `lock` held on mu_;
+  /// releases it around the fsync itself so the flusher's periodic sync
+  /// never stalls a foreground Commit behind device latency (write()
+  /// and fsync() on one fd are safe concurrently).
+  Status SyncWithLock(std::unique_lock<std::mutex>& lock);
+
+  const WalSyncMode mode_;
+  std::function<void()> on_sync_;
+  std::string pending_;        ///< staged records since the last Commit
+  uint64_t bytes_committed_ = 0;
+  bool abandoned_ = false;
+
+  /// Guards fd_ against the flusher thread (write/fsync/close ordering).
+  mutable std::mutex mu_;
+  /// First fsync failure seen by the background flusher (under mu_);
+  /// surfaced by the next Commit so a dying device cannot silently
+  /// degrade kBackground to kNone.
+  Status deferred_error_;
+  /// bytes_committed_ at the last successful fsync (under mu_): a clean
+  /// file skips the syscall entirely.
+  uint64_t synced_bytes_ = 0;
+  int fd_;
+  bool stop_ = false;          ///< under mu_: tells the flusher to exit
+  std::condition_variable cv_;
+  std::thread flusher_;        ///< joined in the destructor
+};
+
+/// Reads framed records back. Stops (Next() returns false) at end of
+/// file, at a torn tail, or at a corrupt record — recovery treats
+/// everything before that point as the durable prefix.
+class WalReader {
+ public:
+  /// Reads the whole log into memory; missing file yields an empty log.
+  static StatusOr<std::unique_ptr<WalReader>> Open(const std::string& path);
+
+  /// Advances to the next intact record. False at the durable end.
+  bool Next(uint8_t* type, std::string* payload);
+
+  /// True when the log ended with a torn/corrupt record rather than a
+  /// clean end of file (diagnostics; replay proceeds either way).
+  bool tail_torn() const { return tail_torn_; }
+
+ private:
+  explicit WalReader(std::string data) : data_(std::move(data)) {}
+
+  std::string data_;
+  size_t pos_ = 0;
+  bool tail_torn_ = false;
+};
+
+}  // namespace endure
+
+#endif  // ENDURE_UTIL_WAL_H_

@@ -5,14 +5,23 @@
 // front-ends (DB, ShardedDB) x both storage backends x both maintenance
 // modes are covered; the multi-threaded linearizability side lives in
 // sharded_db_test.cc.
+//
+// The kill-point harness at the bottom additionally drops the process
+// state (CrashForTesting: WAL abandoned mid-buffer, no shutdown
+// checkpoint) at a seed-derived random op, reopens the durable
+// deployment, and verifies it against the oracle's state at the kill
+// point — under WalSyncMode::kPerBatch every acknowledged write must
+// survive — then keeps driving the same trace on the recovered instance.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 
 #include "lsm/db.h"
 #include "lsm/sharded_db.h"
 #include "testing/reference_model.h"
+#include "util/random.h"
 
 namespace endure::lsm {
 namespace {
@@ -33,15 +42,17 @@ Options SmallOpts(StorageBackend backend) {
   return o;
 }
 
-/// Runs `ops` against `db` and the oracle; fails (with seed and op index)
-/// at the first divergence. Works for any front-end with the DB surface.
-/// kReconfigure ops apply `tunings[op.value]` live (ApplyTuning); the
-/// oracle is untouched — a reconfiguration must never change contents.
+/// Runs ops[begin, end) against `db` and `oracle`; fails (with seed and
+/// op index) at the first divergence. Works for any front-end with the
+/// DB surface. kReconfigure ops apply `tunings[op.value]` live
+/// (ApplyTuning); the oracle is untouched — a reconfiguration must never
+/// change contents.
 template <typename DbT>
-void RunDifferential(DbT* db, const std::vector<Op>& ops, uint64_t seed,
-                     const std::vector<Options>* tunings = nullptr) {
-  ReferenceModel oracle;
-  for (size_t i = 0; i < ops.size(); ++i) {
+void RunOps(DbT* db, const std::vector<Op>& ops, size_t begin, size_t end,
+            ReferenceModel* oracle_ptr, uint64_t seed,
+            const std::vector<Options>* tunings = nullptr) {
+  ReferenceModel& oracle = *oracle_ptr;
+  for (size_t i = begin; i < end; ++i) {
     const Op& op = ops[i];
     SCOPED_TRACE(::testing::Message()
                  << "seed=" << seed << " op_index=" << i << " "
@@ -83,14 +94,30 @@ void RunDifferential(DbT* db, const std::vector<Op>& ops, uint64_t seed,
       }
     }
   }
-  // Final full-state check: the whole key domain in one scan.
+}
+
+/// Full-state check: the whole key domain in one scan against the oracle.
+template <typename DbT>
+void VerifyFullScan(DbT* db, const ReferenceModel& oracle, uint64_t seed,
+                    const char* where) {
   const std::vector<Entry> got = db->Scan(0, ~0ull);
   const auto want = oracle.Scan(0, ~0ull);
-  ASSERT_EQ(got.size(), want.size()) << "seed=" << seed << " final scan";
+  ASSERT_EQ(got.size(), want.size()) << "seed=" << seed << " " << where;
   for (size_t j = 0; j < want.size(); ++j) {
-    ASSERT_EQ(got[j].key, want[j].first) << "seed=" << seed;
-    ASSERT_EQ(got[j].value, want[j].second) << "seed=" << seed;
+    ASSERT_EQ(got[j].key, want[j].first) << "seed=" << seed << " " << where;
+    ASSERT_EQ(got[j].value, want[j].second)
+        << "seed=" << seed << " " << where;
   }
+}
+
+/// Whole-trace differential: fresh oracle, every op, final scan.
+template <typename DbT>
+void RunDifferential(DbT* db, const std::vector<Op>& ops, uint64_t seed,
+                     const std::vector<Options>* tunings = nullptr) {
+  ReferenceModel oracle;
+  RunOps(db, ops, 0, ops.size(), &oracle, seed, tunings);
+  if (::testing::Test::HasFatalFailure()) return;
+  VerifyFullScan(db, oracle, seed, "final scan");
 }
 
 struct Config {
@@ -205,6 +232,104 @@ TEST(DifferentialTest, ShardedDbMatchesOracleAcrossLiveReconfigs) {
       (*db)->WaitForMaintenance();
       EXPECT_TRUE((*db)->Progress().structure_conforming());
     }
+  }
+}
+
+/// Kill-point recovery differential: run a prefix of the trace against a
+/// durable deployment, kill it (no shutdown checkpoint, WAL buffer
+/// dropped), reopen the directory, verify the recovered state equals the
+/// oracle at the kill point (kPerBatch: zero acked-write loss), then
+/// drive the rest of the trace on the recovered instance and verify the
+/// final state. `reconfigure` injects live retunes into the trace so
+/// kills also land between ApplyTuning and migration convergence.
+template <typename DbT>
+void RunKillPointDifferential(const Options& opts, uint64_t seed,
+                              size_t num_ops, KeyDistribution dist,
+                              bool reconfigure) {
+  std::filesystem::remove_all(opts.storage_dir);
+  std::vector<Op> ops = GenerateTrace(seed, num_ops, dist);
+  std::vector<Options> presets;
+  if (reconfigure) {
+    presets = ReconfigPresets(opts);
+    ops = endure::testing::InjectReconfigures(ops, /*every=*/num_ops / 5,
+                                              presets.size());
+  }
+  // Seed-derived kill point somewhere in the middle half of the trace.
+  Rng rng(seed * 977);
+  const size_t kill_at =
+      ops.size() / 4 + rng.UniformInt(0, ops.size() / 2);
+
+  ReferenceModel oracle;
+  {
+    auto db = DbT::Open(opts);
+    ASSERT_TRUE(db.ok());
+    RunOps(db->get(), ops, 0, kill_at, &oracle, seed,
+           reconfigure ? &presets : nullptr);
+    if (::testing::Test::HasFatalFailure()) return;
+    (*db)->CrashForTesting();
+  }
+  auto db = DbT::Open(opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  VerifyFullScan(db->get(), oracle, seed, "post-recovery scan");
+  if (::testing::Test::HasFatalFailure()) return;
+  // The recovered deployment keeps serving the rest of the trace.
+  RunOps(db->get(), ops, kill_at, ops.size(), &oracle, seed,
+         reconfigure ? &presets : nullptr);
+  if (::testing::Test::HasFatalFailure()) return;
+  VerifyFullScan(db->get(), oracle, seed, "post-restart final scan");
+}
+
+Options DurableSmallOpts(const std::string& dir) {
+  Options o = SmallOpts(StorageBackend::kFile);
+  o.storage_dir = dir;
+  o.durability = true;
+  // Per-batch commits: every acknowledged write must survive the kill.
+  o.wal_sync_mode = WalSyncMode::kPerBatch;
+  return o;
+}
+
+TEST(DifferentialTest, KillPointRecoveryDb) {
+  for (uint64_t seed = 51; seed <= 53; ++seed) {
+    RunKillPointDifferential<DB>(
+        DurableSmallOpts("/tmp/endure_diff_kill_db"), seed, 1200,
+        KeyDistribution::kUniform, /*reconfigure=*/false);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DifferentialTest, KillPointRecoveryDbAcrossReconfigs) {
+  for (uint64_t seed = 61; seed <= 62; ++seed) {
+    RunKillPointDifferential<DB>(
+        DurableSmallOpts("/tmp/endure_diff_kill_db_retune"), seed, 1200,
+        KeyDistribution::kSkewed, /*reconfigure=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DifferentialTest, KillPointRecoveryShardedDb) {
+  for (uint64_t seed = 71; seed <= 73; ++seed) {
+    Options o = DurableSmallOpts("/tmp/endure_diff_kill_sharded");
+    o.num_shards = 4;
+    o.background_maintenance = true;
+    RunKillPointDifferential<ShardedDB>(o, seed, 1200,
+                                        KeyDistribution::kUniform,
+                                        /*reconfigure=*/false);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DifferentialTest, KillPointRecoveryShardedDbAcrossReconfigs) {
+  // The hardest case: kills land while background maintenance is
+  // flushing and a live retune's migration is mid-flight; the reopened
+  // deployment must resume both without losing an acknowledged write.
+  for (uint64_t seed = 81; seed <= 82; ++seed) {
+    Options o = DurableSmallOpts("/tmp/endure_diff_kill_sharded_retune");
+    o.num_shards = 3;
+    o.background_maintenance = true;
+    RunKillPointDifferential<ShardedDB>(o, seed, 1200,
+                                        KeyDistribution::kSkewed,
+                                        /*reconfigure=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
   }
 }
 

@@ -1,0 +1,505 @@
+// Crash-recovery unit suite (docs/durability.md): manifest round-trips,
+// close-then-reopen and kill-then-reopen on DB and ShardedDB, persisted
+// tunings, recover-mid-migration, orphan segment cleanup, sync-mode
+// guarantees and the durability statistics counters. The randomized
+// kill-point differential harness lives in differential_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bridge/tuned_db.h"
+#include "lsm/db.h"
+#include "lsm/manifest.h"
+#include "lsm/sharded_db.h"
+#include "util/env.h"
+
+namespace endure::lsm {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = "/tmp/endure_recovery_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Options DurableOpts(const std::string& dir) {
+  Options o;
+  o.size_ratio = 4;
+  o.buffer_entries = 64;
+  o.entries_per_page = 4;
+  o.filter_bits_per_entry = 6.0;
+  o.backend = StorageBackend::kFile;
+  o.storage_dir = dir;
+  o.durability = true;
+  o.wal_sync_mode = WalSyncMode::kPerBatch;
+  return o;
+}
+
+TEST(ManifestTest, RoundTripsState) {
+  const std::string dir = FreshDir("manifest_roundtrip");
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  ManifestData m;
+  m.size_ratio = 7;
+  m.policy = static_cast<int>(CompactionPolicy::kTiering);
+  m.buffer_entries = 321;
+  m.filter_bits_per_entry = 8.25;
+  m.filter_allocation = static_cast<int>(FilterAllocation::kUniform);
+  m.fence_pointer_skip = false;
+  m.entries_per_page = 16;
+  m.kind = kManifestKindShardedRoot;
+  m.num_shards = 5;
+  m.tuning_epoch = 9;
+  m.migration_pending = true;
+  m.next_seq = 12345;
+  m.next_file_id = 42;
+  m.levels = {{{3, 100, 9, 5.5}, {2, 50, 8, 4.0}}, {}, {{1, 900, 7, 3.0}}};
+
+  const std::string path = dir + "/" + kManifestFileName;
+  ASSERT_TRUE(WriteManifest(path, m).ok());
+  auto read = ReadManifest(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size_ratio, m.size_ratio);
+  EXPECT_EQ(read->policy, m.policy);
+  EXPECT_EQ(read->buffer_entries, m.buffer_entries);
+  EXPECT_EQ(read->filter_bits_per_entry, m.filter_bits_per_entry);
+  EXPECT_EQ(read->filter_allocation, m.filter_allocation);
+  EXPECT_EQ(read->fence_pointer_skip, m.fence_pointer_skip);
+  EXPECT_EQ(read->entries_per_page, m.entries_per_page);
+  EXPECT_EQ(read->kind, m.kind);
+  EXPECT_EQ(read->num_shards, m.num_shards);
+  EXPECT_EQ(read->tuning_epoch, m.tuning_epoch);
+  EXPECT_EQ(read->migration_pending, m.migration_pending);
+  EXPECT_EQ(read->next_seq, m.next_seq);
+  EXPECT_EQ(read->next_file_id, m.next_file_id);
+  ASSERT_EQ(read->levels.size(), 3u);
+  ASSERT_EQ(read->levels[0].size(), 2u);
+  EXPECT_EQ(read->levels[0][1].segment, 2u);
+  EXPECT_EQ(read->levels[0][1].bloom_bits_per_entry, 4.0);
+  EXPECT_EQ(read->levels[2][0].num_entries, 900u);
+}
+
+TEST(ManifestTest, RejectsCorruption) {
+  const std::string dir = FreshDir("manifest_corrupt");
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  const std::string path = dir + "/" + kManifestFileName;
+  ASSERT_TRUE(WriteManifest(path, ManifestData{}).ok());
+  auto blob = ReadFileToString(path);
+  ASSERT_TRUE(blob.ok());
+  std::string mangled = std::move(blob).value();
+  mangled[mangled.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(path, mangled).ok());
+  EXPECT_FALSE(ReadManifest(path).ok());
+}
+
+TEST(RecoveryTest, DurabilityRequiresFileBackend) {
+  Options o = DurableOpts("/tmp/unused");
+  o.backend = StorageBackend::kMemory;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(RecoveryTest, FreshOpenThenCleanCloseThenReopen) {
+  const std::string dir = FreshDir("clean_close");
+  std::map<Key, Value> oracle;
+  {
+    auto db = DB::Open(DurableOpts(dir));
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 500; ++k) {
+      (*db)->Put(k, k * 3 + 1);
+      oracle[k] = k * 3 + 1;
+    }
+    for (Key k = 0; k < 500; k += 5) {
+      (*db)->Delete(k);
+      oracle.erase(k);
+    }
+    // Clean close: destructor syncs the WAL whatever the mode.
+  }
+  auto db = DB::Open(DurableOpts(dir));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->stats().recoveries.load(), 1u);
+  for (Key k = 0; k < 500; ++k) {
+    const auto got = (*db)->Get(k);
+    const auto want = oracle.find(k);
+    ASSERT_EQ(got.has_value(), want != oracle.end()) << "key " << k;
+    if (got.has_value()) EXPECT_EQ(*got, want->second);
+  }
+  const auto scanned = (*db)->Scan(0, ~0ull);
+  EXPECT_EQ(scanned.size(), oracle.size());
+}
+
+TEST(RecoveryTest, KillAfterAckedWritesLosesNothingPerBatch) {
+  const std::string dir = FreshDir("kill_perbatch");
+  std::map<Key, Value> oracle;
+  {
+    auto db = DB::Open(DurableOpts(dir));
+    ASSERT_TRUE(db.ok());
+    // Enough to cross several flush/compaction edges, then more writes
+    // that stay memtable-resident (covered only by the WAL).
+    for (Key k = 0; k < 700; ++k) {
+      (*db)->Put(k, ~k);
+      oracle[k] = ~k;
+    }
+    (*db)->CrashForTesting();
+  }
+  auto db = DB::Open(DurableOpts(dir));
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT((*db)->stats().wal_replayed_entries.load(), 0u);
+  for (const auto& [k, v] : oracle) {
+    const auto got = (*db)->Get(k);
+    ASSERT_TRUE(got.has_value()) << "acked write lost: key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_EQ((*db)->Scan(0, ~0ull).size(), oracle.size());
+}
+
+TEST(RecoveryTest, SealedBufferSurvivesKill) {
+  const std::string dir = FreshDir("sealed");
+  Options o = DurableOpts(dir);
+  o.background_maintenance = true;  // full buffers seal instead of flush
+  {
+    auto db = DB::Open(o);
+    ASSERT_TRUE(db.ok());
+    // 2.5 buffers: one flushed by backpressure, one sealed, half active.
+    for (Key k = 0; k < o.buffer_entries * 5 / 2; ++k) {
+      (*db)->Put(k, k + 7);
+    }
+    ASSERT_TRUE((*db)->tree().HasSealedMemtable());
+    (*db)->CrashForTesting();
+  }
+  auto db = DB::Open(o);
+  ASSERT_TRUE(db.ok());
+  for (Key k = 0; k < o.buffer_entries * 5 / 2; ++k) {
+    const auto got = (*db)->Get(k);
+    ASSERT_TRUE(got.has_value()) << "key " << k << " lost behind the seal";
+    EXPECT_EQ(*got, k + 7);
+  }
+}
+
+TEST(RecoveryTest, PutBatchGroupCommitSurvivesKill) {
+  const std::string dir = FreshDir("putbatch");
+  std::map<Key, Value> oracle;
+  {
+    auto db = DB::Open(DurableOpts(dir));
+    ASSERT_TRUE(db.ok());
+    std::vector<std::pair<Key, Value>> batch;
+    for (Key k = 0; k < 300; ++k) {
+      batch.emplace_back(k * 2, k);
+      oracle[k * 2] = k;
+    }
+    (*db)->PutBatch(batch);
+    EXPECT_EQ((*db)->stats().wal_records.load(), 300u);
+    (*db)->CrashForTesting();
+  }
+  auto db = DB::Open(DurableOpts(dir));
+  ASSERT_TRUE(db.ok());
+  for (const auto& [k, v] : oracle) {
+    const auto got = (*db)->Get(k);
+    ASSERT_TRUE(got.has_value()) << "batched write lost: key " << k;
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(RecoveryTest, AppliedTuningSurvivesKill) {
+  const std::string dir = FreshDir("tuning");
+  const Options base = DurableOpts(dir);
+  Options tuned = base;
+  tuned.policy = CompactionPolicy::kTiering;
+  tuned.size_ratio = 3;
+  tuned.filter_bits_per_entry = 9.0;
+  tuned.buffer_entries = base.buffer_entries * 2;
+  {
+    auto db = DB::Open(base);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 400; ++k) (*db)->Put(k, k);
+    ASSERT_TRUE((*db)->ApplyTuning(tuned).ok());
+    (*db)->CrashForTesting();
+  }
+  // Reopen with the ORIGINAL options: the persisted tuning must win.
+  auto db = DB::Open(base);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->options().policy, CompactionPolicy::kTiering);
+  EXPECT_EQ((*db)->options().size_ratio, 3);
+  EXPECT_EQ((*db)->options().filter_bits_per_entry, 9.0);
+  EXPECT_EQ((*db)->options().buffer_entries, base.buffer_entries * 2);
+  EXPECT_EQ((*db)->tree().options().policy, CompactionPolicy::kTiering);
+  for (Key k = 0; k < 400; ++k) {
+    ASSERT_EQ((*db)->Get(k).value_or(~0ull), k);
+  }
+}
+
+TEST(RecoveryTest, ResumesMidMigrationExactlyWhereItStopped) {
+  const std::string dir = FreshDir("mid_migration");
+  // Tiering leaves multi-run levels, so migrating to leveling has real
+  // per-level work for AdvanceMigration to be killed in the middle of.
+  Options base = DurableOpts(dir);
+  base.policy = CompactionPolicy::kTiering;
+  Options tuned = base;
+  tuned.policy = CompactionPolicy::kLeveling;
+  tuned.size_ratio = 3;
+  tuned.filter_bits_per_entry = 3.0;
+
+  uint64_t epoch_at_kill = 0;
+  MigrationProgress progress_at_kill;
+  {
+    auto db = DB::Open(base);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 2000; ++k) (*db)->Put(k, k + 1);
+    // Reconfigure directly (DB::ApplyTuning would converge synchronously)
+    // and take exactly one migration step, then die mid-flight.
+    ASSERT_TRUE((*db)->mutable_tree()->Reconfigure(tuned).ok());
+    ASSERT_TRUE((*db)->mutable_tree()->AdvanceMigration());
+    ASSERT_TRUE((*db)->mutable_tree()->MigrationPending());
+    epoch_at_kill = (*db)->tree().tuning_epoch();
+    progress_at_kill = (*db)->Progress();
+    (*db)->CrashForTesting();
+  }
+  auto db = DB::Open(base);
+  ASSERT_TRUE(db.ok());
+  // The reopened tree is mid-migration under the persisted tuning, with
+  // the identical epoch and per-run progress the kill interrupted.
+  EXPECT_EQ((*db)->tree().tuning_epoch(), epoch_at_kill);
+  EXPECT_TRUE((*db)->mutable_tree()->MigrationPending());
+  const MigrationProgress progress = (*db)->Progress();
+  EXPECT_EQ(progress.epoch, progress_at_kill.epoch);
+  EXPECT_EQ(progress.runs_total, progress_at_kill.runs_total);
+  EXPECT_EQ(progress.runs_current, progress_at_kill.runs_current);
+  EXPECT_EQ(progress.entries_current, progress_at_kill.entries_current);
+  EXPECT_EQ(progress.nonconforming_levels,
+            progress_at_kill.nonconforming_levels);
+  // Resume: AdvanceMigration picks up and converges; contents intact.
+  while ((*db)->mutable_tree()->AdvanceMigration()) {
+  }
+  EXPECT_TRUE((*db)->Progress().structure_conforming());
+  for (Key k = 0; k < 2000; ++k) {
+    ASSERT_EQ((*db)->Get(k).value_or(0), k + 1);
+  }
+}
+
+TEST(RecoveryTest, OrphanSegmentsAreReaped) {
+  const std::string dir = FreshDir("orphans");
+  {
+    auto db = DB::Open(DurableOpts(dir));
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 300; ++k) (*db)->Put(k, k);
+    (*db)->Flush();
+  }
+  // A crash between a segment write and the manifest leaves a file no
+  // manifest references; recovery must reap it.
+  const std::string orphan = dir + "/seg_424242.run";
+  ASSERT_TRUE(WriteFileAtomic(orphan, "garbage").ok());
+  auto db = DB::Open(DurableOpts(dir));
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(FileExists(orphan));
+  for (Key k = 0; k < 300; ++k) {
+    ASSERT_EQ((*db)->Get(k).value_or(~0ull), k);
+  }
+}
+
+TEST(RecoveryTest, CleanCloseIsDurableUnderEverySyncMode) {
+  for (const WalSyncMode mode :
+       {WalSyncMode::kNone, WalSyncMode::kBackground,
+        WalSyncMode::kPerBatch}) {
+    const std::string dir =
+        FreshDir("mode_" + std::to_string(static_cast<int>(mode)));
+    Options o = DurableOpts(dir);
+    o.wal_sync_mode = mode;
+    o.wal_sync_interval_ms = 1;
+    {
+      auto db = DB::Open(o);
+      ASSERT_TRUE(db.ok());
+      for (Key k = 0; k < 200; ++k) (*db)->Put(k, k + 11);
+    }
+    auto db = DB::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 200; ++k) {
+      ASSERT_EQ((*db)->Get(k).value_or(0), k + 11)
+          << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(RecoveryTest, ShardedDeploymentRecovers) {
+  const std::string dir = FreshDir("sharded");
+  Options o = DurableOpts(dir);
+  o.num_shards = 4;
+  o.background_maintenance = true;
+  std::map<Key, Value> oracle;
+  {
+    auto db = ShardedDB::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 1200; ++k) {
+      (*db)->Put(k, k * 7);
+      oracle[k] = k * 7;
+    }
+    for (Key k = 0; k < 1200; k += 9) {
+      (*db)->Delete(k);
+      oracle.erase(k);
+    }
+    (*db)->WaitForMaintenance();
+    (*db)->CrashForTesting();
+  }
+  auto db = ShardedDB::Open(o);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->TotalStats().recoveries.load(), 4u);
+  for (Key k = 0; k < 1200; ++k) {
+    const auto got = db.value()->Get(k);
+    const auto want = oracle.find(k);
+    ASSERT_EQ(got.has_value(), want != oracle.end()) << "key " << k;
+    if (got.has_value()) EXPECT_EQ(*got, want->second);
+  }
+  EXPECT_EQ(db.value()->Scan(0, ~0ull).size(), oracle.size());
+}
+
+TEST(RecoveryTest, ShardCountIsImmutableAcrossReopens) {
+  const std::string dir = FreshDir("shard_count");
+  Options o = DurableOpts(dir);
+  o.num_shards = 4;
+  {
+    auto db = ShardedDB::Open(o);
+    ASSERT_TRUE(db.ok());
+    db.value()->Put(1, 1);
+  }
+  Options wrong = o;
+  wrong.num_shards = 2;
+  EXPECT_FALSE(ShardedDB::Open(wrong).ok());
+  // And a sharded root is not a plain-DB directory.
+  EXPECT_FALSE(DB::Open(DurableOpts(dir)).ok());
+}
+
+TEST(RecoveryTest, FrontEndsRejectEachOthersDeployments) {
+  // Even at num_shards == 1, where the recorded shard count cannot
+  // distinguish the two layouts.
+  const std::string sharded_dir = FreshDir("one_shard");
+  Options one = DurableOpts(sharded_dir);
+  one.num_shards = 1;
+  {
+    auto db = ShardedDB::Open(one);
+    ASSERT_TRUE(db.ok());
+    db.value()->Put(5, 55);
+  }
+  EXPECT_FALSE(DB::Open(DurableOpts(sharded_dir)).ok());
+
+  const std::string db_dir = FreshDir("plain_db");
+  {
+    auto db = DB::Open(DurableOpts(db_dir));
+    ASSERT_TRUE(db.ok());
+    (*db)->Put(5, 55);
+  }
+  Options as_sharded = DurableOpts(db_dir);
+  as_sharded.num_shards = 1;
+  EXPECT_FALSE(ShardedDB::Open(as_sharded).ok());
+}
+
+TEST(RecoveryTest, ShardedRetuneSurvivesRestart) {
+  const std::string dir = FreshDir("sharded_retune");
+  Options o = DurableOpts(dir);
+  o.num_shards = 3;
+  o.background_maintenance = true;
+  Options tuned = o;
+  tuned.policy = CompactionPolicy::kLazyLeveling;
+  tuned.size_ratio = 6;
+  tuned.filter_bits_per_entry = 8.0;
+  {
+    auto db = ShardedDB::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 900; ++k) db.value()->Put(k, k);
+    ASSERT_TRUE(db.value()->ApplyTuning(tuned).ok());
+    db.value()->WaitForMaintenance();
+    db.value()->CrashForTesting();
+  }
+  auto db = ShardedDB::Open(o);  // stale knobs: persisted tuning wins
+  ASSERT_TRUE(db.ok());
+  const Options reopened = db.value()->options();
+  EXPECT_EQ(reopened.policy, CompactionPolicy::kLazyLeveling);
+  EXPECT_EQ(reopened.size_ratio, 6);
+  EXPECT_EQ(reopened.filter_bits_per_entry, 8.0);
+  db.value()->WaitForMaintenance();
+  EXPECT_TRUE(db.value()->Progress().structure_conforming());
+  for (Key k = 0; k < 900; ++k) {
+    ASSERT_EQ(db.value()->Get(k).value_or(~0ull), k);
+  }
+}
+
+TEST(RecoveryTest, LockFileRejectsASecondOpener) {
+  const std::string dir = FreshDir("lock");
+  auto first = DB::Open(DurableOpts(dir));
+  ASSERT_TRUE(first.ok());
+  // A second process (simulated: a second instance) must be refused
+  // while the first holds the deployment.
+  auto second = DB::Open(DurableOpts(dir));
+  EXPECT_FALSE(second.ok());
+  first->reset();  // releases the lock
+  auto third = DB::Open(DurableOpts(dir));
+  EXPECT_TRUE(third.ok());
+
+  const std::string sharded_dir = FreshDir("lock_sharded");
+  Options o = DurableOpts(sharded_dir);
+  o.num_shards = 2;
+  auto sharded = ShardedDB::Open(o);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_FALSE(ShardedDB::Open(o).ok());
+}
+
+TEST(RecoveryTest, OpenTunedShardedDbRecoversInsteadOfRebuilding) {
+  const std::string dir = FreshDir("bridge");
+  SystemConfig cfg;
+  const Tuning t(Policy::kLeveling, 6.0, 5.0);
+  uint64_t loaded_entries = 0;
+  {
+    auto db = bridge::OpenTunedShardedDb(
+        cfg, t, /*actual_entries=*/3000, /*num_shards=*/2,
+        /*background_maintenance=*/true, StorageBackend::kMemory, dir,
+        WalSyncMode::kPerBatch);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    (*db)->Put(1, 99);  // odd key: provably post-load
+    (*db)->WaitForMaintenance();
+    loaded_entries = (*db)->TotalEntries();
+    (*db)->CrashForTesting();
+  }
+  auto db = bridge::OpenTunedShardedDb(
+      cfg, t, 3000, 2, true, StorageBackend::kMemory, dir,
+      WalSyncMode::kPerBatch);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Recovered, not rebuilt: the post-load write survived alongside the
+  // loaded universe (a rebuild would have dropped key 1 and failed
+  // BulkLoad's empty-shard precondition anyway).
+  EXPECT_EQ((*db)->Get(1).value_or(0), 99u);
+  EXPECT_EQ((*db)->Get(2 * 1500).value_or(1), 1500u);
+  EXPECT_EQ((*db)->TotalEntries(), loaded_entries);
+
+  // A manifest without the bulk-load marker is an interrupted initial
+  // load and must be refused, not served half-empty.
+  db->reset();
+  ASSERT_TRUE(RemoveFile(dir + "/bulk_loaded").ok());
+  auto refused = bridge::OpenTunedShardedDb(
+      cfg, t, 3000, 2, true, StorageBackend::kMemory, dir,
+      WalSyncMode::kPerBatch);
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST(RecoveryTest, DurabilityCountersAggregateAcrossShards) {
+  const std::string dir = FreshDir("counters");
+  Options o = DurableOpts(dir);
+  o.num_shards = 2;
+  auto db = ShardedDB::Open(o);
+  ASSERT_TRUE(db.ok());
+  for (Key k = 0; k < 300; ++k) db.value()->Put(k, k);
+  db.value()->Flush();
+  const Statistics total = db.value()->TotalStats();
+  EXPECT_EQ(total.wal_records.load(), 300u);
+  EXPECT_GT(total.wal_bytes.load(), 0u);
+  EXPECT_GT(total.wal_syncs.load(), 0u);  // kPerBatch: every commit syncs
+  EXPECT_GT(total.manifest_writes.load(), 0u);
+  // Accumulate must fold the durability counters like any others.
+  uint64_t shard_sum = 0;
+  for (size_t s = 0; s < db.value()->num_shards(); ++s) {
+    shard_sum += db.value()->ShardStats(s).manifest_writes.load();
+  }
+  EXPECT_EQ(total.manifest_writes.load(), shard_sum);
+}
+
+}  // namespace
+}  // namespace endure::lsm
