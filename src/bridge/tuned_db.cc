@@ -121,6 +121,8 @@ void CarryImmutableKnobs(const lsm::Options& current, lsm::Options* next) {
   next->durability = current.durability;
   next->wal_sync_mode = current.wal_sync_mode;
   next->wal_sync_interval_ms = current.wal_sync_interval_ms;
+  next->shared_wal_flusher = current.shared_wal_flusher;
+  next->recovery_threads = current.recovery_threads;
 }
 
 }  // namespace

@@ -6,6 +6,12 @@
 namespace endure::lsm {
 
 DB::DB(const Options& options) : options_(options) {
+  if (options_.durability &&
+      options_.wal_sync_mode == WalSyncMode::kBackground &&
+      options_.shared_wal_flusher) {
+    flush_service_ =
+        std::make_unique<WalFlushService>(options_.wal_sync_interval_ms);
+  }
   store_ = MakePageStore(options_.entries_per_page, &stats_,
                          static_cast<int>(options_.backend),
                          options_.storage_dir,
@@ -37,7 +43,8 @@ StatusOr<std::unique_ptr<DB>> DB::Open(const Options& options) {
   auto db = std::unique_ptr<DB>(new DB(opts));
   db->lock_ = std::move(lock_or).value();
   ENDURE_RETURN_IF_ERROR(
-      RecoverAndAttach(db->tree_.get(), m, existing, opts.storage_dir));
+      RecoverAndAttach(db->tree_.get(), m, existing, opts.storage_dir,
+                       db->flush_service_.get()));
   return db;
 }
 

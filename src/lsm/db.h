@@ -93,6 +93,10 @@ class DB {
   /// Durable mode: exclusive LOCK-file guard on storage_dir, held for
   /// the instance's lifetime (one process per deployment).
   std::unique_ptr<FileLock> lock_;
+  /// Durable kBackground mode with Options::shared_wal_flusher: the
+  /// single thread driving the WAL's periodic fsyncs. Declared before
+  /// tree_ so it outlives the writer registered with it.
+  std::unique_ptr<WalFlushService> flush_service_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<LsmTree> tree_;
 };

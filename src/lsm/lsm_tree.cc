@@ -412,7 +412,8 @@ Status LsmTree::Reconfigure(const Options& new_options) {
   }
   if (new_options.durability != opts_.durability ||
       new_options.wal_sync_mode != opts_.wal_sync_mode ||
-      new_options.wal_sync_interval_ms != opts_.wal_sync_interval_ms) {
+      new_options.wal_sync_interval_ms != opts_.wal_sync_interval_ms ||
+      new_options.shared_wal_flusher != opts_.shared_wal_flusher) {
     return Status::InvalidArgument(
         "durability and WAL sync settings cannot change on a live tree");
   }
@@ -701,10 +702,12 @@ StatusOr<uint64_t> LsmTree::ReplayWal(const std::string& wal_path) {
   return replayed;
 }
 
-Status LsmTree::AttachDurability(const std::string& dir) {
+Status LsmTree::AttachDurability(const std::string& dir,
+                                 WalFlushService* flush_service) {
   ENDURE_CHECK_MSG(opts_.durability && file_store_ != nullptr,
                    "AttachDurability requires Options::durability");
   durable_dir_ = dir;
+  flush_service_ = flush_service;
   // Checkpoint opens the WAL appender; the directory is consistent (and
   // a replayed WAL compacted) the moment durable operation begins.
   const Status s = Checkpoint();
@@ -727,14 +730,11 @@ Status LsmTree::Checkpoint() {
   // 2. Rewrite the WAL to exactly the resident memtable contents, via
   //    temp + rename so a crash mid-rewrite keeps the old log. Records
   //    staged on the old writer are already applied to the memtable, so
-  //    the snapshot below covers them — abandon rather than flush. A
-  //    background-fsync failure latched on the old writer still
-  //    surfaces first: retiring the writer must not be the hole a dying
-  //    device escapes through.
+  //    the snapshot below covers them. A background-fsync failure
+  //    latched on the appender still surfaces first: a rewrite must not
+  //    be the hole a dying device escapes through.
   if (wal_ != nullptr) {
     ENDURE_RETURN_IF_ERROR(wal_->deferred_error());
-    wal_->Abandon();
-    wal_.reset();
   }
   const std::string wal_path = durable_dir_ + "/" + kWalFileName;
   const std::string tmp = wal_path + ".rewrite";
@@ -765,13 +765,21 @@ Status LsmTree::Checkpoint() {
     return Status::IOError("rename " + tmp + " -> " + wal_path);
   }
   ENDURE_RETURN_IF_ERROR(SyncDir(durable_dir_));
+  ++stats_->wal_rewrites;
 
-  // 3. Reopen the appender on the rewritten log.
+  // 3. Point the appender at the rewritten log. The writer object (and
+  //    with it the flusher thread or flush-service registration, and
+  //    the interval phase) survives: tearing it down per checkpoint
+  //    used to reset the background-sync clock, letting a sub-interval
+  //    checkpoint cadence postpone interval syncs indefinitely.
+  if (wal_ != nullptr) {
+    return wal_->ReopenAfterRewrite(wal_path);
+  }
   Statistics* stats = stats_;
   auto wal_or =
       WalWriter::Open(wal_path, opts_.wal_sync_mode,
                       opts_.wal_sync_interval_ms,
-                      [stats] { ++stats->wal_syncs; });
+                      [stats] { ++stats->wal_syncs; }, flush_service_);
   if (!wal_or.ok()) return wal_or.status();
   wal_ = std::move(wal_or).value();
   return Status::OK();
@@ -802,14 +810,15 @@ StatusOr<bool> LoadDurableState(const std::string& dir, Options* opts,
 }
 
 Status RecoverAndAttach(LsmTree* tree, const ManifestData& m,
-                        bool existing, const std::string& dir) {
+                        bool existing, const std::string& dir,
+                        WalFlushService* flush_service) {
   if (existing) {
     ENDURE_RETURN_IF_ERROR(tree->RecoverFrom(m));
     auto replayed = tree->ReplayWal(dir + "/" + kWalFileName);
     if (!replayed.ok()) return replayed.status();
     ++tree->stats()->recoveries;
   }
-  return tree->AttachDurability(dir);
+  return tree->AttachDurability(dir, flush_service);
 }
 
 }  // namespace endure::lsm

@@ -198,13 +198,21 @@ class LsmTree {
   StatusOr<uint64_t> ReplayWal(const std::string& wal_path);
 
   /// Starts durable operation rooted at `dir`: opens the WAL for
-  /// appending and checkpoints once, leaving `dir` consistent.
-  Status AttachDurability(const std::string& dir);
+  /// appending and checkpoints once, leaving `dir` consistent. Under
+  /// WalSyncMode::kBackground a non-null `flush_service` (owned by the
+  /// DB/ShardedDB, outliving the tree) drives this tree's periodic WAL
+  /// syncs instead of a per-tree flusher thread — one thread per
+  /// deployment rather than per shard.
+  Status AttachDurability(const std::string& dir,
+                          WalFlushService* flush_service = nullptr);
 
   /// Publishes the manifest (atomic replace) and rewrites the WAL down
   /// to exactly the resident memtable contents, then reaps segment files
   /// the new manifest no longer references. Called automatically after
-  /// flushes, migrations, reconfigurations and bulk loads.
+  /// flushes, migrations, reconfigurations and bulk loads. The appender
+  /// and its background-sync state survive the rewrite (the fd is
+  /// swapped in place), so checkpoint frequency can never postpone or
+  /// duplicate an interval sync.
   Status Checkpoint();
 
   /// Snapshot of the durable state (run layout, tuning, cursors).
@@ -271,6 +279,9 @@ class LsmTree {
   /// deferred-delete purging (null when durability is off).
   FilePageStore* file_store_ = nullptr;
   std::string durable_dir_;  ///< empty until AttachDurability
+  /// Shared background-sync driver (not owned; may be null — the writer
+  /// then runs its own flusher thread under kBackground).
+  WalFlushService* flush_service_ = nullptr;
   std::unique_ptr<WalWriter> wal_;  ///< null until AttachDurability
   std::unique_ptr<MemTable> active_;  ///< the mutable write buffer
   std::unique_ptr<MemTable> sealed_;  ///< full buffer awaiting flush (or null)
@@ -296,9 +307,12 @@ StatusOr<bool> LoadDurableState(const std::string& dir, Options* opts,
 
 /// The per-tree recovery tail: when `existing`, recovers from `m`,
 /// replays `dir`'s WAL and counts the recovery; always attaches
-/// durability (opens the WAL appender and checkpoints once).
+/// durability (opens the WAL appender — registered with `flush_service`
+/// when given — and checkpoints once). Thread-safe across trees: the
+/// parallel ShardedDB::Open runs one call per shard concurrently.
 Status RecoverAndAttach(LsmTree* tree, const ManifestData& m,
-                        bool existing, const std::string& dir);
+                        bool existing, const std::string& dir,
+                        WalFlushService* flush_service = nullptr);
 
 }  // namespace endure::lsm
 

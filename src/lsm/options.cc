@@ -30,6 +30,10 @@ Status Options::Validate() const {
   if (wal_sync_interval_ms < 1) {
     return Status::InvalidArgument("wal_sync_interval_ms must be >= 1");
   }
+  if (recovery_threads < 0 || recovery_threads > 4096) {
+    return Status::InvalidArgument(
+        "recovery_threads must be in [0, 4096] (0 = auto)");
+  }
   return Status::OK();
 }
 

@@ -104,6 +104,27 @@ struct Options {
   /// Cadence of the background WAL flusher (kBackground only), >= 1.
   int wal_sync_interval_ms = 10;
 
+  /// Worker threads ShardedDB::Open uses to recover shard directories
+  /// concurrently (per-shard recovery is fully independent, so restart
+  /// latency is the max over shards instead of the sum). 0 (default)
+  /// auto-sizes to min(num_shards, hardware threads); 1 forces the
+  /// serial open the recovery benchmark baselines against. A fresh
+  /// (non-recovering) durable open builds its shard directories on the
+  /// same workers; a plain DB ignores the knob. Operational, not part
+  /// of the persisted tuning: each restart may choose anew.
+  int recovery_threads = 0;
+
+  /// Under WalSyncMode::kBackground, drive every shard's WAL fsyncs
+  /// from one shared util::WalFlushService thread owned by the
+  /// DB/ShardedDB (default) instead of one interval thread per shard's
+  /// writer. fsync errors still latch per shard; the loss window is
+  /// wal_sync_interval_ms plus the tail of the current sync pass (one
+  /// thread fsyncs the dirty shards serially — see docs/operations.md).
+  /// Disable to reproduce the legacy per-shard-thread topology
+  /// (benchmarks do) or when per-shard fsyncs are slow enough to sum
+  /// past the interval.
+  bool shared_wal_flusher = true;
+
   /// OK iff every knob is in range.
   Status Validate() const;
 };

@@ -30,6 +30,12 @@ Status WriteRootManifest(const std::string& root_dir, const Options& opts,
 
 ShardedDB::ShardedDB(const Options& options, bool defer_shards)
     : options_(options) {
+  if (options_.durability &&
+      options_.wal_sync_mode == WalSyncMode::kBackground &&
+      options_.shared_wal_flusher) {
+    flush_service_ =
+        std::make_unique<WalFlushService>(options_.wal_sync_interval_ms);
+  }
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   if (!defer_shards) {
     for (int i = 0; i < options_.num_shards; ++i) {
@@ -99,29 +105,35 @@ StatusOr<std::unique_ptr<ShardedDB>> ShardedDB::Open(const Options& options) {
   auto db =
       std::unique_ptr<ShardedDB>(new ShardedDB(opts, /*defer_shards=*/true));
   db->lock_ = std::move(lock_or).value();
-  for (int i = 0; i < opts.num_shards; ++i) {
-    Options shard_opts = opts;
-    shard_opts.storage_dir = ShardDir(opts.storage_dir, i);
-    ENDURE_RETURN_IF_ERROR(EnsureDir(shard_opts.storage_dir));
-    // A crash mid-ApplyTuning can leave shards at mixed tunings; each
-    // shard resumes its own persisted state (a later ApplyTuning
-    // re-levels the deployment).
-    ManifestData m;
-    auto existing_or = LoadDurableState(shard_opts.storage_dir, &shard_opts,
-                                        &m);
-    if (!existing_or.ok()) return existing_or.status();
-    auto shard = std::make_unique<Shard>();
-    shard->store = MakePageStore(shard_opts.entries_per_page, &shard->stats,
-                                 static_cast<int>(shard_opts.backend),
-                                 shard_opts.storage_dir,
-                                 /*persistent=*/true);
-    shard->tree = std::make_unique<LsmTree>(shard_opts, shard->store.get(),
-                                            &shard->stats);
-    ENDURE_RETURN_IF_ERROR(RecoverAndAttach(shard->tree.get(), m,
-                                            *existing_or,
-                                            shard_opts.storage_dir));
-    db->shards_.push_back(std::move(shard));
+
+  // Recover the shard directories concurrently: per-shard recovery is
+  // fully independent (own manifest, WAL, page store and statistics),
+  // so restart latency is the max over shards, not the sum. `slots` is
+  // declared after `db` on purpose — if any shard fails, the return
+  // below destroys the recovered shards FIRST (their WAL writers
+  // deregister from the flush service, threads and fds close) and the
+  // ShardedDB (flush service, maintenance pool, LOCK file) after: a
+  // failed open leaks nothing and leaves the deployment reopenable.
+  std::vector<std::unique_ptr<Shard>> slots(
+      static_cast<size_t>(opts.num_shards));
+  std::vector<Status> results(static_cast<size_t>(opts.num_shards));
+  const size_t workers =
+      opts.recovery_threads > 0
+          ? static_cast<size_t>(opts.recovery_threads)
+          : std::min(static_cast<size_t>(opts.num_shards),
+                     DefaultParallelism());
+  ShardedDB* raw = db.get();
+  ParallelFor(static_cast<size_t>(opts.num_shards), workers,
+              [raw, &opts, &slots, &results](size_t i) {
+                results[i] = raw->RecoverShard(opts, static_cast<int>(i),
+                                               &slots[i]);
+              });
+  // Deterministic first-error propagation: always the lowest-numbered
+  // failing shard, whatever order the workers finished in.
+  for (const Status& s : results) {
+    ENDURE_RETURN_IF_ERROR(s);
   }
+  for (auto& shard : slots) db->shards_.push_back(std::move(shard));
 
   // Resume interrupted work: shards that recovered mid-migration (or
   // with a sealed buffer rebuilt by replay) reschedule immediately on
@@ -138,6 +150,33 @@ StatusOr<std::unique_ptr<ShardedDB>> ShardedDB::Open(const Options& options) {
     }
   }
   return db;
+}
+
+Status ShardedDB::RecoverShard(const Options& root_opts, int index,
+                               std::unique_ptr<Shard>* out) {
+  Options shard_opts = root_opts;
+  shard_opts.storage_dir = ShardDir(root_opts.storage_dir, index);
+  ENDURE_RETURN_IF_ERROR(EnsureDir(shard_opts.storage_dir));
+  // A crash mid-ApplyTuning can leave shards at mixed tunings; each
+  // shard resumes its own persisted state (a later ApplyTuning
+  // re-levels the deployment).
+  ManifestData m;
+  auto existing_or =
+      LoadDurableState(shard_opts.storage_dir, &shard_opts, &m);
+  if (!existing_or.ok()) return existing_or.status();
+  auto shard = std::make_unique<Shard>();
+  shard->store = MakePageStore(shard_opts.entries_per_page, &shard->stats,
+                               static_cast<int>(shard_opts.backend),
+                               shard_opts.storage_dir,
+                               /*persistent=*/true);
+  shard->tree = std::make_unique<LsmTree>(shard_opts, shard->store.get(),
+                                          &shard->stats);
+  ENDURE_RETURN_IF_ERROR(RecoverAndAttach(shard->tree.get(), m,
+                                          *existing_or,
+                                          shard_opts.storage_dir,
+                                          flush_service_.get()));
+  *out = std::move(shard);
+  return Status::OK();
 }
 
 size_t ShardedDB::ShardForKey(Key key) const {
@@ -310,7 +349,8 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
   }
   if (new_options.durability != options_.durability ||
       new_options.wal_sync_mode != options_.wal_sync_mode ||
-      new_options.wal_sync_interval_ms != options_.wal_sync_interval_ms) {
+      new_options.wal_sync_interval_ms != options_.wal_sync_interval_ms ||
+      new_options.shared_wal_flusher != options_.shared_wal_flusher) {
     return Status::InvalidArgument(
         "durability and WAL sync settings cannot change on a live "
         "database");
@@ -355,7 +395,10 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
 }
 
 void ShardedDB::CrashForTesting() {
-  pool_.reset();  // in-flight jobs finish; the crash point is after them
+  // Shutdown (not reset): in-flight jobs finish — the crash point is
+  // after them — and may still read pool_ while they wind down, so the
+  // pointer itself must not be mutated under their feet.
+  if (pool_ != nullptr) pool_->Shutdown();
   for (auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
     std::lock_guard<std::mutex> lock(shard->mu);

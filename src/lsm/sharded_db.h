@@ -37,11 +37,19 @@ class ShardedDB {
   /// With Options::durability, storage_dir is a deployment root holding
   /// one subdirectory per shard (`shard_<i>`, each with its own WAL and
   /// manifest) plus a root manifest recording the shard count and the
-  /// last applied tuning. An existing deployment is recovered shard by
-  /// shard — acknowledged writes replayed from the WALs, the persisted
-  /// tuning resumed, and any in-flight migration rescheduled on the
-  /// maintenance pool exactly where AdvanceMigration left off. The shard
-  /// count is immutable across reopens. See docs/durability.md.
+  /// last applied tuning. An existing deployment is recovered — the
+  /// shard directories concurrently, on up to Options::recovery_threads
+  /// workers (0 = auto), so restart latency is the max over shards
+  /// rather than the sum: acknowledged writes replayed from the WALs,
+  /// the persisted tuning resumed, and any in-flight migration
+  /// rescheduled on the maintenance pool exactly where AdvanceMigration
+  /// left off. If any shard fails to recover, the open fails as a whole
+  /// with the error of the lowest-numbered failing shard (deterministic
+  /// whatever the thread interleaving), and every already-recovered
+  /// shard is torn down before return — no threads, WAL writers, file
+  /// descriptors or the deployment LOCK outlive a failed open. The
+  /// shard count is immutable across reopens. See docs/durability.md
+  /// and docs/operations.md.
   static StatusOr<std::unique_ptr<ShardedDB>> Open(const Options& options);
 
   /// Drains in-flight maintenance jobs, then tears down the shards.
@@ -161,6 +169,14 @@ class ShardedDB {
   /// builds each shard with its own (possibly recovered) options.
   explicit ShardedDB(const Options& options, bool defer_shards = false);
 
+  /// Recovers (or freshly creates) shard `index`'s directory into
+  /// `*out`: per-shard options merge, store + tree construction, WAL
+  /// replay and durability attach. Touches no shared mutable state
+  /// except the flush service's thread-safe registry, so Open may run
+  /// one call per shard concurrently.
+  Status RecoverShard(const Options& root_opts, int index,
+                      std::unique_ptr<Shard>* out);
+
   /// Called with `shard->mu` held: schedules a maintenance job if the
   /// shard has sealed work or a pending tuning migration and none is in
   /// flight. Each job flushes sealed work, advances the migration by at
@@ -176,6 +192,11 @@ class ShardedDB {
   /// Durable mode: exclusive LOCK-file guard on the deployment root,
   /// held for the instance's lifetime (one process per deployment).
   std::unique_ptr<FileLock> lock_;
+  /// Durable kBackground mode with Options::shared_wal_flusher: the one
+  /// thread driving every shard's WAL fsyncs (instead of one interval
+  /// thread per shard). Declared before shards_ so it outlives the
+  /// writers registered with it.
+  std::unique_ptr<WalFlushService> flush_service_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Declared after shards_ so it is destroyed first: the destructor
   /// drains queued jobs while the shards they reference are still alive.

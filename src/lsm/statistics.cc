@@ -68,6 +68,7 @@ void Statistics::Accumulate(const Statistics& shard) {
   wal_records += shard.wal_records;
   wal_bytes += shard.wal_bytes;
   wal_syncs += shard.wal_syncs;
+  wal_rewrites += shard.wal_rewrites;
   manifest_writes += shard.manifest_writes;
   recoveries += shard.recoveries;
   wal_replayed_entries += shard.wal_replayed_entries;
@@ -101,6 +102,7 @@ Statistics Statistics::Delta(const Statistics& b) const {
   d.wal_records = wal_records - b.wal_records;
   d.wal_bytes = wal_bytes - b.wal_bytes;
   d.wal_syncs = wal_syncs - b.wal_syncs;
+  d.wal_rewrites = wal_rewrites - b.wal_rewrites;
   d.manifest_writes = manifest_writes - b.manifest_writes;
   d.recoveries = recoveries - b.recoveries;
   d.wal_replayed_entries = wal_replayed_entries - b.wal_replayed_entries;
@@ -121,7 +123,7 @@ std::string Statistics::ToString() const {
       "  ops: gets=%llu ranges=%llu writes=%llu flushes=%llu "
       "compactions=%llu\n"
       "  reconfig: applies=%llu migration_steps=%llu\n"
-      "  wal: records=%llu bytes=%llu syncs=%llu\n"
+      "  wal: records=%llu bytes=%llu syncs=%llu rewrites=%llu\n"
       "  durability: manifest_writes=%llu recoveries=%llu "
       "replayed=%llu recovery_pages=%llu\n}",
       static_cast<unsigned long long>(pages_read),
@@ -147,6 +149,7 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(wal_records),
       static_cast<unsigned long long>(wal_bytes),
       static_cast<unsigned long long>(wal_syncs),
+      static_cast<unsigned long long>(wal_rewrites),
       static_cast<unsigned long long>(manifest_writes),
       static_cast<unsigned long long>(recoveries),
       static_cast<unsigned long long>(wal_replayed_entries),

@@ -12,13 +12,17 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -62,6 +66,19 @@ void ThreadPool::WorkerLoop() {
 
 size_t DefaultParallelism() {
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelFor(size_t n, size_t max_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (n <= 1 || max_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(n, max_threads));
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
 }
 
 }  // namespace endure

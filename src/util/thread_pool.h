@@ -41,6 +41,13 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void Wait();
 
+  /// Stops accepting tasks, drains the already-queued ones and joins
+  /// the workers. Idempotent; the destructor calls it. Afterwards
+  /// TrySubmit returns false (self-rescheduling jobs stop), so a crash
+  /// simulation can freeze maintenance at its current point without
+  /// destroying a pool object concurrent jobs may still be consulting.
+  void Shutdown();
+
   size_t num_threads() const { return workers_.size(); }
 
  private:
@@ -57,6 +64,16 @@ class ThreadPool {
 
 /// Number of workers to use by default: hardware concurrency, at least 1.
 size_t DefaultParallelism();
+
+/// Runs fn(0), ..., fn(n-1) across at most `max_threads` pool workers and
+/// returns once every index has run. With n <= 1 or max_threads <= 1 the
+/// calls run inline on the caller's thread (no pool, deterministic order)
+/// — the serial baseline ShardedDB's recovery benchmark measures against.
+/// `fn` must not throw; indices may run in any order, so per-index
+/// results belong in pre-sized slots (the Wait inside is the barrier
+/// that makes reading them back race-free).
+void ParallelFor(size_t n, size_t max_threads,
+                 const std::function<void(size_t)>& fn);
 
 }  // namespace endure
 

@@ -1,8 +1,10 @@
 #include "util/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -45,19 +47,24 @@ uint32_t Crc32(const void* data, size_t len) {
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
     const std::string& path, WalSyncMode mode, int sync_interval_ms,
-    std::function<void()> on_sync) {
+    std::function<void()> on_sync, WalFlushService* service) {
   const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
   if (fd < 0) {
     return Status::IOError("open wal " + path + ": " + std::strerror(errno));
   }
-  return std::unique_ptr<WalWriter>(
-      new WalWriter(fd, mode, sync_interval_ms, std::move(on_sync)));
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(fd, mode, sync_interval_ms, std::move(on_sync),
+                    mode == WalSyncMode::kBackground ? service : nullptr));
+  // Register only once construction is complete: the service thread may
+  // sync the writer the moment it appears in the rotation.
+  if (writer->service_ != nullptr) writer->service_->Register(writer.get());
+  return writer;
 }
 
 WalWriter::WalWriter(int fd, WalSyncMode mode, int sync_interval_ms,
-                     std::function<void()> on_sync)
-    : mode_(mode), on_sync_(std::move(on_sync)), fd_(fd) {
-  if (mode_ == WalSyncMode::kBackground) {
+                     std::function<void()> on_sync, WalFlushService* service)
+    : mode_(mode), on_sync_(std::move(on_sync)), service_(service), fd_(fd) {
+  if (mode_ == WalSyncMode::kBackground && service_ == nullptr) {
     flusher_ = std::thread([this, sync_interval_ms] {
       std::unique_lock<std::mutex> lock(mu_);
       while (!stop_) {
@@ -70,6 +77,9 @@ WalWriter::WalWriter(int fd, WalSyncMode mode, int sync_interval_ms,
 }
 
 WalWriter::~WalWriter() {
+  // Leave the sync rotation first: after Deregister returns, no service
+  // pass can touch this writer, so the teardown below races nothing.
+  if (service_ != nullptr) service_->Deregister(this);
   if (flusher_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -146,9 +156,12 @@ Status WalWriter::SyncWithLock(std::unique_lock<std::mutex>& lock) {
   if (bytes_committed_ == synced_bytes_) return Status::OK();
   const uint64_t target = bytes_committed_;
   const int fd = fd_;
+  sync_in_flight_ = true;
   lock.unlock();  // never hold appenders hostage to device latency
   const int rc = ::fsync(fd);
   lock.lock();
+  sync_in_flight_ = false;
+  cv_.notify_all();  // ReopenAfterRewrite may be waiting to swap the fd
   if (rc != 0) {
     deferred_error_ = Status::IOError("wal fsync");
     return deferred_error_;
@@ -157,6 +170,33 @@ Status WalWriter::SyncWithLock(std::unique_lock<std::mutex>& lock) {
     synced_bytes_ = target;
     if (on_sync_) on_sync_();
   }
+  return Status::OK();
+}
+
+Status WalWriter::ReopenAfterRewrite(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("reopen wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat wal " + path);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // An fsync in flight on the old fd must finish before that fd is
+  // closed (a closed — possibly recycled — fd under a live fsync would
+  // sync the wrong file or fail spuriously).
+  cv_.wait(lock, [this] { return !sync_in_flight_; });
+  pending_.clear();  // staged records are covered by the snapshot
+  ::close(fd_);
+  fd_ = fd;
+  // The snapshot was fsynced before the rename, so the writer starts
+  // clean: the next background tick skips until new bytes commit —
+  // no double-sync of the already-durable snapshot.
+  bytes_committed_ = static_cast<uint64_t>(st.st_size);
+  synced_bytes_ = bytes_committed_;
   return Status::OK();
 }
 
@@ -173,6 +213,80 @@ Status WalWriter::deferred_error() const {
 void WalWriter::Abandon() {
   pending_.clear();
   abandoned_ = true;
+}
+
+// --------------------------------------------------------- flush service --
+
+WalFlushService::WalFlushService(int sync_interval_ms) {
+  thread_ = std::thread([this, sync_interval_ms] { Loop(sync_interval_ms); });
+}
+
+WalFlushService::~WalFlushService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Writers deregister in their destructors; a writer still registered
+  // here would dangle the moment the owner's teardown continued.
+  ENDURE_CHECK_MSG(writers_.empty(),
+                   "WalFlushService destroyed with writers registered");
+}
+
+void WalFlushService::Register(WalWriter* writer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writers_.push_back(writer);
+}
+
+void WalFlushService::Deregister(WalWriter* writer) {
+  // A pass syncs a snapshot of the registry with mu_ released, so
+  // removal alone is not enough — wait until no pass is in flight, or
+  // a dying writer could still be in the snapshot being synced.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !pass_active_; });
+  writers_.erase(std::remove(writers_.begin(), writers_.end(), writer),
+                 writers_.end());
+}
+
+size_t WalFlushService::num_writers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writers_.size();
+}
+
+void WalFlushService::Loop(int sync_interval_ms) {
+  const auto interval = std::chrono::milliseconds(sync_interval_ms);
+  // Absolute deadlines, not wait_for: a pass's fsync time must not
+  // stretch the period (interval-plus-pass-duration cadence would
+  // silently widen the kBackground loss window).
+  auto next_tick = std::chrono::steady_clock::now() + interval;
+  std::vector<WalWriter*> pass;  // reused snapshot buffer
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_until(lock, next_tick);
+    if (stop_) break;
+    if (std::chrono::steady_clock::now() < next_tick) continue;  // spurious
+    next_tick += interval;
+    // A slow pass (device stall) must not queue a burst of catch-up
+    // ticks; resume the cadence from now instead.
+    if (next_tick < std::chrono::steady_clock::now()) {
+      next_tick = std::chrono::steady_clock::now() + interval;
+    }
+    // One pass: sync a snapshot of the registry with mu_ released, so
+    // shard attach (Register) and teardown (Deregister, which waits
+    // out the pass) are never blocked behind device latency. Clean
+    // writers skip the fsync syscall, so an idle fleet costs one mutex
+    // round per tick. Errors latch in each writer's deferred_error_
+    // and surface through its own Commit path, exactly as with a
+    // private flusher thread.
+    pass = writers_;
+    pass_active_ = true;
+    lock.unlock();
+    for (WalWriter* writer : pass) writer->Sync();
+    lock.lock();
+    pass_active_ = false;
+    cv_.notify_all();
+  }
 }
 
 // ---------------------------------------------------------------- reader --

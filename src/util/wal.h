@@ -29,6 +29,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "util/macros.h"
 #include "util/status.h"
@@ -36,21 +37,29 @@
 
 namespace endure {
 
+class WalFlushService;
+
 /// CRC-32 (ISO-HDLC polynomial, the zlib/gzip one) over `len` bytes.
 uint32_t Crc32(const void* data, size_t len);
 
 /// Appends framed records to a log file. Not internally thread-safe for
 /// Append/Commit — callers serialize them (the engine holds the shard
-/// lock) — but the background flusher thread synchronizes internally, so
-/// it may run concurrently with appends.
+/// lock) — but background syncs (the writer's own flusher thread, or a
+/// shared WalFlushService) synchronize internally, so they may run
+/// concurrently with appends.
 class WalWriter {
  public:
   /// Opens `path` for appending (created if absent). `on_sync` (optional)
-  /// is invoked after every fsync, including those issued by the
-  /// background thread — bump a relaxed counter there, nothing heavier.
+  /// is invoked after every fsync, including those issued by background
+  /// flushing — bump a relaxed counter there, nothing heavier. Under
+  /// WalSyncMode::kBackground a non-null `service` drives this writer's
+  /// periodic syncs (the writer registers itself and spawns no thread);
+  /// without one the writer runs its own interval thread. Other modes
+  /// ignore `service`.
   static StatusOr<std::unique_ptr<WalWriter>> Open(
       const std::string& path, WalSyncMode mode, int sync_interval_ms = 10,
-      std::function<void()> on_sync = nullptr);
+      std::function<void()> on_sync = nullptr,
+      WalFlushService* service = nullptr);
 
   /// Flushes and (unless abandoned) syncs outstanding records, then
   /// closes the file and stops the flusher thread.
@@ -67,7 +76,20 @@ class WalWriter {
   /// Forces an fsync of everything committed so far.
   Status Sync();
 
-  /// Bytes handed to write() so far (framing included).
+  /// Redirects the writer to the freshly rewritten log at `path` after a
+  /// checkpoint: drops staged-but-uncommitted records (the snapshot that
+  /// replaced the log covers them) and swaps the appender fd under the
+  /// lock, while the background sync state — the flusher thread or
+  /// flush-service registration, and with it the interval phase — carries
+  /// over untouched. Keeping the writer alive across rewrites is what
+  /// guarantees a checkpoint can neither postpone the next background
+  /// sync by a full fresh interval nor re-sync the already-synced
+  /// snapshot. The new log must already be fsynced (the checkpoint
+  /// protocol syncs it before the rename), so the writer restarts clean.
+  Status ReopenAfterRewrite(const std::string& path);
+
+  /// Bytes handed to write() so far (framing included). Reset to the
+  /// snapshot size by ReopenAfterRewrite.
   uint64_t bytes_committed() const { return bytes_committed_; }
 
   /// First fsync failure latched by the background flusher (OK when
@@ -84,7 +106,7 @@ class WalWriter {
 
  private:
   WalWriter(int fd, WalSyncMode mode, int sync_interval_ms,
-            std::function<void()> on_sync);
+            std::function<void()> on_sync, WalFlushService* service);
 
   /// fsyncs everything committed so far. Requires `lock` held on mu_;
   /// releases it around the fsync itself so the flusher's periodic sync
@@ -94,13 +116,17 @@ class WalWriter {
 
   const WalSyncMode mode_;
   std::function<void()> on_sync_;
+  /// Shared flush service this writer is registered with (null when the
+  /// writer runs its own thread or never background-syncs). The service
+  /// must outlive the writer; the destructor deregisters first.
+  WalFlushService* service_ = nullptr;
   std::string pending_;        ///< staged records since the last Commit
   uint64_t bytes_committed_ = 0;
   bool abandoned_ = false;
 
-  /// Guards fd_ against the flusher thread (write/fsync/close ordering).
+  /// Guards fd_ against background syncs (write/fsync/close ordering).
   mutable std::mutex mu_;
-  /// First fsync failure seen by the background flusher (under mu_);
+  /// First fsync failure seen by a background sync (under mu_);
   /// surfaced by the next Commit so a dying device cannot silently
   /// degrade kBackground to kNone.
   Status deferred_error_;
@@ -108,9 +134,57 @@ class WalWriter {
   /// file skips the syscall entirely.
   uint64_t synced_bytes_ = 0;
   int fd_;
+  /// True while a sync has mu_ dropped around its fsync (under mu_);
+  /// ReopenAfterRewrite waits it out so the fd it closes can never be
+  /// the one an in-flight fsync still references.
+  bool sync_in_flight_ = false;
   bool stop_ = false;          ///< under mu_: tells the flusher to exit
   std::condition_variable cv_;
   std::thread flusher_;        ///< joined in the destructor
+};
+
+/// Drives the periodic fsyncs of any number of WalWriters from a single
+/// thread. Under WalSyncMode::kBackground every shard of a deployment
+/// historically ran (and re-created per checkpoint) its own interval
+/// thread; a ShardedDB now owns one of these instead and threads it
+/// through LsmTree::AttachDurability, so a 64-shard deployment syncs
+/// from one thread, not 64. Register/Deregister are thread-safe and may
+/// race a sync pass (Deregister blocks until the pass finishes, so a
+/// writer is never synced after it deregisters). fsync errors latch in
+/// each writer's own deferred_error, exactly as with a private flusher.
+class WalFlushService {
+ public:
+  /// Starts the flush thread; it wakes every `sync_interval_ms` and
+  /// syncs every registered writer (clean writers skip the syscall).
+  explicit WalFlushService(int sync_interval_ms);
+
+  /// Stops the thread. All writers must have deregistered (they do so
+  /// in their destructors; owners destroy trees before the service).
+  ~WalFlushService();
+  ENDURE_DISALLOW_COPY_AND_ASSIGN(WalFlushService);
+
+  /// Adds `writer` to the sync rotation (first sync at the next tick —
+  /// the tick clock is global, so replacing a writer mid-interval never
+  /// postpones its sync by a full fresh interval).
+  void Register(WalWriter* writer);
+
+  /// Removes `writer`, waiting out any sync pass currently touching it.
+  void Deregister(WalWriter* writer);
+
+  /// Writers currently registered (diagnostics/tests).
+  size_t num_writers() const;
+
+ private:
+  void Loop(int sync_interval_ms);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<WalWriter*> writers_;  ///< under mu_
+  /// True while a pass syncs its snapshot with mu_ released (under
+  /// mu_); Deregister waits it out before letting a writer die.
+  bool pass_active_ = false;
+  bool stop_ = false;                ///< under mu_
+  std::thread thread_;               ///< joined in the destructor
 };
 
 /// Reads framed records back. Stops (Next() returns false) at end of

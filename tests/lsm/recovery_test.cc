@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bridge/tuned_db.h"
 #include "lsm/db.h"
@@ -478,6 +480,238 @@ TEST(RecoveryTest, OpenTunedShardedDbRecoversInsteadOfRebuilding) {
       cfg, t, 3000, 2, true, StorageBackend::kMemory, dir,
       WalSyncMode::kPerBatch);
   EXPECT_FALSE(refused.ok());
+}
+
+// Entries under a /proc/self/* directory: live thread count (task) or
+// open descriptor count (fd). 0 when /proc is unavailable (non-Linux).
+size_t CountProc(const std::string& what) {
+  auto names = ListDir("/proc/self/" + what);
+  return names.ok() ? names->size() : 0;
+}
+
+// The kill+reopen matrix at 8 shards, through the concurrent open (the
+// default) and the forced-serial open, for every sync mode.
+// CrashForTesting preserves committed write()s (a process kill, not a
+// machine crash), so the full oracle must survive in all modes.
+TEST(RecoveryTest, EightShardKillReopenMatrixThroughParallelOpen) {
+  for (const WalSyncMode mode :
+       {WalSyncMode::kNone, WalSyncMode::kBackground,
+        WalSyncMode::kPerBatch}) {
+    const std::string dir =
+        FreshDir("matrix8_" + std::to_string(static_cast<int>(mode)));
+    Options o = DurableOpts(dir);
+    o.num_shards = 8;
+    o.background_maintenance = true;
+    o.wal_sync_mode = mode;
+    o.wal_sync_interval_ms = 1;
+    std::map<Key, Value> oracle;
+    {
+      auto db = ShardedDB::Open(o);
+      ASSERT_TRUE(db.ok());
+      for (Key k = 0; k < 1600; ++k) {
+        db.value()->Put(k, k * 13);
+        oracle[k] = k * 13;
+      }
+      for (Key k = 0; k < 1600; k += 7) {
+        db.value()->Delete(k);
+        oracle.erase(k);
+      }
+      db.value()->WaitForMaintenance();
+      db.value()->CrashForTesting();
+    }
+    {
+      // Default open: shards recover concurrently.
+      auto db = ShardedDB::Open(o);
+      ASSERT_TRUE(db.ok());
+      EXPECT_EQ(db.value()->TotalStats().recoveries.load(), 8u);
+      for (Key k = 0; k < 1600; ++k) {
+        const auto got = db.value()->Get(k);
+        const auto want = oracle.find(k);
+        ASSERT_EQ(got.has_value(), want != oracle.end())
+            << "mode " << static_cast<int>(mode) << " key " << k;
+        if (got.has_value()) EXPECT_EQ(*got, want->second);
+      }
+      db.value()->CrashForTesting();
+    }
+    // Forced-serial open recovers the identical state.
+    Options serial = o;
+    serial.recovery_threads = 1;
+    auto db = ShardedDB::Open(serial);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ(db.value()->TotalStats().recoveries.load(), 8u);
+    EXPECT_EQ(db.value()->Scan(0, ~0ull).size(), oracle.size());
+  }
+}
+
+TEST(RecoveryTest, RecoverMidMigrationThroughParallelOpenAtEightShards) {
+  const std::string dir = FreshDir("parallel_mid_migration");
+  Options o = DurableOpts(dir);
+  o.num_shards = 8;
+  o.background_maintenance = true;
+  o.policy = CompactionPolicy::kTiering;
+  Options tuned = o;
+  tuned.policy = CompactionPolicy::kLeveling;
+  tuned.size_ratio = 3;
+  tuned.filter_bits_per_entry = 3.0;
+  {
+    auto db = ShardedDB::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 4000; ++k) db.value()->Put(k, k + 5);
+    // Retune and die without waiting: the in-flight migration state is
+    // whatever the maintenance pool got to before the crash point.
+    ASSERT_TRUE(db.value()->ApplyTuning(tuned).ok());
+    db.value()->CrashForTesting();
+  }
+  auto db = ShardedDB::Open(o);  // stale knobs: persisted tuning wins
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->options().policy, CompactionPolicy::kLeveling);
+  EXPECT_EQ(db.value()->options().size_ratio, 3);
+  db.value()->WaitForMaintenance();
+  EXPECT_TRUE(db.value()->Progress().structure_conforming());
+  for (Key k = 0; k < 4000; ++k) {
+    ASSERT_EQ(db.value()->Get(k).value_or(0), k + 5);
+  }
+}
+
+TEST(RecoveryTest, CorruptShardManifestFailsParallelOpenCleanly) {
+  const std::string dir = FreshDir("corrupt_shard");
+  Options o = DurableOpts(dir);
+  o.num_shards = 8;
+  o.background_maintenance = true;
+  o.wal_sync_mode = WalSyncMode::kBackground;  // flush service in play
+  {
+    auto db = ShardedDB::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 800; ++k) db.value()->Put(k, k);
+    db.value()->WaitForMaintenance();
+  }
+  // Corrupt one shard's manifest; the whole open must fail (with that
+  // shard's error), and the partial open must leak nothing: no threads
+  // (recovery pool, flush service, maintenance pool, WAL flushers), no
+  // fds (WAL appenders, segment files, LOCK), and the LOCK released.
+  const std::string victim = dir + "/shard_5/" + kManifestFileName;
+  auto blob = ReadFileToString(victim);
+  ASSERT_TRUE(blob.ok());
+  std::string mangled = *blob;
+  mangled[mangled.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(victim, mangled).ok());
+
+  const size_t threads_before = CountProc("task");
+  const size_t fds_before = CountProc("fd");
+  auto failed = ShardedDB::Open(o);
+  EXPECT_FALSE(failed.ok());
+  if (threads_before > 0) {
+    EXPECT_EQ(CountProc("task"), threads_before) << "leaked threads";
+    EXPECT_EQ(CountProc("fd"), fds_before) << "leaked fds";
+  }
+
+  // Restore the manifest: the deployment reopens (proving the failed
+  // attempt released the LOCK) with every shard intact.
+  ASSERT_TRUE(WriteFileAtomic(victim, *blob).ok());
+  auto db = ShardedDB::Open(o);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value()->TotalStats().recoveries.load(), 8u);
+  for (Key k = 0; k < 800; ++k) {
+    ASSERT_EQ(db.value()->Get(k).value_or(~0ull), k);
+  }
+}
+
+TEST(RecoveryTest, SingleFlushServiceThreadRegardlessOfShardCount) {
+  if (CountProc("task") == 0) {
+    GTEST_SKIP() << "/proc/self/task unavailable";
+  }
+  Options o = DurableOpts(FreshDir("one_flusher"));
+  o.num_shards = 8;
+  o.background_maintenance = false;  // no maintenance pool in the count
+  o.wal_sync_mode = WalSyncMode::kBackground;
+  o.wal_sync_interval_ms = 5;
+  // Throwaway open/close first: lazily-spawned runtime threads (TSan's
+  // background thread, malloc arenas) must not land in the deltas.
+  { auto warm = ShardedDB::Open(o); ASSERT_TRUE(warm.ok()); }
+  {
+    const size_t before = CountProc("task");
+    auto db = ShardedDB::Open(o);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ(CountProc("task"), before + 1)
+        << "shared flusher must run exactly one thread for 8 shards";
+  }
+  // Legacy topology for comparison: one interval thread per shard.
+  Options legacy = DurableOpts(FreshDir("per_shard_flushers"));
+  legacy.num_shards = 8;
+  legacy.background_maintenance = false;
+  legacy.wal_sync_mode = WalSyncMode::kBackground;
+  legacy.wal_sync_interval_ms = 5;
+  legacy.shared_wal_flusher = false;
+  const size_t before = CountProc("task");
+  auto db = ShardedDB::Open(legacy);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(CountProc("task"), before + 8);
+}
+
+// Regression for the per-checkpoint flusher churn: a WAL rewrite must
+// not tear down and recreate background-sync state. Before the fix,
+// every checkpoint replaced the writer (and its interval clock), so a
+// sub-interval checkpoint cadence postponed the background fsync
+// forever; now the appender survives the rewrite and the tick clock
+// keeps running, in both flusher topologies.
+TEST(RecoveryTest, CheckpointChurnCannotStarveBackgroundSyncs) {
+  for (const bool shared : {true, false}) {
+    Options o = DurableOpts(
+        FreshDir(std::string("churn_") + (shared ? "shared" : "own")));
+    o.wal_sync_mode = WalSyncMode::kBackground;
+    o.wal_sync_interval_ms = 25;
+    o.shared_wal_flusher = shared;
+    auto db = DB::Open(o);
+    ASSERT_TRUE(db.ok());
+    // Checkpoint every few milliseconds for several intervals: each Put
+    // dirties the WAL and stays unsynced across the sleep, each Flush
+    // rewrites the log. With the old recreate-per-checkpoint writer the
+    // interval clock restarted at every Flush and no background fsync
+    // could ever fire; with the surviving writer the global tick lands
+    // in the dirty windows.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+    Key k = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      (*db)->Put(k++, k);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      (*db)->Flush();
+    }
+    EXPECT_GT((*db)->stats().wal_rewrites.load(), 2u);
+    EXPECT_GT((*db)->stats().wal_syncs.load(), 0u)
+        << (shared ? "shared" : "own")
+        << " flusher starved by checkpoint churn";
+    // And no busy double-sync either: a clean WAL stays untouched.
+    (*db)->Put(k++, k);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const uint64_t settled = (*db)->stats().wal_syncs.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_EQ((*db)->stats().wal_syncs.load(), settled)
+        << "idle WAL re-synced every interval";
+  }
+}
+
+TEST(RecoveryTest, KillBetweenCheckpointAndFirstPostCheckpointSync) {
+  Options o = DurableOpts(FreshDir("kill_after_checkpoint"));
+  o.wal_sync_mode = WalSyncMode::kBackground;
+  o.wal_sync_interval_ms = 60000;  // no background tick fires in-test
+  {
+    auto db = DB::Open(o);
+    ASSERT_TRUE(db.ok());
+    for (Key k = 0; k < 300; ++k) (*db)->Put(k, k + 1);
+    (*db)->Flush();          // checkpoint: manifest + WAL rewrite
+    (*db)->Put(1000, 1001);  // committed to the new log, never fsynced
+    (*db)->CrashForTesting();
+  }
+  auto db = DB::Open(o);
+  ASSERT_TRUE(db.ok());
+  for (Key k = 0; k < 300; ++k) {
+    ASSERT_EQ((*db)->Get(k).value_or(0), k + 1);
+  }
+  // The post-checkpoint write survived the kill (process death keeps
+  // the page cache) — proving the rewrite left a well-framed log that
+  // the redirected appender continued correctly.
+  EXPECT_EQ((*db)->Get(1000).value_or(0), 1001u);
 }
 
 TEST(RecoveryTest, DurabilityCountersAggregateAcrossShards) {
