@@ -5,7 +5,7 @@
 
 namespace endure::lsm {
 
-std::shared_ptr<Run> MergeRuns(
+StatusOr<std::shared_ptr<Run>> MergeRuns(
     PageStore* store, const std::vector<std::shared_ptr<Run>>& inputs,
     double bits_per_entry, bool drop_tombstones) {
   ENDURE_CHECK(store != nullptr);
@@ -28,9 +28,19 @@ std::shared_ptr<Run> MergeRuns(
   RunBuilder builder(store, bits_per_entry, IoContext::kCompaction);
   for (; merge.Valid(); merge.Next()) {
     const Entry& e = merge.entry();
-    if (!(drop_tombstones && e.is_tombstone())) builder.Add(e);
+    if (!(drop_tombstones && e.is_tombstone())) {
+      ENDURE_RETURN_IF_ERROR(builder.Add(e));
+    }
   }
-  if (builder.empty()) return nullptr;  // everything consolidated away
+  // An input iterator that hit an I/O error looks exhausted to the merge;
+  // treating that as a clean drain would silently shrink the output, so
+  // check every input before accepting the result.
+  for (const auto& adapter : adapters) {
+    ENDURE_RETURN_IF_ERROR(adapter.iter().status());
+  }
+  if (builder.empty()) {
+    return std::shared_ptr<Run>();  // everything consolidated away
+  }
   return builder.Finish();
 }
 

@@ -17,10 +17,12 @@ namespace endure::lsm {
 
 /// Merges `inputs` (ordered newest source first) into a single run whose
 /// Bloom filter is sized at `bits_per_entry`. All input pages are read and
-/// all output pages written under IoContext::kCompaction. Returns nullptr
-/// when every entry was consolidated away (all-tombstone merge at the
-/// bottom level).
-std::shared_ptr<Run> MergeRuns(
+/// all output pages written under IoContext::kCompaction. A successful
+/// merge holding nullptr means every entry was consolidated away
+/// (all-tombstone merge at the bottom level). An error — a failed input
+/// page read (I/O or checksum) or a failed output write — abandons the
+/// partial output run and leaves the inputs untouched.
+StatusOr<std::shared_ptr<Run>> MergeRuns(
     PageStore* store, const std::vector<std::shared_ptr<Run>>& inputs,
     double bits_per_entry, bool drop_tombstones);
 

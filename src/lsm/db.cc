@@ -15,7 +15,9 @@ DB::DB(const Options& options) : options_(options) {
   store_ = MakePageStore(options_.entries_per_page, &stats_,
                          static_cast<int>(options_.backend),
                          options_.storage_dir,
-                         /*persistent=*/options_.durability);
+                         /*persistent=*/options_.durability,
+                         options_.verify_checksums,
+                         options_.scrub_on_recovery);
   tree_ = std::make_unique<LsmTree>(options_, store_.get(), &stats_);
 }
 
@@ -61,13 +63,16 @@ Status DB::BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs) {
     }
     entries.push_back(Entry{key, /*seq=*/0, value, EntryType::kValue});
   }
-  tree_->BulkLoad(entries);
-  return Status::OK();
+  return tree_->BulkLoad(entries);
 }
 
 Status DB::ApplyTuning(const Options& new_options) {
   ENDURE_RETURN_IF_ERROR(tree_->Reconfigure(new_options));
-  while (tree_->AdvanceMigration()) {
+  bool did_work = true;
+  while (did_work) {
+    // A migration-step failure is recoverable: the tree keeps the level
+    // intact, so a later ApplyTuning retry (or reopen) resumes from here.
+    ENDURE_RETURN_IF_ERROR(tree_->AdvanceMigration(&did_work));
   }
   options_ = new_options;
   return Status::OK();

@@ -31,18 +31,21 @@ class DB {
 
   ENDURE_DISALLOW_COPY_AND_ASSIGN(DB);
 
-  /// Inserts or updates a key.
-  void Put(Key key, Value value) { tree_->Put(key, value); }
+  /// Inserts or updates a key. Non-OK means the write was not
+  /// acknowledged; an I/O failure on the write path also latches the
+  /// database read-only (see Health()).
+  Status Put(Key key, Value value) { return tree_->Put(key, value); }
 
   /// Inserts or updates several keys with one WAL group commit (a single
   /// write + at most one fsync for the whole batch). Equivalent to
-  /// individual Puts when durability is off.
-  void PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
-    tree_->PutBatch(pairs);
+  /// individual Puts when durability is off. Non-OK means the batch was
+  /// not acknowledged (a prefix may have been applied).
+  Status PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
+    return tree_->PutBatch(pairs);
   }
 
-  /// Deletes a key.
-  void Delete(Key key) { tree_->Delete(key); }
+  /// Deletes a key. Error contract as Put.
+  Status Delete(Key key) { return tree_->Delete(key); }
 
   /// Point lookup.
   std::optional<Value> Get(Key key) { return tree_->Get(key); }
@@ -50,8 +53,15 @@ class DB {
   /// Range query over [lo, hi): live entries in key order.
   std::vector<Entry> Scan(Key lo, Key hi) { return tree_->Scan(lo, hi); }
 
-  /// Forces a memtable flush.
-  void Flush() { tree_->Flush(); }
+  /// Forces a memtable flush. On failure no entry is lost (the buffers
+  /// keep everything unflushed) and the call may be retried.
+  Status Flush() { return tree_->Flush(); }
+
+  /// First unrecovered storage failure, or OK. Non-OK means the database
+  /// is in read-only degraded mode: writes are rejected with this status,
+  /// reads keep serving. Cleared only by reopening after the fault is
+  /// fixed. See docs/operations.md.
+  Status Health() const { return tree_->Health(); }
 
   /// Bulk loads strictly-ascending (key, value) pairs into an empty tree.
   Status BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs);

@@ -8,6 +8,7 @@
 #include "lsm/merge_iterator.h"
 #include "lsm/run_builder.h"
 #include "util/env.h"
+#include "util/fault_injection.h"
 
 namespace endure::lsm {
 namespace {
@@ -82,55 +83,74 @@ void LsmTree::EnsureLevel(int level) {
   if (static_cast<int>(levels_.size()) < level) levels_.resize(level);
 }
 
-void LsmTree::MaintainAfterWrite() {
-  if (!active_->IsFull()) return;
+Status LsmTree::MaintainAfterWrite() {
+  if (!active_->IsFull()) return Status::OK();
   if (opts_.background_maintenance) {
     // Hand the full buffer to maintenance instead of flushing inline. If
     // maintenance has fallen behind (the previous sealed buffer is still
     // pending), flush it here — backpressure that keeps at most one
     // sealed buffer alive.
-    if (sealed_ != nullptr) FlushSealedMemtable();
+    if (sealed_ != nullptr) ENDURE_RETURN_IF_ERROR(FlushSealedMemtable());
     SealMemtable();
-  } else {
-    Flush();
+    return Status::OK();
   }
+  return Flush();
 }
 
-void LsmTree::Write(const Entry& e) {
+void LsmTree::LatchBackgroundError(const Status& error) {
+  if (error.ok() || !background_error_.ok()) return;  // first error wins
+  background_error_ = error;
+  ++stats_->read_only_transitions;
+}
+
+Status LsmTree::Write(const Entry& e) {
+  ENDURE_RETURN_IF_ERROR(background_error_);
   ++stats_->writes;
   active_->Upsert(e);
-  MaintainAfterWrite();
+  Status s = MaintainAfterWrite();
   // Log after applying: if the write just triggered a flush, the entry is
   // already covered by the manifest the checkpoint published, and the
   // extra WAL record is a benign duplicate at replay (same seq, same
   // value). The invariant an acknowledged write relies on is that by the
   // time this returns it is in memtable ∪ runs and in WAL ∪ manifest.
-  if (wal_ != nullptr) {
+  if (s.ok() && wal_ != nullptr) {
     StageWalRecord(e);
-    CommitWal();
+    s = CommitWal();
   }
+  // A foreground write-path I/O failure (inline flush, checkpoint, WAL
+  // commit) latches: the entry may be applied but is not logged, so the
+  // tree must stop acknowledging writes it cannot make durable.
+  LatchBackgroundError(s);
+  return s;
 }
 
-void LsmTree::Put(Key key, Value value) {
-  Write(Entry{key, next_seq_++, value, EntryType::kValue});
+Status LsmTree::Put(Key key, Value value) {
+  return Write(Entry{key, next_seq_++, value, EntryType::kValue});
 }
 
-void LsmTree::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
+Status LsmTree::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
+  ENDURE_RETURN_IF_ERROR(background_error_);
   for (const auto& [key, value] : pairs) {
     const Entry e{key, next_seq_++, value, EntryType::kValue};
     ++stats_->writes;
     active_->Upsert(e);
-    MaintainAfterWrite();
+    const Status s = MaintainAfterWrite();
+    if (!s.ok()) {
+      LatchBackgroundError(s);
+      return s;  // a prefix of the batch is applied but unacknowledged
+    }
     // Records staged before a mid-batch flush are absorbed into that
     // checkpoint's WAL snapshot (they are already applied); the rest
     // commit in one group below.
     if (wal_ != nullptr) StageWalRecord(e);
   }
-  CommitWal();
+  const Status s = CommitWal();
+  LatchBackgroundError(s);
+  return s;
 }
 
-void LsmTree::Delete(Key key) {
-  Write(Entry{key, next_seq_++, 0, EntryType::kTombstone});
+Status LsmTree::Delete(Key key) {
+  return Write(Entry{key, next_seq_++, 0, EntryType::kTombstone});
 }
 
 void LsmTree::SealMemtable() {
@@ -139,45 +159,54 @@ void LsmTree::SealMemtable() {
   active_ = std::make_unique<MemTable>(opts_.buffer_entries);
 }
 
-void LsmTree::FlushBuffer(const MemTable& buffer) {
+Status LsmTree::FlushBuffer(const MemTable& buffer) {
   ++stats_->flushes;
   const int depth = std::max(DeepestLevel(), 1);
   // Stream straight out of the skiplist; no intermediate dump vector.
   RunBuilder builder(store_, FilterBitsForLevel(1, depth), IoContext::kFlush);
   for (SkipList::Iterator it = buffer.NewIterator(); it.Valid(); it.Next()) {
-    builder.Add(it.entry());
+    ENDURE_RETURN_IF_ERROR(builder.Add(it.entry()));
   }
-  std::shared_ptr<Run> run = builder.Finish();
+  StatusOr<std::shared_ptr<Run>> run_or = builder.Finish();
+  ENDURE_RETURN_IF_ERROR(run_or.status());
+  std::shared_ptr<Run> run = std::move(*run_or);
   Stamp(run);
-  AddRunToLevel(std::move(run), 1);
+  return AddRunToLevel(std::move(run), 1);
 }
 
-void LsmTree::FlushSealedInternal() {
+Status LsmTree::FlushSealedInternal() {
   // Detach before flushing so the invariant "sealed_ is full" never sees
-  // a half-flushed buffer; entries stay reachable via the new run.
+  // a half-flushed buffer; entries stay reachable via the new run. On
+  // failure AddRunToLevel guarantees nothing new is resident, so putting
+  // the buffer back makes the failed flush a clean no-op.
   std::unique_ptr<MemTable> buffer = std::move(sealed_);
-  FlushBuffer(*buffer);
+  const Status s = FlushBuffer(*buffer);
+  if (!s.ok()) sealed_ = std::move(buffer);
+  return s;
 }
 
-void LsmTree::FlushSealedMemtable() {
-  if (sealed_ == nullptr) return;
-  FlushSealedInternal();
-  CheckpointIfDurable();
+Status LsmTree::FlushSealedMemtable() {
+  ENDURE_RETURN_IF_ERROR(background_error_);
+  if (sealed_ == nullptr) return Status::OK();
+  ENDURE_RETURN_IF_ERROR(FlushSealedInternal());
+  return CheckpointIfDurable();
 }
 
-void LsmTree::Flush() {
+Status LsmTree::Flush() {
+  ENDURE_RETURN_IF_ERROR(background_error_);
   // Age order: the sealed buffer predates the active one, so its run must
   // land on level 1 first (runs within a level are newest-first).
   const bool had_work = sealed_ != nullptr || !active_->empty();
-  if (sealed_ != nullptr) FlushSealedInternal();
+  if (sealed_ != nullptr) ENDURE_RETURN_IF_ERROR(FlushSealedInternal());
   if (!active_->empty()) {
-    FlushBuffer(*active_);
+    ENDURE_RETURN_IF_ERROR(FlushBuffer(*active_));
     active_->Clear();
   }
-  if (had_work) CheckpointIfDurable();
+  if (had_work) ENDURE_RETURN_IF_ERROR(CheckpointIfDurable());
+  return Status::OK();
 }
 
-void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
+Status LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
   EnsureLevel(level);
   auto& runs = levels_[level - 1];
 
@@ -190,6 +219,12 @@ void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
       (opts_.policy == CompactionPolicy::kLazyLeveling &&
        NothingBelow(level));
 
+  // Failure discipline throughout: resident runs are only cleared AFTER
+  // every fallible step that replaces them has succeeded, so an error at
+  // any point leaves the level exactly as it was and the incoming run
+  // un-installed (its entries stay owned by the caller's source).
+  // migration_pending_ is raised on the way out so maintenance retries
+  // the consolidation once the fault clears.
   if (act_as_leveling) {
     // Greedy sort-merge with the resident run(s). Pure leveling keeps one
     // run per level; under lazy leveling a level that just became the
@@ -203,20 +238,43 @@ void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
       inputs.reserve(runs.size() + 1);
       inputs.push_back(run);
       for (auto& r : runs) inputs.push_back(r);  // newest first already
-      std::shared_ptr<Run> merged = MergeRuns(
+      StatusOr<std::shared_ptr<Run>> merged_or = MergeRuns(
           store_, inputs, FilterBitsForLevel(level, depth), drop);
+      if (!merged_or.ok()) {
+        migration_pending_ = true;
+        return merged_or.status();
+      }
+      std::shared_ptr<Run> merged = std::move(*merged_or);
+      if (merged == nullptr) {  // everything consolidated away
+        runs.clear();
+        return Status::OK();
+      }
+      Stamp(merged);
+      if (merged->num_entries() > LevelCapacity(level)) {
+        // Overflow: the merged run descends. Recurse while the old runs
+        // are still resident — only a fully-installed cascade may retire
+        // them. (The transient double residency is invisible: no reads
+        // interleave, and manifests publish only after the cascade.)
+        // The recursion may grow levels_ and reallocate it, so `runs` is
+        // dangling afterwards — re-index instead of touching it.
+        const Status s = AddRunToLevel(std::move(merged), level + 1);
+        if (!s.ok()) {
+          migration_pending_ = true;
+          return s;
+        }
+        levels_[level - 1].clear();
+        return Status::OK();
+      }
       runs.clear();
-      if (merged == nullptr) return;  // everything consolidated away
-      run = std::move(merged);
-      Stamp(run);
+      runs.push_back(std::move(merged));
+      return Status::OK();
     }
-    // Overflow: the level's run moves down and merges there.
+    // Overflow of a lone incoming run: it moves down and merges there.
     if (run->num_entries() > LevelCapacity(level)) {
-      AddRunToLevel(std::move(run), level + 1);
-      return;
+      return AddRunToLevel(std::move(run), level + 1);
     }
     runs.push_back(std::move(run));
-    return;
+    return Status::OK();
   }
 
   // Tiering: accumulate runs; the T-th arrival merges the whole level into
@@ -227,14 +285,27 @@ void LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
     const bool drop = NothingBelow(level);
     const int depth =
         std::max(DeepestLevel(), ProjectedDepth(TotalEntries()));
-    std::shared_ptr<Run> merged = MergeRuns(
+    StatusOr<std::shared_ptr<Run>> merged_or = MergeRuns(
         store_, runs, FilterBitsForLevel(level + 1, depth), drop);
-    runs.clear();
-    if (merged != nullptr) {
-      Stamp(merged);
-      AddRunToLevel(std::move(merged), level + 1);
+    Status s = merged_or.status();
+    if (s.ok() && *merged_or != nullptr) {
+      Stamp(*merged_or);
+      s = AddRunToLevel(std::move(*merged_or), level + 1);
     }
+    // The recursion above may grow levels_ and reallocate it, so `runs`
+    // is dangling here — re-index this level for every access below.
+    if (!s.ok()) {
+      // Take the incoming back out before reporting failure: it must not
+      // be resident here AND restored by the caller (double residency
+      // would record the segment twice in the next manifest).
+      auto& lvl = levels_[level - 1];
+      lvl.erase(lvl.begin());
+      migration_pending_ = true;
+      return s;
+    }
+    levels_[level - 1].clear();
   }
+  return Status::OK();
 }
 
 std::optional<Value> LsmTree::Get(Key key) {
@@ -254,7 +325,15 @@ std::optional<Value> LsmTree::Get(Key key) {
   }
   for (const auto& runs : levels_) {
     for (const auto& run : runs) {  // newest first
-      const Entry* e = run->Get(key, opts_.fence_pointer_skip);
+      Status io_status;
+      const Entry* e = run->Get(key, opts_.fence_pointer_skip, &io_status);
+      if (!io_status.ok()) {
+        // An unreadable or corrupt page: latch (fail-safe degraded mode)
+        // and miss rather than continue to older runs — a deeper hit
+        // could be a stale value the damaged page shadows.
+        LatchBackgroundError(io_status);
+        return std::nullopt;
+      }
       if (e != nullptr) {
         if (e->is_tombstone()) return std::nullopt;
         return e->value;
@@ -316,22 +395,31 @@ std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
       if (e.key >= hi) break;
       if (!e.is_tombstone()) out.push_back(e);
     }
-    return out;
+  } else {
+    MergeIterator merge(std::move(heads));
+    for (; merge.Valid(); merge.Next()) {
+      const Entry& e = merge.entry();
+      if (e.key < lo) continue;
+      if (e.key >= hi) break;
+      if (!e.is_tombstone()) out.push_back(e);
+    }
   }
-  MergeIterator merge(std::move(heads));
-  for (; merge.Valid(); merge.Next()) {
-    const Entry& e = merge.entry();
-    if (e.key < lo) continue;
-    if (e.key >= hi) break;
-    if (!e.is_tombstone()) out.push_back(e);
+  // A run iterator that hit an I/O or checksum error looks exhausted to
+  // the merge (it dies in place); surface the fault by latching so the
+  // silently-partial result does not go unnoticed engine-wide.
+  for (const auto& stream : run_streams) {
+    if (!stream.iter().status().ok()) {
+      LatchBackgroundError(stream.iter().status());
+    }
   }
   return out;
 }
 
-void LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
+Status LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
   ENDURE_CHECK_MSG(levels_.empty() && active_->empty() && sealed_ == nullptr,
                    "BulkLoad requires an empty tree");
-  if (sorted_entries.empty()) return;
+  ENDURE_RETURN_IF_ERROR(background_error_);
+  if (sorted_entries.empty()) return Status::OK();
   for (size_t i = 1; i < sorted_entries.size(); ++i) {
     ENDURE_CHECK_MSG(sorted_entries[i - 1].key < sorted_entries[i].key,
                      "bulk-load keys must be strictly ascending");
@@ -381,20 +469,31 @@ void LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
     ENDURE_CHECK(!next_pick.empty());
     Cursor c = next_pick.top();
     next_pick.pop();
-    builders[c.level]->Add(e);
+    // On failure the builders' destructors abandon every partial
+    // segment and levels_ holds nothing yet — the tree stays empty.
+    ENDURE_RETURN_IF_ERROR(builders[c.level]->Add(e));
     if (++c.taken < c.quota) next_pick.push(c);
   }
 
+  // Finish every builder before installing anything: all-or-nothing, so
+  // a Seal failure cannot leave a half-loaded tree.
+  std::vector<std::shared_ptr<Run>> built(depth + 1);
   for (int level = 1; level <= depth; ++level) {
     if (builders[level] == nullptr) continue;
-    std::shared_ptr<Run> run = builders[level]->Finish();
-    Stamp(run);
-    levels_[level - 1].push_back(std::move(run));
+    StatusOr<std::shared_ptr<Run>> run_or = builders[level]->Finish();
+    ENDURE_RETURN_IF_ERROR(run_or.status());
+    built[level] = std::move(*run_or);
   }
-  CheckpointIfDurable();
+  for (int level = 1; level <= depth; ++level) {
+    if (built[level] == nullptr) continue;
+    Stamp(built[level]);
+    levels_[level - 1].push_back(std::move(built[level]));
+  }
+  return CheckpointIfDurable();
 }
 
 Status LsmTree::Reconfigure(const Options& new_options) {
+  ENDURE_RETURN_IF_ERROR(background_error_);
   ENDURE_RETURN_IF_ERROR(new_options.Validate());
   if (new_options.entries_per_page != opts_.entries_per_page) {
     return Status::InvalidArgument(
@@ -417,6 +516,12 @@ Status LsmTree::Reconfigure(const Options& new_options) {
     return Status::InvalidArgument(
         "durability and WAL sync settings cannot change on a live tree");
   }
+  if (new_options.verify_checksums != opts_.verify_checksums ||
+      new_options.scrub_on_recovery != opts_.scrub_on_recovery) {
+    return Status::InvalidArgument(
+        "checksum verification settings cannot change on a live tree "
+        "(they are bound to the page store at open)");
+  }
 
   opts_ = new_options;
   ++tuning_epoch_;
@@ -434,7 +539,7 @@ Status LsmTree::Reconfigure(const Options& new_options) {
   active_->set_capacity(opts_.buffer_entries);
   if (active_->IsFull()) {
     if (!opts_.background_maintenance) {
-      Flush();
+      ENDURE_RETURN_IF_ERROR(Flush());
     } else if (sealed_ == nullptr) {
       SealMemtable();
     }
@@ -442,9 +547,10 @@ Status LsmTree::Reconfigure(const Options& new_options) {
   // Persist the new tuning immediately: a retune must survive a crash
   // that lands before the first post-retune flush. The memtables'
   // contents are unchanged (a seal only moves the buffer aside, and an
-  // inline flush checkpointed already), so the WAL needs no rewrite.
-  PublishManifestIfDurable();
-  return Status::OK();
+  // inline flush checkpointed already), so the WAL needs no rewrite. On
+  // failure the new tuning is applied in memory but not persisted — the
+  // caller may retry (the next successful checkpoint publishes it too).
+  return PublishManifestIfDurable();
 }
 
 bool LsmTree::LevelConforms(int level) const {
@@ -466,43 +572,60 @@ bool LsmTree::LevelConforms(int level) const {
 
 bool LsmTree::MigrationPending() const { return migration_pending_; }
 
-bool LsmTree::AdvanceMigration() {
-  if (!migration_pending_) return false;
+Status LsmTree::AdvanceMigration(bool* did_work) {
+  *did_work = false;
+  ENDURE_RETURN_IF_ERROR(background_error_);
+  if (!migration_pending_) return Status::OK();
   for (int level = 1; level <= static_cast<int>(levels_.size()); ++level) {
     if (LevelConforms(level)) continue;
+    // Detach the level's runs but keep `inputs` alive until the step has
+    // fully succeeded: AddRunToLevel's failure contract (nothing new
+    // resident) makes `levels_[level-1] = std::move(inputs)` an exact
+    // rollback, so a failed step is a retryable no-op.
     std::vector<std::shared_ptr<Run>> inputs =
         std::move(levels_[level - 1]);
     levels_[level - 1].clear();
     ++stats_->migration_steps;
+    Status s;
     if (inputs.size() == 1) {
       // A single over-capacity run: push it down without rewriting here
       // (it keeps its build epoch); AddRunToLevel merges it into the
-      // destination (and cascades) if that level is occupied.
-      AddRunToLevel(std::move(inputs.front()), level + 1);
-      PublishManifestIfDurable();
-      return true;
+      // destination (and cascades) if that level is occupied. Pass a
+      // copy of the shared_ptr — `inputs` keeps the run for rollback.
+      s = AddRunToLevel(inputs.front(), level + 1);
+    } else {
+      // Fold the level into one run under the new tuning. AddRunToLevel
+      // re-applies the policy rules at this level: the run stays if it
+      // now conforms, or descends and merges deeper if it overflows.
+      ++stats_->compactions;
+      const bool drop = NothingBelow(level);
+      const int depth =
+          std::max(DeepestLevel(), ProjectedDepth(TotalEntries()));
+      StatusOr<std::shared_ptr<Run>> merged_or = MergeRuns(
+          store_, inputs, FilterBitsForLevel(level, depth), drop);
+      s = merged_or.status();
+      if (s.ok() && *merged_or != nullptr) {
+        Stamp(*merged_or);
+        s = AddRunToLevel(std::move(*merged_or), level);
+      }
     }
-    // Fold the level into one run under the new tuning. AddRunToLevel
-    // re-applies the policy rules at this level: the run stays if it now
-    // conforms, or descends and merges deeper if it overflows.
-    ++stats_->compactions;
-    const bool drop = NothingBelow(level);
-    const int depth =
-        std::max(DeepestLevel(), ProjectedDepth(TotalEntries()));
-    std::shared_ptr<Run> merged =
-        MergeRuns(store_, inputs, FilterBitsForLevel(level, depth), drop);
-    if (merged != nullptr) {
-      Stamp(merged);
-      AddRunToLevel(std::move(merged), level);
+    if (!s.ok()) {
+      levels_[level - 1] = std::move(inputs);
+      return s;
     }
-    PublishManifestIfDurable();
-    return true;
+    // A manifest failure here is NOT rolled back: the in-memory tree is
+    // consistent and merely ahead of the (still valid) old manifest; the
+    // next successful checkpoint catches up. Deferred segment deletes
+    // purge only after a successful publish, so the old manifest's
+    // segments remain on disk.
+    ENDURE_RETURN_IF_ERROR(PublishManifestIfDurable());
+    *did_work = true;
+    return Status::OK();
   }
   migration_pending_ = false;
   // Persist the cleared flag so a reopen does not re-scan a conforming
   // tree (reached once per migration, not per maintenance poll).
-  PublishManifestIfDurable();
-  return false;
+  return PublishManifestIfDurable();
 }
 
 MigrationProgress LsmTree::Progress() const {
@@ -586,24 +709,24 @@ void LsmTree::StageWalRecord(const Entry& e) {
   ++stats_->wal_records;
 }
 
-void LsmTree::CommitWal() {
-  if (wal_ == nullptr) return;
+Status LsmTree::CommitWal() {
+  if (wal_ == nullptr) return Status::OK();
   const uint64_t before = wal_->bytes_committed();
   const Status s = wal_->Commit();
-  ENDURE_CHECK_MSG(s.ok(), "WAL commit failed");
+  // Count even a torn commit's bytes (Commit accounts what reached the
+  // file before failing).
   stats_->wal_bytes += wal_->bytes_committed() - before;
+  return s;
 }
 
-void LsmTree::CheckpointIfDurable() {
-  if (durable_dir_.empty()) return;
-  const Status s = Checkpoint();
-  ENDURE_CHECK_MSG(s.ok(), s.ToString().c_str());
+Status LsmTree::CheckpointIfDurable() {
+  if (durable_dir_.empty()) return Status::OK();
+  return Checkpoint();
 }
 
-void LsmTree::PublishManifestIfDurable() {
-  if (durable_dir_.empty()) return;
-  const Status s = PublishManifest();
-  ENDURE_CHECK_MSG(s.ok(), s.ToString().c_str());
+Status LsmTree::PublishManifestIfDurable() {
+  if (durable_dir_.empty()) return Status::OK();
+  return PublishManifest();
 }
 
 Status LsmTree::PublishManifest() {
@@ -661,8 +784,10 @@ Status LsmTree::RecoverFrom(const ManifestData& m) {
     for (const ManifestRun& meta : m.levels[i]) {
       ENDURE_RETURN_IF_ERROR(
           file_store_->AdoptSegment(meta.segment, meta.num_entries));
-      levels_[i].push_back(
-          RebuildRun(store_, meta, opts_.entries_per_page));
+      StatusOr<std::shared_ptr<Run>> run_or =
+          RebuildRun(store_, meta, opts_.entries_per_page);
+      ENDURE_RETURN_IF_ERROR(run_or.status());
+      levels_[i].push_back(std::move(*run_or));
     }
   }
   // Segment files the manifest does not reference are leftovers of a
@@ -671,11 +796,11 @@ Status LsmTree::RecoverFrom(const ManifestData& m) {
   return file_store_->RemoveUnreferencedSegments();
 }
 
-void LsmTree::ReplayEntry(const Entry& e) {
+Status LsmTree::ReplayEntry(const Entry& e) {
   // The write path minus operation counting and logging: replayed
   // entries are not new operations, and the WAL is not attached yet.
   active_->Upsert(e);
-  MaintainAfterWrite();
+  return MaintainAfterWrite();
 }
 
 StatusOr<uint64_t> LsmTree::ReplayWal(const std::string& wal_path) {
@@ -693,7 +818,7 @@ StatusOr<uint64_t> LsmTree::ReplayWal(const std::string& wal_path) {
       continue;
     }
     const Entry e = DecodeEntry(payload.data());
-    ReplayEntry(e);
+    ENDURE_RETURN_IF_ERROR(ReplayEntry(e));
     max_seq = std::max(max_seq, e.seq);
     ++replayed;
   }
@@ -753,15 +878,26 @@ Status LsmTree::Checkpoint() {
         snap->Append(kWalEntryRecord, buf, kEncodedEntryBytes);
       }
     }
-    ENDURE_RETURN_IF_ERROR(snap->Commit());
+    Status snap_status = snap->Commit();
     // Always synced, whatever the running mode: the rename below must
     // never replace a durable log with a less-durable one. Explicit so
     // the error surfaces; Abandon() then stops the destructor from
     // repeating the (already clean) flush+fsync.
-    ENDURE_RETURN_IF_ERROR(snap->Sync());
+    if (snap_status.ok()) snap_status = snap->Sync();
     snap->Abandon();
+    if (!snap_status.ok()) {
+      (void)RemoveFile(tmp);  // don't strand the partial snapshot
+      return snap_status;
+    }
+  }
+  if (const FaultOutcome f = CheckFault(FaultSite::kFileRename);
+      f.err != 0) {
+    (void)RemoveFile(tmp);
+    return Status::IOError("rename " + tmp + " -> " + wal_path +
+                           " failed (injected)");
   }
   if (std::rename(tmp.c_str(), wal_path.c_str()) != 0) {
+    (void)RemoveFile(tmp);
     return Status::IOError("rename " + tmp + " -> " + wal_path);
   }
   ENDURE_RETURN_IF_ERROR(SyncDir(durable_dir_));

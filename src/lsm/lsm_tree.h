@@ -83,17 +83,22 @@ class LsmTree {
   LsmTree(const Options& options, PageStore* store, Statistics* stats);
   ENDURE_DISALLOW_COPY_AND_ASSIGN(LsmTree);
 
-  /// Inserts or updates a key.
-  void Put(Key key, Value value);
+  /// Inserts or updates a key. Non-OK means the write was NOT
+  /// acknowledged (it may or may not have reached the memtable — exactly
+  /// the guarantee a crash gives); an I/O failure on the inline
+  /// flush/WAL path also latches the tree read-only (see Health()).
+  Status Put(Key key, Value value);
 
   /// Inserts or updates several keys with one WAL group commit: all
   /// records are staged and hit the log in a single write (and, under
   /// WalSyncMode::kPerBatch, a single fsync) — the amortization
   /// bench/micro_wal measures. Without durability it is plain Puts.
-  void PutBatch(const std::vector<std::pair<Key, Value>>& pairs);
+  /// Non-OK means the batch was not acknowledged (a prefix may have been
+  /// applied).
+  Status PutBatch(const std::vector<std::pair<Key, Value>>& pairs);
 
-  /// Deletes a key (tombstone write).
-  void Delete(Key key);
+  /// Deletes a key (tombstone write). Error contract as Put.
+  Status Delete(Key key);
 
   /// Point lookup: memtable, then levels shallow-to-deep, runs
   /// newest-to-oldest; first match wins.
@@ -105,16 +110,33 @@ class LsmTree {
 
   /// Flushes the sealed buffer (if any) and then the active memtable, in
   /// age order. Also triggered automatically when the buffer fills and
-  /// background maintenance is off.
-  void Flush();
+  /// background maintenance is off. On failure the buffers keep their
+  /// entries (nothing is lost) and the call may simply be retried; the
+  /// tree is NOT latched, so maintenance owners decide the retry policy.
+  Status Flush();
 
   /// True when a sealed (full, immutable, not yet flushed) buffer is
   /// pending maintenance.
   bool HasSealedMemtable() const { return sealed_ != nullptr; }
 
   /// Flushes the sealed buffer into level 1 (no-op when none is pending).
-  /// ShardedDB's background jobs call this under the shard lock.
-  void FlushSealedMemtable();
+  /// ShardedDB's background jobs call this under the shard lock. Error
+  /// contract as Flush(): entries stay in the restored buffer, retryable.
+  Status FlushSealedMemtable();
+
+  /// First unrecovered background/write-path failure, or OK. Once
+  /// non-OK the tree is in read-only degraded mode: writes and
+  /// maintenance are rejected with this status, reads keep serving.
+  /// Latched by foreground write-path failures, by read-path
+  /// I/O/corruption errors, and by owners giving up on background
+  /// retries (LatchBackgroundError); cleared only by reopening.
+  Status Health() const { return background_error_; }
+
+  /// Latches `error` (first error wins; OK is ignored) and counts the
+  /// read-only transition. ShardedDB calls this when a background job
+  /// exhausts its retry budget; the tree's own write path calls it on
+  /// foreground I/O failures.
+  void LatchBackgroundError(const Status& error);
 
   /// Transitions the live tree to `new_options` without rebuilding it:
   /// - Bloom bits-per-entry and filter allocation take effect on runs
@@ -142,10 +164,12 @@ class LsmTree {
 
   /// Performs one bounded migration step: finds the shallowest
   /// non-conforming level and merges/pushes its runs into the current
-  /// geometry via the normal compaction machinery. Returns true when work
-  /// was done, false when the tree already conforms. Callers (ShardedDB
-  /// maintenance jobs, DB::ApplyTuning) loop or reschedule until false.
-  bool AdvanceMigration();
+  /// geometry via the normal compaction machinery. `*did_work` is set
+  /// true when a step ran, false when the tree already conforms; callers
+  /// (ShardedDB maintenance jobs, DB::ApplyTuning) loop or reschedule
+  /// until it stays false. On failure the level keeps its runs (the step
+  /// simply did not happen) and the call is retryable.
+  Status AdvanceMigration(bool* did_work);
 
   /// Epoch/shape progress of the latest reconfiguration.
   MigrationProgress Progress() const;
@@ -156,8 +180,9 @@ class LsmTree {
   /// Builds a settled tree from `sorted_entries` (strictly ascending keys),
   /// filling levels bottom-up to capacity and stride-partitioning keys so
   /// every run spans the key domain (steady-state shape). Must be called on
-  /// an empty tree.
-  void BulkLoad(const std::vector<Entry>& sorted_entries);
+  /// an empty tree. On failure the tree stays empty (every partial run is
+  /// abandoned) and the load may be retried.
+  Status BulkLoad(const std::vector<Entry>& sorted_entries);
 
   /// Deepest level with any run (0 when the tree is empty).
   int DeepestLevel() const;
@@ -223,37 +248,41 @@ class LsmTree {
   void CrashForTesting();
 
  private:
-  void Write(const Entry& e);
+  Status Write(const Entry& e);
   /// Post-insert maintenance: seals (background mode) or flushes a full
   /// buffer — shared by the write path and WAL replay.
-  void MaintainAfterWrite();
+  Status MaintainAfterWrite();
   /// Detaches and flushes the sealed buffer (which must exist), without
   /// checkpointing — shared by FlushSealedMemtable and Flush so the
-  /// detach-before-flush protocol lives in one place.
-  void FlushSealedInternal();
+  /// detach-before-flush protocol lives in one place. On failure the
+  /// buffer is reinstalled as sealed_ (no entry is lost).
+  Status FlushSealedInternal();
   /// Appends one entry record to the WAL (no commit — callers group).
   void StageWalRecord(const Entry& e);
   /// Commits staged WAL records (one write; fsync under kPerBatch).
-  void CommitWal();
+  Status CommitWal();
   /// Replays one WAL entry through the write path, without logging.
-  void ReplayEntry(const Entry& e);
+  Status ReplayEntry(const Entry& e);
   /// Publishes the manifest and purges deferred segment deletes — the
   /// cheap half of Checkpoint(), sufficient when the memtables did not
   /// change (migration steps, tuning-only reconfigures): the resident
   /// WAL stays exactly right, so no rewrite and no extra fsyncs.
   Status PublishManifest();
-  /// Checkpoint()/PublishManifest() when durable, no-op otherwise
-  /// (aborts on I/O errors: a durability failure must not be silently
-  /// swallowed mid-write).
-  void CheckpointIfDurable();
-  void PublishManifestIfDurable();
+  /// Checkpoint()/PublishManifest() when durable, no-op otherwise.
+  Status CheckpointIfDurable();
+  Status PublishManifestIfDurable();
   /// Moves the full active buffer into the sealed slot (which must be
   /// empty) and installs a fresh active buffer.
   void SealMemtable();
-  /// Streams `buffer` out as a level-1 run and cascades compactions.
-  void FlushBuffer(const MemTable& buffer);
-  /// Flush + policy cascade entry point.
-  void AddRunToLevel(std::shared_ptr<Run> run, int level);
+  /// Streams `buffer` out as a level-1 run and cascades compactions. On
+  /// failure nothing new is resident (the caller still owns the buffer's
+  /// entries).
+  Status FlushBuffer(const MemTable& buffer);
+  /// Flush + policy cascade entry point. Failure contract: the incoming
+  /// run is NOT resident anywhere (the caller still owns its entries via
+  /// whatever produced it), this level and deeper keep the runs they had
+  /// — so every caller can restore its source and retry.
+  Status AddRunToLevel(std::shared_ptr<Run> run, int level);
   /// Bloom budget for a run landing on `level`, given the current tree
   /// depth (re-derived from the Monkey allocation each time).
   double FilterBitsForLevel(int level, int projected_depth) const;
@@ -289,6 +318,8 @@ class LsmTree {
   uint64_t tuning_epoch_ = 0;  ///< bumped by Reconfigure; stamps new runs
   /// Maybe-work flag for MigrationPending() (see its contract).
   bool migration_pending_ = false;
+  /// Read-only degraded-mode latch (see Health()).
+  Status background_error_;
   /// levels_[i] holds level i+1; runs ordered newest first.
   std::vector<std::vector<std::shared_ptr<Run>>> levels_;
 };

@@ -150,8 +150,9 @@ StatusOr<ManifestData> ReadManifest(const std::string& path) {
   return m;
 }
 
-std::shared_ptr<Run> RebuildRun(PageStore* store, const ManifestRun& meta,
-                                uint64_t entries_per_page) {
+StatusOr<std::shared_ptr<Run>> RebuildRun(PageStore* store,
+                                          const ManifestRun& meta,
+                                          uint64_t entries_per_page) {
   const size_t num_pages =
       (meta.num_entries + entries_per_page - 1) / entries_per_page;
   auto bloom = std::make_unique<BloomFilter>(meta.num_entries,
@@ -161,12 +162,17 @@ std::shared_ptr<Run> RebuildRun(PageStore* store, const ManifestRun& meta,
   Key last_key = 0;
   PageBuffer scratch(entries_per_page);
   for (size_t page = 0; page < num_pages; ++page) {
-    const PageView view =
+    const StatusOr<PageView> view =
         store->ReadPageView(meta.segment, page, IoContext::kRecovery,
                             &scratch);
-    ENDURE_CHECK_MSG(view.size > 0, "empty page in recovered segment");
-    first_keys.push_back(view[0].key);
-    for (const Entry& e : view) {
+    ENDURE_RETURN_IF_ERROR(view.status());
+    if (view->size == 0) {
+      return Status::Corruption("empty page " + std::to_string(page) +
+                                " in recovered segment " +
+                                std::to_string(meta.segment));
+    }
+    first_keys.push_back((*view)[0].key);
+    for (const Entry& e : *view) {
       bloom->Add(e.key);
       last_key = e.key;
     }

@@ -99,9 +99,13 @@ StatusOr<ManifestData> ReadManifest(const std::string& path);
 /// under IoContext::kRecovery, reconstructing the Bloom filter at the
 /// recorded budget and the fence pointers from page first-keys. The
 /// rebuilt run is byte-identical in behaviour to the pre-crash one (the
-/// filter is deterministic in the key set and budget).
-std::shared_ptr<Run> RebuildRun(PageStore* store, const ManifestRun& meta,
-                                uint64_t entries_per_page);
+/// filter is deterministic in the key set and budget). Reading every page
+/// doubles as the recovery scrub: with FilePageStore's scrub_on_recovery
+/// set, a damaged page surfaces here as Corruption and the open fails
+/// instead of serving bad data.
+StatusOr<std::shared_ptr<Run>> RebuildRun(PageStore* store,
+                                          const ManifestRun& meta,
+                                          uint64_t entries_per_page);
 
 }  // namespace endure::lsm
 

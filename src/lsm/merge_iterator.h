@@ -36,6 +36,11 @@ class StreamAdapter final : public EntryStream {
   const Entry& entry() const override { return iter_.entry(); }
   void Next() override { iter_.Next(); }
 
+  /// The wrapped iterator — lets callers reach status/diagnostics an
+  /// iterator exposes beyond the EntryStream surface (a run iterator that
+  /// hit an I/O error looks exhausted; the merge's consumer must check).
+  const Iter& iter() const { return iter_; }
+
  private:
   Iter iter_;
 };

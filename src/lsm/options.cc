@@ -34,6 +34,14 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "recovery_threads must be in [0, 4096] (0 = auto)");
   }
+  if (background_max_retries < 0 || background_max_retries > 1000) {
+    return Status::InvalidArgument(
+        "background_max_retries must be in [0, 1000]");
+  }
+  if (background_retry_base_ms < 1 || background_retry_base_ms > 10000) {
+    return Status::InvalidArgument(
+        "background_retry_base_ms must be in [1, 10000]");
+  }
   return Status::OK();
 }
 

@@ -125,6 +125,27 @@ struct Options {
   /// past the interval.
   bool shared_wal_flusher = true;
 
+  /// Verify the per-page CRC on every segment page read (file backend;
+  /// the footer is always written regardless). Catches bit-rot and torn
+  /// pages at the cost of one CRC pass per page read. Immutable at open.
+  bool verify_checksums = true;
+
+  /// Verify page CRCs while rebuilding runs at recovery even when
+  /// verify_checksums is off — a one-time scrub of every referenced page,
+  /// failing the open with Corruption instead of serving damaged data.
+  /// Immutable at open.
+  bool scrub_on_recovery = true;
+
+  /// Background maintenance (flush/compaction/migration) retries a failed
+  /// job this many times with exponential backoff before declaring the
+  /// fault permanent and latching the tree read-only (see DB::Health and
+  /// docs/operations.md). 0 latches on the first failure.
+  int background_max_retries = 4;
+
+  /// First retry backoff in milliseconds (doubles per attempt, capped at
+  /// 100ms), >= 1.
+  int background_retry_base_ms = 1;
+
   /// OK iff every knob is in range.
   Status Validate() const;
 };

@@ -2,6 +2,8 @@
 
 #include "lsm/options.h"
 #include "util/env.h"
+#include "util/fault_injection.h"
+#include "util/wal.h"
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -9,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <type_traits>
@@ -20,25 +23,27 @@ static_assert(std::is_trivially_copyable_v<Entry>,
 
 // ----------------------------------------------------------- base helpers --
 
-void PageStore::ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
-                         PageBuffer* out) const {
-  const PageView view = ReadPageView(segment, page_idx, ctx, out);
-  if (view.data != out->data()) {  // zero-copy backend: materialize
+Status PageStore::ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
+                           PageBuffer* out) const {
+  StatusOr<PageView> view = ReadPageView(segment, page_idx, ctx, out);
+  ENDURE_RETURN_IF_ERROR(view.status());
+  if (view->data != out->data()) {  // zero-copy backend: materialize
     out->Reserve(entries_per_page_);
-    std::memcpy(out->data(), view.data, view.size * sizeof(Entry));
+    std::memcpy(out->data(), view->data, view->size * sizeof(Entry));
   }
-  out->set_size(view.size);
+  out->set_size(view->size);
+  return Status::OK();
 }
 
-SegmentId PageStore::WriteSegment(const std::vector<Entry>& entries,
-                                  IoContext ctx) {
+StatusOr<SegmentId> PageStore::WriteSegment(const std::vector<Entry>& entries,
+                                            IoContext ctx) {
   ENDURE_CHECK_MSG(!entries.empty(), "cannot write an empty segment");
   std::unique_ptr<SegmentWriter> writer = NewSegmentWriter(ctx);
   for (size_t begin = 0; begin < entries.size();
        begin += entries_per_page_) {
     const size_t count =
         std::min<size_t>(entries_per_page_, entries.size() - begin);
-    writer->AppendPage(entries.data() + begin, count);
+    ENDURE_RETURN_IF_ERROR(writer->AppendPage(entries.data() + begin, count));
   }
   return writer->Seal();
 }
@@ -54,7 +59,7 @@ class MemPageStore::Writer final : public PageStore::SegmentWriter {
     if (!sealed_) store_->FreeSegment(id_);  // abandon
   }
 
-  void AppendPage(const Entry* entries, size_t count) override {
+  Status AppendPage(const Entry* entries, size_t count) override {
     ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
     ENDURE_CHECK_MSG(count >= 1 && count <= store_->entries_per_page_,
                      "bad page entry count");
@@ -64,9 +69,10 @@ class MemPageStore::Writer final : public PageStore::SegmentWriter {
     std::vector<Entry>& data = *store_->slots_[SlotIndex(id_)].data;
     data.insert(data.end(), entries, entries + count);
     store_->stats_->OnPageWrite(ctx_, 1);
+    return Status::OK();
   }
 
-  SegmentId Seal() override {
+  StatusOr<SegmentId> Seal() override {
     ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
     ENDURE_CHECK_MSG(!store_->slots_[SlotIndex(id_)].data->empty(),
                      "cannot seal an empty segment");
@@ -109,9 +115,9 @@ const std::vector<Entry>* MemPageStore::SlotData(SegmentId segment) const {
   return slot.data.get();
 }
 
-PageView MemPageStore::ReadPageView(SegmentId segment, size_t page_idx,
-                                    IoContext ctx,
-                                    PageBuffer* /*scratch*/) const {
+StatusOr<PageView> MemPageStore::ReadPageView(SegmentId segment,
+                                              size_t page_idx, IoContext ctx,
+                                              PageBuffer* /*scratch*/) const {
   const std::vector<Entry>& data = *SlotData(segment);
   const size_t begin = page_idx * entries_per_page_;
   ENDURE_CHECK_MSG(begin < data.size(), "page index out of range");
@@ -151,72 +157,155 @@ constexpr size_t kPageAlign = 4096;
 // entry.h — the same layout WAL records and recovery use.
 
 /// Page-aligned allocation (pread/pwrite buffers; alignment also keeps the
-/// door open for O_DIRECT).
+/// door open for O_DIRECT). Returns null on allocation failure (including
+/// an injected one) — callers surface an IOError naming the size rather
+/// than aborting.
 std::unique_ptr<char, void (*)(void*)> AlignedPage(size_t bytes) {
   const size_t rounded = (bytes + kPageAlign - 1) / kPageAlign * kPageAlign;
+  if (CheckFault(FaultSite::kAlloc).fires()) {
+    return {nullptr, &std::free};
+  }
   void* p = std::aligned_alloc(kPageAlign, rounded);
-  ENDURE_CHECK_MSG(p != nullptr, "aligned_alloc failed");
   return {static_cast<char*>(p), &std::free};
+}
+
+Status AllocFailed(size_t bytes) {
+  return Status::IOError("aligned_alloc of " + std::to_string(bytes) +
+                         " bytes failed");
+}
+
+std::string ErrnoName(int err) {
+  return std::string(std::strerror(err)) + " (errno " +
+         std::to_string(err) + ")";
 }
 
 }  // namespace
 
 class FilePageStore::Writer final : public PageStore::SegmentWriter {
  public:
-  Writer(FilePageStore* store, SegmentId id, int fd, IoContext ctx)
+  Writer(FilePageStore* store, SegmentId id, std::string path, IoContext ctx)
       : store_(store),
         id_(id),
-        fd_(fd),
+        path_(std::move(path)),
         ctx_(ctx),
-        scratch_(AlignedPage(store->PageBytes())) {}
+        scratch_(nullptr, &std::free) {}
 
   ~Writer() override {
     if (!sealed_) {  // abandon: release the half-written file
-      ::close(fd_);
-      ::unlink(store_->PathFor(id_).c_str());
+      if (fd_ >= 0) ::close(fd_);
+      if (created_) ::unlink(path_.c_str());
     }
   }
 
-  void AppendPage(const Entry* entries, size_t count) override {
+  Status AppendPage(const Entry* entries, size_t count) override {
     ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
     ENDURE_CHECK_MSG(count >= 1 && count <= store_->entries_per_page_,
                      "bad page entry count");
     ENDURE_CHECK_MSG(!partial_appended_,
                      "only the final page may be partial");
+    ENDURE_RETURN_IF_ERROR(EnsureReady());
     partial_appended_ = count < store_->entries_per_page_;
+
     const size_t page_bytes = store_->PageBytes();
-    std::memset(scratch_.get(), 0, page_bytes);
+    const size_t disk_bytes = store_->PageDiskBytes();
+    std::memset(scratch_.get(), 0, disk_bytes);
     for (size_t i = 0; i < count; ++i) {
       EncodeEntry(entries[i], scratch_.get() + i * kEntryBytes);
     }
-    const ssize_t written =
-        ::pwrite(fd_, scratch_.get(), page_bytes,
-                 static_cast<off_t>(num_pages_ * page_bytes));
-    ENDURE_CHECK_MSG(written == static_cast<ssize_t>(page_bytes),
-                     "short segment write");
+    // Integrity footer: entry count, then CRC over payload + count.
+    const uint32_t count32 = static_cast<uint32_t>(count);
+    std::memcpy(scratch_.get() + page_bytes, &count32, sizeof(count32));
+    const uint32_t crc = Crc32(scratch_.get(), page_bytes + sizeof(count32));
+    std::memcpy(scratch_.get() + page_bytes + sizeof(count32), &crc,
+                sizeof(crc));
+
+    const FaultOutcome fault = CheckFault(FaultSite::kSegmentWrite);
+    if (fault.corrupt) {
+      // Bit-rot between the CPU and the platter: the CRC above no longer
+      // matches what lands on disk.
+      scratch_.get()[count / 2] ^= 0x20;
+    }
+    // An injected torn write puts half the page on disk; an injected
+    // plain error performs no I/O at all.
+    size_t write_bytes = fault.short_io ? disk_bytes / 2 : disk_bytes;
+    if (fault.err != 0 && !fault.short_io) write_bytes = 0;
+    ssize_t written = 0;
+    if (write_bytes > 0) {
+      written = ::pwrite(fd_, scratch_.get(), write_bytes,
+                         static_cast<off_t>(num_pages_ * disk_bytes));
+      if (written < 0) {
+        return Status::IOError("segment write to " + path_ + " failed: " +
+                               ErrnoName(errno));
+      }
+    }
+    if (fault.err != 0) {
+      return Status::IOError("segment write to " + path_ + " failed: " +
+                             ErrnoName(fault.err) + " [injected]");
+    }
+    if (static_cast<size_t>(written) < write_bytes) {
+      return Status::IOError("short segment write to " + path_);
+    }
+    // An injected silent tear (short_io, no errno) falls through as
+    // success — only the checksum can catch it later.
     ++num_pages_;
     num_entries_ += count;
     store_->stats_->OnPageWrite(ctx_, 1);
+    return Status::OK();
   }
 
-  SegmentId Seal() override {
+  StatusOr<SegmentId> Seal() override {
     ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
     ENDURE_CHECK_MSG(num_pages_ > 0, "cannot seal an empty segment");
-    sealed_ = true;
     // Persistent segments must be on the device before the manifest may
     // reference them; ephemeral stores skip the fsync (the experiments'
-    // hot path).
+    // hot path). A failed fsync leaves the writer unsealed: dropping it
+    // abandons the segment, so a never-synced file is never registered.
     if (store_->persistent_) {
-      ENDURE_CHECK_MSG(::fsync(fd_) == 0, "segment fsync failed");
+      const FaultOutcome fault = CheckFault(FaultSite::kSegmentFsync);
+      if (fault.err != 0) {
+        return Status::IOError("segment fsync of " + path_ + " failed: " +
+                               ErrnoName(fault.err) + " [injected]");
+      }
+      if (::fsync(fd_) != 0) {
+        return Status::IOError("segment fsync of " + path_ + " failed: " +
+                               ErrnoName(errno));
+      }
     }
+    sealed_ = true;
     store_->segments_.emplace(id_, SegmentMeta{fd_, num_entries_});
     return id_;
   }
 
  private:
+  /// Lazily creates the file and the page buffer — so constructing a
+  /// writer really performs no fallible work, and both failure modes
+  /// surface from AppendPage as Status.
+  Status EnsureReady() {
+    if (fd_ < 0) {
+      const FaultOutcome fault = CheckFault(FaultSite::kSegmentOpen);
+      if (fault.err != 0) {
+        return Status::IOError("failed to create segment file " + path_ +
+                               ": " + ErrnoName(fault.err) + " [injected]");
+      }
+      fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+      if (fd_ < 0) {
+        return Status::IOError("failed to create segment file " + path_ +
+                               ": " + ErrnoName(errno));
+      }
+      created_ = true;
+    }
+    if (scratch_ == nullptr) {
+      scratch_ = AlignedPage(store_->PageDiskBytes());
+      if (scratch_ == nullptr) return AllocFailed(store_->PageDiskBytes());
+    }
+    return Status::OK();
+  }
+
   FilePageStore* store_;
   SegmentId id_;
-  int fd_;
+  std::string path_;
+  int fd_ = -1;
+  bool created_ = false;
   IoContext ctx_;
   std::unique_ptr<char, void (*)(void*)> scratch_;
   size_t num_pages_ = 0;
@@ -230,7 +319,7 @@ FilePageStore::FilePageStore(uint64_t entries_per_page, Statistics* stats,
     : PageStore(entries_per_page, stats),
       dir_(std::move(dir)),
       persistent_(persistent),
-      read_scratch_(AlignedPage(PageBytes())) {
+      read_scratch_(nullptr, &std::free) {
   ENDURE_CHECK_MSG(!dir_.empty(), "empty storage dir");
   ::mkdir(dir_.c_str(), 0755);  // best effort; open() below will verify
   if (persistent_) return;  // stable names; the store owns the directory
@@ -259,15 +348,12 @@ std::string FilePageStore::PathFor(SegmentId id) const {
 std::unique_ptr<PageStore::SegmentWriter> FilePageStore::NewSegmentWriter(
     IoContext ctx) {
   const SegmentId id = next_id_++;
-  const std::string path = PathFor(id);
-  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
-  ENDURE_CHECK_MSG(fd >= 0, "failed to create segment file");
-  return std::make_unique<Writer>(this, id, fd, ctx);
+  return std::make_unique<Writer>(this, id, PathFor(id), ctx);
 }
 
-PageView FilePageStore::ReadPageView(SegmentId segment, size_t page_idx,
-                                     IoContext ctx,
-                                     PageBuffer* scratch) const {
+StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
+                                               size_t page_idx, IoContext ctx,
+                                               PageBuffer* scratch) const {
   auto it = segments_.find(segment);
   ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
   const SegmentMeta& meta = it->second;
@@ -277,10 +363,50 @@ PageView FilePageStore::ReadPageView(SegmentId segment, size_t page_idx,
                                         meta.num_entries - begin);
 
   const size_t page_bytes = PageBytes();
-  const ssize_t got = ::pread(meta.fd, read_scratch_.get(), page_bytes,
-                              static_cast<off_t>(page_idx * page_bytes));
-  ENDURE_CHECK_MSG(got == static_cast<ssize_t>(page_bytes),
-                   "short segment read");
+  const size_t disk_bytes = PageDiskBytes();
+  if (read_scratch_ == nullptr) {
+    read_scratch_ = AlignedPage(disk_bytes);
+    if (read_scratch_ == nullptr) return AllocFailed(disk_bytes);
+  }
+  const std::string path = PathFor(segment);
+  const FaultOutcome fault = CheckFault(FaultSite::kSegmentRead);
+  if (fault.err != 0) {
+    return Status::IOError("segment read from " + path + " failed: " +
+                           ErrnoName(fault.err) + " [injected]");
+  }
+  const ssize_t got = ::pread(meta.fd, read_scratch_.get(), disk_bytes,
+                              static_cast<off_t>(page_idx * disk_bytes));
+  if (got < 0) {
+    return Status::IOError("segment read from " + path + " failed: " +
+                           ErrnoName(errno));
+  }
+  const bool verify =
+      verify_checksums_ ||
+      (scrub_on_recovery_ && ctx == IoContext::kRecovery);
+  if (got != static_cast<ssize_t>(disk_bytes)) {
+    ++stats_->checksum_failures;
+    return Status::Corruption("truncated page " + std::to_string(page_idx) +
+                              " in " + path + " (" + std::to_string(got) +
+                              " of " + std::to_string(disk_bytes) +
+                              " bytes)");
+  }
+  if (verify) {
+    uint32_t stored_count = 0;
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_count, read_scratch_.get() + page_bytes,
+                sizeof(stored_count));
+    std::memcpy(&stored_crc,
+                read_scratch_.get() + page_bytes + sizeof(stored_count),
+                sizeof(stored_crc));
+    const uint32_t actual =
+        Crc32(read_scratch_.get(), page_bytes + sizeof(stored_count));
+    if (stored_crc != actual || stored_count != count) {
+      ++stats_->checksum_failures;
+      return Status::Corruption(
+          "checksum mismatch on page " + std::to_string(page_idx) + " of " +
+          path);
+    }
+  }
   scratch->Reserve(entries_per_page_);
   Entry* dst = scratch->data();
   for (size_t i = 0; i < count; ++i) {
@@ -324,10 +450,10 @@ Status FilePageStore::AdoptSegment(SegmentId id, size_t num_entries) {
   const size_t pages =
       (num_entries + entries_per_page_ - 1) / entries_per_page_;
   if (::fstat(fd, &st) != 0 ||
-      static_cast<size_t>(st.st_size) < pages * PageBytes()) {
+      static_cast<size_t>(st.st_size) < pages * PageDiskBytes()) {
     ::close(fd);
-    return Status::IOError("segment file " + path +
-                           " is shorter than the manifest records");
+    return Status::Corruption("segment file " + path +
+                              " is shorter than the manifest records");
   }
   segments_.emplace(id, SegmentMeta{fd, num_entries});
   set_next_id(id + 1);
@@ -382,10 +508,15 @@ size_t FilePageStore::NumEntries(SegmentId segment) const {
 std::unique_ptr<PageStore> MakePageStore(uint64_t entries_per_page,
                                          Statistics* stats, int backend,
                                          const std::string& dir,
-                                         bool persistent) {
+                                         bool persistent,
+                                         bool verify_checksums,
+                                         bool scrub_on_recovery) {
   if (backend == static_cast<int>(StorageBackend::kFile)) {
-    return std::make_unique<FilePageStore>(entries_per_page, stats, dir,
-                                           persistent);
+    auto store = std::make_unique<FilePageStore>(entries_per_page, stats,
+                                                 dir, persistent);
+    store->set_verify_checksums(verify_checksums);
+    store->set_scrub_on_recovery(scrub_on_recovery);
+    return store;
   }
   return std::make_unique<MemPageStore>(entries_per_page, stats);
 }

@@ -114,21 +114,25 @@ class PageStore {
  public:
   /// Streams one segment to the store page-at-a-time. Obtain from
   /// PageStore::NewSegmentWriter, append pages in order, then Seal.
-  /// Destroying an unsealed writer abandons the segment (its storage is
-  /// released; pages already appended stay counted — the device I/O
-  /// happened).
+  /// Destroying an unsealed writer — including after a failed append or
+  /// seal — abandons the segment (its storage is released; pages already
+  /// appended stay counted — the device I/O happened).
   class SegmentWriter {
    public:
     virtual ~SegmentWriter() = default;
 
     /// Appends one page of `count` entries (1 <= count <=
     /// entries_per_page). Every page except the final one must be full.
-    /// Counts one page write against the writer's IoContext.
-    virtual void AppendPage(const Entry* entries, size_t count) = 0;
+    /// Counts one page write against the writer's IoContext. On error
+    /// (failed create, short write, ENOSPC, ...) the segment is unusable:
+    /// drop the writer to abandon it.
+    virtual Status AppendPage(const Entry* entries, size_t count) = 0;
 
     /// Finalizes the segment (at least one page appended) and returns its
-    /// id. May be called once; no appends afterwards.
-    virtual SegmentId Seal() = 0;
+    /// id. May be called once; no appends afterwards. On error (e.g. the
+    /// durability fsync failed) the segment is NOT registered — drop the
+    /// writer to abandon it.
+    virtual StatusOr<SegmentId> Seal() = 0;
   };
 
   /// `entries_per_page` is the page capacity B; `stats` receives all I/O.
@@ -147,23 +151,26 @@ class PageStore {
 
   /// Convenience: persists `entries` (already sorted, non-empty) as a new
   /// segment through a SegmentWriter. Accounting is identical to streaming
-  /// the pages by hand.
-  SegmentId WriteSegment(const std::vector<Entry>& entries, IoContext ctx);
+  /// the pages by hand. On error the partial segment is abandoned.
+  StatusOr<SegmentId> WriteSegment(const std::vector<Entry>& entries,
+                                   IoContext ctx);
 
   /// Reads page `page_idx` of `segment`, counting one page read against
   /// `ctx`, and returns a borrowed view of its entries. Backends that hold
   /// pages in directly usable form (MemPageStore) return a pointer into
   /// the segment without copying; backends that must materialize
   /// (FilePageStore) decode into `scratch` — reserved and reused in place,
-  /// no allocation once warm — and return a view of it.
-  virtual PageView ReadPageView(SegmentId segment, size_t page_idx,
-                                IoContext ctx,
-                                PageBuffer* scratch) const = 0;
+  /// no allocation once warm — and return a view of it. Read failures and
+  /// checksum mismatches (file backend, verification enabled) surface as
+  /// IOError / Corruption.
+  virtual StatusOr<PageView> ReadPageView(SegmentId segment, size_t page_idx,
+                                          IoContext ctx,
+                                          PageBuffer* scratch) const = 0;
 
   /// Convenience over ReadPageView: reads page `page_idx` into `out`
   /// (always materialized there), counting one page read against `ctx`.
-  void ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
-                PageBuffer* out) const;
+  Status ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
+                  PageBuffer* out) const;
 
   /// Releases a segment's storage.
   virtual void FreeSegment(SegmentId segment) = 0;
@@ -194,8 +201,9 @@ class MemPageStore final : public PageStore {
       : PageStore(entries_per_page, stats) {}
 
   std::unique_ptr<SegmentWriter> NewSegmentWriter(IoContext ctx) override;
-  PageView ReadPageView(SegmentId segment, size_t page_idx, IoContext ctx,
-                        PageBuffer* scratch) const override;
+  StatusOr<PageView> ReadPageView(SegmentId segment, size_t page_idx,
+                                  IoContext ctx,
+                                  PageBuffer* scratch) const override;
   void FreeSegment(SegmentId segment) override;
   size_t NumPages(SegmentId segment) const override;
   size_t NumEntries(SegmentId segment) const override;
@@ -222,6 +230,16 @@ class MemPageStore final : public PageStore {
 /// entry encoding, page-aligned pread/pwrite through a per-store aligned
 /// scratch buffer (reads decode in place; no per-read allocation).
 ///
+/// On-disk page format: each page is PageBytes() of encoded entries
+/// (zero-padded past the valid count) followed by an 8-byte footer —
+/// a little-endian u32 entry count and a u32 CRC-32 (the WAL/manifest
+/// polynomial) over the payload plus the count. The footer is always
+/// written; verification on read is controlled by set_verify_checksums
+/// (every read) and set_scrub_on_recovery (recovery-context reads only),
+/// and a mismatch — bit-rot, a torn page, a truncated file — returns
+/// Corruption and bumps Statistics::checksum_failures instead of serving
+/// the damaged page. See docs/durability.md.
+///
 /// Two lifetimes:
 /// - Ephemeral (default): segment names carry a per-process instance tag
 ///   (several stores can share a directory) and every file is unlinked
@@ -236,14 +254,16 @@ class MemPageStore final : public PageStore {
 ///   previous process at recovery. See docs/durability.md.
 class FilePageStore final : public PageStore {
  public:
-  /// Creates `dir` if needed; aborts on unusable directories.
+  /// Creates `dir` if needed (best effort; segment creation reports the
+  /// failure if the directory is unusable).
   FilePageStore(uint64_t entries_per_page, Statistics* stats,
                 std::string dir, bool persistent = false);
   ~FilePageStore() override;
 
   std::unique_ptr<SegmentWriter> NewSegmentWriter(IoContext ctx) override;
-  PageView ReadPageView(SegmentId segment, size_t page_idx, IoContext ctx,
-                        PageBuffer* scratch) const override;
+  StatusOr<PageView> ReadPageView(SegmentId segment, size_t page_idx,
+                                  IoContext ctx,
+                                  PageBuffer* scratch) const override;
   void FreeSegment(SegmentId segment) override;
   size_t NumPages(SegmentId segment) const override;
   size_t NumEntries(SegmentId segment) const override;
@@ -251,7 +271,20 @@ class FilePageStore final : public PageStore {
   /// Bytes of one serialized entry on disk (the shared Entry encoding).
   static constexpr size_t kEntryBytes = kEncodedEntryBytes;
 
+  /// Bytes of the per-page integrity footer: u32 entry count + u32 CRC-32.
+  static constexpr size_t kPageFooterBytes = 8;
+
   bool persistent() const { return persistent_; }
+
+  /// Verify the page CRC on every read (default on). Off, reads trust the
+  /// device; the footer is still written.
+  void set_verify_checksums(bool v) { verify_checksums_ = v; }
+  bool verify_checksums() const { return verify_checksums_; }
+
+  /// Verify the page CRC on IoContext::kRecovery reads even when
+  /// verify_checksums is off — the recovery-time scrub (default on).
+  void set_scrub_on_recovery(bool v) { scrub_on_recovery_ = v; }
+  bool scrub_on_recovery() const { return scrub_on_recovery_; }
 
   /// Re-registers segment `id` (written by an earlier process) from its
   /// file, verifying the file covers `num_entries` entries. Persistent
@@ -283,26 +316,37 @@ class FilePageStore final : public PageStore {
     size_t num_entries = 0;
   };
   std::string PathFor(SegmentId id) const;
+  /// Payload bytes of one page (entries only).
   size_t PageBytes() const { return kEntryBytes * entries_per_page_; }
+  /// On-disk bytes of one page (payload + integrity footer).
+  size_t PageDiskBytes() const { return PageBytes() + kPageFooterBytes; }
 
   std::string dir_;
   bool persistent_;
+  bool verify_checksums_ = true;
+  bool scrub_on_recovery_ = true;
   std::string instance_tag_;  ///< unique per process+instance (see .cc)
   SegmentId next_id_ = 1;
   std::unordered_map<SegmentId, SegmentMeta> segments_;
   std::vector<std::string> pending_deletes_;  ///< persistent mode only
-  /// Page-aligned scratch for ReadPage, sized PageBytes(); reused across
-  /// reads (safe: access to a store is serialized by the tree's owner).
-  std::unique_ptr<char, void (*)(void*)> read_scratch_;
+  /// Page-aligned scratch for ReadPage, sized PageDiskBytes(); allocated
+  /// lazily on the first read (allocation failure surfaces as a Status,
+  /// not an abort) and reused across reads (safe: access to a store is
+  /// serialized by the tree's owner).
+  mutable std::unique_ptr<char, void (*)(void*)> read_scratch_;
 };
 
 /// Factory over Options::backend. `persistent` selects FilePageStore's
-/// durable lifetime (ignored by the memory backend).
+/// durable lifetime; `verify_checksums` / `scrub_on_recovery` configure
+/// its read-side CRC verification (all three ignored by the memory
+/// backend).
 std::unique_ptr<PageStore> MakePageStore(uint64_t entries_per_page,
                                          Statistics* stats,
                                          int backend /* StorageBackend */,
                                          const std::string& dir,
-                                         bool persistent = false);
+                                         bool persistent = false,
+                                         bool verify_checksums = true,
+                                         bool scrub_on_recovery = true);
 
 }  // namespace endure::lsm
 

@@ -74,7 +74,8 @@ Run::Run(PageStore* store, SegmentId segment,
 
 Run::~Run() { store_->FreeSegment(segment_); }
 
-const Entry* Run::Get(Key key, bool use_fence_skip) const {
+const Entry* Run::Get(Key key, bool use_fence_skip,
+                      Status* io_status) const {
   // Start pulling the filter block's cache line immediately — its address
   // depends only on the key, and the fetch overlaps the fence range check
   // and counter updates below.
@@ -96,10 +97,14 @@ const Entry* Run::Get(Key key, bool use_fence_skip) const {
     ++stats->bloom_false_positives;
     return nullptr;
   }
-  const PageView view =
+  const StatusOr<PageView> view =
       store_->ReadPageView(segment_, *page, IoContext::kPointQuery,
                            &scratch_);
-  const Entry* it = PageLowerBound(view.data, view.size, key);
+  if (!view.ok()) {
+    if (io_status != nullptr) *io_status = view.status();
+    return nullptr;
+  }
+  const Entry* it = PageLowerBound(view->data, view->size, key);
   if (it->key == key) return it;
   ++stats->bloom_false_positives;
   return nullptr;
@@ -117,7 +122,17 @@ Run::Iterator::Iterator(const Run* run, size_t start_page, size_t end_page,
 }
 
 void Run::Iterator::LoadPage(size_t page) {
-  view_ = run_->store_->ReadPageView(run_->segment_, page, ctx_, &buffer_);
+  StatusOr<PageView> view =
+      run_->store_->ReadPageView(run_->segment_, page, ctx_, &buffer_);
+  if (!view.ok()) {
+    // The iterator dies in place: it looks exhausted, and the error is
+    // held in status() for the consumer's post-drain check.
+    if (status_.ok()) status_ = view.status();
+    view_ = PageView{};
+    exhausted_ = true;
+    return;
+  }
+  view_ = *view;
   index_in_page_ = 0;
 }
 
@@ -144,7 +159,9 @@ Run::Iterator Run::NewIterator(IoContext ctx) const {
 
 void Run::BlindSeek() const {
   ++store_->stats()->range_seeks;
-  store_->ReadPageView(segment_, 0, IoContext::kRangeQuery, &scratch_);
+  // The read exists only to charge the cost model's one-seek-per-run; a
+  // failure changes no visible state, so it is deliberately dropped.
+  (void)store_->ReadPageView(segment_, 0, IoContext::kRangeQuery, &scratch_);
 }
 
 std::optional<Run::Iterator> Run::NewRangeIterator(Key lo, Key hi) const {

@@ -64,8 +64,12 @@ class Run {
   /// [min,max] without touching the filter. Reads go through the run's
   /// reusable scratch buffer — no allocation, no copy. Returns nullptr on
   /// a miss; a hit stays valid until the next Get/BlindSeek on this run or
-  /// until the run is destroyed.
-  const Entry* Get(Key key, bool use_fence_skip) const;
+  /// until the run is destroyed. A failed page read (I/O error, checksum
+  /// mismatch) also returns nullptr and, when `io_status` is non-null,
+  /// reports the failure there — callers that care about the distinction
+  /// between "absent" and "unreadable" must pass it.
+  const Entry* Get(Key key, bool use_fence_skip,
+                   Status* io_status = nullptr) const;
 
   /// Sequential reader over [start_page, end_page] (inclusive); reads one
   /// page at a time into its own reusable buffer, attributing I/O to
@@ -81,6 +85,12 @@ class Run {
     const Entry& entry() const;
     void Next();
 
+    /// OK while every page loaded cleanly. A failed page read ends the
+    /// iteration (Valid() goes false) with the error recorded here —
+    /// consumers that must distinguish "drained" from "died" (compaction,
+    /// scans) check this after the loop.
+    const Status& status() const { return status_; }
+
    private:
     void LoadPage(size_t page);
 
@@ -91,6 +101,7 @@ class Run {
     IoContext ctx_;
     PageView view_;      ///< current page (borrowed or into buffer_)
     PageBuffer buffer_;  ///< scratch for backends that materialize
+    Status status_;      ///< first page-read failure, if any
     bool exhausted_ = false;
   };
 

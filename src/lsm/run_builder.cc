@@ -10,7 +10,7 @@ RunBuilder::RunBuilder(PageStore* store, double bits_per_entry, IoContext ctx)
   ENDURE_CHECK(store != nullptr);
 }
 
-void RunBuilder::Add(const Entry& e) {
+Status RunBuilder::Add(const Entry& e) {
   ENDURE_CHECK_MSG(!finished_, "builder already finished");
   ENDURE_CHECK_MSG(num_entries_ == 0 || e.key > last_key_,
                    "run keys must be strictly ascending");
@@ -20,23 +20,27 @@ void RunBuilder::Add(const Entry& e) {
   last_key_ = e.key;
   ++num_entries_;
   key_hashes_.push_back(BloomFilter::KeyHash(e.key));
-  if (page_.size() == page_.capacity()) FlushPage();
+  if (page_.size() == page_.capacity()) return FlushPage();
+  return Status::OK();
 }
 
-void RunBuilder::FlushPage() {
-  if (page_.empty()) return;
+Status RunBuilder::FlushPage() {
+  if (page_.empty()) return Status::OK();
   if (writer_ == nullptr) writer_ = store_->NewSegmentWriter(ctx_);
-  writer_->AppendPage(page_.data(), page_.size());
+  ENDURE_RETURN_IF_ERROR(writer_->AppendPage(page_.data(), page_.size()));
   page_.set_size(0);
+  return Status::OK();
 }
 
-std::shared_ptr<Run> RunBuilder::Finish() {
+StatusOr<std::shared_ptr<Run>> RunBuilder::Finish() {
   ENDURE_CHECK_MSG(!finished_, "builder already finished");
   ENDURE_CHECK_MSG(num_entries_ > 0, "cannot build an empty run");
   finished_ = true;
 
-  FlushPage();
-  const SegmentId segment = writer_->Seal();
+  ENDURE_RETURN_IF_ERROR(FlushPage());
+  StatusOr<SegmentId> sealed = writer_->Seal();
+  ENDURE_RETURN_IF_ERROR(sealed.status());
+  const SegmentId segment = *sealed;
   writer_.reset();
 
   // The filter is sized on the exact entry count, only known now; insert
@@ -53,11 +57,13 @@ std::shared_ptr<Run> RunBuilder::Finish() {
                                bits_per_entry_);
 }
 
-std::shared_ptr<Run> BuildRun(PageStore* store,
-                              const std::vector<Entry>& sorted_entries,
-                              double bits_per_entry, IoContext ctx) {
+StatusOr<std::shared_ptr<Run>> BuildRun(
+    PageStore* store, const std::vector<Entry>& sorted_entries,
+    double bits_per_entry, IoContext ctx) {
   RunBuilder builder(store, bits_per_entry, ctx);
-  for (const Entry& e : sorted_entries) builder.Add(e);
+  for (const Entry& e : sorted_entries) {
+    ENDURE_RETURN_IF_ERROR(builder.Add(e));
+  }
   return builder.Finish();
 }
 

@@ -27,18 +27,22 @@ class RunBuilder {
   RunBuilder(PageStore* store, double bits_per_entry, IoContext ctx);
 
   /// Appends an entry; keys must be strictly ascending. Full pages are
-  /// written out immediately.
-  void Add(const Entry& e);
+  /// written out immediately — a failed page write surfaces here, after
+  /// which the builder is dead (drop it; the partial segment is
+  /// abandoned).
+  Status Add(const Entry& e);
 
   /// Number of entries added so far.
   size_t size() const { return num_entries_; }
   bool empty() const { return num_entries_ == 0; }
 
-  /// Builds the run. Requires at least one entry.
-  std::shared_ptr<Run> Finish();
+  /// Builds the run. Requires at least one entry. On error (final page
+  /// write or seal failed) the partial segment is abandoned when the
+  /// builder is destroyed.
+  StatusOr<std::shared_ptr<Run>> Finish();
 
  private:
-  void FlushPage();
+  Status FlushPage();
 
   PageStore* store_;
   double bits_per_entry_;
@@ -53,9 +57,9 @@ class RunBuilder {
 };
 
 /// Convenience: builds a run directly from sorted entries.
-std::shared_ptr<Run> BuildRun(PageStore* store,
-                              const std::vector<Entry>& sorted_entries,
-                              double bits_per_entry, IoContext ctx);
+StatusOr<std::shared_ptr<Run>> BuildRun(
+    PageStore* store, const std::vector<Entry>& sorted_entries,
+    double bits_per_entry, IoContext ctx);
 
 }  // namespace endure::lsm
 

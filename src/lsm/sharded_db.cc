@@ -1,6 +1,8 @@
 #include "lsm/sharded_db.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "lsm/manifest.h"
 #include "lsm/merge_iterator.h"
@@ -145,7 +147,12 @@ StatusOr<std::unique_ptr<ShardedDB>> ShardedDB::Open(const Options& options) {
     if (db->pool_ != nullptr) {
       db->MaybeScheduleMaintenance(shard);
     } else {
-      while (shard->tree->AdvanceMigration()) {
+      bool did_work = true;
+      while (did_work) {
+        // A failed resume step fails the open as a whole: nothing is
+        // lost (the level kept its runs) and a reopen retries from
+        // exactly here.
+        ENDURE_RETURN_IF_ERROR(shard->tree->AdvanceMigration(&did_work));
       }
     }
   }
@@ -168,7 +175,9 @@ Status ShardedDB::RecoverShard(const Options& root_opts, int index,
   shard->store = MakePageStore(shard_opts.entries_per_page, &shard->stats,
                                static_cast<int>(shard_opts.backend),
                                shard_opts.storage_dir,
-                               /*persistent=*/true);
+                               /*persistent=*/true,
+                               shard_opts.verify_checksums,
+                               shard_opts.scrub_on_recovery);
   shard->tree = std::make_unique<LsmTree>(shard_opts, shard->store.get(),
                                           &shard->stats);
   ENDURE_RETURN_IF_ERROR(RecoverAndAttach(shard->tree.get(), m,
@@ -189,6 +198,7 @@ size_t ShardedDB::ShardForKey(Key key) const {
 
 void ShardedDB::MaybeScheduleMaintenance(Shard* shard) {
   if (pool_ == nullptr || shard->maintenance_scheduled ||
+      !shard->tree->Health().ok() ||
       (!shard->tree->HasSealedMemtable() &&
        !shard->tree->MigrationPending())) {
     return;
@@ -196,7 +206,15 @@ void ShardedDB::MaybeScheduleMaintenance(Shard* shard) {
   shard->maintenance_scheduled = true;
   // TrySubmit: a job that outlives the last foreground op can race pool
   // shutdown; dropping it is fine (the whole DB is being torn down).
-  const bool queued = pool_->TrySubmit([this, shard] {
+  const bool queued =
+      pool_->TrySubmit([this, shard] { RunMaintenance(shard); });
+  if (!queued) shard->maintenance_scheduled = false;
+}
+
+void ShardedDB::RunMaintenance(Shard* shard) {
+  int failures = 0;
+  int base_ms = 1;
+  {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->maintenance_scheduled = false;
     // One unit of work per job, then yield and reschedule: either a
@@ -207,41 +225,79 @@ void ShardedDB::MaybeScheduleMaintenance(Shard* shard) {
     // flush keeps each hold bounded and lets foreground ops interleave.
     // The sealed buffer stays readable (and Write's backpressure still
     // bounds it to one) until its turn comes.
-    if (!shard->tree->AdvanceMigration()) {
-      shard->tree->FlushSealedMemtable();
+    bool did_work = false;
+    Status s = shard->tree->AdvanceMigration(&did_work);
+    if (s.ok() && !did_work) {
+      s = shard->tree->FlushSealedMemtable();
     }
-    MaybeScheduleMaintenance(shard);
-  });
+    if (s.ok()) {
+      shard->maintenance_failures = 0;
+      MaybeScheduleMaintenance(shard);
+      return;
+    }
+    // Transient-until-proven-permanent: the failed step left the tree
+    // consistent and retryable (flush restored its buffer, migration
+    // its level), so count the failure and back off. Retry knobs come
+    // from the tree's own options — reading options_ here would invert
+    // the options_mu_ → shard->mu lock order.
+    ++shard->stats.io_retries;
+    failures = ++shard->maintenance_failures;
+    base_ms = shard->tree->options().background_retry_base_ms;
+    if (failures > shard->tree->options().background_max_retries) {
+      // Retry budget exhausted: declare the fault permanent and latch
+      // the shard read-only. No reschedule — the pending work stays
+      // resident (and durable state valid) for a reopen to retry.
+      shard->tree->LatchBackgroundError(s);
+      return;
+    }
+  }
+  // Exponential backoff outside the shard lock (foreground ops keep
+  // flowing), then requeue the retry.
+  const int delay_ms =
+      std::min(base_ms << std::min(failures - 1, 7), 100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  std::lock_guard<std::mutex> lock(shard->mu);
+  if (shard->maintenance_scheduled || !shard->tree->Health().ok()) return;
+  shard->maintenance_scheduled = true;
+  const bool queued =
+      pool_->TrySubmit([this, shard] { RunMaintenance(shard); });
   if (!queued) shard->maintenance_scheduled = false;
 }
 
-void ShardedDB::Put(Key key, Value value) {
+Status ShardedDB::Put(Key key, Value value) {
   Shard* shard = shards_[ShardForKey(key)].get();
   std::lock_guard<std::mutex> lock(shard->mu);
-  shard->tree->Put(key, value);
+  const Status s = shard->tree->Put(key, value);
   MaybeScheduleMaintenance(shard);
+  return s;
 }
 
-void ShardedDB::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
+Status ShardedDB::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
   // Partition once, then one group commit per touched shard.
   std::vector<std::vector<std::pair<Key, Value>>> parts(shards_.size());
   for (const auto& pair : pairs) {
     parts[ShardForKey(pair.first)].push_back(pair);
   }
+  Status first_error;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (parts[s].empty()) continue;
     Shard* shard = shards_[s].get();
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->tree->PutBatch(parts[s]);
+    // Keep going on error — the batch is documented as non-atomic across
+    // shards, and one latched shard must not starve the healthy ones.
+    const Status st = shard->tree->PutBatch(parts[s]);
+    if (!st.ok() && first_error.ok()) first_error = st;
     MaybeScheduleMaintenance(shard);
   }
+  return first_error;
 }
 
-void ShardedDB::Delete(Key key) {
+Status ShardedDB::Delete(Key key) {
   Shard* shard = shards_[ShardForKey(key)].get();
   std::lock_guard<std::mutex> lock(shard->mu);
-  shard->tree->Delete(key);
+  const Status s = shard->tree->Delete(key);
   MaybeScheduleMaintenance(shard);
+  return s;
 }
 
 std::optional<Value> ShardedDB::Get(Key key) {
@@ -276,12 +332,28 @@ std::vector<Entry> ShardedDB::Scan(Key lo, Key hi) {
   return DrainMerge(&merge, /*drop_tombstones=*/true);
 }
 
-void ShardedDB::Flush() {
+Status ShardedDB::Flush() {
+  Status first_error;
   for (auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->tree->Flush();
+    const Status s = shard->tree->Flush();
+    if (!s.ok() && first_error.ok()) first_error = s;
   }
+  return first_error;
+}
+
+Status ShardedDB::Health() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const Status s = shard->tree->Health();
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "shard " + std::to_string(i) + ": " + s.message());
+    }
+  }
+  return Status::OK();
 }
 
 void ShardedDB::WaitForMaintenance() {
@@ -314,7 +386,9 @@ Status ShardedDB::BulkLoad(
       return Status::FailedPrecondition(
           "BulkLoad raced a concurrent write; shard no longer empty");
     }
-    shard->tree->BulkLoad(parts[s]);
+    // A failed shard load stays empty (all-or-nothing per shard); the
+    // caller may retry the whole load after clearing the loaded shards.
+    ENDURE_RETURN_IF_ERROR(shard->tree->BulkLoad(parts[s]));
   }
   return Status::OK();
 }
@@ -377,16 +451,36 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
     }
     std::lock_guard<std::mutex> lock(shard->mu);
     // Cheap under the lock: Reconfigure retargets the buffer and bumps
-    // the epoch; the structural migration runs in background steps.
+    // the epoch; the structural migration runs in background steps. A
+    // failure here (an I/O error flushing/persisting, or a latched
+    // shard) leaves the deployment at mixed tunings — shards before
+    // this one run the new tuning, this one and later keep the old —
+    // which is exactly the documented crash-mid-ApplyTuning state:
+    // every shard is individually consistent, and the next ApplyTuning
+    // (or a reopen) re-levels the deployment. options_ keeps the old
+    // tuning so a retry revalidates and republishes from scratch.
     const Status s = shard->tree->Reconfigure(shard_next);
-    ENDURE_CHECK_MSG(s.ok(), "per-shard Reconfigure failed after "
-                             "ApplyTuning validated the options");
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "ApplyTuning failed at shard " + std::to_string(i) +
+                        " of " + std::to_string(shards_.size()) +
+                        " (earlier shards run the new tuning; retry "
+                        "re-levels): " + s.message());
+    }
     if (pool_ != nullptr) {
       MaybeScheduleMaintenance(shard);
     } else {
       // Foreground mode: converge this shard's structure inline (the
       // caller opted out of background work entirely).
-      while (shard->tree->AdvanceMigration()) {
+      bool did_work = true;
+      while (did_work) {
+        const Status ms = shard->tree->AdvanceMigration(&did_work);
+        if (!ms.ok()) {
+          return Status(ms.code(),
+                        "ApplyTuning migration failed at shard " +
+                            std::to_string(i) + " (state remains "
+                            "consistent; retry resumes): " + ms.message());
+        }
       }
     }
   }

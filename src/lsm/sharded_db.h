@@ -57,17 +57,21 @@ class ShardedDB {
 
   ENDURE_DISALLOW_COPY_AND_ASSIGN(ShardedDB);
 
-  /// Inserts or updates a key. Acknowledged writes are immediately
-  /// visible to Get/Scan (linearized by the shard mutex).
-  void Put(Key key, Value value);
+  /// Inserts or updates a key. Acknowledged (OK) writes are immediately
+  /// visible to Get/Scan (linearized by the shard mutex). Non-OK means
+  /// the write was not acknowledged — typically the owning shard is in
+  /// read-only degraded mode (see Health()).
+  Status Put(Key key, Value value);
 
   /// Inserts or updates several keys, group-committing each shard's
   /// subset to its WAL in one write (+ at most one fsync). Not atomic
-  /// across shards: a reader may observe a partially applied batch.
-  void PutBatch(const std::vector<std::pair<Key, Value>>& pairs);
+  /// across shards: a reader may observe a partially applied batch. On
+  /// error the remaining shards' subsets are still applied (the batch
+  /// was never atomic); the first failing shard's status is returned.
+  Status PutBatch(const std::vector<std::pair<Key, Value>>& pairs);
 
-  /// Deletes a key.
-  void Delete(Key key);
+  /// Deletes a key. Error contract as Put.
+  Status Delete(Key key);
 
   /// Point lookup.
   std::optional<Value> Get(Key key);
@@ -80,8 +84,21 @@ class ShardedDB {
 
   /// Synchronously flushes every shard (sealed buffer first, then the
   /// active one). Does not wait for previously scheduled background jobs;
-  /// call WaitForMaintenance() first for a full barrier.
-  void Flush();
+  /// call WaitForMaintenance() first for a full barrier. On error the
+  /// remaining shards are still flushed; the first failing shard's
+  /// status is returned (no entry is lost — a failed shard keeps its
+  /// buffers).
+  Status Flush();
+
+  /// First shard-level storage failure (prefixed "shard <i>: "), or OK.
+  /// A non-OK shard is in read-only degraded mode — its writes are
+  /// rejected, its reads keep serving, the other shards are unaffected.
+  /// Latched when a background job exhausts Options::background_max_retries
+  /// or a foreground write-path I/O failure occurs; cleared only by
+  /// reopening the deployment after the fault is fixed. Statistics
+  /// io_retries / checksum_failures / read_only_transitions count the
+  /// events (see docs/operations.md).
+  Status Health() const;
 
   /// Blocks until every scheduled maintenance job has run. A quiescent
   /// point: afterwards (absent concurrent writers) no sealed buffers
@@ -163,6 +180,10 @@ class ShardedDB {
     /// (at most one in flight per shard; the job re-checks for sealed
     /// work under the lock, so a foreground Flush racing it is benign).
     bool maintenance_scheduled = false;
+    /// Consecutive background-maintenance failures (guarded by mu).
+    /// Reset on success; when it exceeds Options::background_max_retries
+    /// the shard's tree is latched read-only.
+    int maintenance_failures = 0;
   };
 
   /// `defer_shards` leaves shards_ empty for Open's durable path, which
@@ -184,6 +205,13 @@ class ShardedDB {
   /// reconfiguration converges in bounded steps without ever holding a
   /// shard lock for a whole-tree rebuild.
   void MaybeScheduleMaintenance(Shard* shard);
+
+  /// Body of a scheduled maintenance job: one unit of work (migration
+  /// step or sealed flush) plus the transient-fault retry policy —
+  /// exponential backoff (Options::background_retry_base_ms, doubling,
+  /// capped at 100ms) between attempts, latching the shard read-only
+  /// once Options::background_max_retries consecutive attempts failed.
+  void RunMaintenance(Shard* shard);
 
   /// Serializes ApplyTuning calls and guards options_ (shard locks nest
   /// inside it; options() readers take only this).

@@ -73,6 +73,9 @@ void Statistics::Accumulate(const Statistics& shard) {
   recoveries += shard.recoveries;
   wal_replayed_entries += shard.wal_replayed_entries;
   recovery_pages_read += shard.recovery_pages_read;
+  io_retries += shard.io_retries;
+  checksum_failures += shard.checksum_failures;
+  read_only_transitions += shard.read_only_transitions;
 }
 
 Statistics Statistics::Delta(const Statistics& b) const {
@@ -107,6 +110,9 @@ Statistics Statistics::Delta(const Statistics& b) const {
   d.recoveries = recoveries - b.recoveries;
   d.wal_replayed_entries = wal_replayed_entries - b.wal_replayed_entries;
   d.recovery_pages_read = recovery_pages_read - b.recovery_pages_read;
+  d.io_retries = io_retries - b.io_retries;
+  d.checksum_failures = checksum_failures - b.checksum_failures;
+  d.read_only_transitions = read_only_transitions - b.read_only_transitions;
   return d;
 }
 
@@ -125,7 +131,9 @@ std::string Statistics::ToString() const {
       "  reconfig: applies=%llu migration_steps=%llu\n"
       "  wal: records=%llu bytes=%llu syncs=%llu rewrites=%llu\n"
       "  durability: manifest_writes=%llu recoveries=%llu "
-      "replayed=%llu recovery_pages=%llu\n}",
+      "replayed=%llu recovery_pages=%llu\n"
+      "  faults: io_retries=%llu checksum_failures=%llu "
+      "read_only_transitions=%llu\n}",
       static_cast<unsigned long long>(pages_read),
       static_cast<unsigned long long>(point_pages_read),
       static_cast<unsigned long long>(range_pages_read),
@@ -153,7 +161,10 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(manifest_writes),
       static_cast<unsigned long long>(recoveries),
       static_cast<unsigned long long>(wal_replayed_entries),
-      static_cast<unsigned long long>(recovery_pages_read));
+      static_cast<unsigned long long>(recovery_pages_read),
+      static_cast<unsigned long long>(io_retries),
+      static_cast<unsigned long long>(checksum_failures),
+      static_cast<unsigned long long>(read_only_transitions));
   return buf;
 }
 

@@ -103,6 +103,11 @@ struct Statistics {
   RelaxedCounter wal_replayed_entries = 0;///< entries replayed at recovery
   RelaxedCounter recovery_pages_read = 0; ///< pages read rebuilding runs
 
+  // --- fault tolerance (see docs/operations.md) ---
+  RelaxedCounter io_retries = 0;           ///< background jobs retried after an I/O error
+  RelaxedCounter checksum_failures = 0;    ///< page CRC mismatches / truncated pages
+  RelaxedCounter read_only_transitions = 0;///< shards latched into read-only degraded mode
+
   /// Records one page read attributed to `ctx`.
   void OnPageRead(IoContext ctx, uint64_t pages = 1);
 

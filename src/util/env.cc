@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/fault_injection.h"
+
 namespace endure {
 
 int64_t GetEnvInt(const std::string& name, int64_t def) {
@@ -93,6 +95,10 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status SyncDir(const std::string& path) {
+  if (const FaultOutcome f = CheckFault(FaultSite::kDirSync); f.err != 0) {
+    return Status::IOError("fsync dir " + path + ": " +
+                           std::strerror(f.err) + " (injected)");
+  }
   const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
     return Status::IOError("open dir " + path + ": " + std::strerror(errno));
@@ -111,6 +117,15 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
   if (fd < 0) {
     return Status::IOError("create " + tmp + ": " + std::strerror(errno));
   }
+  // Every failure exit below unlinks tmp: an atomic publish that fails
+  // must not strand temp files for recovery scans to trip over.
+  if (const FaultOutcome f = CheckFault(FaultSite::kFileWrite);
+      f.err != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("write " + tmp + ": " + std::strerror(f.err) +
+                           " (injected)");
+  }
   size_t off = 0;
   while (off < data.size()) {
     const ssize_t put = ::write(fd, data.data() + off, data.size() - off);
@@ -122,12 +137,25 @@ Status WriteFileAtomic(const std::string& path, const std::string& data) {
     }
     off += static_cast<size_t>(put);
   }
+  if (const FaultOutcome f = CheckFault(FaultSite::kFileFsync);
+      f.err != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("fsync " + tmp + ": " + std::strerror(f.err) +
+                           " (injected)");
+  }
   if (::fsync(fd) != 0) {
     ::close(fd);
     ::unlink(tmp.c_str());
     return Status::IOError("fsync " + tmp);
   }
   ::close(fd);
+  if (const FaultOutcome f = CheckFault(FaultSite::kFileRename);
+      f.err != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(f.err) + " (injected)");
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     return Status::IOError("rename " + tmp + " -> " + path);

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kNotSupported,
+  kCorruption,
 };
 
 /// Human-readable name for a StatusCode.
@@ -62,6 +63,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

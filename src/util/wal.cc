@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "util/env.h"
+#include "util/fault_injection.h"
 
 namespace endure {
 
@@ -48,6 +49,10 @@ uint32_t Crc32(const void* data, size_t len) {
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(
     const std::string& path, WalSyncMode mode, int sync_interval_ms,
     std::function<void()> on_sync, WalFlushService* service) {
+  if (const FaultOutcome f = CheckFault(FaultSite::kWalOpen); f.err != 0) {
+    return Status::IOError("open wal " + path + ": " +
+                           std::strerror(f.err) + " (injected)");
+  }
   const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
   if (fd < 0) {
     return Status::IOError("open wal " + path + ": " + std::strerror(errno));
@@ -127,6 +132,28 @@ Status WalWriter::Commit() {
   // stay silent.
   if (!deferred_error_.ok()) return deferred_error_;
   if (pending_.empty()) return Status::OK();
+  if (const FaultOutcome f = CheckFault(FaultSite::kWalWrite); f.fires()) {
+    // Model a torn group commit: a prefix reaches the file (framing CRCs
+    // make replay stop at the tear), the rest stays pending for a retry
+    // — the same accounting as a real short write below.
+    size_t wrote = 0;
+    if (f.short_io && pending_.size() > 1) {
+      wrote = pending_.size() / 2;
+      size_t woff = 0;
+      while (woff < wrote) {
+        const ssize_t put =
+            ::write(fd_, pending_.data() + woff, wrote - woff);
+        if (put <= 0) break;
+        woff += static_cast<size_t>(put);
+      }
+      wrote = woff;
+    }
+    bytes_committed_ += wrote;
+    pending_.erase(0, wrote);
+    return Status::IOError(std::string("wal write: ") +
+                           std::strerror(f.err != 0 ? f.err : EIO) +
+                           " (injected)");
+  }
   size_t off = 0;
   while (off < pending_.size()) {
     const ssize_t put =
@@ -158,7 +185,8 @@ Status WalWriter::SyncWithLock(std::unique_lock<std::mutex>& lock) {
   const int fd = fd_;
   sync_in_flight_ = true;
   lock.unlock();  // never hold appenders hostage to device latency
-  const int rc = ::fsync(fd);
+  int rc = ::fsync(fd);
+  if (rc == 0 && CheckFault(FaultSite::kWalFsync).err != 0) rc = -1;
   lock.lock();
   sync_in_flight_ = false;
   cv_.notify_all();  // ReopenAfterRewrite may be waiting to swap the fd

@@ -12,7 +12,7 @@ class CompactionTest : public ::testing::Test {
   CompactionTest() : store_(4, &stats_) {}
 
   std::shared_ptr<endure::lsm::Run> RunOf(std::vector<Entry> entries) {
-    return BuildRun(&store_, entries, 8.0, IoContext::kFlush);
+    return BuildRun(&store_, entries, 8.0, IoContext::kFlush).value();
   }
 
   Entry Val(Key k, SeqNum s, Value v) {
@@ -29,7 +29,7 @@ class CompactionTest : public ::testing::Test {
 TEST_F(CompactionTest, MergesDisjointRuns) {
   auto a = RunOf({Val(1, 2, 10), Val(3, 2, 30)});
   auto b = RunOf({Val(2, 1, 20), Val(4, 1, 40)});
-  auto merged = MergeRuns(&store_, {a, b}, 8.0, false);
+  auto merged = MergeRuns(&store_, {a, b}, 8.0, false).value();
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 4u);
   EXPECT_EQ(merged->min_key(), 1u);
@@ -39,7 +39,7 @@ TEST_F(CompactionTest, MergesDisjointRuns) {
 TEST_F(CompactionTest, NewestInputWinsConflicts) {
   auto newer = RunOf({Val(5, 10, 500)});
   auto older = RunOf({Val(5, 1, 100), Val(6, 1, 600)});
-  auto merged = MergeRuns(&store_, {newer, older}, 8.0, false);
+  auto merged = MergeRuns(&store_, {newer, older}, 8.0, false).value();
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 2u);
   const Entry* e = merged->Get(5, true);
@@ -51,7 +51,7 @@ TEST_F(CompactionTest, DropTombstonesAtBottom) {
   auto newer = RunOf({Tomb(1, 10), Val(2, 10, 20)});
   auto older = RunOf({Val(1, 1, 10), Val(3, 1, 30)});
   auto merged = MergeRuns(&store_, {newer, older}, 8.0,
-                          /*drop_tombstones=*/true);
+                          /*drop_tombstones=*/true).value();
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 2u);  // keys 2, 3; key 1 annihilated
   EXPECT_EQ(merged->Get(1, true), nullptr);
@@ -61,7 +61,7 @@ TEST_F(CompactionTest, KeepTombstonesAboveBottom) {
   auto newer = RunOf({Tomb(1, 10)});
   auto older = RunOf({Val(1, 1, 10)});
   auto merged = MergeRuns(&store_, {newer, older}, 8.0,
-                          /*drop_tombstones=*/false);
+                          /*drop_tombstones=*/false).value();
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 1u);
   const Entry* e = merged->Get(1, true);
@@ -71,7 +71,7 @@ TEST_F(CompactionTest, KeepTombstonesAboveBottom) {
 
 TEST_F(CompactionTest, AllTombstoneMergeReturnsNull) {
   auto a = RunOf({Tomb(1, 2), Tomb(2, 2)});
-  auto merged = MergeRuns(&store_, {a}, 8.0, /*drop_tombstones=*/true);
+  auto merged = MergeRuns(&store_, {a}, 8.0, /*drop_tombstones=*/true).value();
   EXPECT_EQ(merged, nullptr);
 }
 
@@ -81,7 +81,7 @@ TEST_F(CompactionTest, CompactionIoAccounted) {
   auto b = RunOf({Val(6, 1, 6), Val(7, 1, 7)});  // 1 page
   const uint64_t read_before = stats_.compaction_pages_read;
   const uint64_t write_before = stats_.compaction_pages_written;
-  auto merged = MergeRuns(&store_, {a, b}, 8.0, false);
+  auto merged = MergeRuns(&store_, {a, b}, 8.0, false).value();
   EXPECT_EQ(stats_.compaction_pages_read - read_before, 3u);
   EXPECT_EQ(stats_.compaction_pages_written - write_before, 2u);  // 7 keys
   EXPECT_EQ(merged->num_entries(), 7u);
@@ -98,7 +98,7 @@ TEST_F(CompactionTest, ManyRunsMerge) {
     }
     runs.push_back(RunOf(entries));
   }
-  auto merged = MergeRuns(&store_, runs, 8.0, false);
+  auto merged = MergeRuns(&store_, runs, 8.0, false).value();
   ASSERT_NE(merged, nullptr);
   EXPECT_EQ(merged->num_entries(), 80u);
 }

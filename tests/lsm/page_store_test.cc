@@ -24,7 +24,8 @@ void RunStoreContractTests(StoreFactory make_store) {
   auto store = make_store(&stats);
 
   const std::vector<Entry> entries = MakeEntries(10);  // B=4 -> 3 pages
-  const SegmentId seg = store->WriteSegment(entries, IoContext::kFlush);
+  const SegmentId seg =
+      store->WriteSegment(entries, IoContext::kFlush).value();
   EXPECT_EQ(store->NumPages(seg), 3u);
   EXPECT_EQ(store->NumEntries(seg), 10u);
   EXPECT_EQ(stats.pages_written, 3u);
@@ -49,7 +50,7 @@ void RunStoreContractTests(StoreFactory make_store) {
 
   // A second segment coexists.
   const SegmentId seg2 =
-      store->WriteSegment(MakeEntries(4), IoContext::kCompaction);
+      store->WriteSegment(MakeEntries(4), IoContext::kCompaction).value();
   EXPECT_NE(seg, seg2);
   EXPECT_EQ(store->NumPages(seg2), 1u);
   EXPECT_EQ(stats.compaction_pages_written, 1u);
@@ -69,11 +70,11 @@ void RunSegmentWriterContractTests(StoreFactory make_store) {
   // Streaming write: pages are counted as they are appended, before Seal.
   auto writer = store->NewSegmentWriter(IoContext::kCompaction);
   EXPECT_EQ(stats.pages_written, 0u);
-  writer->AppendPage(entries.data(), 4);
-  writer->AppendPage(entries.data() + 4, 4);
+  ASSERT_TRUE(writer->AppendPage(entries.data(), 4).ok());
+  ASSERT_TRUE(writer->AppendPage(entries.data() + 4, 4).ok());
   EXPECT_EQ(stats.compaction_pages_written, 2u);
-  writer->AppendPage(entries.data() + 8, 2);  // final partial page
-  const SegmentId seg = writer->Seal();
+  ASSERT_TRUE(writer->AppendPage(entries.data() + 8, 2).ok());  // partial
+  const SegmentId seg = writer->Seal().value();
   EXPECT_EQ(stats.compaction_pages_written, 3u);
   EXPECT_EQ(store->NumPages(seg), 3u);
   EXPECT_EQ(store->NumEntries(seg), 10u);
@@ -89,7 +90,7 @@ void RunSegmentWriterContractTests(StoreFactory make_store) {
   // but keeps its page writes counted: the device I/O happened.
   {
     auto abandoned = store->NewSegmentWriter(IoContext::kFlush);
-    abandoned->AppendPage(entries.data(), 4);
+    ASSERT_TRUE(abandoned->AppendPage(entries.data(), 4).ok());
   }
   EXPECT_EQ(stats.flush_pages_written, 1u);
   // The sealed segment is still intact.
@@ -129,7 +130,8 @@ TEST(FilePageStoreTest, RoundTripsEntryEncoding) {
       Entry{0xDEADBEEFCAFEBABEull, 42, 0x0123456789ABCDEFull,
             EntryType::kValue},
       Entry{1, 2, 3, EntryType::kTombstone}};
-  const SegmentId seg = store.WriteSegment(in, IoContext::kBulkLoad);
+  const SegmentId seg =
+      store.WriteSegment(in, IoContext::kBulkLoad).value();
   PageBuffer out;
   store.ReadPage(seg, 0, IoContext::kPointQuery, &out);
   ASSERT_EQ(out.size(), 2u);

@@ -252,7 +252,9 @@ TEST(RecoveryTest, ResumesMidMigrationExactlyWhereItStopped) {
     // Reconfigure directly (DB::ApplyTuning would converge synchronously)
     // and take exactly one migration step, then die mid-flight.
     ASSERT_TRUE((*db)->mutable_tree()->Reconfigure(tuned).ok());
-    ASSERT_TRUE((*db)->mutable_tree()->AdvanceMigration());
+    bool stepped = false;
+    ASSERT_TRUE((*db)->mutable_tree()->AdvanceMigration(&stepped).ok());
+    ASSERT_TRUE(stepped);
     ASSERT_TRUE((*db)->mutable_tree()->MigrationPending());
     epoch_at_kill = (*db)->tree().tuning_epoch();
     progress_at_kill = (*db)->Progress();
@@ -272,7 +274,9 @@ TEST(RecoveryTest, ResumesMidMigrationExactlyWhereItStopped) {
   EXPECT_EQ(progress.nonconforming_levels,
             progress_at_kill.nonconforming_levels);
   // Resume: AdvanceMigration picks up and converges; contents intact.
-  while ((*db)->mutable_tree()->AdvanceMigration()) {
+  bool did_work = true;
+  while (did_work) {
+    ASSERT_TRUE((*db)->mutable_tree()->AdvanceMigration(&did_work).ok());
   }
   EXPECT_TRUE((*db)->Progress().structure_conforming());
   for (Key k = 0; k < 2000; ++k) {

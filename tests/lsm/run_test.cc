@@ -17,7 +17,7 @@ class RunTest : public ::testing::Test {
       entries.push_back(Entry{static_cast<Key>(10 * i), 1,
                               static_cast<Value>(i), EntryType::kValue});
     }
-    return BuildRun(&store_, entries, bits, IoContext::kBulkLoad);
+    return BuildRun(&store_, entries, bits, IoContext::kBulkLoad).value();
   }
 
   Statistics stats_;
@@ -138,7 +138,7 @@ TEST(RunBuilderTest, TracksSize) {
   b.Add(Entry{1, 1, 0, EntryType::kValue});
   b.Add(Entry{2, 1, 0, EntryType::kValue});
   EXPECT_EQ(b.size(), 2u);
-  auto run = b.Finish();
+  auto run = b.Finish().value();
   EXPECT_EQ(run->num_entries(), 2u);
 }
 
@@ -147,12 +147,12 @@ TEST(RunLifetimeTest, DestructionFreesSegment) {
   MemPageStore store(4, &stats);
   {
     std::vector<Entry> entries{{1, 1, 1, EntryType::kValue}};
-    auto run = BuildRun(&store, entries, 5.0, IoContext::kFlush);
+    auto run = BuildRun(&store, entries, 5.0, IoContext::kFlush).value();
   }
   // Segment freed: store no longer knows it (reading would abort, so we
   // only verify indirectly by building another run with a fresh id).
   std::vector<Entry> entries{{2, 1, 2, EntryType::kValue}};
-  auto run2 = BuildRun(&store, entries, 5.0, IoContext::kFlush);
+  auto run2 = BuildRun(&store, entries, 5.0, IoContext::kFlush).value();
   EXPECT_EQ(run2->num_entries(), 1u);
 }
 
