@@ -41,7 +41,7 @@ int main() {
       const int n = 1500;
       for (int i = 0; i < n; ++i) {
         const lsm::Key lo = universe.SampleExisting(&rng);
-        (*db_or)->Scan(lo, lo + 4);  // ~2 entries: minimal selectivity
+        (void)(*db_or)->Scan(lo, lo + 4);  // ~2 entries: minimal selectivity
       }
       const lsm::Statistics d = (*db_or)->stats().Delta(before);
       ios[skip ? 0 : 1] = static_cast<double>(d.range_pages_read) / n;

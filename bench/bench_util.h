@@ -25,8 +25,9 @@ namespace endure::bench_util {
 /// docs/benchmarks.md for the schema). Every benchmark stamps it into
 /// its JSON via BeginJson so downstream tooling can detect drift; bump
 /// it when a shared key changes name or meaning or a benchmark joins
-/// the family (v3: micro_wal and the durability counters).
-inline constexpr int kBenchJsonSchemaVersion = 3;
+/// the family (v3: micro_wal and the durability counters; v4: micro_lsm
+/// — put tail percentiles and the scheduler/stall counters).
+inline constexpr int kBenchJsonSchemaVersion = 4;
 
 /// Allocation counters, defined by ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
 /// in the benchmark binary. Atomic: benchmarks may allocate from several

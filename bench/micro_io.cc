@@ -102,7 +102,7 @@ BackendResults RunBackend(StorageBackend backend, uint64_t n, uint64_t ops) {
     uint64_t returned = 0;
     for (uint64_t i = 0; i < scans; ++i) {
       const Key lo = 2 * rng.UniformInt(0, static_cast<int64_t>(n) - 9);
-      returned += db->Scan(lo, lo + 16).size();
+      returned += db->Scan(lo, lo + 16).value().size();
     }
     out.scan = meter.Finish(scans, db->stats().Delta(before).pages_read);
     if (returned == 0) std::abort();

@@ -4,12 +4,33 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "bench_common.h"
 
 namespace {
 
 using namespace endure;
 using namespace endure::lsm;
+
+/// Decodes a benchmark Arg into a policy, refusing out-of-range values
+/// (an unchecked cast would turn a typo'd ->Arg(3) into UB the policy
+/// switch silently misinterprets).
+CompactionPolicy PolicyFromArg(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return CompactionPolicy::kLeveling;
+    case 1:
+      return CompactionPolicy::kTiering;
+    case 2:
+      return CompactionPolicy::kLazyLeveling;
+    default:
+      std::fprintf(stderr, "micro_lsm: invalid policy arg %lld\n",
+                   static_cast<long long>(arg));
+      std::abort();
+  }
+}
 
 std::unique_ptr<DB> MakeLoadedDb(uint64_t n, CompactionPolicy policy) {
   Options o;
@@ -27,38 +48,36 @@ std::unique_ptr<DB> MakeLoadedDb(uint64_t n, CompactionPolicy policy) {
 }
 
 void BM_PointLookupHit(benchmark::State& state) {
-  auto db = MakeLoadedDb(100000, static_cast<CompactionPolicy>(
-                                     state.range(0)));
+  auto db = MakeLoadedDb(100000, PolicyFromArg(state.range(0)));
   Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(db->Get(2 * rng.UniformInt(0, 99999)));
   }
 }
-BENCHMARK(BM_PointLookupHit)->Arg(0)->Arg(1);
+BENCHMARK(BM_PointLookupHit)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_PointLookupMiss(benchmark::State& state) {
-  auto db = MakeLoadedDb(100000, static_cast<CompactionPolicy>(
-                                     state.range(0)));
+  auto db = MakeLoadedDb(100000, PolicyFromArg(state.range(0)));
   Rng rng(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(db->Get(2 * rng.UniformInt(0, 99999) + 1));
   }
 }
-BENCHMARK(BM_PointLookupMiss)->Arg(0)->Arg(1);
+BENCHMARK(BM_PointLookupMiss)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ShortScan(benchmark::State& state) {
   auto db = MakeLoadedDb(100000, CompactionPolicy::kLeveling);
   Rng rng(3);
   for (auto _ : state) {
     const Key lo = 2 * rng.UniformInt(0, 99990);
-    benchmark::DoNotOptimize(db->Scan(lo, lo + 8));
+    benchmark::DoNotOptimize(db->Scan(lo, lo + 8).value());
   }
 }
 BENCHMARK(BM_ShortScan);
 
 void BM_Write(benchmark::State& state) {
   Options o;
-  o.policy = static_cast<CompactionPolicy>(state.range(0));
+  o.policy = PolicyFromArg(state.range(0));
   o.size_ratio = 8;
   o.buffer_entries = 1024;
   o.entries_per_page = 4;
@@ -69,7 +88,7 @@ void BM_Write(benchmark::State& state) {
     next += 2;
   }
 }
-BENCHMARK(BM_Write)->Arg(0)->Arg(1);
+BENCHMARK(BM_Write)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BloomProbe(benchmark::State& state) {
   BloomFilter filter(100000, 10.0);

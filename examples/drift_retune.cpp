@@ -38,7 +38,7 @@ double RunEpoch(lsm::ShardedDB* db, const Workload& mix, uint64_t ops,
         db->Get(op.key);
         break;
       case kRangeQuery:
-        db->Scan(op.key, op.limit);
+        (void)db->Scan(op.key, op.limit);
         break;
       case kWrite:
         db->Put(op.key, op.key);

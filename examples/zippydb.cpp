@@ -93,7 +93,7 @@ int main() {
         } else if (r < 0.78) {
           local_hits += sharded->Get(k + 1).has_value();      // z0 miss
         } else if (r < 0.81) {
-          local_hits += sharded->Scan(k, k + 32).size() > 0;  // range
+          local_hits += sharded->Scan(k, k + 32).value().size() > 0;  // range
         } else {
           sharded->Put(k, i);                                 // write
         }

@@ -114,8 +114,11 @@ StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
 
 namespace {
 
-/// Copies the immutable placement/durability knobs of a live deployment
-/// onto freshly derived options (only the tuning itself may change).
+/// Copies the immutable placement/durability knobs — plus the operational
+/// scheduler knobs the tuner knows nothing about — of a live deployment
+/// onto freshly derived options (only the tuning itself may change; a
+/// retune must not silently reset the operator's throttle or stall
+/// thresholds to defaults).
 void CarryImmutableKnobs(const lsm::Options& current, lsm::Options* next) {
   next->storage_dir = current.storage_dir;
   next->durability = current.durability;
@@ -123,6 +126,12 @@ void CarryImmutableKnobs(const lsm::Options& current, lsm::Options* next) {
   next->wal_sync_interval_ms = current.wal_sync_interval_ms;
   next->shared_wal_flusher = current.shared_wal_flusher;
   next->recovery_threads = current.recovery_threads;
+  next->maintenance_threads = current.maintenance_threads;
+  next->compaction_rate_bytes_per_sec = current.compaction_rate_bytes_per_sec;
+  next->compaction_max_subtasks = current.compaction_max_subtasks;
+  next->compaction_partition_min_pages =
+      current.compaction_partition_min_pages;
+  next->l1_stall_runs = current.l1_stall_runs;
 }
 
 }  // namespace

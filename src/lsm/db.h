@@ -50,8 +50,11 @@ class DB {
   /// Point lookup.
   std::optional<Value> Get(Key key) { return tree_->Get(key); }
 
-  /// Range query over [lo, hi): live entries in key order.
-  std::vector<Entry> Scan(Key lo, Key hi) { return tree_->Scan(lo, hi); }
+  /// Range query over [lo, hi): live entries in key order, or the first
+  /// read error (I/O or checksum) — never a silently truncated result.
+  StatusOr<std::vector<Entry>> Scan(Key lo, Key hi) {
+    return tree_->Scan(lo, hi);
+  }
 
   /// Forces a memtable flush. On failure no entry is lost (the buffers
   /// keep everything unflushed) and the call may be retried.

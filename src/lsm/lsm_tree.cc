@@ -88,9 +88,14 @@ Status LsmTree::MaintainAfterWrite() {
   if (opts_.background_maintenance) {
     // Hand the full buffer to maintenance instead of flushing inline. If
     // maintenance has fallen behind (the previous sealed buffer is still
-    // pending), flush it here — backpressure that keeps at most one
-    // sealed buffer alive.
-    if (sealed_ != nullptr) ENDURE_RETURN_IF_ERROR(FlushSealedMemtable());
+    // pending), either the owner stalls writers upstream
+    // (deferred_backpressure_: the active buffer absorbs over capacity
+    // until the scheduler drains the debt) or we flush inline here —
+    // backpressure that keeps at most one sealed buffer alive.
+    if (sealed_ != nullptr) {
+      if (deferred_backpressure_) return Status::OK();
+      ENDURE_RETURN_IF_ERROR(FlushSealedMemtable());
+    }
     SealMemtable();
     return Status::OK();
   }
@@ -179,7 +184,7 @@ Status LsmTree::FlushSealedInternal() {
   // a half-flushed buffer; entries stay reachable via the new run. On
   // failure AddRunToLevel guarantees nothing new is resident, so putting
   // the buffer back makes the failed flush a clean no-op.
-  std::unique_ptr<MemTable> buffer = std::move(sealed_);
+  std::shared_ptr<MemTable> buffer = std::move(sealed_);
   const Status s = FlushBuffer(*buffer);
   if (!s.ok()) sealed_ = std::move(buffer);
   return s;
@@ -343,7 +348,7 @@ std::optional<Value> LsmTree::Get(Key key) {
   return std::nullopt;
 }
 
-std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
+StatusOr<std::vector<Entry>> LsmTree::Scan(Key lo, Key hi) {
   ++stats_->range_queries;
 
   // Gather qualifying run iterators (adapters live on this frame; reserve
@@ -405,11 +410,13 @@ std::vector<Entry> LsmTree::Scan(Key lo, Key hi) {
     }
   }
   // A run iterator that hit an I/O or checksum error looks exhausted to
-  // the merge (it dies in place); surface the fault by latching so the
-  // silently-partial result does not go unnoticed engine-wide.
+  // the merge (it dies in place); a truncated result would read as
+  // deleted keys, so fail the scan — and latch, so the fault does not go
+  // unnoticed engine-wide.
   for (const auto& stream : run_streams) {
     if (!stream.iter().status().ok()) {
       LatchBackgroundError(stream.iter().status());
+      return stream.iter().status();
     }
   }
   return out;
@@ -571,6 +578,196 @@ bool LsmTree::LevelConforms(int level) const {
 }
 
 bool LsmTree::MigrationPending() const { return migration_pending_; }
+
+bool LsmTree::AnyNonConforming() const {
+  for (int level = 1; level <= static_cast<int>(levels_.size()); ++level) {
+    if (!LevelConforms(level)) return true;
+  }
+  return false;
+}
+
+bool LsmTree::HasMaintenanceWork() const {
+  if (!background_error_.ok()) return false;
+  return sealed_ != nullptr || migration_pending_ || AnyNonConforming();
+}
+
+int LsmTree::MaintenancePriority() const {
+  if (sealed_ != nullptr) return 0;
+  return migration_pending_ ? 1 : 2;
+}
+
+size_t LsmTree::RunsInLevel(int level) const {
+  if (level < 1 || level > static_cast<int>(levels_.size())) return 0;
+  return levels_[level - 1].size();
+}
+
+MaintenanceUnit LsmTree::PrepareMaintenance() {
+  MaintenanceUnit unit;
+  if (!background_error_.ok()) return unit;
+  unit.epoch = tuning_epoch_;
+  if (sealed_ != nullptr) {
+    unit.kind = MaintenanceUnit::Kind::kFlush;
+    unit.priority = 0;
+    unit.buffer = sealed_;  // stays installed and readable while we build
+    unit.bits_per_entry = FilterBitsForLevel(1, std::max(DeepestLevel(), 1));
+    return unit;
+  }
+  for (int level = 1; level <= static_cast<int>(levels_.size()); ++level) {
+    if (LevelConforms(level)) continue;
+    unit.kind = MaintenanceUnit::Kind::kCompaction;
+    unit.priority = migration_pending_ ? 1 : 2;
+    unit.level = level;
+    unit.inputs = levels_[level - 1];  // snapshot, newest first
+    // A single non-conforming run is an over-capacity leveling run: push
+    // it down without rewriting (the migration-step fast path).
+    unit.single_run_push = unit.inputs.size() == 1;
+    unit.drop_tombstones = NothingBelow(level);
+    const bool act_as_leveling =
+        opts_.policy == CompactionPolicy::kLeveling ||
+        (opts_.policy == CompactionPolicy::kLazyLeveling &&
+         NothingBelow(level));
+    const int depth =
+        std::max(DeepestLevel(), ProjectedDepth(TotalEntries()));
+    // Leveling merges stay on their level, tiering output descends — the
+    // Monkey budget targets where the output will live.
+    unit.bits_per_entry =
+        FilterBitsForLevel(act_as_leveling ? level : level + 1, depth);
+    return unit;
+  }
+  if (migration_pending_) {
+    // Every level conforms: the migration is resolved. Persisting the
+    // cleared flag is best effort — an unpersisted clear merely costs a
+    // reopen one conformance scan.
+    migration_pending_ = false;
+    (void)PublishManifestIfDurable();
+  }
+  return unit;
+}
+
+Status LsmTree::ExecuteMaintenance(MaintenanceUnit* unit,
+                                   const MergeLimits& limits) {
+  switch (unit->kind) {
+    case MaintenanceUnit::Kind::kNone:
+      return Status::OK();
+    case MaintenanceUnit::Kind::kFlush: {
+      // Flushes unblock writers, so they are exempt from the rate
+      // limiter (limits applies to compactions only).
+      ++stats_->flushes;
+      RunBuilder builder(store_, unit->bits_per_entry, IoContext::kFlush);
+      for (SkipList::Iterator it = unit->buffer->NewIterator(); it.Valid();
+           it.Next()) {
+        ENDURE_RETURN_IF_ERROR(builder.Add(it.entry()));
+      }
+      StatusOr<std::shared_ptr<Run>> run_or = builder.Finish();
+      ENDURE_RETURN_IF_ERROR(run_or.status());
+      unit->output = std::move(*run_or);
+      return Status::OK();
+    }
+    case MaintenanceUnit::Kind::kCompaction: {
+      if (unit->single_run_push) {
+        unit->output = unit->inputs.front();  // pure move-down, no I/O
+        return Status::OK();
+      }
+      ++stats_->compactions;
+      StatusOr<std::shared_ptr<Run>> merged_or =
+          MergeRunsEx(store_, unit->inputs, unit->bits_per_entry,
+                      unit->drop_tombstones, limits);
+      ENDURE_RETURN_IF_ERROR(merged_or.status());
+      unit->output = std::move(*merged_or);  // null = consolidated away
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmTree::InstallMaintenance(MaintenanceUnit* unit) {
+  ENDURE_RETURN_IF_ERROR(background_error_);
+  if (unit->kind == MaintenanceUnit::Kind::kNone) return Status::OK();
+  if (unit->epoch != tuning_epoch_) {
+    // A Reconfigure landed mid-execute: the unit carries stale tuning.
+    // Dropping the output frees its segment; the next prepared unit
+    // redoes the work under the new epoch.
+    unit->output.reset();
+    return Status::OK();
+  }
+
+  if (unit->kind == MaintenanceUnit::Kind::kFlush) {
+    if (sealed_ != unit->buffer) {
+      // A foreground Flush consumed the buffer meanwhile; its entries
+      // are already resident via that path.
+      unit->output.reset();
+      return Status::OK();
+    }
+    Stamp(unit->output);
+    EnsureLevel(1);
+    auto& l1 = levels_[0];
+    l1.insert(l1.begin(), std::move(unit->output));  // newest first
+    sealed_.reset();
+    // The cascade continues stepwise: if level 1 stopped conforming, the
+    // next prepared unit merges it. A checkpoint failure here is safe
+    // and retryable — the installed entries remain covered by the
+    // un-rewritten WAL.
+    return CheckpointIfDurable();
+  }
+
+  // Compaction: the snapshot must still be resident as the OLDEST runs
+  // of the level (a racing flush install may have prepended newer ones —
+  // fine, the output slots in behind them). Anything else means a
+  // foreground cascade rewrote the level: discard.
+  const int level = unit->level;
+  if (level > static_cast<int>(levels_.size())) {
+    unit->output.reset();
+    return Status::OK();
+  }
+  auto& runs = levels_[level - 1];
+  const size_t k = unit->inputs.size();
+  bool inputs_resident = runs.size() >= k;
+  if (inputs_resident) {
+    const size_t off = runs.size() - k;
+    for (size_t i = 0; i < k; ++i) {
+      if (runs[off + i] != unit->inputs[i]) {
+        inputs_resident = false;
+        break;
+      }
+    }
+  }
+  if (!inputs_resident) {
+    unit->output.reset();
+    return Status::OK();
+  }
+  runs.erase(runs.end() - static_cast<ptrdiff_t>(k), runs.end());
+
+  if (unit->single_run_push) {
+    // Push-down without rewrite keeps the run's build epoch (no Stamp).
+    EnsureLevel(level + 1);  // may reallocate levels_ — index, don't alias
+    auto& below = levels_[level];
+    below.insert(below.begin(), std::move(unit->output));
+  } else if (unit->output != nullptr) {
+    Stamp(unit->output);
+    // Placement re-derives the policy rule against the CURRENT tree
+    // (NothingBelow may have changed while unlocked): a leveling-like
+    // level keeps the merge if it fits; otherwise — and always under
+    // tiering — the output descends.
+    const bool act_as_leveling =
+        opts_.policy == CompactionPolicy::kLeveling ||
+        (opts_.policy == CompactionPolicy::kLazyLeveling &&
+         NothingBelow(level));
+    if (act_as_leveling &&
+        unit->output->num_entries() <= LevelCapacity(level)) {
+      // The merge of the level's oldest runs: back = oldest position.
+      levels_[level - 1].push_back(std::move(unit->output));
+    } else {
+      EnsureLevel(level + 1);  // may reallocate levels_ — index, don't alias
+      auto& below = levels_[level];
+      below.insert(below.begin(), std::move(unit->output));
+    }
+  }
+  // A null merged output means every entry consolidated away: removing
+  // the suffix was the whole install.
+
+  if (unit->priority == 1) ++stats_->migration_steps;
+  return PublishManifestIfDurable();
+}
 
 Status LsmTree::AdvanceMigration(bool* did_work) {
   *did_work = false;

@@ -68,14 +68,47 @@ struct MigrationProgress {
   void Accumulate(const MigrationProgress& other);
 };
 
+/// One unit of background maintenance, produced by PrepareMaintenance()
+/// under the owner's lock, executed (all I/O) by ExecuteMaintenance()
+/// with NO lock held, and made visible by InstallMaintenance() back under
+/// the lock. The unit snapshots everything the off-lock phase needs —
+/// input runs (shared_ptr keeps their segments alive), the sealed buffer,
+/// the Bloom budget and tombstone rule frozen at prepare time — so
+/// Execute never touches the tree. Install validates that the tree still
+/// matches the snapshot (same tuning epoch, inputs still resident, the
+/// buffer still sealed) and discards the output as a clean no-op when a
+/// foreground operation raced ahead.
+struct MaintenanceUnit {
+  enum class Kind { kNone, kFlush, kCompaction };
+
+  Kind kind = Kind::kNone;
+  /// Scheduler class: 0 = flush, 1 = migration step, 2 = major compaction.
+  int priority = 2;
+  int level = 0;       ///< compaction source level (1-based)
+  uint64_t epoch = 0;  ///< tuning epoch at prepare (install revalidates)
+
+  std::shared_ptr<MemTable> buffer;  ///< flush: the sealed buffer
+  std::vector<std::shared_ptr<Run>> inputs;  ///< compaction: level snapshot
+  /// Single over-capacity run: push it down without rewriting (it keeps
+  /// its build epoch) — the migration-step fast path.
+  bool single_run_push = false;
+  double bits_per_entry = 0;  ///< Monkey budget frozen at prepare
+  bool drop_tombstones = false;
+
+  std::shared_ptr<Run> output;  ///< produced by Execute, placed by Install
+};
+
 /// The storage engine core. A single LsmTree performs no internal
 /// locking: callers serialize access to it (the experiment harness runs
 /// one thread, as in the paper; ShardedDB guards each shard's tree with
-/// the shard mutex and runs maintenance jobs under it). With
-/// `Options::background_maintenance` the tree never flushes inline —
-/// filling the write buffer seals it into an immutable slot that stays
-/// readable (and is consulted by Get/Scan between the active buffer and
-/// the runs) until FlushSealedMemtable() pushes it into level 1; see
+/// the shard mutex). Background maintenance follows the
+/// prepare/execute/install protocol (MaintenanceUnit): only the snapshot
+/// and the run-list swap happen under the owner's lock, the merge I/O in
+/// between runs unlocked. With `Options::background_maintenance` the tree
+/// never flushes inline — filling the write buffer seals it into an
+/// immutable slot that stays readable (and is consulted by Get/Scan
+/// between the active buffer and the runs) until a flush unit (or
+/// FlushSealedMemtable()) pushes it into level 1; see
 /// docs/architecture.md ("Concurrency model").
 class LsmTree {
  public:
@@ -105,8 +138,11 @@ class LsmTree {
   std::optional<Value> Get(Key key);
 
   /// Range query over [lo, hi): merges all qualifying sources, returns
-  /// live entries in key order.
-  std::vector<Entry> Scan(Key lo, Key hi);
+  /// live entries in key order. A page that cannot be read (I/O error,
+  /// checksum mismatch) fails the whole scan — a silently truncated
+  /// result would be indistinguishable from deleted keys — and latches
+  /// the tree (see Health()).
+  StatusOr<std::vector<Entry>> Scan(Key lo, Key hi);
 
   /// Flushes the sealed buffer (if any) and then the active memtable, in
   /// age order. Also triggered automatically when the buffer fills and
@@ -120,9 +156,65 @@ class LsmTree {
   bool HasSealedMemtable() const { return sealed_ != nullptr; }
 
   /// Flushes the sealed buffer into level 1 (no-op when none is pending).
-  /// ShardedDB's background jobs call this under the shard lock. Error
-  /// contract as Flush(): entries stay in the restored buffer, retryable.
+  /// Inline fallback when no scheduler is attached; runs fully under the
+  /// caller's lock. Error contract as Flush(): entries stay in the
+  /// restored buffer, retryable.
   Status FlushSealedMemtable();
+
+  // --- background maintenance protocol (prepare / execute / install) ---
+  // The owner (ShardedDB's compaction scheduler) drives one unit at a
+  // time per tree:
+  //   lock     -> unit = tree->PrepareMaintenance();       // snapshot
+  //   unlock   -> s = tree->ExecuteMaintenance(&unit, limits);  // all I/O
+  //   lock     -> if (s.ok()) s = tree->InstallMaintenance(&unit); // swap
+  // Execute touches only the unit's snapshot, the page store (internally
+  // synchronized) and statistics — never opts_ or the level lists — so
+  // foreground reads and writes proceed under the lock meanwhile. Install
+  // discards the output (returning OK) when the tree moved on: a
+  // Reconfigure bumped the epoch, a foreground Flush consumed the sealed
+  // buffer, or the input runs are no longer resident. One unit makes one
+  // bounded step; HasMaintenanceWork() stays true until the cascade it
+  // begins has fully settled, so the owner just keeps scheduling.
+
+  /// Snapshots the most urgent pending unit: the sealed buffer (flush),
+  /// else the shallowest non-conforming level (compaction). Returns a
+  /// Kind::kNone unit when nothing is pending or the tree is latched;
+  /// as a side effect, a pending-migration flag with nothing left to do
+  /// is cleared here (with a best-effort manifest publish).
+  MaintenanceUnit PrepareMaintenance();
+
+  /// Runs the unit's I/O (builds the flush run / merges the input runs)
+  /// under `limits`. Call WITHOUT the owner's lock. On failure the unit
+  /// holds no output and nothing is resident — retry by re-preparing.
+  Status ExecuteMaintenance(MaintenanceUnit* unit,
+                            const MergeLimits& limits);
+
+  /// Publishes the unit's output into the level lists (under the owner's
+  /// lock) after revalidating the snapshot; stale units are discarded and
+  /// return OK. Flush installs checkpoint (WAL shrink); compaction
+  /// installs publish the manifest. An error is retryable: on a flush the
+  /// entries remain WAL-covered, on a compaction the in-memory tree is
+  /// already consistent and merely ahead of the old manifest.
+  Status InstallMaintenance(MaintenanceUnit* unit);
+
+  /// True when a unit is pending: a sealed buffer, a non-conforming
+  /// level, or an unresolved migration flag (false when latched).
+  bool HasMaintenanceWork() const;
+
+  /// Priority of the next unit PrepareMaintenance would produce (0 =
+  /// flush, 1 = migration step, 2 = major compaction).
+  int MaintenancePriority() const;
+
+  /// Runs resident in `level` (1-based; 0 for levels beyond the tree) —
+  /// the write-path backpressure signal.
+  size_t RunsInLevel(int level) const;
+
+  /// When true, MaintainAfterWrite never flushes inline while a sealed
+  /// buffer is pending: the active buffer keeps absorbing writes over
+  /// capacity and the owner applies backpressure upstream (stalling
+  /// writers until the scheduler drains the debt). PutBatch may overshoot
+  /// the buffer by one batch. Off (inline fallback) by default.
+  void set_deferred_backpressure(bool v) { deferred_backpressure_ = v; }
 
   /// First unrecovered background/write-path failure, or OK. Once
   /// non-OK the tree is in read-only degraded mode: writes and
@@ -292,6 +384,8 @@ class LsmTree {
   /// shape: leveling-like levels hold one run within capacity, tiering
   /// levels fewer than T runs.
   bool LevelConforms(int level) const;
+  /// True when some level violates LevelConforms.
+  bool AnyNonConforming() const;
   /// Stamps a freshly built run with the current tuning epoch.
   void Stamp(const std::shared_ptr<Run>& run) {
     run->set_tuning_epoch(tuning_epoch_);
@@ -313,7 +407,12 @@ class LsmTree {
   WalFlushService* flush_service_ = nullptr;
   std::unique_ptr<WalWriter> wal_;  ///< null until AttachDurability
   std::unique_ptr<MemTable> active_;  ///< the mutable write buffer
-  std::unique_ptr<MemTable> sealed_;  ///< full buffer awaiting flush (or null)
+  /// Full buffer awaiting flush (or null). Shared so an off-lock flush
+  /// unit can keep reading it while a racing foreground Flush detaches
+  /// it — install then notices sealed_ changed and discards the output.
+  std::shared_ptr<MemTable> sealed_;
+  /// See set_deferred_backpressure().
+  bool deferred_backpressure_ = false;
   SeqNum next_seq_ = 1;
   uint64_t tuning_epoch_ = 0;  ///< bumped by Reconfigure; stamps new runs
   /// Maybe-work flag for MigrationPending() (see its contract).

@@ -143,8 +143,38 @@ struct Options {
   int background_max_retries = 4;
 
   /// First retry backoff in milliseconds (doubles per attempt, capped at
-  /// 100ms), >= 1.
+  /// 1000ms), >= 1. Backoff never occupies a maintenance worker: the
+  /// scheduler requeues the retry on a deadline (see
+  /// docs/architecture.md, "Compaction scheduler").
   int background_retry_base_ms = 1;
+
+  /// Background compaction I/O budget in bytes/second (0 = unlimited).
+  /// Charged against merge reads and writes via a token bucket; memtable
+  /// flushes are exempt (they bound write stalls, throttling them would
+  /// amplify the stalls the limiter exists to prevent). Mutable via
+  /// ApplyTuning. See docs/operations.md.
+  uint64_t compaction_rate_bytes_per_sec = 0;
+
+  /// Merges spanning at least this many input pages are partitioned by
+  /// key range (split points from the fence pointers) into parallel
+  /// subtasks. 0 disables partitioning. Small merges stay single-stream
+  /// so their page-exact I/O accounting is unchanged (partition boundary
+  /// pages are read by two subtasks).
+  uint64_t compaction_partition_min_pages = 256;
+
+  /// Upper bound on parallel subtasks per partitioned merge. 0 = auto
+  /// (hardware threads, capped at 8); 1 disables partitioning.
+  int compaction_max_subtasks = 0;
+
+  /// Write-path backpressure threshold on level-1 run count (background
+  /// maintenance only): a Put into a shard whose L1 holds more runs than
+  /// this stalls (off the shard lock) until maintenance catches up.
+  /// 0 = auto (size_ratio + 2). See docs/operations.md.
+  int l1_stall_runs = 0;
+
+  /// Worker threads of the ShardedDB maintenance pool. 0 = auto
+  /// (min(num_shards, hardware threads)). Operational, not persisted.
+  int maintenance_threads = 0;
 
   /// OK iff every knob is in range.
   Status Validate() const;

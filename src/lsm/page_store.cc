@@ -52,8 +52,12 @@ StatusOr<SegmentId> PageStore::WriteSegment(const std::vector<Entry>& entries,
 
 class MemPageStore::Writer final : public PageStore::SegmentWriter {
  public:
-  Writer(MemPageStore* store, SegmentId id, IoContext ctx)
-      : store_(store), id_(id), ctx_(ctx) {}
+  /// `data` is the slot's entry vector, cached here because the slot table
+  /// may reallocate while other threads open segments — the vector itself
+  /// is a stable heap allocation, so appends need no store lock.
+  Writer(MemPageStore* store, SegmentId id, std::vector<Entry>* data,
+         IoContext ctx)
+      : store_(store), id_(id), data_(data), ctx_(ctx) {}
 
   ~Writer() override {
     if (!sealed_) store_->FreeSegment(id_);  // abandon
@@ -66,16 +70,14 @@ class MemPageStore::Writer final : public PageStore::SegmentWriter {
     ENDURE_CHECK_MSG(!partial_appended_,
                      "only the final page may be partial");
     partial_appended_ = count < store_->entries_per_page_;
-    std::vector<Entry>& data = *store_->slots_[SlotIndex(id_)].data;
-    data.insert(data.end(), entries, entries + count);
+    data_->insert(data_->end(), entries, entries + count);
     store_->stats_->OnPageWrite(ctx_, 1);
     return Status::OK();
   }
 
   StatusOr<SegmentId> Seal() override {
     ENDURE_CHECK_MSG(!sealed_, "writer already sealed");
-    ENDURE_CHECK_MSG(!store_->slots_[SlotIndex(id_)].data->empty(),
-                     "cannot seal an empty segment");
+    ENDURE_CHECK_MSG(!data_->empty(), "cannot seal an empty segment");
     sealed_ = true;
     return id_;
   }
@@ -83,6 +85,7 @@ class MemPageStore::Writer final : public PageStore::SegmentWriter {
  private:
   MemPageStore* store_;
   SegmentId id_;
+  std::vector<Entry>* data_;
   IoContext ctx_;
   bool partial_appended_ = false;
   bool sealed_ = false;
@@ -90,6 +93,7 @@ class MemPageStore::Writer final : public PageStore::SegmentWriter {
 
 std::unique_ptr<PageStore::SegmentWriter> MemPageStore::NewSegmentWriter(
     IoContext ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint32_t slot;
   if (free_slots_.empty()) {
     ENDURE_CHECK_MSG(slots_.size() < 0xffffffffu, "too many live segments");
@@ -102,10 +106,11 @@ std::unique_ptr<PageStore::SegmentWriter> MemPageStore::NewSegmentWriter(
   slots_[slot].generation = next_generation_++;
   slots_[slot].data = std::make_unique<std::vector<Entry>>();
   const SegmentId id = (slots_[slot].generation << 32) | slot;
-  return std::make_unique<Writer>(this, id, ctx);
+  return std::make_unique<Writer>(this, id, slots_[slot].data.get(), ctx);
 }
 
 const std::vector<Entry>* MemPageStore::SlotData(SegmentId segment) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t index = SlotIndex(segment);
   ENDURE_CHECK_MSG(index < slots_.size(), "unknown segment");
   const Slot& slot = slots_[index];
@@ -130,6 +135,7 @@ StatusOr<PageView> MemPageStore::ReadPageView(SegmentId segment,
 }
 
 void MemPageStore::FreeSegment(SegmentId segment) {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t index = SlotIndex(segment);
   if (index >= slots_.size()) return;
   Slot& slot = slots_[index];
@@ -272,7 +278,10 @@ class FilePageStore::Writer final : public PageStore::SegmentWriter {
       }
     }
     sealed_ = true;
-    store_->segments_.emplace(id_, SegmentMeta{fd_, num_entries_});
+    {
+      std::lock_guard<std::mutex> lock(store_->mu_);
+      store_->segments_.emplace(id_, SegmentMeta{fd_, num_entries_});
+    }
     return id_;
   }
 
@@ -318,8 +327,7 @@ FilePageStore::FilePageStore(uint64_t entries_per_page, Statistics* stats,
                              std::string dir, bool persistent)
     : PageStore(entries_per_page, stats),
       dir_(std::move(dir)),
-      persistent_(persistent),
-      read_scratch_(nullptr, &std::free) {
+      persistent_(persistent) {
   ENDURE_CHECK_MSG(!dir_.empty(), "empty storage dir");
   ::mkdir(dir_.c_str(), 0755);  // best effort; open() below will verify
   if (persistent_) return;  // stable names; the store owns the directory
@@ -347,16 +355,41 @@ std::string FilePageStore::PathFor(SegmentId id) const {
 
 std::unique_ptr<PageStore::SegmentWriter> FilePageStore::NewSegmentWriter(
     IoContext ctx) {
-  const SegmentId id = next_id_++;
+  SegmentId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
   return std::make_unique<Writer>(this, id, PathFor(id), ctx);
+}
+
+FilePageStore::AlignedBuf FilePageStore::BorrowScratch() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!read_scratch_pool_.empty()) {
+      AlignedBuf buf = std::move(read_scratch_pool_.back());
+      read_scratch_pool_.pop_back();
+      return buf;
+    }
+  }
+  return AlignedPage(PageDiskBytes());
+}
+
+void FilePageStore::ReturnScratch(AlignedBuf buf) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_scratch_pool_.push_back(std::move(buf));
 }
 
 StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
                                                size_t page_idx, IoContext ctx,
                                                PageBuffer* scratch) const {
-  auto it = segments_.find(segment);
-  ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
-  const SegmentMeta& meta = it->second;
+  SegmentMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(segment);
+    ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
+    meta = it->second;
+  }
   const size_t begin = page_idx * entries_per_page_;
   ENDURE_CHECK_MSG(begin < meta.num_entries, "page index out of range");
   const size_t count = std::min<size_t>(entries_per_page_,
@@ -364,17 +397,23 @@ StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
 
   const size_t page_bytes = PageBytes();
   const size_t disk_bytes = PageDiskBytes();
-  if (read_scratch_ == nullptr) {
-    read_scratch_ = AlignedPage(disk_bytes);
-    if (read_scratch_ == nullptr) return AllocFailed(disk_bytes);
-  }
+  AlignedBuf raw = BorrowScratch();
+  if (raw == nullptr) return AllocFailed(disk_bytes);
+  // Hand the buffer back on every exit path. A local class inside a member
+  // function shares the function's access rights, so it may call the
+  // private ReturnScratch.
+  struct Returner {
+    const FilePageStore* store;
+    AlignedBuf* buf;
+    ~Returner() { store->ReturnScratch(std::move(*buf)); }
+  } returner{this, &raw};
   const std::string path = PathFor(segment);
   const FaultOutcome fault = CheckFault(FaultSite::kSegmentRead);
   if (fault.err != 0) {
     return Status::IOError("segment read from " + path + " failed: " +
                            ErrnoName(fault.err) + " [injected]");
   }
-  const ssize_t got = ::pread(meta.fd, read_scratch_.get(), disk_bytes,
+  const ssize_t got = ::pread(meta.fd, raw.get(), disk_bytes,
                               static_cast<off_t>(page_idx * disk_bytes));
   if (got < 0) {
     return Status::IOError("segment read from " + path + " failed: " +
@@ -393,13 +432,12 @@ StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
   if (verify) {
     uint32_t stored_count = 0;
     uint32_t stored_crc = 0;
-    std::memcpy(&stored_count, read_scratch_.get() + page_bytes,
-                sizeof(stored_count));
+    std::memcpy(&stored_count, raw.get() + page_bytes, sizeof(stored_count));
     std::memcpy(&stored_crc,
-                read_scratch_.get() + page_bytes + sizeof(stored_count),
+                raw.get() + page_bytes + sizeof(stored_count),
                 sizeof(stored_crc));
     const uint32_t actual =
-        Crc32(read_scratch_.get(), page_bytes + sizeof(stored_count));
+        Crc32(raw.get(), page_bytes + sizeof(stored_count));
     if (stored_crc != actual || stored_count != count) {
       ++stats_->checksum_failures;
       return Status::Corruption(
@@ -410,7 +448,7 @@ StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
   scratch->Reserve(entries_per_page_);
   Entry* dst = scratch->data();
   for (size_t i = 0; i < count; ++i) {
-    dst[i] = DecodeEntry(read_scratch_.get() + i * kEntryBytes);
+    dst[i] = DecodeEntry(raw.get() + i * kEntryBytes);
   }
   scratch->set_size(count);
   stats_->OnPageRead(ctx, 1);
@@ -418,6 +456,7 @@ StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
 }
 
 void FilePageStore::FreeSegment(SegmentId segment) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = segments_.find(segment);
   if (it == segments_.end()) return;
   if (it->second.fd >= 0) ::close(it->second.fd);
@@ -434,6 +473,7 @@ void FilePageStore::FreeSegment(SegmentId segment) {
 
 Status FilePageStore::AdoptSegment(SegmentId id, size_t num_entries) {
   ENDURE_CHECK_MSG(persistent_, "AdoptSegment requires a persistent store");
+  std::lock_guard<std::mutex> lock(mu_);
   if (num_entries == 0) {
     return Status::InvalidArgument("cannot adopt an empty segment");
   }
@@ -461,10 +501,14 @@ Status FilePageStore::AdoptSegment(SegmentId id, size_t num_entries) {
 }
 
 void FilePageStore::PurgePendingDeletes() {
-  for (const std::string& path : pending_deletes_) {
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(pending_deletes_);
+  }
+  for (const std::string& path : doomed) {
     ::unlink(path.c_str());
   }
-  pending_deletes_.clear();
 }
 
 Status FilePageStore::RemoveUnreferencedSegments() {
@@ -483,7 +527,12 @@ Status FilePageStore::RemoveUnreferencedSegments() {
     const unsigned long long id =
         std::strtoull(name.c_str() + 4, &end, 10);
     if (end == nullptr || std::string(end) != ".run") continue;
-    if (segments_.count(static_cast<SegmentId>(id)) == 0) {
+    bool referenced;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      referenced = segments_.count(static_cast<SegmentId>(id)) != 0;
+    }
+    if (!referenced) {
       ::unlink((dir_ + "/" + name).c_str());
     }
   }
@@ -491,6 +540,7 @@ Status FilePageStore::RemoveUnreferencedSegments() {
 }
 
 size_t FilePageStore::NumPages(SegmentId segment) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = segments_.find(segment);
   ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
   return (it->second.num_entries + entries_per_page_ - 1) /
@@ -498,6 +548,7 @@ size_t FilePageStore::NumPages(SegmentId segment) const {
 }
 
 size_t FilePageStore::NumEntries(SegmentId segment) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = segments_.find(segment);
   ENDURE_CHECK_MSG(it != segments_.end(), "unknown segment");
   return it->second.num_entries;

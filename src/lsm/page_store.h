@@ -12,15 +12,19 @@
 //
 // Two backends: MemPageStore (default; pages live in RAM but are accounted
 // as device pages) and FilePageStore (pages serialized to files via POSIX
-// pread/pwrite for end-to-end realism). Stores do no internal locking:
-// each store belongs to one tree and access is serialized by whoever owns
-// that tree (the single experiment thread, or a ShardedDB shard mutex).
+// pread/pwrite for end-to-end realism). Stores synchronize their segment
+// tables internally, so background maintenance can stream merge I/O while
+// the foreground serves reads: concurrent readers, writers and FreeSegment
+// on *distinct* segments are safe. What stays with the caller: a segment is
+// immutable once sealed, is never read before Seal, and is freed only after
+// its last reader is gone (Run's destructor pairs with its shared_ptr).
 
 #ifndef ENDURE_LSM_PAGE_STORE_H_
 #define ENDURE_LSM_PAGE_STORE_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -221,6 +225,11 @@ class MemPageStore final : public PageStore {
 
   const std::vector<Entry>* SlotData(SegmentId segment) const;
 
+  /// Guards the slot table (slots_ itself may reallocate when a new slot
+  /// is added). The entry vectors hang off stable heap allocations, so a
+  /// borrowed PageView or a Writer's cached vector pointer survives table
+  /// growth without holding the lock.
+  mutable std::mutex mu_;
   uint64_t next_generation_ = 1;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
@@ -321,19 +330,30 @@ class FilePageStore final : public PageStore {
   /// On-disk bytes of one page (payload + integrity footer).
   size_t PageDiskBytes() const { return PageBytes() + kPageFooterBytes; }
 
+  using AlignedBuf = std::unique_ptr<char, void (*)(void*)>;
+
+  /// Borrows one aligned PageDiskBytes() scratch buffer from the pool
+  /// (allocating on a dry pool; null on allocation failure — surfaced as
+  /// a Status, not an abort). Return with ReturnScratch.
+  AlignedBuf BorrowScratch() const;
+  void ReturnScratch(AlignedBuf buf) const;
+
   std::string dir_;
   bool persistent_;
   bool verify_checksums_ = true;
   bool scrub_on_recovery_ = true;
   std::string instance_tag_;  ///< unique per process+instance (see .cc)
+  /// Guards the segment table, id counter, deferred deletes and the
+  /// scratch pool. Never held across device I/O: reads copy the fd and
+  /// borrow a scratch buffer under the lock, then pread/decode outside it.
+  mutable std::mutex mu_;
   SegmentId next_id_ = 1;
   std::unordered_map<SegmentId, SegmentMeta> segments_;
   std::vector<std::string> pending_deletes_;  ///< persistent mode only
-  /// Page-aligned scratch for ReadPage, sized PageDiskBytes(); allocated
-  /// lazily on the first read (allocation failure surfaces as a Status,
-  /// not an abort) and reused across reads (safe: access to a store is
-  /// serialized by the tree's owner).
-  mutable std::unique_ptr<char, void (*)(void*)> read_scratch_;
+  /// Page-aligned read buffers, one borrowed per in-flight read; the pool
+  /// high-water mark is the read concurrency (foreground + merge threads),
+  /// so steady-state reads still allocate nothing.
+  mutable std::vector<AlignedBuf> read_scratch_pool_;
 };
 
 /// Factory over Options::backend. `persistent` selects FilePageStore's

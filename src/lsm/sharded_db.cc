@@ -53,17 +53,40 @@ ShardedDB::ShardedDB(const Options& options, bool defer_shards)
     }
   }
   if (options_.background_maintenance) {
-    pool_ = std::make_unique<ThreadPool>(
-        std::min(static_cast<size_t>(options_.num_shards),
-                 DefaultParallelism()));
+    const size_t workers =
+        options_.maintenance_threads > 0
+            ? static_cast<size_t>(options_.maintenance_threads)
+            : std::min(static_cast<size_t>(options_.num_shards),
+                       DefaultParallelism());
+    pool_ = std::make_unique<ThreadPool>(workers);
+    CompactionScheduler::Config cfg;
+    // Admission as wide as the pool: the pool's FIFO queue then never
+    // holds a waiting job, so it can never invert the scheduler's
+    // priority order. Partition subtasks still fit — RunSubtasks has the
+    // merge thread participate, recruiting helpers only when workers are
+    // free.
+    cfg.max_parallel = workers;
+    cfg.rate_bytes_per_sec = options_.compaction_rate_bytes_per_sec;
+    scheduler_ = std::make_unique<CompactionScheduler>(pool_.get(), cfg,
+                                                       &sched_stats_);
+    // With a scheduler attached, a writer that fills the active buffer
+    // while a sealed one is still pending defers to backpressure
+    // (MaybeStallWrites) instead of flushing inline under its own lock
+    // hold.
+    for (auto& shard : shards_) {
+      shard->tree->set_deferred_backpressure(true);
+    }
   }
 }
 
 ShardedDB::~ShardedDB() {
-  // pool_ (declared last) is destroyed first, draining queued jobs while
-  // the shards they reference are still alive; nothing else to do here.
-  // Durable shards sync their WALs in the tree teardown (clean close
-  // loses nothing, whatever the sync mode).
+  // Stop the scheduler first: queued and delayed jobs are dropped and
+  // in-flight ones cannot reschedule. pool_ (declared last) is then
+  // destroyed, draining its in-flight jobs while the shards and the
+  // scheduler they reference are still alive. Durable shards sync their
+  // WALs in the tree teardown (clean close loses nothing, whatever the
+  // sync mode).
+  if (scheduler_ != nullptr) scheduler_->Stop();
 }
 
 StatusOr<std::unique_ptr<ShardedDB>> ShardedDB::Open(const Options& options) {
@@ -139,12 +162,13 @@ StatusOr<std::unique_ptr<ShardedDB>> ShardedDB::Open(const Options& options) {
 
   // Resume interrupted work: shards that recovered mid-migration (or
   // with a sealed buffer rebuilt by replay) reschedule immediately on
-  // the pool; without one (foreground mode) the migration converges
+  // the scheduler; without one (foreground mode) the migration converges
   // inline here, mirroring ApplyTuning's foreground behaviour.
   for (auto& shard_ptr : db->shards_) {
     Shard* shard = shard_ptr.get();
     std::lock_guard<std::mutex> lock(shard->mu);
-    if (db->pool_ != nullptr) {
+    if (db->scheduler_ != nullptr) {
+      shard->tree->set_deferred_backpressure(true);
       db->MaybeScheduleMaintenance(shard);
     } else {
       bool did_work = true;
@@ -197,76 +221,138 @@ size_t ShardedDB::ShardForKey(Key key) const {
 }
 
 void ShardedDB::MaybeScheduleMaintenance(Shard* shard) {
-  if (pool_ == nullptr || shard->maintenance_scheduled ||
-      !shard->tree->Health().ok() ||
-      (!shard->tree->HasSealedMemtable() &&
-       !shard->tree->MigrationPending())) {
+  if (scheduler_ == nullptr || shard->maintenance_scheduled ||
+      !shard->tree->Health().ok() || !shard->tree->HasMaintenanceWork()) {
     return;
   }
   shard->maintenance_scheduled = true;
-  // TrySubmit: a job that outlives the last foreground op can race pool
-  // shutdown; dropping it is fine (the whole DB is being torn down).
+  // Enqueue at the shard's CURRENT priority: a flush beats a migration
+  // step beats a major compaction across all shards. Enqueue returns
+  // false only during teardown; dropping the job is fine then.
   const bool queued =
-      pool_->TrySubmit([this, shard] { RunMaintenance(shard); });
+      scheduler_->Enqueue(shard->tree->MaintenancePriority(),
+                          [this, shard] { RunMaintenanceUnit(shard); });
   if (!queued) shard->maintenance_scheduled = false;
 }
 
-void ShardedDB::RunMaintenance(Shard* shard) {
-  int failures = 0;
-  int base_ms = 1;
+MergeLimits ShardedDB::MakeMergeLimits() const {
+  MergeLimits limits;
+  if (scheduler_ == nullptr) return limits;
+  limits.limiter = scheduler_->limiter();
+  limits.subtask_pool = scheduler_->subtask_pool();
+  const Options opts = options();  // options_mu_ only; no shard lock held
+  limits.max_subtasks =
+      opts.compaction_max_subtasks > 0
+          ? static_cast<size_t>(opts.compaction_max_subtasks)
+          : std::min<size_t>(8, DefaultParallelism());
+  limits.min_pages_to_partition =
+      static_cast<size_t>(opts.compaction_partition_min_pages);
+  return limits;
+}
+
+void ShardedDB::RunMaintenanceUnit(Shard* shard) {
+  // Execution controls snapshot before taking the shard lock
+  // (MakeMergeLimits takes options_mu_, which shard->mu nests inside).
+  const MergeLimits limits = MakeMergeLimits();
+
+  MaintenanceUnit unit;
   {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->maintenance_scheduled = false;
-    // One unit of work per job, then yield and reschedule: either a
-    // single migration step (reshape one level toward the current
-    // tuning) or the sealed-buffer flush. Migration goes first — while
-    // the tree is mid-migration a flush would cascade through every
-    // non-conforming level in one unbounded lock hold, whereas step +
-    // flush keeps each hold bounded and lets foreground ops interleave.
-    // The sealed buffer stays readable (and Write's backpressure still
-    // bounds it to one) until its turn comes.
-    bool did_work = false;
-    Status s = shard->tree->AdvanceMigration(&did_work);
-    if (s.ok() && !did_work) {
-      s = shard->tree->FlushSealedMemtable();
-    }
-    if (s.ok()) {
-      shard->maintenance_failures = 0;
-      MaybeScheduleMaintenance(shard);
+    if (!shard->tree->Health().ok()) {
+      shard->cv.notify_all();
       return;
     }
-    // Transient-until-proven-permanent: the failed step left the tree
-    // consistent and retryable (flush restored its buffer, migration
-    // its level), so count the failure and back off. Retry knobs come
-    // from the tree's own options — reading options_ here would invert
-    // the options_mu_ → shard->mu lock order.
-    ++shard->stats.io_retries;
-    failures = ++shard->maintenance_failures;
-    base_ms = shard->tree->options().background_retry_base_ms;
-    if (failures > shard->tree->options().background_max_retries) {
-      // Retry budget exhausted: declare the fault permanent and latch
-      // the shard read-only. No reschedule — the pending work stays
-      // resident (and durable state valid) for a reopen to retry.
-      shard->tree->LatchBackgroundError(s);
+    unit = shard->tree->PrepareMaintenance();
+    if (unit.kind == MaintenanceUnit::Kind::kNone) {
+      // Nothing pending (a foreground op may have drained the work, or a
+      // resolved migration just cleared its flag). Do NOT reschedule —
+      // that would spin; the next write re-arms maintenance.
+      shard->cv.notify_all();
       return;
     }
+    shard->unit_in_flight = true;
   }
-  // Exponential backoff outside the shard lock (foreground ops keep
-  // flowing), then requeue the retry.
-  const int delay_ms =
-      std::min(base_ms << std::min(failures - 1, 7), 100);
-  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+
+  // The expensive phase — merge/flush I/O — with the shard UNLOCKED:
+  // foreground Get/Put/Scan proceed against the still-resident inputs.
+  Status s = shard->tree->ExecuteMaintenance(&unit, limits);
+
   std::lock_guard<std::mutex> lock(shard->mu);
-  if (shard->maintenance_scheduled || !shard->tree->Health().ok()) return;
+  shard->unit_in_flight = false;
+  if (s.ok()) s = shard->tree->InstallMaintenance(&unit);
+  if (s.ok()) {
+    shard->maintenance_failures = 0;
+    // Wake stalled writers BEFORE rescheduling: the install may have
+    // cleared the sealed buffer or shrunk level 1 below the threshold.
+    shard->cv.notify_all();
+    MaybeScheduleMaintenance(shard);
+    return;
+  }
+  // Transient-until-proven-permanent: the failed unit left the tree
+  // consistent (a discarded output frees its segment; the inputs stayed
+  // resident), so count the failure and back off. Retry knobs come from
+  // the tree's own options — reading options_ here would invert the
+  // options_mu_ → shard->mu lock order.
+  ++shard->stats.io_retries;
+  const int failures = ++shard->maintenance_failures;
+  const int base_ms = shard->tree->options().background_retry_base_ms;
+  if (failures > shard->tree->options().background_max_retries) {
+    // Retry budget exhausted: declare the fault permanent and latch the
+    // shard read-only. No reschedule — the pending work stays resident
+    // (and durable state valid) for a reopen to retry.
+    shard->tree->LatchBackgroundError(s);
+    shard->cv.notify_all();
+    return;
+  }
+  // Park the retry on the scheduler's deadline queue. Unlike the old
+  // sleep-on-the-worker backoff, this frees the pool immediately — other
+  // shards' maintenance proceeds while this shard waits out its delay.
   shard->maintenance_scheduled = true;
-  const bool queued =
-      pool_->TrySubmit([this, shard] { RunMaintenance(shard); });
+  const uint64_t delay_ms = static_cast<uint64_t>(
+      std::min(base_ms << std::min(failures - 1, 7), 1000));
+  const bool queued = scheduler_->EnqueueDelayed(
+      shard->tree->MaintenancePriority(), delay_ms,
+      [this, shard] { RunMaintenanceUnit(shard); });
   if (!queued) shard->maintenance_scheduled = false;
+}
+
+void ShardedDB::MaybeStallWrites(Shard* shard,
+                                 std::unique_lock<std::mutex>* lock) {
+  if (scheduler_ == nullptr) return;
+  // Saturation: the write about to apply has nowhere to go (sealed
+  // buffer pending AND active buffer full — deferred backpressure mode
+  // never flushes inline) or level 1 has accumulated enough flushed runs
+  // that reads are degrading faster than compaction is draining them.
+  const auto saturated = [&] {
+    const Options& topts = shard->tree->options();
+    const size_t threshold =
+        topts.l1_stall_runs > 0
+            ? static_cast<size_t>(topts.l1_stall_runs)
+            : static_cast<size_t>(topts.size_ratio) + 2;
+    return (shard->tree->HasSealedMemtable() &&
+            shard->tree->memtable().IsFull()) ||
+           shard->tree->RunsInLevel(1) > threshold;
+  };
+  if (!saturated()) return;
+  ++shard->stats.write_stalls;
+  const auto start = std::chrono::steady_clock::now();
+  while (saturated() && shard->tree->Health().ok() &&
+         !scheduler_->stopped()) {
+    MaybeScheduleMaintenance(shard);
+    // Bounded slices rather than a bare wait: shutdown (scheduler Stop)
+    // has no hook into per-shard cvs, so re-check its flag periodically.
+    shard->cv.wait_for(*lock, std::chrono::milliseconds(5));
+  }
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  shard->stats.compaction_stall_ms += static_cast<uint64_t>(waited.count());
 }
 
 Status ShardedDB::Put(Key key, Value value) {
   Shard* shard = shards_[ShardForKey(key)].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  std::unique_lock<std::mutex> lock(shard->mu);
+  MaybeStallWrites(shard, &lock);
   const Status s = shard->tree->Put(key, value);
   MaybeScheduleMaintenance(shard);
   return s;
@@ -282,7 +368,11 @@ Status ShardedDB::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (parts[s].empty()) continue;
     Shard* shard = shards_[s].get();
-    std::lock_guard<std::mutex> lock(shard->mu);
+    std::unique_lock<std::mutex> lock(shard->mu);
+    // Backpressure checks once up front, so a batch may overshoot the
+    // buffer by its own size — acceptable: batches group-commit and the
+    // next write absorbs the stall.
+    MaybeStallWrites(shard, &lock);
     // Keep going on error — the batch is documented as non-atomic across
     // shards, and one latched shard must not starve the healthy ones.
     const Status st = shard->tree->PutBatch(parts[s]);
@@ -294,7 +384,8 @@ Status ShardedDB::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
 
 Status ShardedDB::Delete(Key key) {
   Shard* shard = shards_[ShardForKey(key)].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  std::unique_lock<std::mutex> lock(shard->mu);
+  MaybeStallWrites(shard, &lock);
   const Status s = shard->tree->Delete(key);
   MaybeScheduleMaintenance(shard);
   return s;
@@ -306,7 +397,7 @@ std::optional<Value> ShardedDB::Get(Key key) {
   return shard->tree->Get(key);
 }
 
-std::vector<Entry> ShardedDB::Scan(Key lo, Key hi) {
+StatusOr<std::vector<Entry>> ShardedDB::Scan(Key lo, Key hi) {
   if (shards_.size() == 1) {
     Shard* shard = shards_.front().get();
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -319,13 +410,16 @@ std::vector<Entry> ShardedDB::Scan(Key lo, Key hi) {
   streams.reserve(shards_.size());
   for (auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
-    std::vector<Entry> part;
-    {
+    StatusOr<std::vector<Entry>> part_or = [&] {
       std::lock_guard<std::mutex> lock(shard->mu);
-      part = shard->tree->Scan(lo, hi);
-    }
-    if (!part.empty()) {
-      streams.push_back(std::make_unique<VectorStream>(std::move(part)));
+      return shard->tree->Scan(lo, hi);
+    }();
+    // First failing shard wins; a partial cross-shard result would look
+    // exactly like missing keys to the caller.
+    ENDURE_RETURN_IF_ERROR(part_or.status());
+    if (!part_or->empty()) {
+      streams.push_back(
+          std::make_unique<VectorStream>(std::move(*part_or)));
     }
   }
   MergeIterator merge(std::move(streams));
@@ -357,6 +451,11 @@ Status ShardedDB::Health() const {
 }
 
 void ShardedDB::WaitForMaintenance() {
+  // WaitIdle covers queued, delayed (backoff) and running jobs — a chain
+  // of self-rescheduling units counts as continuously active, so the
+  // return really is a quiescent point. The pool Wait then covers any
+  // job admitted in the last instant.
+  if (scheduler_ != nullptr) scheduler_->WaitIdle();
   if (pool_ != nullptr) pool_->Wait();
 }
 
@@ -429,6 +528,10 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
         "durability and WAL sync settings cannot change on a live "
         "database");
   }
+  if (new_options.maintenance_threads != options_.maintenance_threads) {
+    return Status::InvalidArgument(
+        "maintenance_threads is fixed at open (the pool is sized once)");
+  }
   if (options_.durability) {
     // Republish the root manifest BEFORE touching any shard: the only
     // fallible durable step happens while the old tuning is still fully
@@ -467,7 +570,7 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
                         " (earlier shards run the new tuning; retry "
                         "re-levels): " + s.message());
     }
-    if (pool_ != nullptr) {
+    if (scheduler_ != nullptr) {
       MaybeScheduleMaintenance(shard);
     } else {
       // Foreground mode: converge this shard's structure inline (the
@@ -485,13 +588,21 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
     }
   }
   options_ = new_options;
+  // Live-retune the shared merge throttle: in-flight Acquires pick the
+  // new rate up within one wait slice.
+  if (scheduler_ != nullptr) {
+    scheduler_->limiter()->set_rate(options_.compaction_rate_bytes_per_sec);
+  }
   return Status::OK();
 }
 
 void ShardedDB::CrashForTesting() {
-  // Shutdown (not reset): in-flight jobs finish — the crash point is
-  // after them — and may still read pool_ while they wind down, so the
-  // pointer itself must not be mutated under their feet.
+  // Stop the scheduler first (queued/delayed jobs and rate-limiter waits
+  // are dropped), then Shutdown — not reset — the pool: in-flight jobs
+  // finish — the crash point is after them — and may still read pool_
+  // and scheduler_ while they wind down, so neither pointer may be
+  // mutated under their feet.
+  if (scheduler_ != nullptr) scheduler_->Stop();
   if (pool_ != nullptr) pool_->Shutdown();
   for (auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
@@ -513,6 +624,7 @@ MigrationProgress ShardedDB::Progress() const {
 Statistics ShardedDB::TotalStats() const {
   Statistics total;
   for (const auto& shard : shards_) total.Accumulate(shard->stats);
+  total.Accumulate(sched_stats_);  // scheduler counters are DB-wide
   return total;
 }
 

@@ -2,22 +2,30 @@
 //
 // Concurrent front-end of the storage engine: hash-partitions the key
 // space across Options::num_shards independent LsmTree shards, each
-// guarded by its own mutex, with memtable flushes (and the compactions
-// they cascade into) scheduled on a util::ThreadPool when
-// Options::background_maintenance is set. Writers that fill a shard's
-// buffer seal it and return immediately; Get/Scan consult the
+// guarded by its own mutex. With Options::background_maintenance,
+// flushes and compactions run through a CompactionScheduler (priority
+// admission, rate limiting, deadline-based retry) on a util::ThreadPool,
+// using the tree's prepare/execute/install protocol so merge I/O happens
+// OFF the shard lock — foreground Get/Put only contend with the brief
+// snapshot and run-list-swap phases. Writers that fill a shard's buffer
+// seal it and return immediately; Get/Scan consult the
 // sealed-but-unflushed buffer so an acknowledged write is always visible.
-// See docs/architecture.md ("Concurrency model") for the locking
-// discipline and the maintenance-job lifecycle.
+// Saturated shards (sealed buffer pending and the active buffer full, or
+// too many level-1 runs) apply backpressure: writers stall, with the time
+// accounted in Statistics::compaction_stall_ms. See docs/architecture.md
+// ("Concurrency model") for the locking discipline and the
+// maintenance-job lifecycle.
 
 #ifndef ENDURE_LSM_SHARDED_DB_H_
 #define ENDURE_LSM_SHARDED_DB_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "lsm/compaction_scheduler.h"
 #include "lsm/lsm_tree.h"
 #include "util/env.h"
 #include "util/status.h"
@@ -80,7 +88,9 @@ class ShardedDB {
   /// disjoint key sets, so this is a sorted union) in key order. Shards
   /// are snapshotted one at a time — the scan is atomic per shard, not
   /// across shards, like an iterator over a sharded RocksDB deployment.
-  std::vector<Entry> Scan(Key lo, Key hi);
+  /// Returns the first failing shard's read error (I/O or checksum)
+  /// instead of a silently truncated result.
+  StatusOr<std::vector<Entry>> Scan(Key lo, Key hi);
 
   /// Synchronously flushes every shard (sealed buffer first, then the
   /// active one). Does not wait for previously scheduled background jobs;
@@ -173,6 +183,9 @@ class ShardedDB {
  private:
   struct Shard {
     std::mutex mu;  ///< guards tree, store contents and scheduling state
+    /// Signalled whenever maintenance installs work (or the shard goes
+    /// idle/unhealthy); stalled writers wait here.
+    std::condition_variable cv;
     Statistics stats;
     std::unique_ptr<PageStore> store;
     std::unique_ptr<LsmTree> tree;
@@ -180,6 +193,11 @@ class ShardedDB {
     /// (at most one in flight per shard; the job re-checks for sealed
     /// work under the lock, so a foreground Flush racing it is benign).
     bool maintenance_scheduled = false;
+    /// True while a prepared unit is executing OFF the lock (between
+    /// PrepareMaintenance and InstallMaintenance). Purely observational:
+    /// foreground ops never wait on it — stale units discard themselves
+    /// at install.
+    bool unit_in_flight = false;
     /// Consecutive background-maintenance failures (guarded by mu).
     /// Reset on success; when it exceeds Options::background_max_retries
     /// the shard's tree is latched read-only.
@@ -198,20 +216,37 @@ class ShardedDB {
   Status RecoverShard(const Options& root_opts, int index,
                       std::unique_ptr<Shard>* out);
 
-  /// Called with `shard->mu` held: schedules a maintenance job if the
-  /// shard has sealed work or a pending tuning migration and none is in
-  /// flight. Each job flushes sealed work, advances the migration by at
-  /// most one level, and reschedules itself while work remains — so a
-  /// reconfiguration converges in bounded steps without ever holding a
-  /// shard lock for a whole-tree rebuild.
+  /// Called with `shard->mu` held: enqueues a maintenance job on the
+  /// scheduler if the shard has pending work (sealed buffer, pending
+  /// migration, or a non-conforming level) and none is in flight, at the
+  /// shard's current priority (flush 0 / migration step 1 / major
+  /// compaction 2). Each job performs one bounded unit of work and
+  /// reschedules itself while work remains — so a reconfiguration
+  /// converges in bounded steps without ever holding a shard lock for a
+  /// whole-tree rebuild.
   void MaybeScheduleMaintenance(Shard* shard);
 
-  /// Body of a scheduled maintenance job: one unit of work (migration
-  /// step or sealed flush) plus the transient-fault retry policy —
-  /// exponential backoff (Options::background_retry_base_ms, doubling,
-  /// capped at 100ms) between attempts, latching the shard read-only
-  /// once Options::background_max_retries consecutive attempts failed.
-  void RunMaintenance(Shard* shard);
+  /// Body of a scheduled maintenance job, running the tree's three-phase
+  /// protocol: PrepareMaintenance under the shard lock, ExecuteMaintenance
+  /// (the merge/flush I/O) with the lock RELEASED, InstallMaintenance
+  /// under the lock again. Transient failures retry with exponential
+  /// backoff (Options::background_retry_base_ms, doubling, capped at 1s)
+  /// via the scheduler's deadline queue — no pool worker sleeps out the
+  /// backoff — latching the shard read-only once
+  /// Options::background_max_retries consecutive attempts failed.
+  void RunMaintenanceUnit(Shard* shard);
+
+  /// Snapshot of the execution controls for one maintenance job (rate
+  /// limiter, subtask pool and partitioning knobs). Takes options_mu_
+  /// only — call WITHOUT the shard lock held.
+  MergeLimits MakeMergeLimits() const;
+
+  /// Called with `lock` held on shard->mu before applying a write:
+  /// blocks while the shard is saturated (sealed buffer pending AND the
+  /// active memtable full, or level 1 over Options::l1_stall_runs),
+  /// releasing the lock so maintenance can drain. Accounts the wait in
+  /// write_stalls / compaction_stall_ms. No-op without a scheduler.
+  void MaybeStallWrites(Shard* shard, std::unique_lock<std::mutex>* lock);
 
   /// Serializes ApplyTuning calls and guards options_ (shard locks nest
   /// inside it; options() readers take only this).
@@ -226,6 +261,15 @@ class ShardedDB {
   /// writers registered with it.
   std::unique_ptr<WalFlushService> flush_service_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Scheduler-level counters (sched_jobs / sched_requeues /
+  /// sched_queue_peak); folded into TotalStats(). Not per-shard: the
+  /// scheduler is shared.
+  Statistics sched_stats_;
+  /// Admission gate + retry timer + shared merge rate limiter in front of
+  /// pool_. Declared BEFORE pool_ so it is destroyed after: jobs the pool
+  /// drains during its own destruction call back into the scheduler.
+  /// (~ShardedDB stops it first so those jobs cannot reschedule.)
+  std::unique_ptr<CompactionScheduler> scheduler_;
   /// Declared after shards_ so it is destroyed first: the destructor
   /// drains queued jobs while the shards they reference are still alive.
   std::unique_ptr<ThreadPool> pool_;

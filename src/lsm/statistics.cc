@@ -76,6 +76,17 @@ void Statistics::Accumulate(const Statistics& shard) {
   io_retries += shard.io_retries;
   checksum_failures += shard.checksum_failures;
   read_only_transitions += shard.read_only_transitions;
+  compaction_stall_ms += shard.compaction_stall_ms;
+  write_stalls += shard.write_stalls;
+  rate_limited_ms += shard.rate_limited_ms;
+  compactions_partitioned += shard.compactions_partitioned;
+  compaction_subtasks += shard.compaction_subtasks;
+  sched_jobs += shard.sched_jobs;
+  sched_requeues += shard.sched_requeues;
+  // A gauge, not a sum: the deployment-wide peak is the max over sources.
+  if (shard.sched_queue_peak > sched_queue_peak) {
+    sched_queue_peak = shard.sched_queue_peak.load();
+  }
 }
 
 Statistics Statistics::Delta(const Statistics& b) const {
@@ -113,11 +124,22 @@ Statistics Statistics::Delta(const Statistics& b) const {
   d.io_retries = io_retries - b.io_retries;
   d.checksum_failures = checksum_failures - b.checksum_failures;
   d.read_only_transitions = read_only_transitions - b.read_only_transitions;
+  d.compaction_stall_ms = compaction_stall_ms - b.compaction_stall_ms;
+  d.write_stalls = write_stalls - b.write_stalls;
+  d.rate_limited_ms = rate_limited_ms - b.rate_limited_ms;
+  d.compactions_partitioned =
+      compactions_partitioned - b.compactions_partitioned;
+  d.compaction_subtasks = compaction_subtasks - b.compaction_subtasks;
+  d.sched_jobs = sched_jobs - b.sched_jobs;
+  d.sched_requeues = sched_requeues - b.sched_requeues;
+  // Gauge: the session's peak is simply the current peak (a baseline
+  // subtraction would be meaningless for a max).
+  d.sched_queue_peak = sched_queue_peak.load();
   return d;
 }
 
 std::string Statistics::ToString() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "Statistics{\n"
@@ -133,7 +155,10 @@ std::string Statistics::ToString() const {
       "  durability: manifest_writes=%llu recoveries=%llu "
       "replayed=%llu recovery_pages=%llu\n"
       "  faults: io_retries=%llu checksum_failures=%llu "
-      "read_only_transitions=%llu\n}",
+      "read_only_transitions=%llu\n"
+      "  scheduler: jobs=%llu requeues=%llu queue_peak=%llu\n"
+      "  stalls: write_stalls=%llu stall_ms=%llu rate_limited_ms=%llu\n"
+      "  partitioned: merges=%llu subtasks=%llu\n}",
       static_cast<unsigned long long>(pages_read),
       static_cast<unsigned long long>(point_pages_read),
       static_cast<unsigned long long>(range_pages_read),
@@ -164,7 +189,15 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(recovery_pages_read),
       static_cast<unsigned long long>(io_retries),
       static_cast<unsigned long long>(checksum_failures),
-      static_cast<unsigned long long>(read_only_transitions));
+      static_cast<unsigned long long>(read_only_transitions),
+      static_cast<unsigned long long>(sched_jobs),
+      static_cast<unsigned long long>(sched_requeues),
+      static_cast<unsigned long long>(sched_queue_peak),
+      static_cast<unsigned long long>(write_stalls),
+      static_cast<unsigned long long>(compaction_stall_ms),
+      static_cast<unsigned long long>(rate_limited_ms),
+      static_cast<unsigned long long>(compactions_partitioned),
+      static_cast<unsigned long long>(compaction_subtasks));
   return buf;
 }
 

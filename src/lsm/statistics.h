@@ -108,6 +108,16 @@ struct Statistics {
   RelaxedCounter checksum_failures = 0;    ///< page CRC mismatches / truncated pages
   RelaxedCounter read_only_transitions = 0;///< shards latched into read-only degraded mode
 
+  // --- compaction scheduler (see docs/architecture.md) ---
+  RelaxedCounter compaction_stall_ms = 0;  ///< ms writers stalled on backpressure
+  RelaxedCounter write_stalls = 0;         ///< Put/Delete calls that stalled
+  RelaxedCounter rate_limited_ms = 0;      ///< ms merges waited on the rate limiter
+  RelaxedCounter compactions_partitioned = 0;///< merges split into parallel subtasks
+  RelaxedCounter compaction_subtasks = 0;  ///< key-range subtasks run by partitioned merges
+  RelaxedCounter sched_jobs = 0;           ///< maintenance jobs admitted to the scheduler
+  RelaxedCounter sched_requeues = 0;       ///< deadline-delayed retry requeues
+  RelaxedCounter sched_queue_peak = 0;     ///< max jobs waiting in the priority queue (gauge)
+
   /// Records one page read attributed to `ctx`.
   void OnPageRead(IoContext ctx, uint64_t pages = 1);
 

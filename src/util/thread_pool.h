@@ -75,6 +75,16 @@ size_t DefaultParallelism();
 void ParallelFor(size_t n, size_t max_threads,
                  const std::function<void(size_t)>& fn);
 
+/// Runs fn(0), ..., fn(n-1) cooperatively: the CALLER drains a shared
+/// index counter alongside up to n-1 pool helpers recruited via
+/// TrySubmit. Progress never depends on the pool — a null, busy or
+/// single-thread pool degrades to inline execution (so code already
+/// running ON a pool worker can fan out without risking deadlock).
+/// Returns once every index has run; `fn` must not throw and must be
+/// safe to call concurrently for distinct indices.
+void RunSubtasks(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
 }  // namespace endure
 
 #endif  // ENDURE_UTIL_THREAD_POOL_H_

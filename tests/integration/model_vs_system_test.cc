@@ -103,7 +103,7 @@ TEST_F(ModelVsSystemTest, RangeQueryIoScalesWithRuns) {
     const int n = 500;
     for (int i = 0; i < n; ++i) {
       const lsm::Key lo = universe.SampleExisting(&rng);
-      (*db)->Scan(lo, lo + 8);
+      (void)(*db)->Scan(lo, lo + 8);
     }
     const lsm::Statistics d = (*db)->stats().Delta(before);
     return static_cast<double>(d.range_pages_read) / n;

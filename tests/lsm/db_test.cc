@@ -30,7 +30,7 @@ TEST(DbTest, BasicCrud) {
   EXPECT_EQ((*db)->Get(1).value(), 10u);
   (*db)->Delete(1);
   EXPECT_FALSE((*db)->Get(1).has_value());
-  EXPECT_EQ((*db)->Scan(0, 100).size(), 1u);
+  EXPECT_EQ((*db)->Scan(0, 100).value().size(), 1u);
 }
 
 TEST(DbTest, BulkLoadThenRead) {
@@ -86,7 +86,7 @@ TEST(DbTest, FileBackendEndToEnd) {
     ASSERT_TRUE((*db)->Get(k * 2).has_value()) << k;
     EXPECT_EQ((*db)->Get(k * 2).value(), k);
   }
-  const auto scan = (*db)->Scan(10, 30);
+  const auto scan = (*db)->Scan(10, 30).value();
   EXPECT_EQ(scan.size(), 10u);
 }
 

@@ -74,7 +74,7 @@ void RunOps(DbT* db, const std::vector<Op>& ops, size_t begin, size_t end,
         break;
       }
       case Op::kScan: {
-        const std::vector<Entry> got = db->Scan(op.key, op.hi);
+        const std::vector<Entry> got = db->Scan(op.key, op.hi).value();
         const auto want = oracle.Scan(op.key, op.hi);
         ASSERT_EQ(got.size(), want.size());
         for (size_t j = 0; j < want.size(); ++j) {
@@ -100,7 +100,7 @@ void RunOps(DbT* db, const std::vector<Op>& ops, size_t begin, size_t end,
 template <typename DbT>
 void VerifyFullScan(DbT* db, const ReferenceModel& oracle, uint64_t seed,
                     const char* where) {
-  const std::vector<Entry> got = db->Scan(0, ~0ull);
+  const std::vector<Entry> got = db->Scan(0, ~0ull).value();
   const auto want = oracle.Scan(0, ~0ull);
   ASSERT_EQ(got.size(), want.size()) << "seed=" << seed << " " << where;
   for (size_t j = 0; j < want.size(); ++j) {

@@ -39,7 +39,7 @@ TEST(IoAccountingTest, CategoriesPartitionTotalReads) {
     db->Get(universe.SampleExisting(&rng));
     db->Get(universe.SampleMissing(&rng));
     const Key lo = universe.SampleExisting(&rng);
-    db->Scan(lo, lo + 8);
+    (void)db->Scan(lo, lo + 8);
     db->Put(universe.NextWriteKey(), 1);
   }
   const Statistics& s = db->stats();
@@ -96,7 +96,7 @@ TEST(IoAccountingTest, LongScanPagesMatchSelectivity) {
   auto db = Loaded(Opts(), 20000);  // keys 0..39998, 5000 pages of 4
   const Statistics before = db->stats();
   // Scan 10% of the key domain: 2000 entries ~ 500 pages.
-  const auto out = db->Scan(0, 4000);
+  const auto out = db->Scan(0, 4000).value();
   EXPECT_EQ(out.size(), 2000u);
   const Statistics d = db->stats().Delta(before);
   const double expected_pages = 2000.0 / 4.0;
@@ -129,7 +129,7 @@ TEST(IoAccountingTest, OperationCountersTrackCalls) {
   for (int i = 0; i < 50; ++i) db->Get(universe.SampleExisting(&rng));
   for (int i = 0; i < 30; ++i) {
     const Key lo = universe.SampleExisting(&rng);
-    db->Scan(lo, lo + 4);
+    (void)db->Scan(lo, lo + 4);
   }
   for (int i = 0; i < 20; ++i) db->Put(universe.NextWriteKey(), 1);
   for (int i = 0; i < 10; ++i) db->Delete(2 * i);
@@ -197,7 +197,7 @@ TEST(IoAccountingTest, SingleRunScanChargesOverlappingPagesAndOneSeek) {
   const Statistics before = (*db)->stats();
   // Keys 100..198 are entries 50..99, i.e. pages 12..24 (13 pages), one
   // qualifying run.
-  const auto out = (*db)->Scan(100, 200);
+  const auto out = (*db)->Scan(100, 200).value();
   EXPECT_EQ(out.size(), 50u);
   const Statistics d = (*db)->stats().Delta(before);
   EXPECT_EQ(d.range_seeks, 1u);
@@ -224,7 +224,7 @@ TEST(IoAccountingTest, FileBackendCountsMatchMemoryBackendExactly) {
       (*db)->Get(universe.SampleExisting(&rng));
       (*db)->Get(universe.SampleMissing(&rng));
       const Key lo = universe.SampleExisting(&rng);
-      (*db)->Scan(lo, lo + 12);
+      (void)(*db)->Scan(lo, lo + 12);
       (*db)->Put(universe.NextWriteKey(), 1);
       if (i % 50 == 0) (*db)->Delete(2 * static_cast<Key>(i));
     }
@@ -275,7 +275,7 @@ void RunWorkload(ShardedDB* db, uint64_t seed) {
     db->Get(universe.SampleExisting(&rng));
     db->Get(universe.SampleMissing(&rng));
     const Key lo = universe.SampleExisting(&rng);
-    db->Scan(lo, lo + 12);
+    (void)db->Scan(lo, lo + 12);
     db->Put(universe.NextWriteKey(), 1);
     if (i % 40 == 0) db->Delete(2 * static_cast<Key>(i));
   }

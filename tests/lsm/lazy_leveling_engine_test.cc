@@ -106,7 +106,7 @@ TEST(LazyLevelingEngineTest, RandomOpsMatchReference) {
       }
     } else {
       const Key hi = k + rng.UniformInt(1, 30);
-      const auto got = db->Scan(k, hi);
+      const auto got = db->Scan(k, hi).value();
       std::vector<std::pair<Key, Value>> expect;
       for (auto it = ref.lower_bound(k); it != ref.end() && it->first < hi;
            ++it) {

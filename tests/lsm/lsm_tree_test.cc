@@ -84,7 +84,7 @@ TEST_P(LsmTreeTest, AutomaticFlushWhenBufferFills) {
 TEST_P(LsmTreeTest, ScanReturnsSortedLiveEntries) {
   for (Key k = 0; k < 50; ++k) tree_.Put(k * 2, k);
   tree_.Delete(10);
-  const std::vector<Entry> out = tree_.Scan(5, 21);
+  const std::vector<Entry> out = tree_.Scan(5, 21).value();
   // Keys 6, 8, 12, 14, 16, 18, 20 (10 deleted).
   ASSERT_EQ(out.size(), 7u);
   EXPECT_EQ(out.front().key, 6u);
@@ -97,8 +97,8 @@ TEST_P(LsmTreeTest, ScanReturnsSortedLiveEntries) {
 
 TEST_P(LsmTreeTest, ScanEmptyRange) {
   for (Key k = 0; k < 20; ++k) tree_.Put(k, k);
-  EXPECT_TRUE(tree_.Scan(100, 200).empty());
-  EXPECT_TRUE(tree_.Scan(5, 5).empty());
+  EXPECT_TRUE(tree_.Scan(100, 200).value().empty());
+  EXPECT_TRUE(tree_.Scan(5, 5).value().empty());
 }
 
 TEST_P(LsmTreeTest, MatchesReferenceModelUnderRandomOps) {
@@ -125,7 +125,7 @@ TEST_P(LsmTreeTest, MatchesReferenceModelUnderRandomOps) {
       }
     } else {
       const Key lo = k, hi = k + rng.UniformInt(1, 40);
-      const std::vector<Entry> got = tree_.Scan(lo, hi);
+      const std::vector<Entry> got = tree_.Scan(lo, hi).value();
       std::vector<std::pair<Key, Value>> expect;
       for (auto it = ref.lower_bound(lo);
            it != ref.end() && it->first < hi; ++it) {
@@ -275,7 +275,7 @@ TEST(LsmTreeFenceSkipTest, DisablingFenceSkipCostsMoreRangeIo) {
     }
     tree.BulkLoad(entries);
     const uint64_t before = stats.range_pages_read;
-    for (Key k = 0; k < 100; ++k) tree.Scan(2 * k, 2 * k + 8);
+    for (Key k = 0; k < 100; ++k) (void)tree.Scan(2 * k, 2 * k + 8);
     return stats.range_pages_read - before;
   };
   EXPECT_LE(range_io(true), range_io(false));

@@ -39,7 +39,7 @@ void ExpectAllReadable(DbT* db, Key n) {
     ASSERT_TRUE(got.has_value()) << "key " << k;
     ASSERT_EQ(*got, k + 1) << "key " << k;
   }
-  const std::vector<Entry> all = db->Scan(0, n);
+  const std::vector<Entry> all = db->Scan(0, n).value();
   ASSERT_EQ(all.size(), n);
 }
 

@@ -128,7 +128,7 @@ TEST(RecoveryTest, FreshOpenThenCleanCloseThenReopen) {
     ASSERT_EQ(got.has_value(), want != oracle.end()) << "key " << k;
     if (got.has_value()) EXPECT_EQ(*got, want->second);
   }
-  const auto scanned = (*db)->Scan(0, ~0ull);
+  const auto scanned = (*db)->Scan(0, ~0ull).value();
   EXPECT_EQ(scanned.size(), oracle.size());
 }
 
@@ -154,7 +154,7 @@ TEST(RecoveryTest, KillAfterAckedWritesLosesNothingPerBatch) {
     ASSERT_TRUE(got.has_value()) << "acked write lost: key " << k;
     EXPECT_EQ(*got, v);
   }
-  EXPECT_EQ((*db)->Scan(0, ~0ull).size(), oracle.size());
+  EXPECT_EQ((*db)->Scan(0, ~0ull).value().size(), oracle.size());
 }
 
 TEST(RecoveryTest, SealedBufferSurvivesKill) {
@@ -356,7 +356,7 @@ TEST(RecoveryTest, ShardedDeploymentRecovers) {
     ASSERT_EQ(got.has_value(), want != oracle.end()) << "key " << k;
     if (got.has_value()) EXPECT_EQ(*got, want->second);
   }
-  EXPECT_EQ(db.value()->Scan(0, ~0ull).size(), oracle.size());
+  EXPECT_EQ(db.value()->Scan(0, ~0ull).value().size(), oracle.size());
 }
 
 TEST(RecoveryTest, ShardCountIsImmutableAcrossReopens) {
@@ -543,7 +543,7 @@ TEST(RecoveryTest, EightShardKillReopenMatrixThroughParallelOpen) {
     auto db = ShardedDB::Open(serial);
     ASSERT_TRUE(db.ok());
     EXPECT_EQ(db.value()->TotalStats().recoveries.load(), 8u);
-    EXPECT_EQ(db.value()->Scan(0, ~0ull).size(), oracle.size());
+    EXPECT_EQ(db.value()->Scan(0, ~0ull).value().size(), oracle.size());
   }
 }
 

@@ -77,7 +77,7 @@ TEST(ShardedDbTest, SingleThreadedSemanticsAcrossShards) {
 TEST(ShardedDbTest, ScanMergesShardsInKeyOrder) {
   auto db = std::move(ShardedDB::Open(ShardOpts(4))).value();
   for (Key k = 0; k < 3000; ++k) db->Put(k, 2 * k);
-  const std::vector<Entry> out = db->Scan(500, 1500);
+  const std::vector<Entry> out = db->Scan(500, 1500).value();
   ASSERT_EQ(out.size(), 1000u);
   for (size_t i = 0; i < out.size(); ++i) {
     ASSERT_EQ(out[i].key, 500 + i);  // ordered, no gaps, no duplicates
@@ -198,7 +198,7 @@ TEST(ShardedDbStressTest, ConcurrentScansSeeConsistentPrefixes) {
     Rng rng(7);
     while (!done.load(std::memory_order_relaxed)) {
       const Key lo = rng.UniformInt(0, 15000);
-      const std::vector<Entry> out = db->Scan(lo, lo + 256);
+      const std::vector<Entry> out = db->Scan(lo, lo + 256).value();
       for (size_t i = 0; i < out.size(); ++i) {
         ASSERT_GE(out[i].key, lo);
         ASSERT_LT(out[i].key, lo + 256);
@@ -209,7 +209,7 @@ TEST(ShardedDbStressTest, ConcurrentScansSeeConsistentPrefixes) {
   });
   writer.join();
   scanner.join();
-  const std::vector<Entry> all = db->Scan(0, 20000);
+  const std::vector<Entry> all = db->Scan(0, 20000).value();
   EXPECT_EQ(all.size(), 20000u);
 }
 
@@ -347,7 +347,11 @@ TEST(ShardedDbStressTest, MixedReadWriteDeleteUnderMaintenance) {
           const auto got = db->Get(k);
           if (got.has_value()) ASSERT_EQ(*got, k);
         } else {
-          for (const Entry& e : db->Scan(k, k + 32)) {
+          // Materialize before iterating: ranging over `.value()` of the
+          // temporary StatusOr would dangle (the temporary dies before
+          // the loop body).
+          const std::vector<Entry> scanned = db->Scan(k, k + 32).value();
+          for (const Entry& e : scanned) {
             ASSERT_EQ(e.value, e.key);
           }
         }

@@ -100,7 +100,7 @@ TEST(ZeroAllocTest, ScanAllocationsAreBoundedByOutput) {
   {
     AllocationScope scope;
     for (int i = 0; i < 100; ++i) {
-      const auto out = db->Scan(400 * i, 400 * i + 64);
+      const auto out = db->Scan(400 * i, 400 * i + 64).value();
       returned += out.size();
     }
     allocs = scope.allocations();
