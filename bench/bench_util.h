@@ -26,8 +26,10 @@ namespace endure::bench_util {
 /// its JSON via BeginJson so downstream tooling can detect drift; bump
 /// it when a shared key changes name or meaning or a benchmark joins
 /// the family (v3: micro_wal and the durability counters; v4: micro_lsm
-/// — put tail percentiles and the scheduler/stall counters).
-inline constexpr int kBenchJsonSchemaVersion = 4;
+/// — put tail percentiles and the scheduler/stall counters; v5:
+/// micro_shard's zipfian_read_heavy leg — block-cache hit ratio and get
+/// tail percentiles).
+inline constexpr int kBenchJsonSchemaVersion = 5;
 
 /// Allocation counters, defined by ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
 /// in the benchmark binary. Atomic: benchmarks may allocate from several

@@ -6,11 +6,22 @@
 // reduction from shallower per-shard trees shows; on a multicore CI
 // runner the shard parallelism dominates.
 //
+// The zipfian_read_heavy leg (schema v5) additionally measures the
+// lock-free read path under a skewed serving mix: 95% gets / 5% puts,
+// Zipfian key popularity (s = 0.99, YCSB-style), shared block cache and
+// memory arbiter on — reporting the cache hit ratio and get latency
+// percentiles. On a 1-core recorder the percentiles fold in client
+// preemption; cross-machine comparisons should use the hit ratio and
+// relative deltas, not absolute tail values.
+//
 // Scale knobs (environment):
 //   MICRO_SHARD_OPS  puts (and gets) per configuration (default 200k)
 //
 // Usage: micro_shard [output.json]  (always prints the JSON to stdout too)
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -93,6 +104,132 @@ ConfigResult RunConfig(int num_shards, uint64_t ops) {
   return out;
 }
 
+/// YCSB-style Zipfian rank generator over [0, n): rank 0 is the hottest
+/// key. Gray et al.'s closed-form sampler — no rejection loop, one pow()
+/// per draw.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s, uint64_t seed)
+      : n_(n), theta_(s), rng_(seed) {
+    zetan_ = Zeta(n, s);
+    const double zeta2 = Zeta(2, s);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return std::min(rank, n_ - 1);
+  }
+
+  double NextDouble() { return rng_.NextDouble(); }
+
+ private:
+  static double Zeta(uint64_t n, double s) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), s);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_, zetan_, alpha_, eta_;
+  Rng rng_;
+};
+
+uint64_t Percentile(const std::vector<uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_ns.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ns.size())));
+  return sorted_ns[idx];
+}
+
+struct ZipfianResult {
+  PhaseResult mixed;
+  uint64_t get_p50_ns = 0, get_p99_ns = 0;
+  double cache_hit_ratio = 0;
+  uint64_t cache_hits = 0, cache_misses = 0, arbiter_shifts = 0;
+};
+
+/// The read-heavy serving leg: preload, flush to runs, then a 95/5
+/// get/put mix with Zipfian key popularity through the snapshot read
+/// path, block cache and memory arbiter.
+ZipfianResult RunZipfianLeg(uint64_t ops) {
+  constexpr int kShards = 4;
+  constexpr double kZipfS = 0.99;
+  constexpr double kGetFraction = 0.95;
+  Options o = BenchOptions(kShards);
+  o.block_cache_bytes = 2 * 1024 * 1024;
+  o.memory_budget_bytes = 8 * 1024 * 1024;
+  auto db = std::move(ShardedDB::Open(o)).value();
+
+  const int threads = kShards;
+  const uint64_t per_thread = ops / threads;
+  const uint64_t key_space = ops;
+
+  // Preload every key, then push the data into runs so gets exercise
+  // page reads (and therefore the cache), not just the memtable.
+  RunClients(threads, [&](int t) {
+    Rng rng(42 + t);
+    for (uint64_t i = 0; i < per_thread; ++i) {
+      db->Put(2 * rng.UniformInt(0, key_space - 1), i);
+    }
+  });
+  db->Flush();
+  db->WaitForMaintenance();
+
+  ZipfianResult out;
+  const Statistics before = db->TotalStats();
+  std::vector<std::vector<uint64_t>> lat(threads);
+  Meter meter;
+  RunClients(threads, [&](int t) {
+    ZipfGenerator zipf(key_space, kZipfS, 4242 + t);
+    std::vector<uint64_t>& lat_ns = lat[t];
+    lat_ns.reserve(per_thread);
+    uint64_t found = 0;
+    for (uint64_t i = 0; i < per_thread; ++i) {
+      const Key key = 2 * zipf.Next();
+      if (zipf.NextDouble() < kGetFraction) {
+        const auto t0 = std::chrono::steady_clock::now();
+        found += db->Get(key).has_value();
+        lat_ns.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      } else {
+        db->Put(key, i);
+      }
+    }
+    if (found == 0) std::abort();  // the hot ranks certainly exist
+  });
+  const Statistics delta = db->TotalStats().Delta(before);
+  out.mixed = meter.Finish(per_thread * threads, delta.pages_read);
+
+  std::vector<uint64_t> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.get_p50_ns = Percentile(all, 0.50);
+  out.get_p99_ns = Percentile(all, 0.99);
+  out.cache_hits = delta.cache_hits.load();
+  out.cache_misses = delta.cache_misses.load();
+  const uint64_t probes = out.cache_hits + out.cache_misses;
+  out.cache_hit_ratio =
+      probes > 0 ? static_cast<double>(out.cache_hits) /
+                       static_cast<double>(probes)
+                 : 0.0;
+  out.arbiter_shifts = db->TotalStats().arbiter_shifts.load();
+  return out;
+}
+
 }  // namespace
 }  // namespace endure::lsm
 
@@ -131,6 +268,33 @@ int main(int argc, char** argv) {
     json += i + 1 < 4 ? "    },\n" : "    }\n";
   }
   json += "  },\n";
+
+  std::fprintf(stderr, "running zipfian read-heavy leg...\n");
+  const ZipfianResult z = RunZipfianLeg(ops);
+  {
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"zipfian_read_heavy\": {\n"
+        "    \"config\": {\"shards\": 4, \"threads\": 4, "
+        "\"get_fraction\": 0.95, \"zipf_s\": 0.99, "
+        "\"block_cache_bytes\": 2097152, "
+        "\"memory_budget_bytes\": 8388608},\n"
+        "    \"mixed\": {\"ops_per_sec\": %.0f, \"allocs_per_op\": %.4f, "
+        "\"alloc_bytes_per_op\": %.1f, \"pages_per_op\": %.3f},\n"
+        "    \"get_p50_ns\": %llu, \"get_p99_ns\": %llu,\n"
+        "    \"cache_hit_ratio\": %.4f, \"cache_hits\": %llu, "
+        "\"cache_misses\": %llu, \"arbiter_shifts\": %llu\n"
+        "  },\n",
+        z.mixed.ops_per_sec, z.mixed.allocs_per_op,
+        z.mixed.alloc_bytes_per_op, z.mixed.pages_per_op,
+        static_cast<unsigned long long>(z.get_p50_ns),
+        static_cast<unsigned long long>(z.get_p99_ns),
+        z.cache_hit_ratio, static_cast<unsigned long long>(z.cache_hits),
+        static_cast<unsigned long long>(z.cache_misses),
+        static_cast<unsigned long long>(z.arbiter_shifts));
+    json += buf;
+  }
   {
     char buf[96];
     std::snprintf(buf, sizeof(buf),

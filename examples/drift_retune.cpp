@@ -74,8 +74,17 @@ int main() {
               expected.ToString().c_str(), pipeline.rho(),
               pipeline.current_tuning().ToString().c_str());
 
-  auto db = bridge::OpenTunedShardedDb(cfg, pipeline.current_tuning(), n,
-                                       /*num_shards=*/4)
+  // The serving deployment reads through the lock-free snapshot path with
+  // the shared block cache inside a global memory budget; the arbiter
+  // re-splits that budget as the mix drifts toward writes, and the knobs
+  // survive the live retune (ApplyTuning carries them unchanged).
+  constexpr uint64_t kCacheBytes = 1 * 1024 * 1024;
+  constexpr uint64_t kBudgetBytes = 4 * 1024 * 1024;
+  auto db = bridge::OpenTunedShardedDb(
+                cfg, pipeline.current_tuning(), n,
+                /*num_shards=*/4, /*background_maintenance=*/true,
+                lsm::StorageBackend::kMemory, /*durable_dir=*/"",
+                WalSyncMode::kBackground, kCacheBytes, kBudgetBytes)
                 .value();
   workload::KeyUniverse universe(n);
   Rng rng(4242);
@@ -132,9 +141,11 @@ int main() {
   }
   live_io /= 2.0;
 
-  auto fresh = bridge::OpenTunedShardedDb(cfg, pipeline.current_tuning(),
-                                          count_at_compare,
-                                          /*num_shards=*/4)
+  auto fresh = bridge::OpenTunedShardedDb(
+                   cfg, pipeline.current_tuning(), count_at_compare,
+                   /*num_shards=*/4, /*background_maintenance=*/true,
+                   lsm::StorageBackend::kMemory, /*durable_dir=*/"",
+                   WalSyncMode::kBackground, kCacheBytes, kBudgetBytes)
                    .value();
   workload::KeyUniverse fresh_universe(count_at_compare);
   Rng fresh_rng(4242);
@@ -158,5 +169,17 @@ int main() {
       "   taking the system offline (the Section 7.3 playbook, no rebuild).\n",
       live_io, rebuilt_io,
       rebuilt_io > 0 ? 100.0 * live_io / rebuilt_io : 0.0);
+  const lsm::Statistics stats = db->TotalStats();
+  const uint64_t probes = stats.cache_hits + stats.cache_misses;
+  std::printf(
+      "\nlive system read path: %llu snapshot acquires, block cache "
+      "%.1f%% hit ratio (%llu hits / %llu misses), %llu arbiter shifts\n",
+      static_cast<unsigned long long>(stats.snapshot_acquires),
+      probes > 0 ? 100.0 * static_cast<double>(stats.cache_hits) /
+                       static_cast<double>(probes)
+                 : 0.0,
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.arbiter_shifts));
   return 0;
 }

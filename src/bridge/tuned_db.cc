@@ -71,9 +71,12 @@ StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
     const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
     int num_shards, bool background_maintenance,
     lsm::StorageBackend backend, const std::string& durable_dir,
-    WalSyncMode wal_sync_mode) {
+    WalSyncMode wal_sync_mode, uint64_t block_cache_bytes,
+    uint64_t memory_budget_bytes) {
   lsm::Options opts = MakeOptions(cfg, t, actual_entries, backend,
                                   num_shards, background_maintenance);
+  opts.block_cache_bytes = block_cache_bytes;
+  opts.memory_budget_bytes = memory_budget_bytes;
   bool recovering = false;
   // The initial bulk load is only "done" once this marker exists; a
   // manifest without it means the first load was interrupted mid-way,
@@ -132,6 +135,10 @@ void CarryImmutableKnobs(const lsm::Options& current, lsm::Options* next) {
   next->compaction_partition_min_pages =
       current.compaction_partition_min_pages;
   next->l1_stall_runs = current.l1_stall_runs;
+  // Memory-plumbing knobs: the tuner budgets buffer-vs-filter memory, the
+  // cache/arbiter budget is the operator's — a retune must not drop it.
+  next->block_cache_bytes = current.block_cache_bytes;
+  next->memory_budget_bytes = current.memory_budget_bytes;
 }
 
 }  // namespace

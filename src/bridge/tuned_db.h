@@ -51,12 +51,20 @@ StatusOr<std::unique_ptr<lsm::DB>> OpenTunedDb(
 /// tuning and any in-flight migration — instead of being rebuilt, so a
 /// restarted server resumes where it left off (`wal_sync_mode` selects
 /// the commit durability; see docs/durability.md).
+///
+/// `block_cache_bytes` > 0 opens the deployment with the shared block
+/// cache sized to that budget; additionally setting
+/// `memory_budget_bytes` > block_cache_bytes turns on the memory
+/// arbiter, which re-splits that global budget between write buffers
+/// and cache as the serving mix drifts (see docs/operations.md). Both
+/// are operator knobs: later ApplyTuning calls carry them unchanged.
 StatusOr<std::unique_ptr<lsm::ShardedDB>> OpenTunedShardedDb(
     const SystemConfig& cfg, const Tuning& t, uint64_t actual_entries,
     int num_shards, bool background_maintenance = true,
     lsm::StorageBackend backend = lsm::StorageBackend::kMemory,
     const std::string& durable_dir = "",
-    WalSyncMode wal_sync_mode = WalSyncMode::kBackground);
+    WalSyncMode wal_sync_mode = WalSyncMode::kBackground,
+    uint64_t block_cache_bytes = 0, uint64_t memory_budget_bytes = 0);
 
 /// Applies tuner output to a *running* deployment: maps `t` onto engine
 /// options for `actual_entries` entries (per-shard buffer split, rounded

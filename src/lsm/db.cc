@@ -12,12 +12,16 @@ DB::DB(const Options& options) : options_(options) {
     flush_service_ =
         std::make_unique<WalFlushService>(options_.wal_sync_interval_ms);
   }
+  if (options_.block_cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  }
   store_ = MakePageStore(options_.entries_per_page, &stats_,
                          static_cast<int>(options_.backend),
                          options_.storage_dir,
                          /*persistent=*/options_.durability,
                          options_.verify_checksums,
                          options_.scrub_on_recovery);
+  if (cache_ != nullptr) store_->set_block_cache(cache_.get());
   tree_ = std::make_unique<LsmTree>(options_, store_.get(), &stats_);
 }
 
@@ -67,7 +71,15 @@ Status DB::BulkLoad(const std::vector<std::pair<Key, Value>>& sorted_pairs) {
 }
 
 Status DB::ApplyTuning(const Options& new_options) {
+  if (new_options.block_cache_bytes > 0 && cache_ == nullptr) {
+    return Status::InvalidArgument(
+        "block_cache_bytes cannot be enabled after open; reopen with a "
+        "non-zero cache to enable it");
+  }
   ENDURE_RETURN_IF_ERROR(tree_->Reconfigure(new_options));
+  if (cache_ != nullptr) {
+    cache_->set_capacity(new_options.block_cache_bytes);
+  }
   bool did_work = true;
   while (did_work) {
     // A migration-step failure is recoverable: the tree keeps the level

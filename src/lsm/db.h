@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "lsm/block_cache.h"
 #include "lsm/lsm_tree.h"
 #include "util/env.h"
 #include "util/status.h"
@@ -88,6 +89,10 @@ class DB {
   const LsmTree& tree() const { return *tree_; }
   LsmTree* mutable_tree() { return tree_.get(); }
 
+  /// The block cache, or null when Options::block_cache_bytes was 0 at
+  /// open (exposed for tests and examples).
+  BlockCache* block_cache() const { return cache_.get(); }
+
   const Options& options() const { return options_; }
 
   /// Simulates a *process* kill: the WAL writer is dropped without the
@@ -110,6 +115,9 @@ class DB {
   /// single thread driving the WAL's periodic fsyncs. Declared before
   /// tree_ so it outlives the writer registered with it.
   std::unique_ptr<WalFlushService> flush_service_;
+  /// Block cache (null when disabled). Declared before store_ so it
+  /// outlives the page store registered with it.
+  std::unique_ptr<BlockCache> cache_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<LsmTree> tree_;
 };

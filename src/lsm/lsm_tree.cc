@@ -13,11 +13,14 @@
 namespace endure::lsm {
 namespace {
 
-/// Streams the memtable's entries in [lo, hi) without copying them out.
+/// Streams the memtable's entries in [lo, hi) without copying them out,
+/// bounded at `seq_bound` (each key yields its newest version with
+/// seq <= bound — the snapshot-read filter).
 class MemtableRangeStream final : public EntryStream {
  public:
-  MemtableRangeStream(const MemTable& memtable, Key lo, Key hi)
-      : it_(memtable.NewIterator()), hi_(hi) {
+  MemtableRangeStream(const MemTable& memtable, Key lo, Key hi,
+                      SeqNum seq_bound)
+      : it_(memtable.NewIterator(seq_bound)), hi_(hi) {
     it_.Seek(lo);
   }
   bool Valid() const override { return it_.Valid() && it_.entry().key < hi_; }
@@ -35,7 +38,7 @@ LsmTree::LsmTree(const Options& options, PageStore* store, Statistics* stats)
     : opts_(options),
       store_(store),
       stats_(stats),
-      active_(std::make_unique<MemTable>(options.buffer_entries)) {
+      active_(std::make_shared<MemTable>(options.buffer_entries)) {
   ENDURE_CHECK_MSG(opts_.Validate().ok(), "invalid Options");
   ENDURE_CHECK(store != nullptr && stats != nullptr);
   ENDURE_CHECK(store->entries_per_page() == opts_.entries_per_page);
@@ -44,6 +47,30 @@ LsmTree::LsmTree(const Options& options, PageStore* store, Statistics* stats)
     ENDURE_CHECK_MSG(file_store_ != nullptr && file_store_->persistent(),
                      "durability requires a persistent FilePageStore");
   }
+  PublishSnapshot();  // readers may start before the first write
+}
+
+void LsmTree::PublishSnapshot() {
+  auto snap = std::make_shared<ReadSnapshot>();
+  snap->active = active_;
+  snap->sealed = sealed_;
+  snap->levels = levels_;
+  snap->epoch = tuning_epoch_;
+  snap->fence_pointer_skip = opts_.fence_pointer_skip;
+  snapshot_.store(std::move(snap), std::memory_order_release);
+}
+
+void LsmTree::BumpVisible(SeqNum seq) {
+  // Single writer: a plain read-modify-write is race-free, and readers
+  // only need the release pairing with their acquire load.
+  if (seq > visible_seq_.load(std::memory_order_relaxed)) {
+    visible_seq_.store(seq, std::memory_order_release);
+  }
+}
+
+void LsmTree::SetBufferCapacity(uint64_t entries) {
+  buffer_capacity_override_ = std::max<uint64_t>(1, entries);
+  active_->set_capacity(buffer_capacity_override_);
 }
 
 uint64_t LsmTree::LevelCapacity(int level) const {
@@ -103,15 +130,25 @@ Status LsmTree::MaintainAfterWrite() {
 }
 
 void LsmTree::LatchBackgroundError(const Status& error) {
-  if (error.ok() || !background_error_.ok()) return;  // first error wins
+  if (error.ok()) return;
+  std::lock_guard<std::mutex> lock(latch_mu_);
+  if (!background_error_.ok()) return;  // first error wins
   background_error_ = error;
+  error_latched_.store(true, std::memory_order_release);
   ++stats_->read_only_transitions;
 }
 
+Status LsmTree::Health() const {
+  if (!error_latched_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(latch_mu_);
+  return background_error_;
+}
+
 Status LsmTree::Write(const Entry& e) {
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   ++stats_->writes;
   active_->Upsert(e);
+  BumpVisible(e.seq);
   Status s = MaintainAfterWrite();
   // Log after applying: if the write just triggered a flush, the entry is
   // already covered by the manifest the checkpoint published, and the
@@ -134,11 +171,12 @@ Status LsmTree::Put(Key key, Value value) {
 }
 
 Status LsmTree::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   for (const auto& [key, value] : pairs) {
     const Entry e{key, next_seq_++, value, EntryType::kValue};
     ++stats_->writes;
     active_->Upsert(e);
+    BumpVisible(e.seq);
     const Status s = MaintainAfterWrite();
     if (!s.ok()) {
       LatchBackgroundError(s);
@@ -161,7 +199,8 @@ Status LsmTree::Delete(Key key) {
 void LsmTree::SealMemtable() {
   ENDURE_CHECK(sealed_ == nullptr);
   sealed_ = std::move(active_);
-  active_ = std::make_unique<MemTable>(opts_.buffer_entries);
+  active_ = std::make_shared<MemTable>(EffectiveBufferCapacity());
+  PublishSnapshot();
 }
 
 Status LsmTree::FlushBuffer(const MemTable& buffer) {
@@ -187,25 +226,36 @@ Status LsmTree::FlushSealedInternal() {
   std::shared_ptr<MemTable> buffer = std::move(sealed_);
   const Status s = FlushBuffer(*buffer);
   if (!s.ok()) sealed_ = std::move(buffer);
+  // No snapshot is published mid-flush, so readers saw the pre-flush
+  // view throughout: within any one snapshot the buffer and its run
+  // never coexist. Publish the outcome (success or exact rollback) once.
+  PublishSnapshot();
   return s;
 }
 
 Status LsmTree::FlushSealedMemtable() {
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   if (sealed_ == nullptr) return Status::OK();
   ENDURE_RETURN_IF_ERROR(FlushSealedInternal());
   return CheckpointIfDurable();
 }
 
 Status LsmTree::Flush() {
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   // Age order: the sealed buffer predates the active one, so its run must
   // land on level 1 first (runs within a level are newest-first).
   const bool had_work = sealed_ != nullptr || !active_->empty();
   if (sealed_ != nullptr) ENDURE_RETURN_IF_ERROR(FlushSealedInternal());
   if (!active_->empty()) {
-    ENDURE_RETURN_IF_ERROR(FlushBuffer(*active_));
-    active_->Clear();
+    const Status s = FlushBuffer(*active_);
+    if (s.ok()) {
+      // Swap, never Clear: concurrent snapshot readers may still hold
+      // the old buffer — its entries stay readable there until the last
+      // reader drops it, and in the new run for everyone after.
+      active_ = std::make_shared<MemTable>(EffectiveBufferCapacity());
+    }
+    PublishSnapshot();
+    ENDURE_RETURN_IF_ERROR(s);
   }
   if (had_work) ENDURE_RETURN_IF_ERROR(CheckpointIfDurable());
   return Status::OK();
@@ -315,23 +365,32 @@ Status LsmTree::AddRunToLevel(std::shared_ptr<Run> run, int level) {
 
 std::optional<Value> LsmTree::Get(Key key) {
   ++stats_->gets;
-  if (!active_->empty()) {
-    if (const Entry* e = active_->Find(key); e != nullptr) {
+  // Snapshot FIRST, visible bound SECOND (both acquire): the bound then
+  // covers every sequence resident in the snapshot's sealed buffer and
+  // runs (they were visible before publication), and filtering the
+  // memtables at the bound yields exactly the applied prefix — see the
+  // ReadSnapshot invariant. No lock, no retry loop.
+  const std::shared_ptr<const ReadSnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  const SeqNum bound = visible_seq_.load(std::memory_order_acquire);
+  ++stats_->snapshot_acquires;
+  if (!snap->active->empty()) {
+    if (const Entry* e = snap->active->Find(key, bound); e != nullptr) {
       if (e->is_tombstone()) return std::nullopt;
       return e->value;
     }
   }
   // The sealed buffer is older than the active one but newer than any run.
-  if (sealed_ != nullptr) {
-    if (const Entry* e = sealed_->Find(key); e != nullptr) {
+  if (snap->sealed != nullptr) {
+    if (const Entry* e = snap->sealed->Find(key, bound); e != nullptr) {
       if (e->is_tombstone()) return std::nullopt;
       return e->value;
     }
   }
-  for (const auto& runs : levels_) {
+  for (const auto& runs : snap->levels) {
     for (const auto& run : runs) {  // newest first
       Status io_status;
-      const Entry* e = run->Get(key, opts_.fence_pointer_skip, &io_status);
+      const Entry* e = run->Get(key, snap->fence_pointer_skip, &io_status);
       if (!io_status.ok()) {
         // An unreadable or corrupt page: latch (fail-safe degraded mode)
         // and miss rather than continue to older runs — a deeper hit
@@ -350,32 +409,37 @@ std::optional<Value> LsmTree::Get(Key key) {
 
 StatusOr<std::vector<Entry>> LsmTree::Scan(Key lo, Key hi) {
   ++stats_->range_queries;
+  // Same lock-free protocol as Get(): snapshot, then visible bound.
+  const std::shared_ptr<const ReadSnapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  const SeqNum bound = visible_seq_.load(std::memory_order_acquire);
+  ++stats_->snapshot_acquires;
 
   // Gather qualifying run iterators (adapters live on this frame; reserve
   // keeps their addresses stable for the non-owning merge).
   size_t total_runs = 0;
-  for (const auto& runs : levels_) total_runs += runs.size();
+  for (const auto& runs : snap->levels) total_runs += runs.size();
   std::vector<StreamAdapter<Run::Iterator>> run_streams;
   run_streams.reserve(total_runs);
-  MemtableRangeStream memtable_stream(*active_, lo, hi);
+  MemtableRangeStream memtable_stream(*snap->active, lo, hi, bound);
   std::vector<EntryStream*> heads;
   heads.reserve(total_runs + 2);
   // Active buffer first (rank 0 = most recent source), then the sealed
   // buffer (rank 1, older than active but newer than any run); no I/O.
   if (memtable_stream.Valid()) heads.push_back(&memtable_stream);
   std::optional<MemtableRangeStream> sealed_stream;
-  if (sealed_ != nullptr) {
-    sealed_stream.emplace(*sealed_, lo, hi);
+  if (snap->sealed != nullptr) {
+    sealed_stream.emplace(*snap->sealed, lo, hi, bound);
     if (sealed_stream->Valid()) heads.push_back(&*sealed_stream);
   }
 
-  for (const auto& runs : levels_) {
+  for (const auto& runs : snap->levels) {
     for (const auto& run : runs) {
       std::optional<Run::Iterator> it = run->NewRangeIterator(lo, hi);
       if (it.has_value()) {
         run_streams.emplace_back(std::move(*it));
         heads.push_back(&run_streams.back());
-      } else if (!opts_.fence_pointer_skip) {
+      } else if (!snap->fence_pointer_skip) {
         // Model-faithful mode: the analytical cost model charges one seek
         // per run regardless of overlap; emulate the blind seek by reading
         // the run's first page.
@@ -425,11 +489,13 @@ StatusOr<std::vector<Entry>> LsmTree::Scan(Key lo, Key hi) {
 Status LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
   ENDURE_CHECK_MSG(levels_.empty() && active_->empty() && sealed_ == nullptr,
                    "BulkLoad requires an empty tree");
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   if (sorted_entries.empty()) return Status::OK();
+  SeqNum max_seq = sorted_entries.front().seq;
   for (size_t i = 1; i < sorted_entries.size(); ++i) {
     ENDURE_CHECK_MSG(sorted_entries[i - 1].key < sorted_entries[i].key,
                      "bulk-load keys must be strictly ascending");
+    max_seq = std::max(max_seq, sorted_entries[i].seq);
   }
 
   const uint64_t n = sorted_entries.size();
@@ -496,11 +562,15 @@ Status LsmTree::BulkLoad(const std::vector<Entry>& sorted_entries) {
     Stamp(built[level]);
     levels_[level - 1].push_back(std::move(built[level]));
   }
+  // The loaded entries carry caller-chosen sequences; make them all
+  // visible to snapshot readers before publishing the runs.
+  BumpVisible(max_seq);
+  PublishSnapshot();
   return CheckpointIfDurable();
 }
 
 Status LsmTree::Reconfigure(const Options& new_options) {
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   ENDURE_RETURN_IF_ERROR(new_options.Validate());
   if (new_options.entries_per_page != opts_.entries_per_page) {
     return Status::InvalidArgument(
@@ -542,7 +612,9 @@ Status LsmTree::Reconfigure(const Options& new_options) {
   // background mode — it stays a cheap foreground call. If a sealed
   // buffer is already pending, the active one keeps serving over
   // threshold until the next write's backpressure reseals it (capacity
-  // is a seal threshold, not a hard bound).
+  // is a seal threshold, not a hard bound). An explicit retune also
+  // supersedes any arbiter override of the threshold.
+  buffer_capacity_override_ = 0;
   active_->set_capacity(opts_.buffer_entries);
   if (active_->IsFull()) {
     if (!opts_.background_maintenance) {
@@ -551,6 +623,9 @@ Status LsmTree::Reconfigure(const Options& new_options) {
       SealMemtable();
     }
   }
+  // Republish even when nothing sealed or flushed: the snapshot carries
+  // the tuning epoch and the fence-skip flag readers consult.
+  PublishSnapshot();
   // Persist the new tuning immediately: a retune must survive a crash
   // that lands before the first post-retune flush. The memtables'
   // contents are unchanged (a seal only moves the buffer aside, and an
@@ -587,7 +662,7 @@ bool LsmTree::AnyNonConforming() const {
 }
 
 bool LsmTree::HasMaintenanceWork() const {
-  if (!background_error_.ok()) return false;
+  if (!Health().ok()) return false;
   return sealed_ != nullptr || migration_pending_ || AnyNonConforming();
 }
 
@@ -603,7 +678,7 @@ size_t LsmTree::RunsInLevel(int level) const {
 
 MaintenanceUnit LsmTree::PrepareMaintenance() {
   MaintenanceUnit unit;
-  if (!background_error_.ok()) return unit;
+  if (!Health().ok()) return unit;
   unit.epoch = tuning_epoch_;
   if (sealed_ != nullptr) {
     unit.kind = MaintenanceUnit::Kind::kFlush;
@@ -681,7 +756,7 @@ Status LsmTree::ExecuteMaintenance(MaintenanceUnit* unit,
 }
 
 Status LsmTree::InstallMaintenance(MaintenanceUnit* unit) {
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   if (unit->kind == MaintenanceUnit::Kind::kNone) return Status::OK();
   if (unit->epoch != tuning_epoch_) {
     // A Reconfigure landed mid-execute: the unit carries stale tuning.
@@ -703,6 +778,7 @@ Status LsmTree::InstallMaintenance(MaintenanceUnit* unit) {
     auto& l1 = levels_[0];
     l1.insert(l1.begin(), std::move(unit->output));  // newest first
     sealed_.reset();
+    PublishSnapshot();
     // The cascade continues stepwise: if level 1 stopped conforming, the
     // next prepared unit merges it. A checkpoint failure here is safe
     // and retryable — the installed entries remain covered by the
@@ -764,6 +840,7 @@ Status LsmTree::InstallMaintenance(MaintenanceUnit* unit) {
   }
   // A null merged output means every entry consolidated away: removing
   // the suffix was the whole install.
+  PublishSnapshot();
 
   if (unit->priority == 1) ++stats_->migration_steps;
   return PublishManifestIfDurable();
@@ -771,7 +848,7 @@ Status LsmTree::InstallMaintenance(MaintenanceUnit* unit) {
 
 Status LsmTree::AdvanceMigration(bool* did_work) {
   *did_work = false;
-  ENDURE_RETURN_IF_ERROR(background_error_);
+  ENDURE_RETURN_IF_ERROR(Health());
   if (!migration_pending_) return Status::OK();
   for (int level = 1; level <= static_cast<int>(levels_.size()); ++level) {
     if (LevelConforms(level)) continue;
@@ -810,6 +887,7 @@ Status LsmTree::AdvanceMigration(bool* did_work) {
       levels_[level - 1] = std::move(inputs);
       return s;
     }
+    PublishSnapshot();
     // A manifest failure here is NOT rolled back: the in-memory tree is
     // consistent and merely ahead of the (still valid) old manifest; the
     // next successful checkpoint catches up. Deferred segment deletes
@@ -987,6 +1065,10 @@ Status LsmTree::RecoverFrom(const ManifestData& m) {
       levels_[i].push_back(std::move(*run_or));
     }
   }
+  // Recovered runs hold sequences up to next_seq_ - 1; snapshot readers
+  // need a visible bound covering all of them before the runs publish.
+  if (next_seq_ > 1) BumpVisible(next_seq_ - 1);
+  PublishSnapshot();
   // Segment files the manifest does not reference are leftovers of a
   // crash between a segment write and the manifest publication (or of
   // deferred deletes that never got purged) — reap them.
@@ -997,6 +1079,7 @@ Status LsmTree::ReplayEntry(const Entry& e) {
   // The write path minus operation counting and logging: replayed
   // entries are not new operations, and the WAL is not attached yet.
   active_->Upsert(e);
+  BumpVisible(e.seq);
   return MaintainAfterWrite();
 }
 

@@ -9,7 +9,9 @@
 #ifndef ENDURE_LSM_LSM_TREE_H_
 #define ENDURE_LSM_LSM_TREE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,6 +70,81 @@ struct MigrationProgress {
   void Accumulate(const MigrationProgress& other);
 };
 
+/// An immutable point-in-time view of the tree's read sources, published
+/// by the writer via one atomic shared_ptr swap and acquired by readers
+/// with one atomic load — the lock-free read path's whole handshake.
+/// Everything a Get/Scan touches is snapshotted here: the memtables are
+/// multi-versioned and insert-only (so a reader bounded at the sequence
+/// number it observed keeps a frozen view even while the writer keeps
+/// inserting), and runs are immutable by construction. Reclamation is the
+/// shared_ptr refcount: the last reader of a superseded snapshot drops
+/// the old memtables/runs, no epochs or hazard pointers needed.
+///
+/// Consistency invariant: every sequence number stored in `sealed` or in
+/// `levels` at publication time is <= the tree's visible sequence at
+/// publication. A reader that loads the snapshot FIRST and the visible
+/// sequence SECOND (both acquire) therefore holds a bound V covering all
+/// run/sealed entries, and filtering the memtables at V yields exactly
+/// the writes applied up to V — a prefix of the write sequence.
+struct ReadSnapshot {
+  std::shared_ptr<const MemTable> active;  ///< the (still filling) buffer
+  std::shared_ptr<const MemTable> sealed;  ///< full buffer, or null
+  /// levels[i] holds level i+1; runs newest first. Deep-copied vectors,
+  /// shared runs.
+  std::vector<std::vector<std::shared_ptr<Run>>> levels;
+  uint64_t epoch = 0;             ///< tuning epoch at publication
+  bool fence_pointer_skip = true; ///< Options::fence_pointer_skip frozen
+};
+
+#if defined(__SANITIZE_THREAD__)
+#define ENDURE_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ENDURE_TSAN_BUILD 1
+#endif
+#endif
+
+/// Holder for the published ReadSnapshot pointer. Production builds use
+/// std::atomic<std::shared_ptr> — one lock-free atomic load per read.
+/// The ThreadSanitizer build substitutes a mutex: libstdc++'s _Sp_atomic
+/// guards its plain pointer with an embedded lock *bit* whose reader
+/// side unlocks with relaxed ordering (shared_ptr_atomic.h, load()), a
+/// real-time exclusion TSan's happens-before analysis cannot see, so
+/// every reader would be reported racing the publisher. The mutex keeps
+/// the surrounding protocol (and everything the snapshot guards) fully
+/// race-checked while silencing that one false positive.
+class AtomicSnapshotPtr {
+ public:
+  std::shared_ptr<const ReadSnapshot> load(std::memory_order order) const {
+#ifdef ENDURE_TSAN_BUILD
+    (void)order;
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+#else
+    return ptr_.load(order);
+#endif
+  }
+
+  void store(std::shared_ptr<const ReadSnapshot> snap,
+             std::memory_order order) {
+#ifdef ENDURE_TSAN_BUILD
+    (void)order;
+    std::lock_guard<std::mutex> lock(mu_);
+    ptr_ = std::move(snap);
+#else
+    ptr_.store(std::move(snap), order);
+#endif
+  }
+
+ private:
+#ifdef ENDURE_TSAN_BUILD
+  mutable std::mutex mu_;
+  std::shared_ptr<const ReadSnapshot> ptr_;
+#else
+  std::atomic<std::shared_ptr<const ReadSnapshot>> ptr_;
+#endif
+};
+
 /// One unit of background maintenance, produced by PrepareMaintenance()
 /// under the owner's lock, executed (all I/O) by ExecuteMaintenance()
 /// with NO lock held, and made visible by InstallMaintenance() back under
@@ -98,10 +175,13 @@ struct MaintenanceUnit {
   std::shared_ptr<Run> output;  ///< produced by Execute, placed by Install
 };
 
-/// The storage engine core. A single LsmTree performs no internal
-/// locking: callers serialize access to it (the experiment harness runs
-/// one thread, as in the paper; ShardedDB guards each shard's tree with
-/// the shard mutex). Background maintenance follows the
+/// The storage engine core. Writes and structural maintenance are
+/// serialized externally (the experiment harness runs one thread, as in
+/// the paper; ShardedDB guards each shard's tree with the shard mutex),
+/// but Get() and Scan() are lock-free: they acquire the current
+/// ReadSnapshot with a single atomic load and never touch the shard
+/// mutex, so any number of reader threads proceed concurrently with the
+/// writer and with maintenance installs. Background maintenance follows the
 /// prepare/execute/install protocol (MaintenanceUnit): only the snapshot
 /// and the run-list swap happen under the owner's lock, the merge I/O in
 /// between runs unlocked. With `Options::background_maintenance` the tree
@@ -134,11 +214,16 @@ class LsmTree {
   Status Delete(Key key);
 
   /// Point lookup: memtable, then levels shallow-to-deep, runs
-  /// newest-to-oldest; first match wins.
+  /// newest-to-oldest; first match wins. Lock-free: acquires the current
+  /// ReadSnapshot (one atomic load, counted in snapshot_acquires) and
+  /// bounds memtable reads at the visible sequence it observed — safe to
+  /// call from any thread concurrently with writes and maintenance.
   std::optional<Value> Get(Key key);
 
   /// Range query over [lo, hi): merges all qualifying sources, returns
-  /// live entries in key order. A page that cannot be read (I/O error,
+  /// live entries in key order. Lock-free, same snapshot protocol as
+  /// Get(); the result is a point-in-time view (an exact prefix of the
+  /// applied write sequence). A page that cannot be read (I/O error,
   /// checksum mismatch) fails the whole scan — a silently truncated
   /// result would be indistinguishable from deleted keys — and latches
   /// the tree (see Health()).
@@ -222,13 +307,24 @@ class LsmTree {
   /// Latched by foreground write-path failures, by read-path
   /// I/O/corruption errors, and by owners giving up on background
   /// retries (LatchBackgroundError); cleared only by reopening.
-  Status Health() const { return background_error_; }
+  /// Thread-safe (lock-free readers latch too): the healthy fast path is
+  /// one relaxed-ish atomic load, the latched path takes a small mutex.
+  Status Health() const;
 
   /// Latches `error` (first error wins; OK is ignored) and counts the
   /// read-only transition. ShardedDB calls this when a background job
   /// exhausts its retry budget; the tree's own write path calls it on
-  /// foreground I/O failures.
+  /// foreground I/O failures, and lock-free readers call it on read-path
+  /// I/O/corruption errors. Thread-safe.
   void LatchBackgroundError(const Status& error);
+
+  /// Memory-arbiter hook: retargets the active buffer's seal threshold
+  /// (in entries, clamped to >= 1) without a tuning-epoch bump or a
+  /// manifest write. The override sticks across seals/flushes until the
+  /// next Reconfigure, which resets the threshold to its own
+  /// buffer_entries. Call under the owner's lock (it is a write-side
+  /// mutation).
+  void SetBufferCapacity(uint64_t entries);
 
   /// Transitions the live tree to `new_options` without rebuilding it:
   /// - Bloom bits-per-entry and filter allocation take effect on runs
@@ -366,6 +462,22 @@ class LsmTree {
   /// Moves the full active buffer into the sealed slot (which must be
   /// empty) and installs a fresh active buffer.
   void SealMemtable();
+  /// Rebuilds and atomically publishes the ReadSnapshot from the current
+  /// members. Called (under the owner's lock) after every structural
+  /// change a reader may observe: construction, seal, flush, maintenance
+  /// install, migration step, reconfigure, bulk load, recovery.
+  void PublishSnapshot();
+  /// Advances the visible sequence to at least `seq` (release store).
+  /// Called right after an entry is applied to the active memtable —
+  /// visibility follows apply, not WAL commit, so at most one
+  /// applied-but-unacknowledged write per tree is readable early.
+  void BumpVisible(SeqNum seq);
+  /// The active buffer's current seal threshold: the arbiter override
+  /// when one is set, Options::buffer_entries otherwise.
+  uint64_t EffectiveBufferCapacity() const {
+    return buffer_capacity_override_ != 0 ? buffer_capacity_override_
+                                          : opts_.buffer_entries;
+  }
   /// Streams `buffer` out as a level-1 run and cascades compactions. On
   /// failure nothing new is resident (the caller still owns the buffer's
   /// entries).
@@ -406,19 +518,33 @@ class LsmTree {
   /// then runs its own flusher thread under kBackground).
   WalFlushService* flush_service_ = nullptr;
   std::unique_ptr<WalWriter> wal_;  ///< null until AttachDurability
-  std::unique_ptr<MemTable> active_;  ///< the mutable write buffer
+  /// The mutable write buffer. Shared: superseded read snapshots keep
+  /// the old buffer alive after a flush swaps a fresh one in.
+  std::shared_ptr<MemTable> active_;
   /// Full buffer awaiting flush (or null). Shared so an off-lock flush
   /// unit can keep reading it while a racing foreground Flush detaches
   /// it — install then notices sealed_ changed and discards the output.
   std::shared_ptr<MemTable> sealed_;
+  /// The published read view (see ReadSnapshot). Writers store with
+  /// release under their serialization; readers load with acquire.
+  AtomicSnapshotPtr snapshot_;
+  /// Highest sequence applied to the memtable (monotone; single writer).
+  std::atomic<SeqNum> visible_seq_{0};
   /// See set_deferred_backpressure().
   bool deferred_backpressure_ = false;
+  /// Arbiter override of the seal threshold (0 = none); see
+  /// SetBufferCapacity().
+  uint64_t buffer_capacity_override_ = 0;
   SeqNum next_seq_ = 1;
   uint64_t tuning_epoch_ = 0;  ///< bumped by Reconfigure; stamps new runs
   /// Maybe-work flag for MigrationPending() (see its contract).
   bool migration_pending_ = false;
-  /// Read-only degraded-mode latch (see Health()).
-  Status background_error_;
+  /// Read-only degraded-mode latch (see Health()). The flag is the
+  /// lock-free "healthy" fast path; the Status itself is guarded by
+  /// latch_mu_ so concurrent readers can latch without a data race.
+  std::atomic<bool> error_latched_{false};
+  mutable std::mutex latch_mu_;
+  Status background_error_;  ///< guarded by latch_mu_
   /// levels_[i] holds level i+1; runs ordered newest first.
   std::vector<std::vector<std::shared_ptr<Run>>> levels_;
 };

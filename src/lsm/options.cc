@@ -54,6 +54,16 @@ Status Options::Validate() const {
     return Status::InvalidArgument(
         "maintenance_threads must be in [0, 4096] (0 = auto)");
   }
+  if (memory_budget_bytes > 0 && block_cache_bytes == 0) {
+    return Status::InvalidArgument(
+        "memory_budget_bytes requires block_cache_bytes > 0 (the initial "
+        "cache share of the budget)");
+  }
+  if (memory_budget_bytes > 0 && block_cache_bytes >= memory_budget_bytes) {
+    return Status::InvalidArgument(
+        "block_cache_bytes must leave room for the write buffers inside "
+        "memory_budget_bytes");
+  }
   return Status::OK();
 }
 

@@ -176,6 +176,25 @@ struct Options {
   /// (min(num_shards, hardware threads)). Operational, not persisted.
   int maintenance_threads = 0;
 
+  /// Capacity of the deployment-wide block cache in bytes (0 = off).
+  /// The cache is shared by every shard's page store and serves
+  /// checksum-verified pages to point and range queries only, so
+  /// compaction/recovery I/O accounting stays deterministic. Mutable via
+  /// ApplyTuning when the cache was enabled at open (capacity resize);
+  /// enabling a cache on a deployment opened without one requires a
+  /// reopen. See docs/operations.md.
+  uint64_t block_cache_bytes = 0;
+
+  /// One global memory budget in bytes arbitrated between the write
+  /// buffers (num_shards memtables) and the block cache (0 = static
+  /// split, arbiter off). When set, a MemoryArbiter periodically
+  /// re-splits the budget to match the observed read/write mix: read-
+  /// heavy phases grow the cache and shrink the buffers, write-heavy
+  /// phases do the opposite. Requires block_cache_bytes > 0 (the initial
+  /// cache share). Mutable via ApplyTuning under the same reopen rule as
+  /// block_cache_bytes. See docs/operations.md.
+  uint64_t memory_budget_bytes = 0;
+
   /// OK iff every knob is in range.
   Status Validate() const;
 };

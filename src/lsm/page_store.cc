@@ -1,5 +1,6 @@
 #include "lsm/page_store.h"
 
+#include "lsm/block_cache.h"
 #include "lsm/options.h"
 #include "util/env.h"
 #include "util/fault_injection.h"
@@ -22,6 +23,42 @@ static_assert(std::is_trivially_copyable_v<Entry>,
               "page reads memcpy entries into caller buffers");
 
 // ----------------------------------------------------------- base helpers --
+
+void PageStore::set_block_cache(BlockCache* cache) {
+  cache_ = cache;
+  cache_store_id_ = cache != nullptr ? cache->RegisterStore() : 0;
+}
+
+namespace {
+inline bool CacheableContext(IoContext ctx) {
+  return ctx == IoContext::kPointQuery || ctx == IoContext::kRangeQuery;
+}
+}  // namespace
+
+bool PageStore::CacheLookup(SegmentId segment, size_t page_idx, IoContext ctx,
+                            PageBuffer* scratch) const {
+  if (cache_ == nullptr || scratch == nullptr || !CacheableContext(ctx) ||
+      cache_->capacity() == 0) {
+    return false;
+  }
+  if (cache_->Lookup(cache_store_id_, segment, page_idx, scratch)) {
+    ++stats_->cache_hits;
+    return true;
+  }
+  ++stats_->cache_misses;
+  return false;
+}
+
+void PageStore::CacheAdmit(SegmentId segment, size_t page_idx, IoContext ctx,
+                           const Entry* entries, size_t count) const {
+  if (cache_ == nullptr || !CacheableContext(ctx)) return;
+  cache_->Insert(cache_store_id_, segment, page_idx, entries, count, stats_);
+}
+
+void PageStore::CacheErase(SegmentId segment) const {
+  if (cache_ == nullptr) return;
+  cache_->EraseSegment(cache_store_id_, segment);
+}
 
 Status PageStore::ReadPage(SegmentId segment, size_t page_idx, IoContext ctx,
                            PageBuffer* out) const {
@@ -122,26 +159,38 @@ const std::vector<Entry>* MemPageStore::SlotData(SegmentId segment) const {
 
 StatusOr<PageView> MemPageStore::ReadPageView(SegmentId segment,
                                               size_t page_idx, IoContext ctx,
-                                              PageBuffer* /*scratch*/) const {
+                                              PageBuffer* scratch) const {
+  // A cache hit is not a device read: no page-read accounting, the hit
+  // counter tells the story. RAM pages cannot rot, so admission needs no
+  // checksum gate here.
+  if (CacheLookup(segment, page_idx, ctx, scratch)) {
+    return PageView{scratch->data(), scratch->size()};
+  }
   const std::vector<Entry>& data = *SlotData(segment);
   const size_t begin = page_idx * entries_per_page_;
   ENDURE_CHECK_MSG(begin < data.size(), "page index out of range");
   const size_t count = std::min<size_t>(entries_per_page_,
                                         data.size() - begin);
   stats_->OnPageRead(ctx, 1);
+  CacheAdmit(segment, page_idx, ctx, data.data() + begin, count);
   // Resident pages are directly usable: hand out a borrowed view (stable
   // until FreeSegment) instead of copying.
   return PageView{data.data() + begin, count};
 }
 
 void MemPageStore::FreeSegment(SegmentId segment) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const size_t index = SlotIndex(segment);
-  if (index >= slots_.size()) return;
-  Slot& slot = slots_[index];
-  if (slot.data == nullptr || slot.generation != Generation(segment)) return;
-  slot.data.reset();
-  free_slots_.push_back(static_cast<uint32_t>(index));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t index = SlotIndex(segment);
+    if (index >= slots_.size()) return;
+    Slot& slot = slots_[index];
+    if (slot.data == nullptr || slot.generation != Generation(segment)) {
+      return;
+    }
+    slot.data.reset();
+    free_slots_.push_back(static_cast<uint32_t>(index));
+  }
+  CacheErase(segment);
 }
 
 size_t MemPageStore::NumPages(SegmentId segment) const {
@@ -395,6 +444,12 @@ StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
   const size_t count = std::min<size_t>(entries_per_page_,
                                         meta.num_entries - begin);
 
+  // Cached pages were CRC-verified at admission; a hit skips the device
+  // read (and any fault injected on it) entirely.
+  if (CacheLookup(segment, page_idx, ctx, scratch)) {
+    return PageView{scratch->data(), scratch->size()};
+  }
+
   const size_t page_bytes = PageBytes();
   const size_t disk_bytes = PageDiskBytes();
   AlignedBuf raw = BorrowScratch();
@@ -452,23 +507,32 @@ StatusOr<PageView> FilePageStore::ReadPageView(SegmentId segment,
   }
   scratch->set_size(count);
   stats_->OnPageRead(ctx, 1);
+  // Checksum-verified admission: a page only enters the cache if this
+  // read proved its CRC. With verification off the device is trusted for
+  // reads but not for admission — a cached rotten page would outlive any
+  // later repair of the file.
+  if (verify) CacheAdmit(segment, page_idx, ctx, dst, count);
   return PageView{dst, count};
 }
 
 void FilePageStore::FreeSegment(SegmentId segment) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = segments_.find(segment);
-  if (it == segments_.end()) return;
-  if (it->second.fd >= 0) ::close(it->second.fd);
-  if (persistent_) {
-    // Defer the unlink: the current manifest may still reference this
-    // segment, and recovery must be able to reopen it if we crash before
-    // the next manifest lands. PurgePendingDeletes() reaps it afterwards.
-    pending_deletes_.push_back(PathFor(segment));
-  } else {
-    ::unlink(PathFor(segment).c_str());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(segment);
+    if (it == segments_.end()) return;
+    if (it->second.fd >= 0) ::close(it->second.fd);
+    if (persistent_) {
+      // Defer the unlink: the current manifest may still reference this
+      // segment, and recovery must be able to reopen it if we crash
+      // before the next manifest lands. PurgePendingDeletes() reaps it
+      // afterwards.
+      pending_deletes_.push_back(PathFor(segment));
+    } else {
+      ::unlink(PathFor(segment).c_str());
+    }
+    segments_.erase(it);
   }
-  segments_.erase(it);
+  CacheErase(segment);
 }
 
 Status FilePageStore::AdoptSegment(SegmentId id, size_t num_entries) {

@@ -37,6 +37,8 @@
 
 namespace endure::lsm {
 
+class BlockCache;
+
 /// Handle to an immutable on-"disk" segment of pages.
 using SegmentId = uint64_t;
 
@@ -188,9 +190,30 @@ class PageStore {
   uint64_t entries_per_page() const { return entries_per_page_; }
   Statistics* stats() const { return stats_; }
 
+  /// Attaches the deployment-wide block cache (nullable to detach). The
+  /// store registers itself under a unique cache store id; afterwards
+  /// point- and range-query reads are served from the cache on a hit and
+  /// admit verified pages on a miss, while flush/compaction/recovery I/O
+  /// bypasses it entirely. Call before the store is used concurrently.
+  void set_block_cache(BlockCache* cache);
+  BlockCache* block_cache() const { return cache_; }
+
  protected:
+  /// On a hit, fills `scratch` from the cache, counts the hit and returns
+  /// true. Only fires for point/range contexts with the cache attached and
+  /// non-zero capacity; counts a miss otherwise within those constraints.
+  bool CacheLookup(SegmentId segment, size_t page_idx, IoContext ctx,
+                   PageBuffer* scratch) const;
+  /// Admits one decoded, verified page (same gating as CacheLookup).
+  void CacheAdmit(SegmentId segment, size_t page_idx, IoContext ctx,
+                  const Entry* entries, size_t count) const;
+  /// Drops a freed segment's pages from the cache.
+  void CacheErase(SegmentId segment) const;
+
   uint64_t entries_per_page_;
   Statistics* stats_;
+  BlockCache* cache_ = nullptr;
+  uint64_t cache_store_id_ = 0;
 };
 
 /// RAM-backed store (default experimental substrate). Segment ids encode

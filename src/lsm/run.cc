@@ -55,6 +55,15 @@ const Entry* PageLowerBound(const Entry* base, size_t n, Key key) {
   return base;
 }
 
+/// Per-thread point-lookup scratch. Runs are shared by lock-free snapshot
+/// readers, so the buffer must be per reader thread, not per run; it grows
+/// to the largest entries_per_page seen on this thread and is then reused
+/// allocation-free.
+PageBuffer& PointScratch() {
+  static thread_local PageBuffer scratch;
+  return scratch;
+}
+
 }  // namespace
 
 Run::Run(PageStore* store, SegmentId segment,
@@ -99,7 +108,7 @@ const Entry* Run::Get(Key key, bool use_fence_skip,
   }
   const StatusOr<PageView> view =
       store_->ReadPageView(segment_, *page, IoContext::kPointQuery,
-                           &scratch_);
+                           &PointScratch());
   if (!view.ok()) {
     if (io_status != nullptr) *io_status = view.status();
     return nullptr;
@@ -161,7 +170,8 @@ void Run::BlindSeek() const {
   ++store_->stats()->range_seeks;
   // The read exists only to charge the cost model's one-seek-per-run; a
   // failure changes no visible state, so it is deliberately dropped.
-  (void)store_->ReadPageView(segment_, 0, IoContext::kRangeQuery, &scratch_);
+  (void)store_->ReadPageView(segment_, 0, IoContext::kRangeQuery,
+                             &PointScratch());
 }
 
 std::optional<Run::Iterator> Run::NewRangeIterator(Key lo, Key hi) const {

@@ -5,10 +5,11 @@
 // I/O), then read at most one page through the fence pointers; scans read
 // pages sequentially.
 //
-// All reads go through reusable PageBuffers: the run owns one scratch
-// buffer for point lookups (allocated at construction, reused for every
-// Get) and each iterator owns one for its sequential pages — the steady
-// state performs no heap allocations.
+// All reads go through reusable PageBuffers: point lookups fill a
+// thread-local scratch buffer (one per reader thread, reused for every
+// Get on any run — lock-free snapshot readers share runs, so a per-run
+// buffer would race) and each iterator owns one for its sequential
+// pages — the steady state performs no heap allocations.
 
 #ifndef ENDURE_LSM_RUN_H_
 #define ENDURE_LSM_RUN_H_
@@ -67,13 +68,14 @@ class Run {
 
   /// Point lookup. Counts bloom/fence activity and at most one page read
   /// (IoContext::kPointQuery). `use_fence_skip` short-circuits keys outside
-  /// [min,max] without touching the filter. Reads go through the run's
-  /// reusable scratch buffer — no allocation, no copy. Returns nullptr on
-  /// a miss; a hit stays valid until the next Get/BlindSeek on this run or
-  /// until the run is destroyed. A failed page read (I/O error, checksum
-  /// mismatch) also returns nullptr and, when `io_status` is non-null,
-  /// reports the failure there — callers that care about the distinction
-  /// between "absent" and "unreadable" must pass it.
+  /// [min,max] without touching the filter. Reads go through the calling
+  /// thread's reusable scratch buffer — no allocation once warm, no copy.
+  /// Safe to call from any number of threads concurrently. Returns nullptr
+  /// on a miss; a hit stays valid until this thread's next Get/BlindSeek
+  /// on any run, or until the run is destroyed. A failed page read (I/O
+  /// error, checksum mismatch) also returns nullptr and, when `io_status`
+  /// is non-null, reports the failure there — callers that care about the
+  /// distinction between "absent" and "unreadable" must pass it.
   const Entry* Get(Key key, bool use_fence_skip,
                    Status* io_status = nullptr) const;
 
@@ -131,10 +133,6 @@ class Run {
   uint64_t num_entries_;
   double bloom_bits_per_entry_;
   uint64_t tuning_epoch_ = 0;
-  /// Point-lookup scratch, reused across Gets (access to a run is
-  /// serialized by its tree's owner); only materializing backends ever
-  /// allocate it.
-  mutable PageBuffer scratch_;
 };
 
 }  // namespace endure::lsm

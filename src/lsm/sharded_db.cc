@@ -38,6 +38,11 @@ ShardedDB::ShardedDB(const Options& options, bool defer_shards)
     flush_service_ =
         std::make_unique<WalFlushService>(options_.wal_sync_interval_ms);
   }
+  if (options_.block_cache_bytes > 0) {
+    // One cache for the whole deployment: shards share the byte budget
+    // by demand, not by a fixed per-shard split.
+    cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  }
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   if (!defer_shards) {
     for (int i = 0; i < options_.num_shards; ++i) {
@@ -47,6 +52,7 @@ ShardedDB::ShardedDB(const Options& options, bool defer_shards)
       shard->store = MakePageStore(options_.entries_per_page, &shard->stats,
                                    static_cast<int>(options_.backend),
                                    options_.storage_dir);
+      if (cache_ != nullptr) shard->store->set_block_cache(cache_.get());
       shard->tree = std::make_unique<LsmTree>(options_, shard->store.get(),
                                               &shard->stats);
       shards_.push_back(std::move(shard));
@@ -202,6 +208,9 @@ Status ShardedDB::RecoverShard(const Options& root_opts, int index,
                                /*persistent=*/true,
                                shard_opts.verify_checksums,
                                shard_opts.scrub_on_recovery);
+  // Thread-safe across concurrent shard recoveries: registration is one
+  // atomic id allocation.
+  if (cache_ != nullptr) shard->store->set_block_cache(cache_.get());
   shard->tree = std::make_unique<LsmTree>(shard_opts, shard->store.get(),
                                           &shard->stats);
   ENDURE_RETURN_IF_ERROR(RecoverAndAttach(shard->tree.get(), m,
@@ -317,6 +326,49 @@ void ShardedDB::RunMaintenanceUnit(Shard* shard) {
   if (!queued) shard->maintenance_scheduled = false;
 }
 
+void ShardedDB::MaybeArbitrate(uint64_t ops) {
+  if (cache_ == nullptr) return;
+  // A relaxed counter decides *when* to rebalance; crossing a 1024-op
+  // boundary elects (at least) one writer. The try-lock below keeps the
+  // election cheap when several cross at once.
+  constexpr uint64_t kArbiterPeriod = 1024;
+  const uint64_t before = arbiter_ops_.fetch_add(ops,
+                                                 std::memory_order_relaxed);
+  if (before / kArbiterPeriod == (before + ops) / kArbiterPeriod) return;
+  const Options opts = options();  // options_mu_ only; no shard lock held
+  if (opts.memory_budget_bytes == 0) return;
+  std::unique_lock<std::mutex> lock(arbiter_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // a rebalance is already running
+
+  const Statistics total = TotalStats();
+  const uint64_t reads = total.gets.load() + total.range_queries.load();
+  const uint64_t writes = total.writes.load();
+  // Buffers never shrink below one small memtable per shard, whatever
+  // the read share — a zero-capacity buffer would seal on every write.
+  const uint64_t min_buffer_bytes =
+      shards_.size() * 16 * sizeof(Entry);
+  const ArbiterSplit split = ArbitrateMemory(
+      opts.memory_budget_bytes, reads, writes, min_buffer_bytes);
+
+  cache_->set_capacity(split.cache_bytes);
+  const uint64_t per_shard_entries = std::max<uint64_t>(
+      1, split.buffer_bytes / (shards_.size() * sizeof(Entry)));
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->tree->SetBufferCapacity(per_shard_entries);
+  }
+  // Count a shift only when the split moved by more than 10% of the
+  // budget — steady mixes should read as zero shifts, drifts as a few.
+  const uint64_t delta = split.cache_bytes > last_cache_split_
+                             ? split.cache_bytes - last_cache_split_
+                             : last_cache_split_ - split.cache_bytes;
+  if (delta * 10 > opts.memory_budget_bytes) {
+    ++sched_stats_.arbiter_shifts;
+    last_cache_split_ = split.cache_bytes;
+  }
+}
+
 void ShardedDB::MaybeStallWrites(Shard* shard,
                                  std::unique_lock<std::mutex>* lock) {
   if (scheduler_ == nullptr) return;
@@ -351,10 +403,14 @@ void ShardedDB::MaybeStallWrites(Shard* shard,
 
 Status ShardedDB::Put(Key key, Value value) {
   Shard* shard = shards_[ShardForKey(key)].get();
-  std::unique_lock<std::mutex> lock(shard->mu);
-  MaybeStallWrites(shard, &lock);
-  const Status s = shard->tree->Put(key, value);
-  MaybeScheduleMaintenance(shard);
+  Status s;
+  {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    MaybeStallWrites(shard, &lock);
+    s = shard->tree->Put(key, value);
+    MaybeScheduleMaintenance(shard);
+  }
+  MaybeArbitrate(1);
   return s;
 }
 
@@ -379,41 +435,41 @@ Status ShardedDB::PutBatch(const std::vector<std::pair<Key, Value>>& pairs) {
     if (!st.ok() && first_error.ok()) first_error = st;
     MaybeScheduleMaintenance(shard);
   }
+  MaybeArbitrate(pairs.size());
   return first_error;
 }
 
 Status ShardedDB::Delete(Key key) {
   Shard* shard = shards_[ShardForKey(key)].get();
-  std::unique_lock<std::mutex> lock(shard->mu);
-  MaybeStallWrites(shard, &lock);
-  const Status s = shard->tree->Delete(key);
-  MaybeScheduleMaintenance(shard);
+  Status s;
+  {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    MaybeStallWrites(shard, &lock);
+    s = shard->tree->Delete(key);
+    MaybeScheduleMaintenance(shard);
+  }
+  MaybeArbitrate(1);
   return s;
 }
 
 std::optional<Value> ShardedDB::Get(Key key) {
-  Shard* shard = shards_[ShardForKey(key)].get();
-  std::lock_guard<std::mutex> lock(shard->mu);
-  return shard->tree->Get(key);
+  // No shard lock: the tree's snapshot protocol serves the read even
+  // while this shard's writer or maintenance install holds the mutex.
+  return shards_[ShardForKey(key)]->tree->Get(key);
 }
 
 StatusOr<std::vector<Entry>> ShardedDB::Scan(Key lo, Key hi) {
   if (shards_.size() == 1) {
-    Shard* shard = shards_.front().get();
-    std::lock_guard<std::mutex> lock(shard->mu);
-    return shard->tree->Scan(lo, hi);
+    return shards_.front()->tree->Scan(lo, hi);
   }
-  // Snapshot each shard under its lock, then merge outside any lock.
-  // Shards hold disjoint key sets, so the merge is a sorted union (ranks
-  // never break ties) and per-shard results carry no tombstones.
+  // Snapshot each shard lock-free, then merge. Shards hold disjoint key
+  // sets, so the merge is a sorted union (ranks never break ties) and
+  // per-shard results carry no tombstones.
   std::vector<std::unique_ptr<EntryStream>> streams;
   streams.reserve(shards_.size());
   for (auto& shard_ptr : shards_) {
     Shard* shard = shard_ptr.get();
-    StatusOr<std::vector<Entry>> part_or = [&] {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      return shard->tree->Scan(lo, hi);
-    }();
+    StatusOr<std::vector<Entry>> part_or = shard->tree->Scan(lo, hi);
     // First failing shard wins; a partial cross-shard result would look
     // exactly like missing keys to the caller.
     ENDURE_RETURN_IF_ERROR(part_or.status());
@@ -438,9 +494,10 @@ Status ShardedDB::Flush() {
 }
 
 Status ShardedDB::Health() const {
+  // No shard locks: the tree's health latch is thread-safe (lock-free
+  // readers latch it too, so it cannot hide behind the shard mutex).
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard* shard = shards_[i].get();
-    std::lock_guard<std::mutex> lock(shard->mu);
     const Status s = shard->tree->Health();
     if (!s.ok()) {
       return Status(s.code(),
@@ -532,6 +589,12 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
     return Status::InvalidArgument(
         "maintenance_threads is fixed at open (the pool is sized once)");
   }
+  if (new_options.block_cache_bytes > 0 && cache_ == nullptr) {
+    return Status::InvalidArgument(
+        "block_cache_bytes cannot be enabled after open (the cache and "
+        "its page-store registrations are built at open); reopen with a "
+        "non-zero cache to enable it");
+  }
   if (options_.durability) {
     // Republish the root manifest BEFORE touching any shard: the only
     // fallible durable step happens while the old tuning is still fully
@@ -592,6 +655,12 @@ Status ShardedDB::ApplyTuning(const Options& new_options) {
   // new rate up within one wait slice.
   if (scheduler_ != nullptr) {
     scheduler_->limiter()->set_rate(options_.compaction_rate_bytes_per_sec);
+  }
+  // Live-retune the cache budget (0 turns it into a pass-through without
+  // dropping the registrations). Under a memory budget the arbiter
+  // re-splits from here on its next period.
+  if (cache_ != nullptr) {
+    cache_->set_capacity(options_.block_cache_bytes);
   }
   return Status::OK();
 }

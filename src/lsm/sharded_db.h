@@ -19,12 +19,14 @@
 #ifndef ENDURE_LSM_SHARDED_DB_H_
 #define ENDURE_LSM_SHARDED_DB_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "lsm/block_cache.h"
 #include "lsm/compaction_scheduler.h"
 #include "lsm/lsm_tree.h"
 #include "util/env.h"
@@ -81,15 +83,18 @@ class ShardedDB {
   /// Deletes a key. Error contract as Put.
   Status Delete(Key key);
 
-  /// Point lookup.
+  /// Point lookup. Lock-free: never takes the shard mutex — the tree's
+  /// snapshot protocol (one atomic load, counted in snapshot_acquires)
+  /// serves the read concurrently with writers and maintenance installs
+  /// on the same shard.
   std::optional<Value> Get(Key key);
 
   /// Range query over [lo, hi): merges the per-shard results (shards hold
-  /// disjoint key sets, so this is a sorted union) in key order. Shards
-  /// are snapshotted one at a time — the scan is atomic per shard, not
-  /// across shards, like an iterator over a sharded RocksDB deployment.
-  /// Returns the first failing shard's read error (I/O or checksum)
-  /// instead of a silently truncated result.
+  /// disjoint key sets, so this is a sorted union) in key order. Lock-free
+  /// like Get(); shards are snapshotted one at a time — the scan is a
+  /// point-in-time view per shard, not across shards, like an iterator
+  /// over a sharded RocksDB deployment. Returns the first failing shard's
+  /// read error (I/O or checksum) instead of a silently truncated result.
   StatusOr<std::vector<Entry>> Scan(Key lo, Key hi);
 
   /// Synchronously flushes every shard (sealed buffer first, then the
@@ -173,6 +178,18 @@ class ShardedDB {
     return *shards_[shard]->tree;
   }
 
+  /// The deployment-wide block cache, or null when Options::
+  /// block_cache_bytes was 0 at open (exposed for tests and examples).
+  BlockCache* block_cache() const { return cache_.get(); }
+
+  /// Test hook: locks shard `i`'s maintenance mutex and hands the lock to
+  /// the caller. Writers and maintenance on that shard block while it is
+  /// held; lock-free Get/Scan must still complete — the contention
+  /// regression test asserts exactly that.
+  std::unique_lock<std::mutex> LockShardForTesting(size_t shard) {
+    return std::unique_lock<std::mutex>(shards_[shard]->mu);
+  }
+
   /// Simulates a crash for the kill-point recovery tests: stops the
   /// maintenance pool (in-flight jobs finish — a thread cannot be killed
   /// mid-step; the crash point is after them), then drops every shard's
@@ -241,6 +258,15 @@ class ShardedDB {
   /// only — call WITHOUT the shard lock held.
   MergeLimits MakeMergeLimits() const;
 
+  /// Write-path hook for the memory arbiter: bumps the op counter by
+  /// `ops` and, every ~1024 operations (when a memory budget is
+  /// configured), re-splits Options::memory_budget_bytes between the
+  /// block cache and the write buffers according to the observed
+  /// read/write mix (ArbitrateMemory). Try-lock guarded — concurrent
+  /// writers never queue behind a rebalance — and called with NO shard
+  /// lock held (it takes shard locks itself to retarget buffers).
+  void MaybeArbitrate(uint64_t ops);
+
   /// Called with `lock` held on shard->mu before applying a write:
   /// blocks while the shard is saturated (sealed buffer pending AND the
   /// active memtable full, or level 1 over Options::l1_stall_runs),
@@ -260,6 +286,16 @@ class ShardedDB {
   /// thread per shard). Declared before shards_ so it outlives the
   /// writers registered with it.
   std::unique_ptr<WalFlushService> flush_service_;
+  /// Deployment-wide sharded clock block cache (null when disabled).
+  /// Declared before shards_ so it outlives the page stores registered
+  /// with it (stores erase their segments from the cache on teardown).
+  std::unique_ptr<BlockCache> cache_;
+  /// Memory-arbiter state: a relaxed write-op counter (every ~1024 ops
+  /// one writer re-splits the budget) and a try-lock so rebalances never
+  /// serialize the write path. last_cache_split_ dedups shift counting.
+  std::atomic<uint64_t> arbiter_ops_{0};
+  std::mutex arbiter_mu_;
+  uint64_t last_cache_split_ = 0;  ///< guarded by arbiter_mu_
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Scheduler-level counters (sched_jobs / sched_requeues /
   /// sched_queue_peak); folded into TotalStats(). Not per-shard: the

@@ -83,6 +83,11 @@ void Statistics::Accumulate(const Statistics& shard) {
   compaction_subtasks += shard.compaction_subtasks;
   sched_jobs += shard.sched_jobs;
   sched_requeues += shard.sched_requeues;
+  snapshot_acquires += shard.snapshot_acquires;
+  cache_hits += shard.cache_hits;
+  cache_misses += shard.cache_misses;
+  cache_evictions += shard.cache_evictions;
+  arbiter_shifts += shard.arbiter_shifts;
   // A gauge, not a sum: the deployment-wide peak is the max over sources.
   if (shard.sched_queue_peak > sched_queue_peak) {
     sched_queue_peak = shard.sched_queue_peak.load();
@@ -132,6 +137,11 @@ Statistics Statistics::Delta(const Statistics& b) const {
   d.compaction_subtasks = compaction_subtasks - b.compaction_subtasks;
   d.sched_jobs = sched_jobs - b.sched_jobs;
   d.sched_requeues = sched_requeues - b.sched_requeues;
+  d.snapshot_acquires = snapshot_acquires - b.snapshot_acquires;
+  d.cache_hits = cache_hits - b.cache_hits;
+  d.cache_misses = cache_misses - b.cache_misses;
+  d.cache_evictions = cache_evictions - b.cache_evictions;
+  d.arbiter_shifts = arbiter_shifts - b.arbiter_shifts;
   // Gauge: the session's peak is simply the current peak (a baseline
   // subtraction would be meaningless for a max).
   d.sched_queue_peak = sched_queue_peak.load();
@@ -158,7 +168,9 @@ std::string Statistics::ToString() const {
       "read_only_transitions=%llu\n"
       "  scheduler: jobs=%llu requeues=%llu queue_peak=%llu\n"
       "  stalls: write_stalls=%llu stall_ms=%llu rate_limited_ms=%llu\n"
-      "  partitioned: merges=%llu subtasks=%llu\n}",
+      "  partitioned: merges=%llu subtasks=%llu\n"
+      "  read path: snapshot_acquires=%llu\n"
+      "  cache: hits=%llu misses=%llu evictions=%llu arbiter_shifts=%llu\n}",
       static_cast<unsigned long long>(pages_read),
       static_cast<unsigned long long>(point_pages_read),
       static_cast<unsigned long long>(range_pages_read),
@@ -197,7 +209,12 @@ std::string Statistics::ToString() const {
       static_cast<unsigned long long>(compaction_stall_ms),
       static_cast<unsigned long long>(rate_limited_ms),
       static_cast<unsigned long long>(compactions_partitioned),
-      static_cast<unsigned long long>(compaction_subtasks));
+      static_cast<unsigned long long>(compaction_subtasks),
+      static_cast<unsigned long long>(snapshot_acquires),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(arbiter_shifts));
   return buf;
 }
 

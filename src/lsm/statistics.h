@@ -118,6 +118,13 @@ struct Statistics {
   RelaxedCounter sched_requeues = 0;       ///< deadline-delayed retry requeues
   RelaxedCounter sched_queue_peak = 0;     ///< max jobs waiting in the priority queue (gauge)
 
+  // --- lock-free read path + block cache (see docs/architecture.md) ---
+  RelaxedCounter snapshot_acquires = 0;  ///< read snapshots taken by Get/Scan
+  RelaxedCounter cache_hits = 0;         ///< block cache page hits
+  RelaxedCounter cache_misses = 0;       ///< block cache lookups that missed
+  RelaxedCounter cache_evictions = 0;    ///< pages evicted by the clock hand
+  RelaxedCounter arbiter_shifts = 0;     ///< memory arbiter budget rebalances
+
   /// Records one page read attributed to `ctx`.
   void OnPageRead(IoContext ctx, uint64_t pages = 1);
 

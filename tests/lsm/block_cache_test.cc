@@ -1,0 +1,221 @@
+// Unit tests for the shared block cache and the memory-arbitration
+// policy: lookup/admission/eviction semantics, segment erasure, live
+// capacity retargeting, the pure ArbitrateMemory split, and the
+// engine-level knobs (Options validation, enable-after-open rule,
+// arbiter-driven buffer retargeting).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "lsm/block_cache.h"
+#include "lsm/db.h"
+#include "lsm/sharded_db.h"
+#include "lsm/statistics.h"
+
+namespace endure::lsm {
+namespace {
+
+std::vector<Entry> MakePage(Key base, size_t count) {
+  std::vector<Entry> page;
+  page.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    page.push_back(Entry{base + i, /*seq=*/1, base + i + 100,
+                         EntryType::kValue});
+  }
+  return page;
+}
+
+TEST(BlockCacheTest, LookupMissThenHitCopiesOut) {
+  BlockCache cache(/*capacity_bytes=*/1 << 20);
+  const uint64_t store = cache.RegisterStore();
+  PageBuffer buf;
+  EXPECT_FALSE(cache.Lookup(store, /*segment=*/7, /*page_idx=*/0, &buf));
+
+  const std::vector<Entry> page = MakePage(10, 4);
+  cache.Insert(store, 7, 0, page.data(), page.size(), nullptr);
+  ASSERT_TRUE(cache.Lookup(store, 7, 0, &buf));
+  ASSERT_EQ(buf.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf[i].key, page[i].key);
+    EXPECT_EQ(buf[i].value, page[i].value);
+  }
+  EXPECT_EQ(cache.usage(), 4 * sizeof(Entry));
+}
+
+TEST(BlockCacheTest, StoresAreIsolatedBySegmentKey) {
+  // Two stores may reuse the same SegmentId; the registered store id
+  // keeps their pages apart.
+  BlockCache cache(1 << 20);
+  const uint64_t a = cache.RegisterStore();
+  const uint64_t b = cache.RegisterStore();
+  ASSERT_NE(a, b);
+  const std::vector<Entry> page_a = MakePage(0, 2);
+  const std::vector<Entry> page_b = MakePage(50, 3);
+  cache.Insert(a, /*segment=*/1, /*page_idx=*/0, page_a.data(), 2, nullptr);
+  cache.Insert(b, /*segment=*/1, /*page_idx=*/0, page_b.data(), 3, nullptr);
+  PageBuffer buf;
+  ASSERT_TRUE(cache.Lookup(a, 1, 0, &buf));
+  EXPECT_EQ(buf.size(), 2u);
+  ASSERT_TRUE(cache.Lookup(b, 1, 0, &buf));
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(BlockCacheTest, EraseSegmentDropsAllItsPages) {
+  BlockCache cache(1 << 20);
+  const uint64_t store = cache.RegisterStore();
+  const std::vector<Entry> page = MakePage(0, 4);
+  for (uint64_t p = 0; p < 8; ++p) {
+    cache.Insert(store, /*segment=*/3, p, page.data(), 4, nullptr);
+    cache.Insert(store, /*segment=*/4, p, page.data(), 4, nullptr);
+  }
+  cache.EraseSegment(store, 3);
+  PageBuffer buf;
+  for (uint64_t p = 0; p < 8; ++p) {
+    EXPECT_FALSE(cache.Lookup(store, 3, p, &buf));
+    EXPECT_TRUE(cache.Lookup(store, 4, p, &buf));
+  }
+  EXPECT_EQ(cache.usage(), 8 * 4 * sizeof(Entry));
+}
+
+TEST(BlockCacheTest, EvictsUnderCapacityPressure) {
+  // Single cache shard so the clock behaviour is deterministic: capacity
+  // for ~4 pages, insert 16, usage must stay bounded and evictions
+  // counted.
+  BlockCache cache(4 * 8 * sizeof(Entry), /*num_shards=*/1);
+  const uint64_t store = cache.RegisterStore();
+  Statistics stats;
+  const std::vector<Entry> page = MakePage(0, 8);
+  for (uint64_t p = 0; p < 16; ++p) {
+    cache.Insert(store, 1, p, page.data(), 8, &stats);
+  }
+  EXPECT_LE(cache.usage(), 4 * 8 * sizeof(Entry));
+  EXPECT_GT(stats.cache_evictions.load(), 0u);
+}
+
+TEST(BlockCacheTest, ZeroCapacityAdmitsNothing) {
+  BlockCache cache(0);
+  const uint64_t store = cache.RegisterStore();
+  const std::vector<Entry> page = MakePage(0, 4);
+  cache.Insert(store, 1, 0, page.data(), 4, nullptr);
+  PageBuffer buf;
+  EXPECT_FALSE(cache.Lookup(store, 1, 0, &buf));
+  EXPECT_EQ(cache.usage(), 0u);
+}
+
+TEST(BlockCacheTest, SetCapacityRetargetsLive) {
+  BlockCache cache(1 << 20, /*num_shards=*/1);
+  const uint64_t store = cache.RegisterStore();
+  const std::vector<Entry> page = MakePage(0, 8);
+  for (uint64_t p = 0; p < 8; ++p) {
+    cache.Insert(store, 1, p, page.data(), 8, nullptr);
+  }
+  const uint64_t full = cache.usage();
+  ASSERT_EQ(full, 8 * 8 * sizeof(Entry));
+  // Shrink to two pages: the next insert evicts down to the new bound.
+  cache.set_capacity(2 * 8 * sizeof(Entry));
+  cache.Insert(store, 2, 0, page.data(), 8, nullptr);
+  EXPECT_LE(cache.usage(), 2 * 8 * sizeof(Entry));
+}
+
+TEST(ArbitrateMemoryTest, SplitsFollowReadShareWithClamps) {
+  const uint64_t budget = 1000;
+  // Balanced mix: an even split.
+  ArbiterSplit even = ArbitrateMemory(budget, 500, 500, 0);
+  EXPECT_EQ(even.cache_bytes, 500u);
+  EXPECT_EQ(even.cache_bytes + even.buffer_bytes, budget);
+  // Read-only drift clamps at 7/8 cache.
+  ArbiterSplit readonly = ArbitrateMemory(budget, 1000, 0, 0);
+  EXPECT_EQ(readonly.cache_bytes, 875u);
+  // Write-only drift clamps at 1/8 cache.
+  ArbiterSplit writeonly = ArbitrateMemory(budget, 0, 1000, 0);
+  EXPECT_EQ(writeonly.cache_bytes, 125u);
+  // No observations yet: balanced.
+  ArbiterSplit cold = ArbitrateMemory(budget, 0, 0, 0);
+  EXPECT_EQ(cold.cache_bytes, 500u);
+  // The buffer floor wins over the read share.
+  ArbiterSplit floored = ArbitrateMemory(budget, 1000, 0, 400);
+  EXPECT_GE(floored.buffer_bytes, 400u);
+  EXPECT_EQ(floored.cache_bytes + floored.buffer_bytes, budget);
+}
+
+TEST(BlockCacheOptionsTest, BudgetRequiresCache) {
+  Options o;
+  o.memory_budget_bytes = 1 << 20;
+  o.block_cache_bytes = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.block_cache_bytes = 1 << 16;
+  EXPECT_TRUE(o.Validate().ok());
+  // The cache must fit inside the budget it arbitrates under.
+  o.block_cache_bytes = 2 << 20;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(BlockCacheOptionsTest, CannotEnableCacheAfterOpen) {
+  // The cache and its page-store registrations are built at open; a
+  // retune may resize it (including to 0 = pass-through) but not conjure
+  // one up.
+  Options o;
+  auto db = DB::Open(o);
+  ASSERT_TRUE(db.ok());
+  Options with_cache = o;
+  with_cache.block_cache_bytes = 1 << 16;
+  EXPECT_FALSE((*db)->ApplyTuning(with_cache).ok());
+
+  Options cached = o;
+  cached.block_cache_bytes = 1 << 16;
+  auto db2 = DB::Open(cached);
+  ASSERT_TRUE(db2.ok());
+  ASSERT_NE((*db2)->block_cache(), nullptr);
+  Options resized = cached;
+  resized.block_cache_bytes = 1 << 15;
+  EXPECT_TRUE((*db2)->ApplyTuning(resized).ok());
+  EXPECT_EQ((*db2)->block_cache()->capacity(), uint64_t{1} << 15);
+  resized.block_cache_bytes = 0;
+  EXPECT_TRUE((*db2)->ApplyTuning(resized).ok());
+  EXPECT_EQ((*db2)->block_cache()->capacity(), 0u);
+}
+
+TEST(BlockCacheArbiterTest, ShiftsBudgetTowardReadsUnderReadHeavyMix) {
+  // End-to-end arbiter: a read-heavy phase after a write phase must grow
+  // the cache's share of the budget (observable via capacity) and
+  // retarget the write buffers without disturbing correctness.
+  Options o;
+  o.buffer_entries = 128;
+  o.entries_per_page = 4;
+  o.num_shards = 2;
+  o.block_cache_bytes = 64 * 1024;
+  o.memory_budget_bytes = 512 * 1024;
+  auto db_or = ShardedDB::Open(o);
+  ASSERT_TRUE(db_or.ok());
+  ShardedDB* db = db_or->get();
+  // Write phase crosses several arbiter periods (1024 ops each).
+  for (Key k = 0; k < 4096; ++k) {
+    ASSERT_TRUE(db->Put(k, k).ok());
+  }
+  const uint64_t write_heavy_capacity = db->block_cache()->capacity();
+  // Read-heavy phase: reads don't tick the arbiter (it is a write-path
+  // hook), so interleave sparse writes to let it observe the new mix.
+  for (int round = 0; round < 8; ++round) {
+    for (Key k = 0; k < 4096; ++k) {
+      db->Get(k);
+    }
+    for (Key k = 0; k < 512; ++k) {
+      ASSERT_TRUE(db->Put(k, k + 1).ok());
+    }
+  }
+  const uint64_t read_heavy_capacity = db->block_cache()->capacity();
+  EXPECT_GT(read_heavy_capacity, write_heavy_capacity);
+  // The split always exhausts the budget.
+  EXPECT_LE(read_heavy_capacity, o.memory_budget_bytes);
+  // Reads still correct after all the retargeting.
+  for (Key k = 0; k < 512; ++k) {
+    const std::optional<Value> got = db->Get(k);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, k + 1);
+  }
+}
+
+}  // namespace
+}  // namespace endure::lsm

@@ -160,6 +160,77 @@ TEST(CorruptionTest, RuntimeChecksumFailureLatchesReadOnly) {
   EXPECT_GE((*db)->stats().checksum_failures.load(), 1u);
 }
 
+TEST(CorruptionTest, BitRotIsNeverAdmittedToBlockCache) {
+  // Checksum-verified admission: a page that fails CRC verification must
+  // neither be admitted to the block cache nor ever served from it —
+  // every retry re-reads the device, fails verification again, and
+  // misses. A cache hit on rotted bytes would silently launder the
+  // corruption past the verifier.
+  const std::string dir = FreshDir("cache_bitrot");
+  Options opts = DurableOpts(dir);
+  opts.scrub_on_recovery = false;  // let the damaged deployment open
+  SeedDeployment(opts, 64);
+
+  const std::vector<std::string> segs = SegmentFiles(dir);
+  ASSERT_FALSE(segs.empty());
+  FlipByte(segs.front(), 4);  // inside the first page's payload
+
+  opts.block_cache_bytes = 256 * 1024;
+  auto db = DB::Open(opts);
+  if (!db.ok()) {
+    // Filter rebuild already tripped over the page — equally acceptable.
+    EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+    return;
+  }
+  constexpr int kAttempts = 5;
+  for (int i = 0; i < kAttempts; ++i) {
+    EXPECT_EQ((*db)->Get(0), std::nullopt);  // page 0 holds keys 0..3
+  }
+  EXPECT_EQ((*db)->stats().cache_hits.load(), 0u);
+  EXPECT_GE((*db)->stats().checksum_failures.load(),
+            static_cast<uint64_t>(kAttempts));
+  EXPECT_GE((*db)->stats().cache_misses.load(),
+            static_cast<uint64_t>(kAttempts));
+}
+
+TEST(CorruptionTest, VerifiedPagesAreServedFromCacheAfterBitRotElsewhere) {
+  // The flip side of checksum-verified admission: pages that DID verify
+  // are admitted and repeat reads hit the cache — even while a rotted
+  // page elsewhere in the deployment keeps the tree latched read-only —
+  // and serving a hit never re-runs (or re-fails) verification.
+  const std::string dir = FreshDir("cache_clean_pages");
+  Options opts = DurableOpts(dir);
+  opts.scrub_on_recovery = false;
+  SeedDeployment(opts, 64);
+
+  const std::vector<std::string> segs = SegmentFiles(dir);
+  ASSERT_FALSE(segs.empty());
+  FlipByte(segs.front(), 4);
+
+  opts.block_cache_bytes = 256 * 1024;
+  auto db = DB::Open(opts);
+  if (!db.ok()) {
+    EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+    return;
+  }
+  // A key far from the damaged first page: first read admits, the
+  // second hits.
+  ASSERT_EQ((*db)->Get(40).value_or(0), 140u);
+  const uint64_t hits_before = (*db)->stats().cache_hits.load();
+  ASSERT_EQ((*db)->Get(40).value_or(0), 140u);
+  EXPECT_GT((*db)->stats().cache_hits.load(), hits_before);
+
+  // Now trip the rotted page, then confirm cached serving of the clean
+  // page still works and the failure count stops moving when hits serve.
+  EXPECT_EQ((*db)->Get(0), std::nullopt);
+  const uint64_t failures = (*db)->stats().checksum_failures.load();
+  EXPECT_GE(failures, 1u);
+  const uint64_t hits_mid = (*db)->stats().cache_hits.load();
+  ASSERT_EQ((*db)->Get(40).value_or(0), 140u);
+  EXPECT_GT((*db)->stats().cache_hits.load(), hits_mid);
+  EXPECT_EQ((*db)->stats().checksum_failures.load(), failures);
+}
+
 TEST(CorruptionTest, UndamagedDeploymentScrubsClean) {
   const std::string dir = FreshDir("clean_scrub");
   Options opts = DurableOpts(dir);

@@ -30,6 +30,7 @@ using endure::testing::GenerateTrace;
 using endure::testing::KeyDistribution;
 using endure::testing::Op;
 using endure::testing::ReferenceModel;
+using endure::testing::VersionedOracle;
 
 Options SmallOpts(StorageBackend backend) {
   Options o;
@@ -50,7 +51,8 @@ Options SmallOpts(StorageBackend backend) {
 template <typename DbT>
 void RunOps(DbT* db, const std::vector<Op>& ops, size_t begin, size_t end,
             ReferenceModel* oracle_ptr, uint64_t seed,
-            const std::vector<Options>* tunings = nullptr) {
+            const std::vector<Options>* tunings = nullptr,
+            VersionedOracle* versioned = nullptr) {
   ReferenceModel& oracle = *oracle_ptr;
   for (size_t i = begin; i < end; ++i) {
     const Op& op = ops[i];
@@ -61,10 +63,12 @@ void RunOps(DbT* db, const std::vector<Op>& ops, size_t begin, size_t end,
       case Op::kPut:
         db->Put(op.key, op.value);
         oracle.Put(op.key, op.value);
+        if (versioned != nullptr) versioned->Put(op.key, op.value);
         break;
       case Op::kDelete:
         db->Delete(op.key);
         oracle.Delete(op.key);
+        if (versioned != nullptr) versioned->Delete(op.key);
         break;
       case Op::kGet: {
         const auto got = db->Get(op.key);
@@ -90,6 +94,25 @@ void RunOps(DbT* db, const std::vector<Op>& ops, size_t begin, size_t end,
         ASSERT_NE(tunings, nullptr);
         ASSERT_TRUE(
             db->ApplyTuning((*tunings)[op.value % tunings->size()]).ok());
+        break;
+      }
+      case Op::kSnapshotScan: {
+        // Single-threaded trace: the only valid snapshot is the latest
+        // state, so the validity window degenerates to one index. A
+        // widened window must also accept (monotonicity of the check).
+        ASSERT_NE(versioned, nullptr);
+        const std::vector<Entry> got = db->Scan(op.key, op.hi).value();
+        std::vector<std::pair<Key, Value>> observed;
+        observed.reserve(got.size());
+        for (const Entry& e : got) observed.emplace_back(e.key, e.value);
+        const uint64_t now = versioned->last_index();
+        uint64_t matched = 0;
+        ASSERT_TRUE(versioned->ScanMatchesSomeIndex(observed, op.key, op.hi,
+                                                    now, now, &matched));
+        ASSERT_EQ(matched, now);
+        const uint64_t k_low = now >= 16 ? now - 16 : 0;
+        ASSERT_TRUE(versioned->ScanMatchesSomeIndex(observed, op.key, op.hi,
+                                                    k_low, now));
         break;
       }
     }
@@ -330,6 +353,94 @@ TEST(DifferentialTest, KillPointRecoveryShardedDbAcrossReconfigs) {
                                         KeyDistribution::kSkewed,
                                         /*reconfigure=*/true);
     if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DifferentialTest, VersionedOracleReconstructsPastStates) {
+  // The versioned oracle itself: per-index reconstruction, window
+  // acceptance/rejection, and truncation — exercised directly so a
+  // harness failure can be attributed to engine vs. oracle.
+  VersionedOracle v;
+  EXPECT_EQ(v.last_index(), 0u);
+  EXPECT_EQ(v.Put(5, 50), 1u);
+  EXPECT_EQ(v.Put(7, 70), 2u);
+  EXPECT_EQ(v.Put(5, 51), 3u);
+  EXPECT_EQ(v.Delete(7), 4u);
+
+  EXPECT_EQ(v.ValueAt(5, 0), std::nullopt);
+  EXPECT_EQ(v.ValueAt(5, 1), std::make_optional<Value>(50));
+  EXPECT_EQ(v.ValueAt(5, 2), std::make_optional<Value>(50));
+  EXPECT_EQ(v.ValueAt(5, 4), std::make_optional<Value>(51));
+  EXPECT_EQ(v.ValueAt(7, 3), std::make_optional<Value>(70));
+  EXPECT_EQ(v.ValueAt(7, 4), std::nullopt);
+
+  using Pairs = std::vector<std::pair<Key, Value>>;
+  EXPECT_EQ(v.ScanAt(0, 100, 2), (Pairs{{5, 50}, {7, 70}}));
+  EXPECT_EQ(v.ScanAt(0, 100, 4), (Pairs{{5, 51}}));
+
+  // A state that held at index 2 is accepted by any window covering 2
+  // and rejected by windows excluding it.
+  const Pairs at2{{5, 50}, {7, 70}};
+  uint64_t matched = ~0ull;
+  EXPECT_TRUE(v.ScanMatchesSomeIndex(at2, 0, 100, 0, 4, &matched));
+  EXPECT_EQ(matched, 2u);
+  EXPECT_TRUE(v.ScanMatchesSomeIndex(at2, 0, 100, 2, 2));
+  EXPECT_FALSE(v.ScanMatchesSomeIndex(at2, 0, 100, 3, 4));
+  EXPECT_FALSE(v.ScanMatchesSomeIndex(at2, 0, 100, 0, 1));
+  // A state that never held is rejected by every window: key 7 reads 70
+  // only at indices 2-3, but key 5 is absent only at index 0 — no single
+  // index explains both. This is the mixed-prefix (torn) read the
+  // snapshot path must make impossible.
+  EXPECT_FALSE(v.ScanMatchesSomeIndex(Pairs{{7, 70}}, 0, 100, 0, 4));
+
+  // Point-read windows follow the same rule.
+  EXPECT_TRUE(v.GetMatchesSomeIndex(5, std::make_optional<Value>(50), 0, 2));
+  EXPECT_TRUE(v.GetMatchesSomeIndex(5, std::make_optional<Value>(51), 2, 3));
+  EXPECT_FALSE(v.GetMatchesSomeIndex(5, std::make_optional<Value>(50), 3, 4));
+  EXPECT_TRUE(v.GetMatchesSomeIndex(7, std::nullopt, 3, 4));
+  EXPECT_FALSE(v.GetMatchesSomeIndex(7, std::nullopt, 2, 3));
+
+  // Truncation rolls back to a prefix (the crash-recovery realignment).
+  v.TruncateTo(2);
+  EXPECT_EQ(v.last_index(), 2u);
+  EXPECT_EQ(v.ScanAt(0, 100, 2), at2);
+  EXPECT_EQ(v.Put(9, 90), 3u);  // indices resume from the truncation point
+  EXPECT_EQ(v.ValueAt(5, 3), std::make_optional<Value>(50));
+}
+
+TEST(DifferentialTest, DbSnapshotScansMatchVersionedOracle) {
+  // Single-threaded snapshot-consistency differential: kSnapshotScan ops
+  // route through the same lock-free snapshot read path and must equal
+  // the versioned oracle's latest state exactly (the window degenerates
+  // when there is no concurrency).
+  for (const Config& c : Configs()) {
+    auto db = DB::Open(SmallOpts(c.backend));
+    ASSERT_TRUE(db.ok());
+    ReferenceModel oracle;
+    VersionedOracle versioned;
+    const auto ops = GenerateTrace(91, c.ops, c.dist, /*key_domain=*/8192,
+                                   /*snapshot_scan_fraction=*/0.15);
+    RunOps(db->get(), ops, 0, ops.size(), &oracle, 91, nullptr, &versioned);
+    if (::testing::Test::HasFatalFailure()) return;
+    VerifyFullScan(db->get(), oracle, 91, "final scan");
+  }
+}
+
+TEST(DifferentialTest, ShardedDbSnapshotScansMatchVersionedOracle) {
+  for (const Config& c : Configs()) {
+    Options o = SmallOpts(c.backend);
+    o.num_shards = 4;
+    o.background_maintenance = true;
+    o.block_cache_bytes = 64 * 1024;  // reads also exercise the cache
+    auto db = ShardedDB::Open(o);
+    ASSERT_TRUE(db.ok());
+    ReferenceModel oracle;
+    VersionedOracle versioned;
+    const auto ops = GenerateTrace(92, c.ops, c.dist, /*key_domain=*/8192,
+                                   /*snapshot_scan_fraction=*/0.15);
+    RunOps(db->get(), ops, 0, ops.size(), &oracle, 92, nullptr, &versioned);
+    if (::testing::Test::HasFatalFailure()) return;
+    VerifyFullScan(db->get(), oracle, 92, "final scan");
   }
 }
 

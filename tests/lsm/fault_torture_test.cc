@@ -129,11 +129,18 @@ bool SilentDamageFired(FaultInjector* fi, const Schedule& schedule) {
          fi->fired(FaultSite::kSegmentWrite) > 0;
 }
 
-void RunOneSchedule(uint64_t seed) {
-  const std::string dir =
-      "/tmp/endure_fault_torture_" + std::to_string(seed);
+void RunOneSchedule(uint64_t seed, uint64_t block_cache_bytes = 0) {
+  const std::string dir = "/tmp/endure_fault_torture_" +
+                          std::to_string(seed) +
+                          (block_cache_bytes > 0 ? "_cached" : "");
   std::filesystem::remove_all(dir);
   Options opts = TortureOpts(dir, seed);
+  // The cache-enabled arm: every schedule also runs with the shared
+  // block cache on the read path, so checksum-verified admission faces
+  // the same bit-rot / torn-write / EIO fire. The plausibility oracle
+  // is the detector — a cache that admitted or served damaged bytes
+  // would fabricate a value the workload never wrote.
+  opts.block_cache_bytes = block_cache_bytes;
 
   std::mt19937_64 rng(0x9e3779b97f4a7c15ull ^ (seed * 0x2545f4914f6cdd1dull));
   std::map<Key, KeyState> oracle;
@@ -238,6 +245,17 @@ TEST(FaultTortureTest, SeededScheduleSweep) {
   for (int seed = 0; seed < schedules; ++seed) {
     SCOPED_TRACE("schedule seed " + std::to_string(seed));
     RunOneSchedule(static_cast<uint64_t>(seed));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(FaultTortureTest, CacheEnabledScheduleSweep) {
+  const int schedules = static_cast<int>(
+      GetEnvInt("ENDURE_TORTURE_CACHE_SCHEDULES", 40));
+  for (int seed = 0; seed < schedules; ++seed) {
+    SCOPED_TRACE("cached schedule seed " + std::to_string(seed));
+    RunOneSchedule(static_cast<uint64_t>(seed), /*block_cache_bytes=*/
+                   128 * 1024);
     if (HasFatalFailure()) return;
   }
 }

@@ -51,21 +51,157 @@ class ReferenceModel {
   std::map<lsm::Key, lsm::Value> map_;
 };
 
+/// The versioned oracle: every Put/Delete appends a stamped version, so
+/// the state *at any past write index* can be reconstructed. This is what
+/// snapshot-consistency checking needs: a concurrent reader's scan is
+/// correct iff it equals the oracle's state at SOME index inside the
+/// reader's validity window [k_low, k_high], where k_low is the last
+/// write acknowledged before the read started and k_high the last write
+/// started before the read returned (the engine makes an applied write
+/// readable just before its WAL ack, so the upper edge is "started", not
+/// "acked"). Index 0 is the empty initial state. Not thread-safe: a
+/// concurrent harness serializes access externally (append-only writer,
+/// readers checking under the same lock).
+class VersionedOracle {
+ public:
+  /// Appends a version; returns its write index (1-based).
+  uint64_t Put(lsm::Key key, lsm::Value value) { return Append(key, value); }
+  uint64_t Delete(lsm::Key key) { return Append(key, std::nullopt); }
+
+  /// Index of the newest recorded write (0 when empty).
+  uint64_t last_index() const { return next_index_ - 1; }
+
+  /// The key's visible value at `index` (nullopt: absent or deleted).
+  std::optional<lsm::Value> ValueAt(lsm::Key key, uint64_t index) const {
+    auto it = history_.find(key);
+    if (it == history_.end()) return std::nullopt;
+    return ValueIn(it->second, index);
+  }
+
+  /// Live [lo, hi) entries, ascending, as of `index`.
+  std::vector<std::pair<lsm::Key, lsm::Value>> ScanAt(lsm::Key lo,
+                                                      lsm::Key hi,
+                                                      uint64_t index) const {
+    std::vector<std::pair<lsm::Key, lsm::Value>> out;
+    for (auto it = history_.lower_bound(lo);
+         it != history_.end() && it->first < hi; ++it) {
+      const std::optional<lsm::Value> v = ValueIn(it->second, index);
+      if (v.has_value()) out.emplace_back(it->first, *v);
+    }
+    return out;
+  }
+
+  /// True iff an observed point read of `key` is explainable by some
+  /// index in [k_low, k_high].
+  bool GetMatchesSomeIndex(lsm::Key key, std::optional<lsm::Value> observed,
+                           uint64_t k_low, uint64_t k_high) const {
+    if (ValueAt(key, k_low) == observed) return true;
+    auto it = history_.find(key);
+    if (it == history_.end()) return false;
+    for (const Version& v : it->second) {
+      if (v.index > k_low && v.index <= k_high && v.value == observed) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True iff an observed [lo, hi) scan equals the oracle state at some
+  /// index in [k_low, k_high]. The state only changes at version stamps,
+  /// so it suffices to test k_low plus every stamp of a key in range that
+  /// falls inside the window. Reports the matching index via `matched`.
+  bool ScanMatchesSomeIndex(
+      const std::vector<std::pair<lsm::Key, lsm::Value>>& observed,
+      lsm::Key lo, lsm::Key hi, uint64_t k_low, uint64_t k_high,
+      uint64_t* matched = nullptr) const {
+    std::vector<uint64_t> candidates;
+    candidates.push_back(k_low);
+    for (auto it = history_.lower_bound(lo);
+         it != history_.end() && it->first < hi; ++it) {
+      for (const Version& v : it->second) {
+        if (v.index > k_low && v.index <= k_high) {
+          candidates.push_back(v.index);
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (uint64_t k : candidates) {
+      if (ScanAt(lo, hi, k) == observed) {
+        if (matched != nullptr) *matched = k;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Rolls the history back to `index` — drops every newer version. Used
+  /// after a crash-recovery reopen: the recovered state is some prefix
+  /// index k*; truncating there realigns oracle and engine so the next
+  /// phase's windows stay exact.
+  void TruncateTo(uint64_t index) {
+    for (auto it = history_.begin(); it != history_.end();) {
+      std::vector<Version>& versions = it->second;
+      while (!versions.empty() && versions.back().index > index) {
+        versions.pop_back();
+      }
+      it = versions.empty() ? history_.erase(it) : std::next(it);
+    }
+    next_index_ = index + 1;
+  }
+
+ private:
+  struct Version {
+    uint64_t index;
+    std::optional<lsm::Value> value;  ///< nullopt: tombstone
+  };
+
+  uint64_t Append(lsm::Key key, std::optional<lsm::Value> value) {
+    const uint64_t idx = next_index_++;
+    history_[key].push_back(Version{idx, value});
+    return idx;
+  }
+
+  /// Value of the newest version stamped <= index (versions ascend).
+  static std::optional<lsm::Value> ValueIn(const std::vector<Version>& vs,
+                                           uint64_t index) {
+    auto it = std::upper_bound(
+        vs.begin(), vs.end(), index,
+        [](uint64_t idx, const Version& v) { return idx < v.index; });
+    if (it == vs.begin()) return std::nullopt;
+    return std::prev(it)->value;
+  }
+
+  uint64_t next_index_ = 1;  ///< index 0 = the empty initial state
+  std::map<lsm::Key, std::vector<Version>> history_;
+};
+
 /// One operation of a random trace. kReconfigure models a live
 /// ApplyTuning call injected mid-trace: `value` indexes the caller's list
 /// of tuning presets; the oracle ignores it (a reconfiguration must never
 /// change visible contents — that is exactly what the differential
-/// harness asserts).
+/// harness asserts). kSnapshotScan is a scan whose result is checked
+/// against the *versioned* oracle over a validity window instead of the
+/// exact latest state — the snapshot-consistency op.
 struct Op {
-  enum Kind { kPut, kDelete, kGet, kScan, kFlush, kReconfigure } kind = kPut;
+  enum Kind {
+    kPut,
+    kDelete,
+    kGet,
+    kScan,
+    kFlush,
+    kReconfigure,
+    kSnapshotScan,
+  } kind = kPut;
   lsm::Key key = 0;
   lsm::Value value = 0;
   lsm::Key hi = 0;  ///< scan upper bound
 
   std::string ToString() const {
     char buf[96];
-    const char* names[] = {"Put", "Delete", "Get",
-                           "Scan", "Flush", "Reconfigure"};
+    const char* names[] = {"Put",   "Delete",      "Get",         "Scan",
+                           "Flush", "Reconfigure", "SnapshotScan"};
     std::snprintf(buf, sizeof(buf), "%s(key=%llu, value=%llu, hi=%llu)",
                   names[kind], static_cast<unsigned long long>(key),
                   static_cast<unsigned long long>(value),
@@ -82,9 +218,13 @@ enum class KeyDistribution {
 
 /// Deterministic random trace: same (seed, n, dist, domain) -> same ops.
 /// Mix: 40% Put, 10% Delete, 30% Get, 15% Scan (short ranges), 5% Flush.
+/// `snapshot_scan_fraction` > 0 additionally converts that fraction of
+/// ops into kSnapshotScan (drawn first, so the default 0.0 keeps every
+/// existing (seed, n) trace bit-identical).
 inline std::vector<Op> GenerateTrace(uint64_t seed, size_t n,
                                      KeyDistribution dist,
-                                     lsm::Key key_domain = 8192) {
+                                     lsm::Key key_domain = 8192,
+                                     double snapshot_scan_fraction = 0.0) {
   Rng rng(seed);
   const lsm::Key hot_span = std::max<lsm::Key>(1, key_domain / 64);
   auto sample_key = [&]() -> lsm::Key {
@@ -97,6 +237,14 @@ inline std::vector<Op> GenerateTrace(uint64_t seed, size_t n,
   ops.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Op op;
+    if (snapshot_scan_fraction > 0.0 &&
+        rng.NextDouble() < snapshot_scan_fraction) {
+      op.kind = Op::kSnapshotScan;
+      op.key = sample_key();
+      op.hi = op.key + rng.UniformInt(1, 64);
+      ops.push_back(op);
+      continue;
+    }
     const double r = rng.NextDouble();
     if (r < 0.40) {
       op.kind = Op::kPut;
