@@ -28,8 +28,9 @@ namespace endure::bench_util {
 /// the family (v3: micro_wal and the durability counters; v4: micro_lsm
 /// — put tail percentiles and the scheduler/stall counters; v5:
 /// micro_shard's zipfian_read_heavy leg — block-cache hit ratio and get
-/// tail percentiles).
-inline constexpr int kBenchJsonSchemaVersion = 5;
+/// tail percentiles; v6: micro_server — network round-trip throughput
+/// and latency percentiles, serial vs pipelined, per connection count).
+inline constexpr int kBenchJsonSchemaVersion = 6;
 
 /// Allocation counters, defined by ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
 /// in the benchmark binary. Atomic: benchmarks may allocate from several

@@ -1,0 +1,229 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// micro_server: closed- and open-loop load generator for the network
+// front-end. An in-process endure_server on loopback is driven by 1, 4,
+// 16 and 64 client connections (one thread per connection), each leg
+// twice: one-at-a-time blocking round trips (closed loop — latency IS
+// the bottleneck) and pipelined batches of MICRO_SERVER_DEPTH requests
+// (the burst write lets the server coalesce PUT runs into WAL group
+// commits). Reports throughput and p50/p99/p999 latency per leg —
+// per-op round trips for the serial legs, per-batch round trips for the
+// pipelined ones. Emits BENCH_micro_server.json (schema in
+// docs/benchmarks.md; numbers from CI's 1-core container, so
+// multi-connection legs time-share one core and measure protocol +
+// scheduling overhead, not parallel speedup).
+//
+// Env knobs: MICRO_SERVER_OPS (ops per connection per leg, default
+// 4000), MICRO_SERVER_DEPTH (pipeline depth, default 16),
+// MICRO_SERVER_MAX_CONNS (cap the connection ladder, default 64).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsm/options.h"
+#include "lsm/sharded_db.h"
+#include "net/client.h"
+#include "net/server.h"
+
+ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
+
+namespace {
+
+using namespace endure;
+using Clock = std::chrono::steady_clock;
+
+uint64_t EnvOr(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10) : def;
+}
+
+double PercentileUs(std::vector<uint64_t>* ns, double q) {
+  if (ns->empty()) return 0.0;
+  std::sort(ns->begin(), ns->end());
+  const size_t idx = std::min(
+      ns->size() - 1, static_cast<size_t>(q * static_cast<double>(ns->size())));
+  return static_cast<double>((*ns)[idx]) / 1000.0;
+}
+
+struct LegResult {
+  int connections = 0;
+  bool pipelined = false;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+};
+
+/// One leg: `conns` threads, each with its own Client, each issuing
+/// `ops_per_conn` operations (alternating PUT/GET over a per-thread key
+/// stripe). Pipelined mode groups them into batches of `depth` and
+/// records per-batch round-trip latency; serial mode records per-op.
+LegResult RunLeg(uint16_t port, int conns, uint64_t ops_per_conn,
+                 uint64_t depth, bool pipelined) {
+  std::vector<std::vector<uint64_t>> lat(conns);  // ns per thread
+  std::atomic<uint64_t> total_ops{0};
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  const auto begin = Clock::now();
+  for (int t = 0; t < conns; ++t) {
+    threads.emplace_back([&, t]() {
+      net::ClientOptions copts;
+      copts.port = port;
+      auto client_or = net::Client::Connect(copts);
+      if (!client_or.ok()) return;
+      std::unique_ptr<net::Client> client = std::move(client_or).value();
+      const lsm::Key base = static_cast<lsm::Key>(t) << 32;
+      uint64_t x = 88172645463325252ull + static_cast<uint64_t>(t);
+      auto next = [&x]() {  // xorshift64
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+      };
+      uint64_t done = 0;
+      if (pipelined) {
+        while (done < ops_per_conn) {
+          const uint64_t n = std::min(depth, ops_per_conn - done);
+          auto pipe = client->NewPipeline();
+          // PUT run first, then the GETs: the consecutive PUTs of each
+          // burst are what the server folds into one WAL group commit.
+          for (uint64_t i = 0; i < n; ++i) {
+            const lsm::Key key = base + (next() & 0xffff);
+            if (i < (n + 1) / 2) {
+              pipe.Put(key, done + i);
+            } else {
+              pipe.Get(key);
+            }
+          }
+          const auto t0 = Clock::now();
+          auto results = pipe.Execute();
+          const auto t1 = Clock::now();
+          if (!results.ok()) return;
+          lat[t].push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+          done += n;
+        }
+      } else {
+        for (; done < ops_per_conn; ++done) {
+          const lsm::Key key = base + (next() & 0xffff);
+          const auto t0 = Clock::now();
+          if (done % 2 == 0) {
+            if (!client->Put(key, done).ok()) return;
+          } else {
+            (void)client->Get(key);
+          }
+          const auto t1 = Clock::now();
+          lat[t].push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()));
+        }
+      }
+      total_ops.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                begin)
+          .count();
+
+  std::vector<uint64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  LegResult r;
+  r.connections = conns;
+  r.pipelined = pipelined;
+  r.ops = total_ops.load();
+  r.ops_per_sec = static_cast<double>(r.ops) / secs;
+  r.p50_us = PercentileUs(&all, 0.50);
+  r.p99_us = PercentileUs(&all, 0.99);
+  r.p999_us = PercentileUs(&all, 0.999);
+  return r;
+}
+
+void AppendLegJson(std::string* json, const LegResult& r, bool last) {
+  char buf[320];
+  char name[32];
+  std::snprintf(name, sizeof(name), "c%d_%s", r.connections,
+                r.pipelined ? "pipelined" : "serial");
+  std::snprintf(
+      buf, sizeof(buf),
+      "      \"%s\": {\"connections\": %d, \"mode\": \"%s\", "
+      "\"ops\": %llu, \"ops_per_sec\": %.0f, \"p50_us\": %.1f, "
+      "\"p99_us\": %.1f, \"p999_us\": %.1f}%s\n",
+      name, r.connections, r.pipelined ? "pipelined" : "serial",
+      static_cast<unsigned long long>(r.ops), r.ops_per_sec, r.p50_us,
+      r.p99_us, r.p999_us, last ? "" : ",");
+  *json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t ops_per_conn = EnvOr("MICRO_SERVER_OPS", 4000);
+  const uint64_t depth = std::max<uint64_t>(1, EnvOr("MICRO_SERVER_DEPTH", 16));
+  const uint64_t max_conns = EnvOr("MICRO_SERVER_MAX_CONNS", 64);
+
+  lsm::Options opts;
+  opts.num_shards = 4;
+  opts.buffer_entries = 4096;
+  opts.size_ratio = 6;
+  opts.background_maintenance = true;
+  auto db_or = lsm::ShardedDB::Open(opts);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<lsm::ShardedDB> db = std::move(db_or).value();
+  auto server_or = net::Server::Start(db.get(), net::ServerOptions{});
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(server_or).value();
+  const uint16_t port = server->port();
+
+  std::vector<LegResult> legs;
+  for (const int conns : {1, 4, 16, 64}) {
+    if (static_cast<uint64_t>(conns) > max_conns) break;
+    // Keep total work per leg roughly level: more connections, fewer
+    // ops each (floor of 256 so tails stay meaningful).
+    const uint64_t per_conn =
+        std::max<uint64_t>(256, ops_per_conn / static_cast<uint64_t>(conns));
+    legs.push_back(RunLeg(port, conns, per_conn, depth, /*pipelined=*/false));
+    std::fprintf(stderr, "c%d serial: %.0f ops/s p99 %.1fus\n", conns,
+                 legs.back().ops_per_sec, legs.back().p99_us);
+    legs.push_back(RunLeg(port, conns, per_conn, depth, /*pipelined=*/true));
+    std::fprintf(stderr, "c%d pipelined: %.0f ops/s p99(batch) %.1fus\n",
+                 conns, legs.back().ops_per_sec, legs.back().p99_us);
+  }
+
+  const net::ServerCounters c = server->counters();
+  server->Shutdown();
+
+  std::string json = endure::bench_util::BeginJson("micro_server");
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"depth\": %llu,\n  \"server\": "
+                "{\"requests_served\": %llu, \"puts_coalesced\": %llu, "
+                "\"coalesced_batches\": %llu},\n  \"legs\": {\n",
+                static_cast<unsigned long long>(depth),
+                static_cast<unsigned long long>(c.requests_served),
+                static_cast<unsigned long long>(c.puts_coalesced),
+                static_cast<unsigned long long>(c.coalesced_batches));
+  json += buf;
+  for (size_t i = 0; i < legs.size(); ++i) {
+    AppendLegJson(&json, legs[i], i + 1 == legs.size());
+  }
+  json += "  }\n}\n";
+  return endure::bench_util::EmitJson(json, argc, argv);
+}

@@ -507,6 +507,28 @@ Status ShardedDB::Health() const {
   return Status::OK();
 }
 
+Status ShardedDB::Drain() {
+  const Status flush_status = Flush();
+  WaitForMaintenance();
+  if (!flush_status.ok()) return flush_status;
+  return Health();
+}
+
+std::vector<std::pair<std::string, uint64_t>> ShardedDB::RemoteStatsSnapshot()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out =
+      TotalStats().Named();
+  out.emplace_back("num_shards", static_cast<uint64_t>(shards_.size()));
+  out.emplace_back("total_entries", TotalEntries());
+  out.emplace_back("health_code",
+                   static_cast<uint64_t>(Health().code()));
+  const Options opts = options();
+  out.emplace_back("size_ratio", static_cast<uint64_t>(opts.size_ratio));
+  out.emplace_back("policy", static_cast<uint64_t>(opts.policy));
+  out.emplace_back("buffer_entries", opts.buffer_entries);
+  return out;
+}
+
 void ShardedDB::WaitForMaintenance() {
   // WaitIdle covers queued, delayed (backoff) and running jobs — a chain
   // of self-rescheduling units counts as continuously active, so the

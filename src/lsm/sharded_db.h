@@ -24,6 +24,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "lsm/block_cache.h"
@@ -114,6 +116,24 @@ class ShardedDB {
   /// io_retries / checksum_failures / read_only_transitions count the
   /// events (see docs/operations.md).
   Status Health() const;
+
+  /// Serving-front-end drain hook: flushes every shard, waits out all
+  /// scheduled maintenance (so sealed buffers, pending migrations and
+  /// compactions converge) and returns Health(). A durable deployment is
+  /// fully checkpointed afterwards — the state a network server wants
+  /// the engine in between Server::Shutdown() and process exit, so the
+  /// next open replays an empty WAL tail. Safe alongside concurrent
+  /// traffic (it is Flush + WaitForMaintenance), though new writes
+  /// arriving during the drain naturally reopen buffers.
+  Status Drain();
+
+  /// Named counter snapshot for remote observability — the STATS
+  /// endpoint's payload: every aggregated Statistics counter (see
+  /// Statistics::Named) plus deployment facts remote callers cannot
+  /// derive themselves (num_shards, total_entries, health_code, and the
+  /// current tuning's size_ratio / policy / buffer_entries). Lock-free
+  /// relaxed reads, like TotalStats().
+  std::vector<std::pair<std::string, uint64_t>> RemoteStatsSnapshot() const;
 
   /// Blocks until every scheduled maintenance job has run. A quiescent
   /// point: afterwards (absent concurrent writers) no sealed buffers

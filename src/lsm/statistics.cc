@@ -218,4 +218,53 @@ std::string Statistics::ToString() const {
   return buf;
 }
 
+std::vector<std::pair<std::string, uint64_t>> Statistics::Named() const {
+  return {
+      {"pages_read", pages_read},
+      {"pages_written", pages_written},
+      {"point_pages_read", point_pages_read},
+      {"range_pages_read", range_pages_read},
+      {"range_seeks", range_seeks},
+      {"flush_pages_written", flush_pages_written},
+      {"compaction_pages_read", compaction_pages_read},
+      {"compaction_pages_written", compaction_pages_written},
+      {"bulk_load_pages_written", bulk_load_pages_written},
+      {"bloom_probes", bloom_probes},
+      {"bloom_negatives", bloom_negatives},
+      {"bloom_false_positives", bloom_false_positives},
+      {"fence_skips", fence_skips},
+      {"gets", gets},
+      {"range_queries", range_queries},
+      {"writes", writes},
+      {"flushes", flushes},
+      {"compactions", compactions},
+      {"reconfigurations", reconfigurations},
+      {"migration_steps", migration_steps},
+      {"wal_records", wal_records},
+      {"wal_bytes", wal_bytes},
+      {"wal_syncs", wal_syncs},
+      {"wal_rewrites", wal_rewrites},
+      {"manifest_writes", manifest_writes},
+      {"recoveries", recoveries},
+      {"wal_replayed_entries", wal_replayed_entries},
+      {"recovery_pages_read", recovery_pages_read},
+      {"io_retries", io_retries},
+      {"checksum_failures", checksum_failures},
+      {"read_only_transitions", read_only_transitions},
+      {"compaction_stall_ms", compaction_stall_ms},
+      {"write_stalls", write_stalls},
+      {"rate_limited_ms", rate_limited_ms},
+      {"compactions_partitioned", compactions_partitioned},
+      {"compaction_subtasks", compaction_subtasks},
+      {"sched_jobs", sched_jobs},
+      {"sched_requeues", sched_requeues},
+      {"sched_queue_peak", sched_queue_peak},
+      {"snapshot_acquires", snapshot_acquires},
+      {"cache_hits", cache_hits},
+      {"cache_misses", cache_misses},
+      {"cache_evictions", cache_evictions},
+      {"arbiter_shifts", arbiter_shifts},
+  };
+}
+
 }  // namespace endure::lsm

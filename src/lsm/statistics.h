@@ -18,6 +18,8 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace endure::lsm {
 
@@ -141,6 +143,11 @@ struct Statistics {
 
   /// Multi-line human-readable dump.
   std::string ToString() const;
+
+  /// Flat (name, value) snapshot of every counter, in declaration order
+  /// — the machine-readable form the network STATS endpoint serves (and
+  /// anything else that wants counters without parsing ToString()).
+  std::vector<std::pair<std::string, uint64_t>> Named() const;
 };
 
 }  // namespace endure::lsm

@@ -1,0 +1,258 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+
+#include "net/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+namespace endure::net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(
+    const ClientOptions& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (options.backoff_initial_ms < 1 ||
+      options.backoff_max_ms < options.backoff_initial_ms) {
+    return Status::InvalidArgument("bad backoff configuration");
+  }
+  std::unique_ptr<Client> client(new Client(options));
+  Status st;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    st = client->EnsureConnected(attempt);
+    if (st.ok()) return client;
+  }
+  return st;
+}
+
+Status Client::EnsureConnected(int attempt) {
+  if (fd_.valid()) return Status::OK();
+  if (attempt > 0) {
+    int64_t ms = options_.backoff_initial_ms;
+    for (int i = 1; i < attempt && ms < options_.backoff_max_ms; ++i) {
+      ms *= 2;
+    }
+    if (ms > options_.backoff_max_ms) ms = options_.backoff_max_ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  auto sock = ConnectSocket(options_.host, options_.port);
+  if (!sock.ok()) return sock.status();
+  if (options_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(sock->get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = std::move(sock).value();
+  decoder_ = FrameDecoder(options_.max_frame_payload);
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+void Client::Disconnect() {
+  fd_.Reset();
+  decoder_ = FrameDecoder(options_.max_frame_payload);
+}
+
+Status Client::TryRoundTrip(const std::string& request_bytes, size_t count,
+                            std::vector<Frame>* frames) {
+  ENDURE_RETURN_IF_ERROR(
+      WriteAll(fd_.get(), request_bytes.data(), request_bytes.size()));
+  frames->clear();
+  frames->reserve(count);
+  char buf[kReadChunk];
+  while (frames->size() < count) {
+    Frame frame;
+    bool got = false;
+    ENDURE_RETURN_IF_ERROR(decoder_.Next(&frame, &got));
+    if (got) {
+      frames->push_back(std::move(frame));
+      continue;
+    }
+    const ssize_t r = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (r > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("receive timeout");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::RoundTrip(const std::string& request_bytes, size_t count,
+                         std::vector<Frame>* frames) {
+  Status st;
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    st = EnsureConnected(attempt);
+    if (!st.ok()) continue;
+    st = TryRoundTrip(request_bytes, count, frames);
+    if (st.ok()) return st;
+    // Transport trouble (send/recv failure, decode poison): this
+    // connection is unusable. Reconnect and resend the idempotent
+    // batch. Decode errors are included — a fresh connection restarts
+    // framing from a clean slate.
+    Disconnect();
+  }
+  return st;
+}
+
+Status Client::CheckId(const Frame& frame, uint64_t want) {
+  if (frame.opcode == static_cast<uint8_t>(Opcode::kError)) {
+    return Status::OK();  // error frames carry id 0 by design
+  }
+  if (frame.request_id != want) {
+    return Status::Internal("response id " +
+                            std::to_string(frame.request_id) +
+                            " does not match request id " +
+                            std::to_string(want));
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------- blocking calls --
+
+Status Client::Put(lsm::Key key, lsm::Value value) {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodePutRequest(id, key, value), 1,
+                                   &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  return ParseStatusOnlyResponse(frames[0]);
+}
+
+Status Client::Delete(lsm::Key key) {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeDeleteRequest(id, key), 1, &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  return ParseStatusOnlyResponse(frames[0]);
+}
+
+StatusOr<std::optional<lsm::Value>> Client::Get(lsm::Key key) {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeGetRequest(id, key), 1, &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  std::optional<lsm::Value> value;
+  ENDURE_RETURN_IF_ERROR(ParseGetResponse(frames[0], &value));
+  return value;
+}
+
+StatusOr<std::vector<std::pair<lsm::Key, lsm::Value>>> Client::Scan(
+    lsm::Key lo, lsm::Key hi) {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeScanRequest(id, lo, hi), 1,
+                                   &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  std::vector<std::pair<lsm::Key, lsm::Value>> entries;
+  ENDURE_RETURN_IF_ERROR(ParseScanResponse(frames[0], &entries));
+  return entries;
+}
+
+Status Client::PutBatch(
+    const std::vector<std::pair<lsm::Key, lsm::Value>>& pairs) {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodePutBatchRequest(id, pairs), 1,
+                                   &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  return ParseStatusOnlyResponse(frames[0]);
+}
+
+Status Client::Flush() {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeFlushRequest(id), 1, &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  return ParseStatusOnlyResponse(frames[0]);
+}
+
+StatusOr<std::vector<StatPair>> Client::Stats() {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeStatsRequest(id), 1, &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  std::vector<StatPair> stats;
+  ENDURE_RETURN_IF_ERROR(ParseStatsResponse(frames[0], &stats));
+  return stats;
+}
+
+Status Client::ApplyTuning(const TuningWire& tuning) {
+  const uint64_t id = next_id_++;
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeApplyTuningRequest(id, tuning), 1,
+                                   &frames));
+  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+  return ParseStatusOnlyResponse(frames[0]);
+}
+
+// ------------------------------------------------------------- pipeline --
+
+void Client::Pipeline::Get(lsm::Key key) {
+  buf_ += EncodeGetRequest(client_->next_id_++, key);
+  kinds_.push_back(static_cast<uint8_t>(Opcode::kGet));
+}
+
+void Client::Pipeline::Put(lsm::Key key, lsm::Value value) {
+  buf_ += EncodePutRequest(client_->next_id_++, key, value);
+  kinds_.push_back(static_cast<uint8_t>(Opcode::kPut));
+}
+
+void Client::Pipeline::Delete(lsm::Key key) {
+  buf_ += EncodeDeleteRequest(client_->next_id_++, key);
+  kinds_.push_back(static_cast<uint8_t>(Opcode::kDelete));
+}
+
+void Client::Pipeline::Scan(lsm::Key lo, lsm::Key hi) {
+  buf_ += EncodeScanRequest(client_->next_id_++, lo, hi);
+  kinds_.push_back(static_cast<uint8_t>(Opcode::kScan));
+}
+
+void Client::Pipeline::Flush() {
+  buf_ += EncodeFlushRequest(client_->next_id_++);
+  kinds_.push_back(static_cast<uint8_t>(Opcode::kFlush));
+}
+
+StatusOr<std::vector<PipelineResult>> Client::Pipeline::Execute() {
+  std::vector<Frame> frames;
+  ENDURE_RETURN_IF_ERROR(
+      client_->RoundTrip(buf_, kinds_.size(), &frames));
+  std::vector<PipelineResult> results(kinds_.size());
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    PipelineResult& res = results[i];
+    res.opcode = kinds_[i];
+    switch (static_cast<Opcode>(kinds_[i])) {
+      case Opcode::kGet:
+        res.status = ParseGetResponse(frames[i], &res.value);
+        break;
+      case Opcode::kScan:
+        res.status = ParseScanResponse(frames[i], &res.entries);
+        break;
+      default:
+        res.status = ParseStatusOnlyResponse(frames[i]);
+        break;
+    }
+  }
+  buf_.clear();
+  kinds_.clear();
+  return results;
+}
+
+}  // namespace endure::net

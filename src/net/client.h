@@ -1,0 +1,153 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Thin C++ client for endure_server: a blocking request/response API
+// mirroring the in-process ShardedDB surface, plus a pipelined batch API
+// that writes many requests in one burst (which is exactly what lets the
+// server coalesce consecutive PUTs into one WAL group commit) and reads
+// the responses back in order.
+//
+// Transport failures reconnect transparently with exponential backoff
+// and retry the operation, up to ClientOptions::max_attempts — safe
+// because every engine operation is an idempotent upsert/delete/read (a
+// retried PUT re-applies the same value). An operation the server acked
+// before a crash is durable per the deployment's WAL sync mode; an
+// operation without an ack may or may not have applied, and the retry
+// resolves exactly that ambiguity. Remote engine errors are NOT retried:
+// the server's Status travels back over the wire code-for-code, so a
+// degraded-mode IOError latch or a Corruption latch surfaces to remote
+// callers exactly as it does in-process.
+//
+// A Client (and its Pipelines) is not thread-safe: one connection, one
+// thread — open one Client per worker, as the stress harness does.
+
+#ifndef ENDURE_NET_CLIENT_H_
+#define ENDURE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lsm/entry.h"
+#include "net/protocol.h"
+#include "net/socket_util.h"
+#include "util/status.h"
+
+namespace endure::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Total connection attempts per operation (>= 1). Between attempts
+  /// the client sleeps an exponentially growing backoff.
+  int max_attempts = 5;
+  /// First reconnect backoff; doubles per failed attempt up to
+  /// backoff_max_ms.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Receive timeout per socket read (SO_RCVTIMEO); 0 = wait forever.
+  /// Generous by default: a write stalled on engine backpressure is
+  /// progress, not a dead server.
+  int recv_timeout_ms = 60000;
+  /// Frame decode limit (must be >= the server's, or large SCAN/STATS
+  /// responses are rejected client-side).
+  uint32_t max_frame_payload = kDefaultMaxPayload;
+};
+
+/// One result of a pipelined batch, in request order.
+struct PipelineResult {
+  uint8_t opcode = 0;  ///< the request's opcode (Opcode values)
+  Status status;
+  std::optional<lsm::Value> value;  ///< GET only
+  std::vector<std::pair<lsm::Key, lsm::Value>> entries;  ///< SCAN only
+};
+
+class Client {
+ public:
+  /// Connects eagerly; fails fast when the server is unreachable after
+  /// max_attempts.
+  static StatusOr<std::unique_ptr<Client>> Connect(
+      const ClientOptions& options);
+  ~Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- blocking API (one round trip per call) ----
+  Status Put(lsm::Key key, lsm::Value value);
+  Status Delete(lsm::Key key);
+  StatusOr<std::optional<lsm::Value>> Get(lsm::Key key);
+  StatusOr<std::vector<std::pair<lsm::Key, lsm::Value>>> Scan(lsm::Key lo,
+                                                              lsm::Key hi);
+  Status PutBatch(const std::vector<std::pair<lsm::Key, lsm::Value>>& pairs);
+  Status Flush();
+  StatusOr<std::vector<StatPair>> Stats();
+  Status ApplyTuning(const TuningWire& tuning);
+
+  // ---- pipelined API ----
+  /// Accumulates requests, then Execute() writes them all in one burst
+  /// and reads the responses back in order. On a transport failure the
+  /// whole batch is resent (idempotent ops). Reusable after Execute().
+  class Pipeline {
+   public:
+    void Get(lsm::Key key);
+    void Put(lsm::Key key, lsm::Value value);
+    void Delete(lsm::Key key);
+    void Scan(lsm::Key lo, lsm::Key hi);
+    void Flush();
+    size_t size() const { return kinds_.size(); }
+
+    /// Runs the batch; returns one result per request, in order. A
+    /// non-OK overall Status means the transport failed after retries
+    /// (no per-request results); per-request engine errors live in the
+    /// results' own status fields.
+    StatusOr<std::vector<PipelineResult>> Execute();
+
+   private:
+    friend class Client;
+    explicit Pipeline(Client* client) : client_(client) {}
+    Client* client_;
+    std::string buf_;             ///< concatenated request frames
+    std::vector<uint8_t> kinds_;  ///< request opcode per entry
+  };
+
+  Pipeline NewPipeline() { return Pipeline(this); }
+
+  /// Times the transport reconnected after a broken connection (the
+  /// differential harness asserts the kill-server leg actually took
+  /// this path).
+  uint64_t reconnects() const { return reconnects_; }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit Client(const ClientOptions& options) : options_(options) {}
+
+  /// Connects if disconnected. `attempt` scales the backoff slept
+  /// BEFORE the try (attempt 0 is immediate).
+  Status EnsureConnected(int attempt);
+  void Disconnect();
+  /// Writes `request_bytes`, then reads exactly `count` frames. On any
+  /// transport error: disconnect, back off, reconnect, resend — up to
+  /// max_attempts. Frames are returned in arrival order.
+  Status RoundTrip(const std::string& request_bytes, size_t count,
+                   std::vector<Frame>* frames);
+  /// One attempt of RoundTrip's body (no retry).
+  Status TryRoundTrip(const std::string& request_bytes, size_t count,
+                      std::vector<Frame>* frames);
+  /// Checks a response frame's id against the expected request id
+  /// (error frames, id 0, pass — their status speaks for the request).
+  static Status CheckId(const Frame& frame, uint64_t want);
+
+  const ClientOptions options_;
+  OwnedFd fd_;
+  FrameDecoder decoder_{kDefaultMaxPayload};
+  uint64_t next_id_ = 1;
+  uint64_t reconnects_ = 0;
+  bool ever_connected_ = false;
+};
+
+}  // namespace endure::net
+
+#endif  // ENDURE_NET_CLIENT_H_

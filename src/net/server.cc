@@ -1,0 +1,496 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+
+#include "net/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+#include "lsm/sharded_db.h"
+
+namespace endure::net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+/// Per-connection state. Frames are processed the moment they complete,
+/// so at any instant the connection's pending work is exactly `outbuf`
+/// (responses not yet accepted by the socket) plus an incomplete frame
+/// prefix inside `decoder` (never executed if the connection dies).
+struct Server::Conn {
+  explicit Conn(OwnedFd f, uint32_t max_payload)
+      : fd(std::move(f)), decoder(max_payload) {}
+
+  OwnedFd fd;
+  FrameDecoder decoder;
+  std::string outbuf;
+  size_t out_off = 0;
+  /// No more reads (EOF or protocol error); close once outbuf drains.
+  bool closing = false;
+  /// Events currently registered with epoll (avoids redundant MOD calls).
+  uint32_t epoll_events = 0;
+  /// Coalescing scratch: the run of consecutive PUT frames seen in the
+  /// current ProcessFrames pass (request ids parallel to pairs).
+  std::vector<uint64_t> pending_put_ids;
+  std::vector<std::pair<lsm::Key, lsm::Value>> pending_put_pairs;
+};
+
+Server::Server(lsm::ShardedDB* db, const ServerOptions& options)
+    : db_(db), options_(options) {}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(lsm::ShardedDB* db,
+                                                const ServerOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("Server::Start: null ShardedDB");
+  }
+  if (options.drain_timeout_ms < 0) {
+    return Status::InvalidArgument("drain_timeout_ms must be >= 0");
+  }
+  if (options.max_frame_payload < 64) {
+    return Status::InvalidArgument("max_frame_payload must be >= 64");
+  }
+  std::unique_ptr<Server> server(new Server(db, options));
+  ENDURE_RETURN_IF_ERROR(server->Init());
+  server->loop_ = std::thread([s = server.get()] { s->Loop(); });
+  return server;
+}
+
+Status Server::Init() {
+  epoll_fd_ = OwnedFd(::epoll_create1(0));
+  if (!epoll_fd_.valid()) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = OwnedFd(::eventfd(0, EFD_NONBLOCK));
+  if (!wake_fd_.valid()) {
+    return Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  auto listener = CreateListener(options_.bind_address, options_.port,
+                                 options_.backlog, &port_);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = std::move(listener).value();
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl(wake): ") +
+                           std::strerror(errno));
+  }
+  ev.data.fd = listen_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) <
+      0) {
+    return Status::IOError(std::string("epoll_ctl(listen): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shutdown_called_) {
+      // A second caller must still not return before the loop exits.
+      if (loop_.joinable()) loop_.join();
+      return;
+    }
+    shutdown_called_ = true;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_fd_.get(), &one, sizeof(one));
+  if (loop_.joinable()) loop_.join();
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  c.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  c.requests_served = requests_served_.load(std::memory_order_relaxed);
+  c.puts_coalesced = puts_coalesced_.load(std::memory_order_relaxed);
+  c.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  c.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Server::Loop() {
+  using Clock = std::chrono::steady_clock;
+  std::vector<epoll_event> events(128);
+  Clock::time_point drain_deadline{};
+
+  while (true) {
+    if (draining_) {
+      // Connections whose responses are fully flushed have nothing in
+      // flight: close them now. ProcessFrames already ran for every
+      // byte read, so outbuf is the complete remaining obligation.
+      std::vector<int> done;
+      for (auto& [fd, conn] : conns_) {
+        if (conn->out_off >= conn->outbuf.size()) done.push_back(fd);
+      }
+      for (int fd : done) {
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) CloseConn(it->second.get());
+      }
+      if (conns_.empty()) break;
+    }
+
+    int timeout_ms = -1;
+    if (draining_) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          drain_deadline - Clock::now());
+      if (left.count() <= 0) break;  // slow consumers: abandon
+      timeout_ms = static_cast<int>(left.count());
+    }
+
+    const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed: nothing recoverable
+    }
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_.get()) {
+        uint64_t drop;
+        while (::read(wake_fd_.get(), &drop, sizeof(drop)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_.get()) {
+        if (!draining_) AcceptNew();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Conn* conn = it->second.get();
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0 && !conn->closing) HandleReadable(conn);
+      // HandleReadable may have closed the connection.
+      if (conns_.find(fd) == conns_.end()) continue;
+      if ((ev & (EPOLLOUT | EPOLLIN)) != 0) FlushWrites(conn);
+    }
+
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      // Drain: the listener closes first (no new connections or
+      // requests), already-received requests were executed on arrival,
+      // so what remains is flushing their responses.
+      draining_ = true;
+      drain_deadline = Clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+      listen_fd_.Reset();
+    }
+  }
+
+  // Force-close whatever the drain deadline abandoned.
+  while (!conns_.empty()) CloseConn(conns_.begin()->second.get());
+}
+
+void Server::AcceptNew() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: epoll re-reports
+    }
+    OwnedFd owned(fd);
+    (void)SetTcpNoDelay(fd);  // best-effort
+    auto conn =
+        std::make_unique<Conn>(std::move(owned), options_.max_frame_payload);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn (and fd) destroyed: nothing registered
+    }
+    conn->epoll_events = EPOLLIN;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(Conn* conn) {
+  char buf[kReadChunk];
+  bool eof = false;
+  while (true) {
+    const ssize_t r = ::read(conn->fd.get(), buf, sizeof(buf));
+    if (r > 0) {
+      bytes_read_.fetch_add(static_cast<uint64_t>(r),
+                            std::memory_order_relaxed);
+      conn->decoder.Feed(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn);
+    return;
+  }
+  ProcessFrames(conn);
+  if (eof) {
+    // The client finished its side; anything it pipelined was just
+    // executed. Flush the responses, then close.
+    conn->closing = true;
+  }
+}
+
+void Server::ProcessFrames(Conn* conn) {
+  while (true) {
+    Frame frame;
+    bool got = false;
+    const Status st = conn->decoder.Next(&frame, &got);
+    if (!st.ok()) {
+      // Unresynchronizable stream: one clean error frame, then close.
+      FlushPendingPuts(conn);
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn, EncodeErrorFrame(st));
+      conn->closing = true;
+      return;
+    }
+    if (!got) break;
+    DispatchFrame(conn, frame);
+    if (conn->closing) return;  // dispatch hit a fatal frame
+  }
+  FlushPendingPuts(conn);
+}
+
+void Server::DispatchFrame(Conn* conn, const Frame& frame) {
+  const auto op = static_cast<Opcode>(frame.opcode);
+
+  // Coalescing: buffer consecutive PUTs; any other opcode (or the end
+  // of this readable batch) commits the run in one PutBatch.
+  if (op == Opcode::kPut) {
+    lsm::Key key;
+    lsm::Value value;
+    const Status st = ParsePutRequest(frame, &key, &value);
+    if (!st.ok()) {
+      FlushPendingPuts(conn);
+      QueueResponse(conn,
+                    EncodeStatusResponse(Opcode::kPut, frame.request_id, st));
+      return;
+    }
+    conn->pending_put_ids.push_back(frame.request_id);
+    conn->pending_put_pairs.emplace_back(key, value);
+    return;
+  }
+  FlushPendingPuts(conn);
+
+  switch (op) {
+    case Opcode::kGet: {
+      lsm::Key key;
+      const Status st = ParseGetRequest(frame, &key);
+      if (!st.ok()) {
+        QueueResponse(
+            conn, EncodeStatusResponse(Opcode::kGet, frame.request_id, st));
+        return;
+      }
+      QueueResponse(conn, EncodeGetResponse(frame.request_id, db_->Get(key)));
+      return;
+    }
+    case Opcode::kDelete: {
+      lsm::Key key;
+      Status st = ParseDeleteRequest(frame, &key);
+      if (st.ok()) st = db_->Delete(key);
+      QueueResponse(
+          conn, EncodeStatusResponse(Opcode::kDelete, frame.request_id, st));
+      return;
+    }
+    case Opcode::kPutBatch: {
+      std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
+      Status st = ParsePutBatchRequest(frame, &pairs);
+      if (st.ok()) st = db_->PutBatch(pairs);
+      QueueResponse(conn, EncodeStatusResponse(Opcode::kPutBatch,
+                                               frame.request_id, st));
+      return;
+    }
+    case Opcode::kScan: {
+      lsm::Key lo, hi;
+      Status st = ParseScanRequest(frame, &lo, &hi);
+      if (!st.ok()) {
+        QueueResponse(
+            conn, EncodeStatusResponse(Opcode::kScan, frame.request_id, st));
+        return;
+      }
+      auto result = db_->Scan(lo, hi);
+      if (!result.ok()) {
+        QueueResponse(conn, EncodeStatusResponse(Opcode::kScan,
+                                                 frame.request_id,
+                                                 result.status()));
+        return;
+      }
+      const size_t max_entries = (options_.max_frame_payload - 32) / 16;
+      if (result->size() > max_entries) {
+        QueueResponse(
+            conn,
+            EncodeStatusResponse(
+                Opcode::kScan, frame.request_id,
+                Status::OutOfRange(
+                    "scan result (" + std::to_string(result->size()) +
+                    " entries) exceeds the per-frame limit (" +
+                    std::to_string(max_entries) +
+                    "); narrow the range")));
+        return;
+      }
+      std::vector<std::pair<lsm::Key, lsm::Value>> entries;
+      entries.reserve(result->size());
+      for (const lsm::Entry& e : *result) entries.emplace_back(e.key, e.value);
+      QueueResponse(conn, EncodeScanResponse(frame.request_id, entries));
+      return;
+    }
+    case Opcode::kStats: {
+      std::vector<StatPair> stats = db_->RemoteStatsSnapshot();
+      const ServerCounters c = counters();
+      stats.emplace_back("server_connections_accepted",
+                         c.connections_accepted);
+      stats.emplace_back("server_connections_closed", c.connections_closed);
+      stats.emplace_back("server_requests_served", c.requests_served);
+      stats.emplace_back("server_puts_coalesced", c.puts_coalesced);
+      stats.emplace_back("server_coalesced_batches", c.coalesced_batches);
+      stats.emplace_back("server_protocol_errors", c.protocol_errors);
+      stats.emplace_back("server_bytes_read", c.bytes_read);
+      stats.emplace_back("server_bytes_written", c.bytes_written);
+      QueueResponse(conn, EncodeStatsResponse(frame.request_id, stats));
+      return;
+    }
+    case Opcode::kApplyTuning: {
+      TuningWire t;
+      Status st = ParseApplyTuningRequest(frame, &t);
+      if (st.ok() && t.policy > 2) {
+        st = Status::InvalidArgument("bad policy value " +
+                                     std::to_string(t.policy));
+      }
+      if (st.ok() && t.filter_allocation > 1) {
+        st = Status::InvalidArgument("bad filter_allocation value " +
+                                     std::to_string(t.filter_allocation));
+      }
+      if (st.ok()) {
+        lsm::Options next = db_->options();
+        next.size_ratio = static_cast<int>(t.size_ratio);
+        next.policy = static_cast<lsm::CompactionPolicy>(t.policy);
+        next.filter_allocation =
+            static_cast<lsm::FilterAllocation>(t.filter_allocation);
+        next.buffer_entries = t.buffer_entries;
+        next.filter_bits_per_entry = t.filter_bits_per_entry;
+        st = db_->ApplyTuning(next);
+      }
+      QueueResponse(conn, EncodeStatusResponse(Opcode::kApplyTuning,
+                                               frame.request_id, st));
+      return;
+    }
+    case Opcode::kFlush: {
+      QueueResponse(conn, EncodeStatusResponse(Opcode::kFlush,
+                                               frame.request_id,
+                                               db_->Flush()));
+      return;
+    }
+    default: {
+      // Unknown opcode inside a well-framed header: the stream framing
+      // may still be intact, but the peer speaks a different dialect —
+      // reject loudly and close, like the magic check.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn,
+                    EncodeErrorFrame(Status::InvalidArgument(
+                        "unknown opcode " + std::to_string(frame.opcode))));
+      conn->closing = true;
+      return;
+    }
+  }
+}
+
+void Server::FlushPendingPuts(Conn* conn) {
+  if (conn->pending_put_ids.empty()) return;
+  Status st;
+  if (conn->pending_put_pairs.size() == 1) {
+    st = db_->Put(conn->pending_put_pairs[0].first,
+                  conn->pending_put_pairs[0].second);
+  } else {
+    st = db_->PutBatch(conn->pending_put_pairs);
+    coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
+    puts_coalesced_.fetch_add(conn->pending_put_pairs.size(),
+                              std::memory_order_relaxed);
+  }
+  for (const uint64_t id : conn->pending_put_ids) {
+    QueueResponse(conn, EncodeStatusResponse(Opcode::kPut, id, st));
+  }
+  conn->pending_put_ids.clear();
+  conn->pending_put_pairs.clear();
+}
+
+void Server::QueueResponse(Conn* conn, std::string frame_bytes) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  // Compact the consumed prefix before it dominates the buffer.
+  if (conn->out_off > 0 && conn->out_off >= conn->outbuf.size() / 2) {
+    conn->outbuf.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+  conn->outbuf += frame_bytes;
+}
+
+void Server::FlushWrites(Conn* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    const ssize_t w =
+        ::send(conn->fd.get(), conn->outbuf.data() + conn->out_off,
+               conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(conn);
+      return;
+    }
+    bytes_written_.fetch_add(static_cast<uint64_t>(w),
+                             std::memory_order_relaxed);
+    conn->out_off += static_cast<size_t>(w);
+  }
+  const bool drained = conn->out_off >= conn->outbuf.size();
+  if (drained) {
+    conn->outbuf.clear();
+    conn->out_off = 0;
+    if (conn->closing) {
+      CloseConn(conn);
+      return;
+    }
+  }
+  UpdateEpoll(conn);
+}
+
+void Server::UpdateEpoll(Conn* conn) {
+  uint32_t want = 0;
+  if (!conn->closing) want |= EPOLLIN;
+  if (conn->out_off < conn->outbuf.size()) want |= EPOLLOUT;
+  if (want == conn->epoll_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn->fd.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) == 0) {
+    conn->epoll_events = want;
+  }
+}
+
+void Server::CloseConn(Conn* conn) {
+  const int fd = conn->fd.get();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  conns_.erase(fd);  // destroys conn (and closes the fd)
+}
+
+}  // namespace endure::net

@@ -1,0 +1,148 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// endure_server: an epoll-based async TCP front-end over ShardedDB
+// speaking the length-prefixed binary protocol of net/protocol.h
+// (GET / PUT / DELETE / PUT_BATCH / SCAN / STATS / APPLY_TUNING / FLUSH).
+//
+// One event-loop thread multiplexes every connection. Requests pipeline
+// per connection: a client may write any number of frames back to back;
+// responses are returned in request order. Consecutive PUT frames that
+// arrive in one readable batch are coalesced into a single
+// ShardedDB::PutBatch call — one WAL group commit (and at most one
+// fsync under kPerBatch) acknowledges the whole run of puts, exactly the
+// write-coalescing win the in-process PutBatch API gives local callers.
+// Engine calls run inline on the loop thread: reads are lock-free in the
+// engine, and a write stalled by backpressure applies that backpressure
+// to every connection — the server never buffers unacknowledged writes.
+//
+// Shutdown() drains gracefully: the listener closes first, requests
+// already received are finished and their responses flushed (bounded by
+// ServerOptions::drain_timeout_ms), then connections close. A request
+// whose frame had not completely arrived at shutdown is never executed —
+// the client sees the connection close without an ack, the same signal
+// as a crash before commit. See docs/server.md.
+
+#ifndef ENDURE_NET_SERVER_H_
+#define ENDURE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/protocol.h"
+#include "net/socket_util.h"
+#include "util/status.h"
+
+namespace endure::lsm {
+class ShardedDB;
+}  // namespace endure::lsm
+
+namespace endure::net {
+
+struct ServerOptions {
+  /// IPv4 address to bind (dotted quad). Loopback by default: exposing
+  /// a deployment beyond the host is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (Server::port() reports it).
+  uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// Per-frame payload ceiling enforced by every connection's decoder
+  /// (and by SCAN response encoding).
+  uint32_t max_frame_payload = kDefaultMaxPayload;
+  /// Upper bound on the graceful-drain phase of Shutdown(): responses
+  /// not flushable within this window are abandoned (slow-consumer
+  /// protection; the requests themselves completed against the engine).
+  int drain_timeout_ms = 5000;
+};
+
+/// Monotonic, relaxed-read server counters (the server-side STATS rows).
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t requests_served = 0;     ///< responses written (incl. errors)
+  uint64_t puts_coalesced = 0;      ///< PUT frames folded into group commits
+  uint64_t coalesced_batches = 0;   ///< PutBatch calls made of >= 2 PUTs
+  uint64_t protocol_errors = 0;     ///< connections killed by bad frames
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// The epoll server. Start() binds synchronously (port() is valid on
+/// return) and spawns the loop thread; Shutdown() (or destruction)
+/// drains and joins it. The ShardedDB must outlive the server.
+class Server {
+ public:
+  static StatusOr<std::unique_ptr<Server>> Start(lsm::ShardedDB* db,
+                                                 const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually bound port (resolves port 0 requests).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish requests already received,
+  /// flush their responses (bounded by drain_timeout_ms), close
+  /// everything, join the loop thread. Idempotent; callable from any
+  /// thread except the loop thread itself.
+  void Shutdown();
+
+  /// Relaxed snapshot of the server counters.
+  ServerCounters counters() const;
+
+ private:
+  struct Conn;
+
+  Server(lsm::ShardedDB* db, const ServerOptions& options);
+
+  Status Init();
+  void Loop();
+  void AcceptNew();
+  void HandleReadable(Conn* conn);
+  void ProcessFrames(Conn* conn);
+  void DispatchFrame(Conn* conn, const Frame& frame);
+  /// Applies the pending coalesced PUT run (if any) through one
+  /// PutBatch group commit and queues one response per PUT.
+  void FlushPendingPuts(Conn* conn);
+  void QueueResponse(Conn* conn, std::string frame_bytes);
+  /// Writes as much of conn->outbuf as the socket accepts; arms/disarms
+  /// EPOLLOUT; closes the connection when `closing` and drained.
+  void FlushWrites(Conn* conn);
+  void CloseConn(Conn* conn);
+  void UpdateEpoll(Conn* conn);
+
+  lsm::ShardedDB* const db_;
+  const ServerOptions options_;
+  uint16_t port_ = 0;
+
+  OwnedFd epoll_fd_;
+  OwnedFd listen_fd_;
+  OwnedFd wake_fd_;  ///< eventfd: Shutdown -> loop wakeup
+
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  bool draining_ = false;  ///< loop-thread state
+
+  std::thread loop_;
+  std::mutex shutdown_mu_;
+  bool shutdown_called_ = false;
+  std::atomic<bool> stop_requested_{false};
+
+  // Counters: written by the loop thread, read from any thread.
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> puts_coalesced_{0};
+  std::atomic<uint64_t> coalesced_batches_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace endure::net
+
+#endif  // ENDURE_NET_SERVER_H_

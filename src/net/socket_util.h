@@ -1,0 +1,71 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Small POSIX socket helpers shared by the epoll server and the blocking
+// client: an owning fd wrapper plus Status-returning setup calls, so the
+// net subsystem never leaks a descriptor on an error path.
+
+#ifndef ENDURE_NET_SOCKET_UTIL_H_
+#define ENDURE_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace endure::net {
+
+/// Owning file descriptor (close on destruction; moveable, not copyable).
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { Reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sets O_NONBLOCK on `fd`.
+Status MakeNonBlocking(int fd);
+
+/// Disables Nagle (small request/response frames must not wait 40ms).
+Status SetTcpNoDelay(int fd);
+
+/// Creates a bound, listening TCP socket on `bind_address:port`
+/// (SO_REUSEADDR set; port 0 picks an ephemeral port). On success
+/// returns the socket and reports the actually bound port via
+/// `bound_port`.
+StatusOr<OwnedFd> CreateListener(const std::string& bind_address,
+                                 uint16_t port, int backlog,
+                                 uint16_t* bound_port);
+
+/// Blocking connect to `host:port`. The returned socket is blocking with
+/// TCP_NODELAY set.
+StatusOr<OwnedFd> ConnectSocket(const std::string& host, uint16_t port);
+
+/// Writes all of [data, data+n) to a BLOCKING socket (EINTR retried).
+Status WriteAll(int fd, const char* data, size_t n);
+
+}  // namespace endure::net
+
+#endif  // ENDURE_NET_SOCKET_UTIL_H_

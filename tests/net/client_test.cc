@@ -1,0 +1,278 @@
+// Client/server integration over loopback: the blocking API against an
+// in-process epoll server, remote Status mapping (degraded-mode and
+// range errors arrive code-for-code), the pipelined API (whose single
+// write burst is what triggers server-side PUT coalescing into one WAL
+// group commit), reconnect-with-backoff after a server restart, and
+// protocol-error handling (garbage bytes get one error frame, then the
+// connection closes).
+
+#include "net/client.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/options.h"
+#include "lsm/sharded_db.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket_util.h"
+
+namespace endure::net {
+namespace {
+
+lsm::Options MemoryOpts() {
+  lsm::Options o;
+  o.num_shards = 4;
+  o.buffer_entries = 64;
+  o.size_ratio = 4;
+  o.background_maintenance = true;
+  return o;
+}
+
+struct Harness {
+  std::unique_ptr<lsm::ShardedDB> db;
+  std::unique_ptr<Server> server;
+
+  static Harness Start(lsm::Options opts, ServerOptions sopts = {}) {
+    Harness h;
+    auto db = lsm::ShardedDB::Open(opts);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    h.db = std::move(db).value();
+    auto server = Server::Start(h.db.get(), sopts);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    h.server = std::move(server).value();
+    return h;
+  }
+
+  std::unique_ptr<Client> Connect(int max_attempts = 5) {
+    ClientOptions copts;
+    copts.port = server->port();
+    copts.max_attempts = max_attempts;
+    auto client = Client::Connect(copts);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+};
+
+TEST(ClientTest, BlockingOpsRoundTrip) {
+  Harness h = Harness::Start(MemoryOpts());
+  auto client = h.Connect();
+
+  EXPECT_TRUE(client->Put(1, 100).ok());
+  EXPECT_TRUE(client->Put(2, 200).ok());
+  auto got = client->Get(1);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, 100u);
+
+  EXPECT_TRUE(client->Delete(1).ok());
+  got = client->Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->has_value());
+
+  std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
+  for (uint64_t i = 10; i < 20; ++i) pairs.emplace_back(i, i * 11);
+  EXPECT_TRUE(client->PutBatch(pairs).ok());
+  auto scan = client->Scan(10, 20);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(*scan, pairs);
+
+  EXPECT_TRUE(client->Flush().ok());
+  auto scan2 = client->Scan(10, 15);
+  ASSERT_TRUE(scan2.ok());
+  ASSERT_EQ(scan2->size(), 5u);
+  EXPECT_EQ((*scan2)[0].first, 10u);
+
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, StatsReportEngineAndServerCounters) {
+  Harness h = Harness::Start(MemoryOpts());
+  auto client = h.Connect();
+  ASSERT_TRUE(client->Put(5, 50).ok());
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  bool saw_shards = false, saw_server = false, saw_health = false;
+  for (const auto& [name, value] : *stats) {
+    if (name == "num_shards") {
+      saw_shards = true;
+      EXPECT_EQ(value, 4u);
+    }
+    if (name == "server_requests_served") saw_server = true;
+    if (name == "health_code") {
+      saw_health = true;
+      EXPECT_EQ(value, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_shards);
+  EXPECT_TRUE(saw_server);
+  EXPECT_TRUE(saw_health);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, ApplyTuningTakesEffectRemotely) {
+  Harness h = Harness::Start(MemoryOpts());
+  auto client = h.Connect();
+  for (uint64_t i = 0; i < 200; ++i) ASSERT_TRUE(client->Put(i, i).ok());
+
+  TuningWire t;
+  t.size_ratio = 6;
+  t.policy = 1;  // tiering
+  t.filter_allocation = 0;
+  t.buffer_entries = 128;
+  t.filter_bits_per_entry = 6.0;
+  ASSERT_TRUE(client->ApplyTuning(t).ok());
+
+  const lsm::Options now = h.db->options();
+  EXPECT_EQ(now.size_ratio, 6);
+  EXPECT_EQ(now.policy, lsm::CompactionPolicy::kTiering);
+  EXPECT_EQ(now.buffer_entries, 128u);
+
+  // Invalid knobs are rejected remotely with InvalidArgument.
+  TuningWire bad = t;
+  bad.policy = 9;
+  const Status st = client->ApplyTuning(bad);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, PipelineExecutesInOrderAndCoalescesPuts) {
+  Harness h = Harness::Start(MemoryOpts());
+  auto client = h.Connect();
+
+  auto pipe = client->NewPipeline();
+  for (uint64_t i = 0; i < 32; ++i) pipe.Put(1000 + i, i);
+  pipe.Get(1000);
+  pipe.Scan(1000, 1008);
+  pipe.Delete(1000);
+  pipe.Get(1000);
+  auto results = pipe.Execute();
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 36u);
+  for (size_t i = 0; i < 32; ++i) EXPECT_TRUE((*results)[i].status.ok());
+  ASSERT_TRUE((*results)[32].value.has_value());
+  EXPECT_EQ(*(*results)[32].value, 0u);
+  EXPECT_EQ((*results)[33].entries.size(), 8u);
+  EXPECT_TRUE((*results)[34].status.ok());
+  EXPECT_FALSE((*results)[35].value.has_value());
+
+  // The 32-PUT burst arrived in one readable batch: the server must have
+  // folded (at least most of) it into group commits.
+  const ServerCounters c = h.server->counters();
+  EXPECT_GE(c.puts_coalesced, 2u);
+  EXPECT_GE(c.coalesced_batches, 1u);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, OversizedScanReturnsOutOfRange) {
+  // A server with a tiny frame limit cannot encode a big scan response;
+  // the client gets OutOfRange, not a truncated result.
+  ServerOptions sopts;
+  sopts.max_frame_payload = 1024;  // ~63 entries max
+  Harness h = Harness::Start(MemoryOpts(), sopts);
+  ClientOptions copts;
+  copts.port = h.server->port();
+  auto client = Client::Connect(copts);
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
+  for (uint64_t i = 0; i < 50; ++i) pairs.emplace_back(i, i);
+  ASSERT_TRUE((*client)->PutBatch(pairs).ok());
+  auto small = (*client)->Scan(0, 10);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->size(), 10u);
+
+  for (uint64_t i = 50; i < 200; ++i) {
+    ASSERT_TRUE((*client)->Put(i, i).ok());
+  }
+  auto big = (*client)->Scan(0, 200);
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kOutOfRange);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, ReconnectsAfterServerRestart) {
+  lsm::Options opts = MemoryOpts();
+  Harness h = Harness::Start(opts);
+  const uint16_t port = h.server->port();
+  auto client = h.Connect();
+  ASSERT_TRUE(client->Put(1, 1).ok());
+
+  // Restart the server on the same port (same db: contents survive).
+  h.server->Shutdown();
+  h.server.reset();
+  ServerOptions sopts;
+  sopts.port = port;
+  auto server2 = Server::Start(h.db.get(), sopts);
+  ASSERT_TRUE(server2.ok()) << server2.status().ToString();
+  h.server = std::move(server2).value();
+
+  // The old connection is dead; the op must transparently reconnect.
+  auto got = client->Get(1);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, 1u);
+  EXPECT_GE(client->reconnects(), 1u);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, ConnectFailsFastWhenNoServer) {
+  ClientOptions copts;
+  copts.port = 1;  // nothing listens on port 1
+  copts.max_attempts = 2;
+  copts.backoff_initial_ms = 1;
+  auto client = Client::Connect(copts);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(ClientTest, GarbageBytesGetErrorFrameThenClose) {
+  Harness h = Harness::Start(MemoryOpts());
+  auto sock = ConnectSocket("127.0.0.1", h.server->port());
+  ASSERT_TRUE(sock.ok());
+  const std::string garbage = "not a frame at all";
+  ASSERT_TRUE(WriteAll(sock->get(), garbage.data(), garbage.size()).ok());
+
+  // Read whatever the server sends before closing: exactly one error
+  // frame with request id 0.
+  FrameDecoder dec;
+  std::string bytes;
+  char buf[512];
+  while (true) {
+    const ssize_t n = ::read(sock->get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  dec.Feed(bytes.data(), bytes.size());
+  Frame f;
+  bool got = false;
+  ASSERT_TRUE(dec.Next(&f, &got).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(f.opcode, static_cast<uint8_t>(Opcode::kError));
+  EXPECT_EQ(f.request_id, 0u);
+  EXPECT_FALSE(ParseStatusOnlyResponse(f).ok());
+  EXPECT_GE(h.server->counters().protocol_errors, 1u);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, ShutdownDrainsIdleConnectionsAndIsIdempotent) {
+  Harness h = Harness::Start(MemoryOpts());
+  auto c1 = h.Connect();
+  auto c2 = h.Connect();
+  ASSERT_TRUE(c1->Put(1, 1).ok());
+  ASSERT_TRUE(c2->Put(2, 2).ok());
+  h.server->Shutdown();
+  h.server->Shutdown();  // idempotent
+  const ServerCounters c = h.server->counters();
+  EXPECT_EQ(c.connections_accepted, 2u);
+  EXPECT_EQ(c.connections_closed, 2u);
+  // Engine state survives the server: drain and read back in-process.
+  EXPECT_TRUE(h.db->Drain().ok());
+  EXPECT_EQ(h.db->Get(1), std::optional<lsm::Value>(1u));
+}
+
+}  // namespace
+}  // namespace endure::net

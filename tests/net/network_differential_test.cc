@@ -1,0 +1,337 @@
+// Network differential harness: seeded random traces run through the
+// real client/server stack on loopback, checked op-for-op against the
+// std::map oracle (tests/testing/reference_model.h). A divergence
+// reports the seed and the first diverging op index, which replays
+// deterministically. Legs: blocking ops, the pipelined API (responses
+// must come back in request order), live ApplyTuning presets injected
+// mid-trace (a reconfiguration must never change visible contents), and
+// a kill-server-and-reconnect leg on a durable deployment asserting
+// every acked write survives the crash + reopen — remotely, through the
+// client's transparent reconnect path.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/options.h"
+#include "lsm/sharded_db.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "testing/reference_model.h"
+
+namespace endure::net {
+namespace {
+
+using endure::testing::GenerateTrace;
+using endure::testing::InjectReconfigures;
+using endure::testing::KeyDistribution;
+using endure::testing::Op;
+using endure::testing::ReferenceModel;
+
+constexpr lsm::Key kKeyDomain = 8192;
+
+lsm::Options MemoryOpts() {
+  lsm::Options o;
+  o.num_shards = 4;
+  o.buffer_entries = 64;
+  o.size_ratio = 4;
+  o.filter_bits_per_entry = 4.0;
+  o.background_maintenance = true;
+  return o;
+}
+
+std::vector<TuningWire> Presets() {
+  TuningWire a;  // leveling, small buffers
+  a.size_ratio = 4;
+  a.policy = 0;
+  a.buffer_entries = 64;
+  a.filter_bits_per_entry = 4.0;
+  TuningWire b;  // tiering, bigger buffers
+  b.size_ratio = 6;
+  b.policy = 1;
+  b.buffer_entries = 128;
+  b.filter_bits_per_entry = 6.0;
+  TuningWire c;  // lazy leveling
+  c.size_ratio = 5;
+  c.policy = 2;
+  c.buffer_entries = 96;
+  c.filter_bits_per_entry = 5.0;
+  return {a, b, c};
+}
+
+/// Runs ops[begin, end) through the blocking client API, mirroring them
+/// into the oracle. Returns false (with a test failure naming seed and
+/// op index) on the first divergence.
+bool RunBlocking(Client* client, ReferenceModel* model,
+                 const std::vector<Op>& ops, size_t begin, size_t end,
+                 uint64_t seed) {
+  const std::vector<TuningWire> presets = Presets();
+  for (size_t i = begin; i < end; ++i) {
+    const Op& op = ops[i];
+    switch (op.kind) {
+      case Op::kPut: {
+        const Status st = client->Put(op.key, op.value);
+        if (!st.ok()) {
+          ADD_FAILURE() << "seed " << seed << " op " << i << " "
+                        << op.ToString() << ": " << st.ToString();
+          return false;
+        }
+        model->Put(op.key, op.value);
+        break;
+      }
+      case Op::kDelete: {
+        const Status st = client->Delete(op.key);
+        if (!st.ok()) {
+          ADD_FAILURE() << "seed " << seed << " op " << i << " "
+                        << op.ToString() << ": " << st.ToString();
+          return false;
+        }
+        model->Delete(op.key);
+        break;
+      }
+      case Op::kGet: {
+        auto got = client->Get(op.key);
+        if (!got.ok() || *got != model->Get(op.key)) {
+          ADD_FAILURE() << "seed " << seed << " first divergence at op "
+                        << i << " " << op.ToString();
+          return false;
+        }
+        break;
+      }
+      case Op::kScan: {
+        auto got = client->Scan(op.key, op.hi);
+        if (!got.ok() || *got != model->Scan(op.key, op.hi)) {
+          ADD_FAILURE() << "seed " << seed << " first divergence at op "
+                        << i << " " << op.ToString();
+          return false;
+        }
+        break;
+      }
+      case Op::kFlush: {
+        const Status st = client->Flush();
+        if (!st.ok()) {
+          ADD_FAILURE() << "seed " << seed << " op " << i << ": "
+                        << st.ToString();
+          return false;
+        }
+        break;
+      }
+      case Op::kReconfigure: {
+        const Status st =
+            client->ApplyTuning(presets[op.value % presets.size()]);
+        if (!st.ok()) {
+          ADD_FAILURE() << "seed " << seed << " op " << i
+                        << " reconfigure: " << st.ToString();
+          return false;
+        }
+        break;
+      }
+      case Op::kSnapshotScan:
+        break;  // not generated here
+    }
+  }
+  return true;
+}
+
+/// Full-contents check: one scan over the whole key domain must equal
+/// the oracle exactly.
+void VerifyFullScan(Client* client, const ReferenceModel& model,
+                    uint64_t seed) {
+  auto got = client->Scan(0, kKeyDomain + 64);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  const auto want = model.Scan(0, kKeyDomain + 64);
+  ASSERT_EQ(got->size(), want.size())
+      << "seed " << seed << ": final contents diverge";
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ((*got)[i], want[i])
+        << "seed " << seed << ": divergence at entry " << i;
+  }
+}
+
+struct Harness {
+  std::unique_ptr<lsm::ShardedDB> db;
+  std::unique_ptr<Server> server;
+  std::unique_ptr<Client> client;
+
+  void Start(const lsm::Options& opts, uint16_t port = 0) {
+    auto db_or = lsm::ShardedDB::Open(opts);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    db = std::move(db_or).value();
+    ServerOptions sopts;
+    sopts.port = port;
+    auto server_or = Server::Start(db.get(), sopts);
+    ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+    server = std::move(server_or).value();
+    if (client == nullptr) {
+      ClientOptions copts;
+      copts.port = server->port();
+      copts.backoff_initial_ms = 1;
+      copts.max_attempts = 8;
+      auto client_or = Client::Connect(copts);
+      ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+      client = std::move(client_or).value();
+    }
+  }
+};
+
+TEST(NetworkDifferentialTest, UniformTraceMatchesOracle) {
+  for (const uint64_t seed : {101u, 202u}) {
+    Harness h;
+    h.Start(MemoryOpts());
+    ReferenceModel model;
+    const auto ops =
+        GenerateTrace(seed, 3000, KeyDistribution::kUniform, kKeyDomain);
+    if (!RunBlocking(h.client.get(), &model, ops, 0, ops.size(), seed)) {
+      return;
+    }
+    VerifyFullScan(h.client.get(), model, seed);
+    h.server->Shutdown();
+  }
+}
+
+TEST(NetworkDifferentialTest, SkewedTraceWithLiveReconfigures) {
+  const uint64_t seed = 303;
+  Harness h;
+  h.Start(MemoryOpts());
+  ReferenceModel model;
+  auto ops = InjectReconfigures(
+      GenerateTrace(seed, 3000, KeyDistribution::kSkewed, kKeyDomain),
+      /*every=*/500, /*num_presets=*/Presets().size());
+  if (!RunBlocking(h.client.get(), &model, ops, 0, ops.size(), seed)) {
+    return;
+  }
+  h.db->WaitForMaintenance();  // migrations converge, then recheck
+  VerifyFullScan(h.client.get(), model, seed);
+  h.server->Shutdown();
+}
+
+TEST(NetworkDifferentialTest, PipelinedTraceMatchesOracle) {
+  const uint64_t seed = 404;
+  Harness h;
+  h.Start(MemoryOpts());
+  ReferenceModel model;
+  const auto ops =
+      GenerateTrace(seed, 3000, KeyDistribution::kUniform, kKeyDomain);
+
+  // Batches of up to 16 ops; the server executes a batch in order, so
+  // expected results are computed by stepping the oracle op by op at
+  // encode time.
+  struct Expected {
+    uint8_t kind;
+    std::optional<lsm::Value> value;
+    std::vector<std::pair<lsm::Key, lsm::Value>> entries;
+  };
+  size_t i = 0;
+  while (i < ops.size()) {
+    auto pipe = h.client->NewPipeline();
+    std::vector<Expected> expected;
+    const size_t batch_end = std::min(ops.size(), i + 16);
+    for (size_t j = i; j < batch_end; ++j) {
+      const Op& op = ops[j];
+      Expected e;
+      e.kind = static_cast<uint8_t>(op.kind);
+      switch (op.kind) {
+        case Op::kPut:
+          pipe.Put(op.key, op.value);
+          model.Put(op.key, op.value);
+          break;
+        case Op::kDelete:
+          pipe.Delete(op.key);
+          model.Delete(op.key);
+          break;
+        case Op::kGet:
+          pipe.Get(op.key);
+          e.value = model.Get(op.key);
+          break;
+        case Op::kScan:
+          pipe.Scan(op.key, op.hi);
+          e.entries = model.Scan(op.key, op.hi);
+          break;
+        default:
+          pipe.Flush();
+          break;
+      }
+      expected.push_back(std::move(e));
+    }
+    auto results = pipe.Execute();
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      const auto& r = (*results)[j];
+      ASSERT_TRUE(r.status.ok())
+          << "seed " << seed << " op " << (i + j) << ": "
+          << r.status.ToString();
+      if (expected[j].kind == static_cast<uint8_t>(Op::kGet)) {
+        ASSERT_EQ(r.value, expected[j].value)
+            << "seed " << seed << " first divergence at op " << (i + j);
+      } else if (expected[j].kind == static_cast<uint8_t>(Op::kScan)) {
+        ASSERT_EQ(r.entries, expected[j].entries)
+            << "seed " << seed << " first divergence at op " << (i + j);
+      }
+    }
+    i = batch_end;
+  }
+  VerifyFullScan(h.client.get(), model, seed);
+  h.server->Shutdown();
+}
+
+TEST(NetworkDifferentialTest, KillServerReconnectPreservesAckedWrites) {
+  const uint64_t seed = 505;
+  const std::string dir = "/tmp/endure_net_differential_kill";
+  std::filesystem::remove_all(dir);
+
+  lsm::Options opts = MemoryOpts();
+  opts.backend = lsm::StorageBackend::kFile;
+  opts.storage_dir = dir;
+  opts.durability = true;
+  // Per-batch sync: every ack the client ever saw is on the device, so
+  // after the kill the oracle must match EXACTLY (no loss window).
+  opts.wal_sync_mode = WalSyncMode::kPerBatch;
+
+  Harness h;
+  h.Start(opts);
+  const uint16_t port = h.server->port();
+  ReferenceModel model;
+  const auto ops =
+      GenerateTrace(seed, 2000, KeyDistribution::kUniform, kKeyDomain);
+
+  // First half through the live server.
+  ASSERT_TRUE(
+      RunBlocking(h.client.get(), &model, ops, 0, ops.size() / 2, seed));
+
+  // Kill: stop the server, crash the engine (WAL writers dropped with no
+  // final flush/checkpoint), reopen the deployment, restart the server
+  // on the same port. The client keeps its connection object.
+  h.server->Shutdown();
+  h.server.reset();
+  h.db->CrashForTesting();
+  h.db.reset();
+
+  auto db2 = lsm::ShardedDB::Open(opts);
+  ASSERT_TRUE(db2.ok()) << db2.status().ToString();
+  h.db = std::move(db2).value();
+  ServerOptions sopts;
+  sopts.port = port;
+  auto server2 = Server::Start(h.db.get(), sopts);
+  ASSERT_TRUE(server2.ok()) << server2.status().ToString();
+  h.server = std::move(server2).value();
+
+  // Recovery must already agree with every acked write.
+  VerifyFullScan(h.client.get(), model, seed);
+  EXPECT_GE(h.client->reconnects(), 1u)
+      << "the kill leg must exercise the reconnect path";
+
+  // Second half continues over the reconnected client.
+  ASSERT_TRUE(RunBlocking(h.client.get(), &model, ops, ops.size() / 2,
+                          ops.size(), seed));
+  VerifyFullScan(h.client.get(), model, seed);
+  h.server->Shutdown();
+  h.db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace endure::net

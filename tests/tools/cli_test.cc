@@ -1,0 +1,85 @@
+// Regression suite for the endure_cli contract: unknown subcommands,
+// unknown or malformed flags, and stray positional arguments exit
+// non-zero with a usage message — a typo can never silently no-op. The
+// dispatch is driven in-process via endure::cli::Main (the binaries are
+// one-line wrappers around it).
+
+#include "endure_cli_main.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace endure::cli {
+namespace {
+
+int RunCli(std::vector<const char*> argv) {
+  return Main(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, NoArgsPrintsUsageAndExits2) {
+  EXPECT_EQ(RunCli({"endure"}), 2);
+}
+
+TEST(CliTest, UnknownSubcommandExits2) {
+  EXPECT_EQ(RunCli({"endure", "tuen"}), 2);
+  EXPECT_EQ(RunCli({"endure", "definitely-not-a-command"}), 2);
+}
+
+TEST(CliTest, UnknownFlagExitsNonZero) {
+  EXPECT_EQ(RunCli({"endure", "tune", "--nope", "1"}), 1);
+  EXPECT_EQ(RunCli({"endure", "evaluate", "--polcy", "leveling"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--prot", "4800"}), 1);
+}
+
+TEST(CliTest, MalformedFlagValueExitsNonZero) {
+  EXPECT_EQ(RunCli({"endure", "tune", "--rho", "not-a-number"}), 1);
+  EXPECT_EQ(RunCli({"endure", "evaluate", "--T", "ten"}), 1);
+}
+
+TEST(CliTest, StrayPositionalArgumentsExitNonZero) {
+  // Before the fix these tokens were silently collected and ignored.
+  EXPECT_EQ(RunCli({"endure", "workloads", "extra"}), 1);
+  EXPECT_EQ(RunCli({"endure", "tune", "leveling"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "4800"}), 1);
+}
+
+TEST(CliTest, WorkloadsRejectsFlagsButRunsClean) {
+  EXPECT_EQ(RunCli({"endure", "workloads", "--verbose"}), 1);
+  EXPECT_EQ(RunCli({"endure", "workloads"}), 0);
+}
+
+TEST(CliTest, TuneAndEvaluateSucceedOnValidInput) {
+  EXPECT_EQ(RunCli({"endure", "tune", "--workload", "0.25,0.25,0.25,0.25"}), 0);
+  EXPECT_EQ(RunCli({"endure", "evaluate", "--policy", "tiering", "--T", "8",
+                 "--h", "4"}),
+            0);
+  EXPECT_EQ(
+      RunCli({"endure", "advise", "--history", "0.3,0.3,0.3,0.1;0.2,0.4,0.2,0.2"}),
+      0);
+}
+
+TEST(CliTest, InvalidWorkloadOrPolicyExitsNonZero) {
+  EXPECT_EQ(RunCli({"endure", "tune", "--workload", "0.5,0.5"}), 1);
+  EXPECT_EQ(RunCli({"endure", "evaluate", "--policy", "compacting"}), 1);
+}
+
+TEST(CliTest, ServeValidatesItsDeploymentFlags) {
+  // Exactly one of --dir / --memory.
+  EXPECT_EQ(RunCli({"endure", "serve"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--dir", "/tmp/x"}), 1);
+  // Range checks.
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--port", "70000"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--max-frame-mb", "0"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--policy", "stacking"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--sync", "always"}), 1);
+}
+
+TEST(CliTest, ServeRunsAndDrainsWithExitAfterSeconds) {
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--port", "0", "--shards",
+                 "2", "--exit-after-seconds", "1"}),
+            0);
+}
+
+}  // namespace
+}  // namespace endure::cli

@@ -1,0 +1,483 @@
+// endure — command-line front end to the library.
+//
+//   endure tune      --workload 0.33,0.33,0.33,0.01 --rho 1.0
+//   endure evaluate  --workload ... --policy leveling --T 10 --h 5
+//   endure advise    --history "0.3,0.3,0.3,0.1;0.2,0.4,0.2,0.2;..."
+//   endure simulate  --workload ... --policy leveling --T 10 --h 5
+//   endure serve     --dir /var/lib/endure --port 4800
+//   endure workloads
+//
+// Every tuning command accepts the system parameters
+//   --entries N --entry-bits E --page-entries B --bits-per-entry H
+// (defaults are the paper's configuration).
+//
+// Contract the regression tests pin: an unknown subcommand, an unknown
+// or malformed flag, or a stray positional argument exits non-zero with
+// a usage message — a typo can never silently no-op (this matters most
+// for `serve`, where a silently-defaulted flag would bring up a server
+// with the wrong deployment).
+
+#include "endure_cli_main.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bridge/experiment.h"
+#include "core/endure.h"
+#include "lsm/sharded_db.h"
+#include "net/server.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+#include "workload/expected_workloads.h"
+#include "workload/serialization.h"
+
+namespace endure::cli {
+namespace {
+
+using namespace endure;
+
+void AddSystemFlags(FlagParser* flags) {
+  flags->AddDouble("entries", 1e7, "database entries N");
+  flags->AddDouble("entry-bits", 8192.0, "entry size E in bits");
+  flags->AddDouble("page-entries", 4.0, "entries per page B");
+  flags->AddDouble("bits-per-entry", 10.0, "total memory budget H");
+  flags->AddDouble("selectivity", 2e-7, "range selectivity S_RQ");
+  flags->AddDouble("asymmetry", 1.0, "read/write asymmetry A_rw");
+}
+
+SystemConfig ConfigFromFlags(const FlagParser& flags) {
+  SystemConfig cfg;
+  cfg.num_entries = flags.GetDouble("entries");
+  cfg.entry_size_bits = flags.GetDouble("entry-bits");
+  cfg.entries_per_page = flags.GetDouble("page-entries");
+  cfg.memory_budget_bits_per_entry = flags.GetDouble("bits-per-entry");
+  cfg.range_selectivity = flags.GetDouble("selectivity");
+  cfg.read_write_asymmetry = flags.GetDouble("asymmetry");
+  return cfg;
+}
+
+StatusOr<Workload> WorkloadFromFlag(const FlagParser& flags) {
+  auto parts = ParseCsvDoubles(flags.GetString("workload"), 4);
+  if (!parts.ok()) return parts.status();
+  Workload w((*parts)[0], (*parts)[1], (*parts)[2], (*parts)[3]);
+  ENDURE_RETURN_IF_ERROR(w.Validate(1e-6));
+  return w;
+}
+
+StatusOr<Policy> PolicyFromFlag(const std::string& name) {
+  if (name == "leveling") return Policy::kLeveling;
+  if (name == "tiering") return Policy::kTiering;
+  if (name == "lazy-leveling") return Policy::kLazyLeveling;
+  return Status::InvalidArgument(
+      "policy must be leveling|tiering|lazy-leveling");
+}
+
+StatusOr<lsm::CompactionPolicy> EnginePolicyFromFlag(
+    const std::string& name) {
+  if (name == "leveling") return lsm::CompactionPolicy::kLeveling;
+  if (name == "tiering") return lsm::CompactionPolicy::kTiering;
+  if (name == "lazy-leveling") return lsm::CompactionPolicy::kLazyLeveling;
+  return Status::InvalidArgument(
+      "policy must be leveling|tiering|lazy-leveling");
+}
+
+StatusOr<DivergenceKind> DivergenceFromFlag(const std::string& name) {
+  if (name == "kl") return DivergenceKind::kKl;
+  if (name == "chi2") return DivergenceKind::kChiSquare;
+  if (name == "tv") return DivergenceKind::kTotalVariation;
+  if (name == "hellinger") return DivergenceKind::kHellinger;
+  return Status::InvalidArgument("divergence must be kl|chi2|tv|hellinger");
+}
+
+int Fail(const Status& status, const FlagParser& flags) {
+  std::fprintf(stderr, "error: %s\nflags:\n%s", status.ToString().c_str(),
+               flags.Usage().c_str());
+  return 1;
+}
+
+/// Commands take no positional arguments: a stray token is almost
+/// always a mistyped flag, so it must fail, not silently parse as
+/// noise.
+Status NoPositional(const FlagParser& flags) {
+  if (!flags.positional().empty()) {
+    return Status::InvalidArgument("unexpected argument '" +
+                                   flags.positional().front() + "'");
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ tune
+
+int CmdTune(int argc, const char* const* argv) {
+  FlagParser flags;
+  AddSystemFlags(&flags);
+  flags.AddString("workload", "0.25,0.25,0.25,0.25",
+                  "expected workload z0,z1,q,w");
+  flags.AddDouble("rho", 0.0, "uncertainty radius (0 = nominal tuning)");
+  flags.AddString("divergence", "kl", "ball geometry: kl|chi2|tv|hellinger");
+  flags.AddBool("lazy-leveling", false,
+                "include the lazy-leveling hybrid in the policy space");
+  Status st = flags.Parse(argc, argv, 2);
+  if (st.ok()) st = NoPositional(flags);
+  if (!st.ok()) return Fail(st, flags);
+
+  const SystemConfig cfg = ConfigFromFlags(flags);
+  auto w = WorkloadFromFlag(flags);
+  if (!w.ok()) return Fail(w.status(), flags);
+  const double rho = flags.GetDouble("rho");
+
+  CostModel model(cfg);
+  TunerOptions opts;
+  if (flags.GetBool("lazy-leveling")) {
+    opts.policies.push_back(Policy::kLazyLeveling);
+  }
+
+  TuningResult result;
+  if (rho <= 0.0) {
+    result = NominalTuner(model, opts).Tune(*w);
+  } else if (flags.GetString("divergence") == "kl") {
+    result = RobustTuner(model, opts).Tune(*w, rho);
+  } else {
+    auto kind = DivergenceFromFlag(flags.GetString("divergence"));
+    if (!kind.ok()) return Fail(kind.status(), flags);
+    result = GeneralizedRobustTuner(model, *kind, opts).Tune(*w, rho);
+  }
+
+  std::printf("workload   : %s\n", w->ToString().c_str());
+  std::printf("rho        : %.3f (%s)\n", rho,
+              flags.GetString("divergence").c_str());
+  std::printf("tuning     : %s\n", result.tuning.ToString().c_str());
+  std::printf("objective  : %.4f expected I/Os per op\n", result.objective);
+  std::printf("m_filt     : %.1f MiB   m_buf: %.1f MiB\n",
+              result.tuning.filter_memory_bits(cfg) / 8.0 / (1 << 20),
+              result.tuning.buffer_memory_bits(cfg) / 8.0 / (1 << 20));
+  std::printf("solve time : %.1f ms (%d evaluations)\n",
+              result.solve_seconds * 1e3, result.evaluations);
+  return 0;
+}
+
+// -------------------------------------------------------------- evaluate
+
+int CmdEvaluate(int argc, const char* const* argv) {
+  FlagParser flags;
+  AddSystemFlags(&flags);
+  flags.AddString("workload", "0.25,0.25,0.25,0.25",
+                  "workload z0,z1,q,w to cost");
+  flags.AddString("policy", "leveling", "leveling|tiering|lazy-leveling");
+  flags.AddDouble("T", 10.0, "size ratio");
+  flags.AddDouble("h", 5.0, "filter bits per entry");
+  flags.AddBool("integer-levels", false, "use ceil(L) (deployed tree)");
+  Status st = flags.Parse(argc, argv, 2);
+  if (st.ok()) st = NoPositional(flags);
+  if (!st.ok()) return Fail(st, flags);
+
+  SystemConfig cfg = ConfigFromFlags(flags);
+  if (flags.GetBool("integer-levels")) {
+    cfg.level_policy = LevelPolicy::kInteger;
+  }
+  auto w = WorkloadFromFlag(flags);
+  if (!w.ok()) return Fail(w.status(), flags);
+  auto policy = PolicyFromFlag(flags.GetString("policy"));
+  if (!policy.ok()) return Fail(policy.status(), flags);
+
+  const Tuning t(*policy, flags.GetDouble("T"), flags.GetDouble("h"));
+  st = t.Validate(cfg);
+  if (!st.ok()) return Fail(st, flags);
+
+  CostModel model(cfg);
+  const CostVector c = model.Costs(t);
+  std::printf("tuning : %s   levels L = %.2f\n", t.ToString().c_str(),
+              model.EffectiveLevels(t));
+  std::printf("Z0 = %.4f   Z1 = %.4f   Q = %.4f   W = %.4f\n", c.z0, c.z1,
+              c.q, c.w);
+  std::printf("C(w, Phi) = %.4f I/Os per op  (throughput %.4f)\n",
+              model.Cost(*w, t), model.Throughput(*w, t));
+  return 0;
+}
+
+// ---------------------------------------------------------------- advise
+
+int CmdAdvise(int argc, const char* const* argv) {
+  FlagParser flags;
+  flags.AddString("history", "",
+                  "semicolon-separated workloads, e.g. "
+                  "\"0.3,0.3,0.3,0.1;0.2,0.4,0.2,0.2\"");
+  flags.AddString("file", "",
+                  "workload-history file (one z0,z1,q,w line per epoch; "
+                  "see workload/serialization.h)");
+  Status st = flags.Parse(argc, argv, 2);
+  if (st.ok()) st = NoPositional(flags);
+  if (!st.ok()) return Fail(st, flags);
+
+  std::vector<Workload> history;
+  if (!flags.GetString("file").empty()) {
+    auto loaded = workload::LoadWorkloads(flags.GetString("file"));
+    if (!loaded.ok()) return Fail(loaded.status(), flags);
+    history = std::move(loaded).value();
+  }
+  const std::string spec = flags.GetString("history");
+  size_t pos = 0;
+  while (pos <= spec.size() && !spec.empty()) {
+    const size_t semi = spec.find(';', pos);
+    const std::string part =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos);
+    auto parts = ParseCsvDoubles(part, 4);
+    if (!parts.ok()) return Fail(parts.status(), flags);
+    history.emplace_back((*parts)[0], (*parts)[1], (*parts)[2],
+                         (*parts)[3]);
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  if (history.size() < 2) {
+    return Fail(Status::InvalidArgument(
+                    "need at least two workloads in --history"),
+                flags);
+  }
+
+  const Workload mean = MeanWorkload(history);
+  const RhoEstimate est = EstimateRho(history, mean);
+  std::printf("history         : %zu workloads\n", history.size());
+  std::printf("mean workload   : %s\n", mean.ToString().c_str());
+  std::printf("rho (recommended, mean pairwise KL): %.4f\n",
+              est.mean_pairwise);
+  std::printf("rho (mean to mean): %.4f   (p90): %.4f   (max): %.4f\n",
+              est.mean_to_expected, est.p90_to_expected,
+              est.max_to_expected);
+  return 0;
+}
+
+// -------------------------------------------------------------- simulate
+
+int CmdSimulate(int argc, const char* const* argv) {
+  FlagParser flags;
+  AddSystemFlags(&flags);
+  flags.AddString("workload", "0.25,0.25,0.25,0.25",
+                  "workload z0,z1,q,w to execute");
+  flags.AddString("policy", "leveling", "leveling|tiering|lazy-leveling");
+  flags.AddDouble("T", 10.0, "size ratio");
+  flags.AddDouble("h", 5.0, "filter bits per entry");
+  flags.AddInt("db-entries", 50000, "entries to bulk load");
+  flags.AddInt("queries", 5000, "operations to execute");
+  Status st = flags.Parse(argc, argv, 2);
+  if (st.ok()) st = NoPositional(flags);
+  if (!st.ok()) return Fail(st, flags);
+
+  const SystemConfig cfg = ConfigFromFlags(flags);
+  auto w = WorkloadFromFlag(flags);
+  if (!w.ok()) return Fail(w.status(), flags);
+  auto policy = PolicyFromFlag(flags.GetString("policy"));
+  if (!policy.ok()) return Fail(policy.status(), flags);
+  const Tuning t(*policy, flags.GetDouble("T"), flags.GetDouble("h"));
+
+  bridge::ExperimentOptions eopts;
+  eopts.actual_entries = static_cast<uint64_t>(flags.GetInt("db-entries"));
+  eopts.queries_per_workload =
+      static_cast<uint64_t>(flags.GetInt("queries"));
+  bridge::ExperimentRunner runner(cfg, eopts);
+  workload::Session session;
+  session.kind = workload::SessionKind::kExpected;
+  session.workloads = {*w};
+  const auto results = runner.Run(t, {session});
+
+  std::printf("tuning   : %s on %lld entries\n", t.ToString().c_str(),
+              static_cast<long long>(eopts.actual_entries));
+  std::printf("workload : %s x %lld ops\n", w->ToString().c_str(),
+              static_cast<long long>(eopts.queries_per_workload));
+  std::printf("model    : %.3f I/Os per query\n",
+              results[0].model_io_per_query);
+  std::printf("system   : %.3f I/Os per query (point %.3f, range %.3f, "
+              "write %.3f)\n",
+              results[0].measured_io_per_query, results[0].point_io,
+              results[0].range_io, results[0].write_io);
+  std::printf("latency  : %.2f us per query\n",
+              results[0].latency_us_per_query);
+  return 0;
+}
+
+// ------------------------------------------------------------- workloads
+
+int CmdWorkloads(int argc, const char* const* argv) {
+  FlagParser flags;  // no flags: anything passed is an error
+  Status st = flags.Parse(argc, argv, 2);
+  if (st.ok()) st = NoPositional(flags);
+  if (!st.ok()) return Fail(st, flags);
+
+  TablePrinter table({"index", "(z0, z1, q, w)", "type"});
+  for (const auto& ew : workload::AllExpectedWorkloads()) {
+    table.AddRow({std::to_string(ew.index), ew.workload.ToString(),
+                  workload::CategoryName(ew.category)});
+  }
+  table.Print();
+  return 0;
+}
+
+// ----------------------------------------------------------------- serve
+
+std::atomic<bool> g_stop_serving{false};
+
+void HandleStopSignal(int) { g_stop_serving.store(true); }
+
+StatusOr<WalSyncMode> SyncModeFromFlag(const std::string& name) {
+  if (name == "none") return WalSyncMode::kNone;
+  if (name == "background") return WalSyncMode::kBackground;
+  if (name == "per-batch") return WalSyncMode::kPerBatch;
+  return Status::InvalidArgument("sync must be none|background|per-batch");
+}
+
+}  // namespace
+
+int RunServe(int argc, const char* const* argv, int flag_start) {
+  FlagParser flags;
+  flags.AddString("dir", "",
+                  "deployment root (durable file backend; recovered when "
+                  "it exists)");
+  flags.AddBool("memory", false,
+                "serve a volatile in-memory deployment instead of --dir");
+  flags.AddInt("port", 4800, "TCP port (0 = ephemeral, printed at start)");
+  flags.AddString("bind", "127.0.0.1", "IPv4 address to bind");
+  flags.AddInt("shards", 8, "hash-partitioned shards for a fresh deployment");
+  flags.AddInt("buffer-entries", 4096, "write buffer entries per shard");
+  flags.AddInt("size-ratio", 10, "LSM size ratio T");
+  flags.AddString("policy", "leveling", "leveling|tiering|lazy-leveling");
+  flags.AddDouble("bits-per-entry", 5.0, "bloom filter bits per entry h");
+  flags.AddString("sync", "background",
+                  "WAL sync mode: none|background|per-batch");
+  flags.AddInt("cache-mb", 0, "deployment-wide block cache MiB (0 = off)");
+  flags.AddInt("max-frame-mb", 4, "per-frame payload ceiling in MiB");
+  flags.AddInt("drain-timeout-ms", 5000,
+               "graceful-drain bound on shutdown");
+  flags.AddInt("exit-after-seconds", 0,
+               "stop serving after N seconds (0 = until SIGINT/SIGTERM)");
+  Status st = flags.Parse(argc, argv, flag_start);
+  if (st.ok()) st = NoPositional(flags);
+  if (!st.ok()) return Fail(st, flags);
+
+  const bool memory = flags.GetBool("memory");
+  const std::string dir = flags.GetString("dir");
+  if (memory == !dir.empty()) {
+    return Fail(Status::InvalidArgument(
+                    "pass exactly one of --dir <path> or --memory"),
+                flags);
+  }
+  if (flags.GetInt("port") < 0 || flags.GetInt("port") > 65535) {
+    return Fail(Status::InvalidArgument("--port must be in [0, 65535]"),
+                flags);
+  }
+  if (flags.GetInt("max-frame-mb") < 1 || flags.GetInt("max-frame-mb") > 64) {
+    return Fail(Status::InvalidArgument("--max-frame-mb must be in [1, 64]"),
+                flags);
+  }
+  auto policy = EnginePolicyFromFlag(flags.GetString("policy"));
+  if (!policy.ok()) return Fail(policy.status(), flags);
+  auto sync = SyncModeFromFlag(flags.GetString("sync"));
+  if (!sync.ok()) return Fail(sync.status(), flags);
+
+  lsm::Options opts;
+  opts.num_shards = static_cast<int>(flags.GetInt("shards"));
+  opts.buffer_entries = static_cast<uint64_t>(flags.GetInt("buffer-entries"));
+  opts.size_ratio = static_cast<int>(flags.GetInt("size-ratio"));
+  opts.policy = *policy;
+  opts.filter_bits_per_entry = flags.GetDouble("bits-per-entry");
+  opts.background_maintenance = true;
+  opts.block_cache_bytes =
+      static_cast<uint64_t>(flags.GetInt("cache-mb")) << 20;
+  if (memory) {
+    opts.backend = lsm::StorageBackend::kMemory;
+  } else {
+    opts.backend = lsm::StorageBackend::kFile;
+    opts.storage_dir = dir;
+    opts.durability = true;
+    opts.wal_sync_mode = *sync;
+  }
+
+  auto db = lsm::ShardedDB::Open(opts);
+  if (!db.ok()) return Fail(db.status(), flags);
+
+  net::ServerOptions sopts;
+  sopts.bind_address = flags.GetString("bind");
+  sopts.port = static_cast<uint16_t>(flags.GetInt("port"));
+  sopts.max_frame_payload =
+      static_cast<uint32_t>(flags.GetInt("max-frame-mb")) << 20;
+  sopts.drain_timeout_ms = static_cast<int>(flags.GetInt("drain-timeout-ms"));
+  auto server = net::Server::Start(db->get(), sopts);
+  if (!server.ok()) return Fail(server.status(), flags);
+
+  g_stop_serving.store(false);
+  struct sigaction sa {};
+  sa.sa_handler = HandleStopSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("endure_server: serving %s on %s:%u (%d shards, %s)\n",
+              memory ? "in-memory deployment" : dir.c_str(),
+              sopts.bind_address.c_str(), (*server)->port(),
+              opts.num_shards, memory ? "volatile" : "durable");
+  std::fflush(stdout);
+
+  using Clock = std::chrono::steady_clock;
+  const int64_t run_seconds = flags.GetInt("exit-after-seconds");
+  const auto deadline = Clock::now() + std::chrono::seconds(run_seconds);
+  while (!g_stop_serving.load()) {
+    if (run_seconds > 0 && Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("endure_server: draining...\n");
+  std::fflush(stdout);
+  (*server)->Shutdown();
+  const net::ServerCounters c = (*server)->counters();
+  const Status drain = (*db)->Drain();
+  std::printf("endure_server: served %llu requests over %llu connections "
+              "(%llu puts coalesced into %llu group commits)\n",
+              static_cast<unsigned long long>(c.requests_served),
+              static_cast<unsigned long long>(c.connections_accepted),
+              static_cast<unsigned long long>(c.puts_coalesced),
+              static_cast<unsigned long long>(c.coalesced_batches));
+  if (!drain.ok()) {
+    std::fprintf(stderr, "endure_server: drain: %s\n",
+                 drain.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "endure — robust LSM-tree tuning (VLDB'22 reproduction)\n\n"
+      "usage: endure <command> [flags]\n\n"
+      "commands:\n"
+      "  tune       compute a nominal (rho=0) or robust tuning\n"
+      "  evaluate   cost a specific tuning on a workload\n"
+      "  advise     recommend rho from workload history\n"
+      "  simulate   run a tuning on the bundled LSM engine\n"
+      "  serve      serve a deployment over TCP (see docs/server.md)\n"
+      "  workloads  print the paper's Table 2\n\n"
+      "run `endure <command> --help` conceptually: flags are printed on\n"
+      "any flag error.\n");
+  return 2;
+}
+
+}  // namespace
+
+int Main(int argc, const char* const* argv) {
+  if (argc < 2) return Usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "tune") == 0) return CmdTune(argc, argv);
+  if (std::strcmp(cmd, "evaluate") == 0) return CmdEvaluate(argc, argv);
+  if (std::strcmp(cmd, "advise") == 0) return CmdAdvise(argc, argv);
+  if (std::strcmp(cmd, "simulate") == 0) return CmdSimulate(argc, argv);
+  if (std::strcmp(cmd, "serve") == 0) return RunServe(argc, argv, 2);
+  if (std::strcmp(cmd, "workloads") == 0) return CmdWorkloads(argc, argv);
+  std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd);
+  return Usage();
+}
+
+}  // namespace endure::cli

@@ -1,0 +1,23 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// The endure_cli command dispatch, factored out of the binary so the
+// regression tests can drive it in-process (exit codes and stderr are
+// part of the CLI's contract: an unknown subcommand or a misspelled
+// serve flag must fail loudly, never silently no-op).
+
+#ifndef ENDURE_TOOLS_ENDURE_CLI_MAIN_H_
+#define ENDURE_TOOLS_ENDURE_CLI_MAIN_H_
+
+namespace endure::cli {
+
+/// Full CLI entry point: dispatches argv[1] as the subcommand. Returns
+/// the process exit code (0 success, 1 flag/runtime error, 2 usage).
+int Main(int argc, const char* const* argv);
+
+/// The `serve` subcommand body (flags parsed from argv[flag_start..)).
+/// Shared by `endure_cli serve` and the standalone endure_server binary.
+int RunServe(int argc, const char* const* argv, int flag_start);
+
+}  // namespace endure::cli
+
+#endif  // ENDURE_TOOLS_ENDURE_CLI_MAIN_H_

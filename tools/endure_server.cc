@@ -1,0 +1,11 @@
+// Copyright (c) endure-cpp authors. Licensed under the MIT license.
+//
+// Standalone server binary: `endure_server --dir /path --port 4800` is
+// exactly `endure_cli serve ...` without the subcommand word. See
+// docs/server.md for the wire protocol and operational semantics.
+
+#include "endure_cli_main.h"
+
+int main(int argc, char** argv) {
+  return endure::cli::RunServe(argc, argv, 1);
+}
