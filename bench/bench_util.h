@@ -29,8 +29,10 @@ namespace endure::bench_util {
 /// — put tail percentiles and the scheduler/stall counters; v5:
 /// micro_shard's zipfian_read_heavy leg — block-cache hit ratio and get
 /// tail percentiles; v6: micro_server — network round-trip throughput
-/// and latency percentiles, serial vs pipelined, per connection count).
-inline constexpr int kBenchJsonSchemaVersion = 6;
+/// and latency percentiles, serial vs pipelined, per connection count;
+/// v7: micro_server's quota_sweep legs — per-tenant acked throughput
+/// under admission control plus the admission counters).
+inline constexpr int kBenchJsonSchemaVersion = 7;
 
 /// Allocation counters, defined by ENDURE_BENCH_DEFINE_ALLOC_COUNTING()
 /// in the benchmark binary. Atomic: benchmarks may allocate from several

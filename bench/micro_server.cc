@@ -149,6 +149,121 @@ LegResult RunLeg(uint16_t port, int conns, uint64_t ops_per_conn,
   return r;
 }
 
+struct QuotaLegResult {
+  double quota_ops = 0;  ///< aggressor quota; victim runs at half
+  double victim_ops_per_sec = 0;
+  double aggressor_ops_per_sec = 0;  ///< acked only
+  uint64_t admission_rejects = 0;
+  uint64_t throttled_ms = 0;
+  uint64_t queue_depth_peak = 0;
+};
+
+/// One noisy-neighbor admission leg: a victim tenant at quota/2 paced by
+/// throttle retries next to two aggressor connections flooding at the
+/// full quota with retries disabled. quota 0 = unlimited (the baseline
+/// the throttled legs are read against). Reports acked throughput per
+/// tenant plus the server's admission counters.
+QuotaLegResult RunQuotaLeg(lsm::ShardedDB* db, double quota,
+                           uint64_t window_ms) {
+  net::ServerOptions sopts;
+  sopts.tenant_quotas["victim"] = net::TenantQuota{quota / 2, 0};
+  sopts.tenant_quotas["aggressor"] = net::TenantQuota{quota, 0};
+  sopts.max_pending_per_tenant = 32;
+  auto server_or = net::Server::Start(db, sopts);
+  if (!server_or.ok()) return {};
+  std::unique_ptr<net::Server> server = std::move(server_or).value();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> aggressor_acked{0};
+  std::vector<std::thread> aggressors;
+  for (int t = 0; t < 2; ++t) {
+    aggressors.emplace_back([&, t]() {
+      net::ClientOptions copts;
+      copts.port = server->port();
+      copts.tenant = "aggressor";
+      copts.throttle_max_retries = 0;  // flood: surface every reject
+      auto client_or = net::Client::Connect(copts);
+      if (!client_or.ok()) return;
+      std::unique_ptr<net::Client> client = std::move(client_or).value();
+      const lsm::Key base = static_cast<lsm::Key>(100 + t) << 32;
+      for (uint64_t iter = 0; !stop.load(std::memory_order_relaxed); ++iter) {
+        auto pipe = client->NewPipeline();
+        for (uint64_t i = 0; i < 64; ++i) {
+          pipe.Put(base + ((iter * 64 + i) & 0xffff), iter);
+        }
+        auto results = pipe.Execute();
+        if (!results.ok()) return;
+        uint64_t ok = 0;
+        for (const auto& r : *results) ok += r.status.ok() ? 1 : 0;
+        aggressor_acked.fetch_add(ok, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  uint64_t victim_acked = 0;
+  const auto begin = Clock::now();
+  {
+    net::ClientOptions copts;
+    copts.port = server->port();
+    copts.tenant = "victim";
+    copts.throttle_max_retries = 100;  // paced, not shed
+    copts.throttle_backoff_cap_ms = 100;
+    auto client_or = net::Client::Connect(copts);
+    if (client_or.ok()) {
+      std::unique_ptr<net::Client> client = std::move(client_or).value();
+      const lsm::Key base = static_cast<lsm::Key>(99) << 32;
+      for (uint64_t iter = 0;; ++iter) {
+        const auto now = Clock::now();
+        if (std::chrono::duration_cast<std::chrono::milliseconds>(now - begin)
+                .count() >= static_cast<int64_t>(window_ms)) {
+          break;
+        }
+        auto pipe = client->NewPipeline();
+        for (uint64_t i = 0; i < 16; ++i) {
+          pipe.Put(base + ((iter * 16 + i) & 0xffff), iter);
+        }
+        auto results = pipe.Execute();
+        if (!results.ok()) break;
+        for (const auto& r : *results) victim_acked += r.status.ok() ? 1 : 0;
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                begin)
+          .count();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : aggressors) th.join();
+
+  const net::ServerCounters c = server->counters();
+  server->Shutdown();
+  QuotaLegResult r;
+  r.quota_ops = quota;
+  r.victim_ops_per_sec = static_cast<double>(victim_acked) / secs;
+  r.aggressor_ops_per_sec =
+      static_cast<double>(aggressor_acked.load()) / secs;
+  r.admission_rejects = c.admission_rejects;
+  r.throttled_ms = c.throttled_ms;
+  r.queue_depth_peak = c.queue_depth_peak;
+  return r;
+}
+
+void AppendQuotaLegJson(std::string* json, const QuotaLegResult& r,
+                        bool last) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "      \"q%.0f\": {\"quota_ops_per_sec\": %.0f, "
+      "\"victim_ops_per_sec\": %.0f, \"aggressor_ops_per_sec\": %.0f, "
+      "\"admission_rejects\": %llu, \"throttled_ms\": %llu, "
+      "\"queue_depth_peak\": %llu}%s\n",
+      r.quota_ops, r.quota_ops, r.victim_ops_per_sec, r.aggressor_ops_per_sec,
+      static_cast<unsigned long long>(r.admission_rejects),
+      static_cast<unsigned long long>(r.throttled_ms),
+      static_cast<unsigned long long>(r.queue_depth_peak), last ? "" : ",");
+  *json += buf;
+}
+
 void AppendLegJson(std::string* json, const LegResult& r, bool last) {
   char buf[320];
   char name[32];
@@ -210,6 +325,21 @@ int main(int argc, char** argv) {
   const net::ServerCounters c = server->counters();
   server->Shutdown();
 
+  // Quota sweep: unlimited baseline, then two admission-constrained
+  // levels, each an aggressor-vs-victim pair on a fresh server.
+  const uint64_t window_ms = EnvOr("MICRO_SERVER_QUOTA_WINDOW_MS", 500);
+  std::vector<QuotaLegResult> quota_legs;
+  for (const double quota : {0.0, 20000.0, 2000.0}) {
+    quota_legs.push_back(RunQuotaLeg(db.get(), quota, window_ms));
+    std::fprintf(stderr,
+                 "quota %.0f: victim %.0f ops/s, aggressor %.0f ops/s, "
+                 "%llu rejects\n",
+                 quota, quota_legs.back().victim_ops_per_sec,
+                 quota_legs.back().aggressor_ops_per_sec,
+                 static_cast<unsigned long long>(
+                     quota_legs.back().admission_rejects));
+  }
+
   std::string json = endure::bench_util::BeginJson("micro_server");
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -223,6 +353,10 @@ int main(int argc, char** argv) {
   json += buf;
   for (size_t i = 0; i < legs.size(); ++i) {
     AppendLegJson(&json, legs[i], i + 1 == legs.size());
+  }
+  json += "  },\n  \"quota_sweep\": {\n";
+  for (size_t i = 0; i < quota_legs.size(); ++i) {
+    AppendQuotaLegJson(&json, quota_legs[i], i + 1 == quota_legs.size());
   }
   json += "  }\n}\n";
   return endure::bench_util::EmitJson(json, argc, argv);

@@ -2,6 +2,7 @@
 
 #include "net/client.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -23,6 +24,15 @@ StatusOr<std::unique_ptr<Client>> Client::Connect(
   if (options.backoff_initial_ms < 1 ||
       options.backoff_max_ms < options.backoff_initial_ms) {
     return Status::InvalidArgument("bad backoff configuration");
+  }
+  if (options.throttle_max_retries < 0 ||
+      options.throttle_backoff_cap_ms < 1) {
+    return Status::InvalidArgument("bad throttle retry configuration");
+  }
+  if (options.tenant.size() > kMaxTenantIdBytes) {
+    return Status::InvalidArgument("tenant id exceeds " +
+                                   std::to_string(kMaxTenantIdBytes) +
+                                   " bytes");
   }
   std::unique_ptr<Client> client(new Client(options));
   Status st;
@@ -53,9 +63,39 @@ Status Client::EnsureConnected(int attempt) {
   }
   fd_ = std::move(sock).value();
   decoder_ = FrameDecoder(options_.max_frame_payload);
+  if (!options_.tenant.empty()) {
+    // Bind the tenant before anything else travels: admission on the
+    // server bills a frame to the tenant bound when it arrives.
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    Status st = TryRoundTrip(EncodeHelloRequest(id, options_.tenant), 1,
+                             &frames);
+    if (st.ok()) st = CheckId(frames[0], id);
+    if (st.ok()) st = ParseStatusOnlyResponse(frames[0]);
+    if (!st.ok()) {
+      Disconnect();
+      return st;
+    }
+  }
   if (ever_connected_) ++reconnects_;
   ever_connected_ = true;
   return Status::OK();
+}
+
+bool Client::BackoffIfThrottled(const Status& st, int consecutive) {
+  if (st.code() != StatusCode::kResourceExhausted) return false;
+  if (consecutive >= options_.throttle_max_retries) return false;
+  int64_t ms = st.retry_after_ms() > 0
+                   ? static_cast<int64_t>(st.retry_after_ms())
+                   : options_.backoff_initial_ms;
+  for (int i = 0; i < consecutive && ms < options_.throttle_backoff_cap_ms;
+       ++i) {
+    ms *= 2;
+  }
+  ms = std::min<int64_t>(ms, options_.throttle_backoff_cap_ms);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  ++throttle_retries_;
+  return true;
 }
 
 void Client::Disconnect() {
@@ -127,130 +167,189 @@ Status Client::CheckId(const Frame& frame, uint64_t want) {
 
 // ------------------------------------------------------- blocking calls --
 
+// Each blocking call loops on throttles only: a kResourceExhausted
+// response means the request was shed before execution, so the resend
+// (with a fresh id, after BackoffIfThrottled's sleep) is exact. Any
+// other remote status returns immediately — engine errors are never
+// retried.
+
 Status Client::Put(lsm::Key key, lsm::Value value) {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodePutRequest(id, key, value), 1,
-                                   &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  return ParseStatusOnlyResponse(frames[0]);
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodePutRequest(id, key, value), 1,
+                                     &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    const Status st = ParseStatusOnlyResponse(frames[0]);
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 Status Client::Delete(lsm::Key key) {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeDeleteRequest(id, key), 1, &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  return ParseStatusOnlyResponse(frames[0]);
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeDeleteRequest(id, key), 1,
+                                     &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    const Status st = ParseStatusOnlyResponse(frames[0]);
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 StatusOr<std::optional<lsm::Value>> Client::Get(lsm::Key key) {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeGetRequest(id, key), 1, &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  std::optional<lsm::Value> value;
-  ENDURE_RETURN_IF_ERROR(ParseGetResponse(frames[0], &value));
-  return value;
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeGetRequest(id, key), 1, &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    std::optional<lsm::Value> value;
+    const Status st = ParseGetResponse(frames[0], &value);
+    if (st.ok()) return value;
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 StatusOr<std::vector<std::pair<lsm::Key, lsm::Value>>> Client::Scan(
     lsm::Key lo, lsm::Key hi) {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeScanRequest(id, lo, hi), 1,
-                                   &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  std::vector<std::pair<lsm::Key, lsm::Value>> entries;
-  ENDURE_RETURN_IF_ERROR(ParseScanResponse(frames[0], &entries));
-  return entries;
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeScanRequest(id, lo, hi), 1,
+                                     &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    std::vector<std::pair<lsm::Key, lsm::Value>> entries;
+    const Status st = ParseScanResponse(frames[0], &entries);
+    if (st.ok()) return entries;
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 Status Client::PutBatch(
     const std::vector<std::pair<lsm::Key, lsm::Value>>& pairs) {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodePutBatchRequest(id, pairs), 1,
-                                   &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  return ParseStatusOnlyResponse(frames[0]);
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodePutBatchRequest(id, pairs), 1,
+                                     &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    const Status st = ParseStatusOnlyResponse(frames[0]);
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 Status Client::Flush() {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeFlushRequest(id), 1, &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  return ParseStatusOnlyResponse(frames[0]);
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeFlushRequest(id), 1, &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    const Status st = ParseStatusOnlyResponse(frames[0]);
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 StatusOr<std::vector<StatPair>> Client::Stats() {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeStatsRequest(id), 1, &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  std::vector<StatPair> stats;
-  ENDURE_RETURN_IF_ERROR(ParseStatsResponse(frames[0], &stats));
-  return stats;
+  // STATS is admission-exempt on the server, but the loop costs nothing
+  // and keeps the contract uniform.
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeStatsRequest(id), 1, &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    std::vector<StatPair> stats;
+    const Status st = ParseStatsResponse(frames[0], &stats);
+    if (st.ok()) return stats;
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 Status Client::ApplyTuning(const TuningWire& tuning) {
-  const uint64_t id = next_id_++;
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeApplyTuningRequest(id, tuning), 1,
-                                   &frames));
-  ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
-  return ParseStatusOnlyResponse(frames[0]);
+  for (int throttles = 0;; ++throttles) {
+    const uint64_t id = next_id_++;
+    std::vector<Frame> frames;
+    ENDURE_RETURN_IF_ERROR(RoundTrip(EncodeApplyTuningRequest(id, tuning), 1,
+                                     &frames));
+    ENDURE_RETURN_IF_ERROR(CheckId(frames[0], id));
+    const Status st = ParseStatusOnlyResponse(frames[0]);
+    if (!BackoffIfThrottled(st, throttles)) return st;
+  }
 }
 
 // ------------------------------------------------------------- pipeline --
 
 void Client::Pipeline::Get(lsm::Key key) {
-  buf_ += EncodeGetRequest(client_->next_id_++, key);
+  frames_.push_back(EncodeGetRequest(client_->next_id_++, key));
   kinds_.push_back(static_cast<uint8_t>(Opcode::kGet));
 }
 
 void Client::Pipeline::Put(lsm::Key key, lsm::Value value) {
-  buf_ += EncodePutRequest(client_->next_id_++, key, value);
+  frames_.push_back(EncodePutRequest(client_->next_id_++, key, value));
   kinds_.push_back(static_cast<uint8_t>(Opcode::kPut));
 }
 
 void Client::Pipeline::Delete(lsm::Key key) {
-  buf_ += EncodeDeleteRequest(client_->next_id_++, key);
+  frames_.push_back(EncodeDeleteRequest(client_->next_id_++, key));
   kinds_.push_back(static_cast<uint8_t>(Opcode::kDelete));
 }
 
 void Client::Pipeline::Scan(lsm::Key lo, lsm::Key hi) {
-  buf_ += EncodeScanRequest(client_->next_id_++, lo, hi);
+  frames_.push_back(EncodeScanRequest(client_->next_id_++, lo, hi));
   kinds_.push_back(static_cast<uint8_t>(Opcode::kScan));
 }
 
 void Client::Pipeline::Flush() {
-  buf_ += EncodeFlushRequest(client_->next_id_++);
+  frames_.push_back(EncodeFlushRequest(client_->next_id_++));
   kinds_.push_back(static_cast<uint8_t>(Opcode::kFlush));
 }
 
 StatusOr<std::vector<PipelineResult>> Client::Pipeline::Execute() {
-  std::vector<Frame> frames;
-  ENDURE_RETURN_IF_ERROR(
-      client_->RoundTrip(buf_, kinds_.size(), &frames));
-  std::vector<PipelineResult> results(kinds_.size());
-  for (size_t i = 0; i < kinds_.size(); ++i) {
-    PipelineResult& res = results[i];
-    res.opcode = kinds_[i];
-    switch (static_cast<Opcode>(kinds_[i])) {
-      case Opcode::kGet:
-        res.status = ParseGetResponse(frames[i], &res.value);
-        break;
-      case Opcode::kScan:
-        res.status = ParseScanResponse(frames[i], &res.entries);
-        break;
-      default:
-        res.status = ParseStatusOnlyResponse(frames[i]);
-        break;
+  const size_t n = kinds_.size();
+  std::vector<PipelineResult> results(n);
+  // Throttle retries resend the contiguous suffix starting at the first
+  // throttled request. Resending the whole suffix — not just the
+  // throttled subset — keeps intra-pipeline order: a retried write can
+  // never be applied after a later write it originally preceded.
+  // Suffix requests that already succeeded are idempotent re-applies.
+  size_t first = 0;
+  for (int throttles = 0;; ++throttles) {
+    std::string burst;
+    for (size_t i = first; i < n; ++i) burst += frames_[i];
+    std::vector<Frame> got;
+    ENDURE_RETURN_IF_ERROR(client_->RoundTrip(burst, n - first, &got));
+    size_t next_first = n;
+    uint32_t hint = 0;
+    for (size_t i = first; i < n; ++i) {
+      PipelineResult& res = results[i];
+      res.opcode = kinds_[i];
+      res.value.reset();
+      res.entries.clear();
+      const Frame& frame = got[i - first];
+      switch (static_cast<Opcode>(kinds_[i])) {
+        case Opcode::kGet:
+          res.status = ParseGetResponse(frame, &res.value);
+          break;
+        case Opcode::kScan:
+          res.status = ParseScanResponse(frame, &res.entries);
+          break;
+        default:
+          res.status = ParseStatusOnlyResponse(frame);
+          break;
+      }
+      if (res.status.code() == StatusCode::kResourceExhausted) {
+        if (next_first == n) next_first = i;
+        hint = std::max(hint, res.status.retry_after_ms());
+      }
     }
+    if (next_first == n ||
+        !client_->BackoffIfThrottled(
+            Status::ResourceExhausted("pipeline throttled", hint),
+            throttles)) {
+      break;
+    }
+    first = next_first;
   }
-  buf_.clear();
+  frames_.clear();
   kinds_.clear();
   return results;
 }

@@ -12,10 +12,22 @@
 // retried PUT re-applies the same value). An operation the server acked
 // before a crash is durable per the deployment's WAL sync mode; an
 // operation without an ack may or may not have applied, and the retry
-// resolves exactly that ambiguity. Remote engine errors are NOT retried:
-// the server's Status travels back over the wire code-for-code, so a
-// degraded-mode IOError latch or a Corruption latch surfaces to remote
-// callers exactly as it does in-process.
+// resolves exactly that ambiguity.
+//
+// The retry contract splits three ways:
+//  - transport failures: reconnect + resend, as above;
+//  - throttles (kResourceExhausted from the server's admission gate):
+//    back off honoring the server's retry-after hint (doubling per
+//    consecutive throttle, capped) and resend, up to
+//    throttle_max_retries; throttle_retries() counts the retries. A
+//    throttled request was never executed, so the resend is exact;
+//  - every other remote engine error is NOT retried: the server's
+//    Status travels back over the wire code-for-code, so a
+//    degraded-mode IOError latch or a Corruption latch surfaces to
+//    remote callers exactly as it does in-process.
+//
+// ClientOptions::tenant names the admission tenant: when set, a HELLO
+// frame binds it on every (re)connect before anything else is sent.
 //
 // A Client (and its Pipelines) is not thread-safe: one connection, one
 // thread — open one Client per worker, as the stress harness does.
@@ -54,6 +66,15 @@ struct ClientOptions {
   /// Frame decode limit (must be >= the server's, or large SCAN/STATS
   /// responses are rejected client-side).
   uint32_t max_frame_payload = kDefaultMaxPayload;
+  /// Admission tenant id, bound via HELLO on every (re)connect. Empty
+  /// joins the server's anonymous default tenant (no HELLO sent).
+  std::string tenant;
+  /// Resends per operation (or pipeline) after a kResourceExhausted
+  /// throttle, each after a backoff honoring the server's retry-after
+  /// hint. 0 surfaces every throttle to the caller.
+  int throttle_max_retries = 8;
+  /// Ceiling on one throttle backoff sleep.
+  int throttle_backoff_cap_ms = 2000;
 };
 
 /// One result of a pipelined batch, in request order.
@@ -102,15 +123,21 @@ class Client {
     /// Runs the batch; returns one result per request, in order. A
     /// non-OK overall Status means the transport failed after retries
     /// (no per-request results); per-request engine errors live in the
-    /// results' own status fields.
+    /// results' own status fields. Throttled requests are retried with
+    /// backoff by resending the contiguous suffix from the first
+    /// throttled request — requests within the suffix that had already
+    /// succeeded are idempotently re-applied, preserving intra-pipeline
+    /// order (a retried write never leapfrogs a later one). Throttles
+    /// still present after throttle_max_retries stay in the results as
+    /// kResourceExhausted.
     StatusOr<std::vector<PipelineResult>> Execute();
 
    private:
     friend class Client;
     explicit Pipeline(Client* client) : client_(client) {}
     Client* client_;
-    std::string buf_;             ///< concatenated request frames
-    std::vector<uint8_t> kinds_;  ///< request opcode per entry
+    std::vector<std::string> frames_;  ///< one encoded frame per request
+    std::vector<uint8_t> kinds_;       ///< request opcode per entry
   };
 
   Pipeline NewPipeline() { return Pipeline(this); }
@@ -119,6 +146,10 @@ class Client {
   /// differential harness asserts the kill-server leg actually took
   /// this path).
   uint64_t reconnects() const { return reconnects_; }
+  /// Times an operation or pipeline was resent after a throttle
+  /// (kResourceExhausted) response — the admission-control sibling of
+  /// reconnects().
+  uint64_t throttle_retries() const { return throttle_retries_; }
   bool connected() const { return fd_.valid(); }
 
  private:
@@ -139,12 +170,18 @@ class Client {
   /// Checks a response frame's id against the expected request id
   /// (error frames, id 0, pass — their status speaks for the request).
   static Status CheckId(const Frame& frame, uint64_t want);
+  /// When `st` is a retryable throttle (kResourceExhausted and retries
+  /// remain), sleeps the backoff — the server's retry-after hint when
+  /// present, doubling per consecutive throttle, capped — bumps
+  /// throttle_retries_ and returns true. False otherwise.
+  bool BackoffIfThrottled(const Status& st, int consecutive);
 
   const ClientOptions options_;
   OwnedFd fd_;
   FrameDecoder decoder_{kDefaultMaxPayload};
   uint64_t next_id_ = 1;
   uint64_t reconnects_ = 0;
+  uint64_t throttle_retries_ = 0;
   bool ever_connected_ = false;
 };
 

@@ -42,6 +42,7 @@ bool IsRequestOpcode(uint8_t op) {
     case Opcode::kStats:
     case Opcode::kApplyTuning:
     case Opcode::kFlush:
+    case Opcode::kHello:
       return true;
     case Opcode::kError:
     default:
@@ -165,6 +166,14 @@ std::string EncodeFlushRequest(uint64_t id) {
   return EncodeFrame(static_cast<uint8_t>(Opcode::kFlush), id, std::string());
 }
 
+std::string EncodeHelloRequest(uint64_t id, const std::string& tenant_id) {
+  std::string payload;
+  WireWriter w(&payload);
+  w.U16(static_cast<uint16_t>(tenant_id.size()));
+  w.Bytes(tenant_id.data(), tenant_id.size());
+  return EncodeFrame(static_cast<uint8_t>(Opcode::kHello), id, payload);
+}
+
 Status ParseGetRequest(const Frame& f, lsm::Key* key) {
   return ParseKeyFrame(f, Opcode::kGet, "GET", key);
 }
@@ -227,6 +236,21 @@ Status ParseApplyTuningRequest(const Frame& f, TuningWire* tuning) {
   return r.Done("APPLY_TUNING");
 }
 
+Status ParseHelloRequest(const Frame& f, std::string* tenant_id) {
+  if (f.opcode != static_cast<uint8_t>(Opcode::kHello)) {
+    return Status::InvalidArgument("frame is not a HELLO");
+  }
+  WireReader r(f.payload);
+  const uint16_t len = r.U16();
+  if (len > kMaxTenantIdBytes) {
+    return Status::InvalidArgument("HELLO tenant id exceeds " +
+                                   std::to_string(kMaxTenantIdBytes) +
+                                   " bytes");
+  }
+  *tenant_id = r.Bytes(len);
+  return r.Done("HELLO");
+}
+
 // ------------------------------------------------------------ responses --
 
 namespace {
@@ -239,6 +263,11 @@ void WriteWireStatus(WireWriter* w, const Status& status) {
   w->U8(static_cast<uint8_t>(status.code()));
   w->U16(static_cast<uint16_t>(msg.size()));
   w->Bytes(msg.data(), msg.size());
+  // The throttle backoff hint rides with (and only with) the throttle
+  // code, so every other status block keeps its pre-admission layout.
+  if (status.code() == StatusCode::kResourceExhausted) {
+    w->U32(status.retry_after_ms());
+  }
 }
 
 uint8_t ResponseOpcode(Opcode request_op) {
@@ -265,6 +294,11 @@ Status DecodeWireStatus(WireReader* r) {
   const uint16_t msg_len = r->U16();
   const std::string msg = r->Bytes(msg_len);
   if (!r->ok()) return Status::InvalidArgument("truncated status block");
+  uint32_t retry_after_ms = 0;
+  if (static_cast<StatusCode>(code) == StatusCode::kResourceExhausted) {
+    retry_after_ms = r->U32();
+    if (!r->ok()) return Status::InvalidArgument("truncated status block");
+  }
   switch (static_cast<StatusCode>(code)) {
     case StatusCode::kOk:
       return Status::OK();
@@ -284,6 +318,8 @@ Status DecodeWireStatus(WireReader* r) {
       return Status::NotSupported(msg);
     case StatusCode::kCorruption:
       return Status::Corruption(msg);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(msg, retry_after_ms);
   }
   return Status::Internal("unknown remote status code " +
                           std::to_string(code));

@@ -51,8 +51,13 @@ enum class Opcode : uint8_t {
   kStats = 0x06,
   kApplyTuning = 0x07,
   kFlush = 0x08,
+  kHello = 0x09,
   kError = 0x7f,
 };
+
+/// Ceiling on a HELLO tenant id. Small on purpose: tenant ids are
+/// routing labels, not data.
+inline constexpr size_t kMaxTenantIdBytes = 128;
 
 inline constexpr uint8_t kResponseBit = 0x80;
 
@@ -214,6 +219,10 @@ std::string EncodeScanRequest(uint64_t id, lsm::Key lo, lsm::Key hi);
 std::string EncodeStatsRequest(uint64_t id);
 std::string EncodeApplyTuningRequest(uint64_t id, const TuningWire& tuning);
 std::string EncodeFlushRequest(uint64_t id);
+/// HELLO binds the connection to a tenant for admission control:
+/// payload is `len u16 | tenant bytes` (at most kMaxTenantIdBytes).
+/// The response is a status-only frame.
+std::string EncodeHelloRequest(uint64_t id, const std::string& tenant_id);
 
 // Request payload parsers (frame.opcode must match; payload layout is
 // validated end to end — truncated or oversized payloads are errors).
@@ -224,10 +233,13 @@ Status ParsePutBatchRequest(
     const Frame& f, std::vector<std::pair<lsm::Key, lsm::Value>>* pairs);
 Status ParseScanRequest(const Frame& f, lsm::Key* lo, lsm::Key* hi);
 Status ParseApplyTuningRequest(const Frame& f, TuningWire* tuning);
+Status ParseHelloRequest(const Frame& f, std::string* tenant_id);
 
 /// Every response payload begins with a status block: code u8 |
-/// msg_len u16 | msg bytes. On a non-OK status the op-specific body is
-/// absent.
+/// msg_len u16 | msg bytes, followed by `retry_after_ms u32` when (and
+/// only when) the code is kResourceExhausted — the admission throttle's
+/// backoff hint travels with the status. On a non-OK status the
+/// op-specific body is absent.
 std::string EncodeStatusResponse(Opcode request_op, uint64_t id,
                                  const Status& status);
 std::string EncodeGetResponse(uint64_t id, std::optional<lsm::Value> value);

@@ -2,9 +2,12 @@
 
 #include "net/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <deque>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -17,7 +20,41 @@ namespace endure::net {
 
 namespace {
 constexpr size_t kReadChunk = 64 * 1024;
+
+/// Distinct tenant ids the server will track. HELLOs past the cap are
+/// rejected — a hostile client cannot grow the tenant table unboundedly.
+constexpr size_t kMaxTenants = 1024;
+
+/// Clamp for the advisory retry-after hint carried by throttle rejects.
+constexpr uint32_t kMaxRetryAfterMs = 5000;
+
+/// Admission cost of a frame on the bytes/sec dimension.
+double FrameCost(const Frame& frame) {
+  return static_cast<double>(kFrameHeaderBytes + frame.payload.size());
+}
+
+/// True for opcodes the token bucket charges. STATS stays exempt so an
+/// operator can always observe a throttled deployment, HELLO so a
+/// tenant can always identify itself; both still park behind earlier
+/// frames to preserve response order. Unknown opcodes are exempt too —
+/// they terminate the connection in DispatchFrame.
+bool IsThrottledOpcode(uint8_t op) {
+  return IsRequestOpcode(op) && op != static_cast<uint8_t>(Opcode::kStats) &&
+         op != static_cast<uint8_t>(Opcode::kHello);
+}
 }  // namespace
+
+/// Per-tenant admission state (loop-thread only, so no locks): a token
+/// bucket per quota dimension plus the parked-frame depth across every
+/// connection bound to the tenant.
+struct Server::Tenant {
+  std::string id;
+  TenantQuota quota;
+  double op_tokens = 0;
+  double byte_tokens = 0;
+  Clock::time_point last_refill{};
+  uint32_t pending = 0;  ///< parked (charged, not rejected) frames
+};
 
 /// Per-connection state. Frames are processed the moment they complete,
 /// so at any instant the connection's pending work is exactly `outbuf`
@@ -39,6 +76,26 @@ struct Server::Conn {
   /// current ProcessFrames pass (request ids parallel to pairs).
   std::vector<uint64_t> pending_put_ids;
   std::vector<std::pair<lsm::Key, lsm::Value>> pending_put_pairs;
+
+  /// One frame held back by admission control. Either a throttled frame
+  /// waiting for tokens (`charged` holds the tenant whose pending count
+  /// it occupies) or an already-shed frame whose reject response waits
+  /// its turn in the response order (`rejected`).
+  struct Parked {
+    Frame frame;
+    Clock::time_point arrived{};
+    Tenant* charged = nullptr;
+    bool rejected = false;
+    std::string response;
+  };
+
+  /// The tenant this connection bills against (the anonymous default
+  /// tenant until HELLO binds an id).
+  Tenant* tenant = nullptr;
+  /// Frames not yet dispatched, in arrival order. Responses must come
+  /// back in request order, so once anything is parked every later
+  /// frame parks behind it.
+  std::deque<Parked> parked;
 };
 
 Server::Server(lsm::ShardedDB* db, const ServerOptions& options)
@@ -54,6 +111,24 @@ StatusOr<std::unique_ptr<Server>> Server::Start(lsm::ShardedDB* db,
   }
   if (options.max_frame_payload < 64) {
     return Status::InvalidArgument("max_frame_payload must be >= 64");
+  }
+  auto quota_valid = [](const TenantQuota& q) {
+    return q.ops_per_sec >= 0 && q.bytes_per_sec >= 0 &&
+           std::isfinite(q.ops_per_sec) && std::isfinite(q.bytes_per_sec);
+  };
+  if (!quota_valid(options.default_quota)) {
+    return Status::InvalidArgument("default quota must be finite and >= 0");
+  }
+  for (const auto& [id, quota] : options.tenant_quotas) {
+    if (id.size() > kMaxTenantIdBytes) {
+      return Status::InvalidArgument("tenant id \"" + id + "\" exceeds " +
+                                     std::to_string(kMaxTenantIdBytes) +
+                                     " bytes");
+    }
+    if (!quota_valid(quota)) {
+      return Status::InvalidArgument("quota for tenant \"" + id +
+                                     "\" must be finite and >= 0");
+    }
   }
   std::unique_ptr<Server> server(new Server(db, options));
   ENDURE_RETURN_IF_ERROR(server->Init());
@@ -89,6 +164,9 @@ Status Server::Init() {
     return Status::IOError(std::string("epoll_ctl(listen): ") +
                            std::strerror(errno));
   }
+  // The anonymous tenant exists before the cap can fill the table, so
+  // every accepted connection always has somewhere to bill.
+  GetTenant(std::string());
   return Status::OK();
 }
 
@@ -121,11 +199,79 @@ ServerCounters Server::counters() const {
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   c.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   c.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  c.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
+  c.throttled_ms = throttled_ms_.load(std::memory_order_relaxed);
+  c.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   return c;
 }
 
+Server::Tenant* Server::GetTenant(const std::string& id) {
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return it->second.get();
+  if (tenants_.size() >= kMaxTenants) return nullptr;
+  auto tenant = std::make_unique<Tenant>();
+  tenant->id = id;
+  auto q = options_.tenant_quotas.find(id);
+  tenant->quota =
+      q != options_.tenant_quotas.end() ? q->second : options_.default_quota;
+  // The bucket starts full: burst capacity is one second of quota.
+  tenant->op_tokens = tenant->quota.ops_per_sec;
+  tenant->byte_tokens = tenant->quota.bytes_per_sec;
+  tenant->last_refill = Clock::now();
+  Tenant* raw = tenant.get();
+  tenants_.emplace(id, std::move(tenant));
+  return raw;
+}
+
+bool Server::TryCharge(Tenant* t, double bytes, Clock::time_point now) {
+  if (!t->quota.limited()) return true;
+  const double secs =
+      std::chrono::duration<double>(now - t->last_refill).count();
+  if (secs > 0) {
+    t->last_refill = now;
+    if (t->quota.ops_per_sec > 0) {
+      t->op_tokens = std::min(t->quota.ops_per_sec,
+                              t->op_tokens + secs * t->quota.ops_per_sec);
+    }
+    if (t->quota.bytes_per_sec > 0) {
+      t->byte_tokens = std::min(t->quota.bytes_per_sec,
+                                t->byte_tokens + secs * t->quota.bytes_per_sec);
+    }
+  }
+  if (t->quota.ops_per_sec > 0 && t->op_tokens < 1.0) return false;
+  if (t->quota.bytes_per_sec > 0 && t->byte_tokens < bytes) return false;
+  if (t->quota.ops_per_sec > 0) t->op_tokens -= 1.0;
+  if (t->quota.bytes_per_sec > 0) t->byte_tokens -= bytes;
+  return true;
+}
+
+uint32_t Server::RetryAfterMs(const Tenant* t, double bytes,
+                              Clock::time_point now) const {
+  double wait_secs = 0;
+  const double since =
+      std::chrono::duration<double>(now - t->last_refill).count();
+  if (t->quota.ops_per_sec > 0) {
+    const double have = std::min(t->quota.ops_per_sec,
+                                 t->op_tokens + since * t->quota.ops_per_sec);
+    if (have < 1.0) {
+      wait_secs = std::max(wait_secs, (1.0 - have) / t->quota.ops_per_sec);
+    }
+  }
+  if (t->quota.bytes_per_sec > 0) {
+    const double have =
+        std::min(t->quota.bytes_per_sec,
+                 t->byte_tokens + since * t->quota.bytes_per_sec);
+    if (have < bytes) {
+      wait_secs = std::max(wait_secs, (bytes - have) / t->quota.bytes_per_sec);
+    }
+  }
+  const double ms = std::ceil(wait_secs * 1000.0);
+  if (ms <= 1.0) return 1;
+  if (ms >= kMaxRetryAfterMs) return kMaxRetryAfterMs;
+  return static_cast<uint32_t>(ms);
+}
+
 void Server::Loop() {
-  using Clock = std::chrono::steady_clock;
   std::vector<epoll_event> events(128);
   Clock::time_point drain_deadline{};
 
@@ -151,6 +297,22 @@ void Server::Loop() {
           drain_deadline - Clock::now());
       if (left.count() <= 0) break;  // slow consumers: abandon
       timeout_ms = static_cast<int>(left.count());
+    } else if (parked_total_ > 0) {
+      // Throttled frames are waiting on bucket refills, not on socket
+      // events: poll again when the earliest head could be admitted.
+      uint32_t wait = 100;
+      const auto now = Clock::now();
+      for (const auto& [fd, conn] : conns_) {
+        if (conn->parked.empty()) continue;
+        const Conn::Parked& head = conn->parked.front();
+        if (head.charged == nullptr) {
+          wait = 1;  // rejected/exempt head: flushable immediately
+          break;
+        }
+        wait = std::min(
+            wait, RetryAfterMs(head.charged, FrameCost(head.frame), now));
+      }
+      timeout_ms = static_cast<int>(std::max(1u, wait));
     }
 
     const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
@@ -186,15 +348,45 @@ void Server::Loop() {
       if ((ev & (EPOLLOUT | EPOLLIN)) != 0) FlushWrites(conn);
     }
 
+    // Re-try parked heads against their (refilling) buckets.
+    if (parked_total_ > 0) {
+      std::vector<int> parked_fds;
+      for (const auto& [fd, conn] : conns_) {
+        if (!conn->parked.empty()) parked_fds.push_back(fd);
+      }
+      for (int fd : parked_fds) {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        Conn* conn = it->second.get();
+        DrainParked(conn);
+        FlushPendingPuts(conn);
+        FlushWrites(conn);  // may close the connection
+      }
+    }
+
     if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
       // Drain: the listener closes first (no new connections or
       // requests), already-received requests were executed on arrival,
-      // so what remains is flushing their responses.
+      // so what remains is flushing their responses. Parked (throttled)
+      // frames in flight are shed with kResourceExhausted — rejected,
+      // never silently dropped — which keeps the drain window bounded
+      // by flushing, not by quota refill rates.
       draining_ = true;
       drain_deadline = Clock::now() +
                        std::chrono::milliseconds(options_.drain_timeout_ms);
       ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
       listen_fd_.Reset();
+      std::vector<int> parked_fds;
+      for (const auto& [fd, conn] : conns_) {
+        if (!conn->parked.empty()) parked_fds.push_back(fd);
+      }
+      for (int fd : parked_fds) {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        Conn* conn = it->second.get();
+        ShedParked(conn, "server draining");
+        FlushWrites(conn);
+      }
     }
   }
 
@@ -221,6 +413,7 @@ void Server::AcceptNew() {
       continue;  // conn (and fd) destroyed: nothing registered
     }
     conn->epoll_events = EPOLLIN;
+    conn->tenant = GetTenant(std::string());  // pre-created in Init
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     conns_.emplace(fd, std::move(conn));
   }
@@ -247,9 +440,11 @@ void Server::HandleReadable(Conn* conn) {
     return;
   }
   ProcessFrames(conn);
-  if (eof) {
-    // The client finished its side; anything it pipelined was just
-    // executed. Flush the responses, then close.
+  if (eof && !conn->closing) {
+    // The client finished its side; anything it pipelined was either
+    // executed or — if still parked by admission — shed with a reject
+    // now, since no refill will ever be read back. Flush, then close.
+    ShedParked(conn, "connection closing");
     conn->closing = true;
   }
 }
@@ -260,7 +455,10 @@ void Server::ProcessFrames(Conn* conn) {
     bool got = false;
     const Status st = conn->decoder.Next(&frame, &got);
     if (!st.ok()) {
-      // Unresynchronizable stream: one clean error frame, then close.
+      // Unresynchronizable stream: reject anything still parked (their
+      // frames were well-formed; they must not vanish silently), then
+      // one clean error frame, then close.
+      ShedParked(conn, "connection closing on protocol error");
       FlushPendingPuts(conn);
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, EncodeErrorFrame(st));
@@ -268,10 +466,112 @@ void Server::ProcessFrames(Conn* conn) {
       return;
     }
     if (!got) break;
-    DispatchFrame(conn, frame);
+    HandleFrame(conn, std::move(frame));
     if (conn->closing) return;  // dispatch hit a fatal frame
   }
   FlushPendingPuts(conn);
+}
+
+void Server::HandleFrame(Conn* conn, Frame&& frame) {
+  const auto now = Clock::now();
+  const double cost = FrameCost(frame);
+  const bool throttled = IsThrottledOpcode(frame.opcode);
+  // Fast path: nothing parked ahead (order is safe) and the bucket
+  // admits the frame right now.
+  if (conn->parked.empty() &&
+      (!throttled || TryCharge(conn->tenant, cost, now))) {
+    DispatchFrame(conn, frame);
+    return;
+  }
+  Conn::Parked parked;
+  parked.arrived = now;
+  if (!throttled) {
+    // Exempt frames still park so responses keep request order; they
+    // never charge the bucket or occupy the tenant's pending budget.
+    parked.frame = std::move(frame);
+  } else if (!draining_ &&
+             conn->tenant->pending < options_.max_pending_per_tenant) {
+    parked.frame = std::move(frame);
+    parked.charged = conn->tenant;
+    const uint32_t depth = ++conn->tenant->pending;
+    if (depth > queue_depth_peak_.load(std::memory_order_relaxed)) {
+      queue_depth_peak_.store(depth, std::memory_order_relaxed);
+    }
+  } else {
+    // Shed: the tenant's queue is full (or the server is draining).
+    // The reject is a first-class response — precomputed here, emitted
+    // in request order by DrainParked — with a hint sized to the bucket
+    // deficit plus the queue already ahead of the caller.
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    uint32_t hint = RetryAfterMs(conn->tenant, cost, now);
+    if (conn->tenant->quota.ops_per_sec > 0) {
+      const double queue_ms =
+          1000.0 * conn->tenant->pending / conn->tenant->quota.ops_per_sec;
+      hint = static_cast<uint32_t>(std::min<double>(
+          kMaxRetryAfterMs, hint + std::ceil(queue_ms)));
+    }
+    parked.rejected = true;
+    parked.response = EncodeStatusResponse(
+        static_cast<Opcode>(frame.opcode), frame.request_id,
+        Status::ResourceExhausted(
+            draining_ ? "server draining"
+                      : "tenant \"" + conn->tenant->id +
+                            "\" over admission quota",
+            hint));
+  }
+  conn->parked.push_back(std::move(parked));
+  ++parked_total_;
+  DrainParked(conn);
+}
+
+void Server::DrainParked(Conn* conn) {
+  const auto now = Clock::now();
+  while (!conn->parked.empty() && !conn->closing) {
+    Conn::Parked& head = conn->parked.front();
+    if (head.rejected) {
+      // A coalesced PUT run buffered ahead of this reject must ack
+      // first — shed-before-coalesce also means reject-after-commit.
+      FlushPendingPuts(conn);
+      QueueResponse(conn, std::move(head.response));
+      conn->parked.pop_front();
+      --parked_total_;
+      continue;
+    }
+    if (head.charged != nullptr) {
+      if (!TryCharge(head.charged, FrameCost(head.frame), now)) break;
+      --head.charged->pending;
+      throttled_ms_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  now - head.arrived)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+    Frame frame = std::move(head.frame);
+    conn->parked.pop_front();
+    --parked_total_;
+    DispatchFrame(conn, frame);
+  }
+}
+
+void Server::ShedParked(Conn* conn, const char* why) {
+  if (conn->parked.empty()) return;
+  FlushPendingPuts(conn);
+  for (Conn::Parked& entry : conn->parked) {
+    if (entry.rejected) {
+      QueueResponse(conn, std::move(entry.response));
+      continue;
+    }
+    if (entry.charged != nullptr) --entry.charged->pending;
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(
+        conn,
+        EncodeStatusResponse(static_cast<Opcode>(entry.frame.opcode),
+                             entry.frame.request_id,
+                             Status::ResourceExhausted(why, 50)));
+  }
+  parked_total_ -= conn->parked.size();
+  conn->parked.clear();
 }
 
 void Server::DispatchFrame(Conn* conn, const Frame& frame) {
@@ -369,7 +669,28 @@ void Server::DispatchFrame(Conn* conn, const Frame& frame) {
       stats.emplace_back("server_protocol_errors", c.protocol_errors);
       stats.emplace_back("server_bytes_read", c.bytes_read);
       stats.emplace_back("server_bytes_written", c.bytes_written);
+      stats.emplace_back("server_admission_rejects", c.admission_rejects);
+      stats.emplace_back("server_throttled_ms", c.throttled_ms);
+      stats.emplace_back("server_queue_depth_peak", c.queue_depth_peak);
       QueueResponse(conn, EncodeStatsResponse(frame.request_id, stats));
+      return;
+    }
+    case Opcode::kHello: {
+      std::string tenant_id;
+      Status st = ParseHelloRequest(frame, &tenant_id);
+      if (st.ok()) {
+        Tenant* tenant = GetTenant(tenant_id);
+        if (tenant == nullptr) {
+          st = Status::ResourceExhausted("tenant table full", 1000);
+          admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Frames already parked stay billed to the tenant that
+          // admitted them; the new binding governs frames from here on.
+          conn->tenant = tenant;
+        }
+      }
+      QueueResponse(
+          conn, EncodeStatusResponse(Opcode::kHello, frame.request_id, st));
       return;
     }
     case Opcode::kApplyTuning: {
@@ -488,6 +809,16 @@ void Server::UpdateEpoll(Conn* conn) {
 
 void Server::CloseConn(Conn* conn) {
   const int fd = conn->fd.get();
+  // A force-closed connection (peer hangup, drain deadline) may still
+  // hold parked frames: release their tenant pending budget. No
+  // responses — the transport is gone, which is the unacked-write
+  // signal clients already resolve by resending.
+  for (const Conn::Parked& entry : conn->parked) {
+    if (!entry.rejected && entry.charged != nullptr) {
+      --entry.charged->pending;
+    }
+  }
+  parked_total_ -= conn->parked.size();
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
   conns_.erase(fd);  // destroys conn (and closes the fd)

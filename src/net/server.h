@@ -15,20 +15,35 @@
 // engine, and a write stalled by backpressure applies that backpressure
 // to every connection — the server never buffers unacknowledged writes.
 //
+// Admission control runs ahead of execution. Every connection belongs
+// to a tenant (the anonymous default tenant until a HELLO frame binds
+// an id); each tenant has a token bucket (ops/sec and bytes/sec) and a
+// bounded pending queue. A frame that cannot be admitted immediately is
+// parked in arrival order behind its connection; when the tenant's
+// queue is full the frame is shed with kResourceExhausted and a
+// retry-after hint — never a silent drop, never a connection close.
+// Shedding happens before PUT coalescing, so a rejected write can never
+// ride a group commit. Parked frames preserve the per-connection
+// response order exactly.
+//
 // Shutdown() drains gracefully: the listener closes first, requests
 // already received are finished and their responses flushed (bounded by
-// ServerOptions::drain_timeout_ms), then connections close. A request
-// whose frame had not completely arrived at shutdown is never executed —
-// the client sees the connection close without an ack, the same signal
-// as a crash before commit. See docs/server.md.
+// ServerOptions::drain_timeout_ms), then connections close. Parked
+// (throttled) requests are shed with kResourceExhausted at drain start:
+// they were never executed, and the client's reject tells it so. A
+// request whose frame had not completely arrived at shutdown is never
+// executed — the client sees the connection close without an ack, the
+// same signal as a crash before commit. See docs/server.md.
 
 #ifndef ENDURE_NET_SERVER_H_
 #define ENDURE_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
@@ -41,6 +56,15 @@ class ShardedDB;
 }  // namespace endure::lsm
 
 namespace endure::net {
+
+/// Admission quota of one tenant. Zero on a dimension means unlimited;
+/// a tenant with both dimensions zero is never throttled. The bucket's
+/// burst capacity is one second of quota, starting full.
+struct TenantQuota {
+  double ops_per_sec = 0;
+  double bytes_per_sec = 0;
+  bool limited() const { return ops_per_sec > 0 || bytes_per_sec > 0; }
+};
 
 struct ServerOptions {
   /// IPv4 address to bind (dotted quad). Loopback by default: exposing
@@ -57,6 +81,14 @@ struct ServerOptions {
   /// not flushable within this window are abandoned (slow-consumer
   /// protection; the requests themselves completed against the engine).
   int drain_timeout_ms = 5000;
+  /// Quota applied to every tenant without an explicit override —
+  /// including the anonymous tenant connections belong to before HELLO.
+  TenantQuota default_quota;
+  /// Per-tenant overrides, keyed by the HELLO tenant id.
+  std::unordered_map<std::string, TenantQuota> tenant_quotas;
+  /// Throttled frames parked per tenant before further ones are shed
+  /// with kResourceExhausted. 0 sheds immediately (no parking).
+  uint32_t max_pending_per_tenant = 64;
 };
 
 /// Monotonic, relaxed-read server counters (the server-side STATS rows).
@@ -69,6 +101,9 @@ struct ServerCounters {
   uint64_t protocol_errors = 0;     ///< connections killed by bad frames
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  uint64_t admission_rejects = 0;   ///< frames shed with kResourceExhausted
+  uint64_t throttled_ms = 0;        ///< total time admitted frames sat parked
+  uint64_t queue_depth_peak = 0;    ///< max parked depth any tenant reached
 };
 
 /// The epoll server. Start() binds synchronously (port() is valid on
@@ -97,6 +132,9 @@ class Server {
 
  private:
   struct Conn;
+  struct Tenant;
+
+  using Clock = std::chrono::steady_clock;
 
   Server(lsm::ShardedDB* db, const ServerOptions& options);
 
@@ -105,6 +143,29 @@ class Server {
   void AcceptNew();
   void HandleReadable(Conn* conn);
   void ProcessFrames(Conn* conn);
+  /// Admission gate: runs ahead of DispatchFrame for every complete
+  /// frame. Dispatches immediately when nothing is parked and the
+  /// tenant's bucket has tokens; otherwise parks the frame (order
+  /// preserved) or, with the tenant's queue full, sheds it with
+  /// kResourceExhausted + retry-after.
+  void HandleFrame(Conn* conn, Frame&& frame);
+  /// Pops the connection's parked queue while its head is admissible:
+  /// rejected entries flush their precomputed response, throttled
+  /// entries re-try the token bucket.
+  void DrainParked(Conn* conn);
+  /// Sheds every parked entry of `conn` with kResourceExhausted
+  /// (responses queued in order). Used at drain start, on EOF and on
+  /// protocol errors — a parked frame is never silently dropped.
+  void ShedParked(Conn* conn, const char* why);
+  /// Looks up (or creates) the tenant for `id`; nullptr when the tenant
+  /// table is full.
+  Tenant* GetTenant(const std::string& id);
+  /// Refills `t`'s bucket and deducts one op + `bytes` if both fit.
+  bool TryCharge(Tenant* t, double bytes, Clock::time_point now);
+  /// Advisory backoff: milliseconds until `t`'s bucket could admit one
+  /// op of `bytes`, clamped to [1, 5000].
+  uint32_t RetryAfterMs(const Tenant* t, double bytes,
+                        Clock::time_point now) const;
   void DispatchFrame(Conn* conn, const Frame& frame);
   /// Applies the pending coalesced PUT run (if any) through one
   /// PutBatch group commit and queues one response per PUT.
@@ -125,6 +186,14 @@ class Server {
   OwnedFd wake_fd_;  ///< eventfd: Shutdown -> loop wakeup
 
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  /// Tenant admission state, keyed by tenant id ("" = the anonymous
+  /// default tenant). Loop-thread only; entries live for the server's
+  /// lifetime (the table is capped, a HELLO past the cap is rejected).
+  std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants_;
+  /// Parked (throttled, not yet rejected) frames across all
+  /// connections — when nonzero the loop polls with a short timeout to
+  /// re-try buckets as they refill.
+  size_t parked_total_ = 0;
   bool draining_ = false;  ///< loop-thread state
 
   std::thread loop_;
@@ -141,6 +210,9 @@ class Server {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+  std::atomic<uint64_t> throttled_ms_{0};
+  std::atomic<uint64_t> queue_depth_peak_{0};
 };
 
 }  // namespace endure::net

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -8,6 +8,7 @@
 #ifndef ENDURE_UTIL_STATUS_H_
 #define ENDURE_UTIL_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
@@ -27,6 +28,7 @@ enum class StatusCode {
   kIOError,
   kNotSupported,
   kCorruption,
+  kResourceExhausted,
 };
 
 /// Human-readable name for a StatusCode.
@@ -67,21 +69,35 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  /// A caller exceeded an admission quota or a bounded queue is full.
+  /// `retry_after_ms` is an advisory hint: how long the producer should
+  /// back off before the request is likely to be admitted. Zero means
+  /// "no hint".
+  static Status ResourceExhausted(std::string msg, uint32_t retry_after_ms = 0) {
+    Status s(StatusCode::kResourceExhausted, std::move(msg));
+    s.retry_after_ms_ = retry_after_ms;
+    return s;
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Advisory backoff hint; meaningful only for kResourceExhausted.
+  uint32_t retry_after_ms() const { return retry_after_ms_; }
+
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message_ == other.message_ &&
+           retry_after_ms_ == other.retry_after_ms_;
   }
 
  private:
   StatusCode code_;
   std::string message_;
+  uint32_t retry_after_ms_ = 0;
 };
 
 /// Either a value of type T or an error Status. Accessing the value of an

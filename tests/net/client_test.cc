@@ -229,6 +229,116 @@ TEST(ClientTest, ConnectFailsFastWhenNoServer) {
   EXPECT_FALSE(client.ok());
 }
 
+TEST(ClientTest, ThrottledOpsRetryWithBackoffUntilAdmitted) {
+  // A starvation-level quota with no pending queue: every op past the
+  // initial burst is shed. The client must absorb the throttles by
+  // backing off (honoring the server's hint) and resending until
+  // admitted — and count those retries.
+  ServerOptions sopts;
+  sopts.default_quota = TenantQuota{5, 0};  // 5 ops/sec, burst of 5
+  sopts.max_pending_per_tenant = 0;         // shed immediately, never park
+  Harness h = Harness::Start(MemoryOpts(), sopts);
+  ClientOptions copts;
+  copts.port = h.server->port();
+  copts.throttle_max_retries = 50;
+  copts.throttle_backoff_cap_ms = 300;
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  auto client = std::move(client_or).value();
+
+  // Burn the burst, then two more ops that must each ride >= 1 retry.
+  for (uint64_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(client->Put(i, i).ok()) << "op " << i;
+  }
+  EXPECT_GE(client->throttle_retries(), 1u);
+  EXPECT_GE(h.server->counters().admission_rejects, 1u);
+  // The throttled connection was never closed: reconnects stayed 0.
+  EXPECT_EQ(client->reconnects(), 0u);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, ThrottleSurfacesWhenRetriesDisabled) {
+  ServerOptions sopts;
+  sopts.default_quota = TenantQuota{5, 0};
+  sopts.max_pending_per_tenant = 0;
+  Harness h = Harness::Start(MemoryOpts(), sopts);
+  ClientOptions copts;
+  copts.port = h.server->port();
+  copts.throttle_max_retries = 0;
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok());
+  auto client = std::move(client_or).value();
+
+  // Exhaust the burst, then catch the raw throttle.
+  Status last = Status::OK();
+  for (uint64_t i = 0; i < 10 && last.ok(); ++i) last = client->Put(i, i);
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(last.retry_after_ms(), 1u) << "throttle must carry a hint";
+  EXPECT_EQ(client->throttle_retries(), 0u);
+
+  // The connection survives a reject: a permitted op (STATS is exempt
+  // from admission) still works on the same connection.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(client->reconnects(), 0u);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, EngineErrorsAreNeverRetried) {
+  // The retry contract's third leg: only transport failures and
+  // throttles retry. A remote engine error must come back exactly once,
+  // with zero throttle retries burned.
+  Harness h = Harness::Start(MemoryOpts());
+  auto client = h.Connect();
+  TuningWire bad;
+  bad.size_ratio = 6;
+  bad.policy = 9;  // invalid
+  bad.buffer_entries = 128;
+  bad.filter_bits_per_entry = 6.0;
+  const Status st = client->ApplyTuning(bad);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client->throttle_retries(), 0u);
+  EXPECT_EQ(client->reconnects(), 0u);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, HelloBindsTenantQuotaOverride) {
+  // Default quota is starvation-level; the "gold" tenant overrides to
+  // unlimited. A client that HELLOs as gold sails through where an
+  // anonymous client throttles.
+  ServerOptions sopts;
+  sopts.default_quota = TenantQuota{5, 0};
+  sopts.max_pending_per_tenant = 0;
+  sopts.tenant_quotas["gold"] = TenantQuota{0, 0};  // unlimited
+  Harness h = Harness::Start(MemoryOpts(), sopts);
+
+  ClientOptions gold_opts;
+  gold_opts.port = h.server->port();
+  gold_opts.tenant = "gold";
+  gold_opts.throttle_max_retries = 0;
+  auto gold_or = Client::Connect(gold_opts);
+  ASSERT_TRUE(gold_or.ok()) << gold_or.status().ToString();
+  auto gold = std::move(gold_or).value();
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(gold->Put(i, i).ok()) << "gold op " << i;
+  }
+  EXPECT_EQ(gold->throttle_retries(), 0u);
+
+  ClientOptions anon_opts;
+  anon_opts.port = h.server->port();
+  anon_opts.throttle_max_retries = 0;
+  auto anon_or = Client::Connect(anon_opts);
+  ASSERT_TRUE(anon_or.ok());
+  auto anon = std::move(anon_or).value();
+  Status last = Status::OK();
+  for (uint64_t i = 0; i < 10 && last.ok(); ++i) {
+    last = anon->Put(1000 + i, i);
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  h.server->Shutdown();
+}
+
 TEST(ClientTest, GarbageBytesGetErrorFrameThenClose) {
   Harness h = Harness::Start(MemoryOpts());
   auto sock = ConnectSocket("127.0.0.1", h.server->port());

@@ -278,6 +278,112 @@ TEST(NetworkDifferentialTest, PipelinedTraceMatchesOracle) {
   h.server->Shutdown();
 }
 
+TEST(NetworkDifferentialTest, QuotaConstrainedTraceStaysOracleExact) {
+  // The same seeded-trace-vs-oracle check, but through a server whose
+  // admission gate actively parks and sheds this client: everything the
+  // server acked must still be oracle-exact. Throttling may slow a
+  // trace down; it must never corrupt, reorder, or drop an acked op.
+  const uint64_t seed = 606;
+  auto db_or = lsm::ShardedDB::Open(MemoryOpts());
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  std::unique_ptr<lsm::ShardedDB> db = std::move(db_or).value();
+  ServerOptions sopts;
+  sopts.default_quota = TenantQuota{300, 0};  // burst 300, then paced
+  sopts.max_pending_per_tenant = 4;           // park a little, shed a lot
+  auto server_or = Server::Start(db.get(), sopts);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  std::unique_ptr<Server> server = std::move(server_or).value();
+
+  ClientOptions copts;
+  copts.port = server->port();
+  copts.tenant = "differential";
+  copts.backoff_initial_ms = 1;
+  copts.throttle_max_retries = 100;  // the trace must complete
+  copts.throttle_backoff_cap_ms = 200;
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  std::unique_ptr<Client> client = std::move(client_or).value();
+
+  ReferenceModel model;
+  const auto ops =
+      GenerateTrace(seed, 500, KeyDistribution::kUniform, kKeyDomain);
+
+  // Blocking leg: single in-flight ops get parked (paced), not shed —
+  // the pending queue absorbs them.
+  const size_t split = 300;
+  ASSERT_TRUE(RunBlocking(client.get(), &model, ops, 0, split, seed));
+
+  // Pipelined leg: 32-op bursts against a 4-deep queue guarantee sheds;
+  // the client's suffix retry must still land every op, in order.
+  size_t i = split;
+  while (i < ops.size()) {
+    auto pipe = client->NewPipeline();
+    struct Expected {
+      uint8_t kind;
+      std::optional<lsm::Value> value;
+      std::vector<std::pair<lsm::Key, lsm::Value>> entries;
+    };
+    std::vector<Expected> expected;
+    const size_t batch_end = std::min(ops.size(), i + 32);
+    for (size_t j = i; j < batch_end; ++j) {
+      const Op& op = ops[j];
+      Expected e;
+      e.kind = static_cast<uint8_t>(op.kind);
+      switch (op.kind) {
+        case Op::kPut:
+          pipe.Put(op.key, op.value);
+          model.Put(op.key, op.value);
+          break;
+        case Op::kDelete:
+          pipe.Delete(op.key);
+          model.Delete(op.key);
+          break;
+        case Op::kGet:
+          pipe.Get(op.key);
+          e.value = model.Get(op.key);
+          break;
+        case Op::kScan:
+          pipe.Scan(op.key, op.hi);
+          e.entries = model.Scan(op.key, op.hi);
+          break;
+        default:
+          pipe.Flush();
+          break;
+      }
+      expected.push_back(std::move(e));
+    }
+    auto results = pipe.Execute();
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      const auto& r = (*results)[j];
+      ASSERT_TRUE(r.status.ok())
+          << "seed " << seed << " op " << (i + j)
+          << " not admitted after retries: " << r.status.ToString();
+      if (expected[j].kind == static_cast<uint8_t>(Op::kGet)) {
+        ASSERT_EQ(r.value, expected[j].value)
+            << "seed " << seed << " first divergence at op " << (i + j);
+      } else if (expected[j].kind == static_cast<uint8_t>(Op::kScan)) {
+        ASSERT_EQ(r.entries, expected[j].entries)
+            << "seed " << seed << " first divergence at op " << (i + j);
+      }
+    }
+    i = batch_end;
+  }
+
+  // The gate actually engaged, both ways.
+  const ServerCounters c = server->counters();
+  EXPECT_GE(c.queue_depth_peak, 1u) << "no op was ever parked";
+  EXPECT_GE(c.throttled_ms, 1u);
+  EXPECT_GE(c.admission_rejects, 1u) << "no op was ever shed";
+  EXPECT_GE(client->throttle_retries(), 1u);
+  EXPECT_EQ(client->reconnects(), 0u)
+      << "throttling must never cost the connection";
+
+  VerifyFullScan(client.get(), model, seed);
+  server->Shutdown();
+}
+
 TEST(NetworkDifferentialTest, KillServerReconnectPreservesAckedWrites) {
   const uint64_t seed = 505;
   const std::string dir = "/tmp/endure_net_differential_kill";

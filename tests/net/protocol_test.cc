@@ -152,6 +152,105 @@ TEST(ProtocolTest, RemoteStatusTravelsCodeForCode) {
   }
 }
 
+TEST(ProtocolTest, ResourceExhaustedCarriesRetryAfterHint) {
+  // A throttle response round-trips code-for-code AND hint-for-hint:
+  // the client's backoff honors exactly the hint the admission gate
+  // computed. Status equality includes the hint.
+  const Status st = Status::ResourceExhausted(
+      "tenant \"ads\" over admission quota", /*retry_after_ms=*/137);
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{64}}) {
+    auto frames =
+        DecodeAll(EncodeStatusResponse(Opcode::kPut, 12, st), chunk);
+    ASSERT_EQ(frames.size(), 1u) << "chunk=" << chunk;
+    const Status back = ParseStatusOnlyResponse(frames[0]);
+    EXPECT_EQ(back.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(back.retry_after_ms(), 137u);
+    EXPECT_EQ(back, st);
+  }
+
+  // Hintless throttles are legal (hint 0 = "retry whenever").
+  auto frames = DecodeAll(
+      EncodeStatusResponse(Opcode::kGet, 13, Status::ResourceExhausted("x")),
+      1);
+  EXPECT_EQ(ParseStatusOnlyResponse(frames[0]).retry_after_ms(), 0u);
+
+  // Non-throttle statuses never carry the trailer.
+  frames = DecodeAll(
+      EncodeStatusResponse(Opcode::kGet, 14, Status::IOError("disk")), 1);
+  EXPECT_EQ(ParseStatusOnlyResponse(frames[0]).retry_after_ms(), 0u);
+
+  // A throttle status truncated before its hint is a decode error, not
+  // a hint defaulted to zero.
+  std::string whole = EncodeStatusResponse(Opcode::kPut, 15, st);
+  std::string torn = whole.substr(0, whole.size() - 2);
+  // Fix up the header's payload_len to match the torn payload so the
+  // decoder hands the short frame to the status parser.
+  const uint32_t torn_len =
+      static_cast<uint32_t>(torn.size() - kFrameHeaderBytes);
+  std::memcpy(&torn[13], &torn_len, sizeof(torn_len));
+  auto torn_frames = DecodeAll(torn, torn.size());
+  ASSERT_EQ(torn_frames.size(), 1u);
+  EXPECT_EQ(ParseStatusOnlyResponse(torn_frames[0]).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, HelloRequestRoundTrips) {
+  const std::string bytes = EncodeHelloRequest(21, "tenant-a");
+  for (size_t chunk : {size_t{1}, size_t{5}, bytes.size()}) {
+    auto frames = DecodeAll(bytes, chunk);
+    ASSERT_EQ(frames.size(), 1u) << "chunk=" << chunk;
+    EXPECT_EQ(frames[0].opcode, static_cast<uint8_t>(Opcode::kHello));
+    EXPECT_EQ(frames[0].request_id, 21u);
+    std::string tenant;
+    ASSERT_TRUE(ParseHelloRequest(frames[0], &tenant).ok());
+    EXPECT_EQ(tenant, "tenant-a");
+  }
+
+  // The empty tenant id is valid: it names the anonymous default tenant.
+  auto anon = DecodeAll(EncodeHelloRequest(22, ""), 1);
+  ASSERT_EQ(anon.size(), 1u);
+  std::string tenant = "stale";
+  ASSERT_TRUE(ParseHelloRequest(anon[0], &tenant).ok());
+  EXPECT_TRUE(tenant.empty());
+}
+
+TEST(ProtocolTest, HelloRejectsOversizedAndMalformedTenantIds) {
+  // Longest legal id round-trips; one byte longer is rejected by the
+  // parser (the length cap bounds per-connection allocation).
+  const std::string max_id(kMaxTenantIdBytes, 't');
+  auto ok = DecodeAll(EncodeHelloRequest(1, max_id), 7);
+  ASSERT_EQ(ok.size(), 1u);
+  std::string tenant;
+  ASSERT_TRUE(ParseHelloRequest(ok[0], &tenant).ok());
+  EXPECT_EQ(tenant.size(), kMaxTenantIdBytes);
+
+  Frame f;
+  f.opcode = static_cast<uint8_t>(Opcode::kHello);
+  std::string payload;
+  WireWriter w(&payload);
+  const std::string big(kMaxTenantIdBytes + 1, 'x');
+  w.U16(static_cast<uint16_t>(big.size()));
+  w.Bytes(big.data(), big.size());
+  f.payload = payload;
+  EXPECT_FALSE(ParseHelloRequest(f, &tenant).ok());
+
+  // Forged length: header says 8 bytes, payload holds 3.
+  payload.clear();
+  WireWriter w2(&payload);
+  w2.U16(8);
+  w2.Bytes("abc", 3);
+  f.payload = payload;
+  EXPECT_FALSE(ParseHelloRequest(f, &tenant).ok());
+
+  // Trailing garbage after the id is rejected (full-consumption rule).
+  f.payload = EncodeHelloRequest(1, "t").substr(kFrameHeaderBytes) + "zz";
+  EXPECT_FALSE(ParseHelloRequest(f, &tenant).ok());
+
+  // Wrong opcode.
+  auto get = DecodeAll(EncodeGetRequest(2, 3), 1);
+  EXPECT_FALSE(ParseHelloRequest(get[0], &tenant).ok());
+}
+
 TEST(ProtocolTest, TornReadsResumeAcrossFeeds) {
   // Several frames back to back, delivered one byte at a time — the
   // pipelined-over-EAGAIN case. Every frame must come out intact.
@@ -336,6 +435,13 @@ TEST(ProtocolFuzzTest, MutatedFramesDecodeOrRejectCleanly) {
     stream += EncodePutBatchRequest(2, pairs);
     stream += EncodeScanRequest(3, 0, 100);
     stream += EncodeStatsRequest(4);
+    stream += EncodeHelloRequest(
+        5, std::string(static_cast<size_t>(rng.UniformInt(0, 32)), 'n'));
+    stream += EncodeStatusResponse(
+        Opcode::kPut, 6,
+        Status::ResourceExhausted(
+            "over quota",
+            static_cast<uint32_t>(rng.UniformInt(0, 5000))));
 
     // Flip up to 8 random bytes.
     const int flips = static_cast<int>(rng.UniformInt(0, 8));
@@ -371,6 +477,14 @@ TEST(ProtocolFuzzTest, MutatedFramesDecodeOrRejectCleanly) {
             break;
           case static_cast<uint8_t>(Opcode::kScan):
             (void)ParseScanRequest(f, &k, &v);
+            break;
+          case static_cast<uint8_t>(Opcode::kHello): {
+            std::string tenant;
+            (void)ParseHelloRequest(f, &tenant);
+            break;
+          }
+          case static_cast<uint8_t>(Opcode::kPut) | kResponseBit:
+            (void)ParseStatusOnlyResponse(f);
             break;
           default:
             break;

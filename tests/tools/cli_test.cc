@@ -73,11 +73,31 @@ TEST(CliTest, ServeValidatesItsDeploymentFlags) {
   EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--max-frame-mb", "0"}), 1);
   EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--policy", "stacking"}), 1);
   EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--sync", "always"}), 1);
+  // Admission-control flags.
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--ops-per-sec", "-1"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--max-pending", "-5"}), 1);
+  EXPECT_EQ(
+      RunCli({"endure", "serve", "--memory", "--tenant-quota", "noquota"}), 1);
+  EXPECT_EQ(
+      RunCli({"endure", "serve", "--memory", "--tenant-quota", "a:xyz"}), 1);
+  EXPECT_EQ(
+      RunCli({"endure", "serve", "--memory", "--tenant-quota", "a:5:-2"}), 1);
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--tenant-quota", ":100"}),
+            1);
 }
 
 TEST(CliTest, ServeRunsAndDrainsWithExitAfterSeconds) {
   EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--port", "0", "--shards",
                  "2", "--exit-after-seconds", "1"}),
+            0);
+}
+
+TEST(CliTest, ServeAcceptsAdmissionQuotaFlags) {
+  EXPECT_EQ(RunCli({"endure", "serve", "--memory", "--port", "0", "--shards",
+                 "2", "--ops-per-sec", "5000", "--bytes-per-sec", "1048576",
+                 "--max-pending", "16", "--tenant-quota",
+                 "victim:2500,aggressor:5000:2097152",
+                 "--exit-after-seconds", "1"}),
             0);
 }
 

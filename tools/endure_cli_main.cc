@@ -19,12 +19,16 @@
 
 #include "endure_cli_main.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "bridge/experiment.h"
 #include "core/endure.h"
@@ -329,6 +333,51 @@ StatusOr<WalSyncMode> SyncModeFromFlag(const std::string& name) {
   return Status::InvalidArgument("sync must be none|background|per-batch");
 }
 
+/// Parses one --tenant-quota spec: comma-separated `name:ops[:bytes]`
+/// entries (`alice:1000`, `bulk:500:1048576`). ops/bytes are per-second
+/// rates; 0 means unlimited on that dimension.
+StatusOr<std::unordered_map<std::string, net::TenantQuota>> ParseTenantQuotas(
+    const std::string& spec) {
+  std::unordered_map<std::string, net::TenantQuota> quotas;
+  const Status malformed = Status::InvalidArgument(
+      "--tenant-quota must be name:ops[:bytes][,name:ops[:bytes]...] with "
+      "non-negative numeric rates; got \"" + spec + "\"");
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const size_t c1 = entry.find(':');
+    if (c1 == std::string::npos || c1 == 0) return malformed;
+    const std::string name = entry.substr(0, c1);
+    const size_t c2 = entry.find(':', c1 + 1);
+    const std::string ops_str =
+        entry.substr(c1 + 1, (c2 == std::string::npos ? entry.size() : c2) -
+                                 c1 - 1);
+    const std::string bytes_str =
+        c2 == std::string::npos ? "0" : entry.substr(c2 + 1);
+    net::TenantQuota quota;
+    try {
+      size_t used = 0;
+      quota.ops_per_sec = std::stod(ops_str, &used);
+      if (used != ops_str.size()) return malformed;
+      quota.bytes_per_sec = std::stod(bytes_str, &used);
+      if (used != bytes_str.size()) return malformed;
+    } catch (const std::exception&) {
+      return malformed;
+    }
+    if (quota.ops_per_sec < 0 || quota.bytes_per_sec < 0) return malformed;
+    if (name.size() > net::kMaxTenantIdBytes) {
+      return Status::InvalidArgument("--tenant-quota tenant id \"" + name +
+                                     "\" exceeds " +
+                                     std::to_string(net::kMaxTenantIdBytes) +
+                                     " bytes");
+    }
+    quotas[name] = quota;
+  }
+  return quotas;
+}
+
 }  // namespace
 
 int RunServe(int argc, const char* const* argv, int flag_start) {
@@ -353,6 +402,17 @@ int RunServe(int argc, const char* const* argv, int flag_start) {
                "graceful-drain bound on shutdown");
   flags.AddInt("exit-after-seconds", 0,
                "stop serving after N seconds (0 = until SIGINT/SIGTERM)");
+  flags.AddInt("ops-per-sec", 0,
+               "per-tenant admission quota in requests/sec (0 = unlimited)");
+  flags.AddInt("bytes-per-sec", 0,
+               "per-tenant admission quota in request bytes/sec "
+               "(0 = unlimited)");
+  flags.AddString("tenant-quota", "",
+                  "per-tenant overrides name:ops[:bytes],... (see "
+                  "docs/server.md)");
+  flags.AddInt("max-pending", 64,
+               "throttled requests parked per tenant before shedding with "
+               "ResourceExhausted");
   Status st = flags.Parse(argc, argv, flag_start);
   if (st.ok()) st = NoPositional(flags);
   if (!st.ok()) return Fail(st, flags);
@@ -376,6 +436,19 @@ int RunServe(int argc, const char* const* argv, int flag_start) {
   if (!policy.ok()) return Fail(policy.status(), flags);
   auto sync = SyncModeFromFlag(flags.GetString("sync"));
   if (!sync.ok()) return Fail(sync.status(), flags);
+  if (flags.GetInt("ops-per-sec") < 0 || flags.GetInt("bytes-per-sec") < 0 ||
+      flags.GetInt("max-pending") < 0) {
+    return Fail(Status::InvalidArgument(
+                    "--ops-per-sec, --bytes-per-sec and --max-pending must "
+                    "be >= 0"),
+                flags);
+  }
+  std::unordered_map<std::string, net::TenantQuota> tenant_quotas;
+  if (!flags.GetString("tenant-quota").empty()) {
+    auto parsed = ParseTenantQuotas(flags.GetString("tenant-quota"));
+    if (!parsed.ok()) return Fail(parsed.status(), flags);
+    tenant_quotas = *std::move(parsed);
+  }
 
   lsm::Options opts;
   opts.num_shards = static_cast<int>(flags.GetInt("shards"));
@@ -404,6 +477,13 @@ int RunServe(int argc, const char* const* argv, int flag_start) {
   sopts.max_frame_payload =
       static_cast<uint32_t>(flags.GetInt("max-frame-mb")) << 20;
   sopts.drain_timeout_ms = static_cast<int>(flags.GetInt("drain-timeout-ms"));
+  sopts.default_quota.ops_per_sec =
+      static_cast<double>(flags.GetInt("ops-per-sec"));
+  sopts.default_quota.bytes_per_sec =
+      static_cast<double>(flags.GetInt("bytes-per-sec"));
+  sopts.tenant_quotas = std::move(tenant_quotas);
+  sopts.max_pending_per_tenant =
+      static_cast<uint32_t>(flags.GetInt("max-pending"));
   auto server = net::Server::Start(db->get(), sopts);
   if (!server.ok()) return Fail(server.status(), flags);
 
@@ -433,11 +513,13 @@ int RunServe(int argc, const char* const* argv, int flag_start) {
   const net::ServerCounters c = (*server)->counters();
   const Status drain = (*db)->Drain();
   std::printf("endure_server: served %llu requests over %llu connections "
-              "(%llu puts coalesced into %llu group commits)\n",
+              "(%llu puts coalesced into %llu group commits, "
+              "%llu admission rejects)\n",
               static_cast<unsigned long long>(c.requests_served),
               static_cast<unsigned long long>(c.connections_accepted),
               static_cast<unsigned long long>(c.puts_coalesced),
-              static_cast<unsigned long long>(c.coalesced_batches));
+              static_cast<unsigned long long>(c.coalesced_batches),
+              static_cast<unsigned long long>(c.admission_rejects));
   if (!drain.ok()) {
     std::fprintf(stderr, "endure_server: drain: %s\n",
                  drain.ToString().c_str());
