@@ -65,14 +65,21 @@ Status Client::EnsureConnected(int attempt) {
   decoder_ = FrameDecoder(options_.max_frame_payload);
   if (!options_.tenant.empty()) {
     // Bind the tenant before anything else travels: admission on the
-    // server bills a frame to the tenant bound when it arrives.
-    const uint64_t id = next_id_++;
-    std::vector<Frame> frames;
-    Status st = TryRoundTrip(EncodeHelloRequest(id, options_.tenant), 1,
-                             &frames);
-    if (st.ok()) st = CheckId(frames[0], id);
-    if (st.ok()) st = ParseStatusOnlyResponse(frames[0]);
-    if (!st.ok()) {
+    // server bills a frame to the tenant bound when it arrives. A
+    // rejected HELLO (kResourceExhausted, e.g. "tenant table full") is
+    // an admission throttle, not transport trouble: the connection is
+    // healthy, so retry the HELLO on it under the throttle contract —
+    // honoring the server's retry-after hint and counting a
+    // throttle_retry — instead of tearing down and reconnecting.
+    for (int throttles = 0;; ++throttles) {
+      const uint64_t id = next_id_++;
+      std::vector<Frame> frames;
+      Status st = TryRoundTrip(EncodeHelloRequest(id, options_.tenant), 1,
+                               &frames);
+      if (st.ok()) st = CheckId(frames[0], id);
+      if (st.ok()) st = ParseStatusOnlyResponse(frames[0]);
+      if (st.ok()) break;
+      if (BackoffIfThrottled(st, throttles)) continue;
       Disconnect();
       return st;
     }
@@ -306,6 +313,11 @@ void Client::Pipeline::Flush() {
 StatusOr<std::vector<PipelineResult>> Client::Pipeline::Execute() {
   const size_t n = kinds_.size();
   std::vector<PipelineResult> results(n);
+  // Tracks entries that returned OK in some pass: they executed, and
+  // their result stays committed. A later pass may resend them (suffix
+  // ordering) and see the idempotent re-apply throttled — that reject
+  // must not relabel an applied write as never-executed.
+  std::vector<bool> done(n, false);
   // Throttle retries resend the contiguous suffix starting at the first
   // throttled request. Resending the whole suffix — not just the
   // throttled subset — keeps intra-pipeline order: a retried write can
@@ -320,10 +332,8 @@ StatusOr<std::vector<PipelineResult>> Client::Pipeline::Execute() {
     size_t next_first = n;
     uint32_t hint = 0;
     for (size_t i = first; i < n; ++i) {
-      PipelineResult& res = results[i];
+      PipelineResult res;
       res.opcode = kinds_[i];
-      res.value.reset();
-      res.entries.clear();
       const Frame& frame = got[i - first];
       switch (static_cast<Opcode>(kinds_[i])) {
         case Opcode::kGet:
@@ -337,9 +347,13 @@ StatusOr<std::vector<PipelineResult>> Client::Pipeline::Execute() {
           break;
       }
       if (res.status.code() == StatusCode::kResourceExhausted) {
+        if (done[i]) continue;  // committed earlier: keep the OK result
         if (next_first == n) next_first = i;
         hint = std::max(hint, res.status.retry_after_ms());
+      } else if (res.status.ok()) {
+        done[i] = true;
       }
+      results[i] = std::move(res);
     }
     if (next_first == n ||
         !client_->BackoffIfThrottled(

@@ -27,7 +27,11 @@
 //    remote callers exactly as it does in-process.
 //
 // ClientOptions::tenant names the admission tenant: when set, a HELLO
-// frame binds it on every (re)connect before anything else is sent.
+// frame binds it on every (re)connect before anything else is sent. A
+// HELLO the server rejects with kResourceExhausted (e.g. the tenant
+// table is full) follows the throttle leg of the contract: retried on
+// the live connection, honoring the hint, counted by
+// throttle_retries().
 //
 // A Client (and its Pipelines) is not thread-safe: one connection, one
 // thread — open one Client per worker, as the stress harness does.
@@ -127,9 +131,11 @@ class Client {
     /// backoff by resending the contiguous suffix from the first
     /// throttled request — requests within the suffix that had already
     /// succeeded are idempotently re-applied, preserving intra-pipeline
-    /// order (a retried write never leapfrogs a later one). Throttles
+    /// order (a retried write never leapfrogs a later one). A request
+    /// that returned OK in any pass keeps that result: a throttle on
+    /// its re-apply never relabels an executed request. Throttles
     /// still present after throttle_max_retries stay in the results as
-    /// kResourceExhausted.
+    /// kResourceExhausted — those requests were never executed.
     StatusOr<std::vector<PipelineResult>> Execute();
 
    private:

@@ -21,10 +21,6 @@ namespace endure::net {
 namespace {
 constexpr size_t kReadChunk = 64 * 1024;
 
-/// Distinct tenant ids the server will track. HELLOs past the cap are
-/// rejected — a hostile client cannot grow the tenant table unboundedly.
-constexpr size_t kMaxTenants = 1024;
-
 /// Clamp for the advisory retry-after hint carried by throttle rejects.
 constexpr uint32_t kMaxRetryAfterMs = 5000;
 
@@ -112,12 +108,24 @@ StatusOr<std::unique_ptr<Server>> Server::Start(lsm::ShardedDB* db,
   if (options.max_frame_payload < 64) {
     return Status::InvalidArgument("max_frame_payload must be >= 64");
   }
-  auto quota_valid = [](const TenantQuota& q) {
-    return q.ops_per_sec >= 0 && q.bytes_per_sec >= 0 &&
-           std::isfinite(q.ops_per_sec) && std::isfinite(q.bytes_per_sec);
+  if (options.max_tenants < 1) {
+    return Status::InvalidArgument("max_tenants must be >= 1");
+  }
+  // A nonzero ops_per_sec below 1 would make the bucket's burst
+  // capacity (one second of quota) smaller than a single op's cost:
+  // no frame could ever be admitted. Reject the config outright.
+  auto quota_error = [](const TenantQuota& q) -> const char* {
+    if (!(q.ops_per_sec >= 0 && q.bytes_per_sec >= 0 &&
+          std::isfinite(q.ops_per_sec) && std::isfinite(q.bytes_per_sec))) {
+      return "must be finite and >= 0";
+    }
+    if (q.ops_per_sec > 0 && q.ops_per_sec < 1.0) {
+      return "ops_per_sec must be 0 (unlimited) or >= 1";
+    }
+    return nullptr;
   };
-  if (!quota_valid(options.default_quota)) {
-    return Status::InvalidArgument("default quota must be finite and >= 0");
+  if (const char* err = quota_error(options.default_quota)) {
+    return Status::InvalidArgument(std::string("default quota ") + err);
   }
   for (const auto& [id, quota] : options.tenant_quotas) {
     if (id.size() > kMaxTenantIdBytes) {
@@ -125,9 +133,9 @@ StatusOr<std::unique_ptr<Server>> Server::Start(lsm::ShardedDB* db,
                                      std::to_string(kMaxTenantIdBytes) +
                                      " bytes");
     }
-    if (!quota_valid(quota)) {
-      return Status::InvalidArgument("quota for tenant \"" + id +
-                                     "\" must be finite and >= 0");
+    if (const char* err = quota_error(quota)) {
+      return Status::InvalidArgument("quota for tenant \"" + id + "\" " +
+                                     err);
     }
   }
   std::unique_ptr<Server> server(new Server(db, options));
@@ -208,7 +216,7 @@ ServerCounters Server::counters() const {
 Server::Tenant* Server::GetTenant(const std::string& id) {
   auto it = tenants_.find(id);
   if (it != tenants_.end()) return it->second.get();
-  if (tenants_.size() >= kMaxTenants) return nullptr;
+  if (tenants_.size() >= options_.max_tenants) return nullptr;
   auto tenant = std::make_unique<Tenant>();
   tenant->id = id;
   auto q = options_.tenant_quotas.find(id);
@@ -221,6 +229,13 @@ Server::Tenant* Server::GetTenant(const std::string& id) {
   Tenant* raw = tenant.get();
   tenants_.emplace(id, std::move(tenant));
   return raw;
+}
+
+bool Server::ExceedsBurstCapacity(const Tenant* t, double bytes) const {
+  if (!t->quota.limited()) return false;
+  // Defensive: Start() already rejects 0 < ops_per_sec < 1.
+  if (t->quota.ops_per_sec > 0 && t->quota.ops_per_sec < 1.0) return true;
+  return t->quota.bytes_per_sec > 0 && bytes > t->quota.bytes_per_sec;
 }
 
 bool Server::TryCharge(Tenant* t, double bytes, Clock::time_point now) {
@@ -476,9 +491,15 @@ void Server::HandleFrame(Conn* conn, Frame&& frame) {
   const auto now = Clock::now();
   const double cost = FrameCost(frame);
   const bool throttled = IsThrottledOpcode(frame.opcode);
+  // A frame costlier than the bucket's burst capacity can never pass
+  // TryCharge no matter how long it waits: shed it up front. Parking
+  // it would wedge the connection forever (the never-admissible head
+  // would block every later frame and busy-wake the loop).
+  const bool oversized =
+      throttled && ExceedsBurstCapacity(conn->tenant, cost);
   // Fast path: nothing parked ahead (order is safe) and the bucket
   // admits the frame right now.
-  if (conn->parked.empty() &&
+  if (!oversized && conn->parked.empty() &&
       (!throttled || TryCharge(conn->tenant, cost, now))) {
     DispatchFrame(conn, frame);
     return;
@@ -489,6 +510,22 @@ void Server::HandleFrame(Conn* conn, Frame&& frame) {
     // Exempt frames still park so responses keep request order; they
     // never charge the bucket or occupy the tenant's pending budget.
     parked.frame = std::move(frame);
+  } else if (oversized) {
+    // Waiting cannot help, so the hint is pinned to the clamp: the
+    // client should treat this like a sustained throttle and give up
+    // (or split the request) rather than hammer retries.
+    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+    parked.rejected = true;
+    parked.response = EncodeStatusResponse(
+        static_cast<Opcode>(frame.opcode), frame.request_id,
+        Status::ResourceExhausted(
+            "frame of " + std::to_string(static_cast<uint64_t>(cost)) +
+                " bytes exceeds tenant \"" + conn->tenant->id +
+                "\" burst capacity (bytes_per_sec=" +
+                std::to_string(static_cast<uint64_t>(
+                    conn->tenant->quota.bytes_per_sec)) +
+                "); split the request",
+            kMaxRetryAfterMs));
   } else if (!draining_ &&
              conn->tenant->pending < options_.max_pending_per_tenant) {
     parked.frame = std::move(frame);
@@ -557,9 +594,21 @@ void Server::DrainParked(Conn* conn) {
 void Server::ShedParked(Conn* conn, const char* why) {
   if (conn->parked.empty()) return;
   FlushPendingPuts(conn);
-  for (Conn::Parked& entry : conn->parked) {
+  parked_total_ -= conn->parked.size();
+  std::deque<Conn::Parked> parked;
+  parked.swap(conn->parked);
+  for (Conn::Parked& entry : parked) {
     if (entry.rejected) {
       QueueResponse(conn, std::move(entry.response));
+      continue;
+    }
+    if (entry.charged == nullptr && !conn->closing) {
+      // Admission-exempt frames (STATS, HELLO) parked only to keep
+      // response order: execute them. They were never subject to
+      // quota, and the operator must stay able to observe a draining
+      // deployment. (Skipped once dispatch turned the connection
+      // fatal — the final error frame is already queued.)
+      DispatchFrame(conn, entry.frame);
       continue;
     }
     if (entry.charged != nullptr) --entry.charged->pending;
@@ -570,8 +619,6 @@ void Server::ShedParked(Conn* conn, const char* why) {
                              entry.frame.request_id,
                              Status::ResourceExhausted(why, 50)));
   }
-  parked_total_ -= conn->parked.size();
-  conn->parked.clear();
 }
 
 void Server::DispatchFrame(Conn* conn, const Frame& frame) {

@@ -30,7 +30,10 @@
 // already received are finished and their responses flushed (bounded by
 // ServerOptions::drain_timeout_ms), then connections close. Parked
 // (throttled) requests are shed with kResourceExhausted at drain start:
-// they were never executed, and the client's reject tells it so. A
+// they were never executed, and the client's reject tells it so.
+// Admission-exempt frames (STATS, HELLO) that were parked only for
+// response ordering are executed, not shed — an operator can observe a
+// deployment even mid-drain. A
 // request whose frame had not completely arrived at shutdown is never
 // executed — the client sees the connection close without an ack, the
 // same signal as a crash before commit. See docs/server.md.
@@ -59,7 +62,12 @@ namespace endure::net {
 
 /// Admission quota of one tenant. Zero on a dimension means unlimited;
 /// a tenant with both dimensions zero is never throttled. The bucket's
-/// burst capacity is one second of quota, starting full.
+/// burst capacity is one second of quota, starting full. A nonzero
+/// ops_per_sec must be >= 1 (Server::Start rejects fractional rates —
+/// a burst capacity below one op could never admit anything). A frame
+/// larger than bytes_per_sec is shed immediately with
+/// kResourceExhausted rather than parked: it could never be admitted,
+/// and parking it would wedge the connection forever.
 struct TenantQuota {
   double ops_per_sec = 0;
   double bytes_per_sec = 0;
@@ -89,6 +97,11 @@ struct ServerOptions {
   /// Throttled frames parked per tenant before further ones are shed
   /// with kResourceExhausted. 0 sheds immediately (no parking).
   uint32_t max_pending_per_tenant = 64;
+  /// Distinct tenant ids the server will track (including the anonymous
+  /// default tenant). A HELLO past the cap is rejected with
+  /// kResourceExhausted — a hostile client cannot grow the tenant table
+  /// unboundedly. Must be >= 1.
+  size_t max_tenants = 1024;
 };
 
 /// Monotonic, relaxed-read server counters (the server-side STATS rows).
@@ -153,15 +166,21 @@ class Server {
   /// rejected entries flush their precomputed response, throttled
   /// entries re-try the token bucket.
   void DrainParked(Conn* conn);
-  /// Sheds every parked entry of `conn` with kResourceExhausted
-  /// (responses queued in order). Used at drain start, on EOF and on
-  /// protocol errors — a parked frame is never silently dropped.
+  /// Empties the connection's parked queue in order: throttled entries
+  /// are shed with kResourceExhausted, admission-exempt entries (STATS,
+  /// HELLO — parked only to keep response order) are executed. Used at
+  /// drain start, on EOF and on protocol errors — a parked frame is
+  /// never silently dropped.
   void ShedParked(Conn* conn, const char* why);
   /// Looks up (or creates) the tenant for `id`; nullptr when the tenant
   /// table is full.
   Tenant* GetTenant(const std::string& id);
   /// Refills `t`'s bucket and deducts one op + `bytes` if both fit.
   bool TryCharge(Tenant* t, double bytes, Clock::time_point now);
+  /// True when a frame of `bytes` can NEVER pass TryCharge no matter
+  /// how long it waits: its cost exceeds the bucket's burst capacity
+  /// (one second of quota). Such frames are shed immediately.
+  bool ExceedsBurstCapacity(const Tenant* t, double bytes) const;
   /// Advisory backoff: milliseconds until `t`'s bucket could admit one
   /// op of `bytes`, clamped to [1, 5000].
   uint32_t RetryAfterMs(const Tenant* t, double bytes,

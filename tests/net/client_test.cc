@@ -9,10 +9,14 @@
 #include "net/client.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lsm/options.h"
@@ -382,6 +386,233 @@ TEST(ClientTest, ShutdownDrainsIdleConnectionsAndIsIdempotent) {
   // Engine state survives the server: drain and read back in-process.
   EXPECT_TRUE(h.db->Drain().ok());
   EXPECT_EQ(h.db->Get(1), std::optional<lsm::Value>(1u));
+}
+
+TEST(ClientTest, OversizedFrameIsShedImmediatelyNotWedged) {
+  // A frame costlier than the bucket's burst capacity (one second of
+  // byte quota) can never be admitted: it must come back as an
+  // immediate kResourceExhausted, not park forever and wedge the
+  // connection behind it.
+  ServerOptions sopts;
+  sopts.default_quota = TenantQuota{0, 200};  // 200 bytes/sec
+  Harness h = Harness::Start(MemoryOpts(), sopts);
+  ClientOptions copts;
+  copts.port = h.server->port();
+  copts.throttle_max_retries = 0;
+  copts.recv_timeout_ms = 2000;  // a wedge would hit this, not 60s
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  auto client = std::move(client_or).value();
+
+  std::vector<std::pair<lsm::Key, lsm::Value>> pairs;
+  for (uint64_t i = 0; i < 20; ++i) pairs.emplace_back(i, i);  // ~341 bytes
+  const Status st = client->PutBatch(pairs);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted)
+      << st.ToString();
+  EXPECT_GE(st.retry_after_ms(), 1u);
+
+  // The connection is not wedged: a frame that fits the burst capacity
+  // still goes through on the same connection, and the oversized reject
+  // consumed no tokens.
+  EXPECT_TRUE(client->Put(99, 99).ok());
+  EXPECT_EQ(client->reconnects(), 0u);
+  EXPECT_GE(h.server->counters().admission_rejects, 1u);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, UnsatisfiableQuotaConfigRejectedAtStart) {
+  // 0 < ops_per_sec < 1 means a burst capacity below one op's cost:
+  // nothing could ever be admitted. Server::Start must refuse it, for
+  // the default quota and per-tenant overrides alike.
+  auto db = lsm::ShardedDB::Open(MemoryOpts());
+  ASSERT_TRUE(db.ok());
+  ServerOptions sopts;
+  sopts.default_quota = TenantQuota{0.5, 0};
+  auto s1 = Server::Start(db->get(), sopts);
+  ASSERT_FALSE(s1.ok());
+  EXPECT_EQ(s1.status().code(), StatusCode::kInvalidArgument);
+
+  sopts.default_quota = TenantQuota{0, 0};
+  sopts.tenant_quotas["frac"] = TenantQuota{0.25, 0};
+  auto s2 = Server::Start(db->get(), sopts);
+  ASSERT_FALSE(s2.ok());
+  EXPECT_EQ(s2.status().code(), StatusCode::kInvalidArgument);
+
+  sopts.tenant_quotas.clear();
+  sopts.max_tenants = 0;
+  auto s3 = Server::Start(db->get(), sopts);
+  ASSERT_FALSE(s3.ok());
+  EXPECT_EQ(s3.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClientTest, ExemptParkedFramesExecuteOnEof) {
+  // PUT burns the 1-op burst, a second PUT parks on the empty bucket,
+  // and STATS parks behind it for response order. Closing the write
+  // side sheds the parked PUT with kResourceExhausted — but the
+  // admission-exempt STATS must still EXECUTE (the operator exemption
+  // holds even on the shed path), not come back as a bogus throttle.
+  ServerOptions sopts;
+  sopts.default_quota = TenantQuota{1, 0};
+  Harness h = Harness::Start(MemoryOpts(), sopts);
+  auto sock = ConnectSocket("127.0.0.1", h.server->port());
+  ASSERT_TRUE(sock.ok());
+
+  std::string burst = EncodePutRequest(1, 10, 100);
+  burst += EncodePutRequest(2, 20, 200);
+  burst += EncodeStatsRequest(3);
+  ASSERT_TRUE(WriteAll(sock->get(), burst.data(), burst.size()).ok());
+  ASSERT_EQ(::shutdown(sock->get(), SHUT_WR), 0);
+
+  std::string bytes;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(sock->get(), buf, sizeof(buf));
+    if (n <= 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  std::vector<Frame> frames;
+  while (true) {
+    Frame f;
+    bool got = false;
+    ASSERT_TRUE(dec.Next(&f, &got).ok());
+    if (!got) break;
+    frames.push_back(std::move(f));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].request_id, 1u);
+  EXPECT_TRUE(ParseStatusOnlyResponse(frames[0]).ok());
+  EXPECT_EQ(frames[1].request_id, 2u);
+  EXPECT_EQ(ParseStatusOnlyResponse(frames[1]).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(frames[2].request_id, 3u);
+  std::vector<StatPair> stats;
+  ASSERT_TRUE(ParseStatsResponse(frames[2], &stats).ok());
+  bool saw_shards = false;
+  for (const auto& [name, value] : stats) {
+    if (name == "num_shards") saw_shards = true;
+  }
+  EXPECT_TRUE(saw_shards);
+  h.server->Shutdown();
+}
+
+TEST(ClientTest, PipelineSuffixRetryKeepsCommittedResults) {
+  // Scripted server: pass 1 commits requests 0 and 2 but throttles 1;
+  // the suffix resend (1 and 2) then throttles 2's idempotent re-apply
+  // with retries exhausted. Request 2 WAS executed in pass 1 — its
+  // result must stay OK, never be relabeled kResourceExhausted (the
+  // documented "a throttled result was never executed" contract).
+  uint16_t port = 0;
+  auto listener = CreateListener("127.0.0.1", 0, 4, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  std::thread script([fd = listener->get()] {
+    // The listener is nonblocking: poll accept until the client lands.
+    int conn = -1;
+    for (int spins = 0; conn < 0 && spins < 5000; ++spins) {
+      conn = ::accept(fd, nullptr, nullptr);
+      if (conn < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (conn < 0) return;
+    OwnedFd owned(conn);
+    FrameDecoder dec;
+    auto read_frames = [&](size_t count, std::vector<Frame>* out) {
+      char buf[4096];
+      while (out->size() < count) {
+        Frame f;
+        bool got = false;
+        if (!dec.Next(&f, &got).ok()) return false;
+        if (got) {
+          out->push_back(std::move(f));
+          continue;
+        }
+        const ssize_t n = ::read(conn, buf, sizeof(buf));
+        if (n <= 0) return false;
+        dec.Feed(buf, static_cast<size_t>(n));
+      }
+      return true;
+    };
+
+    std::vector<Frame> pass1;
+    if (!read_frames(3, &pass1)) return;
+    std::string out = EncodeStatusResponse(Opcode::kPut,
+                                           pass1[0].request_id, Status::OK());
+    out += EncodeStatusResponse(Opcode::kPut, pass1[1].request_id,
+                                Status::ResourceExhausted("busy", 1));
+    out += EncodeStatusResponse(Opcode::kPut, pass1[2].request_id,
+                                Status::OK());
+    if (!WriteAll(conn, out.data(), out.size()).ok()) return;
+
+    std::vector<Frame> pass2;
+    if (!read_frames(2, &pass2)) return;
+    EXPECT_EQ(pass2[0].request_id, pass1[1].request_id);
+    EXPECT_EQ(pass2[1].request_id, pass1[2].request_id);
+    out = EncodeStatusResponse(Opcode::kPut, pass2[0].request_id,
+                               Status::OK());
+    out += EncodeStatusResponse(Opcode::kPut, pass2[1].request_id,
+                                Status::ResourceExhausted("busy", 1));
+    (void)WriteAll(conn, out.data(), out.size());
+  });
+
+  ClientOptions copts;
+  copts.port = port;
+  copts.max_attempts = 1;
+  copts.throttle_max_retries = 1;  // buggy code fails fast, not hangs
+  copts.recv_timeout_ms = 2000;
+  auto client_or = Client::Connect(copts);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  auto client = std::move(client_or).value();
+
+  auto pipeline = client->NewPipeline();
+  pipeline.Put(1, 1);
+  pipeline.Put(2, 2);
+  pipeline.Put(3, 3);
+  auto results = pipeline.Execute();
+  script.join();
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_TRUE((*results)[0].status.ok());
+  EXPECT_TRUE((*results)[1].status.ok()) << "retried throttle must resolve";
+  EXPECT_TRUE((*results)[2].status.ok())
+      << "committed result relabeled as throttle: "
+      << (*results)[2].status.ToString();
+  EXPECT_EQ(client->throttle_retries(), 1u);
+}
+
+TEST(ClientTest, HelloThrottleHonorsRetryAfterHint) {
+  // With the tenant table capped at the anonymous tenant alone, every
+  // HELLO is rejected kResourceExhausted with the server's 1000ms hint.
+  // The client must surface that throttle (not an IOError wrapper) and,
+  // when retries are enabled, sleep the server's hint — not the 10ms
+  // transport backoff — between HELLO attempts.
+  ServerOptions sopts;
+  sopts.max_tenants = 1;  // only the anonymous tenant fits
+  Harness h = Harness::Start(MemoryOpts(), sopts);
+
+  ClientOptions copts;
+  copts.port = h.server->port();
+  copts.tenant = "late";
+  copts.max_attempts = 1;
+  copts.throttle_max_retries = 0;
+  auto fast = Client::Connect(copts);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(fast.status().retry_after_ms(), 1u);
+
+  copts.throttle_max_retries = 1;
+  const auto start = std::chrono::steady_clock::now();
+  auto retried = Client::Connect(copts);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(retried.ok());
+  EXPECT_EQ(retried.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(elapsed_ms, 900) << "retry must honor the server's 1000ms hint";
+  h.server->Shutdown();
 }
 
 }  // namespace
